@@ -1,0 +1,195 @@
+//! Structural enforcement of the safety predicate `P_α`.
+//!
+//! `P_α :: ∀r > 0, ∀p ∈ Π : |AHO(p, r)| ≤ α` — at most `α` corrupted
+//! receptions per process per round. [`Budgeted`] wraps any adversary
+//! and *clamps* its output to the budget, so experiments can assert the
+//! predicate holds by construction rather than by luck. Omissions are
+//! never clamped: `P_α` says nothing about message loss.
+
+use crate::traits::Adversary;
+use heardof_model::{MessageMatrix, ProcessId, Round};
+use rand::rngs::StdRng;
+
+/// Restores over-budget corruptions in `delivered` back to their
+/// intended contents, keeping at most `alpha` corrupted receptions per
+/// receiver (earlier sender ids win).
+///
+/// Returns the number of cells restored.
+pub fn clamp_to_alpha<M: Clone + Eq>(
+    intended: &MessageMatrix<M>,
+    delivered: &mut MessageMatrix<M>,
+    alpha: u32,
+) -> usize {
+    let n = intended.universe();
+    let mut restored = 0;
+    for r in 0..n {
+        let receiver = ProcessId::new(r as u32);
+        let mut corrupted = 0u32;
+        for s in 0..n {
+            let sender = ProcessId::new(s as u32);
+            let got = delivered.get(sender, receiver);
+            let want = intended.get(sender, receiver);
+            let is_corrupt = match (got, want) {
+                (Some(g), Some(w)) => g != w,
+                // A message materializing out of nowhere also counts as a
+                // corrupted reception (it certainly was not sent safely).
+                (Some(_), None) => true,
+                _ => false,
+            };
+            if is_corrupt {
+                corrupted += 1;
+                if corrupted > alpha {
+                    match want {
+                        Some(w) => {
+                            let w = w.clone();
+                            delivered.set(sender, receiver, w);
+                        }
+                        None => {
+                            delivered.clear(sender, receiver);
+                        }
+                    }
+                    restored += 1;
+                }
+            }
+        }
+    }
+    restored
+}
+
+/// Wraps an adversary so its output always satisfies `P_α`.
+///
+/// # Examples
+///
+/// ```
+/// use heardof_adversary::{Adversary, Budgeted, SantoroWidmayerBlock};
+/// use heardof_model::{MessageMatrix, Round, RoundSets};
+/// use rand::SeedableRng;
+///
+/// // The block adversary corrupts a whole sender "block"; budgeted at
+/// // α = 1 it is still allowed to (block faults hit each receiver once).
+/// let mut adv = Budgeted::new(SantoroWidmayerBlock::all_receivers(), 1);
+/// let intended = MessageMatrix::from_fn(4, |_, _| Some(5u64));
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let delivered = adv.deliver(Round::FIRST, &intended, &mut rng);
+/// let sets = RoundSets::from_matrices(&intended, &delivered);
+/// assert!(sets.max_aho() <= 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Budgeted<A> {
+    inner: A,
+    alpha: u32,
+}
+
+impl<A> Budgeted<A> {
+    /// Budgets `inner` at `alpha` corruptions per receiver per round.
+    pub fn new(inner: A, alpha: u32) -> Self {
+        Budgeted { inner, alpha }
+    }
+
+    /// The enforced budget `α`.
+    pub fn alpha(&self) -> u32 {
+        self.alpha
+    }
+
+    /// Unwraps the inner adversary.
+    pub fn into_inner(self) -> A {
+        self.inner
+    }
+}
+
+impl<M, A> Adversary<M> for Budgeted<A>
+where
+    M: Clone + Eq + Send,
+    A: Adversary<M>,
+{
+    fn name(&self) -> String {
+        format!("{}⊓α={}", self.inner.name(), self.alpha)
+    }
+
+    fn deliver(
+        &mut self,
+        round: Round,
+        intended: &MessageMatrix<M>,
+        rng: &mut StdRng,
+    ) -> MessageMatrix<M> {
+        let mut delivered = self.inner.deliver(round, intended, rng);
+        clamp_to_alpha(intended, &mut delivered, self.alpha);
+        delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::NoFaults;
+    use heardof_model::RoundSets;
+    use rand::SeedableRng;
+
+    struct CorruptEverything;
+
+    impl Adversary<u64> for CorruptEverything {
+        fn name(&self) -> String {
+            "corrupt-everything".into()
+        }
+
+        fn deliver(
+            &mut self,
+            _round: Round,
+            intended: &MessageMatrix<u64>,
+            _rng: &mut StdRng,
+        ) -> MessageMatrix<u64> {
+            let n = intended.universe();
+            MessageMatrix::from_fn(n, |s, r| intended.get(s, r).map(|v| v + 1000))
+        }
+    }
+
+    #[test]
+    fn clamp_restores_over_budget_cells() {
+        let intended = MessageMatrix::from_fn(4, |_, _| Some(1u64));
+        let mut adv = Budgeted::new(CorruptEverything, 2);
+        let mut rng = StdRng::seed_from_u64(0);
+        let delivered = adv.deliver(Round::FIRST, &intended, &mut rng);
+        let sets = RoundSets::from_matrices(&intended, &delivered);
+        for p in 0..4 {
+            assert_eq!(sets.aho_len(ProcessId::new(p)), 2);
+        }
+        assert_eq!(sets.total_corruptions(), 8);
+    }
+
+    #[test]
+    fn clamp_zero_alpha_restores_all() {
+        let intended = MessageMatrix::from_fn(3, |_, _| Some(1u64));
+        let mut adv = Budgeted::new(CorruptEverything, 0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let delivered = adv.deliver(Round::FIRST, &intended, &mut rng);
+        assert_eq!(delivered, intended);
+    }
+
+    #[test]
+    fn clamp_leaves_omissions_alone() {
+        let intended = MessageMatrix::from_fn(3, |_, _| Some(1u64));
+        let mut delivered = MessageMatrix::empty(3);
+        // Nothing delivered at all: zero corruptions, pure omissions.
+        let restored = clamp_to_alpha(&intended, &mut delivered, 0);
+        assert_eq!(restored, 0);
+        assert_eq!(delivered.message_count(), 0);
+    }
+
+    #[test]
+    fn clamp_removes_spurious_messages() {
+        let intended: MessageMatrix<u64> = MessageMatrix::empty(2);
+        let mut delivered = MessageMatrix::from_fn(2, |_, _| Some(9u64));
+        let restored = clamp_to_alpha(&intended, &mut delivered, 0);
+        assert_eq!(restored, 4);
+        assert_eq!(delivered.message_count(), 0);
+    }
+
+    #[test]
+    fn budgeted_no_faults_is_still_identity() {
+        let intended = MessageMatrix::from_fn(3, |s, _| Some(s.index() as u64));
+        let mut adv = Budgeted::new(NoFaults, 1);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(adv.deliver(Round::FIRST, &intended, &mut rng), intended);
+        assert_eq!(adv.alpha(), 1);
+    }
+}

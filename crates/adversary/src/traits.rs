@@ -1,0 +1,179 @@
+//! The adversary interface.
+//!
+//! In the HO model with value faults, *the environment* decides what each
+//! process receives. An [`Adversary`] is exactly that environment: a
+//! (possibly randomized, possibly stateful) function from the round's
+//! intended message matrix to the delivered one. Dropping a cell is an
+//! omission (benign fault); changing its contents is a value fault.
+//!
+//! Adversaries never touch process state — there are no faulty processes
+//! in this model, only faulty transmissions.
+
+use heardof_model::{MessageMatrix, Round};
+use rand::rngs::StdRng;
+
+/// An environment that turns intended message matrices into delivered
+/// ones.
+///
+/// Implementations receive the engine's seeded RNG so runs stay
+/// reproducible end-to-end.
+pub trait Adversary<M>: Send {
+    /// A short human-readable strategy name (used in reports).
+    fn name(&self) -> String;
+
+    /// Produces the delivered matrix for `round` from the `intended` one.
+    ///
+    /// Cells may be dropped (omission) or replaced (value fault); cells
+    /// must not be *added* where the intended matrix has none — the
+    /// sending functions are total, so that situation cannot arise.
+    fn deliver(
+        &mut self,
+        round: Round,
+        intended: &MessageMatrix<M>,
+        rng: &mut StdRng,
+    ) -> MessageMatrix<M>;
+}
+
+/// The identity adversary: perfect communication every round.
+///
+/// # Examples
+///
+/// ```
+/// use heardof_adversary::{Adversary, NoFaults};
+/// use heardof_model::{MessageMatrix, Round, RoundSets};
+/// use rand::SeedableRng;
+///
+/// let mut adv = NoFaults;
+/// let intended = MessageMatrix::from_fn(3, |_, _| Some(1u64));
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let delivered = adv.deliver(Round::FIRST, &intended, &mut rng);
+/// assert!(RoundSets::from_matrices(&intended, &delivered).is_benign());
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoFaults;
+
+impl<M: Clone + Send> Adversary<M> for NoFaults {
+    fn name(&self) -> String {
+        "no-faults".to_string()
+    }
+
+    fn deliver(
+        &mut self,
+        _round: Round,
+        intended: &MessageMatrix<M>,
+        _rng: &mut StdRng,
+    ) -> MessageMatrix<M> {
+        intended.clone()
+    }
+}
+
+/// Boxed adversaries compose like any other.
+impl<M> Adversary<M> for Box<dyn Adversary<M>> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn deliver(
+        &mut self,
+        round: Round,
+        intended: &MessageMatrix<M>,
+        rng: &mut StdRng,
+    ) -> MessageMatrix<M> {
+        (**self).deliver(round, intended, rng)
+    }
+}
+
+/// Applies `first`, then feeds its output to `second` as if it were the
+/// intended matrix — e.g. corruption stacked on top of omissions.
+///
+/// Note that budget enforcement (see [`crate::Budgeted`]) always counts
+/// corruption against the *original* intended matrix, so wrap the whole
+/// sequence, not the parts.
+#[derive(Clone, Debug)]
+pub struct Seq<A, B> {
+    first: A,
+    second: B,
+}
+
+impl<A, B> Seq<A, B> {
+    /// Chains two adversaries.
+    pub fn new(first: A, second: B) -> Self {
+        Seq { first, second }
+    }
+}
+
+impl<M, A, B> Adversary<M> for Seq<A, B>
+where
+    M: Clone + Send,
+    A: Adversary<M>,
+    B: Adversary<M>,
+{
+    fn name(&self) -> String {
+        format!("{}+{}", self.first.name(), self.second.name())
+    }
+
+    fn deliver(
+        &mut self,
+        round: Round,
+        intended: &MessageMatrix<M>,
+        rng: &mut StdRng,
+    ) -> MessageMatrix<M> {
+        let mid = self.first.deliver(round, intended, rng);
+        self.second.deliver(round, &mid, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heardof_model::ProcessId;
+    use rand::SeedableRng;
+
+    #[derive(Clone)]
+    struct DropAll;
+
+    impl Adversary<u64> for DropAll {
+        fn name(&self) -> String {
+            "drop-all".into()
+        }
+
+        fn deliver(
+            &mut self,
+            _round: Round,
+            intended: &MessageMatrix<u64>,
+            _rng: &mut StdRng,
+        ) -> MessageMatrix<u64> {
+            MessageMatrix::empty(intended.universe())
+        }
+    }
+
+    #[test]
+    fn no_faults_is_identity() {
+        let mut adv = NoFaults;
+        let intended = MessageMatrix::from_fn(2, |s, _| Some(s.index() as u64));
+        let mut rng = StdRng::seed_from_u64(0);
+        let d = adv.deliver(Round::FIRST, &intended, &mut rng);
+        assert_eq!(d, intended);
+    }
+
+    #[test]
+    fn boxed_adversary_dispatches() {
+        let mut adv: Box<dyn Adversary<u64>> = Box::new(DropAll);
+        assert_eq!(adv.name(), "drop-all");
+        let intended = MessageMatrix::from_fn(2, |_, _| Some(1u64));
+        let mut rng = StdRng::seed_from_u64(0);
+        let d = adv.deliver(Round::FIRST, &intended, &mut rng);
+        assert_eq!(d.message_count(), 0);
+    }
+
+    #[test]
+    fn seq_applies_in_order() {
+        let mut adv = Seq::new(NoFaults, DropAll);
+        let intended = MessageMatrix::from_fn(2, |_, _| Some(1u64));
+        let mut rng = StdRng::seed_from_u64(0);
+        let d = adv.deliver(Round::FIRST, &intended, &mut rng);
+        assert_eq!(d.message_count(), 0);
+        assert_eq!(adv.name(), "no-faults+drop-all");
+        let _ = intended.get(ProcessId::new(0), ProcessId::new(1));
+    }
+}

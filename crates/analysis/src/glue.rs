@@ -1,0 +1,105 @@
+//! Glue from algorithm parameters to the paper's communication
+//! predicates.
+//!
+//! Predicates are stated over *counts* (`|X| > B` for real `B`), while
+//! parameters carry quarter-valued [`Threshold`]s. These constructors
+//! perform the exact conversion so experiments can check precisely the
+//! predicate each HO machine assumes.
+
+use heardof_core::{AteParams, Threshold, UteParams};
+use heardof_predicates::{ALive, All, MinSho, PAlpha, ULive};
+
+/// `P_α` for an `A_{T,E}` machine.
+pub fn ate_p_alpha(params: &AteParams) -> PAlpha {
+    PAlpha::new(params.alpha())
+}
+
+/// `P^{A,live}` (Figure 1) for an `A_{T,E}` machine: converts
+/// `|Π¹| > E − α`, `|Π²| > T`, `|SHO| > E` into minimum counts.
+pub fn ate_live(params: &AteParams) -> ALive {
+    let e_minus_alpha = Threshold::quarters(params.e().raw().saturating_sub(4 * params.alpha()));
+    ALive::new(
+        e_minus_alpha.min_exceeding_count(),
+        params.t().min_exceeding_count(),
+        params.e().min_exceeding_count(),
+    )
+}
+
+/// The full machine predicate `P_α ∧ P^{A,live}` of Theorem 1.
+pub fn ate_machine_predicate(params: &AteParams) -> All {
+    All::new(vec![
+        Box::new(ate_p_alpha(params)),
+        Box::new(ate_live(params)),
+    ])
+}
+
+/// `P_α` for a `U_{T,E,α}` machine.
+pub fn ute_p_alpha(params: &UteParams) -> PAlpha {
+    PAlpha::new(params.alpha())
+}
+
+/// `P^{U,safe}` (7): `|SHO(p, r)| > max(n + 2α − E − 1, T, α)` for every
+/// process and round, as a minimum count.
+pub fn ute_safe(params: &UteParams) -> MinSho {
+    MinSho::new(params.u_safe_bound().min_exceeding_count())
+}
+
+/// `P^{U,live}` (Figure 2) for a `U_{T,E,α}` machine.
+pub fn ute_live(params: &UteParams) -> ULive {
+    ULive::new(
+        params.t().min_exceeding_count(),
+        params.e().min_exceeding_count(),
+        params.alpha(),
+    )
+}
+
+/// The full machine predicate `P_α ∧ P^{U,safe} ∧ P^{U,live}` of
+/// Theorem 2.
+pub fn ute_machine_predicate(params: &UteParams) -> All {
+    All::new(vec![
+        Box::new(ute_p_alpha(params)),
+        Box::new(ute_safe(params)),
+        Box::new(ute_live(params)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heardof_predicates::CommPredicate;
+
+    #[test]
+    fn ate_counts_match_paper() {
+        // n=9, α=0, balanced: E = T = 6 ⇒ counts 7, 7; Π¹ needs > 6 ⇒ 7.
+        let p = AteParams::balanced(9, 0).unwrap();
+        let live = ate_live(&p);
+        assert!(live.name().contains("|Π¹|≥7"));
+        assert!(live.name().contains("|Π²|≥7"));
+        // n=5, α=1, max_e: E=4.75, T=4.5 ⇒ e_min 5, t_min 5, Π¹ > 3.75 ⇒ 4.
+        let p = AteParams::max_e(5, 1).unwrap();
+        let live = ate_live(&p);
+        assert!(live.name().contains("|Π¹|≥4"), "{}", live.name());
+        assert!(live.name().contains("|Π²|≥5"));
+    }
+
+    #[test]
+    fn ute_counts_match_paper() {
+        // n=9, α=2, tightest: T = E = 6.5 ⇒ counts 7.
+        let p = UteParams::tightest(9, 2).unwrap();
+        let live = ute_live(&p);
+        assert!(live.name().contains("≥7"));
+        let safe = ute_safe(&p);
+        // u_safe_bound = max(9+4−6.5−1, 6.5, 2) = 6.5 ⇒ count 7.
+        assert!(safe.name().contains("≥ 7"), "{}", safe.name());
+    }
+
+    #[test]
+    fn machine_predicates_conjoin() {
+        let a = ate_machine_predicate(&AteParams::balanced(8, 1).unwrap());
+        assert!(a.name().contains("P_α"));
+        assert!(a.name().contains("P^A,live"));
+        let u = ute_machine_predicate(&UteParams::tightest(8, 3).unwrap());
+        assert!(u.name().contains("P^U,live"));
+        assert_eq!(u.parts().len(), 3);
+    }
+}

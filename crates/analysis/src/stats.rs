@@ -1,0 +1,114 @@
+//! Small summary statistics for experiment outputs.
+
+use std::fmt;
+
+/// Summary statistics over a sample of `f64` observations.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub count: usize,
+    /// Arithmetic mean (0 for empty samples).
+    pub mean: f64,
+    /// Minimum observation.
+    pub min: f64,
+    /// Maximum observation.
+    pub max: f64,
+    /// Median (50th percentile).
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample. Returns `None` for an empty sample.
+    pub fn from_values<I: IntoIterator<Item = f64>>(values: I) -> Option<Summary> {
+        let mut v: Vec<f64> = values.into_iter().filter(|x| x.is_finite()).collect();
+        if v.is_empty() {
+            return None;
+        }
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        let count = v.len();
+        let mean = v.iter().sum::<f64>() / count as f64;
+        Some(Summary {
+            count,
+            mean,
+            min: v[0],
+            max: v[count - 1],
+            p50: percentile(&v, 0.50),
+            p90: percentile(&v, 0.90),
+            p99: percentile(&v, 0.99),
+        })
+    }
+
+    /// Summarizes integer observations (e.g. decision rounds).
+    pub fn from_counts<I: IntoIterator<Item = u64>>(values: I) -> Option<Summary> {
+        Self::from_values(values.into_iter().map(|v| v as f64))
+    }
+}
+
+/// Nearest-rank percentile on a sorted slice.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = (q * (sorted.len() as f64 - 1.0)).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.2} min={:.0} p50={:.0} p90={:.0} p99={:.0} max={:.0}",
+            self.count, self.mean, self.min, self.p50, self.p90, self.p99, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample() {
+        assert_eq!(Summary::from_values(std::iter::empty()), None);
+    }
+
+    #[test]
+    fn single_value() {
+        let s = Summary::from_values([7.0]).unwrap();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.min, 7.0);
+        assert_eq!(s.max, 7.0);
+        assert_eq!(s.p50, 7.0);
+        assert_eq!(s.p99, 7.0);
+    }
+
+    #[test]
+    fn uniform_sample() {
+        let s = Summary::from_counts(1..=100u64).unwrap();
+        assert_eq!(s.count, 100);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert!((s.p50 - 50.0).abs() <= 1.0);
+        assert!((s.p90 - 90.0).abs() <= 1.0);
+        assert!((s.p99 - 99.0).abs() <= 1.0);
+    }
+
+    #[test]
+    fn nan_filtered() {
+        let s = Summary::from_values([1.0, f64::NAN, 3.0]).unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.mean, 2.0);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = Summary::from_values([1.0, 2.0, 3.0]).unwrap();
+        let out = s.to_string();
+        assert!(out.contains("n=3"));
+        assert!(out.contains("mean=2.00"));
+    }
+}

@@ -1,0 +1,196 @@
+//! Plain-text table rendering for experiment reports.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned table with ASCII and Markdown renderers.
+///
+/// # Examples
+///
+/// ```
+/// use heardof_analysis::Table;
+///
+/// let mut t = Table::new(["n", "α", "decided"]);
+/// t.push_row(["8", "1", "100%"]);
+/// let out = t.to_ascii();
+/// assert!(out.contains("decided"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new<I, S>(headers: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push_row<I, S>(&mut self, row: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        widths
+    }
+
+    /// Renders with space padding and a separator under the header.
+    pub fn to_ascii(&self) -> String {
+        let widths = self.widths();
+        let mut out = String::new();
+        let render = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let pad = widths[i] - cell.chars().count();
+                out.push_str(cell);
+                for _ in 0..pad {
+                    out.push(' ');
+                }
+            }
+            out.push('\n');
+        };
+        render(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        for _ in 0..total {
+            out.push('-');
+        }
+        out.push('\n');
+        for row in &self.rows {
+            render(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders as a GitHub-flavoured Markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "| {} |", self.headers.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+
+    /// Renders as CSV (naive quoting: cells containing commas are quoted).
+    pub fn to_csv(&self) -> String {
+        let quote = |cell: &str| {
+            if cell.contains(',') || cell.contains('"') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(["alg", "n", "rounds"]);
+        t.push_row(["A_{T,E}", "10", "2"]);
+        t.push_row(["U", "10", "4"]);
+        t
+    }
+
+    #[test]
+    fn ascii_aligns_columns() {
+        let out = sample().to_ascii();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("alg"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Column "n" aligned: find index of '10' in both rows equal.
+        let i2 = lines[2].find("10").unwrap();
+        let i3 = lines[3].find("10").unwrap();
+        assert_eq!(i2, i3);
+    }
+
+    #[test]
+    fn markdown_shape() {
+        let md = sample().to_markdown();
+        assert!(md.starts_with("| alg | n | rounds |"));
+        assert!(md.contains("|---|---|---|"));
+    }
+
+    #[test]
+    fn csv_quotes_commas() {
+        let mut t = Table::new(["a"]);
+        t.push_row(["x,y"]);
+        assert_eq!(t.to_csv(), "a\n\"x,y\"\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(["a", "b"]);
+        t.push_row(["only-one"]);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let t = Table::new(["a"]);
+        assert!(t.is_empty());
+        assert_eq!(sample().len(), 2);
+    }
+}

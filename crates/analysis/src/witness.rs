@@ -1,0 +1,508 @@
+//! Exhaustive adversary search for `A_{T,E}` — tightness as code.
+//!
+//! The paper's conditions (`E ≥ n/2 + α`, `T ≥ 2(n + 2α − E)`) are
+//! sufficient for safety. This module searches *all* adversary behaviours
+//! from a canonical family, over binary inputs, for a bounded number of
+//! rounds, and either produces a concrete violation **witness** (showing
+//! a weakened condition really is unsafe) or reports exhaustion (no
+//! violation exists within the family and horizon — a bounded
+//! verification of the proofs).
+//!
+//! ## The adversary family
+//!
+//! Because `A_{T,E}` broadcasts and its transition depends only on the
+//! *multiset* of received values, over the binary domain `{0, 1}` a
+//! receiver's round is fully described by:
+//!
+//! * `Silence` — hears nobody (pure omission), or
+//! * `HearAll { ones }` — hears all `n` processes, with the number of
+//!   `1`s shifted from the true count by at most the corruption budget
+//!   `α` (each unit of shift costs one corrupted message).
+//!
+//! This family is sound (every found witness is a real run violating
+//! `P_α`-bounded safety) and covers the extremal behaviours the proofs
+//! fight: threshold stuffing in both directions plus total omission.
+//! Witnesses can be replayed against the real simulator.
+
+use heardof_core::AteParams;
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+/// What one receiver experiences in one round of the search family.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ReceiverChoice {
+    /// The receiver hears nobody.
+    Silence,
+    /// The receiver hears all `n` senders, `ones` of the received values
+    /// being `1` (the rest `0`).
+    HearAll {
+        /// Number of `1`-valued messages delivered.
+        ones: usize,
+    },
+    /// The receiver hears exactly `m < n` senders, `ones` of the
+    /// received values being `1` (opt-in, see
+    /// [`WitnessSearch::with_partial_hearing`]).
+    HearSome {
+        /// Number of messages delivered.
+        m: usize,
+        /// Number of `1`-valued messages among them.
+        ones: usize,
+    },
+}
+
+impl fmt::Display for ReceiverChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReceiverChoice::Silence => write!(f, "∅"),
+            ReceiverChoice::HearAll { ones } => write!(f, "1×{ones}"),
+            ReceiverChoice::HearSome { m, ones } => write!(f, "{m}msgs,1×{ones}"),
+        }
+    }
+}
+
+/// One process's abstract state in the search.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct Proc {
+    x: bool,
+    decided: Option<bool>,
+}
+
+type Config = Vec<Proc>;
+
+/// A concrete safety violation found by the search.
+#[derive(Clone, Debug)]
+pub struct Witness {
+    /// The initial binary configuration.
+    pub initial: Vec<bool>,
+    /// Per round, the choice applied at each receiver.
+    pub rounds: Vec<Vec<ReceiverChoice>>,
+    /// Description of the violated clause.
+    pub violation: String,
+}
+
+impl fmt::Display for Witness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "violation: {}", self.violation)?;
+        write!(f, "initial x: [")?;
+        for (i, b) in self.initial.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", u8::from(*b))?;
+        }
+        writeln!(f, "]")?;
+        for (i, round) in self.rounds.iter().enumerate() {
+            write!(f, "round {}: ", i + 1)?;
+            for (p, c) in round.iter().enumerate() {
+                if p > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "p{p}←{c}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// The outcome of an exhaustive search.
+#[derive(Clone, Debug)]
+pub enum SearchOutcome {
+    /// A safety violation exists; here is one.
+    Violation(Box<Witness>),
+    /// No violation within the family and horizon.
+    Exhausted {
+        /// Distinct configurations explored.
+        states_explored: usize,
+        /// `false` if the exploration cap was hit before exhaustion.
+        complete: bool,
+    },
+}
+
+impl SearchOutcome {
+    /// `true` if a violation was found.
+    pub fn found_violation(&self) -> bool {
+        matches!(self, SearchOutcome::Violation(_))
+    }
+}
+
+/// Exhaustive bounded search for Agreement/Integrity violations of
+/// `A_{T,E}` under per-receiver corruption budget `α`.
+///
+/// # Examples
+///
+/// Weakening `E` below `n/2 + α` admits a one-round agreement violation:
+///
+/// ```
+/// use heardof_analysis::WitnessSearch;
+/// use heardof_core::{AteParams, Threshold};
+///
+/// // n=4, α=1: agreement requires E ≥ 3; take E = 2.
+/// let bad = AteParams::unchecked(4, 1, Threshold::integer(2), Threshold::integer(2));
+/// let search = WitnessSearch::new(bad, 2);
+/// let outcome = search.run(&[false, false, true, true]);
+/// assert!(outcome.found_violation());
+/// ```
+#[derive(Clone, Debug)]
+pub struct WitnessSearch {
+    params: AteParams,
+    max_rounds: usize,
+    allow_silence: bool,
+    partial_hearing: bool,
+    max_states: usize,
+}
+
+impl WitnessSearch {
+    /// A search against `params` (typically built with
+    /// `AteParams::unchecked` to weaken a condition) with the given round
+    /// horizon. The corruption budget is `params.alpha()`.
+    pub fn new(params: AteParams, max_rounds: usize) -> Self {
+        WitnessSearch {
+            params,
+            max_rounds,
+            allow_silence: true,
+            partial_hearing: false,
+            max_states: 2_000_000,
+        }
+    }
+
+    /// Excludes the `Silence` option (pure-corruption adversaries).
+    pub fn without_silence(mut self) -> Self {
+        self.allow_silence = false;
+        self
+    }
+
+    /// Adds partial-hearing options: receptions of exactly `m` messages
+    /// for `m` just below and just above the update threshold `T` —
+    /// the shapes that probe the lock bound hardest. Widens the family
+    /// (branching grows ≈ 3×), so it is opt-in.
+    pub fn with_partial_hearing(mut self) -> Self {
+        self.partial_hearing = true;
+        self
+    }
+
+    /// Caps the number of distinct configurations explored.
+    pub fn max_states(mut self, cap: usize) -> Self {
+        self.max_states = cap;
+        self
+    }
+
+    fn transition(&self, proc: Proc, choice: ReceiverChoice, n: usize) -> Proc {
+        let (m, ones) = match choice {
+            ReceiverChoice::Silence => return proc,
+            ReceiverChoice::HearAll { ones } => (n, ones),
+            ReceiverChoice::HearSome { m, ones } => (m, ones),
+        };
+        let zeros = m - ones;
+        let mut next = proc;
+        // Line 7–8: update to the smallest most frequent value
+        // (ties → 0) once more than T messages were heard.
+        if self.params.t().exceeded_by(m) {
+            next.x = ones > zeros;
+        }
+        // Line 9–10: decide; smallest candidate first.
+        if next.decided.is_none() {
+            if self.params.e().exceeded_by(zeros) {
+                next.decided = Some(false);
+            } else if self.params.e().exceeded_by(ones) {
+                next.decided = Some(true);
+            }
+        }
+        next
+    }
+
+    fn violation_of(&self, config: &Config, unanimous: Option<bool>) -> Option<String> {
+        let mut seen: Option<bool> = None;
+        for (i, p) in config.iter().enumerate() {
+            if let Some(d) = p.decided {
+                if let Some(v0) = unanimous {
+                    if d != v0 {
+                        return Some(format!(
+                            "integrity: all initial values were {} but p{i} decided {}",
+                            u8::from(v0),
+                            u8::from(d)
+                        ));
+                    }
+                }
+                match seen {
+                    None => seen = Some(d),
+                    Some(prev) if prev != d => {
+                        return Some(format!(
+                            "agreement: decisions {} and {} coexist",
+                            u8::from(prev),
+                            u8::from(d)
+                        ));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        None
+    }
+
+    /// Runs the search from the given initial configuration.
+    pub fn run(&self, initial: &[bool]) -> SearchOutcome {
+        let n = self.params.n();
+        assert_eq!(initial.len(), n, "one initial value per process");
+        let budget = self.params.alpha() as usize;
+        let unanimous = if initial.iter().all(|&b| b == initial[0]) {
+            initial.first().copied()
+        } else {
+            None
+        };
+
+        let start: Config = initial
+            .iter()
+            .map(|&b| Proc {
+                x: b,
+                decided: None,
+            })
+            .collect();
+
+        // parents[config] = (parent, choices leading here); start maps to None.
+        let mut parents: HashMap<Config, Option<(Config, Vec<ReceiverChoice>)>> = HashMap::new();
+        parents.insert(start.clone(), None);
+        let mut frontier: VecDeque<(Config, usize)> = VecDeque::new();
+        frontier.push_back((start.clone(), 0));
+        let mut complete = true;
+
+        if let Some(v) = self.violation_of(&start, unanimous) {
+            // Degenerate, but handle it: an initial violation is empty.
+            return SearchOutcome::Violation(Box::new(Witness {
+                initial: initial.to_vec(),
+                rounds: Vec::new(),
+                violation: v,
+            }));
+        }
+
+        while let Some((config, depth)) = frontier.pop_front() {
+            if depth >= self.max_rounds {
+                continue;
+            }
+            // True send counts this round.
+            let true_ones = config.iter().filter(|p| p.x).count();
+            let lo = true_ones.saturating_sub(budget);
+            let hi = (true_ones + budget).min(n);
+            let mut options: Vec<ReceiverChoice> = Vec::with_capacity(hi - lo + 2);
+            if self.allow_silence {
+                options.push(ReceiverChoice::Silence);
+            }
+            for ones in lo..=hi {
+                options.push(ReceiverChoice::HearAll { ones });
+            }
+            if self.partial_hearing {
+                // Receptions of exactly m messages for m straddling the
+                // update threshold. A kept sub-multiset has o true ones
+                // with o ∈ [max(0, m−(n−true_ones)), min(m, true_ones)];
+                // corruption shifts it by ≤ budget.
+                let t_edge = self.params.t().min_exceeding_count();
+                for m in [t_edge.saturating_sub(1), t_edge] {
+                    if m == 0 || m >= n {
+                        continue;
+                    }
+                    let o_lo = m.saturating_sub(n - true_ones);
+                    let o_hi = m.min(true_ones);
+                    if o_lo > o_hi {
+                        continue;
+                    }
+                    for ones in o_lo.saturating_sub(budget)..=(o_hi + budget).min(m) {
+                        options.push(ReceiverChoice::HearSome { m, ones });
+                    }
+                }
+            }
+
+            // Odometer over per-receiver options.
+            let mut idx = vec![0usize; n];
+            'outer: loop {
+                let choices: Vec<ReceiverChoice> = idx.iter().map(|&i| options[i]).collect();
+                let next: Config = config
+                    .iter()
+                    .zip(&choices)
+                    .map(|(p, c)| self.transition(*p, *c, n))
+                    .collect();
+
+                if let Entry::Vacant(slot) = parents.entry(next.clone()) {
+                    slot.insert(Some((config.clone(), choices.clone())));
+                    if let Some(violation) = self.violation_of(&next, unanimous) {
+                        return SearchOutcome::Violation(Box::new(self.reconstruct(
+                            initial,
+                            &parents,
+                            next,
+                            violation,
+                        )));
+                    }
+                    if parents.len() >= self.max_states {
+                        complete = false;
+                    } else {
+                        frontier.push_back((next, depth + 1));
+                    }
+                }
+
+                // Advance the odometer.
+                for slot in 0..n {
+                    idx[slot] += 1;
+                    if idx[slot] < options.len() {
+                        continue 'outer;
+                    }
+                    idx[slot] = 0;
+                }
+                break;
+            }
+        }
+
+        SearchOutcome::Exhausted {
+            states_explored: parents.len(),
+            complete,
+        }
+    }
+
+    fn reconstruct(
+        &self,
+        initial: &[bool],
+        parents: &HashMap<Config, Option<(Config, Vec<ReceiverChoice>)>>,
+        last: Config,
+        violation: String,
+    ) -> Witness {
+        let mut rounds = Vec::new();
+        let mut cursor = last;
+        while let Some(Some((parent, choices))) = parents.get(&cursor) {
+            rounds.push(choices.clone());
+            cursor = parent.clone();
+        }
+        rounds.reverse();
+        Witness {
+            initial: initial.to_vec(),
+            rounds,
+            violation,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heardof_core::Threshold;
+
+    #[test]
+    fn weak_e_admits_agreement_violation() {
+        // n=4, α=1: Prop. 1 demands E ≥ 3; E = 2 must break in 1 round.
+        let bad = AteParams::unchecked(4, 1, Threshold::integer(2), Threshold::integer(2));
+        let outcome = WitnessSearch::new(bad, 2).run(&[false, false, true, true]);
+        let SearchOutcome::Violation(w) = outcome else {
+            panic!("expected a violation");
+        };
+        assert!(w.violation.contains("agreement"));
+        assert_eq!(w.rounds.len(), 1, "one round suffices:\n{w}");
+    }
+
+    #[test]
+    fn weak_e_admits_integrity_violation() {
+        // Prop. 2 demands E ≥ α. Take n=3, α=2, E=1 (< α): from
+        // unanimous zeros the adversary can deliver 2 ones / 1 zero to a
+        // receiver: ones = 2 > E but zeros = 1 ≤ E, forcing decision 1.
+        let bad = AteParams::unchecked(3, 2, Threshold::integer(3), Threshold::integer(1));
+        let outcome = WitnessSearch::new(bad, 2).run(&[false, false, false]);
+        let SearchOutcome::Violation(w) = outcome else {
+            panic!("expected a violation");
+        };
+        assert!(w.violation.contains("integrity"), "{w}");
+    }
+
+    #[test]
+    fn valid_params_admit_no_violation() {
+        // n=4, α=0 balanced (OneThirdRule): exhaustive over 3 rounds.
+        let good = AteParams::balanced(4, 0).unwrap();
+        let outcome = WitnessSearch::new(good, 3).run(&[false, false, true, true]);
+        match outcome {
+            SearchOutcome::Exhausted {
+                complete, states_explored,
+            } => {
+                assert!(complete, "search must exhaust");
+                assert!(states_explored > 1);
+            }
+            SearchOutcome::Violation(w) => panic!("unexpected violation:\n{w}"),
+        }
+    }
+
+    #[test]
+    fn valid_fractional_params_admit_no_violation() {
+        // n=5, α=1 via quarter thresholds (E=4.75, T=4.5): the paper
+        // says this is safe; verify exhaustively for 2 rounds.
+        let good = AteParams::max_e(5, 1).unwrap();
+        let outcome = WitnessSearch::new(good, 2).run(&[false, false, false, true, true]);
+        assert!(!outcome.found_violation());
+    }
+
+    #[test]
+    fn over_budget_adversary_breaks_valid_params() {
+        // Valid thresholds for α=1 but an adversary allowed α=3: the
+        // machine is now outside its predicate and must break.
+        let params_for_alpha1 = AteParams::max_e(5, 1).unwrap();
+        let overpowered = AteParams::unchecked(
+            5,
+            3, // budget the search uses
+            params_for_alpha1.t(),
+            params_for_alpha1.e(),
+        );
+        let outcome = WitnessSearch::new(overpowered, 2).run(&[false, false, false, true, true]);
+        assert!(
+            outcome.found_violation(),
+            "E=4.75 cannot withstand α=3 at n=5"
+        );
+    }
+
+    #[test]
+    fn partial_hearing_widens_the_family_soundly() {
+        // Valid params survive even the widened family…
+        let good = AteParams::balanced(5, 1).unwrap_or_else(|_| AteParams::max_e(5, 1).unwrap());
+        let outcome = WitnessSearch::new(good, 2)
+            .with_partial_hearing()
+            .run(&[false, false, false, true, true]);
+        assert!(!outcome.found_violation());
+
+        // …and weakened ones still break, with the extra shapes available.
+        let bad = AteParams::unchecked(5, 1, Threshold::integer(2), Threshold::integer(2));
+        let outcome = WitnessSearch::new(bad, 2)
+            .with_partial_hearing()
+            .run(&[false, false, false, true, true]);
+        assert!(outcome.found_violation());
+    }
+
+    #[test]
+    fn silence_can_be_disabled() {
+        let good = AteParams::balanced(4, 0).unwrap();
+        let outcome = WitnessSearch::new(good, 2)
+            .without_silence()
+            .run(&[false, true, false, true]);
+        assert!(!outcome.found_violation());
+    }
+
+    #[test]
+    fn witness_display_is_readable() {
+        let bad = AteParams::unchecked(4, 1, Threshold::integer(2), Threshold::integer(2));
+        if let SearchOutcome::Violation(w) =
+            WitnessSearch::new(bad, 2).run(&[false, false, true, true])
+        {
+            let text = w.to_string();
+            assert!(text.contains("violation: agreement"));
+            assert!(text.contains("round 1:"));
+            assert!(text.contains("initial x: [0, 0, 1, 1]"));
+        } else {
+            panic!("expected violation");
+        }
+    }
+
+    #[test]
+    fn state_cap_reports_incomplete() {
+        let good = AteParams::balanced(4, 0).unwrap();
+        let outcome = WitnessSearch::new(good, 3)
+            .max_states(3)
+            .run(&[false, false, true, true]);
+        if let SearchOutcome::Exhausted { complete, .. } = outcome {
+            assert!(!complete);
+        } else {
+            panic!("tiny cap cannot find violations for valid params");
+        }
+    }
+}

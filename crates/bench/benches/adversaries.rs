@@ -1,0 +1,77 @@
+//! Criterion: fault-injection overhead per strategy (one round's
+//! delivery on an n×n matrix).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use heardof_adversary::{
+    Adversary, BorrowedCorruption, Budgeted, NoFaults, RandomCorruption, RandomOmission,
+    SantoroWidmayerBlock, SplitBrain, StaticByzantine,
+};
+use heardof_model::{MessageMatrix, Round};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_adversary<A: Adversary<u64>>(
+    group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>,
+    name: &str,
+    n: usize,
+    mut adv: A,
+) {
+    let intended = MessageMatrix::from_fn(n, |s, _| Some(s.index() as u64 % 3));
+    let mut rng = StdRng::seed_from_u64(7);
+    group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+        let mut round = 1u64;
+        b.iter(|| {
+            let out = adv.deliver(Round::new(round), &intended, &mut rng);
+            round += 1;
+            out
+        })
+    });
+}
+
+fn adversary_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adversary_round");
+    for &n in &[8usize, 32, 64] {
+        let alpha = (n / 4) as u32;
+        bench_adversary(&mut group, "no_faults", n, NoFaults);
+        bench_adversary(
+            &mut group,
+            "random_corruption",
+            n,
+            RandomCorruption::new(alpha, 1.0),
+        );
+        bench_adversary(
+            &mut group,
+            "budgeted_random",
+            n,
+            Budgeted::new(RandomCorruption::new(alpha, 1.0), alpha),
+        );
+        bench_adversary(
+            &mut group,
+            "borrowed",
+            n,
+            BorrowedCorruption::new(alpha, 1.0),
+        );
+        bench_adversary(&mut group, "omission", n, RandomOmission::new(0.3));
+        bench_adversary(
+            &mut group,
+            "sw_block",
+            n,
+            SantoroWidmayerBlock::all_receivers(),
+        );
+        bench_adversary(
+            &mut group,
+            "static_byzantine",
+            n,
+            StaticByzantine::first(n, n / 4),
+        );
+        bench_adversary(&mut group, "split_brain", n, SplitBrain::new(alpha));
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = adversary_overhead
+}
+criterion_main!(benches);

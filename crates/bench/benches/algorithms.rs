@@ -1,0 +1,72 @@
+//! Criterion: per-algorithm cost — a full adversarial consensus run for
+//! each of the four algorithms at matched sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use heardof_adversary::{Budgeted, GoodRounds, RandomCorruption, WithSchedule};
+use heardof_core::{Ate, AteParams, OneThirdRule, UniformVoting, Ute, UteParams};
+use heardof_model::TraceLevel;
+use heardof_sim::Simulator;
+
+fn consensus_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("consensus_run");
+    for &n in &[8usize, 16, 32] {
+        let alpha_a = AteParams::max_alpha(n);
+        group.bench_with_input(BenchmarkId::new("ate", n), &n, |b, &n| {
+            let params = AteParams::balanced(n, alpha_a).unwrap();
+            b.iter(|| {
+                Simulator::new(Ate::<u64>::new(params), n)
+                    .adversary(WithSchedule::new(
+                        Budgeted::new(RandomCorruption::new(alpha_a, 1.0), alpha_a),
+                        GoodRounds::every(5),
+                    ))
+                    .initial_values((0..n).map(|i| i as u64 % 3))
+                    .trace_level(TraceLevel::SetsOnly)
+                    .run_until_decided(100)
+                    .unwrap()
+            })
+        });
+        let alpha_u = UteParams::max_alpha(n) / 2;
+        group.bench_with_input(BenchmarkId::new("ute", n), &n, |b, &n| {
+            let params = UteParams::tightest(n, alpha_u).unwrap();
+            let u_safe_min = params.u_safe_bound().min_exceeding_count();
+            let budget = alpha_u.min(n.saturating_sub(u_safe_min) as u32);
+            b.iter(|| {
+                Simulator::new(Ute::new(params, 0u64), n)
+                    .adversary(WithSchedule::new(
+                        Budgeted::new(RandomCorruption::new(budget, 1.0), budget),
+                        GoodRounds::phase_window_every(8),
+                    ))
+                    .initial_values((0..n).map(|i| i as u64 % 3))
+                    .trace_level(TraceLevel::SetsOnly)
+                    .run_until_decided(100)
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("one_third_rule", n), &n, |b, &n| {
+            b.iter(|| {
+                Simulator::new(OneThirdRule::<u64>::new(n), n)
+                    .initial_values((0..n).map(|i| i as u64 % 3))
+                    .trace_level(TraceLevel::SetsOnly)
+                    .run_until_decided(100)
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("uniform_voting", n), &n, |b, &n| {
+            b.iter(|| {
+                Simulator::new(UniformVoting::new(n, 0u64), n)
+                    .initial_values((0..n).map(|i| i as u64 % 3))
+                    .trace_level(TraceLevel::SetsOnly)
+                    .run_until_decided(100)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = consensus_runs
+}
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion: wire codec and threaded-runtime costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use heardof_core::{Ate, AteParams, UteMsg};
+use heardof_net::{crc32, decode_frame, encode_frame, run_threaded, Frame, LinkFaults, NetConfig};
+use std::time::Duration;
+
+fn codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec");
+    let frame = Frame {
+        round: 12,
+        sender: 3,
+        copy: 0,
+        msg: 0xDEAD_BEEFu64,
+    };
+    group.bench_function("encode_u64_frame", |b| b.iter(|| encode_frame(&frame)));
+    let encoded = encode_frame(&frame);
+    group.bench_function("decode_u64_frame", |b| {
+        b.iter(|| decode_frame::<u64>(&encoded).unwrap())
+    });
+    let vote_frame = Frame {
+        round: 12,
+        sender: 3,
+        copy: 0,
+        msg: UteMsg::Vote(Some(7u64)),
+    };
+    group.bench_function("encode_vote_frame", |b| b.iter(|| encode_frame(&vote_frame)));
+
+    for &len in &[64usize, 1024, 65536] {
+        let data = vec![0xA5u8; len];
+        group.throughput(Throughput::Bytes(len as u64));
+        group.bench_with_input(BenchmarkId::new("crc32", len), &len, |b, _| {
+            b.iter(|| crc32(&data))
+        });
+    }
+    group.finish();
+}
+
+fn threaded_runtime(c: &mut Criterion) {
+    let mut group = c.benchmark_group("threaded_runtime");
+    group.sample_size(10);
+    for &n in &[4usize, 8] {
+        group.bench_with_input(BenchmarkId::new("consensus", n), &n, |b, &n| {
+            let params = AteParams::balanced(n, 0).unwrap();
+            b.iter(|| {
+                run_threaded(
+                    Ate::<u64>::new(params),
+                    n,
+                    (0..n as u64).map(|i| i % 2).collect(),
+                    NetConfig {
+                        faults: LinkFaults::NONE,
+                        seed: 1,
+                        round_timeout: Duration::from_millis(20),
+                        copies: 1,
+                        max_rounds: 30,
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = codec, threaded_runtime
+}
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion: predicate evaluation cost on recorded histories, vs.
+//! trace length and predicate kind.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use heardof_adversary::{Budgeted, RandomCorruption};
+use heardof_core::{Ate, AteParams};
+use heardof_model::CommHistory;
+use heardof_predicates::{ALive, AsyncByzantine, CommPredicate, PAlpha, PBenign, PPermAlpha};
+use heardof_sim::Simulator;
+
+fn history_of(n: usize, rounds: usize) -> CommHistory {
+    let alpha = AteParams::max_alpha(n);
+    let params = AteParams::balanced(n, alpha).unwrap();
+    Simulator::new(Ate::<u64>::new(params), n)
+        .adversary(Budgeted::new(RandomCorruption::new(alpha, 0.8), alpha))
+        .initial_values((0..n).map(|i| i as u64 % 3))
+        .seed(1)
+        .run_rounds(rounds)
+        .unwrap()
+        .trace
+        .to_history()
+}
+
+fn predicate_eval(c: &mut Criterion) {
+    let n = 16;
+    let mut group = c.benchmark_group("predicate_eval");
+    for &rounds in &[10usize, 100, 1000] {
+        let history = history_of(n, rounds);
+        group.bench_with_input(BenchmarkId::new("p_alpha", rounds), &rounds, |b, _| {
+            let p = PAlpha::new(3);
+            b.iter(|| p.holds(&history))
+        });
+        group.bench_with_input(BenchmarkId::new("p_perm_alpha", rounds), &rounds, |b, _| {
+            let p = PPermAlpha::new(3);
+            b.iter(|| p.holds(&history))
+        });
+        group.bench_with_input(BenchmarkId::new("p_benign", rounds), &rounds, |b, _| {
+            b.iter(|| PBenign.holds(&history))
+        });
+        group.bench_with_input(BenchmarkId::new("a_live", rounds), &rounds, |b, _| {
+            let p = ALive::new(13, 15, 15);
+            b.iter(|| p.holds(&history))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("async_byzantine", rounds),
+            &rounds,
+            |b, _| {
+                let p = AsyncByzantine::new(3);
+                b.iter(|| p.holds(&history))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = predicate_eval
+}
+criterion_main!(benches);

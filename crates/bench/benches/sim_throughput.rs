@@ -1,0 +1,42 @@
+//! Criterion: lockstep simulator throughput (rounds/second) vs. system
+//! size, for both trace levels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use heardof_core::{Ate, AteParams};
+use heardof_model::TraceLevel;
+use heardof_sim::Simulator;
+
+fn sim_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_rounds");
+    let rounds = 50usize;
+    for &n in &[4usize, 8, 16, 32, 64] {
+        group.throughput(Throughput::Elements(rounds as u64));
+        let params = AteParams::balanced(n, AteParams::max_alpha(n)).unwrap();
+        group.bench_with_input(BenchmarkId::new("full_trace", n), &n, |b, &n| {
+            b.iter(|| {
+                Simulator::new(Ate::<u64>::new(params), n)
+                    .initial_values((0..n).map(|i| i as u64 % 3))
+                    .trace_level(TraceLevel::Full)
+                    .run_rounds(rounds)
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sets_only", n), &n, |b, &n| {
+            b.iter(|| {
+                Simulator::new(Ate::<u64>::new(params), n)
+                    .initial_values((0..n).map(|i| i as u64 % 3))
+                    .trace_level(TraceLevel::SetsOnly)
+                    .run_rounds(rounds)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = sim_throughput
+}
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! **Ablation** — the decision-guard nesting ambiguity in Algorithm 1.
+//!
+//! The paper's listing typographically nests the decision guard
+//! (line 9, `> E` identical values) under the update guard (line 7,
+//! `|HO| > T`). The proofs use the *unnested* reading: Proposition 3's
+//! termination argument fires decisions from `|SHO(p, r)| > E` alone.
+//! With the canonical `T = E` the readings coincide; with `T > E`
+//! (legal under Theorem 1, e.g. `E = n/2`-ish and `T` close to `n`)
+//! they diverge: the nested variant refuses decisions in rounds where a
+//! value clears `E` but the heard-of set stays at or below `T`.
+//!
+//! This binary quantifies the divergence under omission-heavy
+//! communication and confirms safety is identical for both readings.
+
+use heardof_adversary::{GoodRounds, RandomOmission, WithSchedule};
+use heardof_analysis::Table;
+use heardof_bench::header;
+use heardof_core::{Ate, AteParams, Threshold};
+use heardof_sim::Simulator;
+
+fn main() {
+    header(
+        "Ablation — nested vs. unnested decision guard (Algorithm 1, lines 7–10)",
+        "the proofs require the unnested reading (Prop. 3 decides from |SHO| > E alone); \
+         with T > E the nested reading loses liveness, never safety",
+    );
+
+    // n = 12, α = 0: E = 6.25 (agreement-tight), T = 11.75 (legal:
+    // T ≥ 2(n − E) = 11.5, T < n). Deliberately T ≫ E.
+    let n = 12;
+    let e = Threshold::quarters(25); // 6.25 ≥ n/2
+    let t = Threshold::quarters(47); // 11.75 ≥ 2(n − E) = 11.5
+    let params = AteParams::new(n, 0, t, e).expect("valid by Theorem 1");
+    println!("machine: {params} — T exceeds E by design\n");
+
+    let mut table = Table::new([
+        "drop prob",
+        "variant",
+        "runs",
+        "decided",
+        "mean decision round",
+        "violations",
+    ]);
+
+    for drop in [0.0f64, 0.25, 0.4] {
+        for nested in [false, true] {
+            let algo: Ate<u64> = if nested {
+                Ate::new_nested(params)
+            } else {
+                Ate::new(params)
+            };
+            let mut decided = 0;
+            let mut violations = 0;
+            let mut rounds = Vec::new();
+            let runs = 30u64;
+            for seed in 0..runs {
+                // Omissions keep |HO| low; every 4th round is full.
+                let adversary =
+                    WithSchedule::new(RandomOmission::new(drop), GoodRounds::every(4));
+                let outcome = Simulator::new(algo.clone(), n)
+                    .adversary(adversary)
+                    .initial_values((0..n).map(|i| (seed + i as u64) % 2))
+                    .seed(seed)
+                    .run_until_decided(60)
+                    .unwrap();
+                if !outcome.is_safe() {
+                    violations += 1;
+                }
+                if outcome.all_decided() {
+                    decided += 1;
+                    rounds.push(outcome.last_decision_round().unwrap().get());
+                }
+            }
+            let mean = if rounds.is_empty() {
+                "—".to_string()
+            } else {
+                format!(
+                    "{:.1}",
+                    rounds.iter().sum::<u64>() as f64 / rounds.len() as f64
+                )
+            };
+            table.push_row([
+                format!("{drop:.2}"),
+                if nested { "nested" } else { "unnested" }.to_string(),
+                runs.to_string(),
+                format!("{decided}/{runs}"),
+                mean,
+                violations.to_string(),
+            ]);
+        }
+    }
+    println!("{}", table.to_ascii());
+    println!(
+        "expected shape: identical at drop = 0 (full rounds exceed both guards); as drops\n\
+         grow, rounds where > E identical values arrive from ≤ T processes become common\n\
+         — the unnested variant decides there, the nested one needs a fuller round.\n\
+         Violations are zero for both readings at all drop rates."
+    );
+}

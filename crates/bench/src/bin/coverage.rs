@@ -1,0 +1,86 @@
+//! **§5.2** — detection coverage turns value faults into omissions.
+//!
+//! "Error correcting codes cannot correct all errors … such techniques
+//! can be used to increase the coverage of our predicates." On the
+//! threaded substrate we sweep the checksum's *undetected* fraction and
+//! measure, per receiver per round, how many corruptions survive as
+//! value faults — the empirical demand on `α` — against the analytic
+//! recommendation of `recommend_alpha`.
+
+use heardof_analysis::Table;
+use heardof_bench::header;
+use heardof_core::{Ate, AteParams};
+use heardof_model::{History as _, Round};
+use heardof_net::{recommend_alpha, run_threaded, LinkFaults, NetConfig};
+use std::time::Duration;
+
+fn main() {
+    header(
+        "Checksum coverage vs. the α budget (threaded substrate)",
+        "detected corruptions become omissions (benign); only the coverage gap \
+         consumes the P_α budget",
+    );
+    let n = 10;
+
+    let mut t = Table::new([
+        "corrupt %",
+        "undetected %",
+        "E[α] analytic",
+        "recommended α",
+        "max |AHO| observed",
+        "injected (undetected)",
+        "agreement",
+        "decided",
+    ]);
+
+    for (corrupt_prob, undetected_prob) in [
+        (0.10, 0.0),
+        (0.10, 0.10),
+        (0.10, 0.50),
+        (0.10, 1.0),
+        (0.25, 0.20),
+    ] {
+        let faults = LinkFaults {
+            drop_prob: 0.0,
+            corrupt_prob,
+            undetected_prob,
+        };
+        let est = recommend_alpha(&faults, n, 1e-3);
+        let alpha = est.recommended_alpha.clamp(0, AteParams::max_alpha(n));
+        let params = AteParams::balanced(n, alpha.max(0)).unwrap();
+
+        let outcome = run_threaded(
+            Ate::<u64>::new(params),
+            n,
+            (0..n as u64).map(|i| i % 2).collect(),
+            NetConfig {
+                faults,
+                seed: 11,
+                round_timeout: Duration::from_millis(40),
+                copies: 1,
+                max_rounds: 60,
+            },
+        );
+        let max_aho = (1..=outcome.history.num_rounds() as u64)
+            .map(|r| outcome.history.round_sets(Round::new(r)).max_aho())
+            .max()
+            .unwrap_or(0);
+
+        t.push_row([
+            format!("{:.0}%", corrupt_prob * 100.0),
+            format!("{:.0}%", undetected_prob * 100.0),
+            format!("{:.3}", est.expected),
+            alpha.to_string(),
+            max_aho.to_string(),
+            outcome.undetected_corruptions.to_string(),
+            outcome.agreement_ok().to_string(),
+            outcome.all_decided().to_string(),
+        ]);
+    }
+    println!("{}", t.to_ascii());
+    println!(
+        "expected shape: at 0% undetected the run is effectively benign (max |AHO| = 0)\n\
+         no matter how much raw corruption; the budget demand grows with the coverage\n\
+         gap; agreement holds whenever observed |AHO| stays within the provisioned α."
+    );
+}

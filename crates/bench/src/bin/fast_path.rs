@@ -1,0 +1,84 @@
+//! **§5.1** — fast consensus vs. Martin/Alvisi.
+//!
+//! \[16\]: fast Byzantine consensus requires at least ⌈(4n+1)/5⌉ correct
+//! processes (≈ at most n/5 Byzantine). `A_{T,E}` decides in 2 rounds
+//! (1 round when inputs are unanimous) while up to ⌊(n−1)/4⌋ processes
+//! per round emit corrupted values — a larger per-round budget, enabled
+//! by per-round/per-link accounting. This binary measures decision
+//! rounds across `n` for the three regimes and tabulates both bounds.
+
+use heardof_analysis::{Summary, Table};
+use heardof_bench::header;
+use heardof_core::{bounds, Ate, AteParams};
+use heardof_adversary::{Budgeted, GoodRounds, SantoroWidmayerBlock, WithSchedule};
+use heardof_sim::Simulator;
+
+fn main() {
+    header(
+        "Fast path — decision latency and the Martin/Alvisi comparison",
+        "A_{T,E} decides in 1 round (unanimous) / 2 rounds (fault-free); fast despite \
+         ⌊(n−1)/4⌋ corrupting processes per round vs. ≈ n/5 for fast Byzantine consensus",
+    );
+
+    let mut t = Table::new([
+        "n",
+        "α = ⌊(n−1)/4⌋",
+        "MA byz budget",
+        "unanimous (r)",
+        "mixed (r)",
+        "corrupted (mean r)",
+        "safe",
+    ]);
+
+    for &n in &[5usize, 9, 13, 20, 29, 40] {
+        let alpha = bounds::ate_max_alpha(n);
+        let params = AteParams::balanced(n, alpha).unwrap();
+        let algo: Ate<u64> = Ate::new(params);
+
+        // Unanimous, fault-free.
+        let unanimous = Simulator::new(algo.clone(), n)
+            .initial_values(vec![7u64; n])
+            .run_until_decided(10)
+            .unwrap();
+        // Mixed, fault-free.
+        let mixed = Simulator::new(algo.clone(), n)
+            .initial_values((0..n).map(|i| i as u64 % 2))
+            .run_until_decided(10)
+            .unwrap();
+        // Rotating corrupters every round, good round every 3rd.
+        let mut rounds = Vec::new();
+        let mut all_safe = true;
+        for seed in 0..20u64 {
+            let outcome = Simulator::new(algo.clone(), n)
+                .adversary(WithSchedule::new(
+                    Budgeted::new(SantoroWidmayerBlock::all_receivers(), alpha),
+                    GoodRounds::every(3),
+                ))
+                .initial_values((0..n).map(|i| (seed + i as u64) % 2))
+                .seed(seed)
+                .run_until_decided(100)
+                .unwrap();
+            all_safe &= outcome.consensus_ok();
+            rounds.push(outcome.last_decision_round().unwrap().get());
+        }
+        let s = Summary::from_counts(rounds.iter().copied()).unwrap();
+
+        t.push_row([
+            n.to_string(),
+            alpha.to_string(),
+            bounds::martin_alvisi_max_byzantine(n).to_string(),
+            unanimous.last_decision_round().unwrap().get().to_string(),
+            mixed.last_decision_round().unwrap().get().to_string(),
+            format!("{:.1}", s.mean),
+            all_safe.to_string(),
+        ]);
+    }
+    println!("{}", t.to_ascii());
+    println!(
+        "expected shape: unanimous = 1, mixed = 2, for every n; the per-round corruption\n\
+         budget α = ⌊(n−1)/4⌋ meets or beats the Martin/Alvisi Byzantine budget ≈ n/5\n\
+         for n ≥ 21 while remaining fast. Note the regimes differ: [16] tolerates\n\
+         *static, permanent* faults; A_{{T,E}} tolerates *dynamic per-round* ones and\n\
+         needs one clean round to decide."
+    );
+}

@@ -1,0 +1,130 @@
+//! **Figure 3** — possible types of corruption.
+//!
+//! The figure classifies models by whether transmissions follow `S_p^r`
+//! and transitions follow `T_p^r`:
+//!
+//! * **benign** — both followed; only omissions,
+//! * **"symmetrical"** — transitions may deviate, transmissions don't:
+//!   everyone receives the *same* wrong value (identical Byzantine),
+//! * **ours** — transmissions may deviate per-link (this paper),
+//! * **Byzantine** — both may deviate (classic model; in HO terms,
+//!   permanent per-link deviation from a fixed set).
+//!
+//! We realize each regime with an adversary and measure its footprint on
+//! the heard-of collections: per-round `max |AHO|`, per-round `|AS(r)|`,
+//! whole-run `|AS|`, and the consensus outcome for `A_{T,E}`.
+
+use heardof_adversary::{
+    Adversary, Budgeted, GoodRounds, RandomCorruption, RandomOmission, StaticByzantine,
+    SymmetricByzantine, WithSchedule,
+};
+use heardof_analysis::Table;
+use heardof_bench::header;
+use heardof_core::{Ate, AteParams};
+use heardof_model::History as _;
+use heardof_model::Round;
+use heardof_sim::Simulator;
+
+fn run_regime(
+    name: &str,
+    n: usize,
+    alpha: u32,
+    adversary: Box<dyn Adversary<u64>>,
+    table: &mut Table,
+) {
+    let params = AteParams::balanced(n, alpha).unwrap();
+    let outcome = Simulator::new(Ate::<u64>::new(params), n)
+        .adversary(adversary)
+        .initial_values((0..n).map(|i| i as u64 % 3))
+        .seed(9)
+        .run_until_decided(300)
+        .unwrap();
+    let rounds = outcome.trace.num_rounds() as u64;
+    let max_aho = (1..=rounds)
+        .map(|r| outcome.trace.round_sets(Round::new(r)).max_aho())
+        .max()
+        .unwrap_or(0);
+    let max_as_round = (1..=rounds)
+        .map(|r| outcome.trace.round_sets(Round::new(r)).altered_span().len())
+        .max()
+        .unwrap_or(0);
+    let global_as = outcome.trace.to_history().altered_span().len();
+    table.push_row([
+        name.to_string(),
+        max_aho.to_string(),
+        max_as_round.to_string(),
+        global_as.to_string(),
+        outcome
+            .last_decision_round()
+            .map(|r| r.get().to_string())
+            .unwrap_or_else(|| "—".into()),
+        outcome.is_safe().to_string(),
+    ]);
+}
+
+fn main() {
+    header(
+        "Figure 3 — possible types of corruption, measured on the HO collections",
+        "benign: AS = ∅; symmetrical: identical wrong values; ours: per-link dynamic \
+         value faults; Byzantine: permanent per-link deviation from a fixed set",
+    );
+    let n = 12;
+    let alpha = 2;
+    let mut table = Table::new([
+        "regime",
+        "max |AHO(p,r)|",
+        "max |AS(r)|",
+        "|AS| (whole run)",
+        "decision round",
+        "safe",
+    ]);
+
+    run_regime(
+        "benign (omissions only)",
+        n,
+        alpha,
+        Box::new(WithSchedule::new(
+            RandomOmission::new(0.4),
+            GoodRounds::every(4),
+        )),
+        &mut table,
+    );
+    run_regime(
+        "symmetrical (identical Byzantine, f=2)",
+        n,
+        alpha,
+        Box::new(WithSchedule::new(
+            SymmetricByzantine::first(n, 2),
+            GoodRounds::every(4),
+        )),
+        &mut table,
+    );
+    run_regime(
+        "ours (dynamic per-link value faults, α=2)",
+        n,
+        alpha,
+        Box::new(WithSchedule::new(
+            Budgeted::new(RandomCorruption::new(alpha, 1.0), alpha),
+            GoodRounds::every(4),
+        )),
+        &mut table,
+    );
+    run_regime(
+        "Byzantine (static corrupter set, f=2)",
+        n,
+        alpha,
+        Box::new(WithSchedule::new(
+            StaticByzantine::first(n, 2),
+            GoodRounds::every(4),
+        )),
+        &mut table,
+    );
+
+    println!("{}", table.to_ascii());
+    println!(
+        "expected shape: benign has |AS| = 0; symmetrical and Byzantine confine AS to the\n\
+         fixed set (|AS| = 2) — permanent/static faults; ours spreads AS across the whole\n\
+         system over time (|AS| → n) while each round stays within α — dynamic faults.\n\
+         All four decide and stay safe under A_{{T,E}} with α = 2."
+    );
+}

@@ -1,0 +1,134 @@
+//! **Supplementary figure** — decision latency vs. fault intensity.
+//!
+//! The paper's liveness analysis is worst-case (predicates either hold
+//! or they don't); a deployment also wants the average view: how fast
+//! do the algorithms decide as corruption probability and good-round
+//! scarcity vary? Two sweeps over seeded runs:
+//!
+//! 1. corruption probability `p` at fixed good-round period,
+//! 2. good-round period at full corruption pressure.
+//!
+//! The shape to expect: `A_{T,E}` often decides *between* good rounds
+//! at low `p` (corruption too weak to keep estimates apart — the
+//! tie-break converges on its own), collapsing to the good-round
+//! cadence as `p → 1`; `U_{T,E,α}` converges through its default-value
+//! pathway and is largely insensitive to `p` until votes get starved.
+
+use heardof_adversary::{Budgeted, GoodRounds, RandomCorruption, WithSchedule};
+use heardof_analysis::{Summary, Table};
+use heardof_bench::header;
+use heardof_core::{Ate, AteParams, Ute, UteParams};
+use heardof_sim::Simulator;
+
+fn main() {
+    header(
+        "Decision latency vs. fault intensity (supplementary)",
+        "liveness predicates are worst-case guarantees; mean latency degrades \
+         gracefully from self-convergence to the good-round cadence",
+    );
+    let n = 12;
+    let alpha = 2;
+    let a_params = AteParams::balanced(n, alpha).unwrap();
+    let u_params = UteParams::tightest(n, alpha).unwrap();
+    let runs = 30u64;
+
+    let mut t1 = Table::new([
+        "corruption p",
+        "A: mean round",
+        "A: p90",
+        "U: mean round",
+        "U: p90",
+    ]);
+    for p in [0.0f64, 0.25, 0.5, 0.75, 1.0] {
+        let mut a_rounds = Vec::new();
+        let mut u_rounds = Vec::new();
+        for seed in 0..runs {
+            let a = Simulator::new(Ate::<u64>::new(a_params), n)
+                .adversary(WithSchedule::new(
+                    Budgeted::new(RandomCorruption::new(alpha, p), alpha),
+                    GoodRounds::every(8),
+                ))
+                .initial_values((0..n).map(|i| (seed + i as u64) % 3))
+                .seed(seed)
+                .run_until_decided(200)
+                .unwrap();
+            assert!(a.consensus_ok());
+            a_rounds.push(a.last_decision_round().unwrap().get());
+            let u = Simulator::new(Ute::new(u_params, 0u64), n)
+                .adversary(WithSchedule::new(
+                    Budgeted::new(RandomCorruption::new(alpha, p), alpha),
+                    GoodRounds::phase_window_every(8),
+                ))
+                .initial_values((0..n).map(|i| (seed + i as u64) % 3))
+                .seed(seed)
+                .run_until_decided(200)
+                .unwrap();
+            assert!(u.consensus_ok());
+            u_rounds.push(u.last_decision_round().unwrap().get());
+        }
+        let sa = Summary::from_counts(a_rounds).unwrap();
+        let su = Summary::from_counts(u_rounds).unwrap();
+        t1.push_row([
+            format!("{p:.2}"),
+            format!("{:.1}", sa.mean),
+            format!("{:.0}", sa.p90),
+            format!("{:.1}", su.mean),
+            format!("{:.0}", su.p90),
+        ]);
+    }
+    println!("{}", t1.to_ascii());
+
+    let mut t2 = Table::new([
+        "good-round period",
+        "A: mean round",
+        "A: p90",
+        "U: mean round",
+        "U: p90",
+    ]);
+    for period in [4u64, 8, 16, 32] {
+        let mut a_rounds = Vec::new();
+        let mut u_rounds = Vec::new();
+        for seed in 0..runs {
+            let a = Simulator::new(Ate::<u64>::new(a_params), n)
+                .adversary(WithSchedule::new(
+                    Budgeted::new(RandomCorruption::new(alpha, 1.0), alpha),
+                    GoodRounds::every(period),
+                ))
+                .initial_values((0..n).map(|i| (seed + i as u64) % 3))
+                .seed(seed)
+                .run_until_decided(300)
+                .unwrap();
+            assert!(a.consensus_ok());
+            a_rounds.push(a.last_decision_round().unwrap().get());
+            let u = Simulator::new(Ute::new(u_params, 0u64), n)
+                .adversary(WithSchedule::new(
+                    Budgeted::new(RandomCorruption::new(alpha, 1.0), alpha),
+                    GoodRounds::phase_window_every(period),
+                ))
+                .initial_values((0..n).map(|i| (seed + i as u64) % 3))
+                .seed(seed)
+                .run_until_decided(300)
+                .unwrap();
+            assert!(u.consensus_ok());
+            u_rounds.push(u.last_decision_round().unwrap().get());
+        }
+        let sa = Summary::from_counts(a_rounds).unwrap();
+        let su = Summary::from_counts(u_rounds).unwrap();
+        t2.push_row([
+            period.to_string(),
+            format!("{:.1}", sa.mean),
+            format!("{:.0}", sa.p90),
+            format!("{:.1}", su.mean),
+            format!("{:.0}", su.p90),
+        ]);
+    }
+    println!("{}", t2.to_ascii());
+    println!(
+        "expected shape: A decides in ~2 rounds fault-free and snaps to the good-round\n\
+         cadence under any corruption pressure (its decisions need near-unanimous\n\
+         receptions). U decides at its phase cadence (~4) regardless of corruption —\n\
+         the ?-vote → default-value pathway converges on its own; only message LOSS\n\
+         (vote starvation, cf. tightness_u) can stall it. Safety holds in every cell\n\
+         (asserted)."
+    );
+}

@@ -1,0 +1,145 @@
+//! **§5.1** — circumventing Santoro/Widmayer.
+//!
+//! \[18\]: agreement is impossible with ⌊n/2⌋ dynamic value transmission
+//! faults per round (block faults). Here: the per-receiver budget is
+//! what matters. We run the exact block pattern *every round forever*
+//! (n faults/round ≥ 2·⌊n/2⌋) and show both algorithms reaching
+//! consensus; then we push the total per-round corruption to the
+//! algorithms' maxima (n·α ≈ n²/4 resp. n²/2) and show safety holding.
+
+use heardof_adversary::{
+    Budgeted, GoodRounds, RandomCorruption, SantoroWidmayerBlock, WithSchedule,
+};
+use heardof_analysis::Table;
+use heardof_bench::header;
+use heardof_core::{bounds, Ate, AteParams, Ute, UteParams};
+use heardof_model::{History as _, Round};
+use heardof_sim::Simulator;
+
+fn main() {
+    header(
+        "Santoro–Widmayer circumvention",
+        "⌊n/2⌋ faults/round is a lower bound for agreement [18]; with per-receiver \
+         budgets and transient liveness, A tolerates n·⌊(n−1)/4⌋ ≈ n²/4 and U \
+         n·⌊(n−1)/2⌋ ≈ n²/2 corrupted messages per round",
+    );
+
+    // Part 1: the exact block scenario of the impossibility proof.
+    let mut t1 = Table::new([
+        "n",
+        "SW bound (faults/round)",
+        "block injects",
+        "A: decided",
+        "A: rounds",
+        "U: decided",
+        "U: rounds",
+    ]);
+    for &n in &[8usize, 16, 24] {
+        let a = Simulator::new(Ate::<u64>::new(AteParams::balanced(n, 1).unwrap()), n)
+            .adversary(WithSchedule::new(
+                SantoroWidmayerBlock::all_receivers(),
+                GoodRounds::every(6),
+            ))
+            .initial_values((0..n).map(|i| i as u64 % 2))
+            .seed(1)
+            .run_until_decided(300)
+            .unwrap();
+        let u = Simulator::new(Ute::new(UteParams::tightest(n, 1).unwrap(), 0u64), n)
+            .adversary(WithSchedule::new(
+                SantoroWidmayerBlock::all_receivers(),
+                GoodRounds::phase_window_every(8),
+            ))
+            .initial_values((0..n).map(|i| i as u64 % 2))
+            .seed(1)
+            .run_until_decided(300)
+            .unwrap();
+        t1.push_row([
+            n.to_string(),
+            bounds::santoro_widmayer_faults_per_round(n).to_string(),
+            n.to_string(),
+            a.consensus_ok().to_string(),
+            a.last_decision_round().map(|r| r.get().to_string()).unwrap_or_default(),
+            u.consensus_ok().to_string(),
+            u.last_decision_round().map(|r| r.get().to_string()).unwrap_or_default(),
+        ]);
+    }
+    println!("{}", t1.to_ascii());
+
+    // Part 2: saturate the budgets — measure actual corrupted messages
+    // per round while safety holds.
+    let mut t2 = Table::new([
+        "alg",
+        "n",
+        "α",
+        "max corrupted/round (measured)",
+        "theoretical n·α",
+        "SW bound",
+        "safe",
+        "decided",
+    ]);
+    for &n in &[8usize, 16, 24] {
+        let alpha = bounds::ate_max_alpha(n);
+        let params = AteParams::balanced(n, alpha).unwrap();
+        let outcome = Simulator::new(Ate::<u64>::new(params), n)
+            .adversary(WithSchedule::new(
+                Budgeted::new(RandomCorruption::new(alpha, 1.0), alpha),
+                GoodRounds::every(6),
+            ))
+            .initial_values((0..n).map(|i| i as u64 % 2))
+            .seed(2)
+            .run_until_decided(300)
+            .unwrap();
+        let max_total = (1..=outcome.trace.num_rounds() as u64)
+            .map(|r| outcome.trace.round_sets(Round::new(r)).total_corruptions())
+            .max()
+            .unwrap_or(0);
+        t2.push_row([
+            "A_{T,E}".to_string(),
+            n.to_string(),
+            alpha.to_string(),
+            max_total.to_string(),
+            bounds::ate_corruptions_per_round(n).to_string(),
+            bounds::santoro_widmayer_faults_per_round(n).to_string(),
+            outcome.is_safe().to_string(),
+            outcome.all_decided().to_string(),
+        ]);
+
+        let alpha = bounds::ute_max_alpha(n);
+        let params = UteParams::tightest(n, alpha).unwrap();
+        // For U, saturate P_α during adversarial rounds; P^{U,safe} is
+        // then violated mid-storm, so we check SAFETY only until the
+        // clean window arrives (transient faults!): corruption pauses
+        // during the windows that P^{U,live} needs anyway.
+        let outcome = Simulator::new(Ute::new(params, 0u64), n)
+            .adversary(WithSchedule::new(
+                Budgeted::new(RandomCorruption::new(alpha, 1.0), alpha),
+                GoodRounds::phase_window_every(8),
+            ))
+            .initial_values((0..n).map(|i| i as u64 % 2))
+            .seed(2)
+            .run_until_decided(300)
+            .unwrap();
+        let max_total = (1..=outcome.trace.num_rounds() as u64)
+            .map(|r| outcome.trace.round_sets(Round::new(r)).total_corruptions())
+            .max()
+            .unwrap_or(0);
+        t2.push_row([
+            "U_{T,E,α}".to_string(),
+            n.to_string(),
+            alpha.to_string(),
+            max_total.to_string(),
+            bounds::ute_corruptions_per_round(n).to_string(),
+            bounds::santoro_widmayer_faults_per_round(n).to_string(),
+            outcome.is_safe().to_string(),
+            outcome.all_decided().to_string(),
+        ]);
+    }
+    println!("{}", t2.to_ascii());
+    println!(
+        "expected shape: measured per-round corruption ≈ n·α, i.e. n²/4 (A) and n²/2 (U)\n\
+         — an order of magnitude beyond ⌊n/2⌋ — with zero safety violations and full\n\
+         termination. No contradiction: the bound assumes permanent per-round faults,\n\
+         while safety here is per-receiver-budgeted and liveness only needs sporadic\n\
+         good rounds."
+    );
+}

@@ -1,0 +1,105 @@
+//! # heardof-bench
+//!
+//! The experiment harness reproducing every table and figure of
+//! *Tolerating Corrupted Communication* (PODC 2007). Each binary in
+//! `src/bin/` regenerates one artifact; `EXPERIMENTS.md` records the
+//! paper claim vs. the measured result. Criterion micro-benchmarks live
+//! in `benches/`.
+//!
+//! | binary | artifact |
+//! |---|---|
+//! | `table1` | Table 1 — predicates/conditions of both algorithms, validated empirically |
+//! | `fig1_liveness_a` | Figure 1 — `P^{A,live}` drives termination |
+//! | `fig2_liveness_u` | Figure 2 — `P^{U,live}` drives termination |
+//! | `fig3_taxonomy` | Figure 3 — the four corruption regimes |
+//! | `resilience` | §3.3/§4.3 — feasible `α` frontiers (`n/4`, `n/2`) |
+//! | `santoro_widmayer` | §5.1 — circumventing the ⌊n/2⌋ bound |
+//! | `fast_path` | §5.1 — fast decisions vs. Martin/Alvisi |
+//! | `lamport_bound` | §5.1 — attaining `N > 2Q + F + 2M` |
+//! | `otr_equivalence` | §3.3 — `A_{2n/3,2n/3}` ≡ OneThirdRule |
+//! | `tightness` | Props 1–2 — witness search at weakened conditions |
+//! | `coverage` | §5.2 — checksum coverage vs. required `α` |
+//! | `byzantine_emulation` | §5.2 — classic settings as predicates |
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use heardof_adversary::{
+    Adversary, BorrowedCorruption, Budgeted, GoodRounds, RandomCorruption, SplitBrain,
+    WithSchedule,
+};
+use heardof_core::UteMsg;
+
+/// Standard `P_α`-respecting adversary families used across experiments,
+/// selected by index (kept stable so tables are comparable).
+pub fn ate_adversary_family(
+    kind: usize,
+    alpha: u32,
+    good_every: u64,
+) -> Box<dyn Adversary<u64>> {
+    let schedule = GoodRounds::every(good_every);
+    match kind % 3 {
+        0 => Box::new(WithSchedule::new(
+            Budgeted::new(RandomCorruption::new(alpha, 1.0), alpha),
+            schedule,
+        )),
+        1 => Box::new(WithSchedule::new(
+            Budgeted::new(BorrowedCorruption::new(alpha, 1.0), alpha),
+            schedule,
+        )),
+        _ => Box::new(WithSchedule::new(
+            Budgeted::new(SplitBrain::new(alpha), alpha),
+            schedule,
+        )),
+    }
+}
+
+/// Adversary family for `U_{T,E,α}` runs (votes message alphabet), with
+/// `P^{U,live}`-shaped good windows.
+pub fn ute_adversary_family(
+    kind: usize,
+    alpha: u32,
+    window_every: u64,
+) -> Box<dyn Adversary<UteMsg<u64>>> {
+    let schedule = GoodRounds::phase_window_every(window_every);
+    match kind % 3 {
+        0 => Box::new(WithSchedule::new(
+            Budgeted::new(RandomCorruption::new(alpha, 1.0), alpha),
+            schedule,
+        )),
+        1 => Box::new(WithSchedule::new(
+            Budgeted::new(BorrowedCorruption::new(alpha, 1.0), alpha),
+            schedule,
+        )),
+        _ => Box::new(WithSchedule::new(
+            Budgeted::new(SplitBrain::new(alpha), alpha),
+            schedule,
+        )),
+    }
+}
+
+/// The adversary-family names matching [`ate_adversary_family`].
+pub const FAMILY_NAMES: [&str; 3] = ["random", "borrowed", "split-brain"];
+
+/// Prints a standard experiment header.
+pub fn header(artifact: &str, claim: &str) {
+    println!("================================================================");
+    println!("{artifact}");
+    println!("paper claim: {claim}");
+    println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_construct() {
+        for k in 0..3 {
+            let a = ate_adversary_family(k, 1, 5);
+            assert!(!a.name().is_empty());
+            let u = ute_adversary_family(k, 1, 6);
+            assert!(!u.name().is_empty());
+        }
+    }
+}

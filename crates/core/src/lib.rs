@@ -1,0 +1,51 @@
+//! # heardof-core
+//!
+//! The consensus algorithms of *Tolerating Corrupted Communication*
+//! (Biely, Charron-Bost, Gaillard, Hutle, Schiper, Widder — PODC 2007):
+//!
+//! * [`Ate`] — the `A_{T,E}` algorithm (§3): always safe under `P_α`
+//!   when `E ≥ n/2 + α` and `T ≥ 2(n + 2α − E)`; terminates under
+//!   `P^{A,live}`; *fast* (1–2 round decisions in good runs); tolerates
+//!   `α < n/4`.
+//! * [`Ute`] — the `U_{T,E,α}` algorithm (§4): phases of two rounds with
+//!   `?`-votes; safe under `P_α ∧ P^{U,safe}` when `E, T ≥ n/2 + α`;
+//!   terminates under `P^{U,live}`; tolerates `α < n/2`.
+//! * [`OneThirdRule`], [`UniformVoting`] — the benign-case baselines of
+//!   the HO model that the two algorithms parametrize, implemented
+//!   independently for differential testing.
+//! * [`AteParams`] / [`UteParams`] — validated threshold parameters with
+//!   solvers for the canonical instantiations of §3.3 / §4.3.
+//! * [`bounds`] — executable forms of the Santoro/Widmayer,
+//!   Martin/Alvisi and Lamport bounds the paper circumvents or attains.
+//!
+//! # Examples
+//!
+//! ```
+//! use heardof_core::{Ate, AteParams};
+//! use heardof_model::HoAlgorithm;
+//!
+//! // n = 10 processes tolerating α = 2 corrupted receptions per process
+//! // per round, with the canonical thresholds of Proposition 4.
+//! let params = AteParams::balanced(10, 2)?;
+//! let algo: Ate<u64> = Ate::new(params);
+//! assert_eq!(algo.name(), "A_{T,E}");
+//! # Ok::<(), heardof_core::ParamError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod ate;
+pub mod bounds;
+mod otr;
+mod params;
+mod thresholds;
+mod uniform_voting;
+mod ute;
+
+pub use ate::{Ate, AteState};
+pub use otr::{OneThirdRule, OtrState};
+pub use params::{AteParams, ParamError, UteParams};
+pub use thresholds::Threshold;
+pub use uniform_voting::{UniformVoting, UvState};
+pub use ute::{Ute, UteMsg, UteState};

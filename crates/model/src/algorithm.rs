@@ -1,0 +1,147 @@
+//! The algorithm interface of the Heard-Of model.
+//!
+//! An algorithm `A` on `Π` is, per process `p` and round `r`, a
+//! *sending function* `S_p^r : states_p × Π → M` and a *transition
+//! function* `T_p^r : states_p × M^Π → states_p` (§2.1). Each round a
+//! process (1) emits messages per `S_p^r`, (2) receives its partial
+//! vector `~µ_p^r`, (3) applies `T_p^r`.
+//!
+//! Crucially there is **no notion of a faulty process**: `T_p^r` is
+//! always followed. All deviation lives in the gap between the intended
+//! and the delivered message matrix.
+
+use crate::ids::{ProcessId, Round};
+use crate::value::ConsensusValue;
+use crate::vector::ReceptionVector;
+use std::fmt::Debug;
+
+/// A round-based algorithm in the Heard-Of model.
+///
+/// Implementations must be deterministic: runs are fully determined by
+/// the initial configuration and the reception vectors, which is what
+/// makes trace recording, replay and exhaustive search possible.
+///
+/// Decisions are *irrevocable*: once [`decision`](HoAlgorithm::decision)
+/// returns `Some(v)` for a state, every subsequent state of that process
+/// must report the same value. The consensus checker verifies this.
+///
+/// # Examples
+///
+/// A trivial "decide your own initial value" algorithm:
+///
+/// ```
+/// use heardof_model::{HoAlgorithm, ProcessId, ReceptionVector, Round};
+///
+/// #[derive(Clone, Debug)]
+/// struct Solo;
+///
+/// impl HoAlgorithm for Solo {
+///     type Value = u64;
+///     type Msg = u64;
+///     type State = u64;
+///
+///     fn name(&self) -> &'static str { "solo" }
+///     fn init(&self, _p: ProcessId, _n: usize, v: u64) -> u64 { v }
+///     fn send(&self, _r: Round, _p: ProcessId, s: &u64, _to: ProcessId) -> u64 { *s }
+///     fn transition(&self, _r: Round, _p: ProcessId, _s: &mut u64,
+///                   _rx: &ReceptionVector<u64>) {}
+///     fn decision(&self, s: &u64) -> Option<u64> { Some(*s) }
+/// }
+/// ```
+pub trait HoAlgorithm: Clone + Send + Sync + 'static {
+    /// The consensus value domain `V`.
+    type Value: ConsensusValue;
+
+    /// The message alphabet `M`.
+    type Msg: Clone + Eq + Debug + Send + 'static;
+
+    /// Per-process state.
+    type State: Clone + Debug + Send + 'static;
+
+    /// A short human-readable name (used in reports and benchmarks).
+    fn name(&self) -> &'static str;
+
+    /// Builds the initial state of process `p` with initial value `v`.
+    fn init(&self, p: ProcessId, n: usize, initial: Self::Value) -> Self::State;
+
+    /// The sending function `S_p^r`: the message `p` sends to `dest` at
+    /// round `r`, given its state at the beginning of the round.
+    fn send(&self, round: Round, p: ProcessId, state: &Self::State, dest: ProcessId) -> Self::Msg;
+
+    /// The transition function `T_p^r`: updates `p`'s state from its
+    /// reception vector.
+    fn transition(
+        &self,
+        round: Round,
+        p: ProcessId,
+        state: &mut Self::State,
+        received: &ReceptionVector<Self::Msg>,
+    );
+
+    /// The decision recorded in `state`, if any.
+    fn decision(&self, state: &Self::State) -> Option<Self::Value>;
+
+    /// `true` if the algorithm broadcasts the same message to every
+    /// destination each round (true for all algorithms in this crate
+    /// family; enables the `Q^r(v)` bookkeeping of the proofs).
+    fn is_broadcast(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug)]
+    struct Echo;
+
+    impl HoAlgorithm for Echo {
+        type Value = u64;
+        type Msg = u64;
+        type State = (u64, Option<u64>);
+
+        fn name(&self) -> &'static str {
+            "echo"
+        }
+
+        fn init(&self, _p: ProcessId, _n: usize, v: u64) -> Self::State {
+            (v, None)
+        }
+
+        fn send(&self, _r: Round, _p: ProcessId, s: &Self::State, _d: ProcessId) -> u64 {
+            s.0
+        }
+
+        fn transition(
+            &self,
+            _r: Round,
+            _p: ProcessId,
+            state: &mut Self::State,
+            rx: &ReceptionVector<u64>,
+        ) {
+            if rx.heard_count() > 0 && state.1.is_none() {
+                state.1 = Some(state.0);
+            }
+        }
+
+        fn decision(&self, s: &Self::State) -> Option<u64> {
+            s.1
+        }
+    }
+
+    #[test]
+    fn trait_is_usable() {
+        let a = Echo;
+        assert_eq!(a.name(), "echo");
+        assert!(a.is_broadcast());
+        let mut s = a.init(ProcessId::new(0), 2, 5);
+        assert_eq!(a.decision(&s), None);
+        let msg = a.send(Round::FIRST, ProcessId::new(0), &s, ProcessId::new(1));
+        assert_eq!(msg, 5);
+        let mut rx = ReceptionVector::new(2);
+        rx.set(ProcessId::new(1), 9);
+        a.transition(Round::FIRST, ProcessId::new(0), &mut s, &rx);
+        assert_eq!(a.decision(&s), Some(5));
+    }
+}

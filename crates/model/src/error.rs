@@ -1,0 +1,77 @@
+//! Error types shared across the workspace.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by model-level constructors and validators.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ModelError {
+    /// A system must have at least one process.
+    EmptySystem,
+    /// A supplied collection did not have one entry per process.
+    WrongArity {
+        /// What was being constructed.
+        what: &'static str,
+        /// Expected length (`n`).
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+    },
+    /// A process id was out of range for the system size.
+    ProcessOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// The system size.
+        n: usize,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::EmptySystem => write!(f, "system must have at least one process"),
+            ModelError::WrongArity {
+                what,
+                expected,
+                actual,
+            } => write!(f, "{what} needs {expected} entries, got {actual}"),
+            ModelError::ProcessOutOfRange { index, n } => {
+                write!(f, "process index {index} out of range for n={n}")
+            }
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            ModelError::EmptySystem.to_string(),
+            "system must have at least one process"
+        );
+        assert_eq!(
+            ModelError::WrongArity {
+                what: "initial values",
+                expected: 3,
+                actual: 1
+            }
+            .to_string(),
+            "initial values needs 3 entries, got 1"
+        );
+        assert_eq!(
+            ModelError::ProcessOutOfRange { index: 9, n: 4 }.to_string(),
+            "process index 9 out of range for n=4"
+        );
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn takes_err<E: Error>(_: E) {}
+        takes_err(ModelError::EmptySystem);
+    }
+}

@@ -1,0 +1,289 @@
+//! Message matrices: everything sent (or delivered) in one round.
+//!
+//! A [`MessageMatrix`] holds one optional message per ordered pair
+//! `(sender, receiver)`. Two matrices describe each round:
+//!
+//! * the **intended** matrix — `cell(q, p) = S_q^r(s_q, p)`, what the
+//!   sending functions prescribe; always fully populated,
+//! * the **delivered** matrix — what actually arrives; `None` cells are
+//!   omissions, cells differing from the intended matrix are value faults.
+//!
+//! The adversary is exactly a function from intended to delivered
+//! matrices. The heard-of sets of the round are *derived* by comparing
+//! the two (see [`crate::sets::RoundSets`]).
+
+use crate::ids::ProcessId;
+use crate::vector::ReceptionVector;
+use std::fmt::Debug;
+
+/// An `n × n` matrix of optional messages, sender-major.
+///
+/// # Examples
+///
+/// ```
+/// use heardof_model::{MessageMatrix, ProcessId};
+///
+/// // Intended matrix: every process broadcasts its own id.
+/// let m = MessageMatrix::from_fn(3, |sender, _receiver| Some(sender.index() as u64));
+/// assert_eq!(m.get(ProcessId::new(1), ProcessId::new(2)), Some(&1));
+/// let rx = m.column(ProcessId::new(0));
+/// assert_eq!(rx.heard_count(), 3);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct MessageMatrix<M> {
+    n: usize,
+    cells: Vec<Option<M>>,
+}
+
+impl<M> MessageMatrix<M> {
+    /// An empty matrix (all cells `None`) for `n` processes.
+    pub fn empty(n: usize) -> Self {
+        let mut cells = Vec::with_capacity(n * n);
+        for _ in 0..n * n {
+            cells.push(None);
+        }
+        MessageMatrix { n, cells }
+    }
+
+    /// Builds a matrix cell-by-cell from a closure over `(sender, receiver)`.
+    pub fn from_fn<F>(n: usize, mut f: F) -> Self
+    where
+        F: FnMut(ProcessId, ProcessId) -> Option<M>,
+    {
+        let mut m = Self::empty(n);
+        for s in 0..n {
+            for r in 0..n {
+                let sender = ProcessId::new(s as u32);
+                let receiver = ProcessId::new(r as u32);
+                m.cells[s * n + r] = f(sender, receiver);
+            }
+        }
+        m
+    }
+
+    /// The system size `n`.
+    pub fn universe(&self) -> usize {
+        self.n
+    }
+
+    fn idx(&self, sender: ProcessId, receiver: ProcessId) -> usize {
+        debug_assert!(sender.index() < self.n && receiver.index() < self.n);
+        sender.index() * self.n + receiver.index()
+    }
+
+    /// The message in transit from `sender` to `receiver`, if any.
+    pub fn get(&self, sender: ProcessId, receiver: ProcessId) -> Option<&M> {
+        self.cells[self.idx(sender, receiver)].as_ref()
+    }
+
+    /// Sets the cell `(sender, receiver)`.
+    pub fn set(&mut self, sender: ProcessId, receiver: ProcessId, msg: M) {
+        let i = self.idx(sender, receiver);
+        self.cells[i] = Some(msg);
+    }
+
+    /// Clears the cell `(sender, receiver)` (drops the message), returning
+    /// the previous contents.
+    pub fn clear(&mut self, sender: ProcessId, receiver: ProcessId) -> Option<M> {
+        let i = self.idx(sender, receiver);
+        self.cells[i].take()
+    }
+
+    /// Iterates over all populated cells as `(sender, receiver, message)`.
+    pub fn iter(&self) -> impl Iterator<Item = (ProcessId, ProcessId, &M)> {
+        let n = self.n;
+        self.cells.iter().enumerate().filter_map(move |(i, m)| {
+            m.as_ref().map(|m| {
+                (
+                    ProcessId::new((i / n) as u32),
+                    ProcessId::new((i % n) as u32),
+                    m,
+                )
+            })
+        })
+    }
+
+    /// Number of populated cells.
+    pub fn message_count(&self) -> usize {
+        self.cells.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Iterates over the messages sent by one process (its matrix row).
+    pub fn row(&self, sender: ProcessId) -> impl Iterator<Item = (ProcessId, Option<&M>)> {
+        let base = sender.index() * self.n;
+        self.cells[base..base + self.n]
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (ProcessId::new(i as u32), m.as_ref()))
+    }
+}
+
+impl<M: Clone> MessageMatrix<M> {
+    /// Extracts the reception vector of `receiver` (its matrix column).
+    ///
+    /// This is the partial vector `~µ_p^r` when applied to a delivered
+    /// matrix.
+    pub fn column(&self, receiver: ProcessId) -> ReceptionVector<M> {
+        let mut rx = ReceptionVector::new(self.n);
+        for s in 0..self.n {
+            let sender = ProcessId::new(s as u32);
+            if let Some(m) = self.get(sender, receiver) {
+                rx.set(sender, m.clone());
+            }
+        }
+        rx
+    }
+
+    /// Applies `mutate` to the cell `(sender, receiver)` if populated,
+    /// replacing its contents. Returns `true` if a message was present.
+    pub fn mutate_cell<F>(&mut self, sender: ProcessId, receiver: ProcessId, mutate: F) -> bool
+    where
+        F: FnOnce(&M) -> M,
+    {
+        let i = self.idx(sender, receiver);
+        if let Some(m) = &self.cells[i] {
+            let new = mutate(m);
+            self.cells[i] = Some(new);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl<M: Eq> MessageMatrix<M> {
+    /// Counts cells where `self` and `intended` both hold a message but the
+    /// contents differ — the total number of value faults in the round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn corruption_count(&self, intended: &MessageMatrix<M>) -> usize {
+        assert_eq!(self.n, intended.n, "matrices from different universes");
+        self.cells
+            .iter()
+            .zip(&intended.cells)
+            .filter(|(d, i)| matches!((d, i), (Some(d), Some(i)) if d != i))
+            .count()
+    }
+}
+
+impl<M: Debug> Debug for MessageMatrix<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "MessageMatrix(n={})", self.n)?;
+        for s in 0..self.n {
+            write!(f, "  from p{s}: [")?;
+            for r in 0..self.n {
+                if r > 0 {
+                    write!(f, ", ")?;
+                }
+                match self.get(ProcessId::new(s as u32), ProcessId::new(r as u32)) {
+                    Some(m) => write!(f, "{m:?}")?,
+                    None => write!(f, "∅")?,
+                }
+            }
+            writeln!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn from_fn_populates_all() {
+        let m = MessageMatrix::from_fn(3, |s, r| Some((s.index() * 10 + r.index()) as u64));
+        assert_eq!(m.message_count(), 9);
+        assert_eq!(m.get(pid(2), pid(1)), Some(&21));
+    }
+
+    #[test]
+    fn empty_has_no_messages() {
+        let m: MessageMatrix<u64> = MessageMatrix::empty(4);
+        assert_eq!(m.message_count(), 0);
+        assert_eq!(m.get(pid(0), pid(0)), None);
+    }
+
+    #[test]
+    fn set_clear_roundtrip() {
+        let mut m = MessageMatrix::empty(2);
+        m.set(pid(0), pid(1), 5u64);
+        assert_eq!(m.get(pid(0), pid(1)), Some(&5));
+        assert_eq!(m.clear(pid(0), pid(1)), Some(5));
+        assert_eq!(m.get(pid(0), pid(1)), None);
+        assert_eq!(m.clear(pid(0), pid(1)), None);
+    }
+
+    #[test]
+    fn column_extracts_reception_vector() {
+        let m = MessageMatrix::from_fn(3, |s, r| {
+            // p1 drops everything it would send to p0.
+            if s == pid(1) && r == pid(0) {
+                None
+            } else {
+                Some(s.index() as u64)
+            }
+        });
+        let rx = m.column(pid(0));
+        assert_eq!(rx.heard_count(), 2);
+        assert_eq!(rx.get(pid(0)), Some(&0));
+        assert_eq!(rx.get(pid(1)), None);
+        assert_eq!(rx.get(pid(2)), Some(&2));
+    }
+
+    #[test]
+    fn mutate_cell() {
+        let mut m = MessageMatrix::from_fn(2, |_, _| Some(1u64));
+        assert!(m.mutate_cell(pid(0), pid(1), |v| v + 10));
+        assert_eq!(m.get(pid(0), pid(1)), Some(&11));
+        m.clear(pid(1), pid(0));
+        assert!(!m.mutate_cell(pid(1), pid(0), |v| v + 10));
+    }
+
+    #[test]
+    fn corruption_count_compares_against_intended() {
+        let intended = MessageMatrix::from_fn(3, |_, _| Some(1u64));
+        let mut delivered = intended.clone();
+        delivered.mutate_cell(pid(0), pid(1), |_| 9);
+        delivered.mutate_cell(pid(2), pid(2), |_| 9);
+        delivered.clear(pid(1), pid(1)); // a drop, not a corruption
+        assert_eq!(delivered.corruption_count(&intended), 2);
+        assert_eq!(intended.corruption_count(&intended), 0);
+    }
+
+    #[test]
+    fn row_iterates_receivers() {
+        let m = MessageMatrix::from_fn(3, |s, r| {
+            if r == pid(1) {
+                None
+            } else {
+                Some(s.index() as u64)
+            }
+        });
+        let row: Vec<_> = m.row(pid(2)).map(|(r, m)| (r.index(), m.copied())).collect();
+        assert_eq!(row, vec![(0, Some(2)), (1, None), (2, Some(2))]);
+    }
+
+    #[test]
+    fn iter_yields_triples() {
+        let mut m = MessageMatrix::empty(2);
+        m.set(pid(0), pid(1), 3u64);
+        m.set(pid(1), pid(0), 4u64);
+        let cells: Vec<_> = m.iter().map(|(s, r, v)| (s.index(), r.index(), *v)).collect();
+        assert_eq!(cells, vec![(0, 1, 3), (1, 0, 4)]);
+    }
+
+    #[test]
+    fn debug_renders_grid() {
+        let m = MessageMatrix::from_fn(2, |s, _| Some(s.index() as u64));
+        let s = format!("{m:?}");
+        assert!(s.contains("from p0"));
+        assert!(s.contains("from p1"));
+    }
+}

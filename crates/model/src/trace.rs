@@ -1,0 +1,291 @@
+//! Full run traces: everything the simulator observed.
+//!
+//! A [`RunTrace`] records, per round, the intended and delivered message
+//! matrices (optionally), the derived [`RoundSets`], per-process decision
+//! snapshots and (optionally) post-round states. Traces implement
+//! [`History`] so communication predicates evaluate on them directly.
+
+use crate::algorithm::HoAlgorithm;
+use crate::ids::{ProcessId, Round};
+use crate::matrix::MessageMatrix;
+use crate::sets::{CommHistory, History, RoundSets};
+use crate::value::ValueBearing;
+
+/// How much detail the trace keeps per round.
+///
+/// Sets-only traces are enough for predicate checking and consensus
+/// verification; full traces additionally support the `R_p^r(v)` /
+/// `Q^r(v)` bookkeeping used by the lemma-level tests.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum TraceLevel {
+    /// Record matrices, states and sets (default).
+    #[default]
+    Full,
+    /// Record only the HO/SHO sets and decisions.
+    SetsOnly,
+}
+
+/// Matrices and states of one round (kept only at [`TraceLevel::Full`]).
+#[derive(Clone, Debug)]
+pub struct RoundDetail<A: HoAlgorithm> {
+    /// What the sending functions prescribed.
+    pub intended: MessageMatrix<A::Msg>,
+    /// What the adversary delivered.
+    pub delivered: MessageMatrix<A::Msg>,
+    /// Per-process states after the round's transitions.
+    pub states_after: Vec<A::State>,
+}
+
+/// One recorded round.
+#[derive(Clone, Debug)]
+pub struct RoundRecord<A: HoAlgorithm> {
+    /// The round number.
+    pub round: Round,
+    /// Derived heard-of sets.
+    pub sets: RoundSets,
+    /// Decision snapshot after the round (`decisions[p]`).
+    pub decisions: Vec<Option<A::Value>>,
+    /// Full matrices and states, if recorded.
+    pub detail: Option<RoundDetail<A>>,
+}
+
+impl<A: HoAlgorithm> RoundRecord<A> {
+    /// `|Q^r(v)|`: how many processes *ought to send* `v` this round,
+    /// computed from the intended matrix. Since the algorithms broadcast,
+    /// the count is receiver-independent; we count senders whose intended
+    /// message to receiver 0 carries `v`.
+    ///
+    /// Returns `None` if the trace was not recorded at full detail.
+    pub fn q_count(&self, v: &A::Value) -> Option<usize>
+    where
+        A::Msg: ValueBearing<A::Value>,
+    {
+        let detail = self.detail.as_ref()?;
+        let n = detail.intended.universe();
+        let probe = ProcessId::new(0);
+        let mut count = 0;
+        for s in 0..n {
+            if let Some(m) = detail.intended.get(ProcessId::new(s as u32), probe) {
+                if m.value() == Some(v) {
+                    count += 1;
+                }
+            }
+        }
+        Some(count)
+    }
+
+    /// `|R_p^r(v)|`: how many messages carrying `v` process `p` received
+    /// this round.
+    ///
+    /// Returns `None` if the trace was not recorded at full detail.
+    pub fn r_count(&self, p: ProcessId, v: &A::Value) -> Option<usize>
+    where
+        A::Msg: ValueBearing<A::Value>,
+    {
+        let detail = self.detail.as_ref()?;
+        Some(detail.delivered.column(p).count_value(v))
+    }
+}
+
+/// The complete record of a finite run prefix.
+#[derive(Clone, Debug)]
+pub struct RunTrace<A: HoAlgorithm> {
+    n: usize,
+    initial: Vec<A::Value>,
+    records: Vec<RoundRecord<A>>,
+}
+
+impl<A: HoAlgorithm> RunTrace<A> {
+    /// An empty trace for `n` processes with the given initial values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial.len() != n`.
+    pub fn new(n: usize, initial: Vec<A::Value>) -> Self {
+        assert_eq!(initial.len(), n, "one initial value per process");
+        RunTrace {
+            n,
+            initial,
+            records: Vec::new(),
+        }
+    }
+
+    /// The initial configuration.
+    pub fn initial_values(&self) -> &[A::Value] {
+        &self.initial
+    }
+
+    /// Appends a round record.
+    pub fn push(&mut self, record: RoundRecord<A>) {
+        debug_assert_eq!(record.sets.universe(), self.n);
+        debug_assert_eq!(record.decisions.len(), self.n);
+        self.records.push(record);
+    }
+
+    /// All recorded rounds, in order.
+    pub fn rounds(&self) -> &[RoundRecord<A>] {
+        &self.records
+    }
+
+    /// The record of round `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` exceeds the recorded prefix.
+    pub fn round(&self, r: Round) -> &RoundRecord<A> {
+        &self.records[r.index()]
+    }
+
+    /// The decision of `p` at the end of the trace, if any.
+    pub fn final_decision(&self, p: ProcessId) -> Option<&A::Value> {
+        self.records
+            .last()
+            .and_then(|rec| rec.decisions[p.index()].as_ref())
+    }
+
+    /// The first round at which `p` had decided, if ever.
+    pub fn decision_round(&self, p: ProcessId) -> Option<Round> {
+        self.records
+            .iter()
+            .find(|rec| rec.decisions[p.index()].is_some())
+            .map(|rec| rec.round)
+    }
+
+    /// `true` once every process has decided.
+    pub fn all_decided(&self) -> bool {
+        match self.records.last() {
+            Some(rec) => rec.decisions.iter().all(|d| d.is_some()),
+            None => false,
+        }
+    }
+
+    /// Number of processes that have decided by the end of the trace.
+    pub fn decided_count(&self) -> usize {
+        match self.records.last() {
+            Some(rec) => rec.decisions.iter().filter(|d| d.is_some()).count(),
+            None => 0,
+        }
+    }
+
+    /// Copies the HO/SHO collections into a standalone [`CommHistory`].
+    pub fn to_history(&self) -> CommHistory {
+        let mut h = CommHistory::new(self.n);
+        for rec in &self.records {
+            h.push(rec.sets.clone());
+        }
+        h
+    }
+}
+
+impl<A: HoAlgorithm> History for RunTrace<A> {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn num_rounds(&self) -> usize {
+        self.records.len()
+    }
+
+    fn round_sets(&self, r: Round) -> &RoundSets {
+        &self.records[r.index()].sets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::ReceptionVector;
+
+    #[derive(Clone, Debug)]
+    struct Fixed;
+
+    impl HoAlgorithm for Fixed {
+        type Value = u64;
+        type Msg = u64;
+        type State = u64;
+
+        fn name(&self) -> &'static str {
+            "fixed"
+        }
+        fn init(&self, _p: ProcessId, _n: usize, v: u64) -> u64 {
+            v
+        }
+        fn send(&self, _r: Round, _p: ProcessId, s: &u64, _d: ProcessId) -> u64 {
+            *s
+        }
+        fn transition(
+            &self,
+            _r: Round,
+            _p: ProcessId,
+            _s: &mut u64,
+            _rx: &ReceptionVector<u64>,
+        ) {
+        }
+        fn decision(&self, _s: &u64) -> Option<u64> {
+            None
+        }
+    }
+
+    fn record_with_decisions(
+        n: usize,
+        round: u64,
+        decisions: Vec<Option<u64>>,
+        detail: bool,
+    ) -> RoundRecord<Fixed> {
+        let intended = MessageMatrix::from_fn(n, |s, _| Some(s.index() as u64));
+        let delivered = intended.clone();
+        let sets = RoundSets::from_matrices(&intended, &delivered);
+        RoundRecord {
+            round: Round::new(round),
+            sets,
+            decisions,
+            detail: detail.then(|| RoundDetail {
+                intended,
+                delivered,
+                states_after: vec![0; n],
+            }),
+        }
+    }
+
+    #[test]
+    fn decision_bookkeeping() {
+        let mut t: RunTrace<Fixed> = RunTrace::new(2, vec![1, 2]);
+        assert!(!t.all_decided());
+        t.push(record_with_decisions(2, 1, vec![None, Some(2)], false));
+        t.push(record_with_decisions(2, 2, vec![Some(2), Some(2)], false));
+        assert!(t.all_decided());
+        assert_eq!(t.decided_count(), 2);
+        assert_eq!(t.decision_round(ProcessId::new(1)), Some(Round::new(1)));
+        assert_eq!(t.decision_round(ProcessId::new(0)), Some(Round::new(2)));
+        assert_eq!(t.final_decision(ProcessId::new(0)), Some(&2));
+        assert_eq!(t.num_rounds(), 2);
+    }
+
+    #[test]
+    fn q_and_r_counts_need_detail() {
+        let mut t: RunTrace<Fixed> = RunTrace::new(3, vec![0, 1, 2]);
+        t.push(record_with_decisions(3, 1, vec![None, None, None], false));
+        assert_eq!(t.round(Round::FIRST).q_count(&0), None);
+
+        let mut t2: RunTrace<Fixed> = RunTrace::new(3, vec![0, 1, 2]);
+        t2.push(record_with_decisions(3, 1, vec![None, None, None], true));
+        // Each sender broadcasts its own id: exactly one process sends 0.
+        assert_eq!(t2.round(Round::FIRST).q_count(&0), Some(1));
+        assert_eq!(t2.round(Round::FIRST).r_count(ProcessId::new(0), &2), Some(1));
+    }
+
+    #[test]
+    fn to_history_roundtrip() {
+        let mut t: RunTrace<Fixed> = RunTrace::new(2, vec![0, 0]);
+        t.push(record_with_decisions(2, 1, vec![None, None], false));
+        let h = t.to_history();
+        assert_eq!(h.num_rounds(), 1);
+        assert!(h.round_sets(Round::FIRST).is_benign());
+    }
+
+    #[test]
+    #[should_panic(expected = "one initial value per process")]
+    fn mismatched_initials_panic() {
+        let _: RunTrace<Fixed> = RunTrace::new(3, vec![1]);
+    }
+}

@@ -1,0 +1,256 @@
+//! Consensus values and generic corruption support.
+//!
+//! The consensus problem is posed over a non-empty, totally ordered set `V`.
+//! The total order matters: the `A_{T,E}` algorithm's update rule picks the
+//! *smallest most often received* value, so ties are broken by `Ord`.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::HashMap;
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// A value that consensus can be reached on.
+///
+/// This is a blanket-implemented alias for the bounds the algorithms need:
+/// a totally ordered, hashable, cloneable, printable type. `u64`, `i32`,
+/// `String`, `bool`, … all qualify.
+///
+/// # Examples
+///
+/// ```
+/// fn assert_value<V: heardof_model::ConsensusValue>() {}
+/// assert_value::<u64>();
+/// assert_value::<String>();
+/// ```
+pub trait ConsensusValue: Clone + Eq + Ord + Hash + Debug + Send + Sync + 'static {}
+
+impl<T: Clone + Eq + Ord + Hash + Debug + Send + Sync + 'static> ConsensusValue for T {}
+
+/// Types whose instances can be replaced by a *different*, type-correct
+/// value — the raw material of a value fault.
+///
+/// The model makes no assumption about *why* a received message differs
+/// from the sent one; `corrupted` produces an arbitrary plausible
+/// replacement. Implementations must return a value different from `self`
+/// whenever the type has more than one inhabitant.
+///
+/// # Examples
+///
+/// ```
+/// use heardof_model::Corruptible;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let original = 42u64;
+/// let corrupted = original.corrupted(&mut rng);
+/// assert_ne!(original, corrupted);
+/// ```
+pub trait Corruptible: Sized {
+    /// Returns a corrupted variant of `self`, different from `self` when
+    /// the type permits.
+    fn corrupted(&self, rng: &mut StdRng) -> Self;
+}
+
+impl Corruptible for u64 {
+    fn corrupted(&self, rng: &mut StdRng) -> Self {
+        // Small perturbations keep corrupted values plausible (near the
+        // protocol's real value domain) while remaining distinct.
+        let delta = rng.gen_range(1..=3u64);
+        if rng.gen_bool(0.5) {
+            self.wrapping_add(delta)
+        } else {
+            self.wrapping_sub(delta)
+        }
+    }
+}
+
+impl Corruptible for u32 {
+    fn corrupted(&self, rng: &mut StdRng) -> Self {
+        let delta = rng.gen_range(1..=3u32);
+        if rng.gen_bool(0.5) {
+            self.wrapping_add(delta)
+        } else {
+            self.wrapping_sub(delta)
+        }
+    }
+}
+
+impl Corruptible for i64 {
+    fn corrupted(&self, rng: &mut StdRng) -> Self {
+        let delta = rng.gen_range(1..=3i64);
+        if rng.gen_bool(0.5) {
+            self.wrapping_add(delta)
+        } else {
+            self.wrapping_sub(delta)
+        }
+    }
+}
+
+impl Corruptible for bool {
+    fn corrupted(&self, _rng: &mut StdRng) -> Self {
+        !self
+    }
+}
+
+impl Corruptible for String {
+    fn corrupted(&self, rng: &mut StdRng) -> Self {
+        let mut s = self.clone();
+        let garbage = char::from(b'a' + rng.gen_range(0..26u8));
+        s.push(garbage);
+        s
+    }
+}
+
+impl<T: Corruptible + Clone> Corruptible for Option<T> {
+    fn corrupted(&self, rng: &mut StdRng) -> Self {
+        match self {
+            Some(v) => Some(v.corrupted(rng)),
+            None => None,
+        }
+    }
+}
+
+/// Messages that carry a consensus value, used by analysis code to compute
+/// the sets `R_p^r(v)` and `Q^r(v)` of the paper's proofs.
+///
+/// Returns `None` for messages that carry no value (e.g. a `?` vote).
+pub trait ValueBearing<V> {
+    /// The consensus value this message carries, if any.
+    fn value(&self) -> Option<&V>;
+}
+
+impl ValueBearing<u64> for u64 {
+    fn value(&self) -> Option<&u64> {
+        Some(self)
+    }
+}
+
+impl ValueBearing<u32> for u32 {
+    fn value(&self) -> Option<&u32> {
+        Some(self)
+    }
+}
+
+impl ValueBearing<i64> for i64 {
+    fn value(&self) -> Option<&i64> {
+        Some(self)
+    }
+}
+
+impl ValueBearing<String> for String {
+    fn value(&self) -> Option<&String> {
+        Some(self)
+    }
+}
+
+/// The *smallest most often received* value among `values`, the update rule
+/// of `A_{T,E}` (Algorithm 1, line 8).
+///
+/// Returns `None` iff the iterator is empty. Frequencies are compared
+/// first; among equally frequent values, the smallest (per `Ord`) wins.
+///
+/// # Examples
+///
+/// ```
+/// use heardof_model::smallest_most_frequent;
+///
+/// // 7 appears twice, 3 appears twice → tie broken toward 3.
+/// let v = smallest_most_frequent([7u64, 3, 7, 3, 9]);
+/// assert_eq!(v, Some(3));
+/// assert_eq!(smallest_most_frequent(Vec::<u64>::new()), None);
+/// ```
+pub fn smallest_most_frequent<V, I>(values: I) -> Option<V>
+where
+    V: ConsensusValue,
+    I: IntoIterator<Item = V>,
+{
+    let mut counts: HashMap<V, usize> = HashMap::new();
+    for v in values {
+        *counts.entry(v).or_insert(0) += 1;
+    }
+    counts
+        .into_iter()
+        .max_by(|(va, ca), (vb, cb)| ca.cmp(cb).then_with(|| vb.cmp(va)))
+        .map(|(v, _)| v)
+}
+
+/// Counts occurrences of each distinct value, returning `(value, count)`
+/// pairs sorted by value.
+///
+/// # Examples
+///
+/// ```
+/// use heardof_model::value_histogram;
+///
+/// let h = value_histogram([2u64, 1, 2]);
+/// assert_eq!(h, vec![(1, 1), (2, 2)]);
+/// ```
+pub fn value_histogram<V, I>(values: I) -> Vec<(V, usize)>
+where
+    V: ConsensusValue,
+    I: IntoIterator<Item = V>,
+{
+    let mut counts: HashMap<V, usize> = HashMap::new();
+    for v in values {
+        *counts.entry(v).or_insert(0) += 1;
+    }
+    let mut out: Vec<(V, usize)> = counts.into_iter().collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn smallest_most_frequent_prefers_frequency() {
+        assert_eq!(smallest_most_frequent([1u64, 2, 2, 3]), Some(2));
+    }
+
+    #[test]
+    fn smallest_most_frequent_breaks_ties_low() {
+        assert_eq!(smallest_most_frequent([5u64, 1, 5, 1]), Some(1));
+        assert_eq!(smallest_most_frequent([9u64]), Some(9));
+    }
+
+    #[test]
+    fn smallest_most_frequent_empty() {
+        assert_eq!(smallest_most_frequent(Vec::<u64>::new()), None);
+    }
+
+    #[test]
+    fn histogram_sorted_by_value() {
+        let h = value_histogram([3u64, 1, 3, 3, 1]);
+        assert_eq!(h, vec![(1, 2), (3, 3)]);
+    }
+
+    #[test]
+    fn corruptible_changes_values() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for v in [0u64, 1, 42, u64::MAX] {
+            for _ in 0..20 {
+                assert_ne!(v.corrupted(&mut rng), v);
+            }
+        }
+        assert_eq!(true.corrupted(&mut rng), false);
+        assert_eq!(false.corrupted(&mut rng), true);
+        let s = "abc".to_string();
+        assert_ne!(s.corrupted(&mut rng), s);
+    }
+
+    #[test]
+    fn corruptible_option_preserves_none() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let none: Option<u64> = None;
+        assert_eq!(none.corrupted(&mut rng), None);
+        assert_ne!(Some(5u64).corrupted(&mut rng), Some(5u64));
+    }
+
+    #[test]
+    fn value_bearing_identity() {
+        assert_eq!(ValueBearing::<u64>::value(&7u64), Some(&7u64));
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests for message matrices and heard-of set derivation.
+
+use heardof_model::{all_processes, MessageMatrix, ProcessId, RoundSets};
+use proptest::prelude::*;
+
+/// An arbitrary "delivered" matrix derived from a full intended matrix:
+/// each cell is kept, dropped, or corrupted.
+fn arb_deliveries(n: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..3, n * n)
+}
+
+fn apply(n: usize, intended: &MessageMatrix<u64>, actions: &[u8]) -> MessageMatrix<u64> {
+    let mut delivered = intended.clone();
+    for s in 0..n {
+        for r in 0..n {
+            let sender = ProcessId::new(s as u32);
+            let receiver = ProcessId::new(r as u32);
+            match actions[s * n + r] {
+                1 => {
+                    delivered.clear(sender, receiver);
+                }
+                2 => {
+                    delivered.mutate_cell(sender, receiver, |v| v + 1000);
+                }
+                _ => {}
+            }
+        }
+    }
+    delivered
+}
+
+proptest! {
+    #[test]
+    fn derived_sets_match_actions(n in 2usize..10, actions_seed in arb_deliveries(10)) {
+        let intended = MessageMatrix::from_fn(n, |s, r| {
+            Some((s.index() * 31 + r.index()) as u64)
+        });
+        let actions = &actions_seed[..n * n];
+        let delivered = apply(n, &intended, actions);
+        let sets = RoundSets::from_matrices(&intended, &delivered);
+
+        for p in all_processes(n) {
+            for q in all_processes(n) {
+                let action = actions[q.index() * n + p.index()];
+                match action {
+                    1 => {
+                        // dropped: not heard at all
+                        prop_assert!(!sets.ho(p).contains(q));
+                        prop_assert!(!sets.sho(p).contains(q));
+                    }
+                    2 => {
+                        // corrupted: heard but not safely
+                        prop_assert!(sets.ho(p).contains(q));
+                        prop_assert!(!sets.sho(p).contains(q));
+                        prop_assert!(sets.aho(p).contains(q));
+                    }
+                    _ => {
+                        prop_assert!(sets.ho(p).contains(q));
+                        prop_assert!(sets.sho(p).contains(q));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corruption_count_equals_total_aho(n in 2usize..10, actions_seed in arb_deliveries(10)) {
+        let intended = MessageMatrix::from_fn(n, |s, _| Some(s.index() as u64));
+        let actions = &actions_seed[..n * n];
+        let delivered = apply(n, &intended, actions);
+        let sets = RoundSets::from_matrices(&intended, &delivered);
+        prop_assert_eq!(
+            delivered.corruption_count(&intended),
+            sets.total_corruptions()
+        );
+    }
+
+    #[test]
+    fn column_roundtrips_cells(n in 1usize..12) {
+        let m = MessageMatrix::from_fn(n, |s, r| {
+            // A sparse-ish pattern.
+            if (s.index() + r.index()) % 3 == 0 {
+                None
+            } else {
+                Some((s.index() * 100 + r.index()) as u64)
+            }
+        });
+        for p in all_processes(n) {
+            let col = m.column(p);
+            for q in all_processes(n) {
+                prop_assert_eq!(col.get(q), m.get(q, p));
+            }
+            prop_assert_eq!(col.heard_count(), col.support().len());
+        }
+    }
+
+    #[test]
+    fn kernel_is_intersection_of_ho(n in 2usize..9, actions_seed in arb_deliveries(9)) {
+        let intended = MessageMatrix::from_fn(n, |_, _| Some(7u64));
+        let actions = &actions_seed[..n * n];
+        let delivered = apply(n, &intended, actions);
+        let sets = RoundSets::from_matrices(&intended, &delivered);
+        let kernel = sets.kernel();
+        for q in all_processes(n) {
+            let heard_by_all = all_processes(n).all(|p| sets.ho(p).contains(q));
+            prop_assert_eq!(kernel.contains(q), heard_by_all);
+        }
+        let safe_kernel = sets.safe_kernel();
+        prop_assert!(safe_kernel.is_subset(&kernel));
+    }
+}

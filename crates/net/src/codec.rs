@@ -1,0 +1,367 @@
+//! Wire encoding: length-prefixed frames with CRC-32 integrity.
+//!
+//! Frame layout (all integers little-endian):
+//!
+//! ```text
+//! ┌───────────┬────────────┬──────────┬─────────────┬─────────────┬──────────┐
+//! │ round u64 │ sender u32 │ copy u8  │ len u32     │ payload …   │ crc u32  │
+//! └───────────┴────────────┴──────────┴─────────────┴─────────────┴──────────┘
+//! ```
+//!
+//! The CRC covers everything before it. A receiver drops frames whose
+//! CRC fails — turning a detected corruption into a benign omission.
+//! Only corruptions that *also fix the CRC* (modelled by the link's
+//! `undetected_prob`) survive as value faults.
+
+use crate::crc::crc32;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use heardof_core::UteMsg;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while decoding wire data.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CodecError {
+    /// The buffer ended before the value was complete.
+    Truncated,
+    /// The frame's CRC-32 did not match its contents.
+    CrcMismatch {
+        /// CRC carried by the frame.
+        expected: u32,
+        /// CRC computed over the received bytes.
+        actual: u32,
+    },
+    /// An enum tag byte had no corresponding variant.
+    BadTag(u8),
+    /// A string payload was not valid UTF-8.
+    BadUtf8,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "wire data ended prematurely"),
+            CodecError::CrcMismatch { expected, actual } => {
+                write!(f, "crc mismatch: frame says {expected:#010x}, contents hash to {actual:#010x}")
+            }
+            CodecError::BadTag(t) => write!(f, "unknown enum tag {t}"),
+            CodecError::BadUtf8 => write!(f, "string payload is not valid UTF-8"),
+        }
+    }
+}
+
+impl Error for CodecError {}
+
+/// Types that can be carried as frame payloads.
+pub trait WireMessage: Sized {
+    /// Appends the encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut BytesMut);
+
+    /// Decodes a value from the front of `buf`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] if the buffer is truncated or structurally invalid.
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError>;
+}
+
+macro_rules! wire_int {
+    ($ty:ty, $put:ident, $get:ident, $len:expr) => {
+        impl WireMessage for $ty {
+            fn encode(&self, buf: &mut BytesMut) {
+                buf.$put(*self);
+            }
+
+            fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+                if buf.remaining() < $len {
+                    return Err(CodecError::Truncated);
+                }
+                Ok(buf.$get())
+            }
+        }
+    };
+}
+
+wire_int!(u64, put_u64_le, get_u64_le, 8);
+wire_int!(u32, put_u32_le, get_u32_le, 4);
+wire_int!(i64, put_i64_le, get_i64_le, 8);
+
+impl WireMessage for bool {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u8(u8::from(*self));
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        if buf.remaining() < 1 {
+            return Err(CodecError::Truncated);
+        }
+        match buf.get_u8() {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(CodecError::BadTag(t)),
+        }
+    }
+}
+
+impl WireMessage for String {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u32_le(self.len() as u32);
+        buf.put_slice(self.as_bytes());
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        if buf.remaining() < 4 {
+            return Err(CodecError::Truncated);
+        }
+        let len = buf.get_u32_le() as usize;
+        if buf.remaining() < len {
+            return Err(CodecError::Truncated);
+        }
+        let bytes = buf.split_to(len);
+        String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::BadUtf8)
+    }
+}
+
+impl<V: WireMessage> WireMessage for Option<V> {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            None => buf.put_u8(0),
+            Some(v) => {
+                buf.put_u8(1);
+                v.encode(buf);
+            }
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        if buf.remaining() < 1 {
+            return Err(CodecError::Truncated);
+        }
+        match buf.get_u8() {
+            0 => Ok(None),
+            1 => Ok(Some(V::decode(buf)?)),
+            t => Err(CodecError::BadTag(t)),
+        }
+    }
+}
+
+impl<V: WireMessage> WireMessage for UteMsg<V> {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            UteMsg::Est(v) => {
+                buf.put_u8(0);
+                v.encode(buf);
+            }
+            UteMsg::Vote(v) => {
+                buf.put_u8(1);
+                v.encode(buf);
+            }
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+        if buf.remaining() < 1 {
+            return Err(CodecError::Truncated);
+        }
+        match buf.get_u8() {
+            0 => Ok(UteMsg::Est(V::decode(buf)?)),
+            1 => Ok(UteMsg::Vote(Option::<V>::decode(buf)?)),
+            t => Err(CodecError::BadTag(t)),
+        }
+    }
+}
+
+/// A decoded frame.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Frame<M> {
+    /// The round this message belongs to (communication closure).
+    pub round: u64,
+    /// The sender's process index.
+    pub sender: u32,
+    /// Retransmission copy index (0 = first copy).
+    pub copy: u8,
+    /// The payload message.
+    pub msg: M,
+}
+
+/// Byte offsets of the frame header fields (used by fault injection).
+pub const PAYLOAD_OFFSET: usize = 8 + 4 + 1 + 4;
+
+/// Encodes a frame, appending the CRC-32 trailer.
+pub fn encode_frame<M: WireMessage>(frame: &Frame<M>) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(32);
+    buf.put_u64_le(frame.round);
+    buf.put_u32_le(frame.sender);
+    buf.put_u8(frame.copy);
+    // Length prefix for the payload.
+    let mut payload = BytesMut::new();
+    frame.msg.encode(&mut payload);
+    buf.put_u32_le(payload.len() as u32);
+    buf.put_slice(&payload);
+    let crc = crc32(&buf);
+    buf.put_u32_le(crc);
+    buf.to_vec()
+}
+
+/// Recomputes and overwrites the CRC trailer of an encoded frame —
+/// modelling a corruption the checksum cannot detect.
+pub fn refresh_crc(encoded: &mut [u8]) {
+    let len = encoded.len();
+    if len < 4 {
+        return;
+    }
+    let crc = crc32(&encoded[..len - 4]);
+    encoded[len - 4..].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// Decodes a frame, verifying its CRC.
+///
+/// # Errors
+///
+/// [`CodecError::CrcMismatch`] when the trailer fails — callers treat
+/// this as a *detected* corruption and drop the frame (omission).
+pub fn decode_frame<M: WireMessage>(encoded: &[u8]) -> Result<Frame<M>, CodecError> {
+    if encoded.len() < PAYLOAD_OFFSET + 4 {
+        return Err(CodecError::Truncated);
+    }
+    let body_len = encoded.len() - 4;
+    let expected = u32::from_le_bytes(
+        encoded[body_len..]
+            .try_into()
+            .expect("4-byte CRC trailer"),
+    );
+    let actual = crc32(&encoded[..body_len]);
+    if expected != actual {
+        return Err(CodecError::CrcMismatch { expected, actual });
+    }
+    let mut buf = Bytes::copy_from_slice(&encoded[..body_len]);
+    let round = buf.get_u64_le();
+    let sender = buf.get_u32_le();
+    let copy = buf.get_u8();
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() != len {
+        return Err(CodecError::Truncated);
+    }
+    let msg = M::decode(&mut buf)?;
+    Ok(Frame {
+        round,
+        sender,
+        copy,
+        msg,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_u64() {
+        let frame = Frame {
+            round: 7,
+            sender: 3,
+            copy: 1,
+            msg: 0xDEAD_BEEFu64,
+        };
+        let encoded = encode_frame(&frame);
+        let decoded: Frame<u64> = decode_frame(&encoded).unwrap();
+        assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn roundtrip_ute_msgs() {
+        for msg in [
+            UteMsg::Est(42u64),
+            UteMsg::Vote(Some(7u64)),
+            UteMsg::Vote(None),
+        ] {
+            let frame = Frame {
+                round: 2,
+                sender: 0,
+                copy: 0,
+                msg: msg.clone(),
+            };
+            let decoded: Frame<UteMsg<u64>> = decode_frame(&encode_frame(&frame)).unwrap();
+            assert_eq!(decoded.msg, msg);
+        }
+    }
+
+    #[test]
+    fn roundtrip_strings_and_bools() {
+        let mut buf = BytesMut::new();
+        "héllo".to_string().encode(&mut buf);
+        true.encode(&mut buf);
+        let mut bytes = buf.freeze();
+        assert_eq!(String::decode(&mut bytes).unwrap(), "héllo");
+        assert_eq!(bool::decode(&mut bytes).unwrap(), true);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let frame = Frame {
+            round: 1,
+            sender: 0,
+            copy: 0,
+            msg: 1234u64,
+        };
+        let mut encoded = encode_frame(&frame);
+        encoded[PAYLOAD_OFFSET] ^= 0xFF; // corrupt payload
+        let err = decode_frame::<u64>(&encoded).unwrap_err();
+        assert!(matches!(err, CodecError::CrcMismatch { .. }));
+    }
+
+    #[test]
+    fn refreshed_crc_defeats_detection() {
+        let frame = Frame {
+            round: 1,
+            sender: 0,
+            copy: 0,
+            msg: 1234u64,
+        };
+        let mut encoded = encode_frame(&frame);
+        encoded[PAYLOAD_OFFSET] ^= 0x01;
+        refresh_crc(&mut encoded);
+        let decoded: Frame<u64> = decode_frame(&encoded).unwrap();
+        assert_ne!(decoded.msg, 1234, "undetected value fault slips through");
+        assert_eq!(decoded.round, 1, "header intact");
+    }
+
+    #[test]
+    fn truncated_frames_rejected() {
+        let frame = Frame {
+            round: 1,
+            sender: 0,
+            copy: 0,
+            msg: 5u64,
+        };
+        let encoded = encode_frame(&frame);
+        for cut in [0, 3, PAYLOAD_OFFSET, encoded.len() - 1] {
+            assert!(decode_frame::<u64>(&encoded[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn bad_tags_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(9);
+        let mut bytes = buf.freeze();
+        assert_eq!(
+            Option::<u64>::decode(&mut bytes.clone()).unwrap_err(),
+            CodecError::BadTag(9)
+        );
+        assert_eq!(
+            UteMsg::<u64>::decode(&mut bytes).unwrap_err(),
+            CodecError::BadTag(9)
+        );
+    }
+
+    #[test]
+    fn error_display() {
+        let e = CodecError::CrcMismatch {
+            expected: 1,
+            actual: 2,
+        };
+        assert!(e.to_string().contains("crc mismatch"));
+        assert!(CodecError::Truncated.to_string().contains("prematurely"));
+    }
+}

@@ -1,0 +1,140 @@
+//! Predicate implementation in the spirit of Hutle & Schiper \[10\]:
+//! what does it take for a real network to *provide* `P_α`?
+//!
+//! §5.2 of the paper argues that checksums and error-correcting codes
+//! cannot eliminate value faults — they raise the *coverage* of the
+//! predicate. This module quantifies that: given a raw corruption rate
+//! and a detector coverage, it estimates the per-receiver undetected
+//! corruption load and recommends a budget `α` that holds with the
+//! desired confidence.
+
+use crate::link::LinkFaults;
+
+/// Estimated demand a link fault model puts on the `P_α` budget.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AlphaEstimate {
+    /// Expected undetected corruptions per receiver per round.
+    pub expected: f64,
+    /// A budget `α` such that `P(|AHO(p, r)| > α)` is at most roughly
+    /// `tail_bound` per process-round (Chernoff-style padding).
+    pub recommended_alpha: u32,
+    /// The tail probability the recommendation targets.
+    pub tail_bound: f64,
+}
+
+/// Estimates the `α` needed for `P_α` to hold with headroom under the
+/// given fault model and system size.
+///
+/// Undetected corruptions at one receiver in one round follow a
+/// Binomial(`n`, `corrupt_prob · undetected_prob`). We recommend the
+/// smallest `α` whose Chernoff upper tail is below `tail_bound`.
+///
+/// # Examples
+///
+/// ```
+/// use heardof_net::{recommend_alpha, LinkFaults};
+///
+/// let faults = LinkFaults { drop_prob: 0.0, corrupt_prob: 0.05, undetected_prob: 0.1 };
+/// let est = recommend_alpha(&faults, 20, 1e-6);
+/// assert!(est.expected < 0.2);
+/// assert!(est.recommended_alpha >= 1);
+/// ```
+pub fn recommend_alpha(faults: &LinkFaults, n: usize, tail_bound: f64) -> AlphaEstimate {
+    let p = (faults.corrupt_prob * faults.undetected_prob).clamp(0.0, 1.0);
+    let mu = n as f64 * p;
+    let mut alpha = mu.ceil() as u32;
+    // Chernoff: P(X ≥ a) ≤ exp(−mu) (e·mu / a)^a for a > mu.
+    let tail = |a: u32| -> f64 {
+        if p == 0.0 {
+            return 0.0;
+        }
+        let a = a as f64;
+        if a <= mu {
+            return 1.0;
+        }
+        (-mu + a * (1.0 + (mu / a).ln())).exp()
+    };
+    while tail(alpha + 1) > tail_bound && alpha < n as u32 {
+        alpha += 1;
+    }
+    AlphaEstimate {
+        expected: mu,
+        recommended_alpha: alpha,
+        tail_bound,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_corruption_needs_zero_alpha() {
+        let est = recommend_alpha(&LinkFaults::NONE, 50, 1e-9);
+        assert_eq!(est.expected, 0.0);
+        assert_eq!(est.recommended_alpha, 0);
+    }
+
+    #[test]
+    fn higher_rates_need_higher_alpha() {
+        let low = recommend_alpha(
+            &LinkFaults {
+                drop_prob: 0.0,
+                corrupt_prob: 0.01,
+                undetected_prob: 0.01,
+            },
+            20,
+            1e-6,
+        );
+        let high = recommend_alpha(
+            &LinkFaults {
+                drop_prob: 0.0,
+                corrupt_prob: 0.2,
+                undetected_prob: 0.5,
+            },
+            20,
+            1e-6,
+        );
+        assert!(high.recommended_alpha > low.recommended_alpha);
+        assert!(high.expected > low.expected);
+    }
+
+    #[test]
+    fn better_coverage_reduces_alpha() {
+        // Same raw corruption, better detector ⇒ smaller α: the paper's
+        // "techniques can increase the coverage of our predicates".
+        let weak = recommend_alpha(
+            &LinkFaults {
+                drop_prob: 0.0,
+                corrupt_prob: 0.1,
+                undetected_prob: 0.5,
+            },
+            30,
+            1e-6,
+        );
+        let strong = recommend_alpha(
+            &LinkFaults {
+                drop_prob: 0.0,
+                corrupt_prob: 0.1,
+                undetected_prob: 0.001,
+            },
+            30,
+            1e-6,
+        );
+        assert!(strong.recommended_alpha < weak.recommended_alpha);
+    }
+
+    #[test]
+    fn alpha_capped_at_n() {
+        let est = recommend_alpha(
+            &LinkFaults {
+                drop_prob: 0.0,
+                corrupt_prob: 1.0,
+                undetected_prob: 1.0,
+            },
+            5,
+            1e-12,
+        );
+        assert!(est.recommended_alpha <= 5);
+    }
+}

@@ -1,0 +1,81 @@
+//! CRC-32 (IEEE 802.3) — implemented in-tree to keep the dependency set
+//! to the allowed list.
+//!
+//! The checksum is the workhorse of the §5.2 discussion: error-detecting
+//! codes turn *most* value faults into benign omissions, raising the
+//! coverage of `P_α`; the residual undetected corruptions are exactly
+//! what the budget `α` must absorb.
+
+/// The CRC-32 lookup table (reflected, polynomial `0xEDB88320`).
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// Computes the CRC-32 (IEEE) of `data`.
+///
+/// # Examples
+///
+/// ```
+/// // The canonical check value.
+/// assert_eq!(heardof_net::crc32(b"123456789"), 0xCBF4_3926);
+/// ```
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        let idx = ((crc ^ byte as u32) & 0xFF) as usize;
+        crc = (crc >> 8) ^ TABLE[idx];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let data = b"heard-of model with value faults".to_vec();
+        let clean = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut corrupted = data.clone();
+                corrupted[byte] ^= 1 << bit;
+                assert_ne!(crc32(&corrupted), clean, "flip at {byte}:{bit} undetected");
+            }
+        }
+    }
+
+    #[test]
+    fn detects_double_byte_swaps() {
+        let data = b"abcdefgh";
+        let mut swapped = *data;
+        swapped.swap(1, 5);
+        assert_ne!(crc32(data), crc32(&swapped));
+    }
+}

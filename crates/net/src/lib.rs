@@ -1,0 +1,53 @@
+//! # heardof-net
+//!
+//! A message-passing deployment substrate for HO algorithms: OS threads,
+//! crossbeam channels, byte-level fault injection, a CRC-checked wire
+//! codec, and a round synchronizer implementing communication-closed
+//! rounds over an asynchronous transport.
+//!
+//! Where the lockstep simulator (`heardof-sim`) gives adversarial
+//! control, this crate shows the *same algorithms, unchanged*, running
+//! the way a real system would: heard-of sets arise from timeouts and
+//! lossy links; safe heard-of sets shrink exactly when a corruption
+//! slips past the checksum. The runtime reconstructs both collections
+//! post-hoc so the usual predicate checkers apply.
+//!
+//! * [`crc32`], [`WireMessage`], [`Frame`] — the wire format,
+//! * [`LinkFaults`], [`FaultyLink`], [`FaultLog`] — the fault model,
+//! * [`run_threaded`], [`NetConfig`], [`NetOutcome`] — the runtime,
+//! * [`recommend_alpha`] — predicate-coverage engineering (§5.2 / \[10\]).
+//!
+//! # Examples
+//!
+//! ```
+//! use heardof_core::{Ate, AteParams};
+//! use heardof_net::{run_threaded, LinkFaults, NetConfig};
+//! use std::time::Duration;
+//!
+//! let n = 5;
+//! let algo: Ate<u64> = Ate::new(AteParams::balanced(n, 1)?);
+//! let config = NetConfig {
+//!     faults: LinkFaults { drop_prob: 0.05, corrupt_prob: 0.02, undetected_prob: 0.2 },
+//!     round_timeout: Duration::from_millis(40),
+//!     max_rounds: 60,
+//!     ..NetConfig::default()
+//! };
+//! let outcome = run_threaded(algo, n, (0..5u64).map(|i| i % 2).collect(), config);
+//! assert!(outcome.agreement_ok());
+//! # Ok::<(), heardof_core::ParamError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod codec;
+mod coverage;
+mod crc;
+mod link;
+mod runtime;
+
+pub use codec::{decode_frame, encode_frame, CodecError, Frame, WireMessage, PAYLOAD_OFFSET};
+pub use coverage::{recommend_alpha, AlphaEstimate};
+pub use crc::crc32;
+pub use link::{FaultKey, FaultLog, FaultyLink, LinkEvent, LinkFaults};
+pub use runtime::{run_threaded, NetConfig, NetOutcome};

@@ -1,0 +1,312 @@
+//! Faulty point-to-point links over crossbeam channels.
+//!
+//! Faults are injected at the *byte* level on encoded frames, the way a
+//! real lossy/corrupting medium would behave:
+//!
+//! * with `drop_prob` the frame vanishes (omission),
+//! * with `corrupt_prob` payload bytes are flipped; the CRC will catch
+//!   it at the receiver — *unless* the corruption also fixed the CRC,
+//!   which we model with `undetected_prob` (the coverage gap of §5.2).
+//!
+//! Every injected *undetected* corruption is appended to a shared
+//! [`FaultLog`], so the runtime can reconstruct exact `SHO` sets after
+//! the fact (processes themselves can never know them — §2.1).
+
+use crate::codec::{refresh_crc, PAYLOAD_OFFSET};
+use crossbeam::channel::Sender;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Probabilities governing one link's behaviour.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkFaults {
+    /// Probability a frame is dropped outright.
+    pub drop_prob: f64,
+    /// Probability a frame's payload bytes are corrupted in flight.
+    pub corrupt_prob: f64,
+    /// Probability a corruption goes *undetected* (CRC refreshed),
+    /// conditional on corruption happening. `1 − undetected_prob` is the
+    /// detection coverage of the checksum.
+    pub undetected_prob: f64,
+}
+
+impl LinkFaults {
+    /// Perfect links.
+    pub const NONE: LinkFaults = LinkFaults {
+        drop_prob: 0.0,
+        corrupt_prob: 0.0,
+        undetected_prob: 0.0,
+    };
+
+    /// Validates that all fields are probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any field lies outside `[0, 1]`.
+    pub fn validated(self) -> Self {
+        for (name, p) in [
+            ("drop_prob", self.drop_prob),
+            ("corrupt_prob", self.corrupt_prob),
+            ("undetected_prob", self.undetected_prob),
+        ] {
+            assert!((0.0..=1.0).contains(&p), "{name} must be a probability, got {p}");
+        }
+        self
+    }
+
+    /// Expected undetected corruptions per receiver per round, given `n`
+    /// senders — the quantity the budget `α` must dominate.
+    pub fn expected_alpha(&self, n: usize) -> f64 {
+        n as f64 * self.corrupt_prob * self.undetected_prob
+    }
+}
+
+impl Default for LinkFaults {
+    fn default() -> Self {
+        LinkFaults::NONE
+    }
+}
+
+/// A record of one undetected corruption, keyed by
+/// `(round, sender, receiver, copy)`.
+pub type FaultKey = (u64, u32, u32, u8);
+
+/// Shared log of undetected corruptions (for post-run `SHO` derivation).
+#[derive(Clone, Debug, Default)]
+pub struct FaultLog {
+    inner: Arc<Mutex<HashSet<FaultKey>>>,
+}
+
+impl FaultLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an undetected corruption.
+    pub fn record(&self, key: FaultKey) {
+        self.inner.lock().insert(key);
+    }
+
+    /// `true` if the given delivery was corrupted undetected.
+    pub fn was_corrupted(&self, key: &FaultKey) -> bool {
+        self.inner.lock().contains(key)
+    }
+
+    /// Number of undetected corruptions recorded.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+}
+
+/// The sending half of a faulty link from one process to another.
+pub struct FaultyLink {
+    sender_id: u32,
+    receiver_id: u32,
+    tx: Sender<Vec<u8>>,
+    faults: LinkFaults,
+    rng: StdRng,
+    log: FaultLog,
+}
+
+impl FaultyLink {
+    /// Builds the link `sender_id → receiver_id` with deterministic
+    /// per-link randomness derived from `seed`.
+    pub fn new(
+        sender_id: u32,
+        receiver_id: u32,
+        tx: Sender<Vec<u8>>,
+        faults: LinkFaults,
+        seed: u64,
+        log: FaultLog,
+    ) -> Self {
+        // Distinct, deterministic stream per ordered pair.
+        let link_seed = seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((sender_id as u64) << 32 | receiver_id as u64);
+        FaultyLink {
+            sender_id,
+            receiver_id,
+            tx,
+            faults: faults.validated(),
+            rng: StdRng::seed_from_u64(link_seed),
+            log,
+        }
+    }
+
+    /// Sends an encoded frame through the fault model. Returns what
+    /// happened (mostly for tests and statistics).
+    pub fn send(&mut self, round: u64, copy: u8, mut encoded: Vec<u8>) -> LinkEvent {
+        if self.rng.gen_bool(self.faults.drop_prob) {
+            return LinkEvent::Dropped;
+        }
+        if self.rng.gen_bool(self.faults.corrupt_prob) {
+            self.corrupt_payload(&mut encoded);
+            if self.rng.gen_bool(self.faults.undetected_prob) {
+                refresh_crc(&mut encoded);
+                self.log
+                    .record((round, self.sender_id, self.receiver_id, copy));
+                let _ = self.tx.send(encoded);
+                return LinkEvent::CorruptedUndetected;
+            }
+            // Stale CRC: the receiver will detect and drop it.
+            let _ = self.tx.send(encoded);
+            return LinkEvent::CorruptedDetectable;
+        }
+        let _ = self.tx.send(encoded);
+        LinkEvent::Delivered
+    }
+
+    fn corrupt_payload(&mut self, encoded: &mut [u8]) {
+        // Flip 1–3 bytes inside the payload region (header stays intact,
+        // like a payload-scrambling medium).
+        let payload_end = encoded.len().saturating_sub(4);
+        if payload_end <= PAYLOAD_OFFSET {
+            return;
+        }
+        let flips = self.rng.gen_range(1..=3usize);
+        for _ in 0..flips {
+            let idx = self.rng.gen_range(PAYLOAD_OFFSET..payload_end);
+            // Guarantee a real change.
+            let mask = self.rng.gen_range(1..=255u8);
+            encoded[idx] ^= mask;
+        }
+    }
+}
+
+/// What the fault model did to one frame.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum LinkEvent {
+    /// Delivered intact.
+    Delivered,
+    /// Dropped (omission).
+    Dropped,
+    /// Corrupted but the CRC will catch it (effective omission).
+    CorruptedDetectable,
+    /// Corrupted and the CRC was refreshed (value fault).
+    CorruptedUndetected,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{decode_frame, encode_frame, Frame};
+    use crossbeam::channel::unbounded;
+
+    fn frame_bytes(v: u64) -> Vec<u8> {
+        encode_frame(&Frame {
+            round: 1,
+            sender: 0,
+            copy: 0,
+            msg: v,
+        })
+    }
+
+    #[test]
+    fn perfect_link_delivers() {
+        let (tx, rx) = unbounded();
+        let mut link = FaultyLink::new(0, 1, tx, LinkFaults::NONE, 9, FaultLog::new());
+        assert_eq!(link.send(1, 0, frame_bytes(5)), LinkEvent::Delivered);
+        let got: Frame<u64> = decode_frame(&rx.recv().unwrap()).unwrap();
+        assert_eq!(got.msg, 5);
+    }
+
+    #[test]
+    fn dropping_link_drops() {
+        let (tx, rx) = unbounded();
+        let faults = LinkFaults {
+            drop_prob: 1.0,
+            ..LinkFaults::NONE
+        };
+        let mut link = FaultyLink::new(0, 1, tx, faults, 9, FaultLog::new());
+        assert_eq!(link.send(1, 0, frame_bytes(5)), LinkEvent::Dropped);
+        assert!(rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn detectable_corruption_fails_crc() {
+        let (tx, rx) = unbounded();
+        let faults = LinkFaults {
+            corrupt_prob: 1.0,
+            undetected_prob: 0.0,
+            ..LinkFaults::NONE
+        };
+        let log = FaultLog::new();
+        let mut link = FaultyLink::new(0, 1, tx, faults, 9, log.clone());
+        assert_eq!(
+            link.send(1, 0, frame_bytes(5)),
+            LinkEvent::CorruptedDetectable
+        );
+        let bytes = rx.recv().unwrap();
+        assert!(decode_frame::<u64>(&bytes).is_err());
+        assert!(log.is_empty(), "detected corruption is not logged");
+    }
+
+    #[test]
+    fn undetected_corruption_decodes_to_wrong_value() {
+        let (tx, rx) = unbounded();
+        let faults = LinkFaults {
+            corrupt_prob: 1.0,
+            undetected_prob: 1.0,
+            ..LinkFaults::NONE
+        };
+        let log = FaultLog::new();
+        let mut link = FaultyLink::new(0, 1, tx, faults, 9, log.clone());
+        assert_eq!(
+            link.send(1, 0, frame_bytes(5)),
+            LinkEvent::CorruptedUndetected
+        );
+        let got: Frame<u64> = decode_frame(&rx.recv().unwrap()).unwrap();
+        assert_ne!(got.msg, 5);
+        assert!(log.was_corrupted(&(1, 0, 1, 0)));
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn expected_alpha_formula() {
+        let faults = LinkFaults {
+            drop_prob: 0.0,
+            corrupt_prob: 0.1,
+            undetected_prob: 0.01,
+        };
+        assert!((faults.expected_alpha(100) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_probability_panics() {
+        let (tx, _rx) = unbounded::<Vec<u8>>();
+        let faults = LinkFaults {
+            drop_prob: 1.5,
+            ..LinkFaults::NONE
+        };
+        let _ = FaultyLink::new(0, 1, tx, faults, 9, FaultLog::new());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let (tx, rx) = unbounded();
+            let faults = LinkFaults {
+                drop_prob: 0.5,
+                ..LinkFaults::NONE
+            };
+            let mut link = FaultyLink::new(0, 1, tx, faults, seed, FaultLog::new());
+            let events: Vec<LinkEvent> =
+                (0..50).map(|i| link.send(i, 0, frame_bytes(i))).collect();
+            drop(link);
+            let delivered = rx.iter().count();
+            (events, delivered)
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1).0, run(2).0);
+    }
+}

@@ -1,0 +1,459 @@
+//! A threaded deployment of HO algorithms over faulty links.
+//!
+//! Each process runs on its own OS thread, exchanging encoded frames
+//! over crossbeam channels through byte-corrupting [`FaultyLink`]s. A
+//! round synchronizer implements *communication-closed rounds* on top of
+//! the asynchronous transport: frames are tagged with their round;
+//! early frames are buffered, late frames discarded, and a receive
+//! timeout bounds how long a process waits before moving on (whatever
+//! arrived in time *is* its heard-of set — this is where `HO(p, r)`
+//! comes from in a real system).
+//!
+//! The runtime reconstructs the exact `HO`/`SHO` collections afterwards
+//! by joining every receiver's kept-frame log with the fault injector's
+//! undetected-corruption log, so the same predicate checkers used on
+//! simulator traces apply to threaded runs.
+
+use crate::codec::{decode_frame, encode_frame, Frame, WireMessage};
+use crate::link::{FaultLog, FaultyLink, LinkFaults};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError};
+use heardof_model::{
+    CommHistory, HoAlgorithm, ProcessId, ProcessSet, ReceptionVector, Round, RoundSets,
+};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration of a threaded run.
+#[derive(Clone, Debug)]
+pub struct NetConfig {
+    /// Fault probabilities applied to every inter-process link
+    /// (self-delivery is local and never faulty).
+    pub faults: LinkFaults,
+    /// Seed for all link randomness (runs are reproducible up to thread
+    /// scheduling of timeouts).
+    pub seed: u64,
+    /// How long a process waits for a round's messages before moving on.
+    pub round_timeout: Duration,
+    /// Copies of each frame to send (retransmission raises delivery
+    /// probability under drops — the predicate-implementation knob of
+    /// \[10\]).
+    pub copies: u8,
+    /// Hard cap on rounds.
+    pub max_rounds: u64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            faults: LinkFaults::NONE,
+            seed: 0,
+            round_timeout: Duration::from_millis(50),
+            copies: 1,
+            max_rounds: 100,
+        }
+    }
+}
+
+/// The observable result of a threaded run.
+#[derive(Clone, Debug)]
+pub struct NetOutcome<V> {
+    /// Final decision per process.
+    pub decisions: Vec<Option<V>>,
+    /// Round at which each process first decided.
+    pub decision_rounds: Vec<Option<u64>>,
+    /// Rounds each process completed before exiting.
+    pub rounds_completed: Vec<u64>,
+    /// Reconstructed heard-of collections (up to the shortest process
+    /// log, so every round has data for all receivers).
+    pub history: CommHistory,
+    /// Total undetected corruptions injected by the links.
+    pub undetected_corruptions: usize,
+}
+
+impl<V: PartialEq> NetOutcome<V> {
+    /// `true` iff every process decided.
+    pub fn all_decided(&self) -> bool {
+        self.decisions.iter().all(|d| d.is_some())
+    }
+
+    /// `true` iff no two deciders disagree.
+    pub fn agreement_ok(&self) -> bool {
+        let mut deciders = self.decisions.iter().flatten();
+        match deciders.next() {
+            None => true,
+            Some(first) => deciders.all(|v| v == first),
+        }
+    }
+
+    /// The latest decision round among deciders, if all decided.
+    pub fn last_decision_round(&self) -> Option<u64> {
+        if !self.all_decided() {
+            return None;
+        }
+        self.decision_rounds.iter().flatten().copied().max()
+    }
+}
+
+struct ProcReport {
+    decision_round: Option<u64>,
+    rounds_completed: u64,
+    /// Per completed round: the `(sender, kept_copy)` pairs received.
+    kept: Vec<Vec<(u32, u8)>>,
+}
+
+/// Runs `algo` on `n` OS threads over faulty links.
+///
+/// # Panics
+///
+/// Panics if `initial.len() != n`, `n == 0`, or `config.copies == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use heardof_core::{Ate, AteParams};
+/// use heardof_net::{run_threaded, NetConfig};
+///
+/// let n = 5;
+/// let algo: Ate<u64> = Ate::new(AteParams::balanced(n, 0)?);
+/// let outcome = run_threaded(algo, n, (0..n as u64).map(|i| i % 2).collect(),
+///                            NetConfig::default());
+/// assert!(outcome.all_decided());
+/// assert!(outcome.agreement_ok());
+/// # Ok::<(), heardof_core::ParamError>(())
+/// ```
+pub fn run_threaded<A>(
+    algo: A,
+    n: usize,
+    initial: Vec<A::Value>,
+    config: NetConfig,
+) -> NetOutcome<A::Value>
+where
+    A: HoAlgorithm,
+    A::Msg: WireMessage,
+{
+    assert!(n > 0, "system must have at least one process");
+    assert_eq!(initial.len(), n, "one initial value per process");
+    assert!(config.copies >= 1, "at least one copy per frame");
+
+    let fault_log = FaultLog::new();
+    let board: Arc<Mutex<Vec<Option<A::Value>>>> = Arc::new(Mutex::new(vec![None; n]));
+    let all_decided = Arc::new(AtomicBool::new(false));
+
+    // Wire up one inbox per process.
+    let mut txs = Vec::with_capacity(n);
+    let mut rxs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded::<Vec<u8>>();
+        txs.push(tx);
+        rxs.push(rx);
+    }
+
+    let mut handles = Vec::with_capacity(n);
+    for (p, rx) in rxs.into_iter().enumerate() {
+        let links: Vec<FaultyLink> = (0..n)
+            .filter(|&q| q != p)
+            .map(|q| {
+                FaultyLink::new(
+                    p as u32,
+                    q as u32,
+                    txs[q].clone(),
+                    config.faults,
+                    config.seed,
+                    fault_log.clone(),
+                )
+            })
+            .collect();
+        let self_tx = txs[p].clone();
+        let algo = algo.clone();
+        let initial_value = initial[p].clone();
+        let board = Arc::clone(&board);
+        let all_decided = Arc::clone(&all_decided);
+        let config = config.clone();
+        handles.push(std::thread::spawn(move || {
+            process_main(
+                algo,
+                p as u32,
+                n,
+                initial_value,
+                rx,
+                links,
+                self_tx,
+                board,
+                all_decided,
+                config,
+            )
+        }));
+    }
+    drop(txs);
+
+    let reports: Vec<ProcReport> = handles
+        .into_iter()
+        .map(|h| h.join().expect("process thread panicked"))
+        .collect();
+
+    // Reconstruct HO/SHO up to the shortest completed log.
+    let min_rounds = reports
+        .iter()
+        .map(|r| r.rounds_completed)
+        .min()
+        .unwrap_or(0);
+    let mut history = CommHistory::new(n);
+    for r in 1..=min_rounds {
+        let mut ho = Vec::with_capacity(n);
+        let mut sho = Vec::with_capacity(n);
+        for (p, report) in reports.iter().enumerate() {
+            let mut ho_p = ProcessSet::empty(n);
+            let mut sho_p = ProcessSet::empty(n);
+            for &(sender, copy) in &report.kept[(r - 1) as usize] {
+                ho_p.insert(ProcessId::new(sender));
+                if !fault_log.was_corrupted(&(r, sender, p as u32, copy)) {
+                    sho_p.insert(ProcessId::new(sender));
+                }
+            }
+            ho.push(ho_p);
+            sho.push(sho_p);
+        }
+        history.push(RoundSets::from_sets(ho, sho));
+    }
+
+    let decisions = board.lock().clone();
+    NetOutcome {
+        decisions,
+        decision_rounds: reports.iter().map(|r| r.decision_round).collect(),
+        rounds_completed: reports.iter().map(|r| r.rounds_completed).collect(),
+        history,
+        undetected_corruptions: fault_log.len(),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn process_main<A>(
+    algo: A,
+    pid: u32,
+    n: usize,
+    initial: A::Value,
+    inbox: Receiver<Vec<u8>>,
+    mut links: Vec<FaultyLink>,
+    self_tx: crossbeam::channel::Sender<Vec<u8>>,
+    board: Arc<Mutex<Vec<Option<A::Value>>>>,
+    all_decided: Arc<AtomicBool>,
+    config: NetConfig,
+) -> ProcReport
+where
+    A: HoAlgorithm,
+    A::Msg: WireMessage,
+{
+    let me = ProcessId::new(pid);
+    let mut state = algo.init(me, n, initial);
+    let mut decision_round = None;
+    let mut kept: Vec<Vec<(u32, u8)>> = Vec::new();
+    // Frames that arrived early, keyed by round.
+    let mut future: HashMap<u64, Vec<Frame<A::Msg>>> = HashMap::new();
+    let mut rounds_completed = 0u64;
+
+    for r in 1..=config.max_rounds {
+        if all_decided.load(Ordering::SeqCst) {
+            break;
+        }
+        let round = Round::new(r);
+
+        // --- Send phase: one frame (xN copies) per destination. ---
+        let mut link_idx = 0;
+        for q in 0..n as u32 {
+            let msg = algo.send(round, me, &state, ProcessId::new(q));
+            if q == pid {
+                // Self-delivery is local: never dropped, never corrupted.
+                let frame = Frame {
+                    round: r,
+                    sender: pid,
+                    copy: 0,
+                    msg,
+                };
+                let _ = self_tx.send(encode_frame(&frame));
+            } else {
+                for copy in 0..config.copies {
+                    let frame = Frame {
+                        round: r,
+                        sender: pid,
+                        copy,
+                        msg: msg.clone(),
+                    };
+                    links[link_idx].send(r, copy, encode_frame(&frame));
+                }
+                link_idx += 1;
+            }
+        }
+
+        // --- Collect phase: first valid frame per sender, until the
+        // round is complete or the timeout fires. ---
+        let deadline = Instant::now() + config.round_timeout;
+        let mut rx_vec: ReceptionVector<A::Msg> = ReceptionVector::new(n);
+        let mut kept_this_round: Vec<(u32, u8)> = Vec::new();
+
+        // Drain any buffered early arrivals for this round.
+        if let Some(frames) = future.remove(&r) {
+            for frame in frames {
+                if rx_vec.get(ProcessId::new(frame.sender)).is_none() {
+                    kept_this_round.push((frame.sender, frame.copy));
+                    rx_vec.set(ProcessId::new(frame.sender), frame.msg);
+                }
+            }
+        }
+
+        while rx_vec.heard_count() < n {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                break;
+            }
+            match inbox.recv_timeout(remaining) {
+                Ok(bytes) => {
+                    // A CRC failure is a *detected* corruption: drop the
+                    // frame, producing an omission.
+                    let Ok(frame) = decode_frame::<A::Msg>(&bytes) else {
+                        continue;
+                    };
+                    if frame.round < r {
+                        continue; // late: the round is closed
+                    }
+                    if frame.round > r {
+                        future.entry(frame.round).or_default().push(frame);
+                        continue;
+                    }
+                    if rx_vec.get(ProcessId::new(frame.sender)).is_none() {
+                        kept_this_round.push((frame.sender, frame.copy));
+                        rx_vec.set(ProcessId::new(frame.sender), frame.msg);
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+
+        // --- Transition phase. ---
+        algo.transition(round, me, &mut state, &rx_vec);
+        kept.push(kept_this_round);
+        rounds_completed = r;
+
+        if decision_round.is_none() {
+            if let Some(v) = algo.decision(&state) {
+                decision_round = Some(r);
+                let mut b = board.lock();
+                b[pid as usize] = Some(v);
+                if b.iter().all(|d| d.is_some()) {
+                    all_decided.store(true, Ordering::SeqCst);
+                }
+            }
+        }
+    }
+
+    ProcReport {
+        decision_round,
+        rounds_completed,
+        kept,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heardof_core::{Ate, AteParams, Ute, UteParams};
+    use heardof_predicates::{CommPredicate, PAlpha, PBenign};
+
+    #[test]
+    fn perfect_network_reaches_consensus_fast() {
+        let n = 5;
+        let algo: Ate<u64> = Ate::new(AteParams::balanced(n, 0).unwrap());
+        let outcome = run_threaded(
+            algo,
+            n,
+            vec![3, 1, 3, 1, 3],
+            NetConfig::default(),
+        );
+        assert!(outcome.all_decided());
+        assert!(outcome.agreement_ok());
+        assert!(outcome.last_decision_round().unwrap() <= 3);
+        assert!(PBenign.holds(&outcome.history));
+        assert_eq!(outcome.undetected_corruptions, 0);
+    }
+
+    #[test]
+    fn ute_runs_over_the_network() {
+        let n = 5;
+        let algo = Ute::new(UteParams::tightest(n, 0).unwrap(), 0u64);
+        let outcome = run_threaded(algo, n, vec![2, 2, 2, 2, 2], NetConfig::default());
+        assert!(outcome.all_decided());
+        assert!(outcome.agreement_ok());
+        assert_eq!(
+            outcome.decisions.iter().flatten().next(),
+            Some(&2),
+            "unanimous input decides its value"
+        );
+    }
+
+    #[test]
+    fn drops_with_retransmission_still_decide() {
+        let n = 5;
+        let algo: Ate<u64> = Ate::new(AteParams::balanced(n, 0).unwrap());
+        let config = NetConfig {
+            faults: LinkFaults {
+                drop_prob: 0.3,
+                ..LinkFaults::NONE
+            },
+            copies: 4, // P(all copies dropped) = 0.3⁴ ≈ 0.8%
+            round_timeout: Duration::from_millis(30),
+            max_rounds: 60,
+            seed: 11,
+        };
+        let outcome = run_threaded(algo, n, vec![1, 2, 1, 2, 1], config);
+        assert!(outcome.agreement_ok());
+        assert!(outcome.all_decided(), "retransmission defeats drops");
+        assert!(PBenign.holds(&outcome.history), "drops are benign");
+    }
+
+    #[test]
+    fn undetected_corruption_shows_in_history_and_stays_safe() {
+        let n = 9;
+        let alpha = 2;
+        let algo: Ate<u64> = Ate::new(AteParams::balanced(n, alpha).unwrap());
+        let config = NetConfig {
+            faults: LinkFaults {
+                corrupt_prob: 0.08,
+                undetected_prob: 0.5,
+                ..LinkFaults::NONE
+            },
+            round_timeout: Duration::from_millis(40),
+            max_rounds: 80,
+            copies: 1,
+            seed: 5,
+        };
+        let outcome = run_threaded(algo, n, (0..n as u64).map(|i| i % 2).collect(), config);
+        assert!(outcome.agreement_ok(), "{:?}", outcome.decisions);
+        // Expected |AHO| per round ≈ 9·0.08·0.5 = 0.36 ≪ α = 2; the
+        // budget holds with margin (checked on the actual history).
+        assert!(
+            PAlpha::new(alpha).holds(&outcome.history)
+                || outcome.undetected_corruptions == 0,
+            "observed corruption exceeded the α budget"
+        );
+    }
+
+    #[test]
+    fn history_len_matches_shortest_process() {
+        let n = 3;
+        let algo: Ate<u64> = Ate::new(AteParams::balanced(n, 0).unwrap());
+        let outcome = run_threaded(algo, n, vec![7, 7, 7], NetConfig::default());
+        let min = *outcome.rounds_completed.iter().min().unwrap() as usize;
+        use heardof_model::History as _;
+        assert_eq!(outcome.history.num_rounds(), min);
+    }
+
+    #[test]
+    #[should_panic(expected = "one initial value per process")]
+    fn wrong_arity_panics() {
+        let algo: Ate<u64> = Ate::new(AteParams::balanced(3, 0).unwrap());
+        let _ = run_threaded(algo, 3, vec![1], NetConfig::default());
+    }
+}

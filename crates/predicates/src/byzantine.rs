@@ -1,0 +1,171 @@
+//! Classical Byzantine assumptions expressed as HO predicates (§5.2).
+//!
+//! Byzantine processes are static, permanent faults; from the outside it
+//! is indistinguishable whether a process's *state* is corrupted or all
+//! its *transmissions* are. The paper therefore expresses the classic
+//! settings as communication predicates:
+//!
+//! * synchronous, reliable links, ≤ f Byzantine:  `|SK| ≥ n − f`,
+//! * asynchronous, reliable links, ≤ f Byzantine:
+//!   `∀p, r : |HO(p, r)| ≥ n − f  ∧  |AS| ≤ f`.
+
+use crate::report::{CommPredicate, PredicateReport, PredicateViolation};
+use heardof_model::{all_processes, History, ProcessSet, Round};
+
+/// The synchronous Byzantine predicate: the whole-run safe kernel keeps
+/// at least `n − f` processes (`|SK| ≥ n − f`).
+#[derive(Clone, Copy, Debug)]
+pub struct SyncByzantine {
+    f: usize,
+}
+
+impl SyncByzantine {
+    /// At most `f` Byzantine processes.
+    pub fn new(f: usize) -> Self {
+        SyncByzantine { f }
+    }
+}
+
+impl CommPredicate for SyncByzantine {
+    fn name(&self) -> String {
+        format!("|SK| ≥ n−{}", self.f)
+    }
+
+    fn check(&self, history: &dyn History) -> PredicateReport {
+        let n = history.n();
+        let mut sk = ProcessSet::full(n);
+        for i in 0..history.num_rounds() {
+            sk.intersect_with(&history.round_sets(Round::new(i as u64 + 1)).safe_kernel());
+        }
+        if sk.len() + self.f >= n {
+            PredicateReport::pass(self.name())
+        } else {
+            PredicateReport::fail(
+                self.name(),
+                vec![PredicateViolation {
+                    round: None,
+                    process: None,
+                    detail: format!(
+                        "|SK| = {} below n − f = {} (safe kernel {sk})",
+                        sk.len(),
+                        n - self.f
+                    ),
+                }],
+            )
+        }
+    }
+}
+
+/// The asynchronous Byzantine predicate:
+/// `∀p, r : |HO(p, r)| ≥ n − f` and `|AS| ≤ f`.
+#[derive(Clone, Copy, Debug)]
+pub struct AsyncByzantine {
+    f: usize,
+}
+
+impl AsyncByzantine {
+    /// At most `f` Byzantine processes.
+    pub fn new(f: usize) -> Self {
+        AsyncByzantine { f }
+    }
+}
+
+impl CommPredicate for AsyncByzantine {
+    fn name(&self) -> String {
+        format!("∀p,r: |HO| ≥ n−{f} ∧ |AS| ≤ {f}", f = self.f)
+    }
+
+    fn check(&self, history: &dyn History) -> PredicateReport {
+        let n = history.n();
+        let mut violations = Vec::new();
+        let mut span = ProcessSet::empty(n);
+        for i in 0..history.num_rounds() {
+            let round = Round::new(i as u64 + 1);
+            let sets = history.round_sets(round);
+            span.union_with(&sets.altered_span());
+            for p in all_processes(n) {
+                let ho = sets.ho(p).len();
+                if ho + self.f < n {
+                    violations.push(PredicateViolation {
+                        round: Some(round),
+                        process: Some(p),
+                        detail: format!("|HO| = {ho} below n − f = {}", n - self.f),
+                    });
+                }
+            }
+        }
+        if span.len() > self.f {
+            violations.push(PredicateViolation {
+                round: None,
+                process: None,
+                detail: format!("|AS| = {} exceeds f = {} ({span})", span.len(), self.f),
+            });
+        }
+        if violations.is_empty() {
+            PredicateReport::pass(self.name())
+        } else {
+            PredicateReport::fail(self.name(), violations)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heardof_model::{CommHistory, MessageMatrix, ProcessId, RoundSets};
+
+    /// f static corrupters hitting everyone, every round.
+    fn byzantine_history(n: usize, f: usize, rounds: usize) -> CommHistory {
+        let intended = MessageMatrix::from_fn(n, |_, _| Some(1u64));
+        let mut h = CommHistory::new(n);
+        for _ in 0..rounds {
+            let mut delivered = intended.clone();
+            for c in 0..f {
+                for r in 0..n {
+                    delivered.mutate_cell(ProcessId::new(c as u32), ProcessId::new(r as u32), |_| 9);
+                }
+            }
+            h.push(RoundSets::from_matrices(&intended, &delivered));
+        }
+        h
+    }
+
+    #[test]
+    fn sync_byzantine_accepts_matching_f() {
+        let h = byzantine_history(5, 2, 4);
+        assert!(SyncByzantine::new(2).holds(&h));
+        assert!(!SyncByzantine::new(1).holds(&h));
+        assert!(SyncByzantine::new(3).holds(&h));
+    }
+
+    #[test]
+    fn async_byzantine_checks_both_conjuncts() {
+        let h = byzantine_history(5, 2, 4);
+        assert!(AsyncByzantine::new(2).holds(&h));
+        let report = AsyncByzantine::new(1).check(&h);
+        assert!(!report.holds);
+        assert!(report.to_string().contains("|AS|"));
+    }
+
+    #[test]
+    fn async_byzantine_detects_small_ho() {
+        // One round where p0 hears only 2 of 5.
+        let intended = MessageMatrix::from_fn(5, |_, _| Some(1u64));
+        let mut delivered = intended.clone();
+        for s in 0..3 {
+            delivered.clear(ProcessId::new(s), ProcessId::new(0));
+        }
+        let mut h = CommHistory::new(5);
+        h.push(RoundSets::from_matrices(&intended, &delivered));
+        let report = AsyncByzantine::new(1).check(&h);
+        assert!(!report.holds);
+        assert_eq!(report.violations[0].process, Some(ProcessId::new(0)));
+    }
+
+    #[test]
+    fn empty_history_passes() {
+        let h = CommHistory::new(3);
+        assert!(SyncByzantine::new(0).holds(&h));
+        assert!(AsyncByzantine::new(0).holds(&h));
+    }
+}

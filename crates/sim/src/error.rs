@@ -1,0 +1,61 @@
+//! Simulator errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised when configuring or starting a simulation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SimError {
+    /// `initial_values` was never called.
+    MissingInitialValues,
+    /// The initial configuration does not have one value per process.
+    WrongInitialArity {
+        /// The system size `n`.
+        expected: usize,
+        /// How many values were supplied.
+        actual: usize,
+    },
+    /// The system has zero processes.
+    EmptySystem,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::MissingInitialValues => {
+                write!(f, "no initial values supplied; call initial_values() first")
+            }
+            SimError::WrongInitialArity { expected, actual } => write!(
+                f,
+                "initial configuration needs {expected} values, got {actual}"
+            ),
+            SimError::EmptySystem => write!(f, "system must have at least one process"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(SimError::MissingInitialValues.to_string().contains("initial values"));
+        assert_eq!(
+            SimError::WrongInitialArity {
+                expected: 4,
+                actual: 2
+            }
+            .to_string(),
+            "initial configuration needs 4 values, got 2"
+        );
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes<E: Error>(_: E) {}
+        takes(SimError::EmptySystem);
+    }
+}

@@ -1,0 +1,49 @@
+//! # heardof-sim
+//!
+//! A deterministic lockstep simulator for HO machines with value faults.
+//!
+//! The simulator executes the round structure of §2.1 exactly — sending
+//! functions, adversarial delivery, transition functions — while
+//! recording the intended/delivered message matrices, the derived
+//! `HO`/`SHO` collections, and per-round decision snapshots. Runs are
+//! fully reproducible from `(algorithm, adversary, initial values, seed)`.
+//!
+//! # Examples
+//!
+//! An `A_{T,E}` run with budgeted random corruption and periodic good
+//! rounds:
+//!
+//! ```
+//! use heardof_adversary::{Budgeted, GoodRounds, RandomCorruption, WithSchedule};
+//! use heardof_core::{Ate, AteParams};
+//! use heardof_predicates::{CommPredicate, PAlpha};
+//! use heardof_sim::Simulator;
+//!
+//! let n = 10;
+//! let alpha = 2;
+//! let algo: Ate<u64> = Ate::new(AteParams::balanced(n, alpha)?);
+//! let adversary = WithSchedule::new(
+//!     Budgeted::new(RandomCorruption::new(alpha, 0.9), alpha),
+//!     GoodRounds::every(5),
+//! );
+//! let outcome = Simulator::new(algo, n)
+//!     .adversary(adversary)
+//!     .seed(42)
+//!     .initial_values((0..n).map(|i| i as u64 % 3))
+//!     .run_until_decided(1_000)?;
+//!
+//! assert!(outcome.consensus_ok());
+//! assert!(PAlpha::new(alpha).holds(&outcome.trace));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod batch;
+mod engine;
+mod error;
+
+pub use batch::{run_batch, BatchSummary};
+pub use engine::{RunOutcome, Simulator};
+pub use error::SimError;

@@ -1,0 +1,92 @@
+//! Choosing thresholds: the solver as a design tool.
+//!
+//! Theorems 1 and 2 are inequalities over (n, α, T, E); this example
+//! walks the API that turns them into decisions:
+//!
+//! * feasibility frontiers (`α < n/4` vs `α < n/2`),
+//! * the canonical instantiations (balanced / max-E / tightest) and the
+//!   liveness demands they imply,
+//! * the diagnostic errors when a configuration is unsound,
+//! * why the thresholds are quarter-valued reals, not integers.
+//!
+//! Run with: `cargo run --example parameter_tuning`
+
+use heardof::core::bounds;
+use heardof::prelude::*;
+
+fn main() {
+    let mut table = Table::new([
+        "n",
+        "A: max α",
+        "U: max α",
+        "A balanced T=E",
+        "A max-E (T, E)",
+        "U tightest T=E",
+    ]);
+    for n in [4usize, 5, 8, 13, 21, 34, 55] {
+        let a_alpha = AteParams::max_alpha(n);
+        let u_alpha = UteParams::max_alpha(n);
+        let balanced = AteParams::balanced(n, a_alpha).unwrap();
+        let max_e = AteParams::max_e(n, a_alpha).unwrap();
+        let tightest = UteParams::tightest(n, u_alpha).unwrap();
+        table.push_row([
+            n.to_string(),
+            a_alpha.to_string(),
+            u_alpha.to_string(),
+            balanced.e().to_string(),
+            format!("({}, {})", max_e.t(), max_e.e()),
+            tightest.e().to_string(),
+        ]);
+    }
+    println!("{}", table.to_ascii());
+
+    // The trade-off the paper discusses in §3.3: smaller T means weaker
+    // liveness demands for updates, but the lock bound pushes E up.
+    let n = 12;
+    let alpha = 2;
+    let balanced = AteParams::balanced(n, alpha).unwrap();
+    let max_e = AteParams::max_e(n, alpha).unwrap();
+    println!("n={n}, α={alpha}:");
+    println!("  balanced: {balanced} — decisions need > {} identical values", balanced.e());
+    println!("  max-E   : {max_e} — updates fire from > {} receptions, decisions need near-unanimity", max_e.t());
+
+    // Diagnostics: every violated inequality is named.
+    println!("\nsolver diagnostics:");
+    for (what, err) in [
+        (
+            "E below n/2 + α",
+            AteParams::new(n, alpha, Threshold::integer(11), Threshold::integer(7)).unwrap_err(),
+        ),
+        (
+            "T below the lock bound",
+            AteParams::new(n, alpha, Threshold::integer(5), Threshold::integer(8)).unwrap_err(),
+        ),
+        (
+            "α beyond n/4",
+            AteParams::balanced(n, 3).unwrap_err(),
+        ),
+        (
+            "U: α beyond n/2",
+            UteParams::tightest(n, 6).unwrap_err(),
+        ),
+    ] {
+        println!("  {what}: {err}");
+    }
+
+    // Quarter-valued thresholds matter at the frontier: n=5, α=1 has no
+    // integer solution, but E=4.75, T=4.5 satisfies Theorem 1 (§3.3's
+    // real-valued construction E = n − ε).
+    assert!(AteParams::new(5, 1, Threshold::integer(4), Threshold::integer(4)).is_err());
+    let frontier = AteParams::max_e(5, 1).unwrap();
+    println!("\nfractional frontier: {frontier}");
+    assert_eq!(frontier.e(), Threshold::quarters(19));
+
+    // The headline numbers of §5.1 fall out of the same arithmetic:
+    let n = 24;
+    println!(
+        "\nat n={n}: Santoro–Widmayer forbids {} faults/round; A_{{T,E}} absorbs {}, U_{{T,E,α}} {}",
+        bounds::santoro_widmayer_faults_per_round(n),
+        bounds::ate_corruptions_per_round(n),
+        bounds::ute_corruptions_per_round(n),
+    );
+}

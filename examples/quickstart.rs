@@ -1,0 +1,61 @@
+//! Quickstart: consensus despite corrupted communication.
+//!
+//! Ten processes propose values; every round, up to α = 2 of each
+//! process's received messages are corrupted (the `P_α` predicate), and
+//! every fifth round communication happens to be clean (satisfying
+//! `P^{A,live}`). `A_{T,E}` with the canonical thresholds of
+//! Proposition 4 decides anyway — and we verify both the consensus
+//! properties and the communication predicates on the recorded trace.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use heardof::analysis::{ate_live, ate_p_alpha};
+use heardof::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 10;
+    let alpha = 2; // corrupted receptions tolerated per process per round
+
+    // E = T = 2(n + 2α)/3 — the canonical instantiation (§3.3).
+    let params = AteParams::balanced(n, alpha)?;
+    println!("algorithm: {params}");
+
+    let algo: Ate<u64> = Ate::new(params);
+
+    // Adversary: every receiver gets its full corruption budget every
+    // round (clamped to P_α by construction), except on every 5th round.
+    let adversary = WithSchedule::new(
+        Budgeted::new(RandomCorruption::new(alpha, 1.0), alpha),
+        GoodRounds::every(5),
+    );
+
+    let outcome = Simulator::new(algo, n)
+        .adversary(adversary)
+        .seed(42)
+        .initial_values((0..n).map(|i| i as u64 % 3))
+        .run_until_decided(1_000)?;
+
+    println!(
+        "decided: {} of {n} processes in {} rounds",
+        outcome.trace.decided_count(),
+        outcome.rounds_executed
+    );
+    println!("decision value: {:?}", outcome.decided_value());
+    assert!(outcome.consensus_ok(), "Agreement/Integrity/Termination");
+
+    // The machine's predicates, checked on what actually happened:
+    let p_alpha = ate_p_alpha(&params);
+    let p_live = ate_live(&params);
+    println!("{}", p_alpha.check(&outcome.trace));
+    println!("{}", p_live.check(&outcome.trace));
+    assert!(p_alpha.holds(&outcome.trace));
+    assert!(p_live.holds(&outcome.trace));
+
+    // How much corruption did the run absorb?
+    let total: usize = (1..=outcome.trace.num_rounds() as u64)
+        .map(|r| outcome.trace.round_sets(Round::new(r)).total_corruptions())
+        .sum();
+    println!("total corrupted receptions absorbed: {total}");
+
+    Ok(())
+}

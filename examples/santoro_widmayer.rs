@@ -1,0 +1,74 @@
+//! Circumventing the Santoro–Widmayer impossibility.
+//!
+//! [18] proves agreement impossible with ⌊n/2⌋ dynamic value
+//! transmission faults per round — realized by corrupting one (rotating)
+//! sender's entire output "block" every round. This example runs exactly
+//! that adversary, *every round, forever*, against both of the paper's
+//! algorithms:
+//!
+//! * each receiver sees only **one** corrupted message per round, so the
+//!   per-receiver predicate `P_1` holds — safety is never in danger;
+//! * termination only needs sporadic good rounds (transient faults),
+//!   which we grant every 7th round.
+//!
+//! Total faults per round: n — double the impossibility threshold.
+//!
+//! Run with: `cargo run --example santoro_widmayer`
+
+use heardof::core::bounds;
+use heardof::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 12;
+    let alpha = 1; // the block pattern costs each receiver exactly 1
+
+    println!(
+        "Santoro–Widmayer bound: {} faults/round make agreement impossible",
+        bounds::santoro_widmayer_faults_per_round(n)
+    );
+    println!("block adversary injects: {n} corrupted messages/round\n");
+
+    // --- A_{T,E} ---
+    let params = AteParams::balanced(n, alpha)?;
+    let adversary = WithSchedule::new(
+        SantoroWidmayerBlock::all_receivers(),
+        GoodRounds::every(7),
+    );
+    let outcome = Simulator::new(Ate::<u64>::new(params), n)
+        .adversary(adversary)
+        .seed(1)
+        .initial_values((0..n).map(|i| i as u64 % 2))
+        .run_until_decided(500)?;
+    assert!(outcome.consensus_ok());
+    println!(
+        "A_{{T,E}}   : consensus on {:?} at round {} under permanent block faults",
+        outcome.decided_value().unwrap(),
+        outcome.last_decision_round().unwrap()
+    );
+
+    // --- U_{T,E,α} --- (tolerates the same pattern with its own thresholds)
+    let uparams = UteParams::tightest(n, alpha)?;
+    let adversary = WithSchedule::new(
+        SantoroWidmayerBlock::all_receivers(),
+        GoodRounds::phase_window_every(8),
+    );
+    let outcome = Simulator::new(Ute::new(uparams, 0u64), n)
+        .adversary(adversary)
+        .seed(1)
+        .initial_values((0..n).map(|i| i as u64 % 2))
+        .run_until_decided(500)?;
+    assert!(outcome.consensus_ok());
+    println!(
+        "U_{{T,E,α}} : consensus on {:?} at round {} under permanent block faults",
+        outcome.decided_value().unwrap(),
+        outcome.last_decision_round().unwrap()
+    );
+
+    // The per-round totals both algorithms tolerate at max budget:
+    println!(
+        "\nat maximal budgets: A tolerates {} (≈ n²/4), U tolerates {} (≈ n²/2) corrupted messages/round",
+        bounds::ate_corruptions_per_round(n),
+        bounds::ute_corruptions_per_round(n),
+    );
+    Ok(())
+}

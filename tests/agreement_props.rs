@@ -1,0 +1,131 @@
+//! Property tests: the safety theorems hold under randomized adversaries.
+//!
+//! Proposition 1–2 (for `A_{T,E}` under `P_α`) and Propositions 5–6 (for
+//! `U_{T,E,α}` under `P_α ∧ P^{U,safe}`) — checked over random system
+//! sizes, budgets, adversary families and seeds. Every run also verifies
+//! that the adversary actually stayed inside its predicate.
+
+use heardof::prelude::*;
+use proptest::prelude::*;
+
+fn ate_adversary(kind: u8, alpha: u32, link_prob: f64) -> Box<dyn Adversary<u64>> {
+    match kind % 4 {
+        0 => Box::new(Budgeted::new(RandomCorruption::new(alpha, link_prob), alpha)),
+        1 => Box::new(Budgeted::new(
+            BorrowedCorruption::new(alpha, link_prob),
+            alpha,
+        )),
+        2 => Box::new(Budgeted::new(SplitBrain::new(alpha), alpha)),
+        _ => Box::new(Seq::new(
+            RandomOmission::new(link_prob * 0.4),
+            Budgeted::new(RandomCorruption::new(alpha, link_prob), alpha),
+        )),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A_{T,E} with valid thresholds is safe under ANY `P_α` adversary,
+    /// including ones mixing omissions with the full corruption budget.
+    #[test]
+    fn ate_safety_under_p_alpha(
+        n in 5usize..16,
+        alpha_pick in 0u32..4,
+        kind in 0u8..4,
+        link_prob in 0.2f64..1.0,
+        seed in any::<u64>(),
+        balanced in any::<bool>(),
+    ) {
+        let alpha = alpha_pick.min(AteParams::max_alpha(n));
+        let params = if balanced {
+            AteParams::balanced(n, alpha).unwrap()
+        } else {
+            AteParams::max_e(n, alpha).unwrap()
+        };
+        let outcome = Simulator::new(Ate::<u64>::new(params), n)
+            .adversary(ate_adversary(kind, alpha, link_prob))
+            .initial_values((0..n).map(|i| (seed % 5) + i as u64 % 3))
+            .seed(seed)
+            .run_rounds(25)
+            .unwrap();
+        // The adversary stayed within its budget…
+        prop_assert!(PAlpha::new(alpha).holds(&outcome.trace));
+        // …and the algorithm stayed safe.
+        prop_assert!(outcome.is_safe(), "violations: {:?}", outcome.verdict.violations);
+    }
+
+    /// Integrity specifically: unanimous inputs survive the budget.
+    #[test]
+    fn ate_integrity_under_p_alpha(
+        n in 5usize..16,
+        kind in 0u8..4,
+        seed in any::<u64>(),
+        v0 in 0u64..100,
+    ) {
+        let alpha = AteParams::max_alpha(n);
+        let params = AteParams::balanced(n, alpha).unwrap();
+        let outcome = Simulator::new(Ate::<u64>::new(params), n)
+            .adversary(ate_adversary(kind, alpha, 1.0))
+            .initial_values(vec![v0; n])
+            .seed(seed)
+            .run_rounds(20)
+            .unwrap();
+        prop_assert!(outcome.is_safe(), "violations: {:?}", outcome.verdict.violations);
+        // Any decision must be v0.
+        for d in outcome.verdict.decisions.iter().flatten() {
+            prop_assert_eq!(d.1, v0);
+        }
+    }
+
+    /// U_{T,E,α} is safe under `P_α ∧ P^{U,safe}`: corruption-only
+    /// adversaries whose budget also keeps |SHO| above the P^{U,safe}
+    /// bound.
+    #[test]
+    fn ute_safety_under_its_predicates(
+        n in 5usize..16,
+        alpha_pick in 0u32..6,
+        seed in any::<u64>(),
+        link_prob in 0.2f64..1.0,
+    ) {
+        let alpha = alpha_pick.min(UteParams::max_alpha(n));
+        let params = UteParams::tightest(n, alpha).unwrap();
+        // P^{U,safe} demands |SHO(p,r)| ≥ u_safe_min every round; with
+        // full delivery that caps corruption at n − u_safe_min.
+        let u_safe_min = params.u_safe_bound().min_exceeding_count();
+        let budget = alpha.min((n.saturating_sub(u_safe_min)) as u32);
+        let outcome = Simulator::new(Ute::new(params, 0u64), n)
+            .adversary(Budgeted::new(RandomCorruption::new(budget, link_prob), budget))
+            .initial_values((0..n).map(|i| i as u64 % 4))
+            .seed(seed)
+            .run_rounds(24)
+            .unwrap();
+        prop_assert!(PAlpha::new(alpha).holds(&outcome.trace));
+        prop_assert!(MinSho::new(u_safe_min).holds(&outcome.trace),
+            "the adversary construction must maintain P^U,safe");
+        prop_assert!(outcome.is_safe(), "violations: {:?}", outcome.verdict.violations);
+    }
+
+    /// Decisions are irrevocable and agreement persists when runs
+    /// continue long after everyone decided (faults still firing).
+    #[test]
+    fn decisions_stay_locked_after_termination(
+        n in 5usize..12,
+        seed in any::<u64>(),
+    ) {
+        let alpha = AteParams::max_alpha(n);
+        let params = AteParams::balanced(n, alpha).unwrap();
+        let adversary = WithSchedule::new(
+            Budgeted::new(SplitBrain::new(alpha), alpha),
+            GoodRounds::every(4),
+        );
+        let outcome = Simulator::new(Ate::<u64>::new(params), n)
+            .adversary(adversary)
+            .initial_values((0..n).map(|i| i as u64 % 2))
+            .seed(seed)
+            .extra_rounds_after_decision(10)
+            .run_until_decided(200)
+            .unwrap();
+        prop_assert!(outcome.consensus_ok(), "violations: {:?}", outcome.verdict.violations);
+    }
+}

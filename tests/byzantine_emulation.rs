@@ -1,0 +1,114 @@
+//! §5.2: classical Byzantine settings expressed inside the HO model.
+//!
+//! A static, permanent corrupter set of size `f` is indistinguishable
+//! (from the outside) from `f` Byzantine processes — and, unlike the
+//! classical treatment, here even the "Byzantine" processes must decide
+//! correctly, because only their *transmissions* are faulty.
+
+use heardof::prelude::*;
+
+#[test]
+fn static_corrupters_satisfy_both_classic_predicates() {
+    let n = 7;
+    let f = 2;
+    let params = UteParams::tightest(n, f as u32).unwrap();
+    let adversary = WithSchedule::new(
+        StaticByzantine::first(n, f),
+        GoodRounds::phase_window_every(8),
+    );
+    let outcome = Simulator::new(Ute::new(params, 0u64), n)
+        .adversary(adversary)
+        .initial_values((0..n).map(|i| i as u64 % 3))
+        .seed(21)
+        .run_until_decided(300)
+        .unwrap();
+    assert!(outcome.consensus_ok());
+
+    assert!(AsyncByzantine::new(f).holds(&outcome.trace));
+    assert!(!AsyncByzantine::new(f - 1).holds(&outcome.trace));
+    assert!(SyncByzantine::new(f).holds(&outcome.trace));
+    // The whole-run altered span is exactly the corrupter set.
+    let span = outcome.trace.to_history().altered_span();
+    assert_eq!(span, ProcessSet::from_indices(n, 0..f));
+}
+
+#[test]
+fn corrupted_senders_decide_too() {
+    // The corrupters' own states follow T_p^r faithfully; they decide
+    // the same value as everyone else.
+    let n = 9;
+    let f = 3;
+    let params = UteParams::tightest(n, f as u32).unwrap();
+    let adversary = WithSchedule::new(
+        StaticByzantine::first(n, f),
+        GoodRounds::phase_window_every(6),
+    );
+    let outcome = Simulator::new(Ute::new(params, 0u64), n)
+        .adversary(adversary)
+        .initial_values((0..n).map(|i| i as u64 % 2))
+        .seed(33)
+        .run_until_decided(300)
+        .unwrap();
+    assert!(outcome.consensus_ok());
+    let v = outcome.decided_value().unwrap().clone();
+    for p in all_processes(n) {
+        assert_eq!(
+            outcome.trace.final_decision(p),
+            Some(&v),
+            "{p} (corrupter or not) must decide {v}"
+        );
+    }
+}
+
+#[test]
+fn symmetric_byzantine_is_weaker_than_asymmetric() {
+    // "Identical Byzantine" senders deliver the same wrong value to
+    // everyone — receivers then agree on what they saw, which A_{T,E}
+    // handles with the same budget but visibly milder dynamics: the
+    // altered span still marks the corrupters, and every receiver's AHO
+    // is exactly the corrupter set.
+    let n = 12;
+    let f = 2;
+    let params = AteParams::balanced(n, f as u32).unwrap();
+    let adversary = WithSchedule::new(SymmetricByzantine::first(n, f), GoodRounds::every(4));
+    let outcome = Simulator::new(Ate::<u64>::new(params), n)
+        .adversary(adversary)
+        .initial_values((0..n).map(|i| 10 + i as u64 % 2))
+        .seed(17)
+        .run_until_decided(200)
+        .unwrap();
+    assert!(outcome.consensus_ok());
+    for rec in outcome.trace.rounds() {
+        if rec.sets.is_benign() {
+            continue; // a scheduled good round
+        }
+        let expected = ProcessSet::from_indices(n, 0..f);
+        for p in all_processes(n) {
+            assert_eq!(rec.sets.aho(p), expected, "round {}, {p}", rec.round);
+        }
+    }
+}
+
+#[test]
+fn sync_byzantine_predicate_matches_safe_kernel() {
+    // |SK| ≥ n − f is about the whole-run safe kernel; rotating faults
+    // (dynamic!) empty the kernel even though each round looks mild —
+    // the static predicate is genuinely stronger, which is the paper's
+    // point about dynamic vs static faults.
+    let n = 6;
+    let outcome = Simulator::new(
+        Ate::<u64>::new(AteParams::balanced(n, 1).unwrap()),
+        n,
+    )
+    .adversary(SantoroWidmayerBlock::all_receivers())
+    .initial_values((0..n).map(|i| i as u64 % 2))
+    .seed(3)
+    .run_rounds(n) // one full rotation: every process corrupted once
+    .unwrap();
+    // Per-round: fine for f = 1. Whole-run: every sender corrupted at
+    // some round, so SK is empty and even f = n − 1 barely holds.
+    assert!(PAlpha::new(1).holds(&outcome.trace));
+    assert!(!SyncByzantine::new(1).holds(&outcome.trace));
+    assert_eq!(outcome.trace.to_history().safe_kernel().len(), 0);
+    assert!(SyncByzantine::new(n).holds(&outcome.trace));
+}

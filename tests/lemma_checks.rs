@@ -1,0 +1,176 @@
+//! Executable counterparts of the paper's lemmas, checked on recorded
+//! traces of adversarial runs.
+
+use heardof::prelude::*;
+use proptest::prelude::*;
+
+/// Builds a corrupted A_{T,E} run and returns its full-detail trace.
+fn adversarial_run(
+    n: usize,
+    alpha: u32,
+    seed: u64,
+    rounds: usize,
+) -> heardof::sim::RunOutcome<Ate<u64>> {
+    let params = AteParams::balanced(n, alpha).unwrap();
+    Simulator::new(Ate::<u64>::new(params), n)
+        .adversary(Budgeted::new(RandomCorruption::new(alpha, 0.9), alpha))
+        .initial_values((0..n).map(|i| i as u64 % 3))
+        .seed(seed)
+        .run_rounds(rounds)
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Lemma 1: |R_p^r(v)| ≤ |Q^r(v)| + |AHO(p, r)| — at every process,
+    /// round, and value.
+    #[test]
+    fn lemma1_reception_bounded_by_intention_plus_corruption(
+        n in 4usize..12,
+        seed in any::<u64>(),
+    ) {
+        let alpha = AteParams::max_alpha(n);
+        let outcome = adversarial_run(n, alpha, seed, 10);
+        for rec in outcome.trace.rounds() {
+            for p in all_processes(n) {
+                let aho = rec.sets.aho_len(p);
+                for v in 0..6u64 {
+                    let r_count = rec.r_count(p, &v).expect("full trace");
+                    let q_count = rec.q_count(&v).expect("full trace");
+                    prop_assert!(
+                        r_count <= q_count + aho,
+                        "round {}, {p}, v={v}: |R|={r_count} > |Q|={q_count} + |AHO|={aho}",
+                        rec.round
+                    );
+                }
+            }
+        }
+    }
+
+    /// Lemma 2 / Lemma 7: with E ≥ n/2, at most one value can clear the
+    /// decision guard in any reception vector.
+    #[test]
+    fn lemma2_at_most_one_decidable_value(
+        n in 4usize..12,
+        seed in any::<u64>(),
+    ) {
+        let alpha = AteParams::max_alpha(n);
+        let params = AteParams::balanced(n, alpha).unwrap();
+        let outcome = adversarial_run(n, alpha, seed, 10);
+        for rec in outcome.trace.rounds() {
+            let detail = rec.detail.as_ref().expect("full trace");
+            for p in all_processes(n) {
+                let rx = detail.delivered.column(p);
+                let over_e = (0..6u64)
+                    .filter(|v| params.e().exceeded_by(rx.count_value(v)))
+                    .count();
+                prop_assert!(over_e <= 1, "two values cleared E at {p}, round {}", rec.round);
+            }
+        }
+    }
+
+    /// Set-algebra invariants of §2.1: SHO ⊆ HO, SK(r) ⊆ K(r),
+    /// AS(r) = ∪ AHO(p,r), kernels shrink monotonically over the run.
+    #[test]
+    fn heard_of_set_invariants(
+        n in 4usize..12,
+        seed in any::<u64>(),
+    ) {
+        let alpha = AteParams::max_alpha(n);
+        let outcome = adversarial_run(n, alpha, seed, 12);
+        let trace = &outcome.trace;
+        let mut cumulative_kernel = ProcessSet::full(n);
+        for rec in trace.rounds() {
+            let sets = &rec.sets;
+            let mut span = ProcessSet::empty(n);
+            for p in all_processes(n) {
+                prop_assert!(sets.sho(p).is_subset(sets.ho(p)));
+                span.union_with(&sets.aho(p));
+            }
+            prop_assert_eq!(span, sets.altered_span());
+            prop_assert!(sets.safe_kernel().is_subset(&sets.kernel()));
+            let next = cumulative_kernel.intersection(&sets.kernel());
+            prop_assert!(next.is_subset(&cumulative_kernel));
+            cumulative_kernel = next;
+        }
+        prop_assert_eq!(cumulative_kernel, trace.to_history().kernel());
+    }
+
+    /// Lemma 8 (vote uniqueness): under P_α with T ≥ n/2 + α, no round
+    /// of U_{T,E,α} produces two distinct true votes.
+    #[test]
+    fn lemma8_unique_true_vote(
+        n in 5usize..14,
+        alpha_pick in 0u32..5,
+        seed in any::<u64>(),
+    ) {
+        let alpha = alpha_pick.min(UteParams::max_alpha(n));
+        let params = UteParams::tightest(n, alpha).unwrap();
+        let outcome = Simulator::new(Ute::new(params, 0u64), n)
+            .adversary(Budgeted::new(RandomCorruption::new(alpha, 0.9), alpha))
+            .initial_values((0..n).map(|i| i as u64 % 3))
+            .seed(seed)
+            .run_rounds(16)
+            .unwrap();
+        // Inspect post-round states at the end of each odd round: the
+        // set of non-? votes must name at most one value.
+        for rec in outcome.trace.rounds() {
+            if rec.round.is_first_of_phase() {
+                let detail = rec.detail.as_ref().expect("full trace");
+                let mut vote_values = std::collections::HashSet::new();
+                for state in &detail.states_after {
+                    if let Some(v) = &state.vote {
+                        vote_values.insert(*v);
+                    }
+                }
+                prop_assert!(
+                    vote_values.len() <= 1,
+                    "round {}: true votes for {:?}",
+                    rec.round,
+                    vote_values
+                );
+            }
+        }
+    }
+}
+
+/// Lemma 6 is pure counting: |A| + |B| > n + α ⟹ |A ∩ B| > α.
+#[test]
+fn lemma6_intersection_counting() {
+    let n = 10;
+    for size_a in 0..=n {
+        for size_b in 0..=n {
+            for alpha in 0..n {
+                if size_a + size_b > n + alpha {
+                    // Worst case overlap is |A| + |B| − n.
+                    let a = ProcessSet::from_indices(n, 0..size_a);
+                    let b = ProcessSet::from_indices(n, n - size_b..n);
+                    assert!(
+                        a.intersection(&b).len() > alpha,
+                        "|A|={size_a}, |B|={size_b}, α={alpha}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Theorem 1's implication chain, numerically: n > T ≥ 2(n+2α−E) and
+/// n > E imply E ≥ n/2 + α and T ≥ 2α across the whole feasible grid.
+#[test]
+fn theorem1_condition_implications() {
+    for n in 2..60usize {
+        for alpha in 0..=AteParams::max_alpha(n) {
+            for params in [AteParams::balanced(n, alpha), AteParams::max_e(n, alpha)] {
+                let params = params.unwrap();
+                let need_e = Threshold::half_n_plus_alpha(n, alpha);
+                assert!(params.e() >= need_e, "{params}: E < n/2 + α");
+                assert!(
+                    params.t() >= Threshold::integer(2 * alpha),
+                    "{params}: T < 2α"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Differential equivalence with the benign baselines (§3.3, §4.1).
+//!
+//! The paper: "in the benign case (i.e., α = 0) … `A_{2n/3,2n/3}`
+//! exactly coincides with the OneThirdRule algorithm". Likewise
+//! `U_{n/2,n/2,0}` instantiates UniformVoting. Both baselines are
+//! implemented *independently* (plain integer threshold arithmetic), so
+//! running both sides against identical seeds and comparing every
+//! decision and every estimate is a real check, not a tautology.
+
+use heardof::model::History as _;
+use heardof::prelude::*;
+use proptest::prelude::*;
+
+fn omission_adversary(p: f64, period: u64) -> impl Adversary<u64> {
+    WithSchedule::new(RandomOmission::new(p), GoodRounds::every(period))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn ate_alpha0_coincides_with_one_third_rule(
+        n in 3usize..20,
+        seed in any::<u64>(),
+        drop in 0.0f64..0.8,
+    ) {
+        let params = AteParams::balanced(n, 0).unwrap();
+        let rounds = 15;
+        let a = Simulator::new(Ate::<u64>::new(params), n)
+            .adversary(omission_adversary(drop, 5))
+            .initial_values((0..n).map(|i| i as u64 % 4))
+            .seed(seed)
+            .run_rounds(rounds)
+            .unwrap();
+        let b = Simulator::new(OneThirdRule::<u64>::new(n), n)
+            .adversary(omission_adversary(drop, 5))
+            .initial_values((0..n).map(|i| i as u64 % 4))
+            .seed(seed)
+            .run_rounds(rounds)
+            .unwrap();
+
+        // Same seeds ⇒ same fault pattern ⇒ the traces must agree on
+        // every decision snapshot and every heard-of set.
+        prop_assert_eq!(a.trace.num_rounds(), b.trace.num_rounds());
+        for (ra, rb) in a.trace.rounds().iter().zip(b.trace.rounds()) {
+            prop_assert_eq!(&ra.decisions, &rb.decisions, "round {}", ra.round);
+            prop_assert_eq!(&ra.sets, &rb.sets, "round {}", ra.round);
+            // Estimates coincide too (states live in different types).
+            let da = ra.detail.as_ref().unwrap();
+            let db = rb.detail.as_ref().unwrap();
+            for (sa, sb) in da.states_after.iter().zip(&db.states_after) {
+                prop_assert_eq!(sa.x, sb.x);
+                prop_assert_eq!(&sa.decided, &sb.decided);
+            }
+        }
+    }
+
+    #[test]
+    fn ute_alpha0_coincides_with_uniform_voting(
+        n in 3usize..16,
+        seed in any::<u64>(),
+        drop in 0.0f64..0.6,
+    ) {
+        let params = UteParams::tightest(n, 0).unwrap();
+        let rounds = 16;
+        let adversary = |_seed: u64| {
+            WithSchedule::new(RandomOmission::new(drop), GoodRounds::phase_window_every(6))
+        };
+        let a = Simulator::new(Ute::new(params, 0u64), n)
+            .adversary(adversary(seed))
+            .initial_values((0..n).map(|i| i as u64 % 3))
+            .seed(seed)
+            .run_rounds(rounds)
+            .unwrap();
+        let b = Simulator::new(UniformVoting::new(n, 0u64), n)
+            .adversary(adversary(seed))
+            .initial_values((0..n).map(|i| i as u64 % 3))
+            .seed(seed)
+            .run_rounds(rounds)
+            .unwrap();
+
+        for (ra, rb) in a.trace.rounds().iter().zip(b.trace.rounds()) {
+            prop_assert_eq!(&ra.decisions, &rb.decisions, "round {}", ra.round);
+            let da = ra.detail.as_ref().unwrap();
+            let db = rb.detail.as_ref().unwrap();
+            for (sa, sb) in da.states_after.iter().zip(&db.states_after) {
+                prop_assert_eq!(sa.x, sb.x, "round {}", ra.round);
+                prop_assert_eq!(&sa.vote, &sb.vote, "round {}", ra.round);
+                prop_assert_eq!(&sa.decided, &sb.decided, "round {}", ra.round);
+            }
+        }
+    }
+}
+
+/// The quarter-rounded balanced threshold accepts exactly the counts
+/// `3·count > 2n` for every n — the arithmetic heart of the coincidence.
+#[test]
+fn balanced_guard_equals_two_thirds_guard() {
+    for n in 1..500usize {
+        let params = AteParams::balanced(n, 0).unwrap();
+        for count in 0..=n {
+            assert_eq!(
+                params.e().exceeded_by(count),
+                3 * count > 2 * n,
+                "n={n}, count={count}"
+            );
+        }
+    }
+}
+
+/// Under corruption the two code bases *still* move in lockstep (they
+/// implement the same transition function; only the thresholds were
+/// parametrized).
+#[test]
+fn lockstep_even_under_corruption() {
+    let n = 9;
+    let seed = 77;
+    let adversary = || Budgeted::new(RandomCorruption::new(2, 0.8), 2);
+    let a = Simulator::new(Ate::<u64>::new(AteParams::balanced(n, 0).unwrap()), n)
+        .adversary(adversary())
+        .initial_values((0..n).map(|i| i as u64 % 3))
+        .seed(seed)
+        .run_rounds(12)
+        .unwrap();
+    let b = Simulator::new(OneThirdRule::<u64>::new(n), n)
+        .adversary(adversary())
+        .initial_values((0..n).map(|i| i as u64 % 3))
+        .seed(seed)
+        .run_rounds(12)
+        .unwrap();
+    for (ra, rb) in a.trace.rounds().iter().zip(b.trace.rounds()) {
+        assert_eq!(&ra.decisions, &rb.decisions);
+    }
+}

@@ -1,0 +1,101 @@
+//! Logical relations between communication predicates, checked on
+//! randomized adversarial traces (§2.2's remarks as properties).
+
+use heardof::prelude::*;
+use proptest::prelude::*;
+
+/// A trace from a mixed adversary: corruption + omissions + bursts.
+fn random_trace(n: usize, alpha: u32, seed: u64, rounds: usize) -> RunTrace<Ate<u64>> {
+    let params = AteParams::balanced(n, alpha)
+        .unwrap_or_else(|_| AteParams::max_e(n, AteParams::max_alpha(n)).unwrap());
+    let adversary = Seq::new(
+        RandomOmission::new(0.2),
+        TransientBurst::new(
+            Budgeted::new(RandomCorruption::new(alpha, 0.8), alpha),
+            1,
+            rounds as u64 / 2,
+        ),
+    );
+    Simulator::new(Ate::<u64>::new(params), n)
+        .adversary(adversary)
+        .initial_values((0..n).map(|i| i as u64 % 3))
+        .seed(seed)
+        .run_rounds(rounds)
+        .unwrap()
+        .trace
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// "Note that P_α^perm implies P_α" (§2.2): whenever the static
+    /// predicate holds on a trace, so does the dynamic one.
+    #[test]
+    fn perm_alpha_implies_alpha(n in 4usize..12, seed in any::<u64>(), alpha_pick in 0u32..3) {
+        let alpha = alpha_pick.min(AteParams::max_alpha(n));
+        let trace = random_trace(n, alpha, seed, 12);
+        for a in 0..=n as u32 {
+            if PPermAlpha::new(a).holds(&trace) {
+                prop_assert!(
+                    PAlpha::new(a).holds(&trace),
+                    "P_perm({a}) held but P_α({a}) did not"
+                );
+            }
+        }
+    }
+
+    /// P_benign ⟺ P_0: zero corrupted receptions per round is exactly
+    /// "no value fault ever".
+    #[test]
+    fn benign_iff_alpha_zero(n in 4usize..12, seed in any::<u64>(), alpha_pick in 0u32..3) {
+        let alpha = alpha_pick.min(AteParams::max_alpha(n));
+        let trace = random_trace(n, alpha, seed, 12);
+        prop_assert_eq!(PBenign.holds(&trace), PAlpha::new(0).holds(&trace));
+    }
+
+    /// Monotonicity: P_α ⟹ P_{α+1}; MinSho(k+1) ⟹ MinSho(k).
+    #[test]
+    fn predicates_are_monotone(n in 4usize..12, seed in any::<u64>()) {
+        let alpha = AteParams::max_alpha(n);
+        let trace = random_trace(n, alpha, seed, 12);
+        for a in 0..n as u32 {
+            if PAlpha::new(a).holds(&trace) {
+                prop_assert!(PAlpha::new(a + 1).holds(&trace));
+            }
+        }
+        for k in 1..=n {
+            if MinSho::new(k).holds(&trace) {
+                prop_assert!(MinSho::new(k - 1).holds(&trace));
+            }
+        }
+    }
+
+    /// Members of the whole-run safe kernel are never in the altered
+    /// span: |AS| ≤ n − |SK|, so SyncByzantine(f) bounds the span too.
+    #[test]
+    fn safe_kernel_disjoint_from_altered_span(n in 4usize..12, seed in any::<u64>()) {
+        let alpha = AteParams::max_alpha(n);
+        let trace = random_trace(n, alpha, seed, 12);
+        let history = trace.to_history();
+        let sk = history.safe_kernel();
+        let span = history.altered_span();
+        prop_assert!(sk.intersection(&span).is_empty());
+        prop_assert!(span.len() + sk.len() <= n);
+    }
+
+    /// The exact smallest α for which P_α holds equals the largest
+    /// per-round AHO observed.
+    #[test]
+    fn tightest_alpha_matches_max_aho(n in 4usize..12, seed in any::<u64>()) {
+        let alpha = AteParams::max_alpha(n);
+        let trace = random_trace(n, alpha, seed, 12);
+        let max_aho = (0..trace.rounds().len())
+            .map(|i| trace.rounds()[i].sets.max_aho())
+            .max()
+            .unwrap_or(0) as u32;
+        prop_assert!(PAlpha::new(max_aho).holds(&trace));
+        if max_aho > 0 {
+            prop_assert!(!PAlpha::new(max_aho - 1).holds(&trace));
+        }
+    }
+}
