@@ -8,6 +8,9 @@
 //! * [`Adversary`] — the environment interface; [`NoFaults`], [`Seq`].
 //! * [`Budgeted`] — clamps any strategy to the safety predicate `P_α`
 //!   *by construction*.
+//! * [`CodedChannel`] — passes any strategy's corruption through a
+//!   channel code (`heardof-coding`), trading value faults for
+//!   omissions and corrections.
 //! * Strategies: [`RandomCorruption`], [`BorrowedCorruption`],
 //!   [`RandomOmission`], [`SantoroWidmayerBlock`], [`StaticByzantine`],
 //!   [`SymmetricByzantine`], [`TransientBurst`], [`SplitBrain`].
@@ -33,12 +36,14 @@
 #![warn(rust_2018_idioms)]
 
 mod budget;
+mod coded;
 mod liveness;
 mod strategies;
 mod targeted;
 mod traits;
 
 pub use budget::{clamp_to_alpha, Budgeted};
+pub use coded::{CodedChannel, CodedStats};
 pub use liveness::{GoodRounds, WithSchedule};
 pub use strategies::{
     BorrowedCorruption, RandomCorruption, RandomOmission, SantoroWidmayerBlock, SenderOmission,

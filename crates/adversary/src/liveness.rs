@@ -73,7 +73,10 @@ impl GoodRounds {
     ///
     /// Panics if `start` is odd (the window must start at a round `2φ₀`).
     pub fn u_window_at(start: u64) -> Self {
-        assert!(start % 2 == 0, "a U-window must start at an even round");
+        assert!(
+            start.is_multiple_of(2),
+            "a U-window must start at an even round"
+        );
         GoodRounds::at([start, start + 1, start + 2])
     }
 
@@ -82,10 +85,10 @@ impl GoodRounds {
         let r = round.get();
         match self {
             GoodRounds::Never => false,
-            GoodRounds::Every { period } => r % period == 0,
+            GoodRounds::Every { period } => r.is_multiple_of(*period),
             GoodRounds::PhaseWindowEvery { period } => {
                 let base = r - (r % period);
-                base > 0 && r < base + 3 || r % period == 0
+                base > 0 && r < base + 3 || r.is_multiple_of(*period)
             }
             GoodRounds::At(set) => set.contains(&r),
         }
@@ -197,7 +200,7 @@ mod tests {
     #[test]
     fn phase_window_schedule_starts_even() {
         let s = GoodRounds::phase_window_every(5); // rounded to 6
-        // Windows at {6,7,8}, {12,13,14}, …
+                                                   // Windows at {6,7,8}, {12,13,14}, …
         for r in [6, 7, 8, 12, 13, 14] {
             assert!(s.is_good(Round::new(r)), "round {r}");
         }

@@ -137,7 +137,10 @@ impl BorrowedCorruption {
 
 impl<M: Clone + Eq + Send> Adversary<M> for BorrowedCorruption {
     fn name(&self) -> String {
-        format!("borrowed-corruption(α={}, p={})", self.alpha, self.link_prob)
+        format!(
+            "borrowed-corruption(α={}, p={})",
+            self.alpha, self.link_prob
+        )
     }
 
     fn deliver(
@@ -582,7 +585,9 @@ mod tests {
             let d = adv.deliver(Round::new(round), &m, &mut rng);
             let sets = RoundSets::from_matrices(&m, &d);
             assert_eq!(sets.max_aho(), 2);
-            assert!(sets.altered_span().is_subset(&ProcessSet::from_indices(6, [0, 1])));
+            assert!(sets
+                .altered_span()
+                .is_subset(&ProcessSet::from_indices(6, [0, 1])));
         }
     }
 
@@ -621,11 +626,9 @@ mod tests {
             <RandomCorruption as Adversary<u64>>::name(&RandomCorruption::new(1, 0.5))
                 .contains("α=1")
         );
-        assert!(
-            <SantoroWidmayerBlock as Adversary<u64>>::name(
-                &SantoroWidmayerBlock::first_receivers(3)
-            )
-            .contains("k=3")
-        );
+        assert!(<SantoroWidmayerBlock as Adversary<u64>>::name(
+            &SantoroWidmayerBlock::first_receivers(3)
+        )
+        .contains("k=3"));
     }
 }

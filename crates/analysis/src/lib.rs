@@ -52,4 +52,4 @@ pub use scenario::{Scenario, ScenarioResult};
 pub use stats::Summary;
 pub use table::Table;
 pub use witness::{ReceiverChoice, SearchOutcome, Witness, WitnessSearch};
-pub use witness_u::{UChoice, USearchOutcome, UteWitnessSearch, UWitness};
+pub use witness_u::{UChoice, USearchOutcome, UWitness, UteWitnessSearch};

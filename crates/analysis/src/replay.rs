@@ -59,9 +59,7 @@ impl Adversary<u64> for WitnessAdversary {
                 }
                 ReceiverChoice::HearAll { ones } => {
                     let mut current_ones = (0..n)
-                        .filter(|&s| {
-                            intended.get(ProcessId::new(s as u32), receiver) == Some(&1)
-                        })
+                        .filter(|&s| intended.get(ProcessId::new(s as u32), receiver) == Some(&1))
                         .count();
                     // Flip 0→1 or 1→0 until the scripted count holds.
                     for s in 0..n {
@@ -85,9 +83,7 @@ impl Adversary<u64> for WitnessAdversary {
                     // `ones`; the gap is bridged by ≤ α corruptions
                     // (guaranteed realizable by the search's emission).
                     let true_ones = (0..n)
-                        .filter(|&s| {
-                            intended.get(ProcessId::new(s as u32), receiver) == Some(&1)
-                        })
+                        .filter(|&s| intended.get(ProcessId::new(s as u32), receiver) == Some(&1))
                         .count();
                     let o_lo = m.saturating_sub(n - true_ones);
                     let o_hi = (*m).min(true_ones);

@@ -61,7 +61,9 @@ where
             extra_rounds: 0,
             adversary_factory: Box::new(|_| Box::new(heardof_adversary::NoFaults)),
             initial_factory: Box::new(move |seed| {
-                (0..n as u64).map(|i| A::Value::from((seed + i) % 3)).collect()
+                (0..n as u64)
+                    .map(|i| A::Value::from((seed + i) % 3))
+                    .collect()
             }),
             predicates: Vec::new(),
         }

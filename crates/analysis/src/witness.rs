@@ -325,12 +325,9 @@ impl WitnessSearch {
                 if let Entry::Vacant(slot) = parents.entry(next.clone()) {
                     slot.insert(Some((config.clone(), choices.clone())));
                     if let Some(violation) = self.violation_of(&next, unanimous) {
-                        return SearchOutcome::Violation(Box::new(self.reconstruct(
-                            initial,
-                            &parents,
-                            next,
-                            violation,
-                        )));
+                        return SearchOutcome::Violation(Box::new(
+                            self.reconstruct(initial, &parents, next, violation),
+                        ));
                     }
                     if parents.len() >= self.max_states {
                         complete = false;
@@ -340,12 +337,12 @@ impl WitnessSearch {
                 }
 
                 // Advance the odometer.
-                for slot in 0..n {
-                    idx[slot] += 1;
-                    if idx[slot] < options.len() {
+                for slot in idx.iter_mut() {
+                    *slot += 1;
+                    if *slot < options.len() {
                         continue 'outer;
                     }
-                    idx[slot] = 0;
+                    *slot = 0;
                 }
                 break;
             }
@@ -416,7 +413,8 @@ mod tests {
         let outcome = WitnessSearch::new(good, 3).run(&[false, false, true, true]);
         match outcome {
             SearchOutcome::Exhausted {
-                complete, states_explored,
+                complete,
+                states_explored,
             } => {
                 assert!(complete, "search must exhaust");
                 assert!(states_explored > 1);

@@ -361,8 +361,8 @@ impl UteWitnessSearch {
         // configuration and an identical-looking vote-round one have
         // different futures (est rounds only touch votes, vote rounds
         // only touch estimates/decisions).
-        let mut parents: HashMap<(UConfig, u8), Option<((UConfig, u8), Vec<UChoice>)>> =
-            HashMap::new();
+        type UKey = (UConfig, u8);
+        let mut parents: HashMap<UKey, Option<(UKey, Vec<UChoice>)>> = HashMap::new();
         parents.insert((start.clone(), 0), None);
         let mut frontier: VecDeque<(UConfig, usize)> = VecDeque::new();
         frontier.push_back((start, 0));
@@ -414,12 +414,12 @@ impl UteWitnessSearch {
                     }
                 }
 
-                for slot in 0..n {
-                    idx[slot] += 1;
-                    if idx[slot] < options.len() {
+                for slot in idx.iter_mut() {
+                    *slot += 1;
+                    if *slot < options.len() {
                         continue 'outer;
                     }
-                    idx[slot] = 0;
+                    *slot = 0;
                 }
                 break;
             }
@@ -467,8 +467,7 @@ mod tests {
         // Valid thresholds, unrestricted drops: Lemma 9's failure mode.
         // (A 1-majority start: with v₀ = 0, deciding 1 first and then
         // defaulting the others away toward 0 is the breakable shape.)
-        let outcome =
-            UteWitnessSearch::new(valid_params(), 3).run(&[true, true, true, false]);
+        let outcome = UteWitnessSearch::new(valid_params(), 3).run(&[true, true, true, false]);
         let USearchOutcome::Violation(w) = outcome else {
             panic!("expected a violation (P_α alone is insufficient for U)");
         };
@@ -481,8 +480,7 @@ mod tests {
         // From a 0-majority, every pathway (true votes, defaults) leads
         // to 0: the search honestly reports that no violation exists —
         // the witness family is complete over the binary domain.
-        let outcome =
-            UteWitnessSearch::new(valid_params(), 3).run(&[false, false, false, true]);
+        let outcome = UteWitnessSearch::new(valid_params(), 3).run(&[false, false, false, true]);
         assert!(!outcome.found_violation());
     }
 
@@ -490,7 +488,10 @@ mod tests {
     fn u_safe_floor_restores_safety() {
         let params = valid_params();
         let floor = params.u_safe_bound().min_exceeding_count();
-        assert_eq!(floor, 4, "at n=4, α=1 the floor demands full safe reception");
+        assert_eq!(
+            floor, 4,
+            "at n=4, α=1 the floor demands full safe reception"
+        );
         let outcome = UteWitnessSearch::new(params, 3)
             .with_min_sho(floor)
             .run(&[true, true, true, false]);
@@ -525,7 +526,9 @@ mod tests {
     fn n5_alpha2_same_story() {
         let params = UteParams::tightest(5, 2).unwrap(); // E = T = 4.5
         let initial = [true, true, true, false, false];
-        assert!(UteWitnessSearch::new(params, 3).run(&initial).found_violation());
+        assert!(UteWitnessSearch::new(params, 3)
+            .run(&initial)
+            .found_violation());
         let floor = params.u_safe_bound().min_exceeding_count();
         assert!(!UteWitnessSearch::new(params, 3)
             .with_min_sho(floor)
@@ -535,8 +538,7 @@ mod tests {
 
     #[test]
     fn witness_is_replayable_prose() {
-        let outcome =
-            UteWitnessSearch::new(valid_params(), 3).run(&[true, true, true, false]);
+        let outcome = UteWitnessSearch::new(valid_params(), 3).run(&[true, true, true, false]);
         if let USearchOutcome::Violation(w) = outcome {
             let text = w.to_string();
             assert!(text.contains("round 1:"));
@@ -566,9 +568,13 @@ mod tests {
             adopt: Some(true),
             decide: None
         }));
-        assert!(!opts
-            .iter()
-            .any(|c| matches!(c, UChoice::Vote { decide: Some(_), .. })));
+        assert!(!opts.iter().any(|c| matches!(
+            c,
+            UChoice::Vote {
+                decide: Some(_),
+                ..
+            }
+        )));
     }
 
     #[test]

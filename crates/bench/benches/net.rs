@@ -24,7 +24,9 @@ fn codec(c: &mut Criterion) {
         copy: 0,
         msg: UteMsg::Vote(Some(7u64)),
     };
-    group.bench_function("encode_vote_frame", |b| b.iter(|| encode_frame(&vote_frame)));
+    group.bench_function("encode_vote_frame", |b| {
+        b.iter(|| encode_frame(&vote_frame))
+    });
 
     for &len in &[64usize, 1024, 65536] {
         let data = vec![0xA5u8; len];
@@ -53,6 +55,7 @@ fn threaded_runtime(c: &mut Criterion) {
                         round_timeout: Duration::from_millis(20),
                         copies: 1,
                         max_rounds: 30,
+                        ..NetConfig::default()
                     },
                 )
             })

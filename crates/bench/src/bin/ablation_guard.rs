@@ -55,8 +55,7 @@ fn main() {
             let runs = 30u64;
             for seed in 0..runs {
                 // Omissions keep |HO| low; every 4th round is full.
-                let adversary =
-                    WithSchedule::new(RandomOmission::new(drop), GoodRounds::every(4));
+                let adversary = WithSchedule::new(RandomOmission::new(drop), GoodRounds::every(4));
                 let outcome = Simulator::new(algo.clone(), n)
                     .adversary(adversary)
                     .initial_values((0..n).map(|i| (seed + i as u64) % 2))

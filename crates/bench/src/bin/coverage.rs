@@ -47,7 +47,7 @@ fn main() {
         };
         let est = recommend_alpha(&faults, n, 1e-3);
         let alpha = est.recommended_alpha.clamp(0, AteParams::max_alpha(n));
-        let params = AteParams::balanced(n, alpha.max(0)).unwrap();
+        let params = AteParams::balanced(n, alpha).unwrap();
 
         let outcome = run_threaded(
             Ate::<u64>::new(params),
@@ -59,6 +59,7 @@ fn main() {
                 round_timeout: Duration::from_millis(40),
                 copies: 1,
                 max_rounds: 60,
+                ..NetConfig::default()
             },
         );
         let max_aho = (1..=outcome.history.num_rounds() as u64)

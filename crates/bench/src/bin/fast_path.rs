@@ -7,10 +7,10 @@
 //! by per-round/per-link accounting. This binary measures decision
 //! rounds across `n` for the three regimes and tabulates both bounds.
 
+use heardof_adversary::{Budgeted, GoodRounds, SantoroWidmayerBlock, WithSchedule};
 use heardof_analysis::{Summary, Table};
 use heardof_bench::header;
 use heardof_core::{bounds, Ate, AteParams};
-use heardof_adversary::{Budgeted, GoodRounds, SantoroWidmayerBlock, WithSchedule};
 use heardof_sim::Simulator;
 
 fn main() {

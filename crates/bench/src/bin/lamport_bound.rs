@@ -51,7 +51,13 @@ fn main() {
     println!("{}", t.to_ascii());
 
     // Empirical leg: A is safe AND fast at its point.
-    let mut t2 = Table::new(["n", "α", "runs", "violations", "fast decisions (≤2 clean rounds)"]);
+    let mut t2 = Table::new([
+        "n",
+        "α",
+        "runs",
+        "violations",
+        "fast decisions (≤2 clean rounds)",
+    ]);
     for &n in &[9usize, 21, 41] {
         let alpha = bounds::ate_max_alpha(n);
         let params = AteParams::balanced(n, alpha).unwrap();

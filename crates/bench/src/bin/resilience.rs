@@ -17,7 +17,12 @@ fn main() {
     );
 
     let mut table = Table::new([
-        "n", "α", "A: (T,E)", "A: consensus", "U: (T,E)", "U: consensus",
+        "n",
+        "α",
+        "A: (T,E)",
+        "A: consensus",
+        "U: (T,E)",
+        "U: consensus",
     ]);
 
     for &n in &[8usize, 16, 32] {

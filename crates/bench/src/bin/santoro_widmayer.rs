@@ -58,9 +58,13 @@ fn main() {
             bounds::santoro_widmayer_faults_per_round(n).to_string(),
             n.to_string(),
             a.consensus_ok().to_string(),
-            a.last_decision_round().map(|r| r.get().to_string()).unwrap_or_default(),
+            a.last_decision_round()
+                .map(|r| r.get().to_string())
+                .unwrap_or_default(),
             u.consensus_ok().to_string(),
-            u.last_decision_round().map(|r| r.get().to_string()).unwrap_or_default(),
+            u.last_decision_round()
+                .map(|r| r.get().to_string())
+                .unwrap_or_default(),
         ]);
     }
     println!("{}", t1.to_ascii());

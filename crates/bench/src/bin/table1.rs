@@ -23,8 +23,18 @@ fn main() {
     let seeds = 0..30u64;
 
     let mut table = Table::new([
-        "alg", "n", "α", "T", "E", "adversary", "runs", "violations", "decided", "rounds(mean/p99)",
-        "P_α", "P_live",
+        "alg",
+        "n",
+        "α",
+        "T",
+        "E",
+        "adversary",
+        "runs",
+        "violations",
+        "decided",
+        "rounds(mean/p99)",
+        "P_α",
+        "P_live",
     ]);
 
     for &n in &[8usize, 16, 33] {
@@ -73,7 +83,8 @@ fn main() {
                 "30".to_string(),
                 violations.to_string(),
                 format!("{decided}/30"),
-                s.map(|s| format!("{:.1}/{:.0}", s.mean, s.p99)).unwrap_or_default(),
+                s.map(|s| format!("{:.1}/{:.0}", s.mean, s.p99))
+                    .unwrap_or_default(),
                 format!("{palpha_ok}/30"),
                 format!("{plive_ok}/30"),
             ]);
@@ -125,7 +136,8 @@ fn main() {
                 "30".to_string(),
                 violations.to_string(),
                 format!("{decided}/30"),
-                s.map(|s| format!("{:.1}/{:.0}", s.mean, s.p99)).unwrap_or_default(),
+                s.map(|s| format!("{:.1}/{:.0}", s.mean, s.p99))
+                    .unwrap_or_default(),
                 format!("{palpha_ok}/30"),
                 format!("{plive_ok}/30"),
             ]);

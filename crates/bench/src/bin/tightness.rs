@@ -16,7 +16,10 @@ fn mixed_inputs(n: usize) -> Vec<bool> {
 fn outcome_cell(outcome: &SearchOutcome) -> (String, String) {
     match outcome {
         SearchOutcome::Violation(w) => (
-            format!("violation: {}", w.violation.split(':').next().unwrap_or("?")),
+            format!(
+                "violation: {}",
+                w.violation.split(':').next().unwrap_or("?")
+            ),
             w.rounds.len().to_string(),
         ),
         SearchOutcome::Exhausted {
@@ -40,7 +43,13 @@ fn main() {
          Agreement/Integrity; at the bounds no violation exists (bounded-exhaustive)",
     );
 
-    let mut t = Table::new(["n", "α", "configuration", "search result", "rounds to violate"]);
+    let mut t = Table::new([
+        "n",
+        "α",
+        "configuration",
+        "search result",
+        "rounds to violate",
+    ]);
 
     // The search is exhaustive: each round expands (2α+3)^n delivery
     // combinations per configuration, so the grid stays at small n —
@@ -74,7 +83,9 @@ fn main() {
 
             // (b) E one quarter below the agreement bound.
             let weak_e = Threshold::quarters(
-                Threshold::half_n_plus_alpha(n, alpha).raw().saturating_sub(1),
+                Threshold::half_n_plus_alpha(n, alpha)
+                    .raw()
+                    .saturating_sub(1),
             );
             let bad = AteParams::unchecked(n, alpha, Threshold::just_below(n), weak_e);
             let r = WitnessSearch::new(bad, 3).run(&mixed_inputs(n));

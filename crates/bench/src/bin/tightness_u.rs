@@ -37,13 +37,7 @@ fn main() {
          violations via vote starvation; adding the P^{U,safe} floor removes them all",
     );
 
-    let mut t = Table::new([
-        "n",
-        "α",
-        "initial",
-        "P_α only",
-        "P_α ∧ P^{U,safe} floor",
-    ]);
+    let mut t = Table::new(["n", "α", "initial", "P_α only", "P_α ∧ P^{U,safe} floor"]);
 
     for (n, alpha) in [(4usize, 1u32), (5, 1), (5, 2), (6, 2)] {
         let params = UteParams::tightest(n, alpha).unwrap();

@@ -25,18 +25,13 @@
 #![warn(rust_2018_idioms)]
 
 use heardof_adversary::{
-    Adversary, BorrowedCorruption, Budgeted, GoodRounds, RandomCorruption, SplitBrain,
-    WithSchedule,
+    Adversary, BorrowedCorruption, Budgeted, GoodRounds, RandomCorruption, SplitBrain, WithSchedule,
 };
 use heardof_core::UteMsg;
 
 /// Standard `P_α`-respecting adversary families used across experiments,
 /// selected by index (kept stable so tables are comparable).
-pub fn ate_adversary_family(
-    kind: usize,
-    alpha: u32,
-    good_every: u64,
-) -> Box<dyn Adversary<u64>> {
+pub fn ate_adversary_family(kind: usize, alpha: u32, good_every: u64) -> Box<dyn Adversary<u64>> {
     let schedule = GoodRounds::every(good_every);
     match kind % 3 {
         0 => Box::new(WithSchedule::new(
@@ -89,6 +84,13 @@ pub fn header(artifact: &str, claim: &str) {
     println!("================================================================");
 }
 
+/// The smallest budget `α ≤ n` whose Chernoff upper tail for mean
+/// demand `mu` is below `tail_bound` — delegates to the canonical rule
+/// in `heardof_net` so the padding logic lives in one place.
+pub fn chernoff_alpha(mu: f64, n: usize, tail_bound: f64) -> u32 {
+    heardof_net::recommend_alpha_for_mean(mu, n, tail_bound)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -101,5 +103,17 @@ mod tests {
             let u = ute_adversary_family(k, 1, 6);
             assert!(!u.name().is_empty());
         }
+    }
+
+    #[test]
+    fn chernoff_alpha_behaves() {
+        assert_eq!(chernoff_alpha(0.0, 20, 1e-9), 0);
+        let low = chernoff_alpha(0.05, 20, 1e-6);
+        let high = chernoff_alpha(2.0, 20, 1e-6);
+        assert!(
+            low < high,
+            "more demand needs more budget ({low} vs {high})"
+        );
+        assert!(chernoff_alpha(50.0, 10, 1e-6) <= 10, "capped at n");
     }
 }

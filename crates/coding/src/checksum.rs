@@ -1,0 +1,234 @@
+//! The uncoded baseline and CRC-32-based checksums.
+//!
+//! CRC-32 (IEEE 802.3) moved here from `heardof-net` when coding became
+//! a first-class subsystem; the net crate re-exports [`crc32`] so the
+//! original API is unchanged. A [`Checksum`] is pure *detection*: it
+//! converts corruptions into omissions, never repairs them. Narrower
+//! widths trade detection coverage for overhead — an 8-bit trailer
+//! misses about 1 in 256 random corruptions, which is exactly the kind
+//! of residual value-fault rate the `α` budget must then absorb.
+
+use crate::code::{ChannelCode, CodeError};
+
+/// The CRC-32 lookup table (reflected, polynomial `0xEDB88320`).
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// Computes the CRC-32 (IEEE) of `data`.
+///
+/// # Examples
+///
+/// ```
+/// // The canonical check value.
+/// assert_eq!(heardof_coding::crc32(b"123456789"), 0xCBF4_3926);
+/// ```
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        let idx = ((crc ^ byte as u32) & 0xFF) as usize;
+        crc = (crc >> 8) ^ TABLE[idx];
+    }
+    !crc
+}
+
+/// The identity code: no redundancy, no detection. Every corruption
+/// that still parses is an undetected value fault — the paper's raw
+/// `α`-counted event. This is the baseline every other code is measured
+/// against.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoCode;
+
+impl ChannelCode for NoCode {
+    fn name(&self) -> String {
+        "none".to_string()
+    }
+
+    fn encoded_len(&self, payload_len: usize) -> usize {
+        payload_len
+    }
+
+    fn encode(&self, payload: &[u8]) -> Vec<u8> {
+        payload.to_vec()
+    }
+
+    fn decode(&self, wire: &[u8]) -> Result<Vec<u8>, CodeError> {
+        Ok(wire.to_vec())
+    }
+}
+
+/// An error-*detecting* code: the payload followed by the low `width`
+/// bytes of its CRC-32 (little-endian). `width == 4` reproduces the
+/// seed wire format byte-for-byte.
+#[derive(Clone, Copy, Debug)]
+pub struct Checksum {
+    width: u8,
+}
+
+impl Checksum {
+    /// The full 32-bit checksum (the workspace default).
+    pub fn crc32() -> Self {
+        Checksum { width: 4 }
+    }
+
+    /// A truncated checksum of `width` bytes (1, 2 or 4). Narrow
+    /// widths have *measurable* miss rates (~`2^-8w`), useful for
+    /// studying the residual-α a detection gap induces.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `width` is 1, 2 or 4.
+    pub fn with_width(width: u8) -> Self {
+        assert!(
+            matches!(width, 1 | 2 | 4),
+            "checksum width must be 1, 2 or 4 bytes, got {width}"
+        );
+        Checksum { width }
+    }
+
+    /// Checksum width in bytes.
+    pub fn width(&self) -> u8 {
+        self.width
+    }
+
+    fn trailer(&self, payload: &[u8]) -> Vec<u8> {
+        crc32(payload).to_le_bytes()[..self.width as usize].to_vec()
+    }
+}
+
+impl Default for Checksum {
+    fn default() -> Self {
+        Checksum::crc32()
+    }
+}
+
+impl ChannelCode for Checksum {
+    fn name(&self) -> String {
+        format!("checksum{}", self.width * 8)
+    }
+
+    fn encoded_len(&self, payload_len: usize) -> usize {
+        payload_len + self.width as usize
+    }
+
+    fn encode(&self, payload: &[u8]) -> Vec<u8> {
+        let mut wire = Vec::with_capacity(self.encoded_len(payload.len()));
+        wire.extend_from_slice(payload);
+        wire.extend_from_slice(&self.trailer(payload));
+        wire
+    }
+
+    fn decode(&self, wire: &[u8]) -> Result<Vec<u8>, CodeError> {
+        let w = self.width as usize;
+        if wire.len() < w {
+            return Err(CodeError::Malformed);
+        }
+        let (payload, trailer) = wire.split_at(wire.len() - w);
+        if self.trailer(payload) != trailer {
+            return Err(CodeError::Detected);
+        }
+        Ok(payload.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::code::FrameOutcome;
+
+    #[test]
+    fn crc_known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn crc_detects_single_bit_flips() {
+        let data = b"heard-of model with value faults".to_vec();
+        let clean = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut corrupted = data.clone();
+                corrupted[byte] ^= 1 << bit;
+                assert_ne!(crc32(&corrupted), clean, "flip at {byte}:{bit} undetected");
+            }
+        }
+    }
+
+    #[test]
+    fn no_code_passes_corruption_through() {
+        let payload = b"value".to_vec();
+        let mut wire = NoCode.encode(&payload);
+        assert_eq!(NoCode.classify(&payload, &wire), FrameOutcome::Delivered);
+        wire[0] ^= 1;
+        assert_eq!(
+            NoCode.classify(&payload, &wire),
+            FrameOutcome::UndetectedValueFault
+        );
+    }
+
+    #[test]
+    fn checksum_roundtrips_all_widths() {
+        for width in [1u8, 2, 4] {
+            let code = Checksum::with_width(width);
+            for payload in [b"".to_vec(), b"x".to_vec(), vec![0xAB; 100]] {
+                let wire = code.encode(&payload);
+                assert_eq!(wire.len(), payload.len() + width as usize);
+                assert_eq!(code.decode(&wire).unwrap(), payload);
+            }
+        }
+    }
+
+    #[test]
+    fn checksum_turns_flips_into_omissions() {
+        let code = Checksum::crc32();
+        let payload = b"consensus".to_vec();
+        let clean = code.encode(&payload);
+        for byte in 0..clean.len() {
+            let mut wire = clean.clone();
+            wire[byte] ^= 0x40;
+            assert_eq!(
+                code.classify(&payload, &wire),
+                FrameOutcome::DetectedOmission,
+                "flip at byte {byte} must be detected"
+            );
+        }
+    }
+
+    #[test]
+    fn short_wire_is_malformed() {
+        assert_eq!(
+            Checksum::crc32().decode(&[1, 2, 3]),
+            Err(CodeError::Malformed)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "checksum width")]
+    fn bad_width_panics() {
+        let _ = Checksum::with_width(3);
+    }
+}

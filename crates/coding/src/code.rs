@@ -1,0 +1,200 @@
+//! The [`ChannelCode`] trait, per-frame outcomes, and the serializable
+//! [`CodeSpec`] used to pick a code in configurations.
+
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+
+/// What happened to one frame after traversing a noisy channel and the
+/// receiver's decoder — the three-way split at the heart of the paper's
+/// fault taxonomy.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum FrameOutcome {
+    /// The decoder returned the original payload (possibly after
+    /// correcting errors). The reception is *safe*: `q ∈ SHO(p, r)`.
+    Delivered,
+    /// The decoder rejected the frame. A corruption became a benign
+    /// omission: `q ∉ HO(p, r)`.
+    DetectedOmission,
+    /// The decoder accepted a payload different from the original — an
+    /// undetected value fault, the event the budget `α` must absorb:
+    /// `q ∈ AHO(p, r)`.
+    UndetectedValueFault,
+}
+
+impl fmt::Display for FrameOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameOutcome::Delivered => write!(f, "delivered"),
+            FrameOutcome::DetectedOmission => write!(f, "detected-omission"),
+            FrameOutcome::UndetectedValueFault => write!(f, "undetected-value-fault"),
+        }
+    }
+}
+
+/// Why a decoder rejected a frame.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CodeError {
+    /// The wire data cannot belong to this code (wrong length shape).
+    Malformed,
+    /// The code's redundancy check failed (checksum mismatch, or an
+    /// uncorrectable error pattern such as SECDED's double-bit case).
+    Detected,
+}
+
+impl fmt::Display for CodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodeError::Malformed => write!(f, "wire data is malformed for this code"),
+            CodeError::Detected => write!(f, "corruption detected by the code"),
+        }
+    }
+}
+
+impl Error for CodeError {}
+
+/// A block channel code over byte payloads.
+///
+/// Implementations must be deterministic and total: `decode(encode(p))
+/// == Ok(p)` for every payload `p`, including the empty one.
+pub trait ChannelCode: Send + Sync {
+    /// Short human-readable name, e.g. `"hamming74"` (used in reports).
+    fn name(&self) -> String;
+
+    /// Encoded length for a `payload_len`-byte payload.
+    fn encoded_len(&self, payload_len: usize) -> usize;
+
+    /// Adds redundancy to `payload`, producing the wire image.
+    fn encode(&self, payload: &[u8]) -> Vec<u8>;
+
+    /// Strips redundancy, correcting and/or detecting channel errors.
+    ///
+    /// # Errors
+    ///
+    /// [`CodeError`] when the frame is rejected — the caller treats this
+    /// as a *detected omission* and drops the frame.
+    fn decode(&self, wire: &[u8]) -> Result<Vec<u8>, CodeError>;
+
+    /// Classifies what a receiver experiences when `wire_after_noise`
+    /// (a possibly-corrupted encoding of `payload`) arrives.
+    fn classify(&self, payload: &[u8], wire_after_noise: &[u8]) -> FrameOutcome {
+        match self.decode(wire_after_noise) {
+            Err(_) => FrameOutcome::DetectedOmission,
+            Ok(decoded) if decoded == payload => FrameOutcome::Delivered,
+            Ok(_) => FrameOutcome::UndetectedValueFault,
+        }
+    }
+}
+
+impl ChannelCode for Arc<dyn ChannelCode> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn encoded_len(&self, payload_len: usize) -> usize {
+        (**self).encoded_len(payload_len)
+    }
+
+    fn encode(&self, payload: &[u8]) -> Vec<u8> {
+        (**self).encode(payload)
+    }
+
+    fn decode(&self, wire: &[u8]) -> Result<Vec<u8>, CodeError> {
+        (**self).decode(wire)
+    }
+}
+
+/// A copyable, configuration-friendly description of a code, buildable
+/// into a boxed [`ChannelCode`]. This is what network configs carry, so
+/// they stay `Copy + Debug` while the codes themselves may hold tables.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CodeSpec {
+    /// No redundancy: every corruption is a value fault.
+    None,
+    /// Append a CRC-32-derived checksum of `width` bytes (1, 2 or 4).
+    Checksum {
+        /// Checksum width in bytes; the undetected-miss rate of random
+        /// corruption is about `2^(-8·width)`.
+        width: u8,
+    },
+    /// Repeat the payload `k` times (odd), majority-vote per bit.
+    Repetition {
+        /// Number of copies; must be odd and at least 1.
+        k: u8,
+    },
+    /// Extended Hamming(8,4) SECDED per nibble: corrects 1-bit errors,
+    /// detects 2-bit errors per block.
+    Hamming74,
+}
+
+impl CodeSpec {
+    /// The workspace default: a full-width CRC-32 trailer (the seed
+    /// repo's original wire format).
+    pub const DEFAULT: CodeSpec = CodeSpec::Checksum { width: 4 };
+
+    /// Builds the code this spec describes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid parameters (checksum width not 1/2/4, even or
+    /// zero repetition count).
+    pub fn build(self) -> Arc<dyn ChannelCode> {
+        match self {
+            CodeSpec::None => Arc::new(crate::NoCode),
+            CodeSpec::Checksum { width } => Arc::new(crate::Checksum::with_width(width)),
+            CodeSpec::Repetition { k } => Arc::new(crate::Repetition::new(k as usize)),
+            CodeSpec::Hamming74 => Arc::new(crate::Hamming74),
+        }
+    }
+}
+
+impl Default for CodeSpec {
+    fn default() -> Self {
+        CodeSpec::DEFAULT
+    }
+}
+
+impl fmt::Display for CodeSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodeSpec::None => write!(f, "none"),
+            CodeSpec::Checksum { width } => write!(f, "checksum{}", width * 8),
+            CodeSpec::Repetition { k } => write!(f, "repetition{k}"),
+            CodeSpec::Hamming74 => write!(f, "hamming74"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_display() {
+        assert_eq!(FrameOutcome::Delivered.to_string(), "delivered");
+        assert_eq!(
+            FrameOutcome::UndetectedValueFault.to_string(),
+            "undetected-value-fault"
+        );
+    }
+
+    #[test]
+    fn spec_builds_and_names() {
+        for (spec, name) in [
+            (CodeSpec::None, "none"),
+            (CodeSpec::Checksum { width: 4 }, "checksum32"),
+            (CodeSpec::Repetition { k: 3 }, "repetition3"),
+            (CodeSpec::Hamming74, "hamming74"),
+        ] {
+            assert_eq!(spec.to_string(), name);
+            let code = spec.build();
+            let payload = b"roundtrip".to_vec();
+            assert_eq!(code.decode(&code.encode(&payload)).unwrap(), payload);
+        }
+    }
+
+    #[test]
+    fn default_spec_is_crc32() {
+        assert_eq!(CodeSpec::default(), CodeSpec::Checksum { width: 4 });
+    }
+}

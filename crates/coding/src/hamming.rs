@@ -1,0 +1,190 @@
+//! Extended Hamming(8,4) SECDED block coding.
+//!
+//! Each payload nibble becomes one code byte: seven Hamming(7,4) bits
+//! plus an overall parity bit. Per block the decoder **corrects any
+//! single-bit error** (the corruption vanishes — a would-be value fault
+//! becomes a clean delivery) and **detects any double-bit error** (the
+//! frame is dropped — an omission). Three or more flips in one block can
+//! miscorrect, which is the residual value-fault channel the `α` budget
+//! still has to cover; [`crate::measure_code`] quantifies it.
+//!
+//! Bit layout inside a code byte (position = bit index):
+//!
+//! ```text
+//! pos:  7   6   5   4   3   2   1   0
+//!      d4  d3  d2  p4  d1  p2  p1  p0
+//! ```
+//!
+//! `p1/p2/p4` are the Hamming parities over positions whose index has
+//! the corresponding bit set; `p0` makes the whole byte even-parity.
+
+use crate::code::{ChannelCode, CodeError};
+
+/// Extended Hamming(8,4): SECDED per payload nibble, rate 1/2.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Hamming74;
+
+/// Data bit positions within a code byte, in nibble-bit order
+/// (nibble bit 0 → position 3, 1 → 5, 2 → 6, 3 → 7).
+const DATA_POSITIONS: [u8; 4] = [3, 5, 6, 7];
+
+fn encode_nibble(nibble: u8) -> u8 {
+    debug_assert!(nibble < 16);
+    let mut block = 0u8;
+    for (i, &pos) in DATA_POSITIONS.iter().enumerate() {
+        if nibble & (1 << i) != 0 {
+            block |= 1 << pos;
+        }
+    }
+    // Hamming parities: p_k (at position k ∈ {1,2,4}) covers every
+    // position whose index has bit k set.
+    for p in [1u8, 2, 4] {
+        let parity = (3..8u8)
+            .filter(|&pos| pos & p != 0 && block & (1 << pos) != 0)
+            .count();
+        if parity % 2 == 1 {
+            block |= 1 << p;
+        }
+    }
+    // Overall parity (position 0): make the byte even-parity.
+    if block.count_ones() % 2 == 1 {
+        block |= 1;
+    }
+    block
+}
+
+fn extract_nibble(block: u8) -> u8 {
+    DATA_POSITIONS
+        .iter()
+        .enumerate()
+        .filter(|&(_, &pos)| block & (1 << pos) != 0)
+        .map(|(i, _)| 1u8 << i)
+        .sum()
+}
+
+/// Decodes one SECDED block: `Ok(nibble)` possibly after correcting a
+/// single flipped bit, `Err` on a detected double error.
+fn decode_block(mut block: u8) -> Result<u8, CodeError> {
+    let syndrome = (1..8u8)
+        .filter(|&pos| block & (1 << pos) != 0)
+        .fold(0u8, |s, pos| s ^ pos);
+    let parity_ok = block.count_ones().is_multiple_of(2);
+    match (syndrome, parity_ok) {
+        (0, true) => {}                               // clean
+        (0, false) => {}                              // only the overall parity bit flipped
+        (s, false) => block ^= 1 << s,                // single-bit error: correct it
+        (_, true) => return Err(CodeError::Detected), // double error
+    }
+    Ok(extract_nibble(block))
+}
+
+impl ChannelCode for Hamming74 {
+    fn name(&self) -> String {
+        "hamming74".to_string()
+    }
+
+    fn encoded_len(&self, payload_len: usize) -> usize {
+        payload_len * 2
+    }
+
+    fn encode(&self, payload: &[u8]) -> Vec<u8> {
+        let mut wire = Vec::with_capacity(self.encoded_len(payload.len()));
+        for &byte in payload {
+            wire.push(encode_nibble(byte & 0x0F));
+            wire.push(encode_nibble(byte >> 4));
+        }
+        wire
+    }
+
+    fn decode(&self, wire: &[u8]) -> Result<Vec<u8>, CodeError> {
+        if !wire.len().is_multiple_of(2) {
+            return Err(CodeError::Malformed);
+        }
+        let mut payload = Vec::with_capacity(wire.len() / 2);
+        for pair in wire.chunks_exact(2) {
+            let lo = decode_block(pair[0])?;
+            let hi = decode_block(pair[1])?;
+            payload.push(lo | (hi << 4));
+        }
+        Ok(payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::code::FrameOutcome;
+
+    #[test]
+    fn all_nibbles_roundtrip() {
+        for nibble in 0..16u8 {
+            let block = encode_nibble(nibble);
+            assert_eq!(block.count_ones() % 2, 0, "even parity by construction");
+            assert_eq!(decode_block(block).unwrap(), nibble);
+        }
+    }
+
+    #[test]
+    fn every_single_bit_error_is_corrected() {
+        for nibble in 0..16u8 {
+            let block = encode_nibble(nibble);
+            for bit in 0..8 {
+                let corrupted = block ^ (1 << bit);
+                assert_eq!(
+                    decode_block(corrupted).unwrap(),
+                    nibble,
+                    "nibble {nibble:#x}, flip at bit {bit}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_double_bit_error_is_detected() {
+        for nibble in 0..16u8 {
+            let block = encode_nibble(nibble);
+            for b1 in 0..8 {
+                for b2 in (b1 + 1)..8 {
+                    let corrupted = block ^ (1 << b1) ^ (1 << b2);
+                    assert_eq!(
+                        decode_block(corrupted),
+                        Err(CodeError::Detected),
+                        "nibble {nibble:#x}, flips at bits {b1},{b2}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn byte_stream_roundtrip() {
+        let code = Hamming74;
+        let payload: Vec<u8> = (0..=255).collect();
+        let wire = code.encode(&payload);
+        assert_eq!(wire.len(), payload.len() * 2);
+        assert_eq!(code.decode(&wire).unwrap(), payload);
+    }
+
+    #[test]
+    fn classify_matches_secded_semantics() {
+        let code = Hamming74;
+        let payload = b"ho".to_vec();
+        let clean = code.encode(&payload);
+
+        let mut one_flip = clean.clone();
+        one_flip[1] ^= 0x20;
+        assert_eq!(code.classify(&payload, &one_flip), FrameOutcome::Delivered);
+
+        let mut two_flips = clean.clone();
+        two_flips[2] ^= 0x81;
+        assert_eq!(
+            code.classify(&payload, &two_flips),
+            FrameOutcome::DetectedOmission
+        );
+    }
+
+    #[test]
+    fn odd_length_is_malformed() {
+        assert_eq!(Hamming74.decode(&[0u8; 3]), Err(CodeError::Malformed));
+    }
+}

@@ -1,0 +1,64 @@
+//! # heardof-coding
+//!
+//! Error-detecting and error-correcting channel codes that **trade value
+//! faults for omissions** — the engineering knob behind §5.2 of
+//! *Tolerating Corrupted Communication* (PODC 2007).
+//!
+//! The paper's model distinguishes two ways a transmission fault can
+//! surface at a receiver:
+//!
+//! * an **omission** — the message is missing (benign; every predicate
+//!   and algorithm tolerates many of them), or
+//! * a **value fault** — the content silently changed (counted by `α`,
+//!   the scarce budget: `α < n/4` for `A_{T,E}`, `α < n/2` for
+//!   `U_{T,E,α}`).
+//!
+//! A channel code is precisely a converter between the two: a *checksum*
+//! turns almost every corruption into a detected drop (omission), and a
+//! *correcting code* repairs corruptions outright, shrinking both fault
+//! classes at the price of redundant bits. This crate provides the
+//! [`ChannelCode`] abstraction and four reference codes:
+//!
+//! | code | rate | converts corruption into |
+//! |---|---|---|
+//! | [`NoCode`] | 1 | value faults (the uncoded baseline) |
+//! | [`Checksum`] | ~1 | omissions (miss rate `2^-8w` for width `w`) |
+//! | [`Repetition`] | 1/k | deliveries, up to `⌊(k−1)/2⌋` corrupt copies |
+//! | [`Hamming74`] | 1/2 | deliveries (1-bit) and omissions (2-bit) per block |
+//!
+//! Every decode is classified as one of three [`FrameOutcome`]s —
+//! `Delivered`, `DetectedOmission`, or `UndetectedValueFault` — and
+//! [`measure_code`] estimates the rates of each under a binary symmetric
+//! channel, which is what the `coding_tradeoff` experiment sweeps
+//! against the paper's `P_α` feasibility thresholds.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use heardof_coding::{ChannelCode, FrameOutcome, Hamming74};
+//!
+//! let code = Hamming74;
+//! let payload = b"heard-of".to_vec();
+//! let mut wire = code.encode(&payload);
+//! wire[3] ^= 0x10; // a single-bit value fault in flight
+//! // SECDED corrects it: the receiver sees a clean delivery.
+//! assert_eq!(code.classify(&payload, &wire), FrameOutcome::Delivered);
+//! assert_eq!(code.decode(&wire).unwrap(), payload);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod checksum;
+mod code;
+mod hamming;
+mod measure;
+mod noise;
+mod repetition;
+
+pub use checksum::{crc32, Checksum, NoCode};
+pub use code::{ChannelCode, CodeError, CodeSpec, FrameOutcome};
+pub use hamming::Hamming74;
+pub use measure::{induced_alpha_demand, measure_code, measure_code_exact_flips, MissRates};
+pub use noise::BitNoise;
+pub use repetition::Repetition;

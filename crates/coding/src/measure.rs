@@ -1,0 +1,205 @@
+//! Monte-Carlo measurement of a code's operating point.
+//!
+//! For a given channel-noise level, a code splits transmission faults
+//! into the paper's three classes. [`measure_code`] estimates the split
+//! empirically; the resulting [`MissRates`] translate directly into the
+//! quantities §5.2 reasons about — the omission load (benign, absorbed
+//! by retransmission/timeouts) and the residual undetected-value-fault
+//! rate (the per-link contribution to the `α` that `P_α` must budget).
+
+use crate::code::{ChannelCode, FrameOutcome};
+use crate::noise::BitNoise;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Empirical per-frame outcome frequencies for one (code, noise) pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MissRates {
+    /// Frames sampled.
+    pub trials: usize,
+    /// Frames the channel left untouched (no bit flipped).
+    pub clean: usize,
+    /// Corrupted frames the decoder repaired or that decoded intact.
+    pub corrected: usize,
+    /// Corrupted frames the decoder rejected (→ omissions).
+    pub detected: usize,
+    /// Corrupted frames that decoded to the wrong payload (→ value
+    /// faults).
+    pub undetected: usize,
+}
+
+impl MissRates {
+    /// Fraction of all frames arriving as omissions.
+    pub fn omission_rate(&self) -> f64 {
+        self.detected as f64 / self.trials as f64
+    }
+
+    /// Fraction of all frames arriving as undetected value faults —
+    /// the residual the `α` budget must absorb.
+    pub fn value_fault_rate(&self) -> f64 {
+        self.undetected as f64 / self.trials as f64
+    }
+
+    /// Fraction of all frames delivered with the correct payload.
+    pub fn delivery_rate(&self) -> f64 {
+        (self.clean + self.corrected) as f64 / self.trials as f64
+    }
+
+    /// Of the frames the channel actually corrupted, the fraction that
+    /// slipped through as value faults (the code's *miss rate*).
+    pub fn miss_rate_given_corruption(&self) -> f64 {
+        let corrupted = self.corrected + self.detected + self.undetected;
+        if corrupted == 0 {
+            0.0
+        } else {
+            self.undetected as f64 / corrupted as f64
+        }
+    }
+}
+
+/// Estimates a code's outcome split under a binary symmetric channel:
+/// `trials` random `payload_len`-byte payloads are encoded, passed
+/// through [`BitNoise`], decoded and classified.
+///
+/// Deterministic per `seed`.
+pub fn measure_code(
+    code: &dyn ChannelCode,
+    payload_len: usize,
+    noise: BitNoise,
+    trials: usize,
+    seed: u64,
+) -> MissRates {
+    assert!(trials > 0, "need at least one trial");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rates = MissRates {
+        trials,
+        clean: 0,
+        corrected: 0,
+        detected: 0,
+        undetected: 0,
+    };
+    let mut payload = vec![0u8; payload_len];
+    for _ in 0..trials {
+        for b in payload.iter_mut() {
+            *b = rng.next_u64() as u8;
+        }
+        let mut wire = code.encode(&payload);
+        let flipped = noise.apply(&mut wire, &mut rng);
+        if flipped == 0 {
+            rates.clean += 1;
+            continue;
+        }
+        match code.classify(&payload, &wire) {
+            FrameOutcome::Delivered => rates.corrected += 1,
+            FrameOutcome::DetectedOmission => rates.detected += 1,
+            FrameOutcome::UndetectedValueFault => rates.undetected += 1,
+        }
+    }
+    rates
+}
+
+/// Like [`measure_code`], but with a fixed number of flipped bits per
+/// frame instead of a rate — useful for regression-testing exact miss
+/// probabilities (e.g. a 1-byte checksum misses random corruption at
+/// ~`2^-8`).
+pub fn measure_code_exact_flips(
+    code: &dyn ChannelCode,
+    payload_len: usize,
+    flips: usize,
+    trials: usize,
+    seed: u64,
+) -> MissRates {
+    assert!(trials > 0, "need at least one trial");
+    assert!(flips > 0, "exact-flip measurement needs at least one flip");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rates = MissRates {
+        trials,
+        clean: 0,
+        corrected: 0,
+        detected: 0,
+        undetected: 0,
+    };
+    let mut payload = vec![0u8; payload_len];
+    for _ in 0..trials {
+        for b in payload.iter_mut() {
+            *b = rng.next_u64() as u8;
+        }
+        let mut wire = code.encode(&payload);
+        BitNoise::flip_exact(&mut wire, flips, &mut rng);
+        match code.classify(&payload, &wire) {
+            FrameOutcome::Delivered => rates.corrected += 1,
+            FrameOutcome::DetectedOmission => rates.detected += 1,
+            FrameOutcome::UndetectedValueFault => rates.undetected += 1,
+        }
+    }
+    rates
+}
+
+/// Convenience used by sweeps: the expected number of *undetected*
+/// corruptions a receiver accumulates per round when `senders` frames
+/// arrive, each independently experiencing this operating point — the
+/// empirical `α` demand this (code, noise) pair induces.
+pub fn induced_alpha_demand(rates: &MissRates, senders: usize) -> f64 {
+    senders as f64 * rates.value_fault_rate()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Checksum, Hamming74, NoCode};
+
+    #[test]
+    fn no_noise_is_all_clean() {
+        let rates = measure_code(&NoCode, 8, BitNoise::new(0.0), 500, 1);
+        assert_eq!(rates.clean, 500);
+        assert_eq!(rates.delivery_rate(), 1.0);
+        assert_eq!(rates.value_fault_rate(), 0.0);
+    }
+
+    #[test]
+    fn uncoded_corruption_is_all_value_faults() {
+        let rates = measure_code_exact_flips(&NoCode, 8, 1, 400, 2);
+        assert_eq!(rates.undetected, 400, "no redundancy, no detection");
+        assert_eq!(rates.miss_rate_given_corruption(), 1.0);
+    }
+
+    #[test]
+    fn crc32_detects_every_sampled_corruption() {
+        let rates = measure_code(&Checksum::crc32(), 8, BitNoise::new(0.01), 2_000, 3);
+        assert_eq!(rates.undetected, 0, "2^-32 misses don't show at this scale");
+        assert!(rates.detected > 0, "noise at 1%/bit corrupts some frames");
+    }
+
+    #[test]
+    fn hamming_corrects_single_flips() {
+        let rates = measure_code_exact_flips(&Hamming74, 8, 1, 500, 4);
+        assert_eq!(rates.corrected, 500, "SECDED corrects weight-1 errors");
+    }
+
+    #[test]
+    fn checksum8_misses_at_about_two_to_the_minus_eight() {
+        // Deterministic regression: with heavy corruption a 1-byte
+        // checksum misses random frames at ~1/256. 60k trials at 8
+        // flips ⇒ expect ≈234 misses; the fixed seed makes the exact
+        // count stable run-to-run.
+        let rates = measure_code_exact_flips(&Checksum::with_width(1), 8, 8, 60_000, 5);
+        let miss = rates.miss_rate_given_corruption();
+        assert!(
+            (1.0 / 512.0..1.0 / 128.0).contains(&miss),
+            "8-bit checksum miss rate {miss} out of the 2^-8 ballpark"
+        );
+    }
+
+    #[test]
+    fn induced_alpha_scales_with_senders() {
+        let rates = MissRates {
+            trials: 1_000,
+            clean: 900,
+            corrected: 0,
+            detected: 80,
+            undetected: 20,
+        };
+        let demand = induced_alpha_demand(&rates, 10);
+        assert!((demand - 0.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,136 @@
+//! Repetition coding with per-bit majority vote.
+//!
+//! The oldest correcting code there is: send `k` copies, let each bit be
+//! decided by majority. Corruption confined to `⌊(k−1)/2⌋` copies is
+//! repaired outright — the corresponding transmissions move from the
+//! value-fault column back into *clean deliveries*, better than any
+//! detector can do. The price is a rate of `1/k`, and heavier corruption
+//! is silently miscorrected (majority of wrong bits wins), so repetition
+//! pairs naturally with an outer checksum when residual detection
+//! matters.
+
+use crate::code::{ChannelCode, CodeError};
+
+/// The `k`-fold repetition code (`k` odd), majority-voted per bit.
+#[derive(Clone, Copy, Debug)]
+pub struct Repetition {
+    k: usize,
+}
+
+impl Repetition {
+    /// A code sending `k` copies of every frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is even or zero — ties would make majority
+    /// undefined.
+    pub fn new(k: usize) -> Self {
+        assert!(
+            k >= 1 && k % 2 == 1,
+            "repetition count must be odd, got {k}"
+        );
+        Repetition { k }
+    }
+
+    /// Number of copies sent.
+    pub fn copies(&self) -> usize {
+        self.k
+    }
+
+    /// Corruptions of up to this many whole copies are corrected.
+    pub fn correctable_copies(&self) -> usize {
+        (self.k - 1) / 2
+    }
+}
+
+impl ChannelCode for Repetition {
+    fn name(&self) -> String {
+        format!("repetition{}", self.k)
+    }
+
+    fn encoded_len(&self, payload_len: usize) -> usize {
+        payload_len * self.k
+    }
+
+    fn encode(&self, payload: &[u8]) -> Vec<u8> {
+        let mut wire = Vec::with_capacity(self.encoded_len(payload.len()));
+        for _ in 0..self.k {
+            wire.extend_from_slice(payload);
+        }
+        wire
+    }
+
+    fn decode(&self, wire: &[u8]) -> Result<Vec<u8>, CodeError> {
+        if !wire.len().is_multiple_of(self.k) {
+            return Err(CodeError::Malformed);
+        }
+        let len = wire.len() / self.k;
+        let mut payload = Vec::with_capacity(len);
+        for i in 0..len {
+            let mut voted = 0u8;
+            for bit in 0..8 {
+                let ones = (0..self.k)
+                    .filter(|&copy| wire[copy * len + i] & (1 << bit) != 0)
+                    .count();
+                if ones * 2 > self.k {
+                    voted |= 1 << bit;
+                }
+            }
+            payload.push(voted);
+        }
+        Ok(payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::code::FrameOutcome;
+
+    #[test]
+    fn roundtrip() {
+        let code = Repetition::new(3);
+        for payload in [b"".to_vec(), b"q".to_vec(), b"majority".to_vec()] {
+            let wire = code.encode(&payload);
+            assert_eq!(wire.len(), payload.len() * 3);
+            assert_eq!(code.decode(&wire).unwrap(), payload);
+        }
+    }
+
+    #[test]
+    fn corrects_one_fully_corrupted_copy_of_three() {
+        let code = Repetition::new(3);
+        let payload = b"heard-of".to_vec();
+        let mut wire = code.encode(&payload);
+        for b in &mut wire[..payload.len()] {
+            *b = !*b; // obliterate the first copy entirely
+        }
+        assert_eq!(code.classify(&payload, &wire), FrameOutcome::Delivered);
+    }
+
+    #[test]
+    fn two_aligned_corrupt_copies_of_three_miscorrect() {
+        let code = Repetition::new(3);
+        let payload = vec![0x00u8; 4];
+        let mut wire = code.encode(&payload);
+        for b in &mut wire[..8] {
+            *b = 0xFF; // copies 0 and 1 agree on the wrong bits
+        }
+        assert_eq!(
+            code.classify(&payload, &wire),
+            FrameOutcome::UndetectedValueFault
+        );
+    }
+
+    #[test]
+    fn length_not_multiple_of_k_is_malformed() {
+        let code = Repetition::new(3);
+        assert_eq!(code.decode(&[1, 2, 3, 4]), Err(CodeError::Malformed));
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_k_panics() {
+        let _ = Repetition::new(4);
+    }
+}

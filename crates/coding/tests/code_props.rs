@@ -1,0 +1,133 @@
+//! Property tests for the channel codes: encode→corrupt ≤ t bits→decode
+//! roundtrips matching each code's guarantee, plus a deterministic
+//! miss-rate regression for truncated checksums.
+
+use heardof_coding::{
+    measure_code_exact_flips, BitNoise, ChannelCode, Checksum, CodeSpec, FrameOutcome, Hamming74,
+    NoCode, Repetition,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_payload() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 1..48)
+}
+
+proptest! {
+    #[test]
+    fn every_code_roundtrips_clean_frames(payload in arb_payload(), pick in 0usize..5) {
+        let spec = [
+            CodeSpec::None,
+            CodeSpec::Checksum { width: 1 },
+            CodeSpec::Checksum { width: 4 },
+            CodeSpec::Repetition { k: 3 },
+            CodeSpec::Hamming74,
+        ][pick];
+        let code = spec.build();
+        let wire = code.encode(&payload);
+        prop_assert_eq!(code.encoded_len(payload.len()), wire.len());
+        prop_assert_eq!(code.decode(&wire).unwrap(), payload);
+    }
+
+    #[test]
+    fn hamming_corrects_any_single_bit_flip(payload in arb_payload(), bit_seed in any::<usize>()) {
+        let code = Hamming74;
+        let mut wire = code.encode(&payload);
+        let bit = bit_seed % (wire.len() * 8);
+        wire[bit / 8] ^= 1 << (bit % 8);
+        prop_assert_eq!(code.classify(&payload, &wire), FrameOutcome::Delivered);
+        prop_assert_eq!(code.decode(&wire).unwrap(), payload);
+    }
+
+    #[test]
+    fn hamming_detects_any_double_flip_in_one_block(
+        payload in arb_payload(),
+        block_seed in any::<usize>(),
+        b1 in 0u8..8,
+        offset in 1u8..8,
+    ) {
+        let code = Hamming74;
+        let mut wire = code.encode(&payload);
+        let block = block_seed % wire.len();
+        let b2 = (b1 + offset) % 8; // distinct second bit in the same block
+        wire[block] ^= (1 << b1) | (1 << b2);
+        prop_assert_eq!(
+            code.classify(&payload, &wire),
+            FrameOutcome::DetectedOmission,
+            "double error in block {} must be detected", block
+        );
+    }
+
+    #[test]
+    fn repetition_survives_minority_copy_corruption(
+        payload in arb_payload(),
+        k_pick in 0usize..3,
+        corrupt_seed in any::<u64>(),
+    ) {
+        let k = [3usize, 5, 7][k_pick];
+        let code = Repetition::new(k);
+        let t = code.correctable_copies(); // ⌊(k−1)/2⌋
+        let mut wire = code.encode(&payload);
+        // Obliterate t whole copies with arbitrary noise.
+        let mut rng = StdRng::seed_from_u64(corrupt_seed);
+        let len = payload.len();
+        for copy in 0..t {
+            BitNoise::new(0.5).apply(&mut wire[copy * len..(copy + 1) * len], &mut rng);
+        }
+        prop_assert_eq!(
+            code.decode(&wire).unwrap(),
+            payload,
+            "majority of {} must survive {} corrupt copies", k, t
+        );
+    }
+
+    #[test]
+    fn checksum_detects_bounded_corruption(payload in arb_payload(), flips in 1usize..4, seed in any::<u64>()) {
+        // CRC-32 detects every error burst of ≤ 3 random flipped bits.
+        let code = Checksum::crc32();
+        let mut wire = code.encode(&payload);
+        let mut rng = StdRng::seed_from_u64(seed);
+        BitNoise::flip_exact(&mut wire, flips, &mut rng);
+        prop_assert_eq!(code.classify(&payload, &wire), FrameOutcome::DetectedOmission);
+    }
+
+    #[test]
+    fn no_code_never_detects(payload in arb_payload(), flips in 1usize..9, seed in any::<u64>()) {
+        let mut wire = NoCode.encode(&payload);
+        let mut rng = StdRng::seed_from_u64(seed);
+        BitNoise::flip_exact(&mut wire, flips, &mut rng);
+        prop_assert_eq!(
+            NoCode.classify(&payload, &wire),
+            FrameOutcome::UndetectedValueFault,
+            "without redundancy every corruption lands"
+        );
+    }
+}
+
+#[test]
+fn truncated_checksum_miss_rate_regression() {
+    // Deterministic (fixed seeds, fixed trial counts): a w-byte checksum
+    // misses heavy random corruption at ~2^-8w. Brackets are generous
+    // enough to be stable across RNG stream changes yet tight enough to
+    // catch a broken trailer comparison.
+    let rates8 = measure_code_exact_flips(&Checksum::with_width(1), 16, 12, 80_000, 11);
+    let miss8 = rates8.miss_rate_given_corruption();
+    assert!(
+        (1.0 / 640.0..1.0 / 102.0).contains(&miss8),
+        "8-bit checksum miss rate {miss8} outside 2^-8 ballpark"
+    );
+
+    let rates16 = measure_code_exact_flips(&Checksum::with_width(2), 16, 12, 80_000, 12);
+    let miss16 = rates16.miss_rate_given_corruption();
+    assert!(
+        miss16 < miss8 / 16.0,
+        "16-bit checksum ({miss16}) must miss far less than 8-bit ({miss8})"
+    );
+
+    let rates32 = measure_code_exact_flips(&Checksum::crc32(), 16, 12, 80_000, 13);
+    assert_eq!(
+        rates32.undetected, 0,
+        "2^-32 misses are invisible at 80k trials"
+    );
+}

@@ -306,7 +306,16 @@ mod tests {
         // A fuller round unblocks it.
         let rx = rx_of(
             8,
-            &[(0, 5), (1, 5), (2, 5), (3, 5), (4, 5), (5, 9), (6, 9), (7, 9)],
+            &[
+                (0, 5),
+                (1, 5),
+                (2, 5),
+                (3, 5),
+                (4, 5),
+                (5, 9),
+                (6, 9),
+                (7, 9),
+            ],
         );
         nested.transition(Round::new(2), ProcessId::new(0), &mut s, &rx);
         assert_eq!(s.decided, Some(5));

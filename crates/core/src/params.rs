@@ -447,8 +447,8 @@ mod tests {
                 AteParams::balanced(n, max + 1),
                 Err(ParamError::InfeasibleAlpha { .. })
             ));
-            // Integer α < n/4 ⟺ 4α ≤ n−1.
-            assert!(4 * max as usize <= n - 1);
+            // Integer α < n/4 ⟺ 4α < n.
+            assert!(4 * (max as usize) < n);
         }
     }
 
@@ -459,7 +459,7 @@ mod tests {
         let p = AteParams::max_e(5, 1).unwrap();
         assert_eq!(p.e(), Threshold::quarters(19)); // 4.75
         assert_eq!(p.t(), Threshold::quarters(18)); // 4.5
-        // Integer-only thresholds cannot solve this instance:
+                                                    // Integer-only thresholds cannot solve this instance:
         assert!(AteParams::new(5, 1, Threshold::integer(4), Threshold::integer(4)).is_err());
     }
 
@@ -467,21 +467,17 @@ mod tests {
     fn new_rejects_each_violated_condition() {
         let n = 10;
         // E below n/2 + α.
-        let err =
-            AteParams::new(n, 2, Threshold::integer(9), Threshold::integer(6)).unwrap_err();
+        let err = AteParams::new(n, 2, Threshold::integer(9), Threshold::integer(6)).unwrap_err();
         assert!(matches!(err, ParamError::EBelowAgreement { .. }));
         assert!(err.to_string().contains("E ≥ n/2 + α"));
         // T below the lock bound 2(n+2α−E) = 2(10+4−9) = 10 > 9 — use E=9.
-        let err =
-            AteParams::new(n, 2, Threshold::integer(8), Threshold::integer(9)).unwrap_err();
+        let err = AteParams::new(n, 2, Threshold::integer(8), Threshold::integer(9)).unwrap_err();
         assert!(matches!(err, ParamError::TBelowLock { .. }));
         // E not below n.
-        let err =
-            AteParams::new(n, 0, Threshold::integer(7), Threshold::integer(10)).unwrap_err();
+        let err = AteParams::new(n, 0, Threshold::integer(7), Threshold::integer(10)).unwrap_err();
         assert!(matches!(err, ParamError::ENotBelowN { .. }));
         // T not below n (E=9, T must be ≥ 2(10-9)=2, pass 10).
-        let err =
-            AteParams::new(n, 0, Threshold::integer(10), Threshold::integer(9)).unwrap_err();
+        let err = AteParams::new(n, 0, Threshold::integer(10), Threshold::integer(9)).unwrap_err();
         assert!(matches!(err, ParamError::TNotBelowN { .. }));
     }
 
@@ -518,8 +514,8 @@ mod tests {
                 UteParams::tightest(n, max + 1),
                 Err(ParamError::InfeasibleAlpha { .. })
             ));
-            // Integer α < n/2 ⟺ 2α ≤ n−1.
-            assert!(2 * max as usize <= n - 1);
+            // Integer α < n/2 ⟺ 2α < n.
+            assert!(2 * (max as usize) < n);
         }
     }
 

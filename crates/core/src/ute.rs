@@ -182,7 +182,7 @@ impl<V: ConsensusValue> HoAlgorithm for Ute<V> {
             // truly voted; otherwise fall back to v₀.
             let certified = votes
                 .iter()
-                .find(|(_, count)| *count >= self.params.alpha() as usize + 1);
+                .find(|(_, count)| *count > self.params.alpha() as usize);
             state.x = match certified {
                 Some((v, _)) => v.clone(),
                 None => self.default_value.clone(),
@@ -287,10 +287,7 @@ mod tests {
         a.transition(Round::new(2), ProcessId::new(0), &mut s, &rx);
         assert_eq!(s.decided, None);
 
-        let rx = vote_rx(
-            5,
-            &[(0, Some(7)), (1, Some(7)), (2, Some(7)), (3, Some(7))],
-        );
+        let rx = vote_rx(5, &[(0, Some(7)), (1, Some(7)), (2, Some(7)), (3, Some(7))]);
         a.transition(Round::new(4), ProcessId::new(0), &mut s, &rx);
         assert_eq!(s.decided, Some(7));
     }
@@ -309,16 +306,10 @@ mod tests {
     fn decision_is_sticky() {
         let a = algo(5, 1);
         let mut s = a.init(ProcessId::new(0), 5, 9);
-        let all7 = vote_rx(
-            5,
-            &[(0, Some(7)), (1, Some(7)), (2, Some(7)), (3, Some(7))],
-        );
+        let all7 = vote_rx(5, &[(0, Some(7)), (1, Some(7)), (2, Some(7)), (3, Some(7))]);
         a.transition(Round::new(2), ProcessId::new(0), &mut s, &all7);
         assert_eq!(s.decided, Some(7));
-        let all8 = vote_rx(
-            5,
-            &[(0, Some(8)), (1, Some(8)), (2, Some(8)), (3, Some(8))],
-        );
+        let all8 = vote_rx(5, &[(0, Some(8)), (1, Some(8)), (2, Some(8)), (3, Some(8))]);
         a.transition(Round::new(4), ProcessId::new(0), &mut s, &all8);
         assert_eq!(s.decided, Some(7));
     }

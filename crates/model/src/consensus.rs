@@ -299,7 +299,11 @@ mod tests {
         let v = check_consensus(&t);
         assert!(matches!(
             v.violations[0],
-            Violation::Integrity { initial: 5, decided: 6, .. }
+            Violation::Integrity {
+                initial: 5,
+                decided: 6,
+                ..
+            }
         ));
     }
 
@@ -321,7 +325,11 @@ mod tests {
         let v = check_consensus(&t);
         assert!(matches!(
             v.violations[0],
-            Violation::Revoked { before: 1, after: 2, .. }
+            Violation::Revoked {
+                before: 1,
+                after: 2,
+                ..
+            }
         ));
     }
 

@@ -132,7 +132,7 @@ impl Round {
 
     /// The phase this round belongs to (`φ = ⌈r/2⌉`).
     pub fn phase(self) -> Phase {
-        Phase((self.0 + 1) / 2)
+        Phase(self.0.div_ceil(2))
     }
 
     /// `true` if this is the first round (`2φ−1`) of its phase.
@@ -142,7 +142,7 @@ impl Round {
 
     /// `true` if this is the second round (`2φ`) of its phase.
     pub fn is_second_of_phase(self) -> bool {
-        self.0 % 2 == 0
+        self.0.is_multiple_of(2)
     }
 }
 

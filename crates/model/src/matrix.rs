@@ -266,7 +266,10 @@ mod tests {
                 Some(s.index() as u64)
             }
         });
-        let row: Vec<_> = m.row(pid(2)).map(|(r, m)| (r.index(), m.copied())).collect();
+        let row: Vec<_> = m
+            .row(pid(2))
+            .map(|(r, m)| (r.index(), m.copied()))
+            .collect();
         assert_eq!(row, vec![(0, Some(2)), (1, None), (2, Some(2))]);
     }
 
@@ -275,7 +278,10 @@ mod tests {
         let mut m = MessageMatrix::empty(2);
         m.set(pid(0), pid(1), 3u64);
         m.set(pid(1), pid(0), 4u64);
-        let cells: Vec<_> = m.iter().map(|(s, r, v)| (s.index(), r.index(), *v)).collect();
+        let cells: Vec<_> = m
+            .iter()
+            .map(|(s, r, v)| (s.index(), r.index(), *v))
+            .collect();
         assert_eq!(cells, vec![(0, 1, 3), (1, 0, 4)]);
     }
 

@@ -213,14 +213,7 @@ mod tests {
         fn send(&self, _r: Round, _p: ProcessId, s: &u64, _d: ProcessId) -> u64 {
             *s
         }
-        fn transition(
-            &self,
-            _r: Round,
-            _p: ProcessId,
-            _s: &mut u64,
-            _rx: &ReceptionVector<u64>,
-        ) {
-        }
+        fn transition(&self, _r: Round, _p: ProcessId, _s: &mut u64, _rx: &ReceptionVector<u64>) {}
         fn decision(&self, _s: &u64) -> Option<u64> {
             None
         }
@@ -271,7 +264,10 @@ mod tests {
         t2.push(record_with_decisions(3, 1, vec![None, None, None], true));
         // Each sender broadcasts its own id: exactly one process sends 0.
         assert_eq!(t2.round(Round::FIRST).q_count(&0), Some(1));
-        assert_eq!(t2.round(Round::FIRST).r_count(ProcessId::new(0), &2), Some(1));
+        assert_eq!(
+            t2.round(Round::FIRST).r_count(ProcessId::new(0), &2),
+            Some(1)
+        );
     }
 
     #[test]

@@ -104,10 +104,7 @@ impl Corruptible for String {
 
 impl<T: Corruptible + Clone> Corruptible for Option<T> {
     fn corrupted(&self, rng: &mut StdRng) -> Self {
-        match self {
-            Some(v) => Some(v.corrupted(rng)),
-            None => None,
-        }
+        self.as_ref().map(|v| v.corrupted(rng))
     }
 }
 
@@ -235,8 +232,8 @@ mod tests {
                 assert_ne!(v.corrupted(&mut rng), v);
             }
         }
-        assert_eq!(true.corrupted(&mut rng), false);
-        assert_eq!(false.corrupted(&mut rng), true);
+        assert!(!true.corrupted(&mut rng));
+        assert!(false.corrupted(&mut rng));
         let s = "abc".to_string();
         assert_ne!(s.corrupted(&mut rng), s);
     }

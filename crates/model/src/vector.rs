@@ -143,11 +143,7 @@ impl<M> FromIterator<(ProcessId, M)> for ReceptionVector<M> {
     /// Mostly useful in tests; simulation code sizes vectors from `n`.
     fn from_iter<I: IntoIterator<Item = (ProcessId, M)>>(iter: I) -> Self {
         let pairs: Vec<(ProcessId, M)> = iter.into_iter().collect();
-        let n = pairs
-            .iter()
-            .map(|(p, _)| p.index() + 1)
-            .max()
-            .unwrap_or(0);
+        let n = pairs.iter().map(|(p, _)| p.index() + 1).max().unwrap_or(0);
         let mut rx = ReceptionVector::new(n);
         for (p, m) in pairs {
             rx.set(p, m);

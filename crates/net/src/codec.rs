@@ -1,20 +1,24 @@
-//! Wire encoding: length-prefixed frames with CRC-32 integrity.
+//! Wire encoding: length-prefixed frame bodies passed through a
+//! pluggable [`ChannelCode`].
 //!
-//! Frame layout (all integers little-endian):
+//! Body layout (all integers little-endian):
 //!
 //! ```text
-//! ┌───────────┬────────────┬──────────┬─────────────┬─────────────┬──────────┐
-//! │ round u64 │ sender u32 │ copy u8  │ len u32     │ payload …   │ crc u32  │
-//! └───────────┴────────────┴──────────┴─────────────┴─────────────┴──────────┘
+//! ┌───────────┬────────────┬──────────┬─────────────┬─────────────┐
+//! │ round u64 │ sender u32 │ copy u8  │ len u32     │ payload …   │
+//! └───────────┴────────────┴──────────┴─────────────┴─────────────┘
 //! ```
 //!
-//! The CRC covers everything before it. A receiver drops frames whose
-//! CRC fails — turning a detected corruption into a benign omission.
-//! Only corruptions that *also fix the CRC* (modelled by the link's
-//! `undetected_prob`) survive as value faults.
+//! The body is then wrapped by a channel code from `heardof-coding`,
+//! which decides what in-flight corruption becomes at the receiver: a
+//! clean delivery (corrected), a dropped frame (detected → omission),
+//! or a silent value fault (missed). The historical format — body
+//! followed by a CRC-32 trailer — is exactly the [`Checksum`] code at
+//! width 4, and [`encode_frame`]/[`decode_frame`] keep producing it
+//! byte-for-byte.
 
-use crate::crc::crc32;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use heardof_coding::{crc32, ChannelCode, Checksum, CodeError};
 use heardof_core::UteMsg;
 use std::error::Error;
 use std::fmt;
@@ -35,6 +39,9 @@ pub enum CodecError {
     BadTag(u8),
     /// A string payload was not valid UTF-8.
     BadUtf8,
+    /// The frame's channel code rejected the wire data — a corruption
+    /// *detected* by a non-CRC code (see [`decode_frame_with`]).
+    CodeRejected(CodeError),
 }
 
 impl fmt::Display for CodecError {
@@ -42,10 +49,14 @@ impl fmt::Display for CodecError {
         match self {
             CodecError::Truncated => write!(f, "wire data ended prematurely"),
             CodecError::CrcMismatch { expected, actual } => {
-                write!(f, "crc mismatch: frame says {expected:#010x}, contents hash to {actual:#010x}")
+                write!(
+                    f,
+                    "crc mismatch: frame says {expected:#010x}, contents hash to {actual:#010x}"
+                )
             }
             CodecError::BadTag(t) => write!(f, "unknown enum tag {t}"),
             CodecError::BadUtf8 => write!(f, "string payload is not valid UTF-8"),
+            CodecError::CodeRejected(e) => write!(f, "channel code rejected frame: {e}"),
         }
     }
 }
@@ -187,8 +198,9 @@ pub struct Frame<M> {
 /// Byte offsets of the frame header fields (used by fault injection).
 pub const PAYLOAD_OFFSET: usize = 8 + 4 + 1 + 4;
 
-/// Encodes a frame, appending the CRC-32 trailer.
-pub fn encode_frame<M: WireMessage>(frame: &Frame<M>) -> Vec<u8> {
+/// Encodes a frame's *body*: header plus length-prefixed payload,
+/// without any code redundancy.
+pub fn encode_body<M: WireMessage>(frame: &Frame<M>) -> Vec<u8> {
     let mut buf = BytesMut::with_capacity(32);
     buf.put_u64_le(frame.round);
     buf.put_u32_le(frame.sender);
@@ -198,43 +210,19 @@ pub fn encode_frame<M: WireMessage>(frame: &Frame<M>) -> Vec<u8> {
     frame.msg.encode(&mut payload);
     buf.put_u32_le(payload.len() as u32);
     buf.put_slice(&payload);
-    let crc = crc32(&buf);
-    buf.put_u32_le(crc);
     buf.to_vec()
 }
 
-/// Recomputes and overwrites the CRC trailer of an encoded frame —
-/// modelling a corruption the checksum cannot detect.
-pub fn refresh_crc(encoded: &mut [u8]) {
-    let len = encoded.len();
-    if len < 4 {
-        return;
-    }
-    let crc = crc32(&encoded[..len - 4]);
-    encoded[len - 4..].copy_from_slice(&crc.to_le_bytes());
-}
-
-/// Decodes a frame, verifying its CRC.
+/// Parses a frame from a decoded body (no code trailer expected).
 ///
 /// # Errors
 ///
-/// [`CodecError::CrcMismatch`] when the trailer fails — callers treat
-/// this as a *detected* corruption and drop the frame (omission).
-pub fn decode_frame<M: WireMessage>(encoded: &[u8]) -> Result<Frame<M>, CodecError> {
-    if encoded.len() < PAYLOAD_OFFSET + 4 {
+/// [`CodecError`] if the body is truncated or structurally invalid.
+pub fn decode_body<M: WireMessage>(body: &[u8]) -> Result<Frame<M>, CodecError> {
+    if body.len() < PAYLOAD_OFFSET {
         return Err(CodecError::Truncated);
     }
-    let body_len = encoded.len() - 4;
-    let expected = u32::from_le_bytes(
-        encoded[body_len..]
-            .try_into()
-            .expect("4-byte CRC trailer"),
-    );
-    let actual = crc32(&encoded[..body_len]);
-    if expected != actual {
-        return Err(CodecError::CrcMismatch { expected, actual });
-    }
-    let mut buf = Bytes::copy_from_slice(&encoded[..body_len]);
+    let mut buf = Bytes::copy_from_slice(body);
     let round = buf.get_u64_le();
     let sender = buf.get_u32_le();
     let copy = buf.get_u8();
@@ -249,6 +237,64 @@ pub fn decode_frame<M: WireMessage>(encoded: &[u8]) -> Result<Frame<M>, CodecErr
         copy,
         msg,
     })
+}
+
+/// Encodes a frame through an arbitrary channel code.
+pub fn encode_frame_with<M: WireMessage>(frame: &Frame<M>, code: &dyn ChannelCode) -> Vec<u8> {
+    code.encode(&encode_body(frame))
+}
+
+/// Decodes a frame through an arbitrary channel code.
+///
+/// # Errors
+///
+/// [`CodecError::CodeRejected`] when the code detects corruption —
+/// callers treat this as a *detected* corruption and drop the frame
+/// (omission) — or a structural [`CodecError`] if the decoded body does
+/// not parse.
+pub fn decode_frame_with<M: WireMessage>(
+    encoded: &[u8],
+    code: &dyn ChannelCode,
+) -> Result<Frame<M>, CodecError> {
+    let body = code.decode(encoded).map_err(CodecError::CodeRejected)?;
+    decode_body(&body)
+}
+
+/// Encodes a frame in the historical wire format: body followed by a
+/// CRC-32 trailer (identical to [`encode_frame_with`] under
+/// `Checksum::crc32()`).
+pub fn encode_frame<M: WireMessage>(frame: &Frame<M>) -> Vec<u8> {
+    encode_frame_with(frame, &Checksum::crc32())
+}
+
+/// Recomputes and overwrites the CRC trailer of an encoded frame —
+/// modelling a corruption the checksum cannot detect.
+pub fn refresh_crc(encoded: &mut [u8]) {
+    let len = encoded.len();
+    if len < 4 {
+        return;
+    }
+    let crc = crc32(&encoded[..len - 4]);
+    encoded[len - 4..].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// Decodes a frame in the historical wire format, verifying its CRC.
+///
+/// # Errors
+///
+/// [`CodecError::CrcMismatch`] when the trailer fails — callers treat
+/// this as a *detected* corruption and drop the frame (omission).
+pub fn decode_frame<M: WireMessage>(encoded: &[u8]) -> Result<Frame<M>, CodecError> {
+    if encoded.len() < PAYLOAD_OFFSET + 4 {
+        return Err(CodecError::Truncated);
+    }
+    let body_len = encoded.len() - 4;
+    let expected = u32::from_le_bytes(encoded[body_len..].try_into().expect("4-byte CRC trailer"));
+    let actual = crc32(&encoded[..body_len]);
+    if expected != actual {
+        return Err(CodecError::CrcMismatch { expected, actual });
+    }
+    decode_body(&encoded[..body_len])
 }
 
 #[cfg(test)]
@@ -293,7 +339,7 @@ mod tests {
         true.encode(&mut buf);
         let mut bytes = buf.freeze();
         assert_eq!(String::decode(&mut bytes).unwrap(), "héllo");
-        assert_eq!(bool::decode(&mut bytes).unwrap(), true);
+        assert!(bool::decode(&mut bytes).unwrap());
     }
 
     #[test]
@@ -363,5 +409,78 @@ mod tests {
         };
         assert!(e.to_string().contains("crc mismatch"));
         assert!(CodecError::Truncated.to_string().contains("prematurely"));
+        assert!(
+            CodecError::CodeRejected(heardof_coding::CodeError::Detected)
+                .to_string()
+                .contains("rejected")
+        );
+    }
+
+    #[test]
+    fn legacy_format_is_checksum32() {
+        let frame = Frame {
+            round: 12,
+            sender: 4,
+            copy: 2,
+            msg: 0xFACE_FEEDu64,
+        };
+        assert_eq!(
+            encode_frame(&frame),
+            encode_frame_with(&frame, &Checksum::crc32()),
+            "the historical wire format is the crc32 checksum code"
+        );
+    }
+
+    #[test]
+    fn frames_roundtrip_through_every_code() {
+        use heardof_coding::CodeSpec;
+        let frame = Frame {
+            round: 5,
+            sender: 2,
+            copy: 1,
+            msg: UteMsg::Vote(Some(31u64)),
+        };
+        for spec in [
+            CodeSpec::None,
+            CodeSpec::Checksum { width: 1 },
+            CodeSpec::Checksum { width: 4 },
+            CodeSpec::Repetition { k: 3 },
+            CodeSpec::Hamming74,
+        ] {
+            let code = spec.build();
+            let wire = encode_frame_with(&frame, &code);
+            let decoded: Frame<UteMsg<u64>> = decode_frame_with(&wire, &code).unwrap();
+            assert_eq!(decoded, frame, "roundtrip through {spec}");
+        }
+    }
+
+    #[test]
+    fn hamming_code_repairs_wire_corruption_in_place() {
+        let code = heardof_coding::Hamming74;
+        let frame = Frame {
+            round: 3,
+            sender: 1,
+            copy: 0,
+            msg: 777u64,
+        };
+        let mut wire = encode_frame_with(&frame, &code);
+        wire[2 * PAYLOAD_OFFSET + 5] ^= 0x08; // single-bit hit inside the payload
+        let decoded: Frame<u64> = decode_frame_with(&wire, &code).unwrap();
+        assert_eq!(decoded.msg, 777, "SECDED repaired the flip");
+    }
+
+    #[test]
+    fn double_flip_in_one_block_is_code_rejected() {
+        let code = heardof_coding::Hamming74;
+        let frame = Frame {
+            round: 3,
+            sender: 1,
+            copy: 0,
+            msg: 777u64,
+        };
+        let mut wire = encode_frame_with(&frame, &code);
+        wire[2 * PAYLOAD_OFFSET + 5] ^= 0x18; // two bits in the same block
+        let err = decode_frame_with::<u64>(&wire, &code).unwrap_err();
+        assert!(matches!(err, CodecError::CodeRejected(_)));
     }
 }

@@ -42,10 +42,23 @@ pub struct AlphaEstimate {
 pub fn recommend_alpha(faults: &LinkFaults, n: usize, tail_bound: f64) -> AlphaEstimate {
     let p = (faults.corrupt_prob * faults.undetected_prob).clamp(0.0, 1.0);
     let mu = n as f64 * p;
-    let mut alpha = mu.ceil() as u32;
+    AlphaEstimate {
+        expected: mu,
+        recommended_alpha: recommend_alpha_for_mean(mu, n, tail_bound),
+        tail_bound,
+    }
+}
+
+/// The smallest budget `α ≤ n` whose Chernoff upper tail for a
+/// Binomial/Poisson-like per-round undetected-corruption count with
+/// mean `mu` is below `tail_bound` — the padding rule behind
+/// [`recommend_alpha`], exposed for sweeps that obtain `mu` from
+/// measured code miss rates (e.g. the `coding_tradeoff` experiment).
+pub fn recommend_alpha_for_mean(mu: f64, n: usize, tail_bound: f64) -> u32 {
+    assert!(mu >= 0.0, "mean demand must be nonnegative");
     // Chernoff: P(X ≥ a) ≤ exp(−mu) (e·mu / a)^a for a > mu.
     let tail = |a: u32| -> f64 {
-        if p == 0.0 {
+        if mu == 0.0 {
             return 0.0;
         }
         let a = a as f64;
@@ -54,14 +67,13 @@ pub fn recommend_alpha(faults: &LinkFaults, n: usize, tail_bound: f64) -> AlphaE
         }
         (-mu + a * (1.0 + (mu / a).ln())).exp()
     };
+    // A receiver sees at most n frames per round, so α > n is never
+    // needed regardless of the mean demand.
+    let mut alpha = (mu.ceil() as u32).min(n as u32);
     while tail(alpha + 1) > tail_bound && alpha < n as u32 {
         alpha += 1;
     }
-    AlphaEstimate {
-        expected: mu,
-        recommended_alpha: alpha,
-        tail_bound,
-    }
+    alpha
 }
 
 #[cfg(test)]

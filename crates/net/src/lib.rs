@@ -1,18 +1,24 @@
 //! # heardof-net
 //!
 //! A message-passing deployment substrate for HO algorithms: OS threads,
-//! crossbeam channels, byte-level fault injection, a CRC-checked wire
-//! codec, and a round synchronizer implementing communication-closed
-//! rounds over an asynchronous transport.
+//! crossbeam channels, bit-level fault injection, a wire codec framed by
+//! a pluggable channel code (`heardof-coding`), and a round synchronizer
+//! implementing communication-closed rounds over an asynchronous
+//! transport.
 //!
 //! Where the lockstep simulator (`heardof-sim`) gives adversarial
 //! control, this crate shows the *same algorithms, unchanged*, running
 //! the way a real system would: heard-of sets arise from timeouts and
 //! lossy links; safe heard-of sets shrink exactly when a corruption
-//! slips past the checksum. The runtime reconstructs both collections
-//! post-hoc so the usual predicate checkers apply.
+//! slips past the channel code. Pick the code per deployment via
+//! [`NetConfig::code`] — the CRC-32 checksum default keeps the
+//! historical wire format, while a correcting code such as
+//! `CodeSpec::Hamming74` repairs corruption in flight, running the same
+//! algorithm at raw corruption rates far beyond its uncoded tolerance.
+//! The runtime reconstructs both heard-of collections post-hoc so the
+//! usual predicate checkers apply.
 //!
-//! * [`crc32`], [`WireMessage`], [`Frame`] — the wire format,
+//! * [`crc32`], [`WireMessage`], [`Frame`], [`CodeSpec`] — the wire format,
 //! * [`LinkFaults`], [`FaultyLink`], [`FaultLog`] — the fault model,
 //! * [`run_threaded`], [`NetConfig`], [`NetOutcome`] — the runtime,
 //! * [`recommend_alpha`] — predicate-coverage engineering (§5.2 / \[10\]).
@@ -42,12 +48,16 @@
 
 mod codec;
 mod coverage;
-mod crc;
 mod link;
 mod runtime;
 
-pub use codec::{decode_frame, encode_frame, CodecError, Frame, WireMessage, PAYLOAD_OFFSET};
-pub use coverage::{recommend_alpha, AlphaEstimate};
-pub use crc::crc32;
+pub use codec::{
+    decode_body, decode_frame, decode_frame_with, encode_body, encode_frame, encode_frame_with,
+    refresh_crc, CodecError, Frame, WireMessage, PAYLOAD_OFFSET,
+};
+pub use coverage::{recommend_alpha, recommend_alpha_for_mean, AlphaEstimate};
+// The CRC implementation lives in `heardof-coding` now that coding is a
+// first-class subsystem; re-exported so the original API is unchanged.
+pub use heardof_coding::{crc32, ChannelCode, CodeSpec, FrameOutcome};
 pub use link::{FaultKey, FaultLog, FaultyLink, LinkEvent, LinkFaults};
 pub use runtime::{run_threaded, NetConfig, NetOutcome};

@@ -1,19 +1,27 @@
 //! Faulty point-to-point links over crossbeam channels.
 //!
-//! Faults are injected at the *byte* level on encoded frames, the way a
-//! real lossy/corrupting medium would behave:
+//! Faults are injected at the *bit* level on coded wire frames, the way
+//! a real lossy/corrupting medium would behave:
 //!
 //! * with `drop_prob` the frame vanishes (omission),
-//! * with `corrupt_prob` payload bytes are flipped; the CRC will catch
-//!   it at the receiver — *unless* the corruption also fixed the CRC,
-//!   which we model with `undetected_prob` (the coverage gap of §5.2).
+//! * with `corrupt_prob` wire bits are flipped; what the receiver then
+//!   experiences is the **channel code's** decision — repaired
+//!   ([`LinkEvent::CorruptedCorrected`]), rejected
+//!   ([`LinkEvent::CorruptedDetectable`], an effective omission), or
+//!   silently wrong ([`LinkEvent::CorruptedUndetected`], a value
+//!   fault);
+//! * with `undetected_prob` (conditional on corruption) the corruption
+//!   is *adversarial*: the payload is altered and the frame re-encoded
+//!   consistently, so **no** code can catch it — the §5.2 coverage gap
+//!   made explicit.
 //!
-//! Every injected *undetected* corruption is appended to a shared
-//! [`FaultLog`], so the runtime can reconstruct exact `SHO` sets after
-//! the fact (processes themselves can never know them — §2.1).
+//! Every *undetected* corruption is appended to a shared [`FaultLog`],
+//! so the runtime can reconstruct exact `SHO` sets after the fact
+//! (processes themselves can never know them — §2.1).
 
-use crate::codec::{refresh_crc, PAYLOAD_OFFSET};
+use crate::codec::PAYLOAD_OFFSET;
 use crossbeam::channel::Sender;
+use heardof_coding::{BitNoise, ChannelCode, Checksum, FrameOutcome};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -25,11 +33,12 @@ use std::sync::Arc;
 pub struct LinkFaults {
     /// Probability a frame is dropped outright.
     pub drop_prob: f64,
-    /// Probability a frame's payload bytes are corrupted in flight.
+    /// Probability a frame's bits are corrupted in flight.
     pub corrupt_prob: f64,
-    /// Probability a corruption goes *undetected* (CRC refreshed),
+    /// Probability a corruption is *adversarial* — applied to the
+    /// payload and re-encoded consistently, defeating any channel code —
     /// conditional on corruption happening. `1 − undetected_prob` is the
-    /// detection coverage of the checksum.
+    /// fraction of corruption left for the code to catch or repair.
     pub undetected_prob: f64,
 }
 
@@ -52,13 +61,18 @@ impl LinkFaults {
             ("corrupt_prob", self.corrupt_prob),
             ("undetected_prob", self.undetected_prob),
         ] {
-            assert!((0.0..=1.0).contains(&p), "{name} must be a probability, got {p}");
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "{name} must be a probability, got {p}"
+            );
         }
         self
     }
 
-    /// Expected undetected corruptions per receiver per round, given `n`
-    /// senders — the quantity the budget `α` must dominate.
+    /// Expected *adversarial* undetected corruptions per receiver per
+    /// round, given `n` senders — a lower bound on the demand the
+    /// budget `α` must dominate (codes with imperfect detection add
+    /// their own misses on top; see `heardof_coding::measure_code`).
     pub fn expected_alpha(&self, n: usize) -> f64 {
         n as f64 * self.corrupt_prob * self.undetected_prob
     }
@@ -113,13 +127,15 @@ pub struct FaultyLink {
     receiver_id: u32,
     tx: Sender<Vec<u8>>,
     faults: LinkFaults,
+    code: Arc<dyn ChannelCode>,
     rng: StdRng,
     log: FaultLog,
 }
 
 impl FaultyLink {
     /// Builds the link `sender_id → receiver_id` with deterministic
-    /// per-link randomness derived from `seed`.
+    /// per-link randomness derived from `seed`, framing with the
+    /// historical CRC-32 checksum code.
     pub fn new(
         sender_id: u32,
         receiver_id: u32,
@@ -127,6 +143,29 @@ impl FaultyLink {
         faults: LinkFaults,
         seed: u64,
         log: FaultLog,
+    ) -> Self {
+        Self::with_code(
+            sender_id,
+            receiver_id,
+            tx,
+            faults,
+            seed,
+            log,
+            Arc::new(Checksum::crc32()),
+        )
+    }
+
+    /// Like [`FaultyLink::new`], with an explicit channel code. The
+    /// code must match what the endpoints use to frame wire bytes.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_code(
+        sender_id: u32,
+        receiver_id: u32,
+        tx: Sender<Vec<u8>>,
+        faults: LinkFaults,
+        seed: u64,
+        log: FaultLog,
+        code: Arc<dyn ChannelCode>,
     ) -> Self {
         // Distinct, deterministic stream per ordered pair.
         let link_seed = seed
@@ -137,6 +176,7 @@ impl FaultyLink {
             receiver_id,
             tx,
             faults: faults.validated(),
+            code,
             rng: StdRng::seed_from_u64(link_seed),
             log,
         }
@@ -149,49 +189,103 @@ impl FaultyLink {
             return LinkEvent::Dropped;
         }
         if self.rng.gen_bool(self.faults.corrupt_prob) {
-            self.corrupt_payload(&mut encoded);
-            if self.rng.gen_bool(self.faults.undetected_prob) {
-                refresh_crc(&mut encoded);
-                self.log
-                    .record((round, self.sender_id, self.receiver_id, copy));
-                let _ = self.tx.send(encoded);
-                return LinkEvent::CorruptedUndetected;
+            let event = if self.rng.gen_bool(self.faults.undetected_prob) {
+                self.corrupt_adversarially(&mut encoded)
+            } else {
+                self.corrupt_physically(&mut encoded)
+            };
+            if event == LinkEvent::CorruptedUndetected {
+                // Key the log by the header the *receiver* will decode:
+                // under a rate<1 code, noise can (rarely) miscorrect
+                // header bits too, and the reconstruction joins on the
+                // receiver's view, not the sender's intent.
+                let (r, s, c) =
+                    self.decoded_header(&encoded)
+                        .unwrap_or((round, self.sender_id, copy));
+                self.log.record((r, s, self.receiver_id, c));
             }
-            // Stale CRC: the receiver will detect and drop it.
             let _ = self.tx.send(encoded);
-            return LinkEvent::CorruptedDetectable;
+            return event;
         }
         let _ = self.tx.send(encoded);
         LinkEvent::Delivered
     }
 
-    fn corrupt_payload(&mut self, encoded: &mut [u8]) {
-        // Flip 1–3 bytes inside the payload region (header stays intact,
-        // like a payload-scrambling medium).
-        let payload_end = encoded.len().saturating_sub(4);
-        if payload_end <= PAYLOAD_OFFSET {
-            return;
+    /// The `(round, sender, copy)` header a receiver will parse from
+    /// `wire`, if it decodes at all.
+    fn decoded_header(&self, wire: &[u8]) -> Option<(u64, u32, u8)> {
+        let body = self.code.decode(wire).ok()?;
+        if body.len() < PAYLOAD_OFFSET {
+            return None;
+        }
+        let round = u64::from_le_bytes(body[0..8].try_into().ok()?);
+        let sender = u32::from_le_bytes(body[8..12].try_into().ok()?);
+        Some((round, sender, body[12]))
+    }
+
+    /// Code-consistent corruption: alter payload bytes of the decoded
+    /// body and re-encode, so the receiver's decoder validates the
+    /// forgery. No code catches this — it is the residual the `α`
+    /// budget exists for.
+    fn corrupt_adversarially(&mut self, encoded: &mut Vec<u8>) -> LinkEvent {
+        let Ok(mut body) = self.code.decode(encoded) else {
+            // Pre-corrupted input (not produced by our runtime): leave it.
+            return LinkEvent::CorruptedDetectable;
+        };
+        if body.len() <= PAYLOAD_OFFSET {
+            return LinkEvent::Delivered; // nothing to forge
         }
         let flips = self.rng.gen_range(1..=3usize);
         for _ in 0..flips {
-            let idx = self.rng.gen_range(PAYLOAD_OFFSET..payload_end);
+            let idx = self.rng.gen_range(PAYLOAD_OFFSET..body.len());
             // Guarantee a real change.
             let mask = self.rng.gen_range(1..=255u8);
-            encoded[idx] ^= mask;
+            body[idx] ^= mask;
+        }
+        *encoded = self.code.encode(&body);
+        LinkEvent::CorruptedUndetected
+    }
+
+    /// Physical noise: flip 1–3 wire bits past the first header-sized
+    /// prefix and let the channel code decide the outcome. (Sparing the
+    /// prefix keeps frame routing intact for every rate-1 code; under a
+    /// rate<1 code the header's encoded image extends further and can
+    /// still be hit — the `send` logger keys the fault by the header
+    /// the receiver will actually decode, so `HO`/`SHO` reconstruction
+    /// stays exact either way.)
+    fn corrupt_physically(&mut self, encoded: &mut [u8]) -> LinkEvent {
+        if encoded.len() <= PAYLOAD_OFFSET {
+            return LinkEvent::Delivered; // no corruptible region
+        }
+        let flips = self.rng.gen_range(1..=3usize);
+        let Ok(original_body) = self.code.decode(encoded) else {
+            // Pre-corrupted input (not produced by our runtime): noise
+            // it further; the receiver rejects it either way.
+            BitNoise::flip_exact(&mut encoded[PAYLOAD_OFFSET..], flips, &mut self.rng);
+            return LinkEvent::CorruptedDetectable;
+        };
+        BitNoise::flip_exact(&mut encoded[PAYLOAD_OFFSET..], flips, &mut self.rng);
+        match self.code.classify(&original_body, encoded) {
+            FrameOutcome::Delivered => LinkEvent::CorruptedCorrected,
+            FrameOutcome::DetectedOmission => LinkEvent::CorruptedDetectable,
+            FrameOutcome::UndetectedValueFault => LinkEvent::CorruptedUndetected,
         }
     }
 }
 
 /// What the fault model did to one frame.
-#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub enum LinkEvent {
     /// Delivered intact.
     Delivered,
     /// Dropped (omission).
     Dropped,
-    /// Corrupted but the CRC will catch it (effective omission).
+    /// Corrupted, but the channel code repaired it in flight — the
+    /// receiver experiences a clean delivery.
+    CorruptedCorrected,
+    /// Corrupted and the code will detect it (effective omission).
     CorruptedDetectable,
-    /// Corrupted and the CRC was refreshed (value fault).
+    /// Corrupted without detection (value fault).
     CorruptedUndetected,
 }
 
@@ -292,6 +386,78 @@ mod tests {
     }
 
     #[test]
+    fn hamming_link_repairs_physical_noise() {
+        use heardof_coding::{CodeSpec, Hamming74};
+        let (tx, rx) = unbounded();
+        let faults = LinkFaults {
+            corrupt_prob: 1.0,
+            undetected_prob: 0.0,
+            ..LinkFaults::NONE
+        };
+        let code = CodeSpec::Hamming74.build();
+        let mut link = FaultyLink::with_code(0, 1, tx, faults, 4, FaultLog::new(), code);
+        let frame = Frame {
+            round: 1,
+            sender: 0,
+            copy: 0,
+            msg: 5u64,
+        };
+        let mut events = std::collections::HashMap::new();
+        for round in 1..=60u64 {
+            let wire = crate::codec::encode_frame_with(&frame, &Hamming74);
+            let e = link.send(round, 0, wire);
+            *events.entry(e).or_insert(0usize) += 1;
+        }
+        drop(link);
+        let corrected = events
+            .get(&LinkEvent::CorruptedCorrected)
+            .copied()
+            .unwrap_or(0);
+        assert!(
+            corrected > 30,
+            "1–3 bit flips are mostly repaired by SECDED, got {events:?}"
+        );
+        // Every corrected frame decodes back to the original message.
+        let mut repaired = 0;
+        while let Ok(bytes) = rx.try_recv() {
+            if let Ok(got) = crate::codec::decode_frame_with::<u64>(&bytes, &Hamming74) {
+                assert_eq!(got.msg, 5);
+                repaired += 1;
+            }
+        }
+        assert!(repaired >= corrected, "corrected frames arrive intact");
+    }
+
+    #[test]
+    fn uncoded_link_leaks_value_faults_from_plain_noise() {
+        use heardof_coding::{CodeSpec, NoCode};
+        let (tx, rx) = unbounded();
+        let faults = LinkFaults {
+            corrupt_prob: 1.0,
+            undetected_prob: 0.0, // no adversary needed: no detection at all
+            ..LinkFaults::NONE
+        };
+        let log = FaultLog::new();
+        let code = CodeSpec::None.build();
+        let mut link = FaultyLink::with_code(0, 1, tx, faults, 4, log.clone(), code);
+        let frame = Frame {
+            round: 1,
+            sender: 0,
+            copy: 0,
+            msg: 5u64,
+        };
+        let wire = crate::codec::encode_frame_with(&frame, &NoCode);
+        assert_eq!(link.send(1, 0, wire), LinkEvent::CorruptedUndetected);
+        assert!(
+            log.was_corrupted(&(1, 0, 1, 0)),
+            "leak is ground-truth logged"
+        );
+        let got = crate::codec::decode_frame_with::<u64>(&rx.recv().unwrap(), &NoCode).unwrap();
+        assert_ne!(got.msg, 5, "corruption sailed straight through");
+        assert_eq!(got.round, 1, "header region is spared by the noise model");
+    }
+
+    #[test]
     fn deterministic_per_seed() {
         let run = |seed| {
             let (tx, rx) = unbounded();
@@ -300,8 +466,7 @@ mod tests {
                 ..LinkFaults::NONE
             };
             let mut link = FaultyLink::new(0, 1, tx, faults, seed, FaultLog::new());
-            let events: Vec<LinkEvent> =
-                (0..50).map(|i| link.send(i, 0, frame_bytes(i))).collect();
+            let events: Vec<LinkEvent> = (0..50).map(|i| link.send(i, 0, frame_bytes(i))).collect();
             drop(link);
             let delivered = rx.iter().count();
             (events, delivered)

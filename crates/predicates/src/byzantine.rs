@@ -122,7 +122,11 @@ mod tests {
             let mut delivered = intended.clone();
             for c in 0..f {
                 for r in 0..n {
-                    delivered.mutate_cell(ProcessId::new(c as u32), ProcessId::new(r as u32), |_| 9);
+                    delivered.mutate_cell(
+                        ProcessId::new(c as u32),
+                        ProcessId::new(r as u32),
+                        |_| 9,
+                    );
                 }
             }
             h.push(RoundSets::from_matrices(&intended, &delivered));

@@ -135,7 +135,10 @@ mod tests {
         let report = both.check(&h);
         assert!(!report.holds);
         // Only the PBenign violation surfaces, prefixed by its name.
-        assert!(report.violations.iter().all(|v| v.detail.contains("P_benign")));
+        assert!(report
+            .violations
+            .iter()
+            .all(|v| v.detail.contains("P_benign")));
         assert!(both.name().contains("∧"));
 
         let weaker = All::new(vec![Box::new(PAlpha::new(1))]);

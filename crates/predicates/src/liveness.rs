@@ -345,10 +345,7 @@ mod tests {
         h.push(partial_uniform_round(6, &[0, 1, 2]));
         let report = ALive::new(3, 5, 5).check(&h);
         assert!(!report.holds);
-        assert!(report
-            .violations
-            .iter()
-            .any(|v| v.detail.contains("|SHO|")));
+        assert!(report.violations.iter().any(|v| v.detail.contains("|SHO|")));
     }
 
     #[test]
@@ -380,7 +377,7 @@ mod tests {
         h.push(corrupted_round(n, &[1])); // round 2 = 2φ₀ corrupted
         h.push(perfect_round(n)); // round 3
         h.push(perfect_round(n)); // round 4
-        // Round 2 fails conjunct 1; round 4 = 2φ₀ needs rounds 5, 6.
+                                  // Round 2 fails conjunct 1; round 4 = 2φ₀ needs rounds 5, 6.
         assert_eq!(live.witness_phase(&h), None);
         let mut h2 = h.clone();
         h2.push(perfect_round(n)); // round 5

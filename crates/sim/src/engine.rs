@@ -204,10 +204,10 @@ impl<A: HoAlgorithm> Simulator<A> {
             let delivered = self.adversary.deliver(round, &intended, &mut rng);
             let sets = RoundSets::from_matrices(&intended, &delivered);
             // (3) Transition functions on reception vectors.
-            for p in 0..n {
+            for (p, state) in states.iter_mut().enumerate() {
                 let pid = ProcessId::new(p as u32);
                 let rx = delivered.column(pid);
-                algo.transition(round, pid, &mut states[p], &rx);
+                algo.transition(round, pid, state, &rx);
             }
             let decisions: Vec<Option<A::Value>> =
                 states.iter().map(|s| algo.decision(s)).collect();

@@ -42,7 +42,9 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(SimError::MissingInitialValues.to_string().contains("initial values"));
+        assert!(SimError::MissingInitialValues
+            .to_string()
+            .contains("initial values"));
         assert_eq!(
             SimError::WrongInitialArity {
                 expected: 4,

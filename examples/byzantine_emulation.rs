@@ -56,7 +56,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Tighter f fails — the predicates really measure the corrupter set:
     assert!(!AsyncByzantine::new(f - 1).holds(&outcome.trace));
-    println!("\nwith f−1 = {} the async predicate is violated, as expected", f - 1);
+    println!(
+        "\nwith f−1 = {} the async predicate is violated, as expected",
+        f - 1
+    );
 
     Ok(())
 }

@@ -47,8 +47,14 @@ fn main() {
     let balanced = AteParams::balanced(n, alpha).unwrap();
     let max_e = AteParams::max_e(n, alpha).unwrap();
     println!("n={n}, α={alpha}:");
-    println!("  balanced: {balanced} — decisions need > {} identical values", balanced.e());
-    println!("  max-E   : {max_e} — updates fire from > {} receptions, decisions need near-unanimity", max_e.t());
+    println!(
+        "  balanced: {balanced} — decisions need > {} identical values",
+        balanced.e()
+    );
+    println!(
+        "  max-E   : {max_e} — updates fire from > {} receptions, decisions need near-unanimity",
+        max_e.t()
+    );
 
     // Diagnostics: every violated inequality is named.
     println!("\nsolver diagnostics:");
@@ -61,14 +67,8 @@ fn main() {
             "T below the lock bound",
             AteParams::new(n, alpha, Threshold::integer(5), Threshold::integer(8)).unwrap_err(),
         ),
-        (
-            "α beyond n/4",
-            AteParams::balanced(n, 3).unwrap_err(),
-        ),
-        (
-            "U: α beyond n/2",
-            UteParams::tightest(n, 6).unwrap_err(),
-        ),
+        ("α beyond n/4", AteParams::balanced(n, 3).unwrap_err()),
+        ("U: α beyond n/2", UteParams::tightest(n, 6).unwrap_err()),
     ] {
         println!("  {what}: {err}");
     }

@@ -30,10 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- A_{T,E} ---
     let params = AteParams::balanced(n, alpha)?;
-    let adversary = WithSchedule::new(
-        SantoroWidmayerBlock::all_receivers(),
-        GoodRounds::every(7),
-    );
+    let adversary = WithSchedule::new(SantoroWidmayerBlock::all_receivers(), GoodRounds::every(7));
     let outcome = Simulator::new(Ate::<u64>::new(params), n)
         .adversary(adversary)
         .seed(1)

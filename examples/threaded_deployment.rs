@@ -37,9 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         estimate.expected
     );
     println!("recommended α: {}", estimate.recommended_alpha);
-    let alpha = estimate
-        .recommended_alpha
-        .clamp(1, AteParams::max_alpha(n));
+    let alpha = estimate.recommended_alpha.clamp(1, AteParams::max_alpha(n));
     let params = AteParams::balanced(n, alpha)?;
     println!("machine: {params}\n");
 
@@ -49,6 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         round_timeout: Duration::from_millis(30),
         copies: 3, // retransmit against the 10% drops
         max_rounds: 120,
+        ..NetConfig::default()
     };
 
     let outcome = run_threaded(
@@ -60,7 +59,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("decisions        : {:?}", outcome.decisions);
     println!("decision rounds  : {:?}", outcome.decision_rounds);
-    println!("undetected corruptions injected: {}", outcome.undetected_corruptions);
+    println!(
+        "undetected corruptions injected: {}",
+        outcome.undetected_corruptions
+    );
     assert!(outcome.agreement_ok(), "no two deciders may disagree");
 
     // Predicate checking on the reconstructed history of a REAL run:

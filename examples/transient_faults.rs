@@ -39,8 +39,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(outcome.consensus_ok());
     let decided_at = outcome.last_decision_round().unwrap().get();
     println!("storm ends after round 40; consensus at round {decided_at}");
-    assert!(decided_at > 40, "the split-brain storm really did stall progress");
-    assert!(decided_at <= 44, "…but recovery is immediate: one clean phase");
+    assert!(
+        decided_at > 40,
+        "the split-brain storm really did stall progress"
+    );
+    assert!(
+        decided_at <= 44,
+        "…but recovery is immediate: one clean phase"
+    );
 
     // During the storm: zero decisions, zero violations.
     for r in 1..=40u64 {
@@ -51,6 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     println!("during the storm: no process decided, no safety violation");
-    println!("verdict: {:?} decisions, safe = {}", outcome.trace.decided_count(), outcome.is_safe());
+    println!(
+        "verdict: {:?} decisions, safe = {}",
+        outcome.trace.decided_count(),
+        outcome.is_safe()
+    );
     Ok(())
 }

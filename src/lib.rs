@@ -25,6 +25,8 @@
 //!   HO/SHO sets, traces, the consensus checker),
 //! * [`predicates`] — communication predicates as checkable values,
 //! * [`adversary`] — fault injection strategies and budgets,
+//! * [`coding`] — channel codes trading value faults for omissions
+//!   (checksums, repetition, Hamming SECDED) with measured miss rates,
 //! * [`sim`] — the deterministic lockstep simulator,
 //! * [`net`] — a threaded message-passing deployment substrate,
 //! * [`core`] — the paper's algorithms and bounds,
@@ -60,6 +62,7 @@
 
 pub use heardof_adversary as adversary;
 pub use heardof_analysis as analysis;
+pub use heardof_coding as coding;
 pub use heardof_core as core;
 pub use heardof_model as model;
 pub use heardof_net as net;
@@ -69,11 +72,15 @@ pub use heardof_sim as sim;
 /// The most commonly used items, for glob import.
 pub mod prelude {
     pub use heardof_adversary::{
-        Adversary, BorrowedCorruption, Budgeted, GoodRounds, NoFaults, RandomCorruption,
-        RandomOmission, SantoroWidmayerBlock, Seq, SplitBrain, StaticByzantine,
+        Adversary, BorrowedCorruption, Budgeted, CodedChannel, GoodRounds, NoFaults,
+        RandomCorruption, RandomOmission, SantoroWidmayerBlock, Seq, SplitBrain, StaticByzantine,
         SymmetricByzantine, TransientBurst, WithSchedule,
     };
     pub use heardof_analysis::{Scenario, Summary, Table, UteWitnessSearch, WitnessSearch};
+    pub use heardof_coding::{
+        measure_code, BitNoise, ChannelCode, Checksum, CodeSpec, FrameOutcome, Hamming74, NoCode,
+        Repetition,
+    };
     pub use heardof_core::{
         Ate, AteParams, OneThirdRule, ParamError, Threshold, UniformVoting, Ute, UteMsg, UteParams,
     };

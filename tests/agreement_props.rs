@@ -10,7 +10,10 @@ use proptest::prelude::*;
 
 fn ate_adversary(kind: u8, alpha: u32, link_prob: f64) -> Box<dyn Adversary<u64>> {
     match kind % 4 {
-        0 => Box::new(Budgeted::new(RandomCorruption::new(alpha, link_prob), alpha)),
+        0 => Box::new(Budgeted::new(
+            RandomCorruption::new(alpha, link_prob),
+            alpha,
+        )),
         1 => Box::new(Budgeted::new(
             BorrowedCorruption::new(alpha, link_prob),
             alpha,

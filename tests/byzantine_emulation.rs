@@ -50,7 +50,7 @@ fn corrupted_senders_decide_too() {
         .run_until_decided(300)
         .unwrap();
     assert!(outcome.consensus_ok());
-    let v = outcome.decided_value().unwrap().clone();
+    let v = *outcome.decided_value().unwrap();
     for p in all_processes(n) {
         assert_eq!(
             outcome.trace.final_decision(p),
@@ -96,15 +96,12 @@ fn sync_byzantine_predicate_matches_safe_kernel() {
     // the static predicate is genuinely stronger, which is the paper's
     // point about dynamic vs static faults.
     let n = 6;
-    let outcome = Simulator::new(
-        Ate::<u64>::new(AteParams::balanced(n, 1).unwrap()),
-        n,
-    )
-    .adversary(SantoroWidmayerBlock::all_receivers())
-    .initial_values((0..n).map(|i| i as u64 % 2))
-    .seed(3)
-    .run_rounds(n) // one full rotation: every process corrupted once
-    .unwrap();
+    let outcome = Simulator::new(Ate::<u64>::new(AteParams::balanced(n, 1).unwrap()), n)
+        .adversary(SantoroWidmayerBlock::all_receivers())
+        .initial_values((0..n).map(|i| i as u64 % 2))
+        .seed(3)
+        .run_rounds(n) // one full rotation: every process corrupted once
+        .unwrap();
     // Per-round: fine for f = 1. Whole-run: every sender corrupted at
     // some round, so SK is empty and even f = n − 1 barely holds.
     assert!(PAlpha::new(1).holds(&outcome.trace));

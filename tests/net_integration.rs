@@ -13,6 +13,7 @@ fn config(faults: LinkFaults, copies: u8, seed: u64) -> NetConfig {
         round_timeout: Duration::from_millis(40),
         copies,
         max_rounds: 100,
+        ..NetConfig::default()
     }
 }
 
@@ -128,6 +129,46 @@ fn retransmission_raises_decision_rate_under_drops() {
         decided_with[0]
     );
     assert!(decided_with[1] >= 6, "4 copies almost always decide");
+}
+
+#[test]
+fn non_default_code_runs_end_to_end_and_suppresses_value_faults() {
+    // The same noisy channel, framed by SECDED instead of the default
+    // CRC-32 checksum: corruption that the checksum can only *drop* is
+    // now *repaired*, and the uncoded leak disappears from the fault
+    // log entirely — the value-fault ⇄ omission trade made live.
+    use heardof::coding::CodeSpec;
+    let n = 6;
+    let faults = LinkFaults {
+        drop_prob: 0.0,
+        corrupt_prob: 0.2,
+        undetected_prob: 0.0,
+    };
+    let mut cfg = config(faults, 1, 9);
+    cfg.code = CodeSpec::Hamming74;
+    let coded = run_threaded(
+        Ate::<u64>::new(AteParams::balanced(n, 1).unwrap()),
+        n,
+        (0..n as u64).map(|i| i % 2).collect(),
+        cfg,
+    );
+    assert!(coded.all_decided(), "SECDED repairs the channel in flight");
+    assert!(coded.agreement_ok());
+
+    let mut uncoded_cfg = config(faults, 1, 9);
+    uncoded_cfg.code = CodeSpec::None;
+    let uncoded = run_threaded(
+        Ate::<u64>::new(AteParams::balanced(n, 1).unwrap()),
+        n,
+        (0..n as u64).map(|i| i % 2).collect(),
+        uncoded_cfg,
+    );
+    assert!(
+        uncoded.undetected_corruptions > coded.undetected_corruptions,
+        "no code leaks value faults ({}) that SECDED suppresses ({})",
+        uncoded.undetected_corruptions,
+        coded.undetected_corruptions
+    );
 }
 
 #[test]

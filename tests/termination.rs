@@ -25,7 +25,10 @@ fn ate_decides_after_first_good_round() {
         .unwrap();
     assert!(outcome.consensus_ok());
     let decided = outcome.last_decision_round().unwrap().get();
-    assert!(decided >= 6, "no decision can precede the first good round here");
+    assert!(
+        decided >= 6,
+        "no decision can precede the first good round here"
+    );
     assert!(decided <= 12, "convergence + one more good round suffices");
     assert!(ate_live(&params).holds(&outcome.trace));
 }

@@ -13,7 +13,8 @@ use rand::rngs::StdRng;
 fn weak_agreement_bound_breaks_in_one_round() {
     // n=8, α=1 requires E ≥ 5; E = 4 admits a split-decision round.
     let bad = AteParams::unchecked(8, 1, Threshold::integer(4), Threshold::integer(4));
-    let outcome = WitnessSearch::new(bad, 2).run(&[false, false, false, false, true, true, true, true]);
+    let outcome =
+        WitnessSearch::new(bad, 2).run(&[false, false, false, false, true, true, true, true]);
     let SearchOutcome::Violation(w) = outcome else {
         panic!("expected violation");
     };
@@ -69,7 +70,9 @@ fn valid_fractional_parameters_survive_search() {
     for ones in 0..=5 {
         let initial: Vec<bool> = (0..5).map(|i| i < ones).collect();
         assert!(
-            !WitnessSearch::new(params, 2).run(&initial).found_violation(),
+            !WitnessSearch::new(params, 2)
+                .run(&initial)
+                .found_violation(),
             "{ones} ones"
         );
     }

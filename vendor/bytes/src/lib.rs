@@ -1,0 +1,245 @@
+//! In-tree stand-in for the `bytes` crate.
+//!
+//! Offline build: only the API surface the wire codec uses is provided —
+//! [`BytesMut`] as an append-only little-endian writer, [`Bytes`] as a
+//! cursor over an owned buffer, and the [`Buf`]/[`BufMut`] traits those
+//! methods live on. No shared-ownership or zero-copy machinery; the
+//! codec works on small frames where a `Vec<u8>` is exactly right.
+
+#![warn(rust_2018_idioms)]
+
+use std::ops::Deref;
+
+/// Read-side cursor operations.
+pub trait Buf {
+    /// Bytes remaining ahead of the cursor.
+    fn remaining(&self) -> usize;
+
+    /// Reads one byte, advancing the cursor.
+    fn get_u8(&mut self) -> u8;
+
+    /// Reads a little-endian `u32`, advancing the cursor.
+    fn get_u32_le(&mut self) -> u32;
+
+    /// Reads a little-endian `u64`, advancing the cursor.
+    fn get_u64_le(&mut self) -> u64;
+
+    /// Reads a little-endian `i64`, advancing the cursor.
+    fn get_i64_le(&mut self) -> i64;
+}
+
+/// Write-side append operations.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32);
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64);
+
+    /// Appends a little-endian `i64`.
+    fn put_i64_le(&mut self, v: i64);
+
+    /// Appends a slice verbatim.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+/// A growable byte buffer for encoding.
+#[derive(Clone, Default, Debug, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with `cap` bytes preallocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            inner: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// `true` if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Freezes the buffer into an immutable [`Bytes`] cursor.
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.inner,
+            pos: 0,
+        }
+    }
+
+    /// Copies the written bytes into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.inner.clone()
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.inner.push(v);
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.inner.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.inner.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_i64_le(&mut self, v: i64) {
+        self.inner.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+}
+
+/// An immutable byte buffer with a read cursor.
+#[derive(Clone, Default, Debug, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Copies `src` into a fresh buffer with the cursor at the start.
+    pub fn copy_from_slice(src: &[u8]) -> Self {
+        Bytes {
+            data: src.to_vec(),
+            pos: 0,
+        }
+    }
+
+    /// Splits off and returns the next `len` bytes, advancing the
+    /// cursor past them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `len` bytes remain.
+    pub fn split_to(&mut self, len: usize) -> Bytes {
+        assert!(len <= self.remaining(), "split_to out of bounds");
+        let piece = Bytes {
+            data: self.data[self.pos..self.pos + len].to_vec(),
+            pos: 0,
+        };
+        self.pos += len;
+        piece
+    }
+
+    /// Copies the remaining bytes into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data[self.pos..].to_vec()
+    }
+
+    fn take(&mut self, n: usize) -> &[u8] {
+        assert!(n <= self.remaining(), "read past end of Bytes");
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        s
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take(4).try_into().expect("4 bytes"))
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take(8).try_into().expect("8 bytes"))
+    }
+
+    fn get_i64_le(&mut self) -> i64 {
+        i64::from_le_bytes(self.take(8).try_into().expect("8 bytes"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut w = BytesMut::with_capacity(32);
+        w.put_u64_le(0x0102_0304_0506_0708);
+        w.put_u32_le(0xAABB_CCDD);
+        w.put_u8(0x7F);
+        w.put_i64_le(-5);
+        w.put_slice(b"xyz");
+        assert_eq!(w.len(), 8 + 4 + 1 + 8 + 3);
+
+        let mut r = w.freeze();
+        assert_eq!(r.get_u64_le(), 0x0102_0304_0506_0708);
+        assert_eq!(r.get_u32_le(), 0xAABB_CCDD);
+        assert_eq!(r.get_u8(), 0x7F);
+        assert_eq!(r.get_i64_le(), -5);
+        assert_eq!(r.to_vec(), b"xyz");
+    }
+
+    #[test]
+    fn split_to_advances() {
+        let mut b = Bytes::copy_from_slice(b"hello world");
+        let head = b.split_to(5);
+        assert_eq!(&head[..], b"hello");
+        assert_eq!(b.remaining(), 6);
+        assert_eq!(b.get_u8(), b' ');
+        assert_eq!(b.to_vec(), b"world");
+    }
+
+    #[test]
+    #[should_panic(expected = "split_to out of bounds")]
+    fn split_past_end_panics() {
+        let mut b = Bytes::copy_from_slice(b"ab");
+        let _ = b.split_to(3);
+    }
+
+    #[test]
+    fn deref_views_remaining() {
+        let mut w = BytesMut::new();
+        w.put_slice(b"abcd");
+        assert_eq!(&w[..], b"abcd");
+        let mut b = w.freeze();
+        let _ = b.get_u8();
+        assert_eq!(&b[..], b"bcd");
+    }
+}

@@ -1,0 +1,324 @@
+//! In-tree stand-in for the `criterion` crate.
+//!
+//! Offline build: provides criterion's API shape — groups, benchmark
+//! ids, throughput annotations, `criterion_group!`/`criterion_main!` —
+//! backed by a simple best-of-N wall-clock timer. No statistics, plots
+//! or baselines; each benchmark prints one line:
+//!
+//! ```text
+//! bench codec/encode/64        1.23 µs/iter  (52.0 Melem/s)
+//! ```
+
+#![warn(rust_2018_idioms)]
+
+use std::fmt;
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a value or the computation
+/// producing it.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Measurement backends, mirroring `criterion::measurement`.
+pub mod measurement {
+    /// Wall-clock time (the only backend provided here).
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct WallTime;
+}
+
+/// Work-per-iteration annotation used to report rates.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// A benchmark's display identity: function name plus optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// The benchmark driver.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 1, "sample_size must be at least 1");
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _criterion: std::marker::PhantomData,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&id.label, self.sample_size, None, |b| f(b));
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a, M> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: std::marker::PhantomData<&'a M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 1, "sample_size must be at least 1");
+        self.sample_size = n;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with work-per-iteration.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&label, self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks a closure taking no input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_one(&label, self.sample_size, self.throughput, |b| f(b));
+        self
+    }
+
+    /// Ends the group (upstream writes reports here; nothing to do).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    samples: usize,
+    best: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping the best (least-noisy) sample.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            let dt = start.elapsed();
+            if self.best.is_none_or(|b| dt < b) {
+                self.best = Some(dt);
+            }
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        samples,
+        best: None,
+    };
+    f(&mut bencher);
+    let best = bencher.best.unwrap_or(Duration::ZERO);
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => format!("  ({} elem/s)", si_rate(n, best)),
+        Some(Throughput::Bytes(n)) => format!("  ({}B/s)", si_rate(n, best)),
+        None => String::new(),
+    };
+    println!("bench {label:<44} {}/iter{rate}", human_duration(best));
+}
+
+fn human_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn si_rate(per_iter: u64, d: Duration) -> String {
+    let secs = d.as_secs_f64();
+    if secs <= 0.0 {
+        return "∞ ".to_string();
+    }
+    let rate = per_iter as f64 / secs;
+    if rate >= 1e9 {
+        format!("{:.1} G", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.1} M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.1} k", rate / 1e3)
+    } else {
+        format!("{rate:.1} ")
+    }
+}
+
+/// Declares a group of benchmark target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = <$crate::Criterion as ::core::default::Default>::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_times() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Elements(100));
+        let mut runs = 0usize;
+        group.bench_with_input(BenchmarkId::new("count", 100), &100u64, |b, &n| {
+            b.iter(|| {
+                runs += 1;
+                (0..n).sum::<u64>()
+            })
+        });
+        group.finish();
+        assert_eq!(runs, 3, "one routine call per sample");
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("enc", 64).to_string(), "enc/64");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(human_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(human_duration(Duration::from_micros(1500)), "1.50 ms");
+    }
+
+    criterion_group! {
+        name = smoke;
+        config = Criterion::default().sample_size(2);
+        targets = smoke_target
+    }
+
+    fn smoke_target(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn group_macro_invocable() {
+        smoke();
+    }
+}

@@ -1,0 +1,60 @@
+//! In-tree stand-in for the `crossbeam` crate.
+//!
+//! Offline build: the threaded runtime only needs MPSC unbounded
+//! channels with timeouts, which `std::sync::mpsc` provides directly.
+//! Senders are `Clone + Send`, receivers are moved into their owning
+//! thread — exactly the shape `run_threaded` uses, so the std types are
+//! re-exported under crossbeam's names.
+
+#![warn(rust_2018_idioms)]
+
+/// MPSC channels, mirroring `crossbeam::channel`.
+pub mod channel {
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// The sending half (clonable, `Send`).
+    pub type Sender<T> = std::sync::mpsc::Sender<T>;
+
+    /// The receiving half.
+    pub type Receiver<T> = std::sync::mpsc::Receiver<T>;
+
+    /// Creates an unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, RecvTimeoutError};
+    use std::time::Duration;
+
+    #[test]
+    fn send_and_receive_across_threads() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        std::thread::spawn(move || tx2.send(41u32).unwrap());
+        std::thread::spawn(move || tx.send(1u32).unwrap());
+        let sum: u32 = (0..2).map(|_| rx.recv().unwrap()).sum();
+        assert_eq!(sum, 42);
+    }
+
+    #[test]
+    fn timeout_fires_when_empty() {
+        let (_tx, rx) = unbounded::<u8>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+    }
+
+    #[test]
+    fn disconnect_reported() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+}

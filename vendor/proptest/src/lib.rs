@@ -1,0 +1,432 @@
+//! In-tree stand-in for the `proptest` crate.
+//!
+//! Offline build: implements the subset of proptest this workspace's
+//! property tests use — the [`proptest!`] macro (with an optional
+//! `#![proptest_config(...)]` header), integer-range and `any::<T>()`
+//! strategies, `prop_map`, [`prop_oneof!`], [`strategy::Just`],
+//! `proptest::collection::vec`, and the `prop_assert*` macros.
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! * **no shrinking** — a failing case reports the generated inputs via
+//!   the ordinary panic message (every generated binding is formatted
+//!   into assertion contexts by the caller where needed);
+//! * **deterministic seeds** — each test function runs its cases from a
+//!   fixed seed sequence, so failures reproduce exactly;
+//! * `prop_assert*` panic immediately instead of returning `Err`.
+
+#![warn(rust_2018_idioms)]
+
+#[doc(hidden)]
+pub use rand as __rand;
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always generates a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The [`Strategy::prop_map`] adapter.
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice among boxed strategies (the [`crate::prop_oneof!`]
+    /// backing type).
+    pub struct Union<V> {
+        arms: Vec<Box<dyn Strategy<Value = V>>>,
+    }
+
+    impl<V> Union<V> {
+        /// Builds a union over `arms`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `arms` is empty.
+        pub fn new(arms: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+
+        /// A one-arm union; grow it with [`Union::or`]. Starting from a
+        /// concrete first arm keeps `V` inferable at the use site.
+        pub fn of(first: impl Strategy<Value = V> + 'static) -> Self {
+            Union {
+                arms: vec![Box::new(first)],
+            }
+        }
+
+        /// Adds an equally-weighted arm.
+        pub fn or(mut self, arm: impl Strategy<Value = V> + 'static) -> Self {
+            self.arms.push(Box::new(arm));
+            self
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut StdRng) -> V {
+            let i = rng.gen_range(0..self.arms.len());
+            self.arms[i].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategies {
+        ($($ty:ty),*) => {$(
+            impl Strategy for core::ops::Range<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut StdRng) -> $ty {
+                    rng.gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut StdRng) -> $ty {
+                    rng.gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for core::ops::RangeFrom<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut StdRng) -> $ty {
+                    rng.gen_range(self.start..=<$ty>::MAX)
+                }
+            }
+        )*};
+    }
+
+    int_range_strategies!(u8, u16, u32, u64, usize, i64);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut StdRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — the full-domain strategy for primitives.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::RngCore;
+    use std::marker::PhantomData;
+
+    /// Strategy generating any value of `T`.
+    #[derive(Clone, Debug, Default)]
+    pub struct Any<T>(PhantomData<T>);
+
+    /// Creates the full-domain strategy for `T`.
+    pub fn any<T>() -> Any<T>
+    where
+        Any<T>: Strategy,
+    {
+        Any(PhantomData)
+    }
+
+    macro_rules! impl_any_int {
+        ($($ty:ty),*) => {$(
+            impl Strategy for Any<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut StdRng) -> $ty {
+                    rng.next_u64() as $ty
+                }
+            }
+        )*};
+    }
+
+    impl_any_int!(u8, u16, u32, u64, usize, i64);
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut StdRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A length specification: exact, or uniform within a range.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max_exclusive: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Generates a `Vec` whose elements come from `element` and whose
+    /// length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// The [`vec`] strategy.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.min..self.size.max_exclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Case-count configuration.
+
+    /// How many random cases each property runs.
+    #[derive(Clone, Copy, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Upstream defaults to 256; 64 keeps whole-workspace test
+            // time reasonable while still exercising the domain.
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+/// The glob-import surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests. Each inner `fn` keeps its own `#[test]`
+/// attribute; bindings are written `name in strategy`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ [$cfg] $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{
+            [<$crate::test_runner::ProptestConfig as ::core::default::Default>::default()]
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ([$cfg:expr] $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                // Distinct, reproducible stream per (function, case).
+                let mut __proptest_rng = <$crate::__rand::rngs::StdRng as $crate::__rand::SeedableRng>::seed_from_u64(
+                    0x5EED_0000_0000_0000u64 ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(
+                        &($strat),
+                        &mut __proptest_rng,
+                    );
+                )+
+                $body
+            }
+        }
+    )*};
+}
+
+/// Uniform random choice among strategies generating the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($first:expr $(, $rest:expr)* $(,)?) => {
+        $crate::strategy::Union::of($first)$(.or($rest))*
+    };
+}
+
+/// Property-scope `assert!` (panics immediately; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Property-scope `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Property-scope `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 3usize..10, y in 1u8.., z in 0u32..=4) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y >= 1);
+            prop_assert!(z <= 4);
+        }
+
+        #[test]
+        fn vec_lengths_in_range(v in crate::collection::vec(0u8..3, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&b| b < 3));
+        }
+
+        #[test]
+        fn oneof_and_map_cover_arms(v in prop_oneof![
+            (0u64..5).prop_map(|x: u64| -> u64 { x * 2 }),
+            Just(99u64),
+        ]) {
+            prop_assert!(v == 99u64 || (v % 2u64 == 0 && v < 10));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+        #[test]
+        fn config_header_accepted(b in any::<bool>()) {
+            prop_assert!(u8::from(b) <= 1);
+        }
+    }
+
+    #[test]
+    fn exact_size_vec() {
+        use crate::strategy::Strategy;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let s = crate::collection::vec(0u8..3, 9usize);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(s.generate(&mut rng).len(), 9);
+    }
+}

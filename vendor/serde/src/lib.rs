@@ -1,0 +1,9 @@
+//! In-tree stand-in for `serde`.
+//!
+//! Offline build: provides the `Serialize`/`Deserialize` derive names
+//! the workspace imports. The derives are no-ops (see `serde_derive`);
+//! no serializer runs in-tree today.
+
+#![warn(rust_2018_idioms)]
+
+pub use serde_derive::{Deserialize, Serialize};
