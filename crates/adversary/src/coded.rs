@@ -20,7 +20,10 @@
 //! `P_α` coverage, now composable with every existing strategy.
 
 use crate::Adversary;
-use heardof_coding::{BitNoise, ChannelCode, CodeSpec, FrameOutcome};
+use heardof_coding::{
+    AdaptiveConfig, AdaptiveController, BitNoise, ChannelCode, CodeBook, CodeSpec, FrameOutcome,
+    RoundTally,
+};
 use heardof_model::{MessageMatrix, Round};
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore};
@@ -193,6 +196,192 @@ where
     }
 }
 
+/// Duty-cycled activation: the inner adversary attacks for `on` rounds,
+/// then rests for `off` rounds, cycling — the **whipsaw** pattern aimed
+/// at an adaptive code controller. A controller without hysteresis
+/// escalates during every burst and relaxes during every pause, paying
+/// switching churn forever; one with a dwell time and a calm-streak
+/// cooldown escalates once and holds.
+#[derive(Clone)]
+pub struct Whipsaw<A> {
+    inner: A,
+    on: u64,
+    off: u64,
+}
+
+impl<A> Whipsaw<A> {
+    /// Attacks for `on` rounds out of every `on + off`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either phase is empty — a degenerate cycle is just
+    /// the inner adversary (or `NoFaults`).
+    pub fn new(inner: A, on: u64, off: u64) -> Self {
+        assert!(on >= 1 && off >= 1, "whipsaw needs nonempty on/off phases");
+        Whipsaw { inner, on, off }
+    }
+
+    /// `true` in rounds where the inner adversary is active.
+    pub fn attacking(&self, round: Round) -> bool {
+        (round.get() - 1) % (self.on + self.off) < self.on
+    }
+}
+
+impl<M, A> Adversary<M> for Whipsaw<A>
+where
+    M: Clone + Send,
+    A: Adversary<M>,
+{
+    fn name(&self) -> String {
+        format!(
+            "whipsaw({}on/{}off)<{}>",
+            self.on,
+            self.off,
+            self.inner.name()
+        )
+    }
+
+    fn deliver(
+        &mut self,
+        round: Round,
+        intended: &MessageMatrix<M>,
+        rng: &mut StdRng,
+    ) -> MessageMatrix<M> {
+        if self.attacking(round) {
+            self.inner.deliver(round, intended, rng)
+        } else {
+            intended.clone()
+        }
+    }
+}
+
+/// [`CodedChannel`] with the code chosen per round by an
+/// [`AdaptiveController`] instead of pinned: the abstract-simulator
+/// counterpart of the threaded runtime's per-round renegotiation, and
+/// the arena where ladder-attacking adversaries (e.g. [`Whipsaw`]) are
+/// evaluated. The controller is fed the channel-wide ground-truth tally
+/// after every round (the simulator is an oracle — it *knows* the
+/// misses), so `P_α`-infeasibility escalates the ladder even when raw
+/// pressure is low.
+#[derive(Clone)]
+pub struct AdaptiveCodedChannel<A> {
+    inner: A,
+    controller: AdaptiveController,
+    book: Arc<CodeBook>,
+    payload_len: usize,
+    min_flips: usize,
+    max_flips: usize,
+    stats: CodedStats,
+}
+
+impl<A> AdaptiveCodedChannel<A> {
+    /// Wraps `inner` behind `cfg`'s ladder, starting at rung 0.
+    pub fn new(inner: A, cfg: AdaptiveConfig) -> Self {
+        let book = Arc::new(CodeBook::from_specs(&cfg.ladder));
+        AdaptiveCodedChannel {
+            inner,
+            controller: AdaptiveController::new(cfg),
+            book,
+            payload_len: 8,
+            min_flips: 1,
+            max_flips: 3,
+            stats: CodedStats::default(),
+        }
+    }
+
+    /// The controller state (rung, switch count, pressure).
+    pub fn controller(&self) -> &AdaptiveController {
+        &self.controller
+    }
+
+    /// Running totals of what the ladder did to the inner adversary's
+    /// corruption.
+    pub fn stats(&self) -> CodedStats {
+        self.stats
+    }
+
+    /// Re-enacts one corruption physically under the current rung.
+    fn reenact(&mut self, rng: &mut StdRng) -> FrameOutcome {
+        let code = self
+            .book
+            .code(self.controller.code_id())
+            .expect("controller rung in book");
+        let mut payload = vec![0u8; self.payload_len];
+        for b in payload.iter_mut() {
+            *b = rng.next_u64() as u8;
+        }
+        let mut wire = code.encode(&payload);
+        let flips = rng.gen_range(self.min_flips..=self.max_flips);
+        BitNoise::flip_exact(&mut wire, flips, rng);
+        code.classify(&payload, &wire)
+    }
+}
+
+impl<M, A> Adversary<M> for AdaptiveCodedChannel<A>
+where
+    M: Clone + Send + PartialEq,
+    A: Adversary<M>,
+{
+    fn name(&self) -> String {
+        format!(
+            "adaptive-coded[{}]<{}>",
+            self.controller.current(),
+            self.inner.name()
+        )
+    }
+
+    fn deliver(
+        &mut self,
+        round: Round,
+        intended: &MessageMatrix<M>,
+        rng: &mut StdRng,
+    ) -> MessageMatrix<M> {
+        let mut delivered = self.inner.deliver(round, intended, rng);
+        let (mut expected, mut omitted, mut corrected, mut missed) =
+            (0usize, 0usize, 0usize, 0usize);
+        for (sender, receiver, original) in intended.iter() {
+            expected += 1;
+            let corrupted = match delivered.get(sender, receiver) {
+                None => {
+                    omitted += 1; // inner omission: already benign
+                    false
+                }
+                Some(m) => m != original,
+            };
+            if !corrupted {
+                continue;
+            }
+            match self.reenact(rng) {
+                FrameOutcome::Delivered => {
+                    delivered.set(sender, receiver, original.clone());
+                    self.stats.corrected += 1;
+                    corrected += 1;
+                }
+                FrameOutcome::DetectedOmission => {
+                    delivered.clear(sender, receiver);
+                    self.stats.omitted += 1;
+                    omitted += 1;
+                }
+                FrameOutcome::UndetectedValueFault => {
+                    self.stats.missed += 1;
+                    missed += 1;
+                }
+            }
+        }
+        // Value-faulted cells were *kept* by their receivers, so they
+        // count as delivered (matching RoundTally's definition and the
+        // runtime's observable tally) — the oracle only adds the
+        // value_faults annotation on top.
+        self.controller.observe(RoundTally {
+            expected,
+            delivered: expected - omitted,
+            corrected,
+            value_faults: missed,
+        });
+        delivered
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -307,6 +496,91 @@ mod tests {
         assert_eq!(
             Adversary::<u64>::name(&coded),
             "coded[repetition3]<random-corruption(α=1, p=0.5)>"
+        );
+    }
+
+    #[test]
+    fn whipsaw_respects_its_duty_cycle() {
+        let mut adv = Whipsaw::new(RandomCorruption::new(2, 1.0), 2, 3);
+        let intended = MessageMatrix::from_fn(6, |_, _| Some(1u64));
+        let mut rng = StdRng::seed_from_u64(8);
+        let corrupt_by_round: Vec<usize> = (1..=10)
+            .map(|r| {
+                adv.deliver(Round::new(r), &intended, &mut rng)
+                    .corruption_count(&intended)
+            })
+            .collect();
+        // Cycle of 5: rounds 1-2 on, 3-5 off, 6-7 on, 8-10 off.
+        for (i, &c) in corrupt_by_round.iter().enumerate() {
+            let on = i as u64 % 5 < 2;
+            assert_eq!(c > 0, on, "round {} (on = {on}): {c} corruptions", i + 1);
+        }
+        assert_eq!(
+            Adversary::<u64>::name(&adv),
+            "whipsaw(2on/3off)<random-corruption(α=2, p=1)>"
+        );
+    }
+
+    #[test]
+    fn whipsaw_attack_is_damped_by_hysteresis() {
+        // The ladder attack: corruption bursts shorter than the
+        // controller's cooldown, trying to force switch churn. The
+        // hysteretic controller must escalate a bounded number of times
+        // and then hold, and the ladder must still suppress the inner
+        // adversary's value faults.
+        let n = 8;
+        let inner = Whipsaw::new(RandomCorruption::new(3, 1.0), 3, 3);
+        let mut adv = AdaptiveCodedChannel::new(inner, AdaptiveConfig::standard(n, 1));
+        let intended = MessageMatrix::from_fn(n, |_, _| Some(7u64));
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut landed = 0usize;
+        for r in 1..=120u64 {
+            let delivered = adv.deliver(Round::new(r), &intended, &mut rng);
+            landed += delivered.corruption_count(&intended);
+        }
+        let switches = adv.controller().switches();
+        assert!(
+            (1..=5).contains(&switches),
+            "controller must escalate once-ish and hold, not churn: {switches} switches"
+        );
+        assert!(
+            adv.controller().rung() >= 1,
+            "sustained attack pressure keeps the ladder escalated"
+        );
+        let attempts = adv.stats().attempts();
+        assert!(
+            landed * 4 < attempts,
+            "the ladder suppresses ≥75% of attack corruption \
+             ({landed} landed of {attempts} attempts)"
+        );
+    }
+
+    #[test]
+    fn oracle_alpha_projection_escalates_a_leaky_rung() {
+        // Ladder whose first rung is the identity code: every inner
+        // corruption lands as a value fault. Pressure thresholds are
+        // neutered; only the oracle P_α projection can demand the
+        // switch — and it must.
+        let n = 8;
+        let mut cfg = AdaptiveConfig::standard(n, 1);
+        cfg.ladder = vec![CodeSpec::None, CodeSpec::Hamming74];
+        cfg.escalate_at = 0.99; // pressure alone can never trigger
+        cfg.severe_at = 0.995;
+        cfg.deescalate_at = 0.01; // ongoing repair activity pins the rung
+        let mut adv = AdaptiveCodedChannel::new(RandomCorruption::new(2, 1.0), cfg);
+        let intended = MessageMatrix::from_fn(n, |_, _| Some(7u64));
+        let mut rng = StdRng::seed_from_u64(2);
+        for r in 1..=10u64 {
+            let _ = adv.deliver(Round::new(r), &intended, &mut rng);
+        }
+        assert_eq!(
+            adv.controller().rung(),
+            1,
+            "projected α blows the budget on the uncoded rung"
+        );
+        assert_eq!(
+            Adversary::<u64>::name(&adv),
+            "adaptive-coded[hamming74]<random-corruption(α=2, p=1)>"
         );
     }
 }

@@ -43,7 +43,7 @@ mod targeted;
 mod traits;
 
 pub use budget::{clamp_to_alpha, Budgeted};
-pub use coded::{CodedChannel, CodedStats};
+pub use coded::{AdaptiveCodedChannel, CodedChannel, CodedStats, Whipsaw};
 pub use liveness::{GoodRounds, WithSchedule};
 pub use strategies::{
     BorrowedCorruption, RandomCorruption, RandomOmission, SantoroWidmayerBlock, SenderOmission,

@@ -1,0 +1,243 @@
+//! Static vs. adaptive operating points under moving noise.
+//!
+//! `coding_tradeoff` swept codes against *stationary* BSC noise; this
+//! experiment puts the same ladder under noise that changes over time —
+//! a clean trace, a bursty trace (long clean/noisy phases), and an
+//! oscillating trace (fast alternation, the whipsaw attack) — and
+//! compares every static `CodeSpec` against the `AdaptiveController`.
+//!
+//! Three figures of merit per operating point:
+//!
+//! * **feasibility** — the Chernoff-padded `α*` demanded by the
+//!   measured undetected-value-fault rate must fit the deployment
+//!   budget (`A_{T,E}` at `n = 24`, `α = 5` — the largest feasible
+//!   budget, `α < n/4`);
+//! * **productive rounds** — rounds where a receiver hears ≥ 2/3 of
+//!   its peers (below that, threshold algorithms make no progress);
+//! * **bandwidth** — wire bytes spent per payload byte per productive
+//!   round (unproductive rounds burn their bytes for nothing).
+//!
+//! The headline: on the bursty trace every static code either leaks
+//! value faults past the budget (none, bare hamming74's burst
+//! miscorrections) or pays ≥ 2× bandwidth (checksums stall through the
+//! bursts; correcting codes pay their rate all the time), while the
+//! adaptive controller stays feasible, keeps making progress through
+//! the bursts, and undercuts every feasible static that does the same.
+
+use heardof_bench::chernoff_alpha;
+use heardof_coding::{
+    AdaptiveConfig, AdaptiveController, ChannelCode, CodeBook, CodeSpec, NoiseTrace, RoundTally,
+};
+use heardof_core::AteParams;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Senders per round (one receiver's viewpoint in an n = 24 system).
+const SENDERS: usize = 23;
+/// Deployment size for the feasibility check.
+const N: usize = 24;
+/// The `α` budget the deployment's parameters were validated with.
+const BUDGET: u32 = 5;
+/// Representative frame body (header + u64 payload).
+const BODY_LEN: usize = 25;
+/// Rounds per trace.
+const ROUNDS: u64 = 240;
+/// Target per-round tail probability for the α projection.
+const TAIL: f64 = 1e-6;
+/// A round is *productive* when ≥ 2/3 of peers are heard — the benign
+/// HO threshold regime.
+const PRODUCTIVE_NUM: usize = 2;
+const PRODUCTIVE_DEN: usize = 3;
+
+struct Outcome {
+    name: String,
+    wire_bytes: usize,
+    delivered: usize,
+    value_faults: usize,
+    productive_rounds: usize,
+    switches: usize,
+}
+
+impl Outcome {
+    fn alpha_star(&self) -> u32 {
+        chernoff_alpha(self.value_faults as f64 / ROUNDS as f64, N, TAIL)
+    }
+
+    fn feasible(&self) -> bool {
+        self.alpha_star() <= BUDGET && AteParams::balanced(N, self.alpha_star()).is_ok()
+    }
+
+    /// Wire bytes per payload byte per productive round.
+    fn bandwidth(&self) -> f64 {
+        if self.productive_rounds == 0 {
+            f64::INFINITY
+        } else {
+            self.wire_bytes as f64 / (self.productive_rounds * SENDERS * BODY_LEN) as f64
+        }
+    }
+}
+
+enum Policy {
+    Static(CodeSpec),
+    Adaptive(Box<AdaptiveController>, CodeBook),
+}
+
+fn run(policy: &mut Policy, trace: &NoiseTrace, seed: u64) -> Outcome {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut body = vec![0u8; BODY_LEN];
+    let (mut wire_bytes, mut delivered, mut faults, mut productive) = (0usize, 0usize, 0usize, 0);
+    let static_code = match policy {
+        Policy::Static(spec) => Some(spec.build()),
+        Policy::Adaptive(..) => None,
+    };
+    for r in 1..=ROUNDS {
+        let (mut ok, mut corrected, mut missed) = (0usize, 0usize, 0usize);
+        for s in 0..SENDERS as u32 {
+            for b in body.iter_mut() {
+                *b = rng.next_u64() as u8;
+            }
+            let mut wire = match policy {
+                Policy::Static(_) => static_code.as_ref().unwrap().encode(&body),
+                Policy::Adaptive(ctl, book) => book.encode_tagged(ctl.code_id(), &body),
+            };
+            wire_bytes += wire.len();
+            trace.corrupt_frame(r, s, 0, 0, &mut wire);
+            let verdict = match policy {
+                Policy::Static(_) => static_code.as_ref().unwrap().decode_repaired(&wire).ok(),
+                Policy::Adaptive(_, book) => book
+                    .decode_tagged_repaired(&wire)
+                    .ok()
+                    .map(|(_, p, rep)| (p, rep)),
+            };
+            match verdict {
+                None => {}
+                Some((payload, repaired)) if payload == body => {
+                    ok += 1;
+                    corrected += usize::from(repaired);
+                }
+                Some(_) => missed += 1,
+            }
+        }
+        delivered += ok;
+        faults += missed;
+        if ok * PRODUCTIVE_DEN >= SENDERS * PRODUCTIVE_NUM {
+            productive += 1;
+        }
+        if let Policy::Adaptive(ctl, _) = policy {
+            // The controller gets what a live receiver observes —
+            // deliveries and repairs, not the oracle's fault count.
+            ctl.observe(RoundTally {
+                expected: SENDERS,
+                delivered: ok + missed,
+                corrected,
+                value_faults: 0,
+            });
+        }
+    }
+    Outcome {
+        name: match policy {
+            Policy::Static(spec) => spec.to_string(),
+            Policy::Adaptive(..) => "adaptive".into(),
+        },
+        wire_bytes,
+        delivered,
+        value_faults: faults,
+        productive_rounds: productive,
+        switches: match policy {
+            Policy::Adaptive(ctl, _) => ctl.switches(),
+            Policy::Static(_) => 0,
+        },
+    }
+}
+
+fn policies() -> Vec<Policy> {
+    let cfg = AdaptiveConfig::standard(N, BUDGET);
+    let mut out: Vec<Policy> = [
+        CodeSpec::None,
+        CodeSpec::Checksum { width: 1 },
+        CodeSpec::Checksum { width: 4 },
+        CodeSpec::Hamming74,
+        CodeSpec::Interleaved { depth: 16 },
+        CodeSpec::Concatenated { width: 4 },
+        CodeSpec::Repetition { k: 5 },
+    ]
+    .into_iter()
+    .map(Policy::Static)
+    .collect();
+    out.push(Policy::Adaptive(
+        Box::new(AdaptiveController::new(cfg.clone())),
+        CodeBook::from_specs(&cfg.ladder),
+    ));
+    out
+}
+
+fn main() {
+    heardof_bench::header(
+        "adaptive_tradeoff — static vs. adaptive operating points under moving noise",
+        "a static code either blows the P_α budget or overpays bandwidth; \
+         the adaptive ladder does neither",
+    );
+    println!(
+        "n = {N}, α budget = {BUDGET}, body = {BODY_LEN} B, {ROUNDS} rounds/trace, \
+         productive ⇔ ≥ {PRODUCTIVE_NUM}/{PRODUCTIVE_DEN} peers heard, \
+         α* targets P ≤ {TAIL:.0e}"
+    );
+    for (trace_name, trace) in [
+        ("clean", NoiseTrace::clean(0xC1EA)),
+        ("bursty", NoiseTrace::bursty(0xB0B5)),
+        ("oscillating", NoiseTrace::oscillating(0x05C1)),
+    ] {
+        println!("\n--- trace: {trace_name} ---");
+        println!(
+            "{:<22} {:>9} {:>8} {:>7} {:>6} {:>9} {:>8}  verdict",
+            "policy", "delivered", "faults", "α*", "prod", "bandwidth", "switches"
+        );
+        let mut rows = Vec::new();
+        for mut policy in policies() {
+            let o = run(&mut policy, &trace, 0xFEED);
+            println!(
+                "{:<22} {:>9} {:>8} {:>7} {:>6} {:>9.3} {:>8}  {}",
+                o.name,
+                o.delivered,
+                o.value_faults,
+                o.alpha_star(),
+                o.productive_rounds,
+                o.bandwidth(),
+                o.switches,
+                if o.feasible() {
+                    "feasible"
+                } else {
+                    "INFEASIBLE"
+                }
+            );
+            rows.push(o);
+        }
+        if trace_name == "bursty" {
+            let adaptive = rows.last().expect("adaptive row");
+            let statics = &rows[..rows.len() - 1];
+            // Burst-live: makes progress during the noisy half too —
+            // more productive rounds than the clean phases alone give.
+            let burst_live = |o: &Outcome| o.productive_rounds > ROUNDS as usize / 2;
+            let cheapest_live_static = statics
+                .iter()
+                .filter(|s| s.feasible() && burst_live(s))
+                .map(Outcome::bandwidth)
+                .fold(f64::INFINITY, f64::min);
+            let claim = adaptive.feasible()
+                && burst_live(adaptive)
+                && statics
+                    .iter()
+                    .all(|s| !s.feasible() || s.bandwidth() >= 2.0)
+                && adaptive.bandwidth() < cheapest_live_static;
+            println!(
+                "\nheadline claim — adaptive stays P_α-feasible and live through the \
+                 bursts while every static violates feasibility or spends ≥2x \
+                 bandwidth, and adaptive undercuts every feasible static that \
+                 keeps burst-phase liveness ({:.3} vs {:.3}): {}",
+                adaptive.bandwidth(),
+                cheapest_live_static,
+                if claim { "HOLDS" } else { "VIOLATED" }
+            );
+        }
+    }
+}

@@ -1,0 +1,882 @@
+//! Adaptive code switching: an escalation ladder with hysteresis.
+//!
+//! A static [`CodeSpec`] is the wrong answer to a *moving* channel: a
+//! checksum wastes the `P_α` margin the moment noise arrives, while a
+//! repetition code wastes bandwidth the whole time the channel is
+//! clean. The [`AdaptiveController`] closes the loop the paper leaves
+//! open in §5.2 — it watches the per-round [`FrameOutcome`] tallies a
+//! receiver can actually observe (deliveries and effective omissions;
+//! undetected value faults are, by definition, invisible and enter only
+//! as estimates) and walks a **ladder** of codes:
+//!
+//! ```text
+//! checksum32  →  hamming74  →  interleaved{d}[hamming74]  →  repetition5
+//!  (detect)      (correct 1/blk)  (correct bursts)           (brute force)
+//! ```
+//!
+//! Escalation is eager (one noisy window suffices); de-escalation is
+//! deliberately lazy (a sustained calm streak *and* a minimum dwell
+//! time), because the dangerous adversary is not constant noise but an
+//! **oscillating** one that tries to whipsaw the controller into paying
+//! switching costs forever — hysteresis is the defense (cf. the
+//! adaptivity results of Agrawal–Gelles–Sahai and Haeupler–Sudan for
+//! why adaptive protocols dominate static ones at optimal error rates).
+//!
+//! The controller is a *pure function of its observation sequence*:
+//! feeding identical tallies produces identical rung sequences on any
+//! substrate, which is what the cross-substrate conformance harness
+//! (`tests/adaptive_conformance.rs` at the workspace root) asserts.
+//!
+//! [`CodeBook`] gives the ladder a wire identity: frames are prefixed
+//! with a 1-byte code id so receivers can decode *mixed epochs* exactly
+//! — after a switch, in-flight frames from the previous rung still name
+//! their own code.
+
+use crate::code::{ChannelCode, CodeError, CodeSpec, FrameOutcome};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// What one receiver observed in one round, aggregated over the frames
+/// it expected from its peers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RoundTally {
+    /// Frames expected this round (one per peer).
+    pub expected: usize,
+    /// Frames that decoded and were kept ([`FrameOutcome::Delivered`],
+    /// possibly after correction).
+    pub delivered: usize,
+    /// Of the delivered frames, how many arrived *repaired* — the
+    /// decoder corrected channel errors on the way (see
+    /// [`ChannelCode::decode_repaired`]). Observable noise evidence: a
+    /// correcting rung that is quietly absorbing a burst reports it
+    /// here, which is what stops the controller from stepping down into
+    /// an ongoing attack.
+    pub corrected: usize,
+    /// Known or estimated undetected value faults
+    /// ([`FrameOutcome::UndetectedValueFault`]). A live receiver cannot
+    /// observe these and passes 0; oracle harnesses (the simulator, the
+    /// tradeoff benchmarks) pass ground truth.
+    pub value_faults: usize,
+}
+
+impl RoundTally {
+    /// Missing frames: dropped outright or rejected by the code
+    /// ([`FrameOutcome::DetectedOmission`]) — a receiver cannot tell the
+    /// two apart, and does not need to.
+    pub fn omissions(&self) -> usize {
+        self.expected.saturating_sub(self.delivered)
+    }
+
+    /// Fraction of expected frames that did not arrive intact — the
+    /// *escalation* signal (repaired frames did arrive intact, so they
+    /// do not count against the current rung).
+    pub fn pressure(&self) -> f64 {
+        if self.expected == 0 {
+            0.0
+        } else {
+            (self.omissions() + self.value_faults) as f64 / self.expected as f64
+        }
+    }
+
+    /// Fraction of expected frames that show *any* channel activity:
+    /// missing, faulted, or delivered-after-repair — the *calm* signal.
+    /// De-escalation waits for this to go quiet, so a rung that is
+    /// actively correcting a burst is never abandoned mid-burst.
+    pub fn activity(&self) -> f64 {
+        if self.expected == 0 {
+            0.0
+        } else {
+            (self.omissions() + self.corrected + self.value_faults) as f64 / self.expected as f64
+        }
+    }
+}
+
+/// Configuration of an [`AdaptiveController`].
+#[derive(Clone, Debug)]
+pub struct AdaptiveConfig {
+    /// The escalation ladder, weakest (cheapest) first. Rung 0 is the
+    /// starting code.
+    pub ladder: Vec<CodeSpec>,
+    /// Sliding-window length (rounds) for the pressure estimate.
+    pub window: usize,
+    /// Windowed pressure above which the controller steps up a rung.
+    pub escalate_at: f64,
+    /// Single-round pressure above which an escalation jumps **two**
+    /// rungs instead of one. A hard burst (most frames lost) goes
+    /// straight from detection to burst-grade correction; lingering a
+    /// dwell period on the middle rung would spend rounds on a code
+    /// whose per-block correction the burst defeats — and whose
+    /// miscorrections *leak value faults* exactly when the `α` budget
+    /// is most stressed.
+    pub severe_at: f64,
+    /// Windowed pressure below which a round counts as *calm*; must be
+    /// strictly below [`AdaptiveConfig::escalate_at`] (the hysteresis
+    /// band).
+    pub deescalate_at: f64,
+    /// Consecutive calm rounds required before stepping down a rung.
+    pub cooldown: u64,
+    /// Rounds the controller stays put after any switch, defeating
+    /// noise patterns faster than the control loop.
+    pub min_dwell: u64,
+    /// System size (senders per round), for the `P_α` projection.
+    pub n: usize,
+    /// The `α` budget the deployment's parameters were validated with
+    /// (e.g. `AteParams::alpha()`); projected demand beyond this forces
+    /// escalation regardless of the pressure thresholds.
+    pub alpha_budget: u32,
+    /// Per-round tail probability the `α` projection targets.
+    pub target_tail: f64,
+}
+
+impl AdaptiveConfig {
+    /// The standard ladder and thresholds for an `n`-process deployment
+    /// running with budget `alpha_budget`:
+    /// `checksum32 → hamming74 → interleaved16[hamming74] → repetition5`,
+    /// window 2, escalate above 35% pressure (two rungs at once when
+    /// any window round passed 60%), de-escalate below 5% activity
+    /// after 4 calm rounds, dwell 3, tail `1e-6`.
+    ///
+    /// The short window makes burst onsets bite within a round — safe
+    /// because escalation additionally requires losses to outpace
+    /// repairs, so statistical spikes at a rung that is coping never
+    /// trigger a climb.
+    pub fn standard(n: usize, alpha_budget: u32) -> Self {
+        AdaptiveConfig {
+            ladder: vec![
+                CodeSpec::Checksum { width: 4 },
+                CodeSpec::Hamming74,
+                CodeSpec::Interleaved { depth: 16 },
+                CodeSpec::Repetition { k: 5 },
+            ],
+            window: 2,
+            escalate_at: 0.35,
+            severe_at: 0.6,
+            deescalate_at: 0.05,
+            cooldown: 4,
+            min_dwell: 3,
+            n,
+            alpha_budget,
+            target_tail: 1e-6,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(
+            !self.ladder.is_empty(),
+            "the ladder needs at least one rung"
+        );
+        assert!(self.window >= 1, "the estimation window must be nonempty");
+        assert!(
+            self.deescalate_at < self.escalate_at,
+            "hysteresis requires deescalate_at < escalate_at \
+             (got {} vs {})",
+            self.deescalate_at,
+            self.escalate_at
+        );
+        assert!(
+            self.severe_at >= self.escalate_at,
+            "the two-rung threshold must not undercut the one-rung one \
+             (got severe_at {} vs escalate_at {})",
+            self.severe_at,
+            self.escalate_at
+        );
+        assert!(self.n >= 1, "system must have at least one process");
+    }
+}
+
+/// The smallest budget `α ≤ n` whose Chernoff upper tail for a
+/// Binomial/Poisson-like per-round undetected-corruption count with
+/// mean `mu` is below `tail_bound`.
+///
+/// This is the canonical padding rule of the workspace;
+/// `heardof_net::recommend_alpha_for_mean` and the bench harness
+/// delegate here so the logic lives in one place.
+pub fn chernoff_alpha_for_mean(mu: f64, n: usize, tail_bound: f64) -> u32 {
+    assert!(mu >= 0.0, "mean demand must be nonnegative");
+    // Chernoff: P(X ≥ a) ≤ exp(−mu) (e·mu / a)^a for a > mu.
+    let tail = |a: u32| -> f64 {
+        if mu == 0.0 {
+            return 0.0;
+        }
+        let a = a as f64;
+        if a <= mu {
+            return 1.0;
+        }
+        (-mu + a * (1.0 + (mu / a).ln())).exp()
+    };
+    // A receiver sees at most n frames per round, so α > n is never
+    // needed regardless of the mean demand.
+    let mut alpha = (mu.ceil() as u32).min(n as u32);
+    while tail(alpha + 1) > tail_bound && alpha < n as u32 {
+        alpha += 1;
+    }
+    alpha
+}
+
+/// Deterministic per-round code selection over an escalation ladder.
+///
+/// Feed one [`RoundTally`] per round via [`AdaptiveController::observe`];
+/// the returned spec (when `Some`) takes effect for the *next* round's
+/// sends. All state is derived from the observation sequence — no
+/// clocks, no randomness — so replicas observing identical tallies make
+/// identical decisions.
+///
+/// # Examples
+///
+/// ```
+/// use heardof_coding::{AdaptiveConfig, AdaptiveController, CodeSpec, RoundTally};
+///
+/// let mut ctl = AdaptiveController::new(AdaptiveConfig::standard(8, 1));
+/// assert_eq!(ctl.current(), CodeSpec::Checksum { width: 4 });
+/// // A severe round (most frames rejected by the checksum) jumps the
+/// // ladder straight to burst-grade correction.
+/// let noisy = RoundTally { expected: 7, delivered: 1, corrected: 0, value_faults: 0 };
+/// assert_eq!(ctl.observe(noisy), Some(CodeSpec::Interleaved { depth: 16 }));
+/// ```
+#[derive(Clone, Debug)]
+pub struct AdaptiveController {
+    cfg: AdaptiveConfig,
+    rung: usize,
+    window: VecDeque<RoundTally>,
+    rounds_since_switch: u64,
+    calm_streak: u64,
+    rounds_observed: u64,
+    switches: usize,
+}
+
+impl AdaptiveController {
+    /// A controller starting at rung 0 of `cfg.ladder`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration (empty ladder, zero window,
+    /// or a non-hysteretic threshold pair).
+    pub fn new(cfg: AdaptiveConfig) -> Self {
+        cfg.validate();
+        let min_dwell = cfg.min_dwell;
+        AdaptiveController {
+            cfg,
+            rung: 0,
+            window: VecDeque::new(),
+            // Born free to switch: the dwell clock starts expired so a
+            // burst in the very first window escalates immediately.
+            rounds_since_switch: min_dwell,
+            calm_streak: 0,
+            rounds_observed: 0,
+            switches: 0,
+        }
+    }
+
+    /// The code in force for the next send.
+    pub fn current(&self) -> CodeSpec {
+        self.cfg.ladder[self.rung]
+    }
+
+    /// The wire id of the current code (its ladder index).
+    pub fn code_id(&self) -> u8 {
+        self.rung as u8
+    }
+
+    /// The current rung index (0 = cheapest).
+    pub fn rung(&self) -> usize {
+        self.rung
+    }
+
+    /// Number of switches performed so far.
+    pub fn switches(&self) -> usize {
+        self.switches
+    }
+
+    /// Rounds observed so far.
+    pub fn rounds_observed(&self) -> u64 {
+        self.rounds_observed
+    }
+
+    /// The controller's configuration.
+    pub fn config(&self) -> &AdaptiveConfig {
+        &self.cfg
+    }
+
+    /// Windowed fault pressure: the fraction of expected frames over
+    /// the sliding window that failed to arrive intact.
+    pub fn pressure(&self) -> f64 {
+        let (mut expected, mut bad) = (0usize, 0usize);
+        for t in &self.window {
+            expected += t.expected;
+            bad += t.omissions() + t.value_faults;
+        }
+        if expected == 0 {
+            0.0
+        } else {
+            bad as f64 / expected as f64
+        }
+    }
+
+    /// Windowed channel activity (pressure plus repaired deliveries) —
+    /// what de-escalation waits on.
+    pub fn activity(&self) -> f64 {
+        let (mut expected, mut active) = (0usize, 0usize);
+        for t in &self.window {
+            expected += t.expected;
+            active += t.omissions() + t.corrected + t.value_faults;
+        }
+        if expected == 0 {
+            0.0
+        } else {
+            active as f64 / expected as f64
+        }
+    }
+
+    /// Windowed fraction of expected frames delivered *after repair* —
+    /// evidence the current rung is actively winning against the noise.
+    pub fn corrected_rate(&self) -> f64 {
+        let (mut expected, mut corrected) = (0usize, 0usize);
+        for t in &self.window {
+            expected += t.expected;
+            corrected += t.corrected;
+        }
+        if expected == 0 {
+            0.0
+        } else {
+            corrected as f64 / expected as f64
+        }
+    }
+
+    /// The `α` budget the windowed value-fault estimate demands at the
+    /// configured tail, via [`chernoff_alpha_for_mean`].
+    pub fn projected_alpha(&self) -> u32 {
+        let rounds = self.window.len().max(1) as f64;
+        let mu = self.window.iter().map(|t| t.value_faults).sum::<usize>() as f64 / rounds;
+        chernoff_alpha_for_mean(mu, self.cfg.n, self.cfg.target_tail)
+    }
+
+    /// `true` when the projected demand fits the configured budget.
+    pub fn palpha_feasible(&self) -> bool {
+        self.projected_alpha() <= self.cfg.alpha_budget
+    }
+
+    /// Feeds one round's observations. Returns `Some(new_code)` when
+    /// the controller switches rungs (effective from the next send),
+    /// `None` when it holds.
+    pub fn observe(&mut self, tally: RoundTally) -> Option<CodeSpec> {
+        self.rounds_observed += 1;
+        self.rounds_since_switch = self.rounds_since_switch.saturating_add(1);
+        if self.window.len() == self.cfg.window {
+            self.window.pop_front();
+        }
+        self.window.push_back(tally);
+
+        // Calm means *no channel activity*, not just no losses: a rung
+        // that is silently repairing a burst is doing its job, and
+        // stepping down mid-burst is exactly the whipsaw an oscillating
+        // adversary wants.
+        if tally.activity() <= self.cfg.deescalate_at {
+            self.calm_streak += 1;
+        } else {
+            self.calm_streak = 0;
+        }
+
+        if self.rounds_since_switch <= self.cfg.min_dwell {
+            return None;
+        }
+
+        let windowed = self.pressure();
+        // High pressure alone is not enough to climb: a rung that
+        // repairs at least half as many frames as it loses is still
+        // *coping* with the noise — escalating off it during a dip is
+        // the spurious switch statistical spikes would otherwise cause
+        // (and each rung up costs rate). Only when losses clearly
+        // outrun repairs is the rung beaten. The `P_α` projection
+        // overrides: leaked value faults always escalate.
+        let losing = windowed > self.cfg.escalate_at && windowed > 2.0 * self.corrected_rate();
+        if (losing || !self.palpha_feasible()) && self.rung + 1 < self.cfg.ladder.len() {
+            // A hard burst — any window round with pressure past
+            // severe_at — jumps two rungs: the middle rung's per-block
+            // correction is already beaten, and its miscorrections
+            // would leak α while it dwells. Judging severity on the
+            // worst round (not the newest) keeps a burst that started
+            // mid-round from sneaking the controller onto the middle
+            // rung. The jump never lands on the final rung, though:
+            // the last resort is entered only single-step, after its
+            // predecessor demonstrably failed.
+            let severe = self
+                .window
+                .iter()
+                .map(RoundTally::pressure)
+                .fold(0.0, f64::max)
+                > self.cfg.severe_at;
+            let step = if severe && self.rung + 2 + 1 < self.cfg.ladder.len() {
+                2
+            } else {
+                1
+            };
+            self.rung += step;
+            self.switched();
+            return Some(self.current());
+        }
+        if self.rung > 0
+            && self.calm_streak >= self.cfg.cooldown
+            && self.activity() <= self.cfg.deescalate_at
+        {
+            // A window with essentially zero activity releases two
+            // rungs at once (mirroring the severe jump up); residual
+            // activity steps down one rung at a time.
+            let step = if self.activity() <= self.cfg.deescalate_at / 2.0 {
+                2
+            } else {
+                1
+            };
+            self.rung = self.rung.saturating_sub(step);
+            self.switched();
+            return Some(self.current());
+        }
+        None
+    }
+
+    fn switched(&mut self) {
+        self.switches += 1;
+        self.rounds_since_switch = 0;
+        // Each step down must re-earn its calm streak: descent is
+        // gradual even through a long quiet stretch.
+        self.calm_streak = 0;
+        // Judge every rung on its own observations: tallies gathered
+        // under the previous code would otherwise read as this rung's
+        // losses (stale checksum-era omissions escalating a correcting
+        // rung that is actually coping).
+        self.window.clear();
+    }
+}
+
+/// The ladder's wire identity: code-id-tagged framing for mixed-epoch
+/// decode.
+///
+/// A tagged wire image is `[id] ++ code.encode(body)` where `id` is the
+/// code's ladder index. Receivers decode *any* epoch's frames exactly,
+/// even mid-renegotiation; a corrupted id byte maps to a missing or
+/// mismatched code and the frame is rejected — a detected omission,
+/// never a silent fault.
+pub struct CodeBook {
+    specs: Vec<CodeSpec>,
+    codes: Vec<Arc<dyn ChannelCode>>,
+}
+
+impl CodeBook {
+    /// Builds the book for a ladder of specs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `specs` is empty or longer than 256 entries (ids are
+    /// one byte).
+    pub fn from_specs(specs: &[CodeSpec]) -> Self {
+        assert!(
+            !specs.is_empty() && specs.len() <= 256,
+            "a code book holds 1..=256 codes, got {}",
+            specs.len()
+        );
+        CodeBook {
+            specs: specs.to_vec(),
+            codes: specs.iter().map(|s| s.build()).collect(),
+        }
+    }
+
+    /// Number of codes in the book.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// `true` if the book is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// The spec registered under `id`, if any.
+    pub fn spec(&self, id: u8) -> Option<CodeSpec> {
+        self.specs.get(id as usize).copied()
+    }
+
+    /// The code registered under `id`, if any.
+    pub fn code(&self, id: u8) -> Option<&Arc<dyn ChannelCode>> {
+        self.codes.get(id as usize)
+    }
+
+    /// Encodes `body` under code `id`, prefixing the id byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not in the book.
+    pub fn encode_tagged(&self, id: u8, body: &[u8]) -> Vec<u8> {
+        let code = self.codes.get(id as usize).expect("code id in book");
+        let mut wire = Vec::with_capacity(1 + code.encoded_len(body.len()));
+        wire.push(id);
+        wire.extend_from_slice(&code.encode(body));
+        wire
+    }
+
+    /// Decodes a tagged wire image, returning the id it named and the
+    /// body its code recovered.
+    ///
+    /// # Errors
+    ///
+    /// [`CodeError::Malformed`] on an empty frame or unknown id,
+    /// or whatever the named code's decoder reports.
+    pub fn decode_tagged(&self, wire: &[u8]) -> Result<(u8, Vec<u8>), CodeError> {
+        let (id, body, _) = self.decode_tagged_repaired(wire)?;
+        Ok((id, body))
+    }
+
+    /// Like [`CodeBook::decode_tagged`], additionally reporting whether
+    /// the named code repaired channel errors (see
+    /// [`ChannelCode::decode_repaired`]) — the per-frame noise evidence
+    /// behind [`RoundTally::corrected`].
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`CodeBook::decode_tagged`].
+    pub fn decode_tagged_repaired(&self, wire: &[u8]) -> Result<(u8, Vec<u8>, bool), CodeError> {
+        let (&id, rest) = wire.split_first().ok_or(CodeError::Malformed)?;
+        let code = self.codes.get(id as usize).ok_or(CodeError::Malformed)?;
+        let (body, repaired) = code.decode_repaired(rest)?;
+        Ok((id, body, repaired))
+    }
+
+    /// Classifies what a receiver experiences when `wire_after_noise`
+    /// (a possibly-corrupted tagged encoding of `body`) arrives.
+    pub fn classify_tagged(&self, body: &[u8], wire_after_noise: &[u8]) -> FrameOutcome {
+        match self.decode_tagged(wire_after_noise) {
+            Err(_) => FrameOutcome::DetectedOmission,
+            Ok((_, decoded)) if decoded == body => FrameOutcome::Delivered,
+            Ok(_) => FrameOutcome::UndetectedValueFault,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy(expected: usize) -> RoundTally {
+        RoundTally {
+            expected,
+            delivered: expected / 4,
+            corrected: 0,
+            value_faults: 0,
+        }
+    }
+
+    fn calm(expected: usize) -> RoundTally {
+        RoundTally {
+            expected,
+            delivered: expected,
+            corrected: 0,
+            value_faults: 0,
+        }
+    }
+
+    /// All frames arrive, but most only after the decoder repaired
+    /// them: the channel is noisy and the current rung is absorbing it.
+    fn absorbing(expected: usize) -> RoundTally {
+        RoundTally {
+            expected,
+            delivered: expected,
+            corrected: expected / 2,
+            value_faults: 0,
+        }
+    }
+
+    #[test]
+    fn starts_at_rung_zero() {
+        let ctl = AdaptiveController::new(AdaptiveConfig::standard(8, 1));
+        assert_eq!(ctl.rung(), 0);
+        assert_eq!(ctl.current(), CodeSpec::Checksum { width: 4 });
+        assert_eq!(ctl.code_id(), 0);
+        assert_eq!(ctl.switches(), 0);
+    }
+
+    #[test]
+    fn sustained_noise_climbs_the_ladder() {
+        let cfg = AdaptiveConfig::standard(8, 1);
+        let top = cfg.ladder.len() - 1;
+        let mut ctl = AdaptiveController::new(cfg);
+        for _ in 0..40 {
+            ctl.observe(noisy(7));
+        }
+        assert_eq!(ctl.rung(), top, "sustained pressure reaches the top rung");
+        // Severe pressure (6/7 lost) jumps two rungs at a time, so the
+        // climb takes two switches, not three.
+        assert!((2..=top).contains(&ctl.switches()), "{}", ctl.switches());
+    }
+
+    #[test]
+    fn severe_bursts_skip_the_middle_rung() {
+        // At 6/7 pressure (> severe_at) the first escalation must jump
+        // checksum32 → interleaved16 directly: SECDED per block is
+        // already defeated and would only add miscorrections.
+        let mut ctl = AdaptiveController::new(AdaptiveConfig::standard(8, 1));
+        let mut first_switch = None;
+        for _ in 0..6 {
+            if let Some(spec) = ctl.observe(noisy(7)) {
+                first_switch = Some(spec);
+                break;
+            }
+        }
+        assert_eq!(
+            first_switch,
+            Some(CodeSpec::Interleaved { depth: 16 }),
+            "hard bursts go straight to burst-grade correction"
+        );
+
+        // Moderate pressure (between escalate_at and severe_at) climbs
+        // one rung at a time.
+        let mut ctl = AdaptiveController::new(AdaptiveConfig::standard(8, 1));
+        let moderate = RoundTally {
+            expected: 7,
+            delivered: 4, // 3/7 ≈ 0.43 pressure: above 0.35, below 0.6
+            corrected: 0,
+            value_faults: 0,
+        };
+        let mut first_switch = None;
+        for _ in 0..6 {
+            if let Some(spec) = ctl.observe(moderate) {
+                first_switch = Some(spec);
+                break;
+            }
+        }
+        assert_eq!(
+            first_switch,
+            Some(CodeSpec::Hamming74),
+            "moderate noise takes the one-rung step"
+        );
+    }
+
+    #[test]
+    fn calm_channel_never_switches() {
+        let mut ctl = AdaptiveController::new(AdaptiveConfig::standard(8, 1));
+        for _ in 0..100 {
+            assert_eq!(ctl.observe(calm(7)), None);
+        }
+        assert_eq!(ctl.switches(), 0);
+    }
+
+    #[test]
+    fn deescalation_requires_cooldown_then_releases() {
+        let cfg = AdaptiveConfig::standard(8, 1);
+        let cooldown = cfg.cooldown;
+        let mut ctl = AdaptiveController::new(cfg);
+        for _ in 0..20 {
+            ctl.observe(noisy(7));
+        }
+        let high = ctl.rung();
+        assert!(high >= 2);
+        // Calm rounds: no step down before the cooldown elapses…
+        let mut downs = Vec::new();
+        for i in 0..cooldown - 1 {
+            assert_eq!(ctl.observe(calm(7)), None, "calm round {i} must hold");
+        }
+        // …then the descent walks down, each switch re-earning its calm
+        // streak. Perfectly quiet windows release two rungs at a time
+        // (the mirror of the severe jump up), so from rung 3 the climb
+        // down takes two switches, not three.
+        for _ in 0..4 * cooldown {
+            if let Some(spec) = ctl.observe(calm(7)) {
+                downs.push(spec);
+            }
+        }
+        assert_eq!(ctl.rung(), 0, "a long calm stretch walks all the way down");
+        assert_eq!(
+            downs.len(),
+            high.div_ceil(2),
+            "deep calm releases two rungs per switch: {downs:?}"
+        );
+        assert_eq!(
+            downs.last(),
+            Some(&CodeSpec::Checksum { width: 4 }),
+            "the descent ends back at the cheap rung"
+        );
+    }
+
+    #[test]
+    fn residual_activity_descends_one_rung_at_a_time() {
+        // Calm-but-not-silent: activity just under the de-escalation
+        // threshold (but above half of it) must step down a single
+        // rung, not two.
+        let cfg = AdaptiveConfig::standard(100, 1);
+        let cooldown = cfg.cooldown;
+        let mut ctl = AdaptiveController::new(cfg);
+        for _ in 0..20 {
+            ctl.observe(RoundTally {
+                expected: 99,
+                delivered: 10,
+                corrected: 0,
+                value_faults: 0,
+            });
+        }
+        assert!(ctl.rung() >= 2);
+        let before = ctl.rung();
+        // 4 of 99 repaired ≈ 4% activity: calm (< 5%) but not deep
+        // calm (> 2.5%).
+        let barely_calm = RoundTally {
+            expected: 99,
+            delivered: 99,
+            corrected: 4,
+            value_faults: 0,
+        };
+        let mut first = None;
+        for _ in 0..2 * cooldown {
+            if let Some(spec) = ctl.observe(barely_calm) {
+                first = Some(spec);
+                break;
+            }
+        }
+        assert!(first.is_some(), "calm rounds must eventually step down");
+        assert_eq!(
+            ctl.rung(),
+            before - 1,
+            "single-rung step under residual noise"
+        );
+    }
+
+    #[test]
+    fn oscillating_noise_is_damped_by_hysteresis() {
+        // Whipsaw attack: alternate noisy and calm faster than the
+        // cooldown. The controller must escalate and then HOLD, not
+        // oscillate — bounded switches over a long horizon.
+        let mut ctl = AdaptiveController::new(AdaptiveConfig::standard(8, 1));
+        for burst in 0..25 {
+            for _ in 0..3 {
+                ctl.observe(noisy(7));
+            }
+            for _ in 0..3 {
+                ctl.observe(calm(7));
+            }
+            let _ = burst;
+        }
+        assert!(
+            ctl.switches() <= 4,
+            "hysteresis must damp the whipsaw: {} switches in 150 rounds",
+            ctl.switches()
+        );
+        assert!(ctl.rung() >= 1, "pressure keeps the controller escalated");
+    }
+
+    #[test]
+    fn alpha_infeasibility_forces_escalation_even_at_low_pressure() {
+        // One value fault per round among 8 peers is only ~14% pressure
+        // (below escalate_at), but it blows an α budget of 1 at tail
+        // 1e-6 — the P_α projection must force the switch.
+        let mut cfg = AdaptiveConfig::standard(8, 1);
+        cfg.escalate_at = 0.9; // pressure alone would never trigger
+        cfg.severe_at = 0.95;
+        cfg.deescalate_at = 0.01;
+        let mut ctl = AdaptiveController::new(cfg);
+        let leaking = RoundTally {
+            expected: 7,
+            delivered: 6,
+            corrected: 0,
+            value_faults: 1,
+        };
+        let mut switched = false;
+        for _ in 0..10 {
+            if ctl.observe(leaking).is_some() {
+                switched = true;
+                break;
+            }
+        }
+        assert!(
+            switched,
+            "projected α {} demands escalation",
+            ctl.projected_alpha()
+        );
+    }
+
+    #[test]
+    fn determinism_identical_tallies_identical_decisions() {
+        let feed: Vec<RoundTally> = (0..60)
+            .map(|i| if i % 7 < 3 { noisy(9) } else { calm(9) })
+            .collect();
+        let run = || {
+            let mut ctl = AdaptiveController::new(AdaptiveConfig::standard(10, 2));
+            feed.iter().map(|t| ctl.observe(*t)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn chernoff_alpha_matches_expectations() {
+        assert_eq!(chernoff_alpha_for_mean(0.0, 20, 1e-9), 0);
+        let low = chernoff_alpha_for_mean(0.05, 20, 1e-6);
+        let high = chernoff_alpha_for_mean(2.0, 20, 1e-6);
+        assert!(low < high);
+        assert!(chernoff_alpha_for_mean(50.0, 10, 1e-6) <= 10, "capped at n");
+    }
+
+    #[test]
+    fn codebook_roundtrips_every_rung() {
+        let cfg = AdaptiveConfig::standard(8, 1);
+        let book = CodeBook::from_specs(&cfg.ladder);
+        assert_eq!(book.len(), 4);
+        let body = b"mixed-epoch".to_vec();
+        for id in 0..book.len() as u8 {
+            let wire = book.encode_tagged(id, &body);
+            assert_eq!(wire[0], id);
+            let (got_id, got) = book.decode_tagged(&wire).unwrap();
+            assert_eq!(got_id, id);
+            assert_eq!(got, body);
+            assert_eq!(book.classify_tagged(&body, &wire), FrameOutcome::Delivered);
+        }
+    }
+
+    #[test]
+    fn codebook_rejects_unknown_id_and_empty() {
+        let book = CodeBook::from_specs(&[CodeSpec::Hamming74]);
+        assert_eq!(book.decode_tagged(&[]), Err(CodeError::Malformed));
+        let mut wire = book.encode_tagged(0, b"x");
+        wire[0] = 9; // corrupt the tag to an unknown id
+        assert_eq!(book.decode_tagged(&wire), Err(CodeError::Malformed));
+        assert_eq!(book.spec(0), Some(CodeSpec::Hamming74));
+        assert_eq!(book.spec(3), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "hysteresis")]
+    fn non_hysteretic_thresholds_panic() {
+        let mut cfg = AdaptiveConfig::standard(4, 0);
+        cfg.deescalate_at = cfg.escalate_at;
+        let _ = AdaptiveController::new(cfg);
+    }
+
+    #[test]
+    fn tally_arithmetic() {
+        let t = RoundTally {
+            expected: 10,
+            delivered: 7,
+            corrected: 2,
+            value_faults: 1,
+        };
+        assert_eq!(t.omissions(), 3);
+        assert!((t.pressure() - 0.4).abs() < 1e-12);
+        assert!((t.activity() - 0.6).abs() < 1e-12);
+        assert_eq!(RoundTally::default().pressure(), 0.0);
+        assert_eq!(RoundTally::default().activity(), 0.0);
+    }
+
+    #[test]
+    fn repaired_deliveries_block_deescalation() {
+        // A rung absorbing a burst reports zero pressure but high
+        // activity; the controller must hold, not step down into the
+        // noise.
+        let mut ctl = AdaptiveController::new(AdaptiveConfig::standard(8, 1));
+        for _ in 0..12 {
+            ctl.observe(noisy(7)); // climb
+        }
+        let rung = ctl.rung();
+        assert!(rung >= 1);
+        for _ in 0..40 {
+            assert_eq!(
+                ctl.observe(absorbing(7)),
+                None,
+                "repair activity must pin the rung"
+            );
+        }
+        assert_eq!(ctl.rung(), rung);
+    }
+}

@@ -1,0 +1,402 @@
+//! Bursty channel noise: the Gilbert–Elliott model and seeded,
+//! substrate-neutral noise traces.
+//!
+//! The BSC in [`crate::BitNoise`] flips bits independently, but real
+//! channels fail in *bursts*: interference arrives, lingers for a while,
+//! and leaves. The classic two-state Markov model of Gilbert and Elliott
+//! captures this — a **good** state with a low bit-error rate and a
+//! **bad** state with a high one, with per-bit transition probabilities
+//! between them. Correlated errors are exactly what defeats per-block
+//! codes like SECDED (two flips in one block are only *detected*) and
+//! exactly what [`crate::Interleaved`] exists to spread out.
+//!
+//! [`NoiseTrace`] layers a round-level schedule on top: a cyclic
+//! sequence of phases, each a Gilbert–Elliott parameterization held for
+//! some number of rounds. A trace is a *pure function* from
+//! `(round, sender, receiver, copy, frame length)` to a flip pattern,
+//! so two different substrates (the lockstep simulator and the threaded
+//! runtime) can replay byte-identical corruption — the foundation of the
+//! adaptive-coding conformance harness.
+
+use crate::noise::BitNoise;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A noise process applied to wire bytes. Implemented by the memoryless
+/// [`BitNoise`] and the bursty [`GilbertElliott`] chain; measurement
+/// harnesses accept either through this trait.
+pub trait NoiseModel {
+    /// Corrupts `data` in place, returning how many bits flipped.
+    fn corrupt(&mut self, data: &mut [u8], rng: &mut StdRng) -> usize;
+
+    /// Short human-readable description (used in reports).
+    fn describe(&self) -> String;
+}
+
+impl NoiseModel for BitNoise {
+    fn corrupt(&mut self, data: &mut [u8], rng: &mut StdRng) -> usize {
+        self.apply(data, rng)
+    }
+
+    fn describe(&self) -> String {
+        format!("bsc(p={})", self.flip_prob)
+    }
+}
+
+/// The Gilbert–Elliott two-state burst channel.
+///
+/// Each transmitted bit first advances the channel state (good ⇄ bad),
+/// then flips with the state's bit-error rate. Mean burst length is
+/// `1 / p_exit_burst` bits; the stationary fraction of time spent in
+/// the bad state is `p_enter / (p_enter + p_exit)`.
+#[derive(Clone, Copy, Debug)]
+pub struct GilbertElliott {
+    /// Per-bit probability of moving good → bad.
+    pub p_enter_burst: f64,
+    /// Per-bit probability of moving bad → good.
+    pub p_exit_burst: f64,
+    /// Bit-error rate while in the good state.
+    pub ber_good: f64,
+    /// Bit-error rate while in the bad state.
+    pub ber_bad: f64,
+    in_burst: bool,
+}
+
+impl GilbertElliott {
+    /// A burst channel with the given transition and error rates,
+    /// starting in the good state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is not a probability in `[0, 1]`.
+    pub fn new(p_enter_burst: f64, p_exit_burst: f64, ber_good: f64, ber_bad: f64) -> Self {
+        for (name, p) in [
+            ("p_enter_burst", p_enter_burst),
+            ("p_exit_burst", p_exit_burst),
+            ("ber_good", ber_good),
+            ("ber_bad", ber_bad),
+        ] {
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "{name} must be a probability, got {p}"
+            );
+        }
+        GilbertElliott {
+            p_enter_burst,
+            p_exit_burst,
+            ber_good,
+            ber_bad,
+            in_burst: false,
+        }
+    }
+
+    /// A channel that is clean apart from negligible background noise.
+    pub fn clean() -> Self {
+        GilbertElliott::new(0.0, 1.0, 1e-5, 0.0)
+    }
+
+    /// A bursty channel: short, dense error bursts (mean sojourn
+    /// ≈ 6.7 bits at a 50% in-burst error rate) arriving often enough
+    /// that most frames are hit, quiet in between. Bursts this length
+    /// sit inside one stripe of a depth-16 [`crate::Interleaved`] wrap,
+    /// which is exactly the regime the interleaver is for.
+    pub fn bursty() -> Self {
+        GilbertElliott::new(0.006, 0.15, 1e-5, 0.5)
+    }
+
+    /// Stationary probability of being in the bad state.
+    pub fn stationary_burst_fraction(&self) -> f64 {
+        let denom = self.p_enter_burst + self.p_exit_burst;
+        if denom == 0.0 {
+            0.0
+        } else {
+            self.p_enter_burst / denom
+        }
+    }
+
+    /// Forces the channel state (used to start a frame from the
+    /// stationary distribution).
+    pub fn reset(&mut self, in_burst: bool) {
+        self.in_burst = in_burst;
+    }
+
+    /// `true` while the channel is in its bad state.
+    pub fn in_burst(&self) -> bool {
+        self.in_burst
+    }
+
+    fn step(&mut self, rng: &mut StdRng) -> bool {
+        if self.in_burst {
+            if self.p_exit_burst > 0.0 && rng.gen_bool(self.p_exit_burst) {
+                self.in_burst = false;
+            }
+        } else if self.p_enter_burst > 0.0 && rng.gen_bool(self.p_enter_burst) {
+            self.in_burst = true;
+        }
+        let ber = if self.in_burst {
+            self.ber_bad
+        } else {
+            self.ber_good
+        };
+        ber > 0.0 && rng.gen_bool(ber)
+    }
+
+    /// Applies the channel to `data`, returning how many bits flipped.
+    /// The state chain persists across calls; use [`GilbertElliott::reset`]
+    /// to re-draw the starting state per frame.
+    pub fn apply(&mut self, data: &mut [u8], rng: &mut StdRng) -> usize {
+        let mut flipped = 0;
+        for byte in data.iter_mut() {
+            for bit in 0..8 {
+                if self.step(rng) {
+                    *byte ^= 1 << bit;
+                    flipped += 1;
+                }
+            }
+        }
+        flipped
+    }
+}
+
+impl NoiseModel for GilbertElliott {
+    fn corrupt(&mut self, data: &mut [u8], rng: &mut StdRng) -> usize {
+        self.apply(data, rng)
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "gilbert-elliott(enter={}, exit={}, ber={}/{})",
+            self.p_enter_burst, self.p_exit_burst, self.ber_good, self.ber_bad
+        )
+    }
+}
+
+/// One phase of a [`NoiseTrace`]: a Gilbert–Elliott parameterization
+/// held for `rounds` consecutive rounds.
+#[derive(Clone, Copy, Debug)]
+pub struct NoisePhase {
+    /// How many rounds this phase lasts before the trace moves on.
+    pub rounds: u64,
+    /// The channel in force during the phase.
+    pub channel: GilbertElliott,
+}
+
+/// A deterministic, substrate-neutral corruption schedule.
+///
+/// The trace cycles through its phases round-robin; within a phase,
+/// every frame's flip pattern is a pure function of
+/// `(seed, round, sender, receiver, copy)` and the frame's bit length.
+/// Two substrates that frame identical bytes therefore experience
+/// *identical* corruption — the property the adaptive conformance
+/// harness asserts on.
+#[derive(Clone, Debug)]
+pub struct NoiseTrace {
+    seed: u64,
+    phases: Vec<NoisePhase>,
+}
+
+impl NoiseTrace {
+    /// A trace cycling through `phases`, seeded by `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is empty or any phase lasts zero rounds.
+    pub fn new(seed: u64, phases: Vec<NoisePhase>) -> Self {
+        assert!(!phases.is_empty(), "a noise trace needs at least one phase");
+        assert!(
+            phases.iter().all(|p| p.rounds > 0),
+            "every phase must last at least one round"
+        );
+        NoiseTrace { seed, phases }
+    }
+
+    /// A clean channel for every round.
+    pub fn clean(seed: u64) -> Self {
+        NoiseTrace::new(
+            seed,
+            vec![NoisePhase {
+                rounds: 1,
+                channel: GilbertElliott::clean(),
+            }],
+        )
+    }
+
+    /// Long alternation: a calm stretch, then a sustained noisy stretch
+    /// — the regime where an adaptive controller should escalate once
+    /// and hold.
+    pub fn bursty(seed: u64) -> Self {
+        NoiseTrace::new(
+            seed,
+            vec![
+                NoisePhase {
+                    rounds: 30,
+                    channel: GilbertElliott::clean(),
+                },
+                NoisePhase {
+                    rounds: 30,
+                    channel: GilbertElliott::bursty(),
+                },
+            ],
+        )
+    }
+
+    /// Fast alternation (a few rounds noisy, a few clean) — the
+    /// whipsaw pattern an adversary uses to make a naive controller
+    /// oscillate; hysteresis is what keeps the ladder stable here.
+    pub fn oscillating(seed: u64) -> Self {
+        NoiseTrace::new(
+            seed,
+            vec![
+                NoisePhase {
+                    rounds: 3,
+                    channel: GilbertElliott::bursty(),
+                },
+                NoisePhase {
+                    rounds: 3,
+                    channel: GilbertElliott::clean(),
+                },
+            ],
+        )
+    }
+
+    /// The channel in force at `round` (1-based).
+    pub fn channel_at(&self, round: u64) -> GilbertElliott {
+        let cycle: u64 = self.phases.iter().map(|p| p.rounds).sum();
+        let mut pos = (round - 1) % cycle;
+        for phase in &self.phases {
+            if pos < phase.rounds {
+                return phase.channel;
+            }
+            pos -= phase.rounds;
+        }
+        unreachable!("phase position within cycle");
+    }
+
+    /// The trace's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn frame_rng(&self, round: u64, sender: u32, receiver: u32, copy: u8) -> StdRng {
+        // SplitMix-style mixing of the frame coordinates into one
+        // stream id; any fixed bijective-ish mix works, it only has to
+        // be identical across substrates.
+        let mut h = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(round);
+        h ^= (sender as u64) << 40 | (receiver as u64) << 8 | copy as u64;
+        h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        StdRng::seed_from_u64(h ^ (h >> 31))
+    }
+
+    /// Corrupts one frame's wire bytes in place, returning the number of
+    /// flipped bits. Deterministic in all five coordinates plus
+    /// `data.len()`.
+    pub fn corrupt_frame(
+        &self,
+        round: u64,
+        sender: u32,
+        receiver: u32,
+        copy: u8,
+        data: &mut [u8],
+    ) -> usize {
+        let mut rng = self.frame_rng(round, sender, receiver, copy);
+        let mut channel = self.channel_at(round);
+        // Start each frame from the phase's stationary distribution so
+        // bad phases corrupt from the first bit.
+        let stationary = channel.stationary_burst_fraction();
+        channel.reset(stationary > 0.0 && rng.gen_bool(stationary));
+        channel.apply(data, &mut rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_channel_rarely_flips() {
+        let mut ge = GilbertElliott::clean();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut data = vec![0u8; 1_000];
+        let flips = ge.apply(&mut data, &mut rng);
+        assert!(flips < 5, "clean channel flipped {flips} of 8000 bits");
+    }
+
+    #[test]
+    fn bursty_channel_clusters_errors() {
+        // Same expected flip count as a BSC would need, but the flips
+        // must arrive in runs: measure the fraction of flipped bits
+        // whose neighbour is also flipped.
+        let mut ge = GilbertElliott::bursty();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut data = vec![0u8; 8_000];
+        let flips = ge.apply(&mut data, &mut rng);
+        assert!(flips > 100, "bursty channel must corrupt, got {flips}");
+        let bits: Vec<bool> = (0..data.len() * 8)
+            .map(|i| data[i / 8] & (1 << (i % 8)) != 0)
+            .collect();
+        let adjacent = bits.windows(2).filter(|w| w[0] && w[1]).count();
+        // Under an equal-rate BSC the chance a flipped bit's neighbour
+        // is flipped equals the BER (≈1%); in a burst it is ber_bad
+        // (25%). Requiring 5% of flips to have a flipped neighbour
+        // separates the two decisively.
+        assert!(
+            adjacent * 20 > flips,
+            "errors do not cluster: {adjacent} adjacent pairs among {flips} flips"
+        );
+    }
+
+    #[test]
+    fn stationary_fraction_formula() {
+        let ge = GilbertElliott::new(0.01, 0.04, 0.0, 0.5);
+        assert!((ge.stationary_burst_fraction() - 0.2).abs() < 1e-12);
+        assert_eq!(GilbertElliott::clean().stationary_burst_fraction(), 0.0);
+    }
+
+    #[test]
+    fn trace_is_deterministic_per_coordinates() {
+        let trace = NoiseTrace::bursty(7);
+        let run = |round, sender, receiver| {
+            let mut data = vec![0xAAu8; 64];
+            trace.corrupt_frame(round, sender, receiver, 0, &mut data);
+            data
+        };
+        assert_eq!(run(31, 0, 1), run(31, 0, 1), "same coordinates replay");
+        assert_ne!(run(31, 0, 1), run(31, 0, 2), "receivers get distinct noise");
+        assert_ne!(run(31, 0, 1), run(32, 0, 1), "rounds get distinct noise");
+    }
+
+    #[test]
+    fn trace_phases_cycle() {
+        let trace = NoiseTrace::oscillating(3);
+        // Phases: 3 bursty, 3 clean, repeating.
+        assert!(trace.channel_at(1).ber_bad > 0.1);
+        assert!(trace.channel_at(4).ber_bad < 0.1);
+        assert!(trace.channel_at(7).ber_bad > 0.1, "cycle wraps");
+    }
+
+    #[test]
+    fn clean_trace_leaves_frames_alone_mostly() {
+        let trace = NoiseTrace::clean(11);
+        let mut corrupted_frames = 0;
+        for r in 1..=50u64 {
+            let mut data = vec![0u8; 32];
+            if trace.corrupt_frame(r, 0, 1, 0, &mut data) > 0 {
+                corrupted_frames += 1;
+            }
+        }
+        assert!(
+            corrupted_frames <= 2,
+            "clean trace hit {corrupted_frames}/50"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_trace_panics() {
+        let _ = NoiseTrace::new(0, vec![]);
+    }
+}

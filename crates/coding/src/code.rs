@@ -75,6 +75,21 @@ pub trait ChannelCode: Send + Sync {
     /// as a *detected omission* and drops the frame.
     fn decode(&self, wire: &[u8]) -> Result<Vec<u8>, CodeError>;
 
+    /// Like [`ChannelCode::decode`], additionally reporting whether the
+    /// decoder *repaired* channel errors on the way. A repaired
+    /// delivery is observable evidence of noise even though the payload
+    /// arrives intact — the signal an adaptive controller needs to keep
+    /// a correcting code in force while it is actually earning its
+    /// keep. Detect-only codes never repair; the default returns
+    /// `false`.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`ChannelCode::decode`].
+    fn decode_repaired(&self, wire: &[u8]) -> Result<(Vec<u8>, bool), CodeError> {
+        Ok((self.decode(wire)?, false))
+    }
+
     /// Classifies what a receiver experiences when `wire_after_noise`
     /// (a possibly-corrupted encoding of `payload`) arrives.
     fn classify(&self, payload: &[u8], wire_after_noise: &[u8]) -> FrameOutcome {
@@ -102,6 +117,10 @@ impl ChannelCode for Arc<dyn ChannelCode> {
     fn decode(&self, wire: &[u8]) -> Result<Vec<u8>, CodeError> {
         (**self).decode(wire)
     }
+
+    fn decode_repaired(&self, wire: &[u8]) -> Result<(Vec<u8>, bool), CodeError> {
+        (**self).decode_repaired(wire)
+    }
 }
 
 /// A copyable, configuration-friendly description of a code, buildable
@@ -125,6 +144,23 @@ pub enum CodeSpec {
     /// Extended Hamming(8,4) SECDED per nibble: corrects 1-bit errors,
     /// detects 2-bit errors per block.
     Hamming74,
+    /// [`Hamming74`](crate::Hamming74) behind a depth-`depth` bit
+    /// interleaver: bursts confined to one wire stripe of up to `depth`
+    /// bits spread into single-bit errors and are corrected.
+    Interleaved {
+        /// Interleaving depth (≥ 2); also the maximum correctable
+        /// burst length in bits for sufficiently long frames.
+        depth: u8,
+    },
+    /// Concatenated inner-correction/outer-detection:
+    /// [`Hamming74`](crate::Hamming74) on the wire around a CRC-32
+    /// trailer of `width` bytes on the payload. Miscorrections must
+    /// also forge the checksum, shrinking the residual value-fault
+    /// rate by `~2^-8·width`.
+    Concatenated {
+        /// Outer checksum width in bytes (1, 2 or 4).
+        width: u8,
+    },
 }
 
 impl CodeSpec {
@@ -137,13 +173,20 @@ impl CodeSpec {
     /// # Panics
     ///
     /// Panics on invalid parameters (checksum width not 1/2/4, even or
-    /// zero repetition count).
+    /// zero repetition count, interleave depth below 2).
     pub fn build(self) -> Arc<dyn ChannelCode> {
         match self {
             CodeSpec::None => Arc::new(crate::NoCode),
             CodeSpec::Checksum { width } => Arc::new(crate::Checksum::with_width(width)),
             CodeSpec::Repetition { k } => Arc::new(crate::Repetition::new(k as usize)),
             CodeSpec::Hamming74 => Arc::new(crate::Hamming74),
+            CodeSpec::Interleaved { depth } => {
+                Arc::new(crate::Interleaved::new(crate::Hamming74, depth as usize))
+            }
+            CodeSpec::Concatenated { width } => Arc::new(crate::Concatenated::new(
+                crate::Hamming74,
+                crate::Checksum::with_width(width),
+            )),
         }
     }
 }
@@ -161,6 +204,10 @@ impl fmt::Display for CodeSpec {
             CodeSpec::Checksum { width } => write!(f, "checksum{}", width * 8),
             CodeSpec::Repetition { k } => write!(f, "repetition{k}"),
             CodeSpec::Hamming74 => write!(f, "hamming74"),
+            CodeSpec::Interleaved { depth } => write!(f, "interleaved{depth}[hamming74]"),
+            CodeSpec::Concatenated { width } => {
+                write!(f, "hamming74+checksum{}", u32::from(*width) * 8)
+            }
         }
     }
 }
@@ -185,6 +232,11 @@ mod tests {
             (CodeSpec::Checksum { width: 4 }, "checksum32"),
             (CodeSpec::Repetition { k: 3 }, "repetition3"),
             (CodeSpec::Hamming74, "hamming74"),
+            (
+                CodeSpec::Interleaved { depth: 8 },
+                "interleaved8[hamming74]",
+            ),
+            (CodeSpec::Concatenated { width: 4 }, "hamming74+checksum32"),
         ] {
             assert_eq!(spec.to_string(), name);
             let code = spec.build();

@@ -62,20 +62,25 @@ fn extract_nibble(block: u8) -> u8 {
         .sum()
 }
 
-/// Decodes one SECDED block: `Ok(nibble)` possibly after correcting a
-/// single flipped bit, `Err` on a detected double error.
-fn decode_block(mut block: u8) -> Result<u8, CodeError> {
+/// Decodes one SECDED block: `Ok((nibble, repaired))` possibly after
+/// correcting a single flipped bit, `Err` on a detected double error.
+/// `repaired` is `true` whenever the block arrived off-codeword — the
+/// noise evidence an adaptive controller feeds on.
+fn decode_block(mut block: u8) -> Result<(u8, bool), CodeError> {
     let syndrome = (1..8u8)
         .filter(|&pos| block & (1 << pos) != 0)
         .fold(0u8, |s, pos| s ^ pos);
     let parity_ok = block.count_ones().is_multiple_of(2);
-    match (syndrome, parity_ok) {
-        (0, true) => {}                               // clean
-        (0, false) => {}                              // only the overall parity bit flipped
-        (s, false) => block ^= 1 << s,                // single-bit error: correct it
+    let repaired = match (syndrome, parity_ok) {
+        (0, true) => false, // clean
+        (0, false) => true, // only the overall parity bit flipped
+        (s, false) => {
+            block ^= 1 << s; // single-bit error: correct it
+            true
+        }
         (_, true) => return Err(CodeError::Detected), // double error
-    }
-    Ok(extract_nibble(block))
+    };
+    Ok((extract_nibble(block), repaired))
 }
 
 impl ChannelCode for Hamming74 {
@@ -97,16 +102,22 @@ impl ChannelCode for Hamming74 {
     }
 
     fn decode(&self, wire: &[u8]) -> Result<Vec<u8>, CodeError> {
+        Ok(self.decode_repaired(wire)?.0)
+    }
+
+    fn decode_repaired(&self, wire: &[u8]) -> Result<(Vec<u8>, bool), CodeError> {
         if !wire.len().is_multiple_of(2) {
             return Err(CodeError::Malformed);
         }
         let mut payload = Vec::with_capacity(wire.len() / 2);
+        let mut repaired = false;
         for pair in wire.chunks_exact(2) {
-            let lo = decode_block(pair[0])?;
-            let hi = decode_block(pair[1])?;
+            let (lo, r_lo) = decode_block(pair[0])?;
+            let (hi, r_hi) = decode_block(pair[1])?;
+            repaired |= r_lo | r_hi;
             payload.push(lo | (hi << 4));
         }
-        Ok(payload)
+        Ok((payload, repaired))
     }
 }
 
@@ -120,7 +131,7 @@ mod tests {
         for nibble in 0..16u8 {
             let block = encode_nibble(nibble);
             assert_eq!(block.count_ones() % 2, 0, "even parity by construction");
-            assert_eq!(decode_block(block).unwrap(), nibble);
+            assert_eq!(decode_block(block).unwrap(), (nibble, false));
         }
     }
 
@@ -132,8 +143,8 @@ mod tests {
                 let corrupted = block ^ (1 << bit);
                 assert_eq!(
                     decode_block(corrupted).unwrap(),
-                    nibble,
-                    "nibble {nibble:#x}, flip at bit {bit}"
+                    (nibble, true),
+                    "nibble {nibble:#x}, flip at bit {bit} corrects and reports"
                 );
             }
         }

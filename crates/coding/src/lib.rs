@@ -26,11 +26,23 @@
 //! | [`Repetition`] | 1/k | deliveries, up to `⌊(k−1)/2⌋` corrupt copies |
 //! | [`Hamming74`] | 1/2 | deliveries (1-bit) and omissions (2-bit) per block |
 //!
+//! Two combinators extend the base codes to the realistic failure
+//! modes: [`Interleaved`] spreads correlated bursts across Hamming
+//! blocks, and [`Concatenated`] wraps inner correction around outer
+//! detection (Hamming inside CRC) so miscorrections must also forge a
+//! checksum. Because the right code depends on the *current* channel,
+//! [`AdaptiveController`] walks a ladder of [`CodeSpec`]s with
+//! hysteresis, driven by per-round [`RoundTally`] observations and a
+//! `P_α` feasibility projection; [`CodeBook`] gives the ladder a tagged
+//! wire format so mixed-epoch frames decode exactly.
+//!
 //! Every decode is classified as one of three [`FrameOutcome`]s —
 //! `Delivered`, `DetectedOmission`, or `UndetectedValueFault` — and
 //! [`measure_code`] estimates the rates of each under a binary symmetric
-//! channel, which is what the `coding_tradeoff` experiment sweeps
-//! against the paper's `P_α` feasibility thresholds.
+//! channel ([`measure_code_under`] under any [`NoiseModel`], including
+//! the bursty [`GilbertElliott`] chain), which is what the
+//! `coding_tradeoff` and `adaptive_tradeoff` experiments sweep against
+//! the paper's `P_α` feasibility thresholds.
 //!
 //! # Quickstart
 //!
@@ -49,16 +61,28 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod adaptive;
+mod burst;
 mod checksum;
 mod code;
+mod concat;
 mod hamming;
+mod interleave;
 mod measure;
 mod noise;
 mod repetition;
 
+pub use adaptive::{
+    chernoff_alpha_for_mean, AdaptiveConfig, AdaptiveController, CodeBook, RoundTally,
+};
+pub use burst::{GilbertElliott, NoiseModel, NoisePhase, NoiseTrace};
 pub use checksum::{crc32, Checksum, NoCode};
 pub use code::{ChannelCode, CodeError, CodeSpec, FrameOutcome};
+pub use concat::Concatenated;
 pub use hamming::Hamming74;
-pub use measure::{induced_alpha_demand, measure_code, measure_code_exact_flips, MissRates};
+pub use interleave::{deinterleave_bits, interleave_bits, stripe_offsets, Interleaved};
+pub use measure::{
+    induced_alpha_demand, measure_code, measure_code_exact_flips, measure_code_under, MissRates,
+};
 pub use noise::BitNoise;
 pub use repetition::Repetition;

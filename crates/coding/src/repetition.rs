@@ -61,11 +61,16 @@ impl ChannelCode for Repetition {
     }
 
     fn decode(&self, wire: &[u8]) -> Result<Vec<u8>, CodeError> {
+        Ok(self.decode_repaired(wire)?.0)
+    }
+
+    fn decode_repaired(&self, wire: &[u8]) -> Result<(Vec<u8>, bool), CodeError> {
         if !wire.len().is_multiple_of(self.k) {
             return Err(CodeError::Malformed);
         }
         let len = wire.len() / self.k;
         let mut payload = Vec::with_capacity(len);
+        let mut repaired = false;
         for i in 0..len {
             let mut voted = 0u8;
             for bit in 0..8 {
@@ -75,10 +80,13 @@ impl ChannelCode for Repetition {
                 if ones * 2 > self.k {
                     voted |= 1 << bit;
                 }
+                // A non-unanimous vote means some copy arrived damaged:
+                // the majority repaired it, and that is observable.
+                repaired |= ones != 0 && ones != self.k;
             }
             payload.push(voted);
         }
-        Ok(payload)
+        Ok((payload, repaired))
     }
 }
 

@@ -3,12 +3,12 @@
 //! miss-rate regression for truncated checksums.
 
 use heardof_coding::{
-    measure_code_exact_flips, BitNoise, ChannelCode, Checksum, CodeSpec, FrameOutcome, Hamming74,
-    NoCode, Repetition,
+    deinterleave_bits, interleave_bits, measure_code_exact_flips, stripe_offsets, BitNoise,
+    ChannelCode, Checksum, CodeSpec, FrameOutcome, Hamming74, Interleaved, NoCode, Repetition,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 fn arb_payload() -> impl Strategy<Value = Vec<u8>> {
     proptest::collection::vec(any::<u8>(), 1..48)
@@ -93,6 +93,85 @@ proptest! {
     }
 
     #[test]
+    fn interleaver_is_the_identity_after_deinterleaving(
+        data in proptest::collection::vec(any::<u8>(), 0..64),
+        depth_pick in 0usize..5,
+    ) {
+        let depth = [2usize, 3, 4, 8, 16][depth_pick];
+        let wire = interleave_bits(&data, depth);
+        prop_assert_eq!(wire.len(), data.len());
+        prop_assert_eq!(deinterleave_bits(&wire, depth), data);
+    }
+
+    #[test]
+    fn interleaved_code_roundtrips_every_block_size(
+        payload in proptest::collection::vec(any::<u8>(), 0..48),
+        depth_pick in 0usize..4,
+    ) {
+        let depth = [2usize, 4, 8, 16][depth_pick];
+        let code = Interleaved::new(Hamming74, depth);
+        let wire = code.encode(&payload);
+        prop_assert_eq!(code.encoded_len(payload.len()), wire.len());
+        prop_assert_eq!(code.decode(&wire).unwrap(), payload);
+    }
+
+    #[test]
+    fn any_burst_confined_to_one_stripe_is_corrected(
+        payload in proptest::collection::vec(any::<u8>(), 16..48),
+        depth_pick in 0usize..4,
+        stripe_seed in any::<usize>(),
+        burst_len_seed in any::<usize>(),
+        burst_off_seed in any::<usize>(),
+    ) {
+        // The headline guarantee: a contiguous wire burst of ≤ depth
+        // bits that stays inside one stripe spreads to at most one flip
+        // per SECDED block and is repaired outright. Payloads of ≥ 16
+        // bytes keep the stripe spacing ≥ 8 bits at every depth here.
+        let depth = [2usize, 4, 8, 16][depth_pick];
+        let code = Interleaved::new(Hamming74, depth);
+        let mut wire = code.encode(&payload);
+        let offsets = stripe_offsets(wire.len() * 8, depth);
+        let stripe = stripe_seed % (offsets.len() - 1);
+        let (start, end) = (offsets[stripe], offsets[stripe + 1]);
+        let burst_len = 1 + burst_len_seed % (end - start);
+        let burst_off = start + burst_off_seed % (end - start - burst_len + 1);
+        for bit in burst_off..burst_off + burst_len {
+            wire[bit / 8] ^= 1 << (bit % 8);
+        }
+        prop_assert_eq!(
+            code.classify(&payload, &wire),
+            FrameOutcome::Delivered,
+            "depth {}, burst of {} bits at {} inside stripe [{}, {})",
+            depth, burst_len, burst_off, start, end
+        );
+        prop_assert_eq!(code.decode(&wire).unwrap(), payload);
+    }
+
+    #[test]
+    fn repetition_differential_against_reference_decoder(
+        payload in proptest::collection::vec(any::<u8>(), 1..=64),
+        k_pick in 0usize..3,
+        noise_seed in any::<u64>(),
+        heavy in any::<bool>(),
+    ) {
+        // Differential test: the production bit-majority decoder against
+        // an independent brute-force reference, on both light and heavy
+        // random corruption (the heavy regime exercises miscorrection
+        // paths where the two implementations must still agree).
+        let k = [3usize, 5, 7][k_pick];
+        let code = Repetition::new(k);
+        let mut wire = code.encode(&payload);
+        let mut rng = StdRng::seed_from_u64(noise_seed);
+        let rate = if heavy { 0.2 } else { 0.01 };
+        BitNoise::new(rate).apply(&mut wire, &mut rng);
+        prop_assert_eq!(
+            code.decode(&wire).unwrap(),
+            reference_majority_decode(&wire, k),
+            "k = {}", k
+        );
+    }
+
+    #[test]
     fn no_code_never_detects(payload in arb_payload(), flips in 1usize..9, seed in any::<u64>()) {
         let mut wire = NoCode.encode(&payload);
         let mut rng = StdRng::seed_from_u64(seed);
@@ -101,6 +180,54 @@ proptest! {
             NoCode.classify(&payload, &wire),
             FrameOutcome::UndetectedValueFault,
             "without redundancy every corruption lands"
+        );
+    }
+}
+
+/// A deliberately naive majority decoder: for each logical bit, gather
+/// the k copies one by one and count. Shares no code with
+/// `Repetition::decode` (which iterates bit-planes over byte strides).
+fn reference_majority_decode(wire: &[u8], k: usize) -> Vec<u8> {
+    assert_eq!(wire.len() % k, 0);
+    let len = wire.len() / k;
+    let mut out = Vec::with_capacity(len);
+    for byte in 0..len {
+        let mut value = 0u8;
+        for bit in 0..8 {
+            let mut ones = 0usize;
+            for copy in 0..k {
+                let b = wire[copy * len + byte];
+                if (b >> bit) & 1 == 1 {
+                    ones += 1;
+                }
+            }
+            if 2 * ones > k {
+                value |= 1 << bit;
+            }
+        }
+        out.push(value);
+    }
+    out
+}
+
+#[test]
+fn repetition_differential_exhaustive_single_bytes() {
+    // Exhaustive over all single-byte payload corruption patterns for
+    // k = 3: every 24-bit wire image decodes identically in both
+    // implementations (4096 spot checks of the full 2^24 space per
+    // byte value, seeded).
+    let code = Repetition::new(3);
+    let mut rng = StdRng::seed_from_u64(0xD1FF);
+    for _ in 0..4096 {
+        let wire = vec![
+            rng.gen_range(0..=255u8),
+            rng.gen_range(0..=255u8),
+            rng.gen_range(0..=255u8),
+        ];
+        assert_eq!(
+            code.decode(&wire).unwrap(),
+            reference_majority_decode(&wire, 3),
+            "wire {wire:?}"
         );
     }
 }

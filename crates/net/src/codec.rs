@@ -18,7 +18,7 @@
 //! byte-for-byte.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use heardof_coding::{crc32, ChannelCode, Checksum, CodeError};
+use heardof_coding::{crc32, ChannelCode, Checksum, CodeBook, CodeError};
 use heardof_core::UteMsg;
 use std::error::Error;
 use std::fmt;
@@ -198,6 +198,11 @@ pub struct Frame<M> {
 /// Byte offsets of the frame header fields (used by fault injection).
 pub const PAYLOAD_OFFSET: usize = 8 + 4 + 1 + 4;
 
+/// Byte offset of the retransmission-copy index within a frame body —
+/// the one header byte that carries *no message semantics* (round,
+/// sender, length and payload all do).
+pub const COPY_OFFSET: usize = 8 + 4;
+
 /// Encodes a frame's *body*: header plus length-prefixed payload,
 /// without any code redundancy.
 pub fn encode_body<M: WireMessage>(frame: &Frame<M>) -> Vec<u8> {
@@ -258,6 +263,55 @@ pub fn decode_frame_with<M: WireMessage>(
 ) -> Result<Frame<M>, CodecError> {
     let body = code.decode(encoded).map_err(CodecError::CodeRejected)?;
     decode_body(&body)
+}
+
+/// Encodes a frame in the *tagged* wire format used by adaptive runs:
+/// a 1-byte code id (the ladder index) followed by that code's encoding
+/// of the body. The id travels outside the code, so a receiver can pick
+/// the right decoder for frames from **any** epoch — after a code
+/// switch, in-flight frames of the previous rung still decode exactly.
+///
+/// # Panics
+///
+/// Panics if `id` is not registered in `book`.
+pub fn encode_frame_tagged<M: WireMessage>(frame: &Frame<M>, id: u8, book: &CodeBook) -> Vec<u8> {
+    book.encode_tagged(id, &encode_body(frame))
+}
+
+/// A decoded tagged frame: which code epoch it came from, whether the
+/// decoder repaired channel errors on the way (the receiver-observable
+/// noise evidence feeding `RoundTally::corrected`), and the frame.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TaggedFrame<M> {
+    /// The ladder index the frame named.
+    pub code_id: u8,
+    /// `true` when the code corrected errors while decoding.
+    pub repaired: bool,
+    /// The frame itself.
+    pub frame: Frame<M>,
+}
+
+/// Decodes a tagged frame, returning the code id it named, the repair
+/// flag, and the frame.
+///
+/// # Errors
+///
+/// [`CodecError::CodeRejected`] when the frame is empty, names an
+/// unknown id (e.g. the tag byte itself was corrupted), or its code
+/// detects corruption; a structural [`CodecError`] if the decoded body
+/// does not parse. All of these are *detected omissions* to the caller.
+pub fn decode_frame_tagged<M: WireMessage>(
+    encoded: &[u8],
+    book: &CodeBook,
+) -> Result<TaggedFrame<M>, CodecError> {
+    let (code_id, body, repaired) = book
+        .decode_tagged_repaired(encoded)
+        .map_err(CodecError::CodeRejected)?;
+    Ok(TaggedFrame {
+        code_id,
+        repaired,
+        frame: decode_body(&body)?,
+    })
 }
 
 /// Encodes a frame in the historical wire format: body followed by a
@@ -452,6 +506,70 @@ mod tests {
             let decoded: Frame<UteMsg<u64>> = decode_frame_with(&wire, &code).unwrap();
             assert_eq!(decoded, frame, "roundtrip through {spec}");
         }
+    }
+
+    #[test]
+    fn tagged_frames_roundtrip_across_mixed_epochs() {
+        use heardof_coding::{AdaptiveConfig, CodeBook};
+        // A receiver holding the book decodes frames from every rung —
+        // exactly the mixed-epoch situation mid-renegotiation.
+        let book = CodeBook::from_specs(&AdaptiveConfig::standard(5, 1).ladder);
+        let frame = Frame {
+            round: 9,
+            sender: 2,
+            copy: 0,
+            msg: UteMsg::Vote(Some(17u64)),
+        };
+        for id in 0..book.len() as u8 {
+            let wire = encode_frame_tagged(&frame, id, &book);
+            assert_eq!(wire[0], id, "the id byte leads the wire image");
+            let got = decode_frame_tagged::<UteMsg<u64>>(&wire, &book).unwrap();
+            assert_eq!(got.code_id, id);
+            assert!(!got.repaired, "clean frames need no repair");
+            assert_eq!(got.frame, frame, "epoch {id} decodes exactly");
+        }
+    }
+
+    #[test]
+    fn tagged_decode_reports_repairs() {
+        use heardof_coding::{CodeBook, CodeSpec};
+        let book = CodeBook::from_specs(&[CodeSpec::Hamming74]);
+        let frame = Frame {
+            round: 2,
+            sender: 1,
+            copy: 0,
+            msg: 99u64,
+        };
+        let mut wire = encode_frame_tagged(&frame, 0, &book);
+        wire[10] ^= 0x04; // one flip past the tag byte
+        let got = decode_frame_tagged::<u64>(&wire, &book).unwrap();
+        assert_eq!(got.frame, frame, "SECDED repaired the flip");
+        assert!(got.repaired, "…and reported doing so");
+    }
+
+    #[test]
+    fn corrupted_tag_byte_is_a_detected_omission() {
+        use heardof_coding::{AdaptiveConfig, CodeBook};
+        let book = CodeBook::from_specs(&AdaptiveConfig::standard(5, 1).ladder);
+        let frame = Frame {
+            round: 1,
+            sender: 0,
+            copy: 0,
+            msg: 5u64,
+        };
+        let mut wire = encode_frame_tagged(&frame, 0, &book);
+        wire[0] = 200; // unknown id
+        let err = decode_frame_tagged::<u64>(&wire, &book).unwrap_err();
+        assert!(matches!(err, CodecError::CodeRejected(_)));
+        // An id naming a *different* code sees a wrong-shaped body and
+        // rejects too (checksum32 bytes are not a valid hamming74 image
+        // of the same frame).
+        let mut cross = encode_frame_tagged(&frame, 0, &book);
+        cross[0] = 1;
+        assert!(
+            decode_frame_tagged::<u64>(&cross, &book).is_err(),
+            "cross-code decode must not silently succeed"
+        );
     }
 
     #[test]

@@ -54,26 +54,13 @@ pub fn recommend_alpha(faults: &LinkFaults, n: usize, tail_bound: f64) -> AlphaE
 /// mean `mu` is below `tail_bound` — the padding rule behind
 /// [`recommend_alpha`], exposed for sweeps that obtain `mu` from
 /// measured code miss rates (e.g. the `coding_tradeoff` experiment).
+///
+/// The canonical implementation lives in `heardof-coding`
+/// ([`heardof_coding::chernoff_alpha_for_mean`]) since the adaptive
+/// controller's `P_α` projection needs it below this crate; this
+/// re-statement keeps the original API.
 pub fn recommend_alpha_for_mean(mu: f64, n: usize, tail_bound: f64) -> u32 {
-    assert!(mu >= 0.0, "mean demand must be nonnegative");
-    // Chernoff: P(X ≥ a) ≤ exp(−mu) (e·mu / a)^a for a > mu.
-    let tail = |a: u32| -> f64 {
-        if mu == 0.0 {
-            return 0.0;
-        }
-        let a = a as f64;
-        if a <= mu {
-            return 1.0;
-        }
-        (-mu + a * (1.0 + (mu / a).ln())).exp()
-    };
-    // A receiver sees at most n frames per round, so α > n is never
-    // needed regardless of the mean demand.
-    let mut alpha = (mu.ceil() as u32).min(n as u32);
-    while tail(alpha + 1) > tail_bound && alpha < n as u32 {
-        alpha += 1;
-    }
-    alpha
+    heardof_coding::chernoff_alpha_for_mean(mu, n, tail_bound)
 }
 
 #[cfg(test)]

@@ -52,12 +52,16 @@ mod link;
 mod runtime;
 
 pub use codec::{
-    decode_body, decode_frame, decode_frame_with, encode_body, encode_frame, encode_frame_with,
-    refresh_crc, CodecError, Frame, WireMessage, PAYLOAD_OFFSET,
+    decode_body, decode_frame, decode_frame_tagged, decode_frame_with, encode_body, encode_frame,
+    encode_frame_tagged, encode_frame_with, refresh_crc, CodecError, Frame, WireMessage,
+    PAYLOAD_OFFSET,
 };
 pub use coverage::{recommend_alpha, recommend_alpha_for_mean, AlphaEstimate};
 // The CRC implementation lives in `heardof-coding` now that coding is a
 // first-class subsystem; re-exported so the original API is unchanged.
-pub use heardof_coding::{crc32, ChannelCode, CodeSpec, FrameOutcome};
+pub use heardof_coding::{
+    crc32, AdaptiveConfig, AdaptiveController, ChannelCode, CodeBook, CodeSpec, FrameOutcome,
+    GilbertElliott, NoiseTrace, RoundTally,
+};
 pub use link::{FaultKey, FaultLog, FaultyLink, LinkEvent, LinkFaults};
 pub use runtime::{run_threaded, NetConfig, NetOutcome};

@@ -19,9 +19,9 @@
 //! so the runtime can reconstruct exact `SHO` sets after the fact
 //! (processes themselves can never know them — §2.1).
 
-use crate::codec::PAYLOAD_OFFSET;
+use crate::codec::{COPY_OFFSET, PAYLOAD_OFFSET};
 use crossbeam::channel::Sender;
-use heardof_coding::{BitNoise, ChannelCode, Checksum, FrameOutcome};
+use heardof_coding::{BitNoise, ChannelCode, Checksum, CodeBook, NoiseTrace};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -128,6 +128,13 @@ pub struct FaultyLink {
     tx: Sender<Vec<u8>>,
     faults: LinkFaults,
     code: Arc<dyn ChannelCode>,
+    /// When set, frames are tagged with a 1-byte code id and all
+    /// decode/classify operations go through the book (adaptive runs).
+    book: Option<Arc<CodeBook>>,
+    /// When set, corruption is driven by the seeded trace instead of
+    /// the probabilistic `faults` model — byte-identical across
+    /// substrates, the conformance-harness mode.
+    trace: Option<NoiseTrace>,
     rng: StdRng,
     log: FaultLog,
 }
@@ -177,14 +184,46 @@ impl FaultyLink {
             tx,
             faults: faults.validated(),
             code,
+            book: None,
+            trace: None,
             rng: StdRng::seed_from_u64(link_seed),
             log,
+        }
+    }
+
+    /// Switches the link to tagged framing: endpoints send
+    /// code-id-prefixed frames and this link classifies corruption
+    /// through the book (mixed epochs decode exactly).
+    pub fn tagged(mut self, book: Arc<CodeBook>) -> Self {
+        self.book = Some(book);
+        self
+    }
+
+    /// Drives corruption from a seeded [`NoiseTrace`] instead of the
+    /// probabilistic fault model: every frame's flip pattern is a pure
+    /// function of `(round, sender, receiver, copy, length)`, so a
+    /// simulator applying the same trace to the same bytes reproduces
+    /// this link bit-for-bit. `drop_prob` and the adversarial mode are
+    /// not consulted in this mode.
+    pub fn with_trace(mut self, trace: NoiseTrace) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// Decodes `wire` through whichever framing is in force.
+    fn decode_any(&self, wire: &[u8]) -> Option<Vec<u8>> {
+        match &self.book {
+            Some(book) => book.decode_tagged(wire).ok().map(|(_, body)| body),
+            None => self.code.decode(wire).ok(),
         }
     }
 
     /// Sends an encoded frame through the fault model. Returns what
     /// happened (mostly for tests and statistics).
     pub fn send(&mut self, round: u64, copy: u8, mut encoded: Vec<u8>) -> LinkEvent {
+        if self.trace.is_some() {
+            return self.send_traced(round, copy, encoded);
+        }
         if self.rng.gen_bool(self.faults.drop_prob) {
             return LinkEvent::Dropped;
         }
@@ -211,10 +250,63 @@ impl FaultyLink {
         LinkEvent::Delivered
     }
 
+    /// Trace-driven corruption: apply the deterministic flip pattern
+    /// for this frame's coordinates, classify the result through the
+    /// framing, and log undetected faults exactly like the
+    /// probabilistic path. The link's own RNG is never consulted, so
+    /// the outcome is a pure function of the trace and the bytes —
+    /// reproducible by any substrate.
+    fn send_traced(&mut self, round: u64, copy: u8, mut encoded: Vec<u8>) -> LinkEvent {
+        let trace = self.trace.as_ref().expect("traced mode");
+        // Keep the pristine bytes (a memcpy) rather than decoding them
+        // up front: in clean phases most frames take zero flips and the
+        // decode would be pure overhead.
+        let original = encoded.clone();
+        let flips =
+            trace.corrupt_frame(round, self.sender_id, self.receiver_id, copy, &mut encoded);
+        if flips == 0 {
+            let _ = self.tx.send(encoded);
+            return LinkEvent::Delivered;
+        }
+        let event = match self.decode_any(&original) {
+            // Pre-corrupted input (not produced by our runtime): the
+            // receiver rejects it either way.
+            None => LinkEvent::CorruptedDetectable,
+            Some(body) => self.classify_against(&body, &encoded),
+        };
+        if event == LinkEvent::CorruptedUndetected {
+            let (r, s, c) = self
+                .decoded_header(&encoded)
+                .unwrap_or((round, self.sender_id, copy));
+            self.log.record((r, s, self.receiver_id, c));
+        }
+        let _ = self.tx.send(encoded);
+        event
+    }
+
+    /// The receiver-side verdict on `after_noise` given the clean
+    /// decoded `body`, through whichever framing is in force.
+    fn classify_against(&self, body: &[u8], after_noise: &[u8]) -> LinkEvent {
+        match self.decode_any(after_noise) {
+            None => LinkEvent::CorruptedDetectable,
+            Some(after) if after == *body => LinkEvent::CorruptedCorrected,
+            Some(after) if differs_only_in_copy_index(body, &after) => {
+                // The retransmission-copy byte is bookkeeping, not
+                // message content: the receiver still gets the intended
+                // (round, sender, payload) intact, so this is a safe
+                // delivery, not an α-counted fault — and it is exactly
+                // what an abstract-message substrate observes for the
+                // same noise.
+                LinkEvent::CorruptedCorrected
+            }
+            Some(_) => LinkEvent::CorruptedUndetected,
+        }
+    }
+
     /// The `(round, sender, copy)` header a receiver will parse from
     /// `wire`, if it decodes at all.
     fn decoded_header(&self, wire: &[u8]) -> Option<(u64, u32, u8)> {
-        let body = self.code.decode(wire).ok()?;
+        let body = self.decode_any(wire)?;
         if body.len() < PAYLOAD_OFFSET {
             return None;
         }
@@ -224,11 +316,18 @@ impl FaultyLink {
     }
 
     /// Code-consistent corruption: alter payload bytes of the decoded
-    /// body and re-encode, so the receiver's decoder validates the
-    /// forgery. No code catches this — it is the residual the `α`
-    /// budget exists for.
+    /// body and re-encode (under the *same* code epoch, for tagged
+    /// framing), so the receiver's decoder validates the forgery. No
+    /// code catches this — it is the residual the `α` budget exists
+    /// for.
     fn corrupt_adversarially(&mut self, encoded: &mut Vec<u8>) -> LinkEvent {
-        let Ok(mut body) = self.code.decode(encoded) else {
+        // Decode through the framing in force, remembering the epoch id
+        // so the forgery is re-encoded consistently.
+        let decoded = match &self.book {
+            Some(book) => book.decode_tagged(encoded).ok(),
+            None => self.code.decode(encoded).ok().map(|body| (0, body)),
+        };
+        let Some((id, mut body)) = decoded else {
             // Pre-corrupted input (not produced by our runtime): leave it.
             return LinkEvent::CorruptedDetectable;
         };
@@ -242,7 +341,10 @@ impl FaultyLink {
             let mask = self.rng.gen_range(1..=255u8);
             body[idx] ^= mask;
         }
-        *encoded = self.code.encode(&body);
+        *encoded = match &self.book {
+            Some(book) => book.encode_tagged(id, &body),
+            None => self.code.encode(&body),
+        };
         LinkEvent::CorruptedUndetected
     }
 
@@ -258,19 +360,26 @@ impl FaultyLink {
             return LinkEvent::Delivered; // no corruptible region
         }
         let flips = self.rng.gen_range(1..=3usize);
-        let Ok(original_body) = self.code.decode(encoded) else {
+        let Some(original_body) = self.decode_any(encoded) else {
             // Pre-corrupted input (not produced by our runtime): noise
             // it further; the receiver rejects it either way.
             BitNoise::flip_exact(&mut encoded[PAYLOAD_OFFSET..], flips, &mut self.rng);
             return LinkEvent::CorruptedDetectable;
         };
         BitNoise::flip_exact(&mut encoded[PAYLOAD_OFFSET..], flips, &mut self.rng);
-        match self.code.classify(&original_body, encoded) {
-            FrameOutcome::Delivered => LinkEvent::CorruptedCorrected,
-            FrameOutcome::DetectedOmission => LinkEvent::CorruptedDetectable,
-            FrameOutcome::UndetectedValueFault => LinkEvent::CorruptedUndetected,
-        }
+        self.classify_against(&original_body, encoded)
     }
+}
+
+/// `true` when two frame bodies agree everywhere except the
+/// retransmission-copy byte (which carries no message semantics).
+fn differs_only_in_copy_index(a: &[u8], b: &[u8]) -> bool {
+    a.len() == b.len()
+        && a.len() > COPY_OFFSET
+        && a.iter()
+            .zip(b.iter())
+            .enumerate()
+            .all(|(i, (x, y))| i == COPY_OFFSET || x == y)
 }
 
 /// What the fault model did to one frame.
@@ -455,6 +564,120 @@ mod tests {
         let got = crate::codec::decode_frame_with::<u64>(&rx.recv().unwrap(), &NoCode).unwrap();
         assert_ne!(got.msg, 5, "corruption sailed straight through");
         assert_eq!(got.round, 1, "header region is spared by the noise model");
+    }
+
+    #[test]
+    fn traced_link_is_a_pure_function_of_coordinates() {
+        use heardof_coding::NoiseTrace;
+        let run = |seed: u64| {
+            let (tx, rx) = unbounded();
+            let mut link = FaultyLink::new(0, 1, tx, LinkFaults::NONE, 9, FaultLog::new())
+                .with_trace(NoiseTrace::bursty(seed));
+            let events: Vec<LinkEvent> =
+                (1..=40).map(|r| link.send(r, 0, frame_bytes(r))).collect();
+            drop(link);
+            let wires: Vec<Vec<u8>> = rx.iter().collect();
+            (events, wires)
+        };
+        assert_eq!(run(3), run(3), "same trace seed replays bit-for-bit");
+        assert_ne!(run(3), run(4), "different seeds diverge");
+    }
+
+    #[test]
+    fn traced_link_corrupts_only_in_noisy_phases() {
+        use heardof_coding::NoiseTrace;
+        // bursty(): rounds 1–30 clean, 31–60 noisy.
+        let (tx, _rx) = unbounded();
+        let mut link = FaultyLink::new(0, 1, tx, LinkFaults::NONE, 9, FaultLog::new())
+            .with_trace(NoiseTrace::bursty(7));
+        let clean: Vec<LinkEvent> = (1..=30).map(|r| link.send(r, 0, frame_bytes(r))).collect();
+        let noisy: Vec<LinkEvent> = (31..=60).map(|r| link.send(r, 0, frame_bytes(r))).collect();
+        let corrupted =
+            |evs: &[LinkEvent]| evs.iter().filter(|e| **e != LinkEvent::Delivered).count();
+        assert!(corrupted(&clean) <= 2, "clean phase: {clean:?}");
+        assert!(corrupted(&noisy) >= 15, "noisy phase must bite: {noisy:?}");
+    }
+
+    #[test]
+    fn tagged_traced_link_logs_faults_by_receiver_view() {
+        use crate::codec::encode_frame_tagged;
+        use heardof_coding::{CodeBook, CodeSpec, NoiseTrace};
+        // NoCode in the book leaks every corruption; the log must key
+        // by what the receiver will decode.
+        let book = Arc::new(CodeBook::from_specs(&[CodeSpec::None]));
+        let (tx, rx) = unbounded();
+        let log = FaultLog::new();
+        let mut link = FaultyLink::new(0, 1, tx, LinkFaults::NONE, 9, log.clone())
+            .tagged(Arc::clone(&book))
+            .with_trace(NoiseTrace::new(
+                5,
+                vec![heardof_coding::NoisePhase {
+                    rounds: 1,
+                    channel: heardof_coding::GilbertElliott::new(0.05, 0.1, 0.0, 1.0),
+                }],
+            ));
+        let mut undetected = 0;
+        for r in 1..=50u64 {
+            let frame = Frame {
+                round: r,
+                sender: 0,
+                copy: 0,
+                msg: 5u64,
+            };
+            if link.send(r, 0, encode_frame_tagged(&frame, 0, &book))
+                == LinkEvent::CorruptedUndetected
+            {
+                undetected += 1;
+            }
+        }
+        assert!(undetected > 0, "uncoded bursts must leak");
+        assert_eq!(
+            log.len(),
+            undetected,
+            "every leak is ground-truth logged for SHO reconstruction"
+        );
+        drop(link);
+        assert_eq!(rx.iter().count(), 50, "traced mode never drops frames");
+    }
+
+    #[test]
+    fn probabilistic_faults_respect_tagged_framing() {
+        use crate::codec::{decode_frame_tagged, encode_frame_tagged};
+        use heardof_coding::{CodeBook, CodeSpec};
+        // Adaptive (book) mode with the probabilistic adversarial model
+        // and no trace: the forgery must decode and re-encode through
+        // the frame's own epoch, not the link's static code.
+        let book = Arc::new(CodeBook::from_specs(&[
+            CodeSpec::Checksum { width: 4 },
+            CodeSpec::Hamming74,
+        ]));
+        let faults = LinkFaults {
+            corrupt_prob: 1.0,
+            undetected_prob: 1.0,
+            ..LinkFaults::NONE
+        };
+        for id in 0..2u8 {
+            let (tx, rx) = unbounded();
+            let log = FaultLog::new();
+            let mut link =
+                FaultyLink::new(0, 1, tx, faults, 9, log.clone()).tagged(Arc::clone(&book));
+            let frame = Frame {
+                round: 1,
+                sender: 0,
+                copy: 0,
+                msg: 5u64,
+            };
+            let wire = encode_frame_tagged(&frame, id, &book);
+            assert_eq!(
+                link.send(1, 0, wire),
+                LinkEvent::CorruptedUndetected,
+                "epoch {id}: the adversary must forge through the tag"
+            );
+            let got = decode_frame_tagged::<u64>(&rx.recv().unwrap(), &book).unwrap();
+            assert_eq!(got.code_id, id, "the forgery keeps the epoch id");
+            assert_ne!(got.frame.msg, 5, "…and carries a wrong payload");
+            assert!(log.was_corrupted(&(1, 0, 1, 0)));
+        }
     }
 
     #[test]

@@ -14,10 +14,15 @@
 //! undetected-corruption log, so the same predicate checkers used on
 //! simulator traces apply to threaded runs.
 
-use crate::codec::{decode_frame_with, encode_frame_with, Frame, WireMessage};
+use crate::codec::{
+    decode_frame_tagged, decode_frame_with, encode_frame_tagged, encode_frame_with, Frame,
+    WireMessage,
+};
 use crate::link::{FaultLog, FaultyLink, LinkFaults};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError};
-use heardof_coding::{ChannelCode, CodeSpec};
+use heardof_coding::{
+    AdaptiveConfig, AdaptiveController, ChannelCode, CodeBook, CodeSpec, NoiseTrace, RoundTally,
+};
 use heardof_model::{
     CommHistory, HoAlgorithm, ProcessId, ProcessSet, ReceptionVector, Round, RoundSets,
 };
@@ -47,8 +52,28 @@ pub struct NetConfig {
     /// Channel code framing every wire frame. The default — a CRC-32
     /// checksum — reproduces the historical wire format; correcting
     /// codes (e.g. [`CodeSpec::Hamming74`]) turn link corruption back
-    /// into clean deliveries at the cost of redundancy.
+    /// into clean deliveries at the cost of redundancy. Ignored when
+    /// [`NetConfig::adaptive`] is set.
     pub code: CodeSpec,
+    /// Per-round code renegotiation: each process runs its own
+    /// deterministic [`AdaptiveController`] over the ladder, re-deciding
+    /// its *send* code from the tallies it observes as a receiver.
+    /// Frames carry a 1-byte code id (see
+    /// [`encode_frame_tagged`](crate::encode_frame_tagged)), so mixed
+    /// epochs decode exactly during a switch.
+    pub adaptive: Option<AdaptiveConfig>,
+    /// Replaces the probabilistic link faults with a seeded
+    /// [`NoiseTrace`]: corruption becomes a pure function of each
+    /// frame's coordinates, reproducible by the lockstep simulator.
+    pub trace: Option<NoiseTrace>,
+    /// Fixed-length rounds: every process waits out the full
+    /// `round_timeout` each round (no early close on a full heard-of
+    /// set, no early exit once everyone decided) and runs exactly
+    /// `max_rounds` rounds. This keeps the processes' round windows
+    /// aligned to within scheduling jitter, which is what makes
+    /// round-for-round comparison against the simulator meaningful —
+    /// the conformance-harness mode.
+    pub lockstep: bool,
 }
 
 impl Default for NetConfig {
@@ -60,6 +85,9 @@ impl Default for NetConfig {
             copies: 1,
             max_rounds: 100,
             code: CodeSpec::DEFAULT,
+            adaptive: None,
+            trace: None,
+            lockstep: false,
         }
     }
 }
@@ -78,6 +106,10 @@ pub struct NetOutcome<V> {
     pub history: CommHistory,
     /// Total undetected corruptions injected by the links.
     pub undetected_corruptions: usize,
+    /// The code each process used for its sends, per completed round
+    /// (`code_schedule[p][r-1]`). Constant at [`NetConfig::code`] for
+    /// static runs; the controller's decisions for adaptive ones.
+    pub code_schedule: Vec<Vec<CodeSpec>>,
 }
 
 impl<V: PartialEq> NetOutcome<V> {
@@ -109,6 +141,56 @@ struct ProcReport {
     rounds_completed: u64,
     /// Per completed round: the `(sender, kept_copy)` pairs received.
     kept: Vec<Vec<(u32, u8)>>,
+    /// Per completed round: the code this process sent with.
+    codes: Vec<CodeSpec>,
+}
+
+/// How a process frames its wire bytes: a fixed code, or a per-round
+/// controller over a tagged code book.
+enum Framing {
+    Fixed(Arc<dyn ChannelCode>),
+    Adaptive {
+        book: Arc<CodeBook>,
+        controller: AdaptiveController,
+    },
+}
+
+impl Framing {
+    fn encode<M: WireMessage>(&self, frame: &Frame<M>) -> Vec<u8> {
+        match self {
+            Framing::Fixed(code) => encode_frame_with(frame, code),
+            Framing::Adaptive { book, controller } => {
+                encode_frame_tagged(frame, controller.code_id(), book)
+            }
+        }
+    }
+
+    /// Decodes wire bytes into `(frame, repaired)`; `repaired` is the
+    /// receiver-observable fact that the code corrected errors on the
+    /// way in (always `false` for the historical fixed-code framing,
+    /// which predates the signal).
+    fn decode<M: WireMessage>(&self, bytes: &[u8]) -> Option<(Frame<M>, bool)> {
+        match self {
+            Framing::Fixed(code) => decode_frame_with(bytes, code).ok().map(|f| (f, false)),
+            Framing::Adaptive { book, .. } => decode_frame_tagged(bytes, book)
+                .ok()
+                .map(|t| (t.frame, t.repaired)),
+        }
+    }
+
+    fn current_spec(&self, fallback: CodeSpec) -> CodeSpec {
+        match self {
+            Framing::Fixed(_) => fallback,
+            Framing::Adaptive { controller, .. } => controller.current(),
+        }
+    }
+
+    /// End-of-round hook: feed the receiver's tally to the controller.
+    fn observe(&mut self, tally: RoundTally) {
+        if let Framing::Adaptive { controller, .. } = self {
+            controller.observe(tally);
+        }
+    }
 }
 
 /// Runs `algo` on `n` OS threads over faulty links.
@@ -147,6 +229,10 @@ where
 
     let fault_log = FaultLog::new();
     let code: Arc<dyn ChannelCode> = config.code.build();
+    let book: Option<Arc<CodeBook>> = config
+        .adaptive
+        .as_ref()
+        .map(|cfg| Arc::new(CodeBook::from_specs(&cfg.ladder)));
     let board: Arc<Mutex<Vec<Option<A::Value>>>> = Arc::new(Mutex::new(vec![None; n]));
     let all_decided = Arc::new(AtomicBool::new(false));
 
@@ -164,7 +250,7 @@ where
         let links: Vec<FaultyLink> = (0..n)
             .filter(|&q| q != p)
             .map(|q| {
-                FaultyLink::with_code(
+                let mut link = FaultyLink::with_code(
                     p as u32,
                     q as u32,
                     txs[q].clone(),
@@ -172,16 +258,29 @@ where
                     config.seed,
                     fault_log.clone(),
                     Arc::clone(&code),
-                )
+                );
+                if let Some(book) = &book {
+                    link = link.tagged(Arc::clone(book));
+                }
+                if let Some(trace) = &config.trace {
+                    link = link.with_trace(trace.clone());
+                }
+                link
             })
             .collect();
+        let framing = match (&config.adaptive, &book) {
+            (Some(cfg), Some(book)) => Framing::Adaptive {
+                book: Arc::clone(book),
+                controller: AdaptiveController::new(cfg.clone()),
+            },
+            _ => Framing::Fixed(Arc::clone(&code)),
+        };
         let self_tx = txs[p].clone();
         let algo = algo.clone();
         let initial_value = initial[p].clone();
         let board = Arc::clone(&board);
         let all_decided = Arc::clone(&all_decided);
         let config = config.clone();
-        let code = Arc::clone(&code);
         handles.push(std::thread::spawn(move || {
             process_main(
                 algo,
@@ -194,7 +293,7 @@ where
                 board,
                 all_decided,
                 config,
-                code,
+                framing,
             )
         }));
     }
@@ -237,6 +336,7 @@ where
         rounds_completed: reports.iter().map(|r| r.rounds_completed).collect(),
         history,
         undetected_corruptions: fault_log.len(),
+        code_schedule: reports.iter().map(|r| r.codes.clone()).collect(),
     }
 }
 
@@ -252,7 +352,7 @@ fn process_main<A>(
     board: Arc<Mutex<Vec<Option<A::Value>>>>,
     all_decided: Arc<AtomicBool>,
     config: NetConfig,
-    code: Arc<dyn ChannelCode>,
+    mut framing: Framing,
 ) -> ProcReport
 where
     A: HoAlgorithm,
@@ -262,15 +362,19 @@ where
     let mut state = algo.init(me, n, initial);
     let mut decision_round = None;
     let mut kept: Vec<Vec<(u32, u8)>> = Vec::new();
-    // Frames that arrived early, keyed by round.
-    let mut future: HashMap<u64, Vec<Frame<A::Msg>>> = HashMap::new();
+    let mut codes: Vec<CodeSpec> = Vec::new();
+    // Frames that arrived early, keyed by round; each entry remembers
+    // whether its decode involved a repair (for that round's tally).
+    type Early<M> = Vec<(Frame<M>, bool)>;
+    let mut future: HashMap<u64, Early<A::Msg>> = HashMap::new();
     let mut rounds_completed = 0u64;
 
     for r in 1..=config.max_rounds {
-        if all_decided.load(Ordering::SeqCst) {
+        if !config.lockstep && all_decided.load(Ordering::SeqCst) {
             break;
         }
         let round = Round::new(r);
+        codes.push(framing.current_spec(config.code));
 
         // --- Send phase: one frame (xN copies) per destination. ---
         let mut link_idx = 0;
@@ -284,7 +388,7 @@ where
                     copy: 0,
                     msg,
                 };
-                let _ = self_tx.send(encode_frame_with(&frame, &code));
+                let _ = self_tx.send(framing.encode(&frame));
             } else {
                 for copy in 0..config.copies {
                     let frame = Frame {
@@ -293,7 +397,7 @@ where
                         copy,
                         msg: msg.clone(),
                     };
-                    links[link_idx].send(r, copy, encode_frame_with(&frame, &code));
+                    links[link_idx].send(r, copy, framing.encode(&frame));
                 }
                 link_idx += 1;
             }
@@ -304,18 +408,23 @@ where
         let deadline = Instant::now() + config.round_timeout;
         let mut rx_vec: ReceptionVector<A::Msg> = ReceptionVector::new(n);
         let mut kept_this_round: Vec<(u32, u8)> = Vec::new();
+        let mut corrected_this_round = 0usize;
 
         // Drain any buffered early arrivals for this round.
         if let Some(frames) = future.remove(&r) {
-            for frame in frames {
+            for (frame, repaired) in frames {
                 if rx_vec.get(ProcessId::new(frame.sender)).is_none() {
                     kept_this_round.push((frame.sender, frame.copy));
+                    corrected_this_round += usize::from(repaired);
                     rx_vec.set(ProcessId::new(frame.sender), frame.msg);
                 }
             }
         }
 
-        while rx_vec.heard_count() < n {
+        // Lockstep runs wait out the full window even with a complete
+        // heard-of set, keeping every process's round boundaries
+        // aligned for round-for-round substrate comparison.
+        while config.lockstep || rx_vec.heard_count() < n {
             let remaining = deadline.saturating_duration_since(Instant::now());
             if remaining.is_zero() {
                 break;
@@ -324,7 +433,7 @@ where
                 Ok(bytes) => {
                     // A code rejection is a *detected* corruption: drop
                     // the frame, producing an omission.
-                    let Ok(frame) = decode_frame_with::<A::Msg>(&bytes, &code) else {
+                    let Some((frame, repaired)) = framing.decode::<A::Msg>(&bytes) else {
                         continue;
                     };
                     // A rate<1 code can (rarely) miscorrect header bits;
@@ -337,11 +446,15 @@ where
                         continue; // late: the round is closed
                     }
                     if frame.round > r {
-                        future.entry(frame.round).or_default().push(frame);
+                        future
+                            .entry(frame.round)
+                            .or_default()
+                            .push((frame, repaired));
                         continue;
                     }
                     if rx_vec.get(ProcessId::new(frame.sender)).is_none() {
                         kept_this_round.push((frame.sender, frame.copy));
+                        corrected_this_round += usize::from(repaired);
                         rx_vec.set(ProcessId::new(frame.sender), frame.msg);
                     }
                 }
@@ -352,6 +465,27 @@ where
 
         // --- Transition phase. ---
         algo.transition(round, me, &mut state, &rx_vec);
+
+        // --- Renegotiation: feed this round's receiver tally to the
+        // controller; the new code (if any) applies from the next send.
+        // Only what a real receiver can observe goes in: distinct peers
+        // heard (early frames were buffered into the right round, so
+        // the count is round-exact) and how many of those arrived
+        // repaired. Undetected value faults are invisible by definition
+        // and enter as a zero estimate.
+        let delivered_peers = kept_this_round
+            .iter()
+            .filter(|(sender, _)| *sender != pid)
+            .map(|(sender, _)| *sender)
+            .collect::<std::collections::HashSet<_>>()
+            .len();
+        framing.observe(RoundTally {
+            expected: n - 1,
+            delivered: delivered_peers,
+            corrected: corrected_this_round,
+            value_faults: 0,
+        });
+
         kept.push(kept_this_round);
         rounds_completed = r;
 
@@ -367,10 +501,12 @@ where
         }
     }
 
+    codes.truncate(rounds_completed as usize);
     ProcReport {
         decision_round,
         rounds_completed,
         kept,
+        codes,
     }
 }
 
@@ -512,6 +648,84 @@ mod tests {
             "uncoded links leak more value faults ({} vs {})",
             uncoded.undetected_corruptions,
             coded.undetected_corruptions
+        );
+    }
+
+    #[test]
+    fn static_runs_report_a_constant_code_schedule() {
+        let n = 3;
+        let algo: Ate<u64> = Ate::new(AteParams::balanced(n, 0).unwrap());
+        let outcome = run_threaded(algo, n, vec![4, 4, 4], NetConfig::default());
+        for (p, codes) in outcome.code_schedule.iter().enumerate() {
+            assert_eq!(codes.len(), outcome.rounds_completed[p] as usize);
+            assert!(codes.iter().all(|c| *c == CodeSpec::DEFAULT), "process {p}");
+        }
+    }
+
+    #[test]
+    fn adaptive_runtime_escalates_under_a_noisy_trace_and_still_decides() {
+        let n = 5;
+        let alpha = 1;
+        let algo: Ate<u64> = Ate::new(AteParams::balanced(n, alpha).unwrap());
+        // Noise with sporadic quiet windows — the paper's liveness
+        // shape (`P^{A,live}` needs good rounds): the burst phases
+        // force every controller off rung 0, and the quiet windows let
+        // `A_{T,E}` decide at its near-unanimous threshold (at n = 5,
+        // E = 4.75 demands hearing everyone, which a rate-1/2 rung
+        // under sustained bursts cannot guarantee in any fixed horizon).
+        let trace = NoiseTrace::new(
+            7,
+            vec![
+                heardof_coding::NoisePhase {
+                    rounds: 6,
+                    channel: heardof_coding::GilbertElliott::bursty(),
+                },
+                heardof_coding::NoisePhase {
+                    rounds: 4,
+                    channel: heardof_coding::GilbertElliott::clean(),
+                },
+            ],
+        );
+        let config = NetConfig {
+            adaptive: Some(AdaptiveConfig::standard(n, alpha)),
+            trace: Some(trace),
+            round_timeout: Duration::from_millis(60),
+            max_rounds: 40,
+            ..NetConfig::default()
+        };
+        let outcome = run_threaded(algo, n, vec![1, 2, 1, 2, 1], config);
+        assert!(outcome.agreement_ok(), "{:?}", outcome.decisions);
+        assert!(outcome.all_decided(), "correcting rungs restore liveness");
+        for (p, codes) in outcome.code_schedule.iter().enumerate() {
+            assert_eq!(
+                codes[0],
+                CodeSpec::Checksum { width: 4 },
+                "every ladder starts at the cheap rung"
+            );
+            assert!(
+                codes.iter().any(|c| *c != CodeSpec::Checksum { width: 4 }),
+                "process {p} never escalated: {codes:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn lockstep_runs_exactly_max_rounds() {
+        let n = 3;
+        let algo: Ate<u64> = Ate::new(AteParams::balanced(n, 0).unwrap());
+        let config = NetConfig {
+            lockstep: true,
+            max_rounds: 4,
+            round_timeout: Duration::from_millis(20),
+            ..NetConfig::default()
+        };
+        let outcome = run_threaded(algo, n, vec![6, 6, 6], config);
+        assert_eq!(outcome.rounds_completed, vec![4, 4, 4]);
+        use heardof_model::History as _;
+        assert_eq!(outcome.history.num_rounds(), 4);
+        assert!(
+            outcome.all_decided(),
+            "decisions still happen, just not early exit"
         );
     }
 

@@ -60,6 +60,8 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod conformance;
+
 pub use heardof_adversary as adversary;
 pub use heardof_analysis as analysis;
 pub use heardof_coding as coding;
@@ -72,14 +74,15 @@ pub use heardof_sim as sim;
 /// The most commonly used items, for glob import.
 pub mod prelude {
     pub use heardof_adversary::{
-        Adversary, BorrowedCorruption, Budgeted, CodedChannel, GoodRounds, NoFaults,
-        RandomCorruption, RandomOmission, SantoroWidmayerBlock, Seq, SplitBrain, StaticByzantine,
-        SymmetricByzantine, TransientBurst, WithSchedule,
+        AdaptiveCodedChannel, Adversary, BorrowedCorruption, Budgeted, CodedChannel, GoodRounds,
+        NoFaults, RandomCorruption, RandomOmission, SantoroWidmayerBlock, Seq, SplitBrain,
+        StaticByzantine, SymmetricByzantine, TransientBurst, Whipsaw, WithSchedule,
     };
     pub use heardof_analysis::{Scenario, Summary, Table, UteWitnessSearch, WitnessSearch};
     pub use heardof_coding::{
-        measure_code, BitNoise, ChannelCode, Checksum, CodeSpec, FrameOutcome, Hamming74, NoCode,
-        Repetition,
+        measure_code, AdaptiveConfig, AdaptiveController, BitNoise, ChannelCode, Checksum,
+        CodeBook, CodeSpec, Concatenated, FrameOutcome, GilbertElliott, Hamming74, Interleaved,
+        NoCode, NoiseTrace, Repetition, RoundTally,
     };
     pub use heardof_core::{
         Ate, AteParams, OneThirdRule, ParamError, Threshold, UniformVoting, Ute, UteMsg, UteParams,

@@ -1,0 +1,129 @@
+//! Cross-substrate conformance for adaptive code switching.
+//!
+//! The same seeded [`NoiseTrace`] drives the lockstep simulator (via
+//! `heardof::conformance::TraceChannel`) and the threaded runtime (in
+//! lockstep + trace mode). Both run per-process `AdaptiveController`s
+//! over the same ladder; the harness asserts they make **identical
+//! controller decisions** and reconstruct **identical `HO`/`SHO`
+//! collections, round for round** — the adaptive analogue of "the
+//! algorithms are substrate-independent".
+//!
+//! The seed matrix covers three fixed seeds (CI fans them out via the
+//! `CONFORMANCE_SEED` environment variable; unset runs all three).
+
+use heardof::conformance::{run_net_substrate, run_sim_substrate, SubstrateReport};
+use heardof::prelude::*;
+use heardof_coding::{AdaptiveConfig, CodeSpec, GilbertElliott, NoisePhase, NoiseTrace};
+use std::time::Duration;
+
+const SEEDS: [u64; 3] = [0xA11CE, 0xB0B5, 0xC0DE5];
+const N: usize = 5;
+const ROUNDS: u64 = 14;
+
+fn selected_seeds() -> Vec<u64> {
+    match std::env::var("CONFORMANCE_SEED") {
+        Ok(s) => {
+            let seed: u64 = s.parse().expect("CONFORMANCE_SEED must be an integer");
+            assert!(
+                SEEDS.contains(&seed),
+                "CONFORMANCE_SEED {seed} not in the pinned matrix {SEEDS:?}"
+            );
+            vec![seed]
+        }
+        Err(_) => SEEDS.to_vec(),
+    }
+}
+
+/// Noise front-loaded so the ladder moves inside the short horizon:
+/// 6 bursty rounds, 6 clean rounds, cycling.
+fn conformance_trace(seed: u64) -> NoiseTrace {
+    NoiseTrace::new(
+        seed,
+        vec![
+            NoisePhase {
+                rounds: 6,
+                channel: GilbertElliott::bursty(),
+            },
+            NoisePhase {
+                rounds: 6,
+                channel: GilbertElliott::clean(),
+            },
+        ],
+    )
+}
+
+fn run_both(seed: u64) -> (SubstrateReport, SubstrateReport) {
+    let cfg = AdaptiveConfig::standard(N, 1);
+    let trace = conformance_trace(seed);
+    let initial: Vec<u64> = (0..N as u64).map(|i| i % 2).collect();
+    let algo: Ate<u64> = Ate::new(AteParams::balanced(N, 1).unwrap());
+    let sim = run_sim_substrate(algo.clone(), N, initial.clone(), &cfg, &trace, ROUNDS);
+    let net = run_net_substrate(
+        algo,
+        N,
+        initial,
+        &cfg,
+        &trace,
+        ROUNDS,
+        Duration::from_millis(150),
+    );
+    (sim, net)
+}
+
+#[test]
+fn sim_and_net_agree_round_for_round_across_the_seed_matrix() {
+    for seed in selected_seeds() {
+        let (sim, net) = run_both(seed);
+        assert_eq!(
+            sim.rounds(),
+            ROUNDS as usize,
+            "seed {seed:#x}: sim must cover every round"
+        );
+        assert_eq!(
+            net.rounds(),
+            ROUNDS as usize,
+            "seed {seed:#x}: lockstep net must cover every round"
+        );
+        if let Some(diff) = sim.first_divergence(&net) {
+            panic!("seed {seed:#x}: substrates diverge — {diff}");
+        }
+    }
+}
+
+#[test]
+fn the_compared_decisions_are_not_vacuous() {
+    // Decision-equivalence would be trivially true if no controller
+    // ever moved. Under the front-loaded burst phase, every process
+    // must leave the checksum rung within the horizon — so the
+    // conformance assertion really does compare switching behaviour.
+    for seed in selected_seeds() {
+        let (sim, _) = run_both(seed);
+        for p in 0..N {
+            assert_eq!(
+                sim.codes[0][p],
+                CodeSpec::Checksum { width: 4 },
+                "seed {seed:#x}: ladders start at the cheap rung"
+            );
+            assert!(
+                sim.codes
+                    .iter()
+                    .any(|round| round[p] != CodeSpec::Checksum { width: 4 }),
+                "seed {seed:#x}: process {p} never escalated — trace too tame"
+            );
+        }
+    }
+}
+
+#[test]
+fn divergence_reporting_catches_a_doctored_report() {
+    // The harness itself must be able to see a difference: doctor one
+    // round of the sim report and check the diff machinery fires.
+    let seed = SEEDS[0];
+    let (mut sim, net) = run_both(seed);
+    assert!(sim.first_divergence(&net).is_none());
+    sim.codes[2][0] = CodeSpec::Repetition { k: 5 };
+    let diff = sim
+        .first_divergence(&net)
+        .expect("a doctored decision must be reported");
+    assert!(diff.contains("round 3"), "diff names the round: {diff}");
+}
