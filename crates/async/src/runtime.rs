@@ -1,0 +1,332 @@
+//! The cooperative async deployment of HO algorithms.
+//!
+//! One task per process drives a [`RoundEngine`] over non-blocking
+//! in-memory sockets, with the same coded, tagged wire format and the
+//! same byte-corrupting [`FaultyLink`]s as the threaded runtime. The
+//! task contributes what every substrate must: byte transport and a
+//! round clock. Here the clock is a [`RoundBarrier`] instead of a
+//! wall-clock timeout — all of a round's sends complete before any
+//! receiver drains its socket, so rounds are communication-closed *by
+//! construction* and runs are fully deterministic (no scheduling
+//! jitter, no timeout tuning).
+//!
+//! Per round, each task:
+//!
+//! 1. emits the engine's coded frames through its faulty links,
+//! 2. awaits the barrier (all peers have sent),
+//! 3. drains its socket into [`RoundEngine::ingest`],
+//! 4. finishes the round (transition + renegotiation), posts any
+//!    decision,
+//! 5. awaits the barrier again (all peers transitioned), then — unless
+//!    in lockstep mode — exits if everyone has decided.
+//!
+//! The second barrier makes the everyone-decided check consistent: all
+//! tasks observe the same board, so all exit at the same round.
+//!
+//! [`FaultyLink`]: heardof_net::FaultyLink
+
+use crate::executor::{MiniExecutor, RoundBarrier};
+use crate::socket::{socket, NbReceiver, NbSender};
+use heardof_coding::{AdaptiveConfig, CodeSpec, NoiseTrace};
+use heardof_engine::{link_index, EngineReport, RoundEngine, SubstrateOutcome, WireMessage};
+use heardof_model::HoAlgorithm;
+use heardof_net::{FaultyLink, LinkFaults, RunFabric};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Configuration of an async run. The fields mirror
+/// `heardof_net::NetConfig` minus the round timeout — the barrier
+/// replaces the clock.
+#[derive(Clone, Debug)]
+pub struct AsyncConfig {
+    /// Fault probabilities applied to every inter-process link
+    /// (self-delivery is local and never faulty).
+    pub faults: LinkFaults,
+    /// Seed for all link randomness (same per-link streams as the
+    /// threaded runtime under the same seed).
+    pub seed: u64,
+    /// Copies of each frame to send.
+    pub copies: u8,
+    /// Hard cap on rounds.
+    pub max_rounds: u64,
+    /// Channel code framing every wire frame; ignored when
+    /// [`AsyncConfig::adaptive`] is set.
+    pub code: CodeSpec,
+    /// Per-round code renegotiation over the tagged ladder.
+    pub adaptive: Option<AdaptiveConfig>,
+    /// Replaces the probabilistic link faults with a seeded
+    /// [`NoiseTrace`] — the conformance-harness mode.
+    pub trace: Option<NoiseTrace>,
+    /// Run exactly `max_rounds` rounds with no early exit once everyone
+    /// decided (rounds are always barrier-aligned here, so unlike the
+    /// threaded runtime this changes nothing else).
+    pub lockstep: bool,
+}
+
+impl Default for AsyncConfig {
+    fn default() -> Self {
+        AsyncConfig {
+            faults: LinkFaults::NONE,
+            seed: 0,
+            copies: 1,
+            max_rounds: 100,
+            code: CodeSpec::DEFAULT,
+            adaptive: None,
+            trace: None,
+            lockstep: false,
+        }
+    }
+}
+
+/// The observable result of an async run — the engine-standard
+/// [`SubstrateOutcome`] shared with the threaded runtime.
+pub type AsyncOutcome<V> = SubstrateOutcome<V>;
+
+/// Runs `algo` as `n` cooperative tasks over faulty in-memory sockets.
+///
+/// # Panics
+///
+/// Panics if `initial.len() != n`, `n == 0`, or `config.copies == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use heardof_async::{run_async, AsyncConfig};
+/// use heardof_core::{Ate, AteParams};
+/// use heardof_engine::OutcomeView;
+///
+/// let n = 5;
+/// let algo: Ate<u64> = Ate::new(AteParams::balanced(n, 0)?);
+/// let outcome = run_async(algo, n, (0..n as u64).map(|i| i % 2).collect(),
+///                         AsyncConfig::default());
+/// assert!(outcome.all_decided());
+/// assert!(outcome.agreement_ok());
+/// # Ok::<(), heardof_core::ParamError>(())
+/// ```
+pub fn run_async<A>(
+    algo: A,
+    n: usize,
+    initial: Vec<A::Value>,
+    config: AsyncConfig,
+) -> AsyncOutcome<A::Value>
+where
+    A: HoAlgorithm,
+    A::Msg: WireMessage,
+{
+    assert!(n > 0, "system must have at least one process");
+    assert_eq!(initial.len(), n, "one initial value per process");
+
+    let fabric = RunFabric::new(
+        config.faults,
+        config.seed,
+        config.copies,
+        config.max_rounds,
+        config.code,
+        config.adaptive.clone(),
+        config.trace.clone(),
+    );
+    let board: Arc<Mutex<Vec<Option<A::Value>>>> = Arc::new(Mutex::new(vec![None; n]));
+    let reports: Arc<Mutex<Vec<Option<EngineReport>>>> =
+        Arc::new(Mutex::new((0..n).map(|_| None).collect()));
+    let barrier = RoundBarrier::new(n);
+
+    let mut txs: Vec<NbSender> = Vec::with_capacity(n);
+    let mut rxs: Vec<NbReceiver> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = socket();
+        txs.push(tx);
+        rxs.push(rx);
+    }
+
+    let mut exec = MiniExecutor::new();
+    for (p, (inbox, initial_value)) in rxs.into_iter().zip(initial).enumerate() {
+        let links = fabric.links_for(p, n, |q| Box::new(txs[q].clone()));
+        let engine = fabric.engine_for(algo.clone(), p, n, initial_value);
+        exec.spawn(process_task(
+            engine,
+            inbox,
+            links,
+            barrier.clone(),
+            Arc::clone(&board),
+            Arc::clone(&reports),
+            config.max_rounds,
+            config.lockstep,
+        ));
+    }
+    drop(txs);
+    exec.run();
+
+    let reports: Vec<EngineReport> = Arc::try_unwrap(reports)
+        .unwrap_or_else(|_| panic!("report slots still shared after run"))
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every task files its report"))
+        .collect();
+    let decisions = board.lock().clone();
+    fabric.assemble(reports, decisions)
+}
+
+#[allow(clippy::too_many_arguments)]
+async fn process_task<A>(
+    mut engine: RoundEngine<A>,
+    inbox: NbReceiver,
+    mut links: Vec<FaultyLink>,
+    barrier: RoundBarrier,
+    board: Arc<Mutex<Vec<Option<A::Value>>>>,
+    reports: Arc<Mutex<Vec<Option<EngineReport>>>>,
+    max_rounds: u64,
+    lockstep: bool,
+) where
+    A: HoAlgorithm,
+    A::Msg: WireMessage,
+{
+    let pid = engine.core().me().as_u32();
+    for r in 1..=max_rounds {
+        // --- Send phase: the engine emits, the links corrupt. ---
+        for out in engine.begin_round() {
+            links[link_index(out.dest, pid)].send(r, out.copy, out.bytes);
+        }
+
+        // All round-r sends are in the sockets before anyone reads:
+        // communication closure by construction.
+        barrier.wait().await;
+
+        // --- Collect phase: drain whatever the links delivered. ---
+        while let Some(bytes) = inbox.try_recv() {
+            let _ = engine.ingest(&bytes);
+        }
+
+        // --- Transition + renegotiation. ---
+        engine.finish_round();
+        if engine.decision_round() == Some(r) {
+            let decided = engine.decision().cloned().expect("decision just recorded");
+            board.lock()[pid as usize] = Some(decided);
+        }
+
+        // All boards are written before anyone checks: every task sees
+        // the same decision state and exits (or not) at the same round.
+        barrier.wait().await;
+        if !lockstep && board.lock().iter().all(|d| d.is_some()) {
+            break;
+        }
+    }
+    reports.lock()[pid as usize] = Some(engine.into_report());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heardof_coding::{GilbertElliott, NoisePhase};
+    use heardof_core::{Ate, AteParams};
+    use heardof_engine::OutcomeView;
+    use heardof_model::History;
+    use heardof_predicates::{CommPredicate, PBenign};
+
+    fn ate(n: usize, alpha: u32) -> Ate<u64> {
+        Ate::new(AteParams::balanced(n, alpha).unwrap())
+    }
+
+    #[test]
+    fn perfect_sockets_reach_consensus_fast() {
+        let n = 5;
+        let outcome = run_async(ate(n, 0), n, vec![3, 1, 3, 1, 3], AsyncConfig::default());
+        assert!(outcome.all_decided());
+        assert!(outcome.agreement_ok());
+        assert!(outcome.last_decision_round().unwrap() <= 3);
+        assert!(PBenign.holds(&outcome.history));
+        assert_eq!(outcome.undetected_corruptions, 0);
+    }
+
+    #[test]
+    fn early_exit_is_uniform_across_tasks() {
+        let n = 4;
+        let outcome = run_async(ate(n, 0), n, vec![9; 4], AsyncConfig::default());
+        let first = outcome.rounds_completed[0];
+        assert!(
+            outcome.rounds_completed.iter().all(|&r| r == first),
+            "barrier-synchronized exit: {:?}",
+            outcome.rounds_completed
+        );
+        assert!(first < 100, "unanimous input exits well before the cap");
+    }
+
+    #[test]
+    fn lockstep_runs_exactly_max_rounds() {
+        let n = 3;
+        let config = AsyncConfig {
+            lockstep: true,
+            max_rounds: 4,
+            ..AsyncConfig::default()
+        };
+        let outcome = run_async(ate(n, 0), n, vec![6, 6, 6], config);
+        assert_eq!(outcome.rounds_completed, vec![4, 4, 4]);
+        assert_eq!(outcome.history.num_rounds(), 4);
+        assert!(outcome.all_decided());
+    }
+
+    #[test]
+    fn async_runs_are_deterministic() {
+        let n = 5;
+        let mk = || AsyncConfig {
+            faults: LinkFaults {
+                drop_prob: 0.2,
+                corrupt_prob: 0.1,
+                undetected_prob: 0.3,
+            },
+            seed: 42,
+            max_rounds: 30,
+            ..AsyncConfig::default()
+        };
+        let run = || {
+            let o = run_async(ate(n, 1), n, vec![1, 2, 1, 2, 1], mk());
+            (
+                o.decisions,
+                o.decision_rounds,
+                o.rounds_completed,
+                o.undetected_corruptions,
+            )
+        };
+        assert_eq!(run(), run(), "no clocks, no jitter: bit-identical runs");
+    }
+
+    #[test]
+    fn adaptive_async_escalates_under_a_noisy_trace_and_still_decides() {
+        let n = 5;
+        let alpha = 1;
+        let trace = NoiseTrace::new(
+            7,
+            vec![
+                NoisePhase {
+                    rounds: 6,
+                    channel: GilbertElliott::bursty(),
+                },
+                NoisePhase {
+                    rounds: 4,
+                    channel: GilbertElliott::clean(),
+                },
+            ],
+        );
+        let config = AsyncConfig {
+            adaptive: Some(AdaptiveConfig::standard(n, alpha)),
+            trace: Some(trace),
+            max_rounds: 40,
+            ..AsyncConfig::default()
+        };
+        let outcome = run_async(ate(n, alpha), n, vec![1, 2, 1, 2, 1], config);
+        assert!(outcome.agreement_ok(), "{:?}", outcome.decisions);
+        assert!(outcome.all_decided(), "correcting rungs restore liveness");
+        for (p, codes) in outcome.code_schedule.iter().enumerate() {
+            assert_eq!(codes[0], CodeSpec::Checksum { width: 4 });
+            assert!(
+                codes.iter().any(|c| *c != CodeSpec::Checksum { width: 4 }),
+                "process {p} never escalated: {codes:?}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one initial value per process")]
+    fn wrong_arity_panics() {
+        let _ = run_async(ate(3, 0), 3, vec![1], AsyncConfig::default());
+    }
+}

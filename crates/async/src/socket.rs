@@ -1,0 +1,147 @@
+//! Non-blocking in-memory sockets carrying coded wire frames.
+//!
+//! The async substrate's "network": a datagram-ish mailbox per process.
+//! Senders never block (a wire has no flow control); receivers either
+//! poll ([`NbReceiver::try_recv`]) or await ([`NbReceiver::recv`]) —
+//! the latter registers the task's waker so the mini executor re-polls
+//! it exactly when bytes arrive. The sending half implements
+//! `heardof_net::FrameSink`, so the byte-corrupting [`FaultyLink`]s of
+//! the threaded runtime drive these sockets unchanged — same fault
+//! model, same RNG streams, same tagged wire format.
+//!
+//! [`FaultyLink`]: heardof_net::FaultyLink
+
+use heardof_net::FrameSink;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::Arc;
+use std::task::{Context, Poll, Waker};
+
+struct Inner {
+    queue: Mutex<VecDeque<Vec<u8>>>,
+    /// Waker of the task currently awaiting [`NbReceiver::recv`].
+    waker: Mutex<Option<Waker>>,
+}
+
+/// The sending half of an in-memory socket (clonable; never blocks).
+#[derive(Clone)]
+pub struct NbSender {
+    inner: Arc<Inner>,
+}
+
+/// The receiving half of an in-memory socket.
+pub struct NbReceiver {
+    inner: Arc<Inner>,
+}
+
+/// A connected non-blocking socket pair.
+pub fn socket() -> (NbSender, NbReceiver) {
+    let inner = Arc::new(Inner {
+        queue: Mutex::new(VecDeque::new()),
+        waker: Mutex::new(None),
+    });
+    (
+        NbSender {
+            inner: Arc::clone(&inner),
+        },
+        NbReceiver { inner },
+    )
+}
+
+impl NbSender {
+    /// Enqueues one wire frame and wakes a pending receiver, if any.
+    pub fn send(&self, frame: Vec<u8>) {
+        self.inner.queue.lock().push_back(frame);
+        if let Some(waker) = self.inner.waker.lock().take() {
+            waker.wake();
+        }
+    }
+}
+
+impl FrameSink for NbSender {
+    fn deliver(&self, frame: Vec<u8>) {
+        self.send(frame);
+    }
+}
+
+impl NbReceiver {
+    /// Takes the oldest pending frame, if any, without blocking or
+    /// yielding.
+    pub fn try_recv(&self) -> Option<Vec<u8>> {
+        self.inner.queue.lock().pop_front()
+    }
+
+    /// Number of frames currently queued.
+    pub fn pending(&self) -> usize {
+        self.inner.queue.lock().len()
+    }
+
+    /// Awaits the next frame, yielding the task until one arrives.
+    pub fn recv(&self) -> Recv<'_> {
+        Recv { rx: self }
+    }
+}
+
+/// The future returned by [`NbReceiver::recv`].
+pub struct Recv<'a> {
+    rx: &'a NbReceiver,
+}
+
+impl Future for Recv<'_> {
+    type Output = Vec<u8>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Vec<u8>> {
+        if let Some(frame) = self.rx.try_recv() {
+            return Poll::Ready(frame);
+        }
+        *self.rx.inner.waker.lock() = Some(cx.waker().clone());
+        // Re-check after registering: a send between the pop and the
+        // registration must not be lost (single-threaded today, but the
+        // socket should not depend on that).
+        match self.rx.try_recv() {
+            Some(frame) => Poll::Ready(frame),
+            None => Poll::Pending,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::MiniExecutor;
+
+    #[test]
+    fn try_recv_is_fifo_and_nonblocking() {
+        let (tx, rx) = socket();
+        assert!(rx.try_recv().is_none());
+        tx.send(vec![1]);
+        tx.send(vec![2]);
+        assert_eq!(rx.pending(), 2);
+        assert_eq!(rx.try_recv(), Some(vec![1]));
+        assert_eq!(rx.try_recv(), Some(vec![2]));
+        assert_eq!(rx.try_recv(), None);
+    }
+
+    #[test]
+    fn awaiting_receiver_is_woken_by_a_send() {
+        let (tx, rx) = socket();
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let mut exec = MiniExecutor::new();
+        let sink = Arc::clone(&got);
+        exec.spawn(async move {
+            // Two frames: the first forces a Pending + wake cycle.
+            let first = rx.recv().await;
+            sink.lock().push(first);
+            let second = rx.recv().await;
+            sink.lock().push(second);
+        });
+        exec.spawn(async move {
+            tx.send(vec![7]);
+            tx.send(vec![8]);
+        });
+        exec.run();
+        assert_eq!(*got.lock(), vec![vec![7], vec![8]]);
+    }
+}

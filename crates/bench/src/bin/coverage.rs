@@ -11,7 +11,7 @@ use heardof_analysis::Table;
 use heardof_bench::header;
 use heardof_core::{Ate, AteParams};
 use heardof_model::{History as _, Round};
-use heardof_net::{recommend_alpha, run_threaded, LinkFaults, NetConfig};
+use heardof_net::{recommend_alpha, run_threaded, LinkFaults, NetConfig, OutcomeView};
 use std::time::Duration;
 
 fn main() {

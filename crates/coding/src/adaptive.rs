@@ -91,14 +91,41 @@ impl RoundTally {
     }
 }
 
+/// How the controller smooths its per-round observations into the
+/// pressure/activity estimates the thresholds compare against.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum PressureEstimator {
+    /// The original estimator: totals over the sliding window of the
+    /// last [`AdaptiveConfig::window`] rounds. Reacts in exactly
+    /// `window` rounds, then forgets completely.
+    Windowed,
+    /// Exponentially weighted moving average of the per-round rates:
+    /// `est ← est + λ·(x − est)`, seeded by the first observation after
+    /// each switch. Smoother under jittery channels, with a memory that
+    /// decays instead of cliffing; `λ = 0.5` has the same effective
+    /// horizon (≈ 2 rounds) as the default window, which is why the two
+    /// modes agree on clean and hard-burst channels (a unit test pins
+    /// this) and differ only on marginal, threshold-straddling noise.
+    Ewma {
+        /// Smoothing factor in `(0, 1]`; larger reacts faster.
+        lambda: f64,
+    },
+}
+
 /// Configuration of an [`AdaptiveController`].
 #[derive(Clone, Debug)]
 pub struct AdaptiveConfig {
     /// The escalation ladder, weakest (cheapest) first. Rung 0 is the
     /// starting code.
     pub ladder: Vec<CodeSpec>,
-    /// Sliding-window length (rounds) for the pressure estimate.
+    /// Sliding-window length (rounds) for the pressure estimate. The
+    /// window is kept even in EWMA mode: the severe-burst check and the
+    /// `P_α` projection always read raw recent rounds.
     pub window: usize,
+    /// The smoothing applied to pressure/activity/corrected-rate
+    /// estimates (ROADMAP estimator upgrade; default
+    /// [`PressureEstimator::Windowed`], the historical behaviour).
+    pub estimator: PressureEstimator,
     /// Windowed pressure above which the controller steps up a rung.
     pub escalate_at: f64,
     /// Single-round pressure above which an escalation jumps **two**
@@ -149,6 +176,7 @@ impl AdaptiveConfig {
                 CodeSpec::Repetition { k: 5 },
             ],
             window: 2,
+            estimator: PressureEstimator::Windowed,
             escalate_at: 0.35,
             severe_at: 0.6,
             deescalate_at: 0.05,
@@ -157,6 +185,17 @@ impl AdaptiveConfig {
             n,
             alpha_budget,
             target_tail: 1e-6,
+        }
+    }
+
+    /// [`AdaptiveConfig::standard`] with the EWMA estimator at
+    /// `λ = 0.5` — the same effective horizon as the default 2-round
+    /// window, so the two modes make identical decisions on clean and
+    /// hard-burst channels.
+    pub fn standard_ewma(n: usize, alpha_budget: u32) -> Self {
+        AdaptiveConfig {
+            estimator: PressureEstimator::Ewma { lambda: 0.5 },
+            ..Self::standard(n, alpha_budget)
         }
     }
 
@@ -181,6 +220,12 @@ impl AdaptiveConfig {
             self.escalate_at
         );
         assert!(self.n >= 1, "system must have at least one process");
+        if let PressureEstimator::Ewma { lambda } = self.estimator {
+            assert!(
+                lambda > 0.0 && lambda <= 1.0,
+                "the EWMA smoothing factor must lie in (0, 1], got {lambda}"
+            );
+        }
     }
 }
 
@@ -238,6 +283,11 @@ pub struct AdaptiveController {
     cfg: AdaptiveConfig,
     rung: usize,
     window: VecDeque<RoundTally>,
+    /// EWMA state for (pressure, activity, corrected rate); `None`
+    /// until the first observation after construction or a switch, so
+    /// each rung's estimate is seeded from its own first round — the
+    /// EWMA analogue of clearing the window.
+    ewma: Option<(f64, f64, f64)>,
     rounds_since_switch: u64,
     calm_streak: u64,
     rounds_observed: u64,
@@ -258,6 +308,7 @@ impl AdaptiveController {
             cfg,
             rung: 0,
             window: VecDeque::new(),
+            ewma: None,
             // Born free to switch: the dwell clock starts expired so a
             // burst in the very first window escalates immediately.
             rounds_since_switch: min_dwell,
@@ -297,49 +348,70 @@ impl AdaptiveController {
         &self.cfg
     }
 
-    /// Windowed fault pressure: the fraction of expected frames over
-    /// the sliding window that failed to arrive intact.
+    /// Smoothed fault pressure: the estimated fraction of expected
+    /// frames that fail to arrive intact — window totals by default,
+    /// EWMA of per-round rates under [`PressureEstimator::Ewma`].
     pub fn pressure(&self) -> f64 {
-        let (mut expected, mut bad) = (0usize, 0usize);
-        for t in &self.window {
-            expected += t.expected;
-            bad += t.omissions() + t.value_faults;
-        }
-        if expected == 0 {
-            0.0
-        } else {
-            bad as f64 / expected as f64
+        match self.cfg.estimator {
+            PressureEstimator::Windowed => self.windowed(|t| t.omissions() + t.value_faults),
+            PressureEstimator::Ewma { .. } => self.ewma.map_or(0.0, |(p, _, _)| p),
         }
     }
 
-    /// Windowed channel activity (pressure plus repaired deliveries) —
+    /// Smoothed channel activity (pressure plus repaired deliveries) —
     /// what de-escalation waits on.
     pub fn activity(&self) -> f64 {
-        let (mut expected, mut active) = (0usize, 0usize);
-        for t in &self.window {
-            expected += t.expected;
-            active += t.omissions() + t.corrected + t.value_faults;
-        }
-        if expected == 0 {
-            0.0
-        } else {
-            active as f64 / expected as f64
+        match self.cfg.estimator {
+            PressureEstimator::Windowed => {
+                self.windowed(|t| t.omissions() + t.corrected + t.value_faults)
+            }
+            PressureEstimator::Ewma { .. } => self.ewma.map_or(0.0, |(_, a, _)| a),
         }
     }
 
-    /// Windowed fraction of expected frames delivered *after repair* —
+    /// Smoothed fraction of expected frames delivered *after repair* —
     /// evidence the current rung is actively winning against the noise.
     pub fn corrected_rate(&self) -> f64 {
-        let (mut expected, mut corrected) = (0usize, 0usize);
+        match self.cfg.estimator {
+            PressureEstimator::Windowed => self.windowed(|t| t.corrected),
+            PressureEstimator::Ewma { .. } => self.ewma.map_or(0.0, |(_, _, c)| c),
+        }
+    }
+
+    /// Window totals of `count` over expected frames.
+    fn windowed(&self, count: impl Fn(&RoundTally) -> usize) -> f64 {
+        let (mut expected, mut hits) = (0usize, 0usize);
         for t in &self.window {
             expected += t.expected;
-            corrected += t.corrected;
+            hits += count(t);
         }
         if expected == 0 {
             0.0
         } else {
-            corrected as f64 / expected as f64
+            hits as f64 / expected as f64
         }
+    }
+
+    /// Folds one round's rates into the EWMA state (no-op in windowed
+    /// mode).
+    fn update_ewma(&mut self, tally: RoundTally) {
+        let PressureEstimator::Ewma { lambda } = self.cfg.estimator else {
+            return;
+        };
+        let (p, a) = (tally.pressure(), tally.activity());
+        let c = if tally.expected == 0 {
+            0.0
+        } else {
+            tally.corrected as f64 / tally.expected as f64
+        };
+        self.ewma = Some(match self.ewma {
+            None => (p, a, c),
+            Some((ep, ea, ec)) => (
+                ep + lambda * (p - ep),
+                ea + lambda * (a - ea),
+                ec + lambda * (c - ec),
+            ),
+        });
     }
 
     /// The `α` budget the windowed value-fault estimate demands at the
@@ -365,6 +437,7 @@ impl AdaptiveController {
             self.window.pop_front();
         }
         self.window.push_back(tally);
+        self.update_ewma(tally);
 
         // Calm means *no channel activity*, not just no losses: a rung
         // that is silently repairing a burst is doing its job, and
@@ -442,8 +515,10 @@ impl AdaptiveController {
         // Judge every rung on its own observations: tallies gathered
         // under the previous code would otherwise read as this rung's
         // losses (stale checksum-era omissions escalating a correcting
-        // rung that is actually coping).
+        // rung that is actually coping). The EWMA resets too — it
+        // re-seeds from the new rung's first round.
         self.window.clear();
+        self.ewma = None;
     }
 }
 
@@ -786,6 +861,108 @@ mod tests {
             "projected α {} demands escalation",
             ctl.projected_alpha()
         );
+    }
+
+    /// Drives one controller closed-loop against a [`NoiseTrace`]: each
+    /// round, every peer's frame is encoded under the controller's
+    /// current rung, corrupted by the trace, and classified the way a
+    /// live receiver would — decode failures are omissions, repairs are
+    /// counted, value faults are invisible. Returns the rung schedule.
+    fn rungs_under_trace(
+        cfg: AdaptiveConfig,
+        trace: &crate::NoiseTrace,
+        rounds: u64,
+    ) -> Vec<usize> {
+        let n = cfg.n;
+        let book = CodeBook::from_specs(&cfg.ladder);
+        let mut ctl = AdaptiveController::new(cfg);
+        let body = vec![0xA5u8; 24];
+        let mut schedule = Vec::with_capacity(rounds as usize);
+        for r in 1..=rounds {
+            schedule.push(ctl.rung());
+            let mut tally = RoundTally {
+                expected: n - 1,
+                delivered: 0,
+                corrected: 0,
+                value_faults: 0,
+            };
+            for sender in 1..n as u32 {
+                let mut wire = book.encode_tagged(ctl.code_id(), &body);
+                trace.corrupt_frame(r, sender, 0, 0, &mut wire);
+                if let Ok((_, _, repaired)) = book.decode_tagged_repaired(&wire) {
+                    tally.delivered += 1;
+                    tally.corrected += usize::from(repaired);
+                }
+            }
+            ctl.observe(tally);
+        }
+        schedule
+    }
+
+    #[test]
+    fn ewma_and_windowed_modes_agree_on_the_clean_preset() {
+        // On a clean channel both estimators read ~0 pressure forever:
+        // identical (constant) rung schedules.
+        let trace = crate::NoiseTrace::clean(11);
+        let windowed = rungs_under_trace(AdaptiveConfig::standard(8, 1), &trace, 60);
+        let ewma = rungs_under_trace(AdaptiveConfig::standard_ewma(8, 1), &trace, 60);
+        assert_eq!(windowed, ewma);
+        assert!(
+            windowed.iter().all(|&r| r == 0),
+            "clean channel never escalates"
+        );
+    }
+
+    #[test]
+    fn ewma_and_windowed_modes_agree_on_the_hard_burst_preset() {
+        // The bursty preset (30 calm rounds, then a sustained hard
+        // burst) drives pressure far past every threshold: λ = 0.5 has
+        // the same effective horizon as the 2-round window, so the two
+        // modes escalate at the same rounds to the same rungs.
+        let trace = crate::NoiseTrace::bursty(7);
+        let windowed = rungs_under_trace(AdaptiveConfig::standard(8, 1), &trace, 60);
+        let ewma = rungs_under_trace(AdaptiveConfig::standard_ewma(8, 1), &trace, 60);
+        assert_eq!(windowed, ewma, "identical decisions round for round");
+        assert!(
+            *windowed.last().unwrap() > 0,
+            "the burst phase must actually move the ladder: {windowed:?}"
+        );
+    }
+
+    #[test]
+    fn ewma_seeds_from_the_first_round_after_a_switch() {
+        let mut ctl = AdaptiveController::new(AdaptiveConfig::standard_ewma(8, 1));
+        assert_eq!(ctl.pressure(), 0.0, "no observations yet");
+        // Mild pressure (1/7 ≈ 14%, below every threshold): the
+        // controller holds, and the estimate must equal the sample.
+        let mild = RoundTally {
+            expected: 7,
+            delivered: 6,
+            corrected: 0,
+            value_faults: 0,
+        };
+        assert_eq!(ctl.observe(mild), None);
+        let first = ctl.pressure();
+        assert!(
+            (first - mild.pressure()).abs() < 1e-12,
+            "first sample seeds the estimate exactly, got {first}"
+        );
+        // Keep feeding until a switch: the estimate must reset.
+        for _ in 0..10 {
+            if ctl.observe(noisy(7)).is_some() {
+                break;
+            }
+        }
+        assert!(ctl.switches() >= 1, "noise must escalate");
+        assert_eq!(ctl.pressure(), 0.0, "each rung re-earns its estimate");
+    }
+
+    #[test]
+    #[should_panic(expected = "EWMA smoothing factor")]
+    fn zero_lambda_panics() {
+        let mut cfg = AdaptiveConfig::standard_ewma(4, 0);
+        cfg.estimator = PressureEstimator::Ewma { lambda: 0.0 };
+        let _ = AdaptiveController::new(cfg);
     }
 
     #[test]

@@ -21,6 +21,7 @@
 use crate::noise::BitNoise;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::{Arc, Mutex as StdMutex};
 
 /// A noise process applied to wire bytes. Implemented by the memoryless
 /// [`BitNoise`] and the bursty [`GilbertElliott`] chain; measurement
@@ -193,6 +194,31 @@ pub struct NoisePhase {
 pub struct NoiseTrace {
     seed: u64,
     phases: Vec<NoisePhase>,
+    /// When set, one Gilbert–Elliott chain — stepped once per *round*,
+    /// seeded from the trace seed alone — modulates **all links at
+    /// once**: in a burst round every link corrupts at `ber_bad`, in a
+    /// good round at `ber_good`. Per-link flip patterns stay
+    /// independent, but the *regime* is shared, the way real
+    /// interference hits many links simultaneously.
+    shared_regime: bool,
+    /// Memo of the shared chain — per-round states plus the RNG/state
+    /// frontier, extended incrementally on demand. `corrupt_frame` asks
+    /// once per frame, and replaying the chain from round 1 each time
+    /// would make long shared-regime runs quadratic. Shared across
+    /// clones (the chain is a pure function of the seed, so every
+    /// clone agrees).
+    regimes: Arc<StdMutex<RegimeMemo>>,
+}
+
+/// Lazily extended log of the shared regime chain.
+#[derive(Debug, Default)]
+struct RegimeMemo {
+    /// RNG state at the frontier (`None` until the chain first steps).
+    rng: Option<StdRng>,
+    /// Chain state at the frontier.
+    in_burst: bool,
+    /// `states[r-1]`: the chain's state after stepping into round `r`.
+    states: Vec<bool>,
 }
 
 impl NoiseTrace {
@@ -207,7 +233,12 @@ impl NoiseTrace {
             phases.iter().all(|p| p.rounds > 0),
             "every phase must last at least one round"
         );
-        NoiseTrace { seed, phases }
+        NoiseTrace {
+            seed,
+            phases,
+            shared_regime: false,
+            regimes: Arc::new(StdMutex::new(RegimeMemo::default())),
+        }
     }
 
     /// A clean channel for every round.
@@ -259,6 +290,81 @@ impl NoiseTrace {
         )
     }
 
+    /// **Correlated cross-link bursts** (first cut of the ROADMAP
+    /// item): one shared Gilbert–Elliott chain, advanced once per
+    /// round, modulates *every* link simultaneously — interference in
+    /// the environment, not on one wire. Burst rounds (~1/3 of rounds,
+    /// mean sojourn ≈ 2.5 rounds) corrupt all links at a 45% BER;
+    /// good rounds are clean. Because all receivers see the same
+    /// regime, their adaptive controllers observe near-identical
+    /// tallies and converge to the same rung within a bounded lag —
+    /// `tests/correlated_bursts.rs` (workspace root) asserts the bound.
+    pub fn correlated_bursts(seed: u64) -> Self {
+        NoiseTrace::new(
+            seed,
+            vec![NoisePhase {
+                rounds: 1,
+                // Reinterpreted per *round* by the shared chain:
+                // enter 0.2 / exit 0.4 → stationary burst fraction 1/3.
+                channel: GilbertElliott::new(0.2, 0.4, 1e-5, 0.45),
+            }],
+        )
+        .with_shared_regime()
+    }
+
+    /// Switches the trace to the shared-regime mode: the phase
+    /// channel's transition probabilities are reinterpreted as
+    /// per-round (not per-bit) and stepped by one seed-global chain, so
+    /// all links burst and calm together. See
+    /// [`NoiseTrace::correlated_bursts`] for the canonical preset.
+    pub fn with_shared_regime(mut self) -> Self {
+        self.shared_regime = true;
+        self
+    }
+
+    /// `true` when one shared chain modulates all links.
+    pub fn shared_regime(&self) -> bool {
+        self.shared_regime
+    }
+
+    /// Whether the shared regime chain is in its burst state at
+    /// `round` (1-based; always `false` for per-link traces). A pure
+    /// function of `(seed, round)` — identical for every link and
+    /// every substrate.
+    pub fn regime_at(&self, round: u64) -> bool {
+        if !self.shared_regime {
+            return false;
+        }
+        // One chain for the whole system, stepped once per round with
+        // transitions drawn from a seed-only stream; the memo holds the
+        // frontier (RNG + state) so each round is stepped exactly once
+        // per run, no matter how many frames ask.
+        let mut memo = self.regimes.lock().expect("regime memo poisoned");
+        if memo.rng.is_none() {
+            memo.rng = Some(StdRng::seed_from_u64(
+                self.seed
+                    .wrapping_mul(0xD605_0BB5_9DF4_4F45)
+                    .wrapping_add(0x5EED_C0DE),
+            ));
+        }
+        while (memo.states.len() as u64) < round {
+            let r = memo.states.len() as u64 + 1;
+            let ch = self.channel_at(r);
+            let mut in_burst = memo.in_burst;
+            let rng = memo.rng.as_mut().expect("frontier rng just seeded");
+            if in_burst {
+                if ch.p_exit_burst > 0.0 && rng.gen_bool(ch.p_exit_burst) {
+                    in_burst = false;
+                }
+            } else if ch.p_enter_burst > 0.0 && rng.gen_bool(ch.p_enter_burst) {
+                in_burst = true;
+            }
+            memo.in_burst = in_burst;
+            memo.states.push(in_burst);
+        }
+        memo.states[round as usize - 1]
+    }
+
     /// The channel in force at `round` (1-based).
     pub fn channel_at(&self, round: u64) -> GilbertElliott {
         let cycle: u64 = self.phases.iter().map(|p| p.rounds).sum();
@@ -303,7 +409,18 @@ impl NoiseTrace {
         data: &mut [u8],
     ) -> usize {
         let mut rng = self.frame_rng(round, sender, receiver, copy);
-        let mut channel = self.channel_at(round);
+        let channel = self.channel_at(round);
+        if self.shared_regime {
+            // The round's regime is global; within the round each link
+            // flips bits independently at the regime's BER.
+            let ber = if self.regime_at(round) {
+                channel.ber_bad
+            } else {
+                channel.ber_good
+            };
+            return BitNoise::new(ber).apply(data, &mut rng);
+        }
+        let mut channel = channel;
         // Start each frame from the phase's stationary distribution so
         // bad phases corrupt from the first bit.
         let stationary = channel.stationary_burst_fraction();
@@ -398,5 +515,52 @@ mod tests {
     #[should_panic(expected = "at least one phase")]
     fn empty_trace_panics() {
         let _ = NoiseTrace::new(0, vec![]);
+    }
+
+    #[test]
+    fn shared_regime_is_a_pure_function_of_seed_and_round() {
+        let trace = NoiseTrace::correlated_bursts(3);
+        assert!(trace.shared_regime());
+        let regimes: Vec<bool> = (1..=200).map(|r| trace.regime_at(r)).collect();
+        let again: Vec<bool> = (1..=200).map(|r| trace.regime_at(r)).collect();
+        assert_eq!(regimes, again, "regime replay is exact");
+        let burst_rounds = regimes.iter().filter(|b| **b).count();
+        // Stationary fraction 1/3 over 200 rounds: allow a wide band.
+        assert!(
+            (30..=110).contains(&burst_rounds),
+            "got {burst_rounds}/200 burst rounds"
+        );
+        assert!(
+            !NoiseTrace::bursty(3).regime_at(40),
+            "per-link traces have no shared regime"
+        );
+    }
+
+    #[test]
+    fn correlated_bursts_hit_all_links_in_the_same_rounds() {
+        // In a burst round, *every* link is heavily corrupted; in a
+        // good round, none is — the signature independent per-link
+        // chains cannot produce.
+        let trace = NoiseTrace::correlated_bursts(9);
+        let burst_round = (1..=200)
+            .find(|&r| trace.regime_at(r))
+            .expect("some burst round in 200");
+        let good_round = (1..=200)
+            .find(|&r| !trace.regime_at(r))
+            .expect("some good round in 200");
+        for (sender, receiver) in [(0u32, 1u32), (2, 7), (5, 3), (9, 0)] {
+            let mut data = vec![0u8; 64];
+            let flips = trace.corrupt_frame(burst_round, sender, receiver, 0, &mut data);
+            assert!(
+                flips > 100,
+                "link {sender}→{receiver} must burn in the shared burst, got {flips}"
+            );
+            let mut data = vec![0u8; 64];
+            let flips = trace.corrupt_frame(good_round, sender, receiver, 0, &mut data);
+            assert!(
+                flips <= 2,
+                "link {sender}→{receiver} must be calm in the good round, got {flips}"
+            );
+        }
     }
 }

@@ -73,7 +73,8 @@ mod noise;
 mod repetition;
 
 pub use adaptive::{
-    chernoff_alpha_for_mean, AdaptiveConfig, AdaptiveController, CodeBook, RoundTally,
+    chernoff_alpha_for_mean, AdaptiveConfig, AdaptiveController, CodeBook, PressureEstimator,
+    RoundTally,
 };
 pub use burst::{GilbertElliott, NoiseModel, NoisePhase, NoiseTrace};
 pub use checksum::{crc32, Checksum, NoCode};

@@ -1,0 +1,155 @@
+//! How a process frames its wire bytes: a fixed code, or a per-round
+//! [`AdaptiveController`] over a tagged [`CodeBook`].
+//!
+//! This used to live inside the threaded runtime; it is the piece of
+//! the adaptive stack every substrate needs verbatim — encode under the
+//! current rung, decode any epoch, feed the end-of-round tally back —
+//! so it sits next to the round core where all of them can share it.
+
+use crate::codec::{
+    decode_frame_tagged, decode_frame_with, encode_frame_tagged, encode_frame_with, Frame,
+    WireMessage,
+};
+use heardof_coding::{AdaptiveController, ChannelCode, CodeBook, CodeSpec, RoundTally};
+use std::sync::Arc;
+
+/// A process's framing policy: a fixed [`CodeSpec`] for the whole run,
+/// or an [`AdaptiveController`] renegotiating its send code per round
+/// over a tagged code book.
+// One Framing exists per process for a whole run; the size skew between
+// the two variants costs nothing at that cardinality, and boxing the
+// controller would put a pointer chase in the per-round hot path.
+#[allow(clippy::large_enum_variant)]
+pub enum Framing {
+    /// One code for every frame (the historical, non-adaptive mode).
+    Fixed {
+        /// The spec the code was built from (reported in schedules).
+        spec: CodeSpec,
+        /// The built code framing every frame.
+        code: Arc<dyn ChannelCode>,
+    },
+    /// Tagged framing under a per-round controller: frames carry a
+    /// 1-byte code id so mixed epochs decode exactly mid-renegotiation.
+    Adaptive {
+        /// The ladder's wire identity.
+        book: Arc<CodeBook>,
+        /// The deterministic rung-selection loop.
+        controller: AdaptiveController,
+    },
+}
+
+impl Framing {
+    /// Fixed framing under `spec` (the code is built once here).
+    pub fn fixed(spec: CodeSpec) -> Self {
+        Framing::fixed_with(spec, spec.build())
+    }
+
+    /// Fixed framing reusing an already-built `code` for `spec` — for
+    /// runs that stamp out one framing per process and want a single
+    /// shared code instance (the links already hold one).
+    pub fn fixed_with(spec: CodeSpec, code: Arc<dyn ChannelCode>) -> Self {
+        Framing::Fixed { spec, code }
+    }
+
+    /// Adaptive framing: `controller` renegotiates over `book`.
+    pub fn adaptive(book: Arc<CodeBook>, controller: AdaptiveController) -> Self {
+        Framing::Adaptive { book, controller }
+    }
+
+    /// Encodes a frame under the framing in force for this round.
+    pub fn encode<M: WireMessage>(&self, frame: &Frame<M>) -> Vec<u8> {
+        match self {
+            Framing::Fixed { code, .. } => encode_frame_with(frame, code.as_ref()),
+            Framing::Adaptive { book, controller } => {
+                encode_frame_tagged(frame, controller.code_id(), book)
+            }
+        }
+    }
+
+    /// Decodes wire bytes into `(frame, repaired)`; `repaired` is the
+    /// receiver-observable fact that the code corrected errors on the
+    /// way in (always `false` for the historical fixed-code framing,
+    /// which predates the signal).
+    pub fn decode<M: WireMessage>(&self, bytes: &[u8]) -> Option<(Frame<M>, bool)> {
+        match self {
+            Framing::Fixed { code, .. } => decode_frame_with(bytes, code.as_ref())
+                .ok()
+                .map(|f| (f, false)),
+            Framing::Adaptive { book, .. } => decode_frame_tagged(bytes, book)
+                .ok()
+                .map(|t| (t.frame, t.repaired)),
+        }
+    }
+
+    /// The spec in force for the next send.
+    pub fn current_spec(&self) -> CodeSpec {
+        match self {
+            Framing::Fixed { spec, .. } => *spec,
+            Framing::Adaptive { controller, .. } => controller.current(),
+        }
+    }
+
+    /// End-of-round hook: feed the receiver's tally to the controller.
+    /// A no-op for fixed framing.
+    pub fn observe(&mut self, tally: RoundTally) {
+        if let Framing::Adaptive { controller, .. } = self {
+            controller.observe(tally);
+        }
+    }
+
+    /// The controller, when the framing is adaptive.
+    pub fn controller(&self) -> Option<&AdaptiveController> {
+        match self {
+            Framing::Fixed { .. } => None,
+            Framing::Adaptive { controller, .. } => Some(controller),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heardof_coding::AdaptiveConfig;
+
+    fn frame() -> Frame<u64> {
+        Frame {
+            round: 2,
+            sender: 1,
+            copy: 0,
+            msg: 77,
+        }
+    }
+
+    #[test]
+    fn fixed_framing_roundtrips_and_reports_its_spec() {
+        let framing = Framing::fixed(CodeSpec::Hamming74);
+        assert_eq!(framing.current_spec(), CodeSpec::Hamming74);
+        assert!(framing.controller().is_none());
+        let wire = framing.encode(&frame());
+        let (got, repaired) = framing.decode::<u64>(&wire).unwrap();
+        assert_eq!(got, frame());
+        assert!(!repaired, "fixed framing never reports repairs");
+    }
+
+    #[test]
+    fn adaptive_framing_tracks_the_controller_rung() {
+        let cfg = AdaptiveConfig::standard(5, 1);
+        let book = Arc::new(CodeBook::from_specs(&cfg.ladder));
+        let mut framing = Framing::adaptive(book, AdaptiveController::new(cfg));
+        assert_eq!(framing.current_spec(), CodeSpec::Checksum { width: 4 });
+        // A few hard rounds escalate the controller; the framing's spec
+        // and encodings follow it.
+        for _ in 0..6 {
+            framing.observe(RoundTally {
+                expected: 4,
+                delivered: 0,
+                corrected: 0,
+                value_faults: 0,
+            });
+        }
+        assert_ne!(framing.current_spec(), CodeSpec::Checksum { width: 4 });
+        let wire = framing.encode(&frame());
+        let (got, _) = framing.decode::<u64>(&wire).unwrap();
+        assert_eq!(got, frame(), "every epoch decodes through the book");
+    }
+}

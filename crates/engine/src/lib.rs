@@ -1,0 +1,79 @@
+//! # heardof-engine
+//!
+//! The substrate-agnostic round engine: one implementation of the
+//! HO-machine's per-round life cycle shared by every deployment
+//! substrate.
+//!
+//! The paper's machine is one state machine — `(send, transition)` per
+//! round under a communication predicate — but deployment substrates
+//! keep wanting their own copy interleaved with transport plumbing.
+//! This crate factors the copy out, in two layers:
+//!
+//! * [`ProcessCore`] — the pure algorithm step (state, sending
+//!   function, transition function, first-decision tracking). The
+//!   lockstep simulator drives this directly: its "wire" is an
+//!   abstract message matrix shaped by an adversary.
+//! * [`RoundEngine`] — the byte-level machine for real substrates:
+//!   wraps a [`ProcessCore`] with [`Framing`] (fixed code or adaptive
+//!   controller with per-round renegotiation), tagged-frame
+//!   encode/decode, early-frame buffering and the per-round receiver
+//!   tally. All I/O is poll-style — *emit coded frames / ingest
+//!   received frames / advance round* — so a substrate contributes
+//!   nothing but byte transport and a notion of when a round is over
+//!   (a timeout for threads, a barrier for cooperative tasks).
+//!
+//! The wire [`codec`] (frame layout, [`WireMessage`], tagged framing)
+//! lives here too, so substrates share it byte-for-byte; `heardof-net`
+//! re-exports it under its historical paths. [`OutcomeView`] and
+//! [`SubstrateOutcome`] give every substrate the same outcome surface,
+//! and [`SubstrateOutcome::assemble`] performs the post-hoc `HO`/`SHO`
+//! reconstruction from kept-frame logs plus the fault oracle.
+//!
+//! # Example: a minimal in-memory substrate
+//!
+//! ```
+//! use heardof_core::{Ate, AteParams};
+//! use heardof_engine::{Framing, RoundEngine};
+//! use heardof_model::ProcessId;
+//! use heardof_coding::CodeSpec;
+//!
+//! let n = 3;
+//! let algo: Ate<u64> = Ate::new(AteParams::balanced(n, 0)?);
+//! let mut engines: Vec<RoundEngine<Ate<u64>>> = (0..n)
+//!     .map(|p| RoundEngine::new(
+//!         algo.clone(), ProcessId::new(p as u32), n, 5,
+//!         Framing::fixed(CodeSpec::DEFAULT), 1, 10))
+//!     .collect();
+//! // One lockstep round: everyone sends, a perfect wire delivers.
+//! let mut inboxes: Vec<Vec<Vec<u8>>> = vec![Vec::new(); n];
+//! for engine in engines.iter_mut() {
+//!     for out in engine.begin_round() {
+//!         inboxes[out.dest as usize].push(out.bytes);
+//!     }
+//! }
+//! for (p, engine) in engines.iter_mut().enumerate() {
+//!     for bytes in &inboxes[p] { engine.ingest(bytes); }
+//!     engine.finish_round();
+//! }
+//! assert!(engines.iter().all(|e| e.decision() == Some(&5)));
+//! # Ok::<(), heardof_core::ParamError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod codec;
+mod framing;
+mod outcome;
+mod process;
+mod round;
+
+pub use codec::{
+    decode_body, decode_frame, decode_frame_tagged, decode_frame_with, encode_body, encode_frame,
+    encode_frame_tagged, encode_frame_with, refresh_crc, CodecError, Frame, TaggedFrame,
+    WireMessage, COPY_OFFSET, PAYLOAD_OFFSET,
+};
+pub use framing::Framing;
+pub use outcome::{OutcomeView, SubstrateOutcome};
+pub use process::ProcessCore;
+pub use round::{link_index, EngineReport, Ingest, Outgoing, RoundEngine};

@@ -1,0 +1,117 @@
+//! The HO-machine step of one process, substrate-free.
+//!
+//! §2.1 defines an algorithm as, per process and round, a sending
+//! function and a transition function over reception vectors. Every
+//! substrate — the lockstep simulator, the threaded runtime, the async
+//! runtime — executes exactly this machine and differs only in *how
+//! reception vectors come to be*. [`ProcessCore`] is that machine,
+//! factored out once: it owns the state, applies sends and transitions,
+//! and tracks the (irrevocable) first decision.
+
+use heardof_model::{HoAlgorithm, ProcessId, ReceptionVector, Round};
+
+/// One process's HO-machine: algorithm + current state + decision
+/// bookkeeping. Substrates drive it with `send_to` / `transition`; they
+/// never touch algorithm state directly.
+#[derive(Clone, Debug)]
+pub struct ProcessCore<A: HoAlgorithm> {
+    algo: A,
+    me: ProcessId,
+    n: usize,
+    state: A::State,
+    first_decision: Option<(u64, A::Value)>,
+}
+
+impl<A: HoAlgorithm> ProcessCore<A> {
+    /// Initializes process `me` of an `n`-process system with `initial`.
+    pub fn new(algo: A, me: ProcessId, n: usize, initial: A::Value) -> Self {
+        let state = algo.init(me, n, initial);
+        ProcessCore {
+            algo,
+            me,
+            n,
+            state,
+            first_decision: None,
+        }
+    }
+
+    /// This process's id.
+    pub fn me(&self) -> ProcessId {
+        self.me
+    }
+
+    /// System size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The current algorithm state (read-only; substrates must go
+    /// through [`ProcessCore::transition`] to change it).
+    pub fn state(&self) -> &A::State {
+        &self.state
+    }
+
+    /// The sending function `S_p^r`: the message for `dest` this round,
+    /// computed from the start-of-round state.
+    pub fn send_to(&self, round: Round, dest: ProcessId) -> A::Msg {
+        self.algo.send(round, self.me, &self.state, dest)
+    }
+
+    /// The transition function `T_p^r`: folds the round's reception
+    /// vector into the state, then snapshots the first decision if this
+    /// round produced one.
+    pub fn transition(&mut self, round: Round, received: &ReceptionVector<A::Msg>) {
+        self.algo
+            .transition(round, self.me, &mut self.state, received);
+        if self.first_decision.is_none() {
+            if let Some(v) = self.algo.decision(&self.state) {
+                self.first_decision = Some((round.get(), v));
+            }
+        }
+    }
+
+    /// The decision the *current* state reports, if any (what the
+    /// simulator snapshots every round; irrevocability is the
+    /// consensus checker's concern, not the core's).
+    pub fn decision_now(&self) -> Option<A::Value> {
+        self.algo.decision(&self.state)
+    }
+
+    /// The round of the first decision and its value, if the process
+    /// has decided.
+    pub fn first_decision(&self) -> Option<&(u64, A::Value)> {
+        self.first_decision.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heardof_core::{Ate, AteParams};
+
+    #[test]
+    fn core_replays_the_machine_and_pins_the_first_decision() {
+        let n = 3;
+        let algo: Ate<u64> = Ate::new(AteParams::balanced(n, 0).unwrap());
+        let mut cores: Vec<ProcessCore<Ate<u64>>> = (0..n)
+            .map(|p| ProcessCore::new(algo.clone(), ProcessId::new(p as u32), n, 4))
+            .collect();
+        let round = Round::new(1);
+        // Full delivery: everyone hears everyone's message.
+        let msgs: Vec<u64> = cores
+            .iter()
+            .map(|c| c.send_to(round, ProcessId::new(0)))
+            .collect();
+        for core in cores.iter_mut() {
+            let mut rx = ReceptionVector::new(n);
+            for (q, m) in msgs.iter().enumerate() {
+                rx.set(ProcessId::new(q as u32), *m);
+            }
+            core.transition(round, &rx);
+        }
+        for core in &cores {
+            assert_eq!(core.decision_now(), Some(4), "unanimous decides round 1");
+            assert_eq!(core.first_decision(), Some(&(1, 4)));
+        }
+    }
+}

@@ -1,0 +1,555 @@
+//! The substrate-agnostic round core.
+//!
+//! Both deployment substrates used to interleave the same per-process
+//! state machine — algorithm step, adaptive framing, tagged
+//! encode/decode, early-frame buffering, end-of-round renegotiation —
+//! with their transport plumbing. [`RoundEngine`] is that machine
+//! factored out once, in poll style: a substrate only moves bytes and
+//! clocks.
+//!
+//! ```text
+//! loop {
+//!     let outgoing = engine.begin_round();   // emit coded frames
+//!     /* substrate: put outgoing on the wire, gather arrivals */
+//!     engine.ingest(&bytes);                 // 0..many times
+//!     /* substrate: decide the round is over (timeout / barrier) */
+//!     engine.finish_round();                 // transition + renegotiate
+//! }
+//! ```
+//!
+//! Everything observable — controller decisions, kept-frame logs (the
+//! receiver's side of `HO(p, r)`), decisions — is a pure function of
+//! the byte sequences ingested per round, *independent of how frames
+//! from different senders interleave* (first valid frame per sender
+//! wins, and the choice per sender never depends on other senders; a
+//! proptest in `tests/order_independence.rs` pins this). With
+//! retransmission copies the invariant is scoped to **per-sender FIFO
+//! delivery**: a transport that reorders one sender's copies against
+//! each other can change *which* copy is kept (and hence the `SHO`
+//! oracle key and repair tally when the copies fared differently in
+//! flight). Every in-tree transport is per-link FIFO, so this holds;
+//! that is what makes a threaded substrate, a cooperative async
+//! substrate, and the lockstep simulator bit-for-bit comparable.
+
+use crate::codec::{Frame, WireMessage};
+use crate::framing::Framing;
+use crate::process::ProcessCore;
+use heardof_coding::{CodeSpec, RoundTally};
+use heardof_model::{HoAlgorithm, ProcessId, ReceptionVector, Round};
+use std::collections::HashMap;
+
+/// Early arrivals buffered for a future round, with their repair flags.
+type Early<M> = Vec<(Frame<M>, bool)>;
+
+/// The index of the link to `dest` within a per-process link vector
+/// built by filtering the process itself out of ascending process
+/// order — the layout every deployment substrate uses to route
+/// [`Outgoing::dest`] onto its `FaultyLink`s.
+pub fn link_index(dest: u32, me: u32) -> usize {
+    debug_assert_ne!(dest, me, "self-delivery never goes through a link");
+    if dest < me {
+        dest as usize
+    } else {
+        dest as usize - 1
+    }
+}
+
+/// One coded frame the substrate must put on the wire.
+#[derive(Clone, Debug)]
+pub struct Outgoing {
+    /// Destination process index (never the sender itself —
+    /// self-delivery is local and handled inside the engine).
+    pub dest: u32,
+    /// Retransmission copy index (0 = first copy).
+    pub copy: u8,
+    /// The encoded wire image, ready to send.
+    pub bytes: Vec<u8>,
+}
+
+/// What [`RoundEngine::ingest`] did with a wire frame.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Ingest {
+    /// Decoded, current round, first frame from its sender: kept.
+    Kept,
+    /// Decoded but a frame from this sender was already kept.
+    Duplicate,
+    /// Decoded to an earlier round: the round is closed, dropped.
+    Late,
+    /// Decoded to a future round: buffered until that round begins.
+    Future,
+    /// The code rejected the bytes — a *detected* corruption, dropped
+    /// (this is where channel corruption becomes an omission).
+    Rejected,
+    /// Decoded but the header is impossible (sender out of range or
+    /// round past the horizon) — miscorrected garbage, dropped.
+    Garbage,
+}
+
+/// A finished engine's observable log, per completed round: what the
+/// substrate needs to assemble an outcome and reconstruct `HO`/`SHO`.
+#[derive(Clone, Debug)]
+pub struct EngineReport {
+    /// Round of the first decision, if the process decided.
+    pub decision_round: Option<u64>,
+    /// Rounds fully completed (begin + finish) before the engine
+    /// stopped.
+    pub rounds_completed: u64,
+    /// Per completed round: the `(sender, kept_copy)` pairs received —
+    /// the receiver's side of `HO(p, r)`.
+    pub kept: Vec<Vec<(u32, u8)>>,
+    /// Per completed round: the code this process sent with.
+    pub codes: Vec<CodeSpec>,
+}
+
+/// The per-process round machine: owns the algorithm step (via
+/// [`ProcessCore`]), the framing (fixed or adaptive with per-round
+/// renegotiation), frame encode/decode, early-frame buffering and the
+/// per-round receiver tally. See the module docs for the drive loop.
+pub struct RoundEngine<A: HoAlgorithm>
+where
+    A::Msg: WireMessage,
+{
+    core: ProcessCore<A>,
+    framing: Framing,
+    copies: u8,
+    max_rounds: u64,
+    /// Round currently open (0 before the first `begin_round`).
+    round: u64,
+    rx: ReceptionVector<A::Msg>,
+    kept_this_round: Vec<(u32, u8)>,
+    corrected_this_round: usize,
+    /// Frames that arrived early, keyed by round; each entry remembers
+    /// whether its decode involved a repair (for that round's tally).
+    future: HashMap<u64, Early<A::Msg>>,
+    kept: Vec<Vec<(u32, u8)>>,
+    codes: Vec<CodeSpec>,
+    rounds_completed: u64,
+}
+
+impl<A: HoAlgorithm> RoundEngine<A>
+where
+    A::Msg: WireMessage,
+{
+    /// An engine for process `me` of an `n`-process system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `copies == 0`.
+    pub fn new(
+        algo: A,
+        me: ProcessId,
+        n: usize,
+        initial: A::Value,
+        framing: Framing,
+        copies: u8,
+        max_rounds: u64,
+    ) -> Self {
+        assert!(n > 0, "system must have at least one process");
+        assert!(copies >= 1, "at least one copy per frame");
+        RoundEngine {
+            core: ProcessCore::new(algo, me, n, initial),
+            framing,
+            copies,
+            max_rounds,
+            round: 0,
+            rx: ReceptionVector::new(n),
+            kept_this_round: Vec::new(),
+            corrected_this_round: 0,
+            future: HashMap::new(),
+            kept: Vec::new(),
+            codes: Vec::new(),
+            rounds_completed: 0,
+        }
+    }
+
+    /// The round currently open (0 before the first `begin_round`).
+    pub fn current_round(&self) -> u64 {
+        self.round
+    }
+
+    /// Rounds fully completed so far.
+    pub fn rounds_completed(&self) -> u64 {
+        self.rounds_completed
+    }
+
+    /// The code in force for the next send.
+    pub fn current_code(&self) -> CodeSpec {
+        self.framing.current_spec()
+    }
+
+    /// The underlying HO-machine (state, decision snapshots).
+    pub fn core(&self) -> &ProcessCore<A> {
+        &self.core
+    }
+
+    /// The first decision's value, if this process has decided.
+    pub fn decision(&self) -> Option<&A::Value> {
+        self.core.first_decision().map(|(_, v)| v)
+    }
+
+    /// The round of the first decision, if this process has decided.
+    pub fn decision_round(&self) -> Option<u64> {
+        self.core.first_decision().map(|(r, _)| *r)
+    }
+
+    /// Opens the next round: records the send code, runs the sending
+    /// function, delivers to self locally (never on the wire, never
+    /// corrupted), drains early arrivals buffered for this round, and
+    /// returns the coded frames the substrate must transmit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called past `max_rounds` or with the previous round
+    /// still open.
+    pub fn begin_round(&mut self) -> Vec<Outgoing> {
+        assert_eq!(
+            self.round, self.rounds_completed,
+            "previous round still open — call finish_round first"
+        );
+        assert!(self.round < self.max_rounds, "round horizon exhausted");
+        self.round += 1;
+        let r = self.round;
+        let round = Round::new(r);
+        let me = self.core.me();
+        let n = self.core.n();
+        self.codes.push(self.framing.current_spec());
+        self.rx = ReceptionVector::new(n);
+        self.kept_this_round = Vec::new();
+        self.corrected_this_round = 0;
+
+        // Self-delivery first: local, never dropped, never corrupted.
+        let own = self.core.send_to(round, me);
+        self.rx.set(me, own);
+        self.kept_this_round.push((me.as_u32(), 0));
+
+        let mut outgoing = Vec::with_capacity((n - 1) * self.copies as usize);
+        for q in 0..n as u32 {
+            if q == me.as_u32() {
+                continue;
+            }
+            let msg = self.core.send_to(round, ProcessId::new(q));
+            for copy in 0..self.copies {
+                let frame = Frame {
+                    round: r,
+                    sender: me.as_u32(),
+                    copy,
+                    msg: msg.clone(),
+                };
+                outgoing.push(Outgoing {
+                    dest: q,
+                    copy,
+                    bytes: self.framing.encode(&frame),
+                });
+            }
+        }
+
+        // Early arrivals buffered for this round enter ahead of
+        // whatever the substrate ingests next.
+        if let Some(frames) = self.future.remove(&r) {
+            for (frame, repaired) in frames {
+                self.keep(frame, repaired);
+            }
+        }
+        outgoing
+    }
+
+    /// First valid frame per sender wins; repairs count toward the
+    /// round's tally only when the frame is kept.
+    fn keep(&mut self, frame: Frame<A::Msg>, repaired: bool) -> Ingest {
+        let sender = ProcessId::new(frame.sender);
+        if self.rx.get(sender).is_some() {
+            return Ingest::Duplicate;
+        }
+        self.kept_this_round.push((frame.sender, frame.copy));
+        self.corrected_this_round += usize::from(repaired);
+        self.rx.set(sender, frame.msg);
+        Ingest::Kept
+    }
+
+    /// Feeds one wire arrival through decode, header sanity and round
+    /// routing. Call any number of times between `begin_round` and
+    /// `finish_round`; the observable end-of-round state does not
+    /// depend on ingestion order within the round.
+    pub fn ingest(&mut self, bytes: &[u8]) -> Ingest {
+        // A code rejection is a *detected* corruption: drop the frame,
+        // producing an omission.
+        let Some((frame, repaired)) = self.framing.decode::<A::Msg>(bytes) else {
+            return Ingest::Rejected;
+        };
+        // A rate<1 code can (rarely) miscorrect header bits; a frame
+        // claiming an impossible sender or round is garbage — drop it
+        // like any detected corruption.
+        if frame.sender as usize >= self.core.n() || frame.round > self.max_rounds {
+            return Ingest::Garbage;
+        }
+        if frame.round < self.round {
+            return Ingest::Late; // the round is closed
+        }
+        if frame.round > self.round {
+            self.future
+                .entry(frame.round)
+                .or_default()
+                .push((frame, repaired));
+            return Ingest::Future;
+        }
+        self.keep(frame, repaired)
+    }
+
+    /// `true` once a frame from every sender (including self) has been
+    /// kept — substrates without a lockstep requirement may close the
+    /// round early.
+    pub fn round_complete(&self) -> bool {
+        self.rx.heard_count() == self.core.n()
+    }
+
+    /// Closes the round: transition on the reception vector, then
+    /// renegotiation — the receiver tally (distinct peers heard, frames
+    /// kept after repair; undetected value faults are invisible by
+    /// definition and enter as a zero estimate) goes to the controller,
+    /// and any new code applies from the next round's sends. Returns
+    /// the new spec when the controller switched.
+    pub fn finish_round(&mut self) -> Option<CodeSpec> {
+        assert_eq!(
+            self.round,
+            self.rounds_completed + 1,
+            "no round open — call begin_round first"
+        );
+        let r = self.round;
+        let me = self.core.me().as_u32();
+        let n = self.core.n();
+        self.core.transition(Round::new(r), &self.rx);
+
+        let delivered_peers = self
+            .kept_this_round
+            .iter()
+            .filter(|(sender, _)| *sender != me)
+            .map(|(sender, _)| *sender)
+            .collect::<std::collections::HashSet<_>>()
+            .len();
+        let before = self.framing.current_spec();
+        self.framing.observe(RoundTally {
+            expected: n - 1,
+            delivered: delivered_peers,
+            corrected: self.corrected_this_round,
+            value_faults: 0,
+        });
+        let after = self.framing.current_spec();
+
+        self.kept.push(std::mem::take(&mut self.kept_this_round));
+        self.rounds_completed = r;
+        (after != before).then_some(after)
+    }
+
+    /// Consumes the engine into its observable log. A round begun but
+    /// never finished (a substrate abandoning mid-round) is dropped
+    /// from the code log, keeping `codes` per *completed* round as
+    /// documented.
+    pub fn into_report(mut self) -> EngineReport {
+        self.codes.truncate(self.rounds_completed as usize);
+        EngineReport {
+            decision_round: self.decision_round(),
+            rounds_completed: self.rounds_completed,
+            kept: self.kept,
+            codes: self.codes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heardof_coding::{AdaptiveConfig, AdaptiveController, CodeBook};
+    use heardof_core::{Ate, AteParams};
+    use std::sync::Arc;
+
+    fn engine(n: usize, copies: u8) -> RoundEngine<Ate<u64>> {
+        let algo: Ate<u64> = Ate::new(AteParams::balanced(n, 0).unwrap());
+        RoundEngine::new(
+            algo,
+            ProcessId::new(0),
+            n,
+            7,
+            Framing::fixed(CodeSpec::DEFAULT),
+            copies,
+            10,
+        )
+    }
+
+    /// A full closed loop of engines over a perfect in-memory "wire".
+    fn run_clean_system(n: usize, rounds: u64) -> Vec<RoundEngine<Ate<u64>>> {
+        let algo: Ate<u64> = Ate::new(AteParams::balanced(n, 0).unwrap());
+        let mut engines: Vec<RoundEngine<Ate<u64>>> = (0..n)
+            .map(|p| {
+                RoundEngine::new(
+                    algo.clone(),
+                    ProcessId::new(p as u32),
+                    n,
+                    (p % 2) as u64,
+                    Framing::fixed(CodeSpec::DEFAULT),
+                    1,
+                    rounds,
+                )
+            })
+            .collect();
+        for _ in 0..rounds {
+            let mut wires: Vec<Vec<Vec<u8>>> = vec![Vec::new(); n];
+            for engine in engines.iter_mut() {
+                for out in engine.begin_round() {
+                    wires[out.dest as usize].push(out.bytes);
+                }
+            }
+            for (p, engine) in engines.iter_mut().enumerate() {
+                for bytes in &wires[p] {
+                    assert_eq!(engine.ingest(bytes), Ingest::Kept);
+                }
+                assert!(engine.round_complete());
+                engine.finish_round();
+            }
+        }
+        engines
+    }
+
+    #[test]
+    fn clean_system_decides_and_agrees() {
+        let engines = run_clean_system(5, 4);
+        let first = engines[0].decision().copied().unwrap();
+        for e in &engines {
+            assert_eq!(e.decision(), Some(&first), "agreement across engines");
+            assert!(e.decision_round().unwrap() <= 2);
+            assert_eq!(e.rounds_completed(), 4);
+        }
+    }
+
+    #[test]
+    fn self_delivery_is_local_and_immediate() {
+        let mut e = engine(3, 1);
+        let out = e.begin_round();
+        assert_eq!(out.len(), 2, "one frame per peer, none for self");
+        assert!(out.iter().all(|o| o.dest != 0));
+        assert!(!e.round_complete(), "peers still missing");
+        assert_eq!(e.current_round(), 1);
+    }
+
+    #[test]
+    fn copies_multiply_outgoing_and_dedupe_on_ingest() {
+        let mut a = engine(2, 3);
+        let out = a.begin_round();
+        assert_eq!(out.len(), 3, "three copies for the single peer");
+        // Feed the copies to a fresh peer engine: first kept, rest dup.
+        let algo: Ate<u64> = Ate::new(AteParams::balanced(2, 0).unwrap());
+        let mut b = RoundEngine::new(
+            algo,
+            ProcessId::new(1),
+            2,
+            7,
+            Framing::fixed(CodeSpec::DEFAULT),
+            3,
+            10,
+        );
+        let _ = b.begin_round();
+        assert_eq!(b.ingest(&out[0].bytes), Ingest::Kept);
+        assert_eq!(b.ingest(&out[1].bytes), Ingest::Duplicate);
+        assert_eq!(b.ingest(&out[2].bytes), Ingest::Duplicate);
+        assert!(b.round_complete());
+    }
+
+    #[test]
+    fn late_future_and_rejected_frames_are_routed() {
+        let mut a = engine(2, 1);
+        let r1 = a.begin_round();
+        let algo: Ate<u64> = Ate::new(AteParams::balanced(2, 0).unwrap());
+        let mut b = RoundEngine::new(
+            algo,
+            ProcessId::new(1),
+            2,
+            7,
+            Framing::fixed(CodeSpec::DEFAULT),
+            1,
+            10,
+        );
+        let _ = b.begin_round();
+        b.ingest(&r1[0].bytes);
+        b.finish_round();
+        a.finish_round();
+        let r2a = a.begin_round();
+        a.finish_round();
+        let r3a = a.begin_round();
+        let _ = b.begin_round(); // b in round 2
+        assert_eq!(b.ingest(&r1[0].bytes), Ingest::Late, "round 1 is closed");
+        assert_eq!(b.ingest(&r3a[0].bytes), Ingest::Future, "round 3 buffered");
+        let mut junk = r2a[0].bytes.clone();
+        junk[3] ^= 0xFF;
+        assert_eq!(b.ingest(&junk), Ingest::Rejected, "crc catches corruption");
+        assert_eq!(b.ingest(&r2a[0].bytes), Ingest::Kept);
+        b.finish_round();
+        // Round 3 opens: the buffered frame is already kept.
+        let _ = b.begin_round();
+        assert!(b.round_complete(), "future frame drained into round 3");
+    }
+
+    #[test]
+    fn adaptive_engine_reports_controller_switches() {
+        let n = 5;
+        let cfg = AdaptiveConfig::standard(n, 1);
+        let book = Arc::new(CodeBook::from_specs(&cfg.ladder));
+        let algo: Ate<u64> = Ate::new(AteParams::balanced(n, 1).unwrap());
+        let mut e = RoundEngine::new(
+            algo,
+            ProcessId::new(0),
+            n,
+            7,
+            Framing::adaptive(Arc::clone(&book), AdaptiveController::new(cfg)),
+            1,
+            40,
+        );
+        // Starve the engine of peer frames: every finish_round sees 4
+        // omissions, which must eventually escalate the rung.
+        let mut switched = None;
+        for _ in 0..10 {
+            let _ = e.begin_round();
+            if let Some(spec) = e.finish_round() {
+                switched = Some(spec);
+                break;
+            }
+        }
+        let spec = switched.expect("full omission pressure must escalate");
+        assert_ne!(spec, CodeSpec::Checksum { width: 4 });
+        assert_eq!(e.current_code(), spec);
+        // The new code applies from the *next* round's sends.
+        let _ = e.begin_round();
+        e.finish_round();
+        let report = e.into_report();
+        assert_eq!(report.codes[0], CodeSpec::Checksum { width: 4 });
+        assert_eq!(*report.codes.last().unwrap(), spec);
+    }
+
+    #[test]
+    fn abandoned_round_is_dropped_from_the_report() {
+        // A substrate that begins a round and then bails (transport
+        // death) must still hand back per-*completed*-round logs.
+        let mut e = engine(3, 1);
+        let _ = e.begin_round();
+        e.finish_round();
+        let _ = e.begin_round(); // abandoned mid-round
+        let report = e.into_report();
+        assert_eq!(report.rounds_completed, 1);
+        assert_eq!(report.codes.len(), 1, "open round's code is dropped");
+        assert_eq!(report.kept.len(), 1);
+    }
+
+    #[test]
+    fn link_index_skips_self() {
+        assert_eq!(link_index(0, 2), 0);
+        assert_eq!(link_index(1, 2), 1);
+        assert_eq!(link_index(3, 2), 2);
+        assert_eq!(link_index(4, 2), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "previous round still open")]
+    fn double_begin_panics() {
+        let mut e = engine(2, 1);
+        let _ = e.begin_round();
+        let _ = e.begin_round();
+    }
+}

@@ -27,7 +27,7 @@
 //!
 //! ```
 //! use heardof_core::{Ate, AteParams};
-//! use heardof_net::{run_threaded, LinkFaults, NetConfig};
+//! use heardof_net::{run_threaded, LinkFaults, NetConfig, OutcomeView};
 //! use std::time::Duration;
 //!
 //! let n = 5;
@@ -46,22 +46,26 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-mod codec;
 mod coverage;
+mod fabric;
 mod link;
 mod runtime;
 
-pub use codec::{
-    decode_body, decode_frame, decode_frame_tagged, decode_frame_with, encode_body, encode_frame,
-    encode_frame_tagged, encode_frame_with, refresh_crc, CodecError, Frame, WireMessage,
-    PAYLOAD_OFFSET,
-};
 pub use coverage::{recommend_alpha, recommend_alpha_for_mean, AlphaEstimate};
+pub use fabric::RunFabric;
 // The CRC implementation lives in `heardof-coding` now that coding is a
 // first-class subsystem; re-exported so the original API is unchanged.
 pub use heardof_coding::{
     crc32, AdaptiveConfig, AdaptiveController, ChannelCode, CodeBook, CodeSpec, FrameOutcome,
     GilbertElliott, NoiseTrace, RoundTally,
 };
-pub use link::{FaultKey, FaultLog, FaultyLink, LinkEvent, LinkFaults};
+// The wire codec and outcome surface moved to `heardof-engine` with the
+// substrate-agnostic round core; re-exported so the original API is
+// unchanged.
+pub use heardof_engine::{
+    decode_body, decode_frame, decode_frame_tagged, decode_frame_with, encode_body, encode_frame,
+    encode_frame_tagged, encode_frame_with, refresh_crc, CodecError, Frame, OutcomeView,
+    SubstrateOutcome, TaggedFrame, WireMessage, COPY_OFFSET, PAYLOAD_OFFSET,
+};
+pub use link::{FaultKey, FaultLog, FaultyLink, FrameSink, LinkEvent, LinkFaults};
 pub use runtime::{run_threaded, NetConfig, NetOutcome};

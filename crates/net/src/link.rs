@@ -19,14 +19,31 @@
 //! so the runtime can reconstruct exact `SHO` sets after the fact
 //! (processes themselves can never know them — §2.1).
 
-use crate::codec::{COPY_OFFSET, PAYLOAD_OFFSET};
 use crossbeam::channel::Sender;
 use heardof_coding::{BitNoise, ChannelCode, Checksum, CodeBook, NoiseTrace};
+use heardof_engine::{COPY_OFFSET, PAYLOAD_OFFSET};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
 use std::sync::Arc;
+
+/// The receiving end a [`FaultyLink`] delivers into. The threaded
+/// runtime uses crossbeam channels; the async substrate plugs in its
+/// non-blocking in-memory sockets. Delivery must never block — a link
+/// models a wire, not flow control.
+pub trait FrameSink: Send {
+    /// Hands one (possibly corrupted) wire frame to the receiver.
+    fn deliver(&self, frame: Vec<u8>);
+}
+
+impl FrameSink for Sender<Vec<u8>> {
+    fn deliver(&self, frame: Vec<u8>) {
+        // A disconnected receiver models a crashed process: the wire
+        // happily drops the bytes.
+        let _ = self.send(frame);
+    }
+}
 
 /// Probabilities governing one link's behaviour.
 #[derive(Clone, Copy, Debug)]
@@ -125,7 +142,7 @@ impl FaultLog {
 pub struct FaultyLink {
     sender_id: u32,
     receiver_id: u32,
-    tx: Sender<Vec<u8>>,
+    tx: Box<dyn FrameSink>,
     faults: LinkFaults,
     code: Arc<dyn ChannelCode>,
     /// When set, frames are tagged with a 1-byte code id and all
@@ -169,6 +186,31 @@ impl FaultyLink {
         sender_id: u32,
         receiver_id: u32,
         tx: Sender<Vec<u8>>,
+        faults: LinkFaults,
+        seed: u64,
+        log: FaultLog,
+        code: Arc<dyn ChannelCode>,
+    ) -> Self {
+        Self::with_sink(
+            sender_id,
+            receiver_id,
+            Box::new(tx),
+            faults,
+            seed,
+            log,
+            code,
+        )
+    }
+
+    /// Like [`FaultyLink::with_code`], delivering into an arbitrary
+    /// [`FrameSink`] — how non-crossbeam substrates (the async runtime's
+    /// in-memory sockets) reuse the exact same fault model, RNG streams
+    /// included.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_sink(
+        sender_id: u32,
+        receiver_id: u32,
+        tx: Box<dyn FrameSink>,
         faults: LinkFaults,
         seed: u64,
         log: FaultLog,
@@ -243,10 +285,10 @@ impl FaultyLink {
                         .unwrap_or((round, self.sender_id, copy));
                 self.log.record((r, s, self.receiver_id, c));
             }
-            let _ = self.tx.send(encoded);
+            self.tx.deliver(encoded);
             return event;
         }
-        let _ = self.tx.send(encoded);
+        self.tx.deliver(encoded);
         LinkEvent::Delivered
     }
 
@@ -265,7 +307,7 @@ impl FaultyLink {
         let flips =
             trace.corrupt_frame(round, self.sender_id, self.receiver_id, copy, &mut encoded);
         if flips == 0 {
-            let _ = self.tx.send(encoded);
+            self.tx.deliver(encoded);
             return LinkEvent::Delivered;
         }
         let event = match self.decode_any(&original) {
@@ -280,7 +322,7 @@ impl FaultyLink {
                 .unwrap_or((round, self.sender_id, copy));
             self.log.record((r, s, self.receiver_id, c));
         }
-        let _ = self.tx.send(encoded);
+        self.tx.deliver(encoded);
         event
     }
 
@@ -401,8 +443,8 @@ pub enum LinkEvent {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::codec::{decode_frame, encode_frame, Frame};
     use crossbeam::channel::unbounded;
+    use heardof_engine::{decode_frame, encode_frame, Frame};
 
     fn frame_bytes(v: u64) -> Vec<u8> {
         encode_frame(&Frame {
@@ -513,7 +555,7 @@ mod tests {
         };
         let mut events = std::collections::HashMap::new();
         for round in 1..=60u64 {
-            let wire = crate::codec::encode_frame_with(&frame, &Hamming74);
+            let wire = heardof_engine::encode_frame_with(&frame, &Hamming74);
             let e = link.send(round, 0, wire);
             *events.entry(e).or_insert(0usize) += 1;
         }
@@ -529,7 +571,7 @@ mod tests {
         // Every corrected frame decodes back to the original message.
         let mut repaired = 0;
         while let Ok(bytes) = rx.try_recv() {
-            if let Ok(got) = crate::codec::decode_frame_with::<u64>(&bytes, &Hamming74) {
+            if let Ok(got) = heardof_engine::decode_frame_with::<u64>(&bytes, &Hamming74) {
                 assert_eq!(got.msg, 5);
                 repaired += 1;
             }
@@ -555,13 +597,13 @@ mod tests {
             copy: 0,
             msg: 5u64,
         };
-        let wire = crate::codec::encode_frame_with(&frame, &NoCode);
+        let wire = heardof_engine::encode_frame_with(&frame, &NoCode);
         assert_eq!(link.send(1, 0, wire), LinkEvent::CorruptedUndetected);
         assert!(
             log.was_corrupted(&(1, 0, 1, 0)),
             "leak is ground-truth logged"
         );
-        let got = crate::codec::decode_frame_with::<u64>(&rx.recv().unwrap(), &NoCode).unwrap();
+        let got = heardof_engine::decode_frame_with::<u64>(&rx.recv().unwrap(), &NoCode).unwrap();
         assert_ne!(got.msg, 5, "corruption sailed straight through");
         assert_eq!(got.round, 1, "header region is spared by the noise model");
     }
@@ -600,8 +642,8 @@ mod tests {
 
     #[test]
     fn tagged_traced_link_logs_faults_by_receiver_view() {
-        use crate::codec::encode_frame_tagged;
         use heardof_coding::{CodeBook, CodeSpec, NoiseTrace};
+        use heardof_engine::encode_frame_tagged;
         // NoCode in the book leaks every corruption; the log must key
         // by what the receiver will decode.
         let book = Arc::new(CodeBook::from_specs(&[CodeSpec::None]));
@@ -642,8 +684,8 @@ mod tests {
 
     #[test]
     fn probabilistic_faults_respect_tagged_framing() {
-        use crate::codec::{decode_frame_tagged, encode_frame_tagged};
         use heardof_coding::{CodeBook, CodeSpec};
+        use heardof_engine::{decode_frame_tagged, encode_frame_tagged};
         // Adaptive (book) mode with the probabilistic adversarial model
         // and no trace: the forgery must decode and re-encode through
         // the frame's own epoch, not the link's static code.

@@ -1,33 +1,29 @@
 //! A threaded deployment of HO algorithms over faulty links.
 //!
-//! Each process runs on its own OS thread, exchanging encoded frames
-//! over crossbeam channels through byte-corrupting [`FaultyLink`]s. A
-//! round synchronizer implements *communication-closed rounds* on top of
-//! the asynchronous transport: frames are tagged with their round;
-//! early frames are buffered, late frames discarded, and a receive
-//! timeout bounds how long a process waits before moving on (whatever
-//! arrived in time *is* its heard-of set — this is where `HO(p, r)`
-//! comes from in a real system).
+//! Each process runs a [`RoundEngine`] on its own OS thread, exchanging
+//! the engine's coded frames over crossbeam channels through
+//! byte-corrupting [`FaultyLink`]s. The thread contributes exactly what
+//! the engine cannot know: byte transport and *clocks* — a round
+//! synchronizer implementing communication-closed rounds on top of the
+//! asynchronous transport. Frames are tagged with their round; early
+//! frames are buffered (by the engine), late frames discarded, and a
+//! receive timeout bounds how long a process waits before moving on
+//! (whatever arrived in time *is* its heard-of set — this is where
+//! `HO(p, r)` comes from in a real system).
 //!
 //! The runtime reconstructs the exact `HO`/`SHO` collections afterwards
-//! by joining every receiver's kept-frame log with the fault injector's
-//! undetected-corruption log, so the same predicate checkers used on
-//! simulator traces apply to threaded runs.
+//! by joining every engine's kept-frame log with the fault injector's
+//! undetected-corruption log ([`SubstrateOutcome::assemble`]), so the
+//! same predicate checkers used on simulator traces apply to threaded
+//! runs.
 
-use crate::codec::{
-    decode_frame_tagged, decode_frame_with, encode_frame_tagged, encode_frame_with, Frame,
-    WireMessage,
-};
-use crate::link::{FaultLog, FaultyLink, LinkFaults};
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError};
-use heardof_coding::{
-    AdaptiveConfig, AdaptiveController, ChannelCode, CodeBook, CodeSpec, NoiseTrace, RoundTally,
-};
-use heardof_model::{
-    CommHistory, HoAlgorithm, ProcessId, ProcessSet, ReceptionVector, Round, RoundSets,
-};
+use crate::fabric::RunFabric;
+use crate::link::{FaultyLink, LinkFaults};
+use crossbeam::channel::Receiver;
+use heardof_coding::{AdaptiveConfig, CodeSpec, NoiseTrace};
+use heardof_engine::{link_index, EngineReport, RoundEngine, SubstrateOutcome, WireMessage};
+use heardof_model::HoAlgorithm;
 use parking_lot::Mutex;
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -56,7 +52,8 @@ pub struct NetConfig {
     /// [`NetConfig::adaptive`] is set.
     pub code: CodeSpec,
     /// Per-round code renegotiation: each process runs its own
-    /// deterministic [`AdaptiveController`] over the ladder, re-deciding
+    /// deterministic [`AdaptiveController`](heardof_coding::AdaptiveController)
+    /// over the ladder, re-deciding
     /// its *send* code from the tallies it observes as a receiver.
     /// Frames carry a 1-byte code id (see
     /// [`encode_frame_tagged`](crate::encode_frame_tagged)), so mixed
@@ -92,106 +89,11 @@ impl Default for NetConfig {
     }
 }
 
-/// The observable result of a threaded run.
-#[derive(Clone, Debug)]
-pub struct NetOutcome<V> {
-    /// Final decision per process.
-    pub decisions: Vec<Option<V>>,
-    /// Round at which each process first decided.
-    pub decision_rounds: Vec<Option<u64>>,
-    /// Rounds each process completed before exiting.
-    pub rounds_completed: Vec<u64>,
-    /// Reconstructed heard-of collections (up to the shortest process
-    /// log, so every round has data for all receivers).
-    pub history: CommHistory,
-    /// Total undetected corruptions injected by the links.
-    pub undetected_corruptions: usize,
-    /// The code each process used for its sends, per completed round
-    /// (`code_schedule[p][r-1]`). Constant at [`NetConfig::code`] for
-    /// static runs; the controller's decisions for adaptive ones.
-    pub code_schedule: Vec<Vec<CodeSpec>>,
-}
-
-impl<V: PartialEq> NetOutcome<V> {
-    /// `true` iff every process decided.
-    pub fn all_decided(&self) -> bool {
-        self.decisions.iter().all(|d| d.is_some())
-    }
-
-    /// `true` iff no two deciders disagree.
-    pub fn agreement_ok(&self) -> bool {
-        let mut deciders = self.decisions.iter().flatten();
-        match deciders.next() {
-            None => true,
-            Some(first) => deciders.all(|v| v == first),
-        }
-    }
-
-    /// The latest decision round among deciders, if all decided.
-    pub fn last_decision_round(&self) -> Option<u64> {
-        if !self.all_decided() {
-            return None;
-        }
-        self.decision_rounds.iter().flatten().copied().max()
-    }
-}
-
-struct ProcReport {
-    decision_round: Option<u64>,
-    rounds_completed: u64,
-    /// Per completed round: the `(sender, kept_copy)` pairs received.
-    kept: Vec<Vec<(u32, u8)>>,
-    /// Per completed round: the code this process sent with.
-    codes: Vec<CodeSpec>,
-}
-
-/// How a process frames its wire bytes: a fixed code, or a per-round
-/// controller over a tagged code book.
-enum Framing {
-    Fixed(Arc<dyn ChannelCode>),
-    Adaptive {
-        book: Arc<CodeBook>,
-        controller: AdaptiveController,
-    },
-}
-
-impl Framing {
-    fn encode<M: WireMessage>(&self, frame: &Frame<M>) -> Vec<u8> {
-        match self {
-            Framing::Fixed(code) => encode_frame_with(frame, code),
-            Framing::Adaptive { book, controller } => {
-                encode_frame_tagged(frame, controller.code_id(), book)
-            }
-        }
-    }
-
-    /// Decodes wire bytes into `(frame, repaired)`; `repaired` is the
-    /// receiver-observable fact that the code corrected errors on the
-    /// way in (always `false` for the historical fixed-code framing,
-    /// which predates the signal).
-    fn decode<M: WireMessage>(&self, bytes: &[u8]) -> Option<(Frame<M>, bool)> {
-        match self {
-            Framing::Fixed(code) => decode_frame_with(bytes, code).ok().map(|f| (f, false)),
-            Framing::Adaptive { book, .. } => decode_frame_tagged(bytes, book)
-                .ok()
-                .map(|t| (t.frame, t.repaired)),
-        }
-    }
-
-    fn current_spec(&self, fallback: CodeSpec) -> CodeSpec {
-        match self {
-            Framing::Fixed(_) => fallback,
-            Framing::Adaptive { controller, .. } => controller.current(),
-        }
-    }
-
-    /// End-of-round hook: feed the receiver's tally to the controller.
-    fn observe(&mut self, tally: RoundTally) {
-        if let Framing::Adaptive { controller, .. } = self {
-            controller.observe(tally);
-        }
-    }
-}
+/// The observable result of a threaded run — the engine-standard
+/// [`SubstrateOutcome`], shared with the async substrate (see
+/// `heardof-async`). Use the [`OutcomeView`](heardof_engine::OutcomeView)
+/// trait for `all_decided` / `agreement_ok` / `last_decision_round`.
+pub type NetOutcome<V> = SubstrateOutcome<V>;
 
 /// Runs `algo` on `n` OS threads over faulty links.
 ///
@@ -203,7 +105,7 @@ impl Framing {
 ///
 /// ```
 /// use heardof_core::{Ate, AteParams};
-/// use heardof_net::{run_threaded, NetConfig};
+/// use heardof_net::{run_threaded, NetConfig, OutcomeView};
 ///
 /// let n = 5;
 /// let algo: Ate<u64> = Ate::new(AteParams::balanced(n, 0)?);
@@ -225,14 +127,16 @@ where
 {
     assert!(n > 0, "system must have at least one process");
     assert_eq!(initial.len(), n, "one initial value per process");
-    assert!(config.copies >= 1, "at least one copy per frame");
 
-    let fault_log = FaultLog::new();
-    let code: Arc<dyn ChannelCode> = config.code.build();
-    let book: Option<Arc<CodeBook>> = config
-        .adaptive
-        .as_ref()
-        .map(|cfg| Arc::new(CodeBook::from_specs(&cfg.ladder)));
+    let fabric = RunFabric::new(
+        config.faults,
+        config.seed,
+        config.copies,
+        config.max_rounds,
+        config.code,
+        config.adaptive.clone(),
+        config.trace.clone(),
+    );
     let board: Arc<Mutex<Vec<Option<A::Value>>>> = Arc::new(Mutex::new(vec![None; n]));
     let all_decided = Arc::new(AtomicBool::new(false));
 
@@ -240,280 +144,94 @@ where
     let mut txs = Vec::with_capacity(n);
     let mut rxs = Vec::with_capacity(n);
     for _ in 0..n {
-        let (tx, rx) = unbounded::<Vec<u8>>();
+        let (tx, rx) = crossbeam::channel::unbounded::<Vec<u8>>();
         txs.push(tx);
         rxs.push(rx);
     }
 
     let mut handles = Vec::with_capacity(n);
-    for (p, rx) in rxs.into_iter().enumerate() {
-        let links: Vec<FaultyLink> = (0..n)
-            .filter(|&q| q != p)
-            .map(|q| {
-                let mut link = FaultyLink::with_code(
-                    p as u32,
-                    q as u32,
-                    txs[q].clone(),
-                    config.faults,
-                    config.seed,
-                    fault_log.clone(),
-                    Arc::clone(&code),
-                );
-                if let Some(book) = &book {
-                    link = link.tagged(Arc::clone(book));
-                }
-                if let Some(trace) = &config.trace {
-                    link = link.with_trace(trace.clone());
-                }
-                link
-            })
-            .collect();
-        let framing = match (&config.adaptive, &book) {
-            (Some(cfg), Some(book)) => Framing::Adaptive {
-                book: Arc::clone(book),
-                controller: AdaptiveController::new(cfg.clone()),
-            },
-            _ => Framing::Fixed(Arc::clone(&code)),
-        };
-        let self_tx = txs[p].clone();
-        let algo = algo.clone();
-        let initial_value = initial[p].clone();
+    for (p, (rx, initial_value)) in rxs.into_iter().zip(initial).enumerate() {
+        let links = fabric.links_for(p, n, |q| Box::new(txs[q].clone()));
+        let engine = fabric.engine_for(algo.clone(), p, n, initial_value);
         let board = Arc::clone(&board);
         let all_decided = Arc::clone(&all_decided);
         let config = config.clone();
         handles.push(std::thread::spawn(move || {
-            process_main(
-                algo,
-                p as u32,
-                n,
-                initial_value,
-                rx,
-                links,
-                self_tx,
-                board,
-                all_decided,
-                config,
-                framing,
-            )
+            process_main(engine, rx, links, board, all_decided, config)
         }));
     }
     drop(txs);
 
-    let reports: Vec<ProcReport> = handles
+    let reports: Vec<EngineReport> = handles
         .into_iter()
         .map(|h| h.join().expect("process thread panicked"))
         .collect();
 
-    // Reconstruct HO/SHO up to the shortest completed log.
-    let min_rounds = reports
-        .iter()
-        .map(|r| r.rounds_completed)
-        .min()
-        .unwrap_or(0);
-    let mut history = CommHistory::new(n);
-    for r in 1..=min_rounds {
-        let mut ho = Vec::with_capacity(n);
-        let mut sho = Vec::with_capacity(n);
-        for (p, report) in reports.iter().enumerate() {
-            let mut ho_p = ProcessSet::empty(n);
-            let mut sho_p = ProcessSet::empty(n);
-            for &(sender, copy) in &report.kept[(r - 1) as usize] {
-                ho_p.insert(ProcessId::new(sender));
-                if !fault_log.was_corrupted(&(r, sender, p as u32, copy)) {
-                    sho_p.insert(ProcessId::new(sender));
-                }
-            }
-            ho.push(ho_p);
-            sho.push(sho_p);
-        }
-        history.push(RoundSets::from_sets(ho, sho));
-    }
-
     let decisions = board.lock().clone();
-    NetOutcome {
-        decisions,
-        decision_rounds: reports.iter().map(|r| r.decision_round).collect(),
-        rounds_completed: reports.iter().map(|r| r.rounds_completed).collect(),
-        history,
-        undetected_corruptions: fault_log.len(),
-        code_schedule: reports.iter().map(|r| r.codes.clone()).collect(),
-    }
+    fabric.assemble(reports, decisions)
 }
 
-#[allow(clippy::too_many_arguments)]
 fn process_main<A>(
-    algo: A,
-    pid: u32,
-    n: usize,
-    initial: A::Value,
+    mut engine: RoundEngine<A>,
     inbox: Receiver<Vec<u8>>,
     mut links: Vec<FaultyLink>,
-    self_tx: crossbeam::channel::Sender<Vec<u8>>,
     board: Arc<Mutex<Vec<Option<A::Value>>>>,
     all_decided: Arc<AtomicBool>,
     config: NetConfig,
-    mut framing: Framing,
-) -> ProcReport
+) -> EngineReport
 where
     A: HoAlgorithm,
     A::Msg: WireMessage,
 {
-    let me = ProcessId::new(pid);
-    let mut state = algo.init(me, n, initial);
-    let mut decision_round = None;
-    let mut kept: Vec<Vec<(u32, u8)>> = Vec::new();
-    let mut codes: Vec<CodeSpec> = Vec::new();
-    // Frames that arrived early, keyed by round; each entry remembers
-    // whether its decode involved a repair (for that round's tally).
-    type Early<M> = Vec<(Frame<M>, bool)>;
-    let mut future: HashMap<u64, Early<A::Msg>> = HashMap::new();
-    let mut rounds_completed = 0u64;
-
+    let pid = engine.core().me().as_u32();
     for r in 1..=config.max_rounds {
         if !config.lockstep && all_decided.load(Ordering::SeqCst) {
             break;
         }
-        let round = Round::new(r);
-        codes.push(framing.current_spec(config.code));
 
-        // --- Send phase: one frame (xN copies) per destination. ---
-        let mut link_idx = 0;
-        for q in 0..n as u32 {
-            let msg = algo.send(round, me, &state, ProcessId::new(q));
-            if q == pid {
-                // Self-delivery is local: never dropped, never corrupted.
-                let frame = Frame {
-                    round: r,
-                    sender: pid,
-                    copy: 0,
-                    msg,
-                };
-                let _ = self_tx.send(framing.encode(&frame));
-            } else {
-                for copy in 0..config.copies {
-                    let frame = Frame {
-                        round: r,
-                        sender: pid,
-                        copy,
-                        msg: msg.clone(),
-                    };
-                    links[link_idx].send(r, copy, framing.encode(&frame));
-                }
-                link_idx += 1;
-            }
+        // --- Send phase: the engine emits, the links corrupt. ---
+        for out in engine.begin_round() {
+            links[link_index(out.dest, pid)].send(r, out.copy, out.bytes);
         }
 
-        // --- Collect phase: first valid frame per sender, until the
-        // round is complete or the timeout fires. ---
+        // --- Collect phase: ingest until the round is complete or the
+        // timeout fires. Lockstep runs wait out the full window even
+        // with a complete heard-of set, keeping every process's round
+        // boundaries aligned for round-for-round substrate comparison.
         let deadline = Instant::now() + config.round_timeout;
-        let mut rx_vec: ReceptionVector<A::Msg> = ReceptionVector::new(n);
-        let mut kept_this_round: Vec<(u32, u8)> = Vec::new();
-        let mut corrected_this_round = 0usize;
-
-        // Drain any buffered early arrivals for this round.
-        if let Some(frames) = future.remove(&r) {
-            for (frame, repaired) in frames {
-                if rx_vec.get(ProcessId::new(frame.sender)).is_none() {
-                    kept_this_round.push((frame.sender, frame.copy));
-                    corrected_this_round += usize::from(repaired);
-                    rx_vec.set(ProcessId::new(frame.sender), frame.msg);
-                }
-            }
-        }
-
-        // Lockstep runs wait out the full window even with a complete
-        // heard-of set, keeping every process's round boundaries
-        // aligned for round-for-round substrate comparison.
-        while config.lockstep || rx_vec.heard_count() < n {
+        while config.lockstep || !engine.round_complete() {
             let remaining = deadline.saturating_duration_since(Instant::now());
             if remaining.is_zero() {
                 break;
             }
             match inbox.recv_timeout(remaining) {
                 Ok(bytes) => {
-                    // A code rejection is a *detected* corruption: drop
-                    // the frame, producing an omission.
-                    let Some((frame, repaired)) = framing.decode::<A::Msg>(&bytes) else {
-                        continue;
-                    };
-                    // A rate<1 code can (rarely) miscorrect header bits;
-                    // a frame claiming an impossible sender or round is
-                    // garbage — drop it like any detected corruption.
-                    if frame.sender as usize >= n || frame.round > config.max_rounds {
-                        continue;
-                    }
-                    if frame.round < r {
-                        continue; // late: the round is closed
-                    }
-                    if frame.round > r {
-                        future
-                            .entry(frame.round)
-                            .or_default()
-                            .push((frame, repaired));
-                        continue;
-                    }
-                    if rx_vec.get(ProcessId::new(frame.sender)).is_none() {
-                        kept_this_round.push((frame.sender, frame.copy));
-                        corrected_this_round += usize::from(repaired);
-                        rx_vec.set(ProcessId::new(frame.sender), frame.msg);
-                    }
+                    let _ = engine.ingest(&bytes);
                 }
-                Err(RecvTimeoutError::Timeout) => break,
-                Err(RecvTimeoutError::Disconnected) => break,
+                Err(_) => break, // timeout or disconnect: close the round
             }
         }
 
-        // --- Transition phase. ---
-        algo.transition(round, me, &mut state, &rx_vec);
+        // --- Transition + renegotiation. ---
+        engine.finish_round();
 
-        // --- Renegotiation: feed this round's receiver tally to the
-        // controller; the new code (if any) applies from the next send.
-        // Only what a real receiver can observe goes in: distinct peers
-        // heard (early frames were buffered into the right round, so
-        // the count is round-exact) and how many of those arrived
-        // repaired. Undetected value faults are invisible by definition
-        // and enter as a zero estimate.
-        let delivered_peers = kept_this_round
-            .iter()
-            .filter(|(sender, _)| *sender != pid)
-            .map(|(sender, _)| *sender)
-            .collect::<std::collections::HashSet<_>>()
-            .len();
-        framing.observe(RoundTally {
-            expected: n - 1,
-            delivered: delivered_peers,
-            corrected: corrected_this_round,
-            value_faults: 0,
-        });
-
-        kept.push(kept_this_round);
-        rounds_completed = r;
-
-        if decision_round.is_none() {
-            if let Some(v) = algo.decision(&state) {
-                decision_round = Some(r);
-                let mut b = board.lock();
-                b[pid as usize] = Some(v);
-                if b.iter().all(|d| d.is_some()) {
-                    all_decided.store(true, Ordering::SeqCst);
-                }
+        if engine.decision_round() == Some(r) {
+            let decided = engine.decision().cloned().expect("decision just recorded");
+            let mut b = board.lock();
+            b[pid as usize] = Some(decided);
+            if b.iter().all(|d| d.is_some()) {
+                all_decided.store(true, Ordering::SeqCst);
             }
         }
     }
-
-    codes.truncate(rounds_completed as usize);
-    ProcReport {
-        decision_round,
-        rounds_completed,
-        kept,
-        codes,
-    }
+    engine.into_report()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use heardof_core::{Ate, AteParams, Ute, UteParams};
+    use heardof_engine::OutcomeView;
     use heardof_predicates::{CommPredicate, PAlpha, PBenign};
 
     #[test]

@@ -10,6 +10,7 @@
 
 use crate::error::SimError;
 use heardof_adversary::{Adversary, NoFaults};
+use heardof_engine::{OutcomeView, ProcessCore};
 use heardof_model::{
     check_consensus, ConsensusVerdict, HoAlgorithm, MessageMatrix, ProcessId, Round, RoundDetail,
     RoundRecord, RoundSets, RunTrace, TraceLevel,
@@ -40,11 +41,19 @@ impl<A: HoAlgorithm> RunOutcome<A> {
     }
 
     /// `true` iff every process decided within the run.
+    ///
+    /// Note: shadows the identical [`OutcomeView::all_decided`]; kept
+    /// inherent so callers need no trait import. Both read the verdict.
     pub fn all_decided(&self) -> bool {
         self.verdict.all_decided
     }
 
     /// The round by which the last process decided, if all decided.
+    ///
+    /// Note: shadows [`OutcomeView::last_decision_round`], which
+    /// answers the same question as a plain `u64` (the
+    /// substrate-neutral type); this inherent version keeps the sim's
+    /// richer [`Round`] domain type for existing callers.
     pub fn last_decision_round(&self) -> Option<Round> {
         self.verdict.last_decision_round()
     }
@@ -63,6 +72,26 @@ impl<A: HoAlgorithm> RunOutcome<A> {
             .decisions
             .iter()
             .find_map(|d| d.as_ref().map(|(_, v)| v))
+    }
+}
+
+/// The substrate-neutral outcome surface, answered from the verdict —
+/// the same accessors (`all_decided`, `agreement_ok`,
+/// `last_decision_round` as a plain round number) every deployment
+/// substrate's outcome exposes.
+impl<A: HoAlgorithm> OutcomeView for RunOutcome<A> {
+    type Value = A::Value;
+
+    fn num_processes(&self) -> usize {
+        self.verdict.decisions.len()
+    }
+
+    fn decision_of(&self, p: usize) -> Option<&A::Value> {
+        self.verdict.decisions[p].as_ref().map(|(_, v)| v)
+    }
+
+    fn decision_round_of(&self, p: usize) -> Option<u64> {
+        self.verdict.decisions[p].as_ref().map(|(r, _)| r.get())
     }
 }
 
@@ -185,10 +214,14 @@ impl<A: HoAlgorithm> Simulator<A> {
         let n = self.n;
         let algo = self.algo.clone();
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut states: Vec<A::State> = initial
+        // One HO-machine per process — the same `ProcessCore` the
+        // byte-level substrates drive through their `RoundEngine`s; the
+        // simulator's "wire" is an abstract matrix shaped by the
+        // adversary instead of coded frames.
+        let mut cores: Vec<ProcessCore<A>> = initial
             .iter()
             .enumerate()
-            .map(|(i, v)| algo.init(ProcessId::new(i as u32), n, v.clone()))
+            .map(|(i, v)| ProcessCore::new(algo.clone(), ProcessId::new(i as u32), n, v.clone()))
             .collect();
         let mut trace: RunTrace<A> = RunTrace::new(n, initial);
         let mut rounds_executed = 0;
@@ -198,19 +231,17 @@ impl<A: HoAlgorithm> Simulator<A> {
             let round = Round::new(r);
             // (1) Sending functions, applied to start-of-round states.
             let intended = MessageMatrix::from_fn(n, |sender, dest| {
-                Some(algo.send(round, sender, &states[sender.index()], dest))
+                Some(cores[sender.index()].send_to(round, dest))
             });
             // (2) The environment decides what arrives.
             let delivered = self.adversary.deliver(round, &intended, &mut rng);
             let sets = RoundSets::from_matrices(&intended, &delivered);
             // (3) Transition functions on reception vectors.
-            for (p, state) in states.iter_mut().enumerate() {
-                let pid = ProcessId::new(p as u32);
-                let rx = delivered.column(pid);
-                algo.transition(round, pid, state, &rx);
+            for (p, core) in cores.iter_mut().enumerate() {
+                let rx = delivered.column(ProcessId::new(p as u32));
+                core.transition(round, &rx);
             }
-            let decisions: Vec<Option<A::Value>> =
-                states.iter().map(|s| algo.decision(s)).collect();
+            let decisions: Vec<Option<A::Value>> = cores.iter().map(|c| c.decision_now()).collect();
             let all_decided = decisions.iter().all(|d| d.is_some());
             trace.push(RoundRecord {
                 round,
@@ -220,7 +251,7 @@ impl<A: HoAlgorithm> Simulator<A> {
                     TraceLevel::Full => Some(RoundDetail {
                         intended,
                         delivered,
-                        states_after: states.clone(),
+                        states_after: cores.iter().map(|c| c.state().clone()).collect(),
                     }),
                     TraceLevel::SetsOnly => None,
                 },

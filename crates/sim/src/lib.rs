@@ -47,3 +47,6 @@ mod error;
 pub use batch::{run_batch, BatchSummary};
 pub use engine::{RunOutcome, Simulator};
 pub use error::SimError;
+// The substrate-neutral outcome accessors (`RunOutcome` implements
+// them over its verdict).
+pub use heardof_engine::OutcomeView;

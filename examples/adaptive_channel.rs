@@ -11,11 +11,14 @@
 //! 2. full consensus (`A_{T,E}`) over the threaded runtime with
 //!    per-round code renegotiation on the same noise — the run decides
 //!    even though the checksum-only wire format would stall;
-//! 3. the conformance harness: the lockstep simulator and the threaded
-//!    runtime replay the identical seeded trace and agree on every
-//!    controller decision and every HO/SHO set, round for round.
+//! 3. the conformance harness: the lockstep simulator, the threaded
+//!    runtime and the cooperative async runtime replay the identical
+//!    seeded trace and agree on every controller decision and every
+//!    HO/SHO set, round for round.
 
-use heardof::conformance::{run_net_substrate, run_sim_substrate};
+use heardof::conformance::{
+    first_matrix_divergence, run_async_substrate, run_net_substrate, run_sim_substrate,
+};
 use heardof::prelude::*;
 use heardof_coding::{
     AdaptiveConfig, AdaptiveController, CodeBook, GilbertElliott, NoisePhase, NoiseTrace,
@@ -127,7 +130,7 @@ fn act_two_consensus_under_bursts() {
 }
 
 fn act_three_conformance() {
-    println!("== 3. two substrates, one trace, zero divergence ==\n");
+    println!("== 3. three substrates, one trace, zero divergence ==\n");
     let n = 5;
     let cfg = AdaptiveConfig::standard(n, 1);
     let trace = NoiseTrace::new(
@@ -148,18 +151,19 @@ fn act_three_conformance() {
     let rounds = 12;
     let sim = run_sim_substrate(algo.clone(), n, initial.clone(), &cfg, &trace, rounds);
     let net = run_net_substrate(
-        algo,
+        algo.clone(),
         n,
-        initial,
+        initial.clone(),
         &cfg,
         &trace,
         rounds,
         Duration::from_millis(120),
     );
-    match sim.first_divergence(&net) {
+    let asy = run_async_substrate(algo, n, initial, &cfg, &trace, rounds);
+    match first_matrix_divergence(&[("sim", &sim), ("net", &net), ("async", &asy)]) {
         None => println!(
-            "sim and net agree on all {} rounds of controller decisions and HO/SHO sets.",
-            sim.rounds().min(net.rounds())
+            "sim, net and async agree on all {} rounds of controller decisions and HO/SHO sets.",
+            sim.rounds().min(net.rounds()).min(asy.rounds())
         ),
         Some(diff) => println!("DIVERGENCE: {diff}"),
     }

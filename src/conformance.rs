@@ -1,47 +1,53 @@
 //! Cross-substrate conformance: the same seeded noise trace driven
-//! through the lockstep simulator and the threaded runtime, asserting
-//! they agree **round for round**.
+//! through every substrate — the lockstep simulator, the threaded
+//! runtime, and the cooperative async runtime — asserting they agree
+//! **round for round**.
 //!
-//! The adaptive coding stack has two independent implementations of the
-//! same pipeline:
+//! The adaptive coding stack now has one implementation of the
+//! per-process machine (`heardof_engine::RoundEngine` over
+//! [`Framing`]), but three independent deliveries of bytes and clocks:
 //!
 //! * the **sim** substrate — [`TraceChannel`], an adversary that
 //!   re-enacts every abstract message as a real tagged wire frame
-//!   ([`heardof_net::encode_frame_tagged`]), corrupts it with the
-//!   [`NoiseTrace`], decodes it through the [`CodeBook`], and feeds the
-//!   per-receiver tallies to per-process [`AdaptiveController`]s;
+//!   through per-process [`Framing`]s, corrupts it with the
+//!   [`NoiseTrace`], decodes it back, and feeds the per-receiver
+//!   tallies to the controllers;
 //! * the **net** substrate — OS threads exchanging those same frames
-//!   over [`FaultyLink`]s in trace + lockstep mode.
+//!   over [`FaultyLink`]s in trace + lockstep mode, rounds closed by
+//!   timeouts;
+//! * the **async** substrate — cooperative tasks over non-blocking
+//!   in-memory sockets behind the *same* [`FaultyLink`]s, rounds
+//!   closed by a barrier.
 //!
 //! Because the trace is a pure function of
 //! `(seed, round, sender, receiver, copy, frame length)` and the
-//! controllers are pure functions of their observation sequences, the
-//! two substrates must produce *identical* controller decisions and
+//! controllers are pure functions of their observation sequences, all
+//! substrates must produce *identical* controller decisions and
 //! *identical* `HO`/`SHO` reconstructions, round for round. The
-//! harness runs both and diffs them; `tests/adaptive_conformance.rs`
-//! asserts the diff is empty across a seed matrix.
+//! harness runs each and diffs them; `tests/adaptive_conformance.rs`
+//! asserts the N-way diff is empty across a seed matrix. This is the
+//! acceptance bar for **any new substrate**: drive the engine however
+//! you like, but you must replay the matrix.
 //!
 //! One asymmetry is out of the harness's reach by construction: a
 //! miscorrection that forges a *valid-looking future round header*
 //! (e.g. a three-flip SECDED pattern landing in the round field) is
-//! buffered by the threaded runtime and delivered in that later round,
-//! while the lockstep simulator — whose matrix has no cross-round
-//! channel — drops it. Hitting it requires an undetected fault that
-//! also decodes to an in-range future round, so it is vanishingly rare
-//! and the pinned seed matrix is verified free of it; a seed that ever
-//! trips it should be swapped, not papered over.
+//! buffered by the byte-level runtimes and delivered in that later
+//! round, while the lockstep simulator — whose matrix has no
+//! cross-round channel — drops it. Hitting it requires an undetected
+//! fault that also decodes to an in-range future round, so it is
+//! vanishingly rare and the pinned seed matrix is verified free of it;
+//! a seed that ever trips it should be swapped, not papered over.
 //!
 //! [`FaultyLink`]: heardof_net::FaultyLink
+//! [`Framing`]: heardof_engine::Framing
 
 use heardof_adversary::Adversary;
-use heardof_coding::{
-    AdaptiveConfig, AdaptiveController, CodeBook, CodeSpec, NoiseTrace, RoundTally,
-};
+use heardof_async::{run_async, AsyncConfig};
+use heardof_coding::{AdaptiveConfig, AdaptiveController, CodeBook, CodeSpec, NoiseTrace};
+use heardof_engine::{Frame, Framing, SubstrateOutcome, WireMessage};
 use heardof_model::{HoAlgorithm, MessageMatrix, ProcessId, Round, RoundSets, TraceLevel};
-use heardof_net::{
-    decode_frame_tagged, encode_frame_tagged, run_threaded, Frame, LinkFaults, NetConfig,
-    WireMessage,
-};
+use heardof_net::{run_threaded, LinkFaults, NetConfig, RoundTally};
 use heardof_sim::Simulator;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -88,6 +94,44 @@ impl SubstrateReport {
         }
         None
     }
+
+    /// Extracts a report from a byte-level substrate's outcome
+    /// (threaded or async): per-process code schedules transposed to
+    /// per round, plus the reconstructed sets.
+    fn from_outcome<V>(outcome: &SubstrateOutcome<V>) -> Self {
+        let completed = outcome
+            .rounds_completed
+            .iter()
+            .map(|&r| r as usize)
+            .min()
+            .unwrap_or(0);
+        let codes = (0..completed)
+            .map(|r| {
+                outcome
+                    .code_schedule
+                    .iter()
+                    .map(|per_proc| per_proc[r])
+                    .collect()
+            })
+            .collect();
+        SubstrateReport {
+            codes,
+            sets: outcome.history.iter().map(|(_, s)| s.clone()).collect(),
+        }
+    }
+}
+
+/// Diffs a set of named substrate reports pairwise against the first;
+/// returns the first divergence found, if any. `None` means the whole
+/// matrix conforms.
+pub fn first_matrix_divergence(reports: &[(&str, &SubstrateReport)]) -> Option<String> {
+    let (base_name, base) = reports.first()?;
+    for (name, report) in &reports[1..] {
+        if let Some(diff) = base.first_divergence(report) {
+            return Some(format!("{base_name} vs {name}: {diff}"));
+        }
+    }
+    None
 }
 
 /// Shared log the [`TraceChannel`] fills while the simulator runs.
@@ -112,12 +156,13 @@ impl TraceChannelLog {
 /// pushes every intended message through the *real* wire pipeline —
 /// tagged encode under the sender's current rung, trace corruption,
 /// tagged decode — and lets the decoders' verdicts shape the delivered
-/// matrix. Self-deliveries are local (never corrupted), mirroring the
-/// threaded runtime.
+/// matrix. The pipeline is the engine's own [`Framing`], one per
+/// process, so the simulator exercises byte-for-byte the code path the
+/// deployment substrates run. Self-deliveries are local (never
+/// corrupted), mirroring the runtimes.
 pub struct TraceChannel<M> {
     trace: NoiseTrace,
-    book: Arc<CodeBook>,
-    controllers: Vec<AdaptiveController>,
+    framings: Vec<Framing>,
     log: TraceChannelLog,
     max_round: u64,
     _marker: std::marker::PhantomData<fn() -> M>,
@@ -126,13 +171,13 @@ pub struct TraceChannel<M> {
 impl<M> TraceChannel<M> {
     /// A channel over `n` processes, each running its own controller
     /// from `cfg`, corrupted by `trace`. `max_round` mirrors the
-    /// runtime's `max_rounds` header sanity check.
+    /// runtimes' `max_rounds` header sanity check.
     pub fn new(n: usize, cfg: AdaptiveConfig, trace: NoiseTrace, max_round: u64) -> Self {
+        let book = Arc::new(CodeBook::from_specs(&cfg.ladder));
         TraceChannel {
             trace,
-            book: Arc::new(CodeBook::from_specs(&cfg.ladder)),
-            controllers: (0..n)
-                .map(|_| AdaptiveController::new(cfg.clone()))
+            framings: (0..n)
+                .map(|_| Framing::adaptive(Arc::clone(&book), AdaptiveController::new(cfg.clone())))
                 .collect(),
             log: TraceChannelLog::new(),
             max_round,
@@ -166,7 +211,7 @@ where
         self.log
             .inner
             .lock()
-            .push(self.controllers.iter().map(|c| c.current()).collect());
+            .push(self.framings.iter().map(|f| f.current_spec()).collect());
 
         let mut delivered: MessageMatrix<M> = MessageMatrix::empty(n);
         let mut tallies = vec![
@@ -180,7 +225,7 @@ where
         ];
         for (sender, receiver, original) in intended.iter() {
             if sender == receiver {
-                // Self-delivery is local in the runtime: never on the
+                // Self-delivery is local in the runtimes: never on the
                 // wire, never corrupted, never tallied.
                 delivered.set(sender, receiver, original.clone());
                 continue;
@@ -191,29 +236,27 @@ where
                 copy: 0,
                 msg: original.clone(),
             };
-            let code_id = self.controllers[sender.index()].code_id();
-            let mut wire = encode_frame_tagged(&frame, code_id, &self.book);
+            let mut wire = self.framings[sender.index()].encode(&frame);
             self.trace
                 .corrupt_frame(r, sender.as_u32(), receiver.as_u32(), 0, &mut wire);
             // The receiver's side of the pipeline, byte for byte: tagged
-            // decode plus the runtime's header sanity check.
-            let Ok(tagged) = decode_frame_tagged::<M>(&wire, &self.book) else {
+            // decode plus the runtimes' header sanity check.
+            let Some((got, repaired)) = self.framings[receiver.index()].decode::<M>(&wire) else {
                 continue; // detected omission
             };
-            let got = tagged.frame;
             if got.sender as usize >= n || got.round > self.max_round || got.round != r {
                 continue; // garbage or wrong-round header: dropped
             }
             let tally = &mut tallies[receiver.index()];
             tally.delivered += 1;
-            tally.corrected += usize::from(tagged.repaired);
+            tally.corrected += usize::from(repaired);
             // Conformance constraint: a live receiver cannot see that a
             // fault is undetected, so the tally must not use the oracle
-            // either — value_faults stays 0, exactly as in the runtime.
+            // either — value_faults stays 0, exactly as in the runtimes.
             delivered.set(ProcessId::new(got.sender), receiver, got.msg);
         }
         for (p, tally) in tallies.into_iter().enumerate() {
-            self.controllers[p].observe(tally);
+            self.framings[p].observe(tally);
         }
         delivered
     }
@@ -289,24 +332,38 @@ where
             code: CodeSpec::DEFAULT,
         },
     );
-    // code_schedule is per process; the report wants per round.
-    let completed = outcome
-        .rounds_completed
-        .iter()
-        .map(|&r| r as usize)
-        .min()
-        .unwrap_or(0);
-    let codes = (0..completed)
-        .map(|r| {
-            outcome
-                .code_schedule
-                .iter()
-                .map(|per_proc| per_proc[r])
-                .collect()
-        })
-        .collect();
-    SubstrateReport {
-        codes,
-        sets: outcome.history.iter().map(|(_, s)| s.clone()).collect(),
-    }
+    SubstrateReport::from_outcome(&outcome)
+}
+
+/// Runs the **async** substrate in lockstep + trace mode for `rounds`
+/// rounds and reports its decisions and reconstructions. No timeout to
+/// pick: the barrier closes rounds exactly.
+pub fn run_async_substrate<A>(
+    algo: A,
+    n: usize,
+    initial: Vec<A::Value>,
+    cfg: &AdaptiveConfig,
+    trace: &NoiseTrace,
+    rounds: u64,
+) -> SubstrateReport
+where
+    A: HoAlgorithm,
+    A::Msg: WireMessage,
+{
+    let outcome = run_async(
+        algo,
+        n,
+        initial,
+        AsyncConfig {
+            faults: LinkFaults::NONE,
+            adaptive: Some(cfg.clone()),
+            trace: Some(trace.clone()),
+            lockstep: true,
+            max_rounds: rounds,
+            copies: 1,
+            seed: 0,
+            code: CodeSpec::DEFAULT,
+        },
+    );
+    SubstrateReport::from_outcome(&outcome)
 }

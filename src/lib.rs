@@ -28,7 +28,11 @@
 //! * [`coding`] — channel codes trading value faults for omissions
 //!   (checksums, repetition, Hamming SECDED) with measured miss rates,
 //! * [`sim`] — the deterministic lockstep simulator,
+//! * [`engine`] — the substrate-agnostic round engine (the HO-machine
+//!   step, adaptive framing and the wire codec every substrate shares),
 //! * [`net`] — a threaded message-passing deployment substrate,
+//! * [`async_rt`] — a cooperative async deployment substrate (in-tree
+//!   mini executor over non-blocking in-memory sockets),
 //! * [`core`] — the paper's algorithms and bounds,
 //! * [`analysis`] — experiments, statistics and witness search.
 //!
@@ -64,8 +68,10 @@ pub mod conformance;
 
 pub use heardof_adversary as adversary;
 pub use heardof_analysis as analysis;
+pub use heardof_async as async_rt;
 pub use heardof_coding as coding;
 pub use heardof_core as core;
+pub use heardof_engine as engine;
 pub use heardof_model as model;
 pub use heardof_net as net;
 pub use heardof_predicates as predicates;
@@ -79,6 +85,7 @@ pub mod prelude {
         StaticByzantine, SymmetricByzantine, TransientBurst, Whipsaw, WithSchedule,
     };
     pub use heardof_analysis::{Scenario, Summary, Table, UteWitnessSearch, WitnessSearch};
+    pub use heardof_async::{run_async, AsyncConfig, AsyncOutcome};
     pub use heardof_coding::{
         measure_code, AdaptiveConfig, AdaptiveController, BitNoise, ChannelCode, Checksum,
         CodeBook, CodeSpec, Concatenated, FrameOutcome, GilbertElliott, Hamming74, Interleaved,
@@ -87,6 +94,7 @@ pub mod prelude {
     pub use heardof_core::{
         Ate, AteParams, OneThirdRule, ParamError, Threshold, UniformVoting, Ute, UteMsg, UteParams,
     };
+    pub use heardof_engine::{Framing, OutcomeView, ProcessCore, RoundEngine, SubstrateOutcome};
     pub use heardof_model::{
         all_processes, check_consensus, smallest_most_frequent, CommHistory, ConsensusValue,
         Corruptible, History, HoAlgorithm, MessageMatrix, Phase, ProcessId, ProcessSet,

@@ -1,17 +1,22 @@
 //! Cross-substrate conformance for adaptive code switching.
 //!
 //! The same seeded [`NoiseTrace`] drives the lockstep simulator (via
-//! `heardof::conformance::TraceChannel`) and the threaded runtime (in
-//! lockstep + trace mode). Both run per-process `AdaptiveController`s
+//! `heardof::conformance::TraceChannel`), the threaded runtime (in
+//! lockstep + trace mode) and the cooperative async runtime
+//! (barrier-synchronized). All run per-process `AdaptiveController`s
 //! over the same ladder; the harness asserts they make **identical
 //! controller decisions** and reconstruct **identical `HO`/`SHO`
 //! collections, round for round** — the adaptive analogue of "the
-//! algorithms are substrate-independent".
+//! algorithms are substrate-independent", and the acceptance bar every
+//! new substrate must clear.
 //!
 //! The seed matrix covers three fixed seeds (CI fans them out via the
 //! `CONFORMANCE_SEED` environment variable; unset runs all three).
 
-use heardof::conformance::{run_net_substrate, run_sim_substrate, SubstrateReport};
+use heardof::conformance::{
+    first_matrix_divergence, run_async_substrate, run_net_substrate, run_sim_substrate,
+    SubstrateReport,
+};
 use heardof::prelude::*;
 use heardof_coding::{AdaptiveConfig, CodeSpec, GilbertElliott, NoisePhase, NoiseTrace};
 use std::time::Duration;
@@ -52,39 +57,40 @@ fn conformance_trace(seed: u64) -> NoiseTrace {
     )
 }
 
-fn run_both(seed: u64) -> (SubstrateReport, SubstrateReport) {
+/// (sim, net, async) reports for one seed.
+fn run_all(seed: u64) -> [SubstrateReport; 3] {
     let cfg = AdaptiveConfig::standard(N, 1);
     let trace = conformance_trace(seed);
     let initial: Vec<u64> = (0..N as u64).map(|i| i % 2).collect();
     let algo: Ate<u64> = Ate::new(AteParams::balanced(N, 1).unwrap());
     let sim = run_sim_substrate(algo.clone(), N, initial.clone(), &cfg, &trace, ROUNDS);
     let net = run_net_substrate(
-        algo,
+        algo.clone(),
         N,
-        initial,
+        initial.clone(),
         &cfg,
         &trace,
         ROUNDS,
         Duration::from_millis(150),
     );
-    (sim, net)
+    let asy = run_async_substrate(algo, N, initial, &cfg, &trace, ROUNDS);
+    [sim, net, asy]
 }
 
 #[test]
-fn sim_and_net_agree_round_for_round_across_the_seed_matrix() {
+fn all_three_substrates_agree_round_for_round_across_the_seed_matrix() {
     for seed in selected_seeds() {
-        let (sim, net) = run_both(seed);
-        assert_eq!(
-            sim.rounds(),
-            ROUNDS as usize,
-            "seed {seed:#x}: sim must cover every round"
-        );
-        assert_eq!(
-            net.rounds(),
-            ROUNDS as usize,
-            "seed {seed:#x}: lockstep net must cover every round"
-        );
-        if let Some(diff) = sim.first_divergence(&net) {
+        let [sim, net, asy] = run_all(seed);
+        for (name, report) in [("sim", &sim), ("net", &net), ("async", &asy)] {
+            assert_eq!(
+                report.rounds(),
+                ROUNDS as usize,
+                "seed {seed:#x}: {name} must cover every round"
+            );
+        }
+        if let Some(diff) =
+            first_matrix_divergence(&[("sim", &sim), ("net", &net), ("async", &asy)])
+        {
             panic!("seed {seed:#x}: substrates diverge — {diff}");
         }
     }
@@ -97,7 +103,7 @@ fn the_compared_decisions_are_not_vacuous() {
     // must leave the checksum rung within the horizon — so the
     // conformance assertion really does compare switching behaviour.
     for seed in selected_seeds() {
-        let (sim, _) = run_both(seed);
+        let [sim, _, _] = run_all(seed);
         for p in 0..N {
             assert_eq!(
                 sim.codes[0][p],
@@ -119,11 +125,14 @@ fn divergence_reporting_catches_a_doctored_report() {
     // The harness itself must be able to see a difference: doctor one
     // round of the sim report and check the diff machinery fires.
     let seed = SEEDS[0];
-    let (mut sim, net) = run_both(seed);
-    assert!(sim.first_divergence(&net).is_none());
+    let [mut sim, net, asy] = run_all(seed);
+    assert!(first_matrix_divergence(&[("sim", &sim), ("net", &net), ("async", &asy)]).is_none());
     sim.codes[2][0] = CodeSpec::Repetition { k: 5 };
     let diff = sim
         .first_divergence(&net)
         .expect("a doctored decision must be reported");
     assert!(diff.contains("round 3"), "diff names the round: {diff}");
+    let matrix_diff = first_matrix_divergence(&[("sim", &sim), ("net", &net), ("async", &asy)])
+        .expect("the matrix diff must catch it too");
+    assert!(matrix_diff.contains("sim vs net"), "{matrix_diff}");
 }

@@ -1,0 +1,85 @@
+//! Correlated cross-link bursts: one shared Gilbert–Elliott chain
+//! modulates *all* links (`NoiseTrace::correlated_bursts`), the way
+//! real interference hits many links at once rather than one wire at a
+//! time.
+//!
+//! The question the ROADMAP poses is whether per-process controllers
+//! need to gossip their rung decisions or converge on their own. First
+//! cut answer, asserted here: because the regime is shared, every
+//! receiver observes near-identical tallies, so independent controllers
+//! converge to the same rung within a bounded lag — no gossip channel
+//! needed at this noise shape.
+
+use heardof::conformance::{run_async_substrate, run_sim_substrate};
+use heardof::prelude::*;
+use heardof_coding::{AdaptiveConfig, NoiseTrace};
+
+const N: usize = 5;
+const ROUNDS: u64 = 36;
+const SEED: u64 = 0xC0FF;
+
+fn run_codes() -> Vec<Vec<CodeSpec>> {
+    let cfg = AdaptiveConfig::standard(N, 1);
+    let trace = NoiseTrace::correlated_bursts(SEED);
+    let initial: Vec<u64> = (0..N as u64).map(|i| i % 2).collect();
+    let algo: Ate<u64> = Ate::new(AteParams::balanced(N, 1).unwrap());
+    run_sim_substrate(algo, N, initial, &cfg, &trace, ROUNDS).codes
+}
+
+#[test]
+fn controllers_converge_to_the_same_rung_within_a_bounded_lag() {
+    let codes = run_codes();
+    assert_eq!(codes.len(), ROUNDS as usize);
+
+    // The shared bursts must actually move the ladder…
+    assert!(
+        codes
+            .iter()
+            .any(|round| round.iter().any(|c| *c != CodeSpec::Checksum { width: 4 })),
+        "correlated bursts never escalated anyone"
+    );
+
+    // …and whenever the controllers disagree (one escalated a round or
+    // two before another), they must re-converge within a bounded lag:
+    // no disagreement streak longer than 3 rounds, and agreement in the
+    // clear majority of rounds.
+    let mut streak = 0usize;
+    let mut max_streak = 0usize;
+    let mut disagreements = 0usize;
+    for round in &codes {
+        if round.iter().any(|c| *c != round[0]) {
+            streak += 1;
+            disagreements += 1;
+            max_streak = max_streak.max(streak);
+        } else {
+            streak = 0;
+        }
+    }
+    assert!(
+        max_streak <= 3,
+        "controllers stayed split for {max_streak} consecutive rounds: {codes:?}"
+    );
+    assert!(
+        disagreements * 3 <= codes.len(),
+        "controllers disagreed in {disagreements}/{} rounds: {codes:?}",
+        codes.len()
+    );
+}
+
+#[test]
+fn the_correlated_preset_clears_the_conformance_bar_too() {
+    // The shared-regime corruption is still a pure function of
+    // (seed, round, sender, receiver, copy, len), so the substrates
+    // must replay it identically — checked here sim vs async (both
+    // deterministic; the full 3-way matrix lives in
+    // adaptive_conformance.rs).
+    let cfg = AdaptiveConfig::standard(N, 1);
+    let trace = NoiseTrace::correlated_bursts(SEED);
+    let initial: Vec<u64> = (0..N as u64).map(|i| i % 2).collect();
+    let algo: Ate<u64> = Ate::new(AteParams::balanced(N, 1).unwrap());
+    let sim = run_sim_substrate(algo.clone(), N, initial.clone(), &cfg, &trace, ROUNDS);
+    let asy = run_async_substrate(algo, N, initial, &cfg, &trace, ROUNDS);
+    if let Some(diff) = sim.first_divergence(&asy) {
+        panic!("correlated trace diverges across substrates — {diff}");
+    }
+}
