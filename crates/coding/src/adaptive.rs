@@ -10,9 +10,16 @@
 //! as estimates) and walks a **ladder** of codes:
 //!
 //! ```text
-//! checksum32  →  hamming74  →  interleaved{d}[hamming74]  →  repetition5
-//!  (detect)      (correct 1/blk)  (correct bursts)           (brute force)
+//! checksum32 → hamming74 → interleaved{d}[hamming74] → fountain{r} → repetition5
+//!  (detect)    (correct      (correct bursts)          (rateless     (brute force)
+//!               1/blk)                                  symbols)
 //! ```
+//!
+//! The fourth rung is rateless: [`crate::LtCode`] pays its redundancy
+//! in incremental repair *symbols* matched to the observed loss (the
+//! [`crate::SymbolBudget`] pathway) rather than in whole-frame copies,
+//! so severe regimes degrade smoothly before the ladder ever reaches
+//! the brute-force last resort.
 //!
 //! Escalation is eager (one noisy window suffices); de-escalation is
 //! deliberately lazy (a sustained calm streak *and* a minimum dwell
@@ -158,10 +165,16 @@ pub struct AdaptiveConfig {
 impl AdaptiveConfig {
     /// The standard ladder and thresholds for an `n`-process deployment
     /// running with budget `alpha_budget`:
-    /// `checksum32 → hamming74 → interleaved16[hamming74] → repetition5`,
-    /// window 2, escalate above 35% pressure (two rungs at once when
-    /// any window round passed 60%), de-escalate below 5% activity
-    /// after 4 calm rounds, dwell 3, tail `1e-6`.
+    /// `checksum32 → hamming74 → interleaved16[hamming74] → fountain8 →
+    /// repetition5`, window 2, escalate above 35% pressure (two rungs
+    /// at once when any window round passed 60%), de-escalate below 5%
+    /// activity after 4 calm rounds, dwell 3, tail `1e-6`.
+    ///
+    /// Severe regimes land on the rateless fountain rung, whose repair
+    /// allowance then grows per round through the
+    /// [`crate::SymbolBudget`] renegotiation — `repetition5` remains as
+    /// the single-step last resort for channels that defeat even an
+    /// inflated symbol stream.
     ///
     /// The short window makes burst onsets bite within a round — safe
     /// because escalation additionally requires losses to outpace
@@ -173,6 +186,7 @@ impl AdaptiveConfig {
                 CodeSpec::Checksum { width: 4 },
                 CodeSpec::Hamming74,
                 CodeSpec::Interleaved { depth: 16 },
+                CodeSpec::Fountain { repair: 8 },
                 CodeSpec::Repetition { k: 5 },
             ],
             window: 2,
@@ -587,6 +601,29 @@ impl CodeBook {
         wire
     }
 
+    /// Like [`CodeBook::encode_tagged`], spending an explicit
+    /// [`crate::SymbolBudget`] — the incremental-symbol pathway for a
+    /// rateless rung. Budgets never change the wire identity: the
+    /// id byte and symbol format are the same, a frame just carries
+    /// more repair symbols, so receivers decode mixed budgets exactly
+    /// like mixed epochs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not in the book.
+    pub fn encode_tagged_budget(
+        &self,
+        id: u8,
+        body: &[u8],
+        budget: crate::SymbolBudget,
+    ) -> Vec<u8> {
+        let code = self.codes.get(id as usize).expect("code id in book");
+        let mut wire = Vec::with_capacity(1 + code.encoded_len(body.len()));
+        wire.push(id);
+        wire.extend_from_slice(&code.encode_with_budget(body, budget));
+        wire
+    }
+
     /// Decodes a tagged wire image, returning the id it named and the
     /// body its code recovered.
     ///
@@ -990,7 +1027,7 @@ mod tests {
     fn codebook_roundtrips_every_rung() {
         let cfg = AdaptiveConfig::standard(8, 1);
         let book = CodeBook::from_specs(&cfg.ladder);
-        assert_eq!(book.len(), 4);
+        assert_eq!(book.len(), 5);
         let body = b"mixed-epoch".to_vec();
         for id in 0..book.len() as u8 {
             let wire = book.encode_tagged(id, &body);

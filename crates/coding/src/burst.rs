@@ -306,7 +306,13 @@ impl NoiseTrace {
                 rounds: 1,
                 // Reinterpreted per *round* by the shared chain:
                 // enter 0.2 / exit 0.4 → stationary burst fraction 1/3.
-                channel: GilbertElliott::new(0.2, 0.4, 1e-5, 0.45),
+                // Good rounds are *exactly* clean (not 1e-5-background):
+                // the preset models interference that is present or
+                // absent, and a nonzero background BER at large-frame
+                // rungs (repetition, budget-inflated fountain) would
+                // hand receivers private noise — the opposite of the
+                // shared-regime story this preset exists to tell.
+                channel: GilbertElliott::new(0.2, 0.4, 0.0, 0.45),
             }],
         )
         .with_shared_regime()

@@ -57,6 +57,28 @@ impl Error for CodeError {}
 ///
 /// Implementations must be deterministic and total: `decode(encode(p))
 /// == Ok(p)` for every payload `p`, including the empty one.
+///
+/// # The delivered / omission / value-fault contract
+///
+/// A code's decoder is the arbiter of what in-flight corruption
+/// *becomes* at the receiver, and callers rely on exactly this
+/// three-way split (see [`FrameOutcome`]):
+///
+/// * **Delivered** — `decode` returns `Ok(p)` where `p` is the payload
+///   the sender encoded. The reception is safe (`q ∈ SHO(p, r)`),
+///   whether the wire arrived clean or the decoder repaired it; a
+///   repair is reported through [`ChannelCode::decode_repaired`] so
+///   adaptive controllers can observe the noise it absorbed.
+/// * **Detected omission** — `decode` returns `Err`. The caller MUST
+///   drop the frame, converting the corruption into a benign omission
+///   (`q ∉ HO(p, r)`); both [`CodeError`] variants mean exactly this.
+///   Erring on the side of rejection is always safe.
+/// * **Undetected value fault** — `decode` returns `Ok(p')` with
+///   `p' ≠ p`. The decoder cannot know this happened (that is what
+///   *undetected* means); it is the residual event the deployment's
+///   `α` budget must absorb, and every code's design goal is to make
+///   it rare. A code must never turn an uncorrupted wire image into a
+///   value fault: `decode(encode(p)) == Ok(p)` exactly.
 pub trait ChannelCode: Send + Sync {
     /// Short human-readable name, e.g. `"hamming74"` (used in reports).
     fn name(&self) -> String;
@@ -66,6 +88,17 @@ pub trait ChannelCode: Send + Sync {
 
     /// Adds redundancy to `payload`, producing the wire image.
     fn encode(&self, payload: &[u8]) -> Vec<u8>;
+
+    /// Like [`ChannelCode::encode`], spending an explicit per-frame
+    /// [`SymbolBudget`](crate::SymbolBudget) — the incremental-symbol pathway of rateless
+    /// codes ([`LtCode`](crate::LtCode) appends the budgeted repair
+    /// symbols; decoding needs no budget because fountain frames are
+    /// self-describing). Fixed-rate codes have no symbol notion and
+    /// ignore the budget; the default returns `encode(payload)`.
+    fn encode_with_budget(&self, payload: &[u8], budget: crate::SymbolBudget) -> Vec<u8> {
+        let _ = budget;
+        self.encode(payload)
+    }
 
     /// Strips redundancy, correcting and/or detecting channel errors.
     ///
@@ -112,6 +145,10 @@ impl ChannelCode for Arc<dyn ChannelCode> {
 
     fn encode(&self, payload: &[u8]) -> Vec<u8> {
         (**self).encode(payload)
+    }
+
+    fn encode_with_budget(&self, payload: &[u8], budget: crate::SymbolBudget) -> Vec<u8> {
+        (**self).encode_with_budget(payload, budget)
     }
 
     fn decode(&self, wire: &[u8]) -> Result<Vec<u8>, CodeError> {
@@ -161,6 +198,18 @@ pub enum CodeSpec {
         /// Outer checksum width in bytes (1, 2 or 4).
         width: u8,
     },
+    /// Rateless fountain coding ([`LtCode`](crate::LtCode)): the
+    /// payload is cut into small source blocks and sent as
+    /// CRC-guarded symbols — the blocks themselves plus `repair`
+    /// robust-soliton XOR combinations. Corrupted symbols become
+    /// erasures; redundancy is metered per *symbol*, and the
+    /// incremental-symbol pathway
+    /// ([`SymbolBudget`](crate::SymbolBudget)) can raise the repair
+    /// allowance per frame without any wire-format change.
+    Fountain {
+        /// Baseline repair symbols appended per frame.
+        repair: u8,
+    },
 }
 
 impl CodeSpec {
@@ -187,6 +236,17 @@ impl CodeSpec {
                 crate::Hamming74,
                 crate::Checksum::with_width(width),
             )),
+            CodeSpec::Fountain { repair } => Arc::new(crate::LtCode::new(repair)),
+        }
+    }
+
+    /// The baseline repair allowance when this spec is rateless —
+    /// `Some` exactly for [`CodeSpec::Fountain`], which is how framings
+    /// know to engage the incremental-symbol pathway.
+    pub fn fountain_base(self) -> Option<u8> {
+        match self {
+            CodeSpec::Fountain { repair } => Some(repair),
+            _ => None,
         }
     }
 }
@@ -208,6 +268,7 @@ impl fmt::Display for CodeSpec {
             CodeSpec::Concatenated { width } => {
                 write!(f, "hamming74+checksum{}", u32::from(*width) * 8)
             }
+            CodeSpec::Fountain { repair } => write!(f, "fountain{repair}"),
         }
     }
 }
@@ -237,6 +298,7 @@ mod tests {
                 "interleaved8[hamming74]",
             ),
             (CodeSpec::Concatenated { width: 4 }, "hamming74+checksum32"),
+            (CodeSpec::Fountain { repair: 8 }, "fountain8"),
         ] {
             assert_eq!(spec.to_string(), name);
             let code = spec.build();

@@ -25,16 +25,21 @@
 //! | [`Checksum`] | ~1 | omissions (miss rate `2^-8w` for width `w`) |
 //! | [`Repetition`] | 1/k | deliveries, up to `⌊(k−1)/2⌋` corrupt copies |
 //! | [`Hamming74`] | 1/2 | deliveries (1-bit) and omissions (2-bit) per block |
+//! | [`LtCode`] | rateless | deliveries via erasure repair; redundancy per *symbol*, not per frame |
 //!
 //! Two combinators extend the base codes to the realistic failure
 //! modes: [`Interleaved`] spreads correlated bursts across Hamming
 //! blocks, and [`Concatenated`] wraps inner correction around outer
 //! detection (Hamming inside CRC) so miscorrections must also forge a
-//! checksum. Because the right code depends on the *current* channel,
-//! [`AdaptiveController`] walks a ladder of [`CodeSpec`]s with
-//! hysteresis, driven by per-round [`RoundTally`] observations and a
-//! `P_α` feasibility projection; [`CodeBook`] gives the ladder a tagged
-//! wire format so mixed-epoch frames decode exactly.
+//! checksum. [`LtCode`] goes rateless: per-symbol CRCs turn corrupted
+//! symbols into erasures and a seeded robust-soliton schedule repairs
+//! them, with the [`SymbolBudget`] pathway metering redundancy in
+//! incremental symbols negotiated per round. Because the right code
+//! depends on the *current* channel, [`AdaptiveController`] walks a
+//! ladder of [`CodeSpec`]s with hysteresis, driven by per-round
+//! [`RoundTally`] observations and a `P_α` feasibility projection;
+//! [`CodeBook`] gives the ladder a tagged wire format so mixed-epoch
+//! frames decode exactly.
 //!
 //! Every decode is classified as one of three [`FrameOutcome`]s —
 //! `Delivered`, `DetectedOmission`, or `UndetectedValueFault` — and
@@ -58,7 +63,7 @@
 //! assert_eq!(code.decode(&wire).unwrap(), payload);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 mod adaptive;
@@ -66,6 +71,7 @@ mod burst;
 mod checksum;
 mod code;
 mod concat;
+mod fountain;
 mod hamming;
 mod interleave;
 mod measure;
@@ -80,6 +86,7 @@ pub use burst::{GilbertElliott, NoiseModel, NoisePhase, NoiseTrace};
 pub use checksum::{crc32, Checksum, NoCode};
 pub use code::{ChannelCode, CodeError, CodeSpec, FrameOutcome};
 pub use concat::Concatenated;
+pub use fountain::{LtCode, SymbolBudget};
 pub use hamming::Hamming74;
 pub use interleave::{deinterleave_bits, interleave_bits, stripe_offsets, Interleaved};
 pub use measure::{

@@ -131,6 +131,7 @@ fn adaptive_stays_feasible_where_every_static_pays() {
         CodeSpec::Hamming74,
         CodeSpec::Interleaved { depth: 16 },
         CodeSpec::Concatenated { width: 4 },
+        CodeSpec::Fountain { repair: 8 },
         CodeSpec::Repetition { k: 5 },
     ];
     for spec in statics {
@@ -174,6 +175,38 @@ fn hamming_miscorrections_blow_the_budget_under_bursts() {
     assert_eq!(
         concat.value_faults, 0,
         "hamming inside CRC-32 leaks nothing at this scale"
+    );
+}
+
+#[test]
+#[ignore = "Monte-Carlo at release scale; CI runs with --include-ignored"]
+fn fountain_rung_undercuts_repetition_on_the_hard_burst_preset() {
+    // The ISSUE-4 acceptance claim, asserted: on the hard-burst trace
+    // the rateless rung is P_α-feasible, stays live through the bursts,
+    // and pays strictly less bandwidth than the whole-frame
+    // quintuplication it displaces — the value-fault→omission trade
+    // priced in incremental symbols instead of copies.
+    let trace = NoiseTrace::bursty(0xB0B5);
+    let fountain = measure(Some(CodeSpec::Fountain { repair: 8 }), &trace);
+    let rep5 = measure(Some(CodeSpec::Repetition { k: 5 }), &trace);
+    assert!(
+        fountain.feasible(),
+        "the fountain rung must stay within the α budget: α* = {} ({} faults)",
+        fountain.alpha_star(),
+        fountain.value_faults
+    );
+    assert!(
+        fountain.productive_rounds > ROUNDS as usize / 2,
+        "the fountain rung must keep making progress through the bursts: \
+         {} productive",
+        fountain.productive_rounds
+    );
+    assert!(
+        fountain.bandwidth() < rep5.bandwidth(),
+        "incremental symbols must undercut whole-frame copies: \
+         fountain {:.3} vs repetition5 {:.3}",
+        fountain.bandwidth(),
+        rep5.bandwidth()
     );
 }
 

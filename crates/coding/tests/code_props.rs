@@ -4,7 +4,8 @@
 
 use heardof_coding::{
     deinterleave_bits, interleave_bits, measure_code_exact_flips, stripe_offsets, BitNoise,
-    ChannelCode, Checksum, CodeSpec, FrameOutcome, Hamming74, Interleaved, NoCode, Repetition,
+    ChannelCode, Checksum, CodeSpec, FrameOutcome, Hamming74, Interleaved, LtCode, NoCode,
+    Repetition, SymbolBudget,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -168,6 +169,76 @@ proptest! {
             code.decode(&wire).unwrap(),
             reference_majority_decode(&wire, k),
             "k = {}", k
+        );
+    }
+
+    #[test]
+    fn fountain_roundtrips_any_payload_and_budget(
+        payload in proptest::collection::vec(any::<u8>(), 0..300),
+        repair in 0u8..16,
+        extra in 0u8..24,
+    ) {
+        // Clean-wire roundtrip at every baseline, and the incremental
+        // pathway: a budget-inflated frame is decoded by the same
+        // budget-free decoder, so mixed budgets decode like mixed
+        // epochs.
+        let code = LtCode::new(repair);
+        let wire = code.encode(&payload);
+        prop_assert_eq!(code.encoded_len(payload.len()), wire.len());
+        prop_assert_eq!(code.decode(&wire).unwrap(), payload.clone());
+        let inflated = code.encode_with_budget(
+            &payload,
+            SymbolBudget::baseline(repair.saturating_add(extra)),
+        );
+        prop_assert_eq!(code.decode(&inflated).unwrap(), payload);
+    }
+
+    #[test]
+    fn fountain_decodes_from_k_plus_epsilon_symbols(
+        payload in proptest::collection::vec(any::<u8>(), 1..120),
+        repair in 1u8..12,
+        victim_seed in any::<usize>(),
+    ) {
+        // The rateless guarantee, deterministic form: with ε ≥ 1 repair
+        // symbols, obliterating ANY single symbol (source or repair)
+        // still decodes — k + ε symbols suffice, and the erasure is
+        // observable repair evidence.
+        let code = LtCode::new(repair);
+        let clean = code.encode(&payload);
+        let per_symbol = 1 + LtCode::block_len(payload.len()) + 1;
+        let header = clean.len() - ((clean.len() - 12) / per_symbol) * per_symbol;
+        prop_assert_eq!(header, 12, "three 4-byte length copies lead the frame");
+        let symbols = (clean.len() - header) / per_symbol;
+        let victim = victim_seed % symbols;
+        let mut wire = clean;
+        for b in &mut wire[header + victim * per_symbol..][..per_symbol] {
+            *b = !*b;
+        }
+        let (got, repaired) = code.decode_repaired(&wire).unwrap();
+        prop_assert_eq!(got, payload);
+        prop_assert!(repaired, "an erased-and-repaired symbol must be reported");
+    }
+
+    #[test]
+    fn fountain_corruption_is_never_a_value_fault(
+        payload in proptest::collection::vec(any::<u8>(), 1..120),
+        repair in 0u8..12,
+        flips in 1usize..48,
+        seed in any::<u64>(),
+    ) {
+        // The paper's move applied inside the code: whatever random
+        // corruption does to the symbol stream, the per-symbol CRCs
+        // turn it into erasures and the outer CRC-32 catches the
+        // residue — the receiver sees a delivery or an omission, never
+        // a silent value fault.
+        let code = LtCode::new(repair);
+        let mut wire = code.encode(&payload);
+        let mut rng = StdRng::seed_from_u64(seed);
+        BitNoise::flip_exact(&mut wire, flips, &mut rng);
+        prop_assert_ne!(
+            code.classify(&payload, &wire),
+            FrameOutcome::UndetectedValueFault,
+            "corrupted symbols must surface as erasures or omissions"
         );
     }
 

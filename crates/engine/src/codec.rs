@@ -278,6 +278,25 @@ pub fn encode_frame_tagged<M: WireMessage>(frame: &Frame<M>, id: u8, book: &Code
     book.encode_tagged(id, &encode_body(frame))
 }
 
+/// Like [`encode_frame_tagged`], spending an explicit
+/// [`SymbolBudget`](heardof_coding::SymbolBudget) — the
+/// incremental-symbol pathway for a rateless code epoch. The wire
+/// identity is unchanged (same id byte, same symbol format): the frame
+/// simply carries more repair symbols, so any receiver holding the book
+/// decodes budget-inflated frames exactly like baseline ones.
+///
+/// # Panics
+///
+/// Panics if `id` is not registered in `book`.
+pub fn encode_frame_tagged_budget<M: WireMessage>(
+    frame: &Frame<M>,
+    id: u8,
+    book: &CodeBook,
+    budget: heardof_coding::SymbolBudget,
+) -> Vec<u8> {
+    book.encode_tagged_budget(id, &encode_body(frame), budget)
+}
+
 /// A decoded tagged frame: which code epoch it came from, whether the
 /// decoder repaired channel errors on the way (the receiver-observable
 /// noise evidence feeding `RoundTally::corrected`), and the frame.
@@ -527,6 +546,28 @@ mod tests {
             assert_eq!(got.code_id, id);
             assert!(!got.repaired, "clean frames need no repair");
             assert_eq!(got.frame, frame, "epoch {id} decodes exactly");
+        }
+    }
+
+    #[test]
+    fn budgeted_tagged_frames_decode_like_baseline_ones() {
+        use heardof_coding::{CodeBook, CodeSpec, SymbolBudget};
+        let book = CodeBook::from_specs(&[CodeSpec::Fountain { repair: 2 }]);
+        let frame = Frame {
+            round: 6,
+            sender: 3,
+            copy: 0,
+            msg: UteMsg::Est(41u64),
+        };
+        let baseline = encode_frame_tagged(&frame, 0, &book);
+        let inflated = encode_frame_tagged_budget(&frame, 0, &book, SymbolBudget::baseline(11));
+        assert!(
+            inflated.len() > baseline.len(),
+            "the budget buys extra repair symbols on the wire"
+        );
+        for wire in [&baseline, &inflated] {
+            let got = decode_frame_tagged::<UteMsg<u64>>(wire, &book).unwrap();
+            assert_eq!(got.frame, frame, "budgets never change the wire identity");
         }
     }
 

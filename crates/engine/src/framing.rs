@@ -1,26 +1,32 @@
 //! How a process frames its wire bytes: a fixed code, or a per-round
-//! [`AdaptiveController`] over a tagged [`CodeBook`].
+//! [`AdaptiveController`] over a tagged [`CodeBook`] — plus, when the
+//! code in force is rateless, the per-round [`SymbolBudget`]
+//! renegotiation of the incremental-symbol pathway.
 //!
 //! This used to live inside the threaded runtime; it is the piece of
 //! the adaptive stack every substrate needs verbatim — encode under the
 //! current rung, decode any epoch, feed the end-of-round tally back —
 //! so it sits next to the round core where all of them can share it.
+//! The symbol budget lives here for the same reason: it is negotiated
+//! from the very tallies [`Framing::observe`] already receives, so
+//! every substrate (and the conformance harness's sim channel)
+//! negotiates identical budgets by construction.
 
 use crate::codec::{
-    decode_frame_tagged, decode_frame_with, encode_frame_tagged, encode_frame_with, Frame,
+    decode_body, decode_frame_tagged, encode_body, encode_frame_tagged, encode_frame_with, Frame,
     WireMessage,
 };
-use heardof_coding::{AdaptiveController, ChannelCode, CodeBook, CodeSpec, RoundTally};
+use heardof_coding::{
+    AdaptiveController, ChannelCode, CodeBook, CodeSpec, RoundTally, SymbolBudget,
+};
 use std::sync::Arc;
 
-/// A process's framing policy: a fixed [`CodeSpec`] for the whole run,
-/// or an [`AdaptiveController`] renegotiating its send code per round
-/// over a tagged code book.
+/// The two framing policies a process can run under.
 // One Framing exists per process for a whole run; the size skew between
 // the two variants costs nothing at that cardinality, and boxing the
 // controller would put a pointer chase in the per-round hot path.
 #[allow(clippy::large_enum_variant)]
-pub enum Framing {
+enum Mode {
     /// One code for every frame (the historical, non-adaptive mode).
     Fixed {
         /// The spec the code was built from (reported in schedules).
@@ -38,6 +44,20 @@ pub enum Framing {
     },
 }
 
+/// A process's framing policy: a fixed [`CodeSpec`] for the whole run,
+/// or an [`AdaptiveController`] renegotiating its send code per round
+/// over a tagged code book. When the spec in force is rateless
+/// ([`CodeSpec::Fountain`]), the framing additionally carries the
+/// negotiated [`SymbolBudget`] — extra repair symbols per frame,
+/// renegotiated from the same per-round tallies that drive the rung
+/// ladder.
+pub struct Framing {
+    mode: Mode,
+    /// `Some` exactly while the spec in force is rateless; reset to the
+    /// rung's baseline on every switch onto a fountain rung.
+    budget: Option<SymbolBudget>,
+}
+
 impl Framing {
     /// Fixed framing under `spec` (the code is built once here).
     pub fn fixed(spec: CodeSpec) -> Self {
@@ -48,34 +68,63 @@ impl Framing {
     /// runs that stamp out one framing per process and want a single
     /// shared code instance (the links already hold one).
     pub fn fixed_with(spec: CodeSpec, code: Arc<dyn ChannelCode>) -> Self {
-        Framing::Fixed { spec, code }
+        Framing {
+            mode: Mode::Fixed { spec, code },
+            budget: spec.fountain_base().map(SymbolBudget::baseline),
+        }
     }
 
     /// Adaptive framing: `controller` renegotiates over `book`.
     pub fn adaptive(book: Arc<CodeBook>, controller: AdaptiveController) -> Self {
-        Framing::Adaptive { book, controller }
+        let budget = controller
+            .current()
+            .fountain_base()
+            .map(SymbolBudget::baseline);
+        Framing {
+            mode: Mode::Adaptive { book, controller },
+            budget,
+        }
     }
 
     /// Encodes a frame under the framing in force for this round.
     pub fn encode<M: WireMessage>(&self, frame: &Frame<M>) -> Vec<u8> {
-        match self {
-            Framing::Fixed { code, .. } => encode_frame_with(frame, code.as_ref()),
-            Framing::Adaptive { book, controller } => {
+        match &self.mode {
+            Mode::Fixed { code, .. } => encode_frame_with(frame, code.as_ref()),
+            Mode::Adaptive { book, controller } => {
                 encode_frame_tagged(frame, controller.code_id(), book)
+            }
+        }
+    }
+
+    /// Encodes a frame spending an explicit [`SymbolBudget`] — the
+    /// incremental-symbol pathway. Only meaningful while
+    /// [`Framing::symbol_budget`] is `Some`; under a fixed-rate code
+    /// the budget is ignored and this is [`Framing::encode`].
+    pub fn encode_with_budget<M: WireMessage>(
+        &self,
+        frame: &Frame<M>,
+        budget: SymbolBudget,
+    ) -> Vec<u8> {
+        match &self.mode {
+            Mode::Fixed { code, .. } => code.encode_with_budget(&encode_body(frame), budget),
+            Mode::Adaptive { book, controller } => {
+                book.encode_tagged_budget(controller.code_id(), &encode_body(frame), budget)
             }
         }
     }
 
     /// Decodes wire bytes into `(frame, repaired)`; `repaired` is the
     /// receiver-observable fact that the code corrected errors on the
-    /// way in (always `false` for the historical fixed-code framing,
-    /// which predates the signal).
+    /// way in — reported by both framing modes, because a fixed
+    /// fountain code's budget renegotiation needs the repair signal
+    /// just as much as an adaptive controller does.
     pub fn decode<M: WireMessage>(&self, bytes: &[u8]) -> Option<(Frame<M>, bool)> {
-        match self {
-            Framing::Fixed { code, .. } => decode_frame_with(bytes, code.as_ref())
-                .ok()
-                .map(|f| (f, false)),
-            Framing::Adaptive { book, .. } => decode_frame_tagged(bytes, book)
+        match &self.mode {
+            Mode::Fixed { code, .. } => match code.decode_repaired(bytes) {
+                Ok((body, repaired)) => decode_body(&body).ok().map(|frame| (frame, repaired)),
+                Err(_) => None,
+            },
+            Mode::Adaptive { book, .. } => decode_frame_tagged(bytes, book)
                 .ok()
                 .map(|t| (t.frame, t.repaired)),
         }
@@ -83,25 +132,47 @@ impl Framing {
 
     /// The spec in force for the next send.
     pub fn current_spec(&self) -> CodeSpec {
-        match self {
-            Framing::Fixed { spec, .. } => *spec,
-            Framing::Adaptive { controller, .. } => controller.current(),
+        match &self.mode {
+            Mode::Fixed { spec, .. } => *spec,
+            Mode::Adaptive { controller, .. } => controller.current(),
         }
     }
 
-    /// End-of-round hook: feed the receiver's tally to the controller.
-    /// A no-op for fixed framing.
+    /// The negotiated symbol budget — `Some` exactly while the spec in
+    /// force is rateless. Substrates use this to switch a send from
+    /// *copies of frames* to *one frame with budgeted repair symbols*.
+    pub fn symbol_budget(&self) -> Option<SymbolBudget> {
+        self.budget
+    }
+
+    /// End-of-round hook: feed the receiver's tally to the controller
+    /// (adaptive mode), then renegotiate the symbol budget for whatever
+    /// spec is now in force. Entering a fountain rung seeds the budget
+    /// from that rung's baseline; staying on one applies the
+    /// additive-increase/decay step ([`SymbolBudget::renegotiate`]);
+    /// leaving one drops the budget.
     pub fn observe(&mut self, tally: RoundTally) {
-        if let Framing::Adaptive { controller, .. } = self {
+        let before = self.current_spec();
+        if let Mode::Adaptive { controller, .. } = &mut self.mode {
             controller.observe(tally);
         }
+        let after = self.current_spec();
+        self.budget = after.fountain_base().map(|base| {
+            if after == before {
+                self.budget
+                    .unwrap_or_else(|| SymbolBudget::baseline(base))
+                    .renegotiate(tally, base)
+            } else {
+                SymbolBudget::baseline(base)
+            }
+        });
     }
 
     /// The controller, when the framing is adaptive.
     pub fn controller(&self) -> Option<&AdaptiveController> {
-        match self {
-            Framing::Fixed { .. } => None,
-            Framing::Adaptive { controller, .. } => Some(controller),
+        match &self.mode {
+            Mode::Fixed { .. } => None,
+            Mode::Adaptive { controller, .. } => Some(controller),
         }
     }
 }
@@ -120,11 +191,21 @@ mod tests {
         }
     }
 
+    fn starving(expected: usize) -> RoundTally {
+        RoundTally {
+            expected,
+            delivered: 0,
+            corrected: 0,
+            value_faults: 0,
+        }
+    }
+
     #[test]
     fn fixed_framing_roundtrips_and_reports_its_spec() {
         let framing = Framing::fixed(CodeSpec::Hamming74);
         assert_eq!(framing.current_spec(), CodeSpec::Hamming74);
         assert!(framing.controller().is_none());
+        assert!(framing.symbol_budget().is_none());
         let wire = framing.encode(&frame());
         let (got, repaired) = framing.decode::<u64>(&wire).unwrap();
         assert_eq!(got, frame());
@@ -140,16 +221,71 @@ mod tests {
         // A few hard rounds escalate the controller; the framing's spec
         // and encodings follow it.
         for _ in 0..6 {
-            framing.observe(RoundTally {
-                expected: 4,
-                delivered: 0,
-                corrected: 0,
-                value_faults: 0,
-            });
+            framing.observe(starving(4));
         }
         assert_ne!(framing.current_spec(), CodeSpec::Checksum { width: 4 });
         let wire = framing.encode(&frame());
         let (got, _) = framing.decode::<u64>(&wire).unwrap();
         assert_eq!(got, frame(), "every epoch decodes through the book");
+    }
+
+    #[test]
+    fn fixed_fountain_framing_negotiates_its_budget() {
+        let base = 8;
+        let mut framing = Framing::fixed(CodeSpec::Fountain { repair: base });
+        let budget = framing.symbol_budget().expect("rateless spec has a budget");
+        assert_eq!(budget.repair, base);
+        // Lossy rounds grow the allowance…
+        framing.observe(starving(4));
+        let grown = framing.symbol_budget().unwrap().repair;
+        assert!(grown > base, "loss must grow the budget, got {grown}");
+        // …and the budgeted frame is strictly longer yet decodes with
+        // the same budget-free decoder.
+        let small = framing.encode(&frame());
+        let big = framing.encode_with_budget(&frame(), framing.symbol_budget().unwrap());
+        assert!(big.len() > small.len());
+        let (got, _) = framing.decode::<u64>(&big).unwrap();
+        assert_eq!(got, frame());
+        // Calm rounds decay back to the baseline.
+        let calm = RoundTally {
+            expected: 4,
+            delivered: 4,
+            corrected: 0,
+            value_faults: 0,
+        };
+        for _ in 0..64 {
+            framing.observe(calm);
+        }
+        assert_eq!(framing.symbol_budget().unwrap().repair, base);
+    }
+
+    #[test]
+    fn entering_the_fountain_rung_seeds_the_baseline_budget() {
+        let cfg = AdaptiveConfig::standard(5, 1);
+        let fountain_base = cfg
+            .ladder
+            .iter()
+            .find_map(|s| s.fountain_base())
+            .expect("standard ladder has a fountain rung");
+        let book = Arc::new(CodeBook::from_specs(&cfg.ladder));
+        let mut framing = Framing::adaptive(book, AdaptiveController::new(cfg));
+        assert!(framing.symbol_budget().is_none(), "rung 0 is not rateless");
+        // Starve until the ladder reaches the fountain rung.
+        for _ in 0..40 {
+            framing.observe(starving(4));
+            if framing.current_spec().fountain_base().is_some() {
+                break;
+            }
+        }
+        assert!(
+            framing.current_spec().fountain_base().is_some(),
+            "sustained starvation must reach the fountain rung, got {}",
+            framing.current_spec()
+        );
+        assert_eq!(
+            framing.symbol_budget().unwrap(),
+            SymbolBudget::baseline(fountain_base),
+            "a fresh rung starts from its baseline"
+        );
     }
 }

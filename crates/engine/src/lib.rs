@@ -59,7 +59,7 @@
 //! # Ok::<(), heardof_core::ParamError>(())
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod codec;
@@ -70,8 +70,8 @@ mod round;
 
 pub use codec::{
     decode_body, decode_frame, decode_frame_tagged, decode_frame_with, encode_body, encode_frame,
-    encode_frame_tagged, encode_frame_with, refresh_crc, CodecError, Frame, TaggedFrame,
-    WireMessage, COPY_OFFSET, PAYLOAD_OFFSET,
+    encode_frame_tagged, encode_frame_tagged_budget, encode_frame_with, refresh_crc, CodecError,
+    Frame, TaggedFrame, WireMessage, COPY_OFFSET, PAYLOAD_OFFSET,
 };
 pub use framing::Framing;
 pub use outcome::{OutcomeView, SubstrateOutcome};

@@ -222,23 +222,39 @@ where
         self.rx.set(me, own);
         self.kept_this_round.push((me.as_u32(), 0));
 
-        let mut outgoing = Vec::with_capacity((n - 1) * self.copies as usize);
+        // The copies shim: under a rateless code, whole-frame
+        // retransmission copies fold into the symbol budget — one frame
+        // per peer carrying `(copies − 1)·k` extra repair symbols plus
+        // the negotiated allowance, instead of `copies` duplicates.
+        // Redundancy is paid in the cheaper currency, and the budget is
+        // the engine's (hence every substrate's) single source of
+        // truth, so conformance holds by construction.
+        let budget = self
+            .framing
+            .symbol_budget()
+            .map(|b| b.fold_copies(self.copies));
+        let copies_out = if budget.is_some() { 1 } else { self.copies };
+        let mut outgoing = Vec::with_capacity((n - 1) * copies_out as usize);
         for q in 0..n as u32 {
             if q == me.as_u32() {
                 continue;
             }
             let msg = self.core.send_to(round, ProcessId::new(q));
-            for copy in 0..self.copies {
+            for copy in 0..copies_out {
                 let frame = Frame {
                     round: r,
                     sender: me.as_u32(),
                     copy,
                     msg: msg.clone(),
                 };
+                let bytes = match budget {
+                    Some(b) => self.framing.encode_with_budget(&frame, b),
+                    None => self.framing.encode(&frame),
+                };
                 outgoing.push(Outgoing {
                     dest: q,
                     copy,
-                    bytes: self.framing.encode(&frame),
+                    bytes,
                 });
             }
         }
@@ -535,6 +551,57 @@ mod tests {
         assert_eq!(report.rounds_completed, 1);
         assert_eq!(report.codes.len(), 1, "open round's code is dropped");
         assert_eq!(report.kept.len(), 1);
+    }
+
+    #[test]
+    fn rateless_framing_folds_copies_into_symbols() {
+        // Under a fountain code, `copies = 3` must emit ONE frame per
+        // peer — carrying the folded symbol budget — not three
+        // duplicates; the same config under a fixed-rate code still
+        // emits three.
+        let algo: Ate<u64> = Ate::new(AteParams::balanced(3, 0).unwrap());
+        let mut fountain = RoundEngine::new(
+            algo.clone(),
+            ProcessId::new(0),
+            3,
+            7,
+            Framing::fixed(CodeSpec::Fountain { repair: 2 }),
+            3,
+            10,
+        );
+        let out = fountain.begin_round();
+        assert_eq!(out.len(), 2, "one budgeted frame per peer");
+        assert!(out.iter().all(|o| o.copy == 0));
+
+        let mut single = RoundEngine::new(
+            algo,
+            ProcessId::new(0),
+            3,
+            7,
+            Framing::fixed(CodeSpec::Fountain { repair: 2 }),
+            1,
+            10,
+        );
+        let baseline = single.begin_round();
+        assert!(
+            out[0].bytes.len() > baseline[0].bytes.len(),
+            "folded copies surface as extra repair symbols ({} vs {})",
+            out[0].bytes.len(),
+            baseline[0].bytes.len()
+        );
+        // And the inflated frame still decodes at a peer.
+        let algo: Ate<u64> = Ate::new(AteParams::balanced(3, 0).unwrap());
+        let mut peer = RoundEngine::new(
+            algo,
+            ProcessId::new(1),
+            3,
+            7,
+            Framing::fixed(CodeSpec::Fountain { repair: 2 }),
+            3,
+            10,
+        );
+        let _ = peer.begin_round();
+        assert_eq!(peer.ingest(&out[0].bytes), Ingest::Kept);
     }
 
     #[test]

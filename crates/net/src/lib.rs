@@ -57,15 +57,15 @@ pub use fabric::RunFabric;
 // first-class subsystem; re-exported so the original API is unchanged.
 pub use heardof_coding::{
     crc32, AdaptiveConfig, AdaptiveController, ChannelCode, CodeBook, CodeSpec, FrameOutcome,
-    GilbertElliott, NoiseTrace, RoundTally,
+    GilbertElliott, LtCode, NoiseTrace, RoundTally, SymbolBudget,
 };
 // The wire codec and outcome surface moved to `heardof-engine` with the
 // substrate-agnostic round core; re-exported so the original API is
 // unchanged.
 pub use heardof_engine::{
     decode_body, decode_frame, decode_frame_tagged, decode_frame_with, encode_body, encode_frame,
-    encode_frame_tagged, encode_frame_with, refresh_crc, CodecError, Frame, OutcomeView,
-    SubstrateOutcome, TaggedFrame, WireMessage, COPY_OFFSET, PAYLOAD_OFFSET,
+    encode_frame_tagged, encode_frame_tagged_budget, encode_frame_with, refresh_crc, CodecError,
+    Frame, OutcomeView, SubstrateOutcome, TaggedFrame, WireMessage, COPY_OFFSET, PAYLOAD_OFFSET,
 };
 pub use link::{FaultKey, FaultLog, FaultyLink, FrameSink, LinkEvent, LinkFaults};
 pub use runtime::{run_threaded, NetConfig, NetOutcome};

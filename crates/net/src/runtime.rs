@@ -42,6 +42,17 @@ pub struct NetConfig {
     /// Copies of each frame to send (retransmission raises delivery
     /// probability under drops — the predicate-implementation knob of
     /// \[10\]).
+    ///
+    /// Under a rateless code ([`CodeSpec::Fountain`], fixed or as the
+    /// ladder's current rung) this field is a **compatibility shim**
+    /// over the incremental-symbol pathway: each copy beyond the first
+    /// becomes `k` extra repair symbols on the *single* frame actually
+    /// sent (see `heardof_coding::SymbolBudget`), paying the same
+    /// redundancy in the cheaper currency. The trade to know about:
+    /// symbol redundancy defends against corruption and partial loss,
+    /// while literal duplicates also defended against whole-frame
+    /// drops — deployments on drop-dominated links should stay on a
+    /// fixed-rate code.
     pub copies: u8,
     /// Hard cap on rounds.
     pub max_rounds: u64,

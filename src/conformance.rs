@@ -236,7 +236,14 @@ where
                 copy: 0,
                 msg: original.clone(),
             };
-            let mut wire = self.framings[sender.index()].encode(&frame);
+            // Mirror the engine's send path byte for byte: a rateless
+            // rung spends its negotiated symbol budget (conformance
+            // runs use copies = 1, so there is nothing to fold).
+            let framing = &self.framings[sender.index()];
+            let mut wire = match framing.symbol_budget() {
+                Some(budget) => framing.encode_with_budget(&frame, budget),
+                None => framing.encode(&frame),
+            };
             self.trace
                 .corrupt_frame(r, sender.as_u32(), receiver.as_u32(), 0, &mut wire);
             // The receiver's side of the pipeline, byte for byte: tagged

@@ -26,7 +26,8 @@
 //! * [`predicates`] — communication predicates as checkable values,
 //! * [`adversary`] — fault injection strategies and budgets,
 //! * [`coding`] — channel codes trading value faults for omissions
-//!   (checksums, repetition, Hamming SECDED) with measured miss rates,
+//!   (checksums, repetition, Hamming SECDED, rateless LT fountain with
+//!   per-round symbol budgets) with measured miss rates,
 //! * [`sim`] — the deterministic lockstep simulator,
 //! * [`engine`] — the substrate-agnostic round engine (the HO-machine
 //!   step, adaptive framing and the wire codec every substrate shares),
@@ -89,7 +90,7 @@ pub mod prelude {
     pub use heardof_coding::{
         measure_code, AdaptiveConfig, AdaptiveController, BitNoise, ChannelCode, Checksum,
         CodeBook, CodeSpec, Concatenated, FrameOutcome, GilbertElliott, Hamming74, Interleaved,
-        NoCode, NoiseTrace, Repetition, RoundTally,
+        LtCode, NoCode, NoiseTrace, Repetition, RoundTally, SymbolBudget,
     };
     pub use heardof_core::{
         Ate, AteParams, OneThirdRule, ParamError, Threshold, UniformVoting, Ute, UteMsg, UteParams,

@@ -10,8 +10,12 @@
 //! algorithms are substrate-independent", and the acceptance bar every
 //! new substrate must clear.
 //!
-//! The seed matrix covers three fixed seeds (CI fans them out via the
-//! `CONFORMANCE_SEED` environment variable; unset runs all three).
+//! The seed matrix covers four fixed seeds (CI fans them out via the
+//! `CONFORMANCE_SEED` environment variable; unset runs all four). The
+//! fourth seed drives a *severe* trace — bursts long enough to defeat
+//! the interleaver rung — so the ladder climbs onto the rateless
+//! fountain rung and its per-round `SymbolBudget` renegotiation is
+//! exercised under the conformance bar too.
 
 use heardof::conformance::{
     first_matrix_divergence, run_async_substrate, run_net_substrate, run_sim_substrate,
@@ -21,7 +25,9 @@ use heardof::prelude::*;
 use heardof_coding::{AdaptiveConfig, CodeSpec, GilbertElliott, NoisePhase, NoiseTrace};
 use std::time::Duration;
 
-const SEEDS: [u64; 3] = [0xA11CE, 0xB0B5, 0xC0DE5];
+const SEEDS: [u64; 4] = [0xA11CE, 0xB0B5, 0xC0DE5, 0xF0047];
+/// The seed whose run must exercise the fountain rung.
+const FOUNTAIN_SEED: u64 = 0xF0047;
 const N: usize = 5;
 const ROUNDS: u64 = 14;
 
@@ -39,15 +45,26 @@ fn selected_seeds() -> Vec<u64> {
     }
 }
 
-/// Noise front-loaded so the ladder moves inside the short horizon:
-/// 6 bursty rounds, 6 clean rounds, cycling.
+/// Noise front-loaded so the ladder moves inside the short horizon.
+/// The original three seeds cycle 6 bursty rounds and 6 clean rounds;
+/// the fountain seed runs a *severe* phase instead — bursts with a
+/// ~22-bit mean sojourn, longer than the depth-16 interleaver can
+/// confine to one stripe — which pushes the ladder past interleaved16
+/// onto the rateless rung (whose symbol-budget growth then absorbs the
+/// losses; erasure-decode failures are detected omissions, so the rung
+/// is conformance-safe by construction).
 fn conformance_trace(seed: u64) -> NoiseTrace {
+    let noisy = if seed == FOUNTAIN_SEED {
+        GilbertElliott::new(0.004, 0.045, 1e-5, 0.5)
+    } else {
+        GilbertElliott::bursty()
+    };
     NoiseTrace::new(
         seed,
         vec![
             NoisePhase {
                 rounds: 6,
-                channel: GilbertElliott::bursty(),
+                channel: noisy,
             },
             NoisePhase {
                 rounds: 6,
@@ -118,6 +135,28 @@ fn the_compared_decisions_are_not_vacuous() {
             );
         }
     }
+}
+
+#[test]
+fn the_fountain_seed_exercises_the_rateless_rung() {
+    // The fourth pinned seed exists to put fountain-coded frames —
+    // including the per-round symbol-budget renegotiation — under the
+    // cross-substrate bar. Guard against the trace going stale: some
+    // process must actually send under `CodeSpec::Fountain` during the
+    // horizon (the 3-way equality itself is asserted by the matrix
+    // test above).
+    if !selected_seeds().contains(&FOUNTAIN_SEED) {
+        return; // another CI shard owns this seed
+    }
+    let [sim, _, _] = run_all(FOUNTAIN_SEED);
+    assert!(
+        sim.codes
+            .iter()
+            .any(|round| round.iter().any(|c| matches!(c, CodeSpec::Fountain { .. }))),
+        "seed {FOUNTAIN_SEED:#x}: nobody reached the fountain rung — \
+         severe trace too tame: {:?}",
+        sim.codes
+    );
 }
 
 #[test]
