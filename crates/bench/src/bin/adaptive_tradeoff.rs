@@ -176,6 +176,21 @@ fn policies() -> Vec<Policy> {
     out
 }
 
+/// Runs `mesh_n` gossiping-or-independent controllers for `rounds`
+/// rounds over `trace`, every ordered pair exchanging one tagged frame
+/// per round — the one shared mesh loop
+/// (`heardof_coding::mesh::drive_mesh`) that the rung-gossip
+/// acceptance test also asserts against, so this table and that test
+/// can never drift apart.
+fn mesh_lag(
+    cfg: AdaptiveConfig,
+    mesh_n: usize,
+    trace: &NoiseTrace,
+    rounds: u64,
+) -> heardof_coding::mesh::MeshReport {
+    heardof_coding::mesh::drive_mesh(cfg, mesh_n, trace, rounds, BODY_LEN, 0xFEED)
+}
+
 fn main() {
     heardof_bench::header(
         "adaptive_tradeoff — static vs. adaptive operating points under moving noise",
@@ -271,5 +286,64 @@ fn main() {
                 if rateless_claim { "HOLDS" } else { "VIOLATED" }
             );
         }
+    }
+
+    // --- Rung gossip vs. independent controllers under correlated
+    // bursts: the convergence-lag column (ISSUE 5). A mesh of
+    // per-process controllers — not the single-receiver loop above —
+    // because divergence is a *relation between* controllers.
+    let mesh_n = 5;
+    let mesh_rounds = 120u64;
+    println!(
+        "\n--- rung gossip: controller convergence under correlated bursts \
+         (mesh of {mesh_n}, {mesh_rounds} rounds) ---"
+    );
+    println!(
+        "{:<36} {:>10} {:>10} {:>8} {:>8}",
+        "preset / policy", "max streak", "div rounds", "α events", "switches"
+    );
+    for (name, trace) in [
+        ("correlated_bursts", NoiseTrace::correlated_bursts(0x1234)),
+        (
+            "correlated_moderate",
+            NoiseTrace::correlated_bursts_moderate(0xD00D),
+        ),
+    ] {
+        let independent = mesh_lag(
+            AdaptiveConfig::standard(mesh_n, 1),
+            mesh_n,
+            &trace,
+            mesh_rounds,
+        );
+        let gossip = mesh_lag(
+            AdaptiveConfig::standard(mesh_n, 1).with_gossip(),
+            mesh_n,
+            &trace,
+            mesh_rounds,
+        );
+        for (policy, m) in [("independent", &independent), ("gossip", &gossip)] {
+            println!(
+                "{:<36} {:>10} {:>10} {:>8} {:>8}",
+                format!("{name} / {policy}"),
+                m.max_divergence_streak(),
+                m.divergent_rounds(),
+                m.alpha_events,
+                m.switches
+            );
+        }
+        println!(
+            "gossip claim on {name} — divergence ≤1 round (vs {} independent) \
+             with no α increase ({} vs {}): {}",
+            independent.max_divergence_streak(),
+            gossip.alpha_events,
+            independent.alpha_events,
+            if gossip.max_divergence_streak() <= 1
+                && gossip.alpha_events <= independent.alpha_events
+            {
+                "HOLDS"
+            } else {
+                "VIOLATED"
+            }
+        );
     }
 }

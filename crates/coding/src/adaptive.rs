@@ -38,10 +38,128 @@
 //! with a 1-byte code id so receivers can decode *mixed epochs* exactly
 //! — after a switch, in-flight frames from the previous rung still name
 //! their own code.
+//!
+//! **Rung gossip** closes the convergence lag that independent
+//! controllers exhibit under *correlated* bursts (one regime hitting all
+//! links at once — see `NoiseTrace::correlated_bursts`): every tagged
+//! frame piggybacks the sender's current rung and a small monotone
+//! switch epoch as one extra wire byte (a [`RungAdvert`]), in the
+//! spirit of epidemic dissemination (Demers et al.) and epoch-stamped
+//! reconfiguration (Vertical Paxos). A receiver that sees a **quorum**
+//! of peers advertising a newer-epoch rung adopts it immediately
+//! instead of waiting for its own window to fill — no extra messages,
+//! one byte per frame. The advertisement byte travels *outside* the
+//! channel code (it must be readable before picking a decoder), so a
+//! corrupted advert is possible; the policy guards — in-ladder
+//! validation, serial epoch comparison, the quorum, and the last-resort
+//! pin — keep any single corrupted byte from moving a controller (see
+//! `tests/gossip_faults.rs` at the workspace root).
 
 use crate::code::{ChannelCode, CodeError, CodeSpec, FrameOutcome};
 use std::collections::VecDeque;
 use std::sync::Arc;
+
+/// The wire flag marking a gossip-tagged frame: set on the id byte, it
+/// announces that one [`RungAdvert`] byte follows before the coded
+/// body. Pre-gossip decoders see an unknown code id and reject the
+/// frame — a detected omission, never a misparse — which is what makes
+/// the format extension version-safe.
+pub const GOSSIP_FLAG: u8 = 0x80;
+
+/// Epochs are advertised modulo this window (4 bits on the wire).
+const EPOCH_MODULUS: u8 = 16;
+
+/// A rung advertisement piggybacked on a tagged frame: the sender's
+/// current ladder rung plus its switch epoch, packed into one byte —
+/// 3 bits rung, 4 bits epoch, 1 parity bit.
+///
+/// The advertisement travels *outside* the channel code (a receiver
+/// must read it before picking a decoder), so it gets the paper's move
+/// applied in miniature: the parity bit turns every odd-weight
+/// corruption of the byte — in particular every single-bit flip, the
+/// dominant physical error — into a *detected* loss of the
+/// advertisement ([`RungAdvert::from_byte`] returns `None` and the
+/// receiver simply hears no advertisement from that peer this round)
+/// instead of a forged one. Without it, two links flipping the same
+/// bit of the same advert forge byte-identical advertisements often
+/// enough to assemble an adoption quorum by chance.
+///
+/// The epoch is a per-controller logical clock synchronized through
+/// gossip; comparisons use serial-number arithmetic over the 4-bit
+/// window (see [`RungAdvert::epoch_newer`]), so wraparound in long
+/// runs is harmless as long as gossiping controllers stay within half
+/// a window of each other — which the adoption rule itself guarantees.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RungAdvert {
+    /// The advertised ladder rung (0 = cheapest; ladders gossiping on
+    /// the wire are limited to 8 rungs).
+    pub rung: u8,
+    /// The advertised switch epoch, modulo 16.
+    pub epoch: u8,
+}
+
+impl RungAdvert {
+    /// Packs the advertisement into its wire byte: even-parity over
+    /// the whole byte, epoch in bits 3..=6, rung in bits 0..=2.
+    pub fn to_byte(self) -> u8 {
+        let payload = (self.epoch % EPOCH_MODULUS) << 3 | (self.rung & 0x07);
+        payload | ((payload.count_ones() as u8 & 1) << 7)
+    }
+
+    /// Unpacks an advertisement from its wire byte, or `None` when the
+    /// parity check fails — a corrupted advertisement is *detected* and
+    /// dropped (the gossip analogue of corruption becoming an
+    /// omission), never believed.
+    pub fn from_byte(b: u8) -> Option<Self> {
+        if !b.count_ones().is_multiple_of(2) {
+            return None;
+        }
+        Some(RungAdvert {
+            rung: b & 0x07,
+            epoch: (b >> 3) & (EPOCH_MODULUS - 1),
+        })
+    }
+
+    /// Serial-number distance from `base` forward to `epoch` within the
+    /// 4-bit window.
+    fn epoch_distance(epoch: u8, base: u8) -> u8 {
+        epoch.wrapping_sub(base) % EPOCH_MODULUS
+    }
+
+    /// `true` when `epoch` is strictly newer than `base` under serial
+    /// comparison: ahead by less than half the window. A corrupted
+    /// epoch more than 7 steps "ahead" reads as stale and is ignored.
+    pub fn epoch_newer(epoch: u8, base: u8) -> bool {
+        let d = Self::epoch_distance(epoch, base);
+        d != 0 && d < EPOCH_MODULUS / 2
+    }
+}
+
+/// Configuration of the rung-gossip policy (see
+/// [`AdaptiveConfig::with_gossip`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GossipConfig {
+    /// How many distinct qualifying peer advertisements of the same
+    /// rung are required before adopting a *newer-epoch* decision. Two
+    /// is the minimum that a single corrupted advertisement byte can
+    /// never fake.
+    pub quorum: usize,
+    /// How many consecutive rounds a strict majority of peers must
+    /// advertise the same (different) rung before a controller holding
+    /// a minority position joins them — the escape hatch for a lone
+    /// leader whose own epoch is the group's newest and who therefore
+    /// never sees a "newer" decision to adopt.
+    pub join_rounds: u8,
+}
+
+impl Default for GossipConfig {
+    fn default() -> Self {
+        GossipConfig {
+            quorum: 2,
+            join_rounds: 2,
+        }
+    }
+}
 
 /// What one receiver observed in one round, aggregated over the frames
 /// it expected from its peers.
@@ -117,6 +235,26 @@ pub enum PressureEstimator {
         /// Smoothing factor in `(0, 1]`; larger reacts faster.
         lambda: f64,
     },
+    /// One-sided CUSUM change-point statistics (ROADMAP estimator
+    /// upgrade): per rate, `s ← min(cap, max(0, s + x − drift))`. The
+    /// statistic accumulates only the *excess* of each round's rate
+    /// over the `drift` allowance, so sub-drift background noise reads
+    /// as exactly zero while a genuine regime change crosses the
+    /// escalation threshold within a round; the `cap` bounds how much
+    /// burst evidence can pile up, so the calm-side decay (one `drift`
+    /// per quiet round) releases within the cooldown horizon instead of
+    /// remembering the whole burst. With `drift = 0.25, cap = 1.0` the
+    /// rung schedule is pinned to the windowed estimator's on the clean
+    /// and hard-burst presets (unit tests assert this); the modes
+    /// differ only on marginal, threshold-straddling noise, where CUSUM
+    /// ignores what the window averages in.
+    Cusum {
+        /// Per-round rate allowance subtracted before accumulating;
+        /// must lie in `(0, 1)`.
+        drift: f64,
+        /// Saturation bound on each statistic; must be positive.
+        cap: f64,
+    },
 }
 
 /// Configuration of an [`AdaptiveController`].
@@ -160,6 +298,13 @@ pub struct AdaptiveConfig {
     pub alpha_budget: u32,
     /// Per-round tail probability the `α` projection targets.
     pub target_tail: f64,
+    /// Rung gossip: when `Some`, the controller advertises its rung and
+    /// switch epoch on every tagged frame (one extra wire byte) and
+    /// adopts a newer-epoch rung advertised by a quorum of peers (see
+    /// [`AdaptiveConfig::with_gossip`]). `None` — the default — keeps
+    /// controllers fully independent and the wire format byte-identical
+    /// to pre-gossip deployments.
+    pub gossip: Option<GossipConfig>,
 }
 
 impl AdaptiveConfig {
@@ -199,6 +344,7 @@ impl AdaptiveConfig {
             n,
             alpha_budget,
             target_tail: 1e-6,
+            gossip: None,
         }
     }
 
@@ -211,6 +357,37 @@ impl AdaptiveConfig {
             estimator: PressureEstimator::Ewma { lambda: 0.5 },
             ..Self::standard(n, alpha_budget)
         }
+    }
+
+    /// [`AdaptiveConfig::standard`] with the CUSUM change-point
+    /// estimator at `drift = 0.25, cap = 1.0` — pinned by unit tests to
+    /// the windowed estimator's rung schedule on the clean and
+    /// hard-burst presets.
+    pub fn standard_cusum(n: usize, alpha_budget: u32) -> Self {
+        AdaptiveConfig {
+            estimator: PressureEstimator::Cusum {
+                drift: 0.25,
+                cap: 1.0,
+            },
+            ..Self::standard(n, alpha_budget)
+        }
+    }
+
+    /// Enables rung gossip with the default [`GossipConfig`] (quorum
+    /// 2): the controller piggybacks a [`RungAdvert`] on every tagged
+    /// frame and adopts the max-epoch rung advertised by a quorum of
+    /// peers — closing the convergence lag of independent controllers
+    /// under correlated bursts without any extra messages. Hysteresis
+    /// on self-decided switches and the last-resort guard are
+    /// preserved; gossip adoption itself resets the dwell clock,
+    /// observation window, and calm streak like any other switch.
+    ///
+    /// Gossiping ladders are limited to 8 rungs (the advertisement
+    /// packs the rung into 3 bits) — [`AdaptiveController::new`] panics
+    /// past that.
+    pub fn with_gossip(mut self) -> Self {
+        self.gossip = Some(GossipConfig::default());
+        self
     }
 
     fn validate(&self) {
@@ -234,10 +411,29 @@ impl AdaptiveConfig {
             self.escalate_at
         );
         assert!(self.n >= 1, "system must have at least one process");
-        if let PressureEstimator::Ewma { lambda } = self.estimator {
+        match self.estimator {
+            PressureEstimator::Windowed => {}
+            PressureEstimator::Ewma { lambda } => {
+                assert!(
+                    lambda > 0.0 && lambda <= 1.0,
+                    "the EWMA smoothing factor must lie in (0, 1], got {lambda}"
+                );
+            }
+            PressureEstimator::Cusum { drift, cap } => {
+                assert!(
+                    drift > 0.0 && drift < 1.0,
+                    "the CUSUM drift must lie in (0, 1), got {drift}"
+                );
+                assert!(cap > 0.0, "the CUSUM cap must be positive, got {cap}");
+            }
+        }
+        if let Some(g) = self.gossip {
+            assert!(g.quorum >= 1, "the gossip quorum must be at least 1");
             assert!(
-                lambda > 0.0 && lambda <= 1.0,
-                "the EWMA smoothing factor must lie in (0, 1], got {lambda}"
+                self.ladder.len() <= 8,
+                "a gossiping ladder packs its rung into 3 wire bits and \
+                 holds at most 8 rungs, got {}",
+                self.ladder.len()
             );
         }
     }
@@ -297,11 +493,32 @@ pub struct AdaptiveController {
     cfg: AdaptiveConfig,
     rung: usize,
     window: VecDeque<RoundTally>,
-    /// EWMA state for (pressure, activity, corrected rate); `None`
-    /// until the first observation after construction or a switch, so
-    /// each rung's estimate is seeded from its own first round — the
-    /// EWMA analogue of clearing the window.
-    ewma: Option<(f64, f64, f64)>,
+    /// Smoothed-estimator state for (pressure, activity, corrected
+    /// rate) — the EWMA average or the CUSUM statistics, depending on
+    /// the configured mode; `None` until the first observation after
+    /// construction or a switch, so each rung's estimate is seeded from
+    /// its own first round — the smoothed analogue of clearing the
+    /// window.
+    est: Option<(f64, f64, f64)>,
+    /// The gossip switch epoch (modulo 16) of this controller's
+    /// *current rung decision*: a Lamport-style logical clock — every
+    /// self-decided switch stamps itself one past the newest epoch this
+    /// controller has seen ([`AdaptiveController::latest_epoch`]), so a
+    /// fresh decision anywhere in the group reads as *newer* to every
+    /// peer regardless of how many times each controller has switched
+    /// before. Synchronized to the adopted advertisement on gossip
+    /// adoption. Maintained even with gossip off (it is a pure function
+    /// of the observation sequence either way); only advertised when
+    /// [`AdaptiveConfig::gossip`] is set.
+    epoch: u8,
+    /// The newest epoch seen so far (serial max over own switches and
+    /// every in-ladder advertisement) — the logical-clock frontier that
+    /// the next self-decided switch stamps itself past.
+    latest_epoch: u8,
+    /// Majority-join bookkeeping: the rung a strict majority of peers
+    /// advertised last round and for how many consecutive rounds, when
+    /// it differs from this controller's own.
+    majority_seen: Option<(u8, u8)>,
     rounds_since_switch: u64,
     calm_streak: u64,
     rounds_observed: u64,
@@ -322,7 +539,10 @@ impl AdaptiveController {
             cfg,
             rung: 0,
             window: VecDeque::new(),
-            ewma: None,
+            est: None,
+            epoch: 0,
+            latest_epoch: 0,
+            majority_seen: None,
             // Born free to switch: the dwell clock starts expired so a
             // burst in the very first window escalates immediately.
             rounds_since_switch: min_dwell,
@@ -362,13 +582,28 @@ impl AdaptiveController {
         &self.cfg
     }
 
+    /// The controller's gossip switch epoch (modulo 16).
+    pub fn epoch(&self) -> u8 {
+        self.epoch
+    }
+
+    /// The rung advertisement this controller piggybacks on its frames
+    /// — `Some` exactly when gossip is configured.
+    pub fn advert(&self) -> Option<RungAdvert> {
+        self.cfg.gossip.map(|_| RungAdvert {
+            rung: self.rung as u8,
+            epoch: self.epoch,
+        })
+    }
+
     /// Smoothed fault pressure: the estimated fraction of expected
     /// frames that fail to arrive intact — window totals by default,
-    /// EWMA of per-round rates under [`PressureEstimator::Ewma`].
+    /// EWMA of per-round rates under [`PressureEstimator::Ewma`], the
+    /// change-point statistic under [`PressureEstimator::Cusum`].
     pub fn pressure(&self) -> f64 {
         match self.cfg.estimator {
             PressureEstimator::Windowed => self.windowed(|t| t.omissions() + t.value_faults),
-            PressureEstimator::Ewma { .. } => self.ewma.map_or(0.0, |(p, _, _)| p),
+            _ => self.est.map_or(0.0, |(p, _, _)| p),
         }
     }
 
@@ -379,7 +614,7 @@ impl AdaptiveController {
             PressureEstimator::Windowed => {
                 self.windowed(|t| t.omissions() + t.corrected + t.value_faults)
             }
-            PressureEstimator::Ewma { .. } => self.ewma.map_or(0.0, |(_, a, _)| a),
+            _ => self.est.map_or(0.0, |(_, a, _)| a),
         }
     }
 
@@ -388,7 +623,7 @@ impl AdaptiveController {
     pub fn corrected_rate(&self) -> f64 {
         match self.cfg.estimator {
             PressureEstimator::Windowed => self.windowed(|t| t.corrected),
-            PressureEstimator::Ewma { .. } => self.ewma.map_or(0.0, |(_, _, c)| c),
+            _ => self.est.map_or(0.0, |(_, _, c)| c),
         }
     }
 
@@ -406,26 +641,33 @@ impl AdaptiveController {
         }
     }
 
-    /// Folds one round's rates into the EWMA state (no-op in windowed
-    /// mode).
-    fn update_ewma(&mut self, tally: RoundTally) {
-        let PressureEstimator::Ewma { lambda } = self.cfg.estimator else {
-            return;
-        };
+    /// Folds one round's rates into the smoothed-estimator state
+    /// (no-op in windowed mode).
+    fn update_estimate(&mut self, tally: RoundTally) {
         let (p, a) = (tally.pressure(), tally.activity());
         let c = if tally.expected == 0 {
             0.0
         } else {
             tally.corrected as f64 / tally.expected as f64
         };
-        self.ewma = Some(match self.ewma {
-            None => (p, a, c),
-            Some((ep, ea, ec)) => (
-                ep + lambda * (p - ep),
-                ea + lambda * (a - ea),
-                ec + lambda * (c - ec),
-            ),
-        });
+        match self.cfg.estimator {
+            PressureEstimator::Windowed => {}
+            PressureEstimator::Ewma { lambda } => {
+                self.est = Some(match self.est {
+                    None => (p, a, c),
+                    Some((ep, ea, ec)) => (
+                        ep + lambda * (p - ep),
+                        ea + lambda * (a - ea),
+                        ec + lambda * (c - ec),
+                    ),
+                });
+            }
+            PressureEstimator::Cusum { drift, cap } => {
+                let step = |s: f64, x: f64| (s + x - drift).clamp(0.0, cap);
+                let (sp, sa, sc) = self.est.unwrap_or((0.0, 0.0, 0.0));
+                self.est = Some((step(sp, p), step(sa, a), step(sc, c)));
+            }
+        }
     }
 
     /// The `α` budget the windowed value-fault estimate demands at the
@@ -443,15 +685,44 @@ impl AdaptiveController {
 
     /// Feeds one round's observations. Returns `Some(new_code)` when
     /// the controller switches rungs (effective from the next send),
-    /// `None` when it holds.
+    /// `None` when it holds. Equivalent to
+    /// [`AdaptiveController::observe_with_gossip`] with no peer
+    /// advertisements.
     pub fn observe(&mut self, tally: RoundTally) -> Option<CodeSpec> {
+        self.observe_with_gossip(tally, &[])
+    }
+
+    /// Feeds one round's observations plus the rung advertisements
+    /// piggybacked on the frames kept this round (at most one per
+    /// peer). Self-decided escalation and de-escalation run first,
+    /// exactly as in [`AdaptiveController::observe`]; only when the
+    /// controller holds does the gossip policy consider adopting a
+    /// newer-epoch rung from a quorum of peers (no-op unless
+    /// [`AdaptiveConfig::gossip`] is set). Still a pure function of the
+    /// observation sequence — identical tallies *and* advertisements
+    /// yield identical decisions on every substrate.
+    pub fn observe_with_gossip(
+        &mut self,
+        tally: RoundTally,
+        ads: &[RungAdvert],
+    ) -> Option<CodeSpec> {
         self.rounds_observed += 1;
         self.rounds_since_switch = self.rounds_since_switch.saturating_add(1);
         if self.window.len() == self.cfg.window {
             self.window.pop_front();
         }
         self.window.push_back(tally);
-        self.update_ewma(tally);
+        self.update_estimate(tally);
+        // Advance the logical-clock frontier over every in-ladder
+        // advertisement (adopted or not), so a self-decided switch
+        // below stamps itself past everything the group has decided.
+        for ad in ads {
+            if (ad.rung as usize) < self.cfg.ladder.len()
+                && RungAdvert::epoch_newer(ad.epoch, self.latest_epoch)
+            {
+                self.latest_epoch = ad.epoch;
+            }
+        }
 
         // Calm means *no channel activity*, not just no losses: a rung
         // that is silently repairing a burst is doing its job, and
@@ -464,7 +735,15 @@ impl AdaptiveController {
         }
 
         if self.rounds_since_switch <= self.cfg.min_dwell {
-            return None;
+            // The dwell clock gates only *self*-decided switches.
+            // Gossip adoption stays live: its rate is already bounded
+            // upstream — epochs only advance when some peer genuinely
+            // switches, and every such switch paid its own hysteresis.
+            // Dwell-gating adoption would recreate the very lag gossip
+            // exists to close (a laggard that took the one-rung step
+            // right before its peers severe-jumped would sit out the
+            // dwell on the wrong rung).
+            return self.gossip_adopt(ads);
         }
 
         let windowed = self.pressure();
@@ -498,7 +777,7 @@ impl AdaptiveController {
                 1
             };
             self.rung += step;
-            self.switched();
+            self.switched_self();
             return Some(self.current());
         }
         if self.rung > 0
@@ -514,10 +793,152 @@ impl AdaptiveController {
                 1
             };
             self.rung = self.rung.saturating_sub(step);
+            self.switched_self();
+            return Some(self.current());
+        }
+        self.gossip_adopt(ads)
+    }
+
+    /// The gossip adoption rule: among the round's advertisements,
+    /// keep those naming a valid non-last-resort rung that is *newer*
+    /// than this controller's own decision — a strictly newer epoch
+    /// (serial comparison), or the same epoch with a higher rung (the
+    /// tie-break that resolves simultaneous split decisions toward the
+    /// safe, more-protected direction); pick the newest such
+    /// advertisement; adopt only when a quorum of qualifying peers
+    /// advertise that same rung.
+    ///
+    /// Guards, in order of what they defend against:
+    ///
+    /// * **in-ladder validation** — a corrupted advert byte can name
+    ///   rung 0..=7 regardless of ladder length; out-of-ladder rungs
+    ///   never qualify;
+    /// * **last-resort pin** — gossip neither adopts *into* the final
+    ///   rung (it is entered only single-step, after its predecessor
+    ///   demonstrably failed) nor moves a controller *off* it (descent
+    ///   from the brute-force rung stays calm-driven);
+    /// * **serial epochs** — an advert whose epoch reads more than half
+    ///   the 4-bit window "ahead" is stale or forged and is ignored;
+    /// * **the quorum** — one corrupted byte is one peer's voice; two
+    ///   independent links must agree byte-for-byte on rung and
+    ///   qualify on epoch in the same round to move a controller.
+    fn gossip_adopt(&mut self, ads: &[RungAdvert]) -> Option<CodeSpec> {
+        let gossip = self.cfg.gossip?;
+        let last = self.cfg.ladder.len() - 1;
+        if self.rung == last {
+            // The last-resort pin, in both directions: gossip neither
+            // enters the brute-force rung (filtered below) nor leaves
+            // it — a controller that watched every cheaper rung fail
+            // descends on its own calm evidence, not on advertisements
+            // (`tests/gossip_faults.rs` blasts every forged byte value
+            // at a pinned controller to hold this line).
+            return None;
+        }
+        let newer_than_mine = |a: &RungAdvert| {
+            RungAdvert::epoch_newer(a.epoch, self.epoch)
+                || (a.epoch == self.epoch && (a.rung as usize) > self.rung)
+        };
+        let qualifying: Vec<RungAdvert> = ads
+            .iter()
+            .copied()
+            .filter(|a| (a.rung as usize) < self.cfg.ladder.len() && (a.rung as usize) != last)
+            .filter(newer_than_mine)
+            .collect();
+        // Quorum first, newest second: tally the qualifying
+        // advertisements per rung and adopt the newest *quorum-backed*
+        // camp. Checking the quorum only against the single
+        // newest-epoch advertisement would let one lone — or one
+        // even-weight-forged, parity-passing — newer advert veto a
+        // camp that actually has the votes.
+        let mut best: Option<(u8, u8, u8)> = None; // (distance, rung, epoch)
+        for a in &qualifying {
+            let votes = qualifying.iter().filter(|b| b.rung == a.rung).count();
+            if votes < gossip.quorum {
+                continue;
+            }
+            let candidate = (
+                RungAdvert::epoch_distance(a.epoch, self.epoch),
+                a.rung,
+                a.epoch,
+            );
+            if best.is_none_or(|b| (b.0, b.1) < (candidate.0, candidate.1)) {
+                best = Some(candidate);
+            }
+        }
+        if let Some((_, rung, epoch)) = best {
+            // Synchronize the epoch either way, so the group converges
+            // on one (rung, epoch) pair and future comparisons stay
+            // aligned.
+            self.epoch = epoch % EPOCH_MODULUS;
+            if (rung as usize) == self.rung {
+                self.majority_seen = None;
+                return None; // already there: epoch sync, no switch
+            }
+            self.rung = rung as usize;
             self.switched();
             return Some(self.current());
         }
+        // Majority-join: the newest-decision rule cannot pull back a
+        // *lone* leader — its own epoch is the group's newest, so no
+        // advertisement ever reads as newer, and a rung escalated onto
+        // over a private noise spike is self-sustaining (its own repair
+        // activity pins it, and its peers' cheaper frames dying in a
+        // burst read to it as fresh pressure) while the majority sits
+        // calm rungs below. A controller that watches a strict majority
+        // of its peers advertise the same different rung for
+        // `join_rounds` consecutive rounds therefore concedes and joins
+        // them, whatever their epochs. The stability requirement — not
+        // the dwell clock, which a climbing leader resets on every
+        // step — is what distinguishes a standing split from a
+        // burst-onset transient (at onset, the majority reaches the
+        // leader's rung within a round and the streak never completes);
+        // the majority bar (> half the peers) is far above what one
+        // corrupted advertisement byte can fake. Joining *into* the
+        // last resort is excluded like everywhere else in gossip: the
+        // brute-force rung is entered only single-step, after its
+        // predecessor demonstrably failed (and left only on own calm
+        // evidence — the pin above).
+        let mut counts = [0usize; 8];
+        for a in ads {
+            if (a.rung as usize) < self.cfg.ladder.len() && (a.rung as usize) != last {
+                counts[a.rung as usize] += 1;
+            }
+        }
+        let majority = (self.cfg.n - 1) / 2 + 1;
+        // Deterministic scan: prefer the larger camp, ties toward the
+        // higher (safer) rung.
+        let camp = counts[..self.cfg.ladder.len()]
+            .iter()
+            .enumerate()
+            .max_by_key(|(r, c)| (**c, *r))
+            .filter(|(rung, &count)| count >= majority && *rung != self.rung)
+            .map(|(rung, _)| rung as u8);
+        match camp {
+            Some(rung) => {
+                let streak = match self.majority_seen {
+                    Some((r, s)) if r == rung => s.saturating_add(1),
+                    _ => 1,
+                };
+                if streak >= gossip.join_rounds {
+                    self.rung = rung as usize;
+                    self.switched();
+                    return Some(self.current());
+                }
+                self.majority_seen = Some((rung, streak));
+            }
+            None => self.majority_seen = None,
+        }
         None
+    }
+
+    /// A self-decided switch: common bookkeeping plus an epoch stamp
+    /// one past the logical-clock frontier — this controller originated
+    /// a new rung decision, and every peer (whatever its own switch
+    /// history) must read it as the group's newest.
+    fn switched_self(&mut self) {
+        self.epoch = (self.latest_epoch + 1) % EPOCH_MODULUS;
+        self.latest_epoch = self.epoch;
+        self.switched();
     }
 
     fn switched(&mut self) {
@@ -529,10 +950,13 @@ impl AdaptiveController {
         // Judge every rung on its own observations: tallies gathered
         // under the previous code would otherwise read as this rung's
         // losses (stale checksum-era omissions escalating a correcting
-        // rung that is actually coping). The EWMA resets too — it
-        // re-seeds from the new rung's first round.
+        // rung that is actually coping). The smoothed estimator resets
+        // too — it re-seeds from the new rung's first round.
         self.window.clear();
-        self.ewma = None;
+        self.est = None;
+        // A switch changes which camp is "different": the majority-join
+        // streak starts over from the new rung's perspective.
+        self.majority_seen = None;
     }
 }
 
@@ -544,9 +968,34 @@ impl AdaptiveController {
 /// even mid-renegotiation; a corrupted id byte maps to a missing or
 /// mismatched code and the frame is rejected — a detected omission,
 /// never a silent fault.
+///
+/// Gossiping senders use the version-gated extension
+/// `[GOSSIP_FLAG | id] [advert] ++ code.encode(body)`: the high bit of
+/// the id byte announces that one [`RungAdvert`] byte follows before
+/// the coded body (which is why ids stop at 127). A pre-gossip decoder
+/// reading a gossip frame sees an unknown id and rejects it cleanly; a
+/// gossip-aware decoder reads legacy frames unchanged — the two
+/// formats interoperate with `Delivered`-or-`DetectedOmission`
+/// semantics in both directions, never a misparse (a proptest in
+/// `tests/code_props.rs` pins this).
 pub struct CodeBook {
     specs: Vec<CodeSpec>,
     codes: Vec<Arc<dyn ChannelCode>>,
+}
+
+/// A fully decoded tagged wire image: which code epoch it named,
+/// whether the decoder repaired channel errors, the piggybacked rung
+/// advertisement (if the sender gossips), and the recovered body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TaggedWire {
+    /// The ladder index the frame named.
+    pub code_id: u8,
+    /// `true` when the code corrected errors while decoding.
+    pub repaired: bool,
+    /// The sender's rung advertisement, when the frame carries one.
+    pub advert: Option<RungAdvert>,
+    /// The decoded body.
+    pub body: Vec<u8>,
 }
 
 impl CodeBook {
@@ -554,12 +1003,12 @@ impl CodeBook {
     ///
     /// # Panics
     ///
-    /// Panics if `specs` is empty or longer than 256 entries (ids are
-    /// one byte).
+    /// Panics if `specs` is empty or longer than 128 entries (ids are
+    /// one byte whose high bit is the [`GOSSIP_FLAG`]).
     pub fn from_specs(specs: &[CodeSpec]) -> Self {
         assert!(
-            !specs.is_empty() && specs.len() <= 256,
-            "a code book holds 1..=256 codes, got {}",
+            !specs.is_empty() && specs.len() <= GOSSIP_FLAG as usize,
+            "a code book holds 1..=128 codes, got {}",
             specs.len()
         );
         CodeBook {
@@ -594,9 +1043,27 @@ impl CodeBook {
     ///
     /// Panics if `id` is not in the book.
     pub fn encode_tagged(&self, id: u8, body: &[u8]) -> Vec<u8> {
+        self.encode_tagged_advert(id, None, body)
+    }
+
+    /// Encodes `body` under code `id`, optionally piggybacking a rung
+    /// advertisement: with `Some(advert)` the frame leads with
+    /// `[GOSSIP_FLAG | id] [advert byte]`, with `None` it is exactly
+    /// [`CodeBook::encode_tagged`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not in the book.
+    pub fn encode_tagged_advert(&self, id: u8, advert: Option<RungAdvert>, body: &[u8]) -> Vec<u8> {
         let code = self.codes.get(id as usize).expect("code id in book");
-        let mut wire = Vec::with_capacity(1 + code.encoded_len(body.len()));
-        wire.push(id);
+        let mut wire = Vec::with_capacity(2 + code.encoded_len(body.len()));
+        match advert {
+            Some(ad) => {
+                wire.push(GOSSIP_FLAG | id);
+                wire.push(ad.to_byte());
+            }
+            None => wire.push(id),
+        }
         wire.extend_from_slice(&code.encode(body));
         wire
     }
@@ -617,9 +1084,32 @@ impl CodeBook {
         body: &[u8],
         budget: crate::SymbolBudget,
     ) -> Vec<u8> {
+        self.encode_tagged_advert_budget(id, None, body, budget)
+    }
+
+    /// Like [`CodeBook::encode_tagged_advert`], spending an explicit
+    /// [`crate::SymbolBudget`] — gossiping rateless rungs use this; the
+    /// advertisement and the budget are orthogonal wire features.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not in the book.
+    pub fn encode_tagged_advert_budget(
+        &self,
+        id: u8,
+        advert: Option<RungAdvert>,
+        body: &[u8],
+        budget: crate::SymbolBudget,
+    ) -> Vec<u8> {
         let code = self.codes.get(id as usize).expect("code id in book");
-        let mut wire = Vec::with_capacity(1 + code.encoded_len(body.len()));
-        wire.push(id);
+        let mut wire = Vec::with_capacity(2 + code.encoded_len(body.len()));
+        match advert {
+            Some(ad) => {
+                wire.push(GOSSIP_FLAG | id);
+                wire.push(ad.to_byte());
+            }
+            None => wire.push(id),
+        }
         wire.extend_from_slice(&code.encode_with_budget(body, budget));
         wire
     }
@@ -645,10 +1135,38 @@ impl CodeBook {
     ///
     /// Exactly as [`CodeBook::decode_tagged`].
     pub fn decode_tagged_repaired(&self, wire: &[u8]) -> Result<(u8, Vec<u8>, bool), CodeError> {
-        let (&id, rest) = wire.split_first().ok_or(CodeError::Malformed)?;
+        let t = self.decode_tagged_full(wire)?;
+        Ok((t.code_id, t.body, t.repaired))
+    }
+
+    /// Decodes a tagged wire image in either format — legacy
+    /// (`[id] ++ coded`) or gossip (`[GOSSIP_FLAG | id] [advert] ++
+    /// coded`) — returning everything the frame carries.
+    ///
+    /// # Errors
+    ///
+    /// [`CodeError::Malformed`] on an empty or truncated prefix or an
+    /// unknown id, or whatever the named code's decoder reports. All of
+    /// these are *detected omissions* to the caller.
+    pub fn decode_tagged_full(&self, wire: &[u8]) -> Result<TaggedWire, CodeError> {
+        let (&first, rest) = wire.split_first().ok_or(CodeError::Malformed)?;
+        let (id, advert, coded) = if first & GOSSIP_FLAG != 0 {
+            let (&ad, coded) = rest.split_first().ok_or(CodeError::Malformed)?;
+            // A parity-failing advert byte is a *detected* corruption of
+            // the advertisement alone: the frame still decodes, the
+            // receiver just hears no advertisement from this peer.
+            (first & !GOSSIP_FLAG, RungAdvert::from_byte(ad), coded)
+        } else {
+            (first, None, rest)
+        };
         let code = self.codes.get(id as usize).ok_or(CodeError::Malformed)?;
-        let (body, repaired) = code.decode_repaired(rest)?;
-        Ok((id, body, repaired))
+        let (body, repaired) = code.decode_repaired(coded)?;
+        Ok(TaggedWire {
+            code_id: id,
+            repaired,
+            advert,
+            body,
+        })
     }
 
     /// Classifies what a receiver experiences when `wire_after_noise`
@@ -1071,6 +1589,253 @@ mod tests {
         assert!((t.activity() - 0.6).abs() < 1e-12);
         assert_eq!(RoundTally::default().pressure(), 0.0);
         assert_eq!(RoundTally::default().activity(), 0.0);
+    }
+
+    #[test]
+    fn cusum_and_windowed_modes_agree_on_the_clean_preset() {
+        let trace = crate::NoiseTrace::clean(11);
+        let windowed = rungs_under_trace(AdaptiveConfig::standard(8, 1), &trace, 60);
+        let cusum = rungs_under_trace(AdaptiveConfig::standard_cusum(8, 1), &trace, 60);
+        assert_eq!(windowed, cusum);
+        assert!(
+            windowed.iter().all(|&r| r == 0),
+            "clean channel never escalates"
+        );
+    }
+
+    #[test]
+    fn cusum_and_windowed_modes_agree_on_the_hard_burst_preset() {
+        // A hard burst drives every round's pressure far past the
+        // drift, so the CUSUM statistic crosses the escalation
+        // threshold in the same rounds the 2-round window does; on the
+        // calm side the capped statistic decays one drift per quiet
+        // round and reaches the de-escalation band within the cooldown,
+        // again matching the window. The modes differ only on marginal,
+        // threshold-straddling noise.
+        let trace = crate::NoiseTrace::bursty(7);
+        let windowed = rungs_under_trace(AdaptiveConfig::standard(8, 1), &trace, 60);
+        let cusum = rungs_under_trace(AdaptiveConfig::standard_cusum(8, 1), &trace, 60);
+        assert_eq!(windowed, cusum, "identical decisions round for round");
+        assert!(
+            *windowed.last().unwrap() > 0,
+            "the burst phase must actually move the ladder: {windowed:?}"
+        );
+    }
+
+    #[test]
+    fn cusum_ignores_subdrift_background_noise() {
+        // Sustained mild pressure below the drift never accumulates:
+        // the statistic reads exactly zero where the window would read
+        // the (harmless) background rate.
+        let mut ctl = AdaptiveController::new(AdaptiveConfig::standard_cusum(8, 1));
+        let mild = RoundTally {
+            expected: 10,
+            delivered: 9, // 10% pressure, below the 25% drift
+            corrected: 0,
+            value_faults: 0,
+        };
+        for _ in 0..50 {
+            assert_eq!(ctl.observe(mild), None);
+            assert_eq!(ctl.pressure(), 0.0, "sub-drift noise never accumulates");
+        }
+        assert_eq!(ctl.switches(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "CUSUM drift")]
+    fn invalid_cusum_drift_panics() {
+        let mut cfg = AdaptiveConfig::standard_cusum(4, 0);
+        cfg.estimator = PressureEstimator::Cusum {
+            drift: 0.0,
+            cap: 1.0,
+        };
+        let _ = AdaptiveController::new(cfg);
+    }
+
+    #[test]
+    fn advert_byte_roundtrips_and_detects_single_flips() {
+        for rung in 0..8u8 {
+            for epoch in 0..16u8 {
+                let ad = RungAdvert { rung, epoch };
+                let byte = ad.to_byte();
+                assert_eq!(RungAdvert::from_byte(byte), Some(ad));
+                // The parity bit catches every single-bit corruption:
+                // the advert is dropped, never misread.
+                for bit in 0..8 {
+                    assert_eq!(
+                        RungAdvert::from_byte(byte ^ (1 << bit)),
+                        None,
+                        "rung {rung} epoch {epoch} bit {bit}"
+                    );
+                }
+            }
+        }
+        // Exactly half the byte space is valid (even parity), and every
+        // valid byte parses inside the packed ranges.
+        let valid = (0..=255u8).filter(|b| RungAdvert::from_byte(*b).is_some());
+        assert_eq!(valid.count(), 128);
+    }
+
+    #[test]
+    fn epoch_serial_comparison_handles_wraparound() {
+        assert!(RungAdvert::epoch_newer(1, 0));
+        assert!(RungAdvert::epoch_newer(7, 0));
+        assert!(
+            !RungAdvert::epoch_newer(8, 0),
+            "half-window ties break stale"
+        );
+        assert!(!RungAdvert::epoch_newer(15, 0), "behind is stale");
+        assert!(RungAdvert::epoch_newer(2, 14), "wraparound stays newer");
+        assert!(!RungAdvert::epoch_newer(7, 7), "equal is not newer");
+    }
+
+    #[test]
+    fn gossip_quorum_of_newer_decisions_is_adopted_in_one_round() {
+        // Two peers advertising the same fresh decision pull a calm
+        // controller onto their rung immediately — the 1-round lag the
+        // acceptance test measures end to end.
+        let mut ctl = AdaptiveController::new(AdaptiveConfig::standard(5, 1).with_gossip());
+        let ad = RungAdvert { rung: 2, epoch: 1 };
+        let switched = ctl.observe_with_gossip(calm(4), &[ad, ad]);
+        assert_eq!(switched, Some(CodeSpec::Interleaved { depth: 16 }));
+        assert_eq!(ctl.rung(), 2);
+        assert_eq!(ctl.epoch(), 1, "adoption synchronizes the epoch");
+        assert_eq!(ctl.advert(), Some(ad), "…and re-advertises the pair");
+    }
+
+    #[test]
+    fn gossip_single_advert_is_never_enough() {
+        // One advertisement is one peer's voice — or one corrupted
+        // byte. Below the quorum the controller holds.
+        let mut ctl = AdaptiveController::new(AdaptiveConfig::standard(5, 1).with_gossip());
+        let ad = RungAdvert { rung: 2, epoch: 1 };
+        for _ in 0..10 {
+            assert_eq!(ctl.observe_with_gossip(calm(4), &[ad]), None);
+        }
+        assert_eq!(ctl.rung(), 0);
+    }
+
+    #[test]
+    fn gossip_never_adopts_outside_the_ladder_or_into_the_last_resort() {
+        let cfg = AdaptiveConfig::standard(5, 1).with_gossip();
+        let last = (cfg.ladder.len() - 1) as u8;
+        let mut ctl = AdaptiveController::new(cfg);
+        // Rungs past the ladder (a corrupted advert can name 0..=7) and
+        // the last resort never qualify, whatever the epoch or count.
+        for rung in [last, 5, 6, 7] {
+            let ad = RungAdvert { rung, epoch: 3 };
+            for _ in 0..6 {
+                assert_eq!(ctl.observe_with_gossip(calm(4), &[ad, ad, ad, ad]), None);
+            }
+        }
+        assert_eq!(ctl.rung(), 0, "no forged advert moved the controller");
+    }
+
+    #[test]
+    fn gossip_stale_epochs_are_ignored() {
+        let mut ctl = AdaptiveController::new(AdaptiveConfig::standard(5, 1).with_gossip());
+        // Escalate self-decided a few times: epoch advances.
+        for _ in 0..12 {
+            ctl.observe(noisy(4));
+        }
+        let epoch = ctl.epoch();
+        assert!(epoch >= 1, "self-switches stamp epochs");
+        let rung = ctl.rung();
+        // A stale advertisement (epoch behind ours) for a different
+        // rung, even from every peer, does not move the controller
+        // through the newest-decision rule (the majority-join below is
+        // a separate, slower pathway — hold it off with a fresh ad mix).
+        let stale = RungAdvert {
+            rung: 0,
+            epoch: (epoch + EPOCH_MODULUS - 1) % EPOCH_MODULUS,
+        };
+        assert_eq!(ctl.observe_with_gossip(absorbing(4), &[stale, stale]), None);
+        assert_eq!(ctl.rung(), rung);
+    }
+
+    #[test]
+    fn gossip_majority_join_pulls_back_a_lone_leader() {
+        // A controller that escalated alone (its epoch is the group's
+        // newest, so nothing ever reads as newer) watches a strict
+        // majority of peers advertise the same rung for join_rounds
+        // consecutive rounds and concedes.
+        let cfg = AdaptiveConfig::standard(5, 1).with_gossip();
+        let join_rounds = cfg.gossip.unwrap().join_rounds;
+        let last = cfg.ladder.len() - 1;
+        let mut ctl = AdaptiveController::new(cfg);
+        // Climb off rung 0 but stop short of the last resort (where
+        // gossip is pinned in both directions).
+        while ctl.rung() < 2 {
+            ctl.observe(noisy(4));
+        }
+        let high = ctl.rung();
+        assert!((2..last).contains(&high), "lone leader parked at {high}");
+        // Three of four peers sit calm at rung 0 with old epochs.
+        let majority = RungAdvert { rung: 0, epoch: 0 };
+        let mut joined_after = None;
+        for round in 1..=join_rounds as usize + 2 {
+            if ctl
+                .observe_with_gossip(calm(4), &[majority, majority, majority])
+                .is_some()
+            {
+                joined_after = Some(round);
+                break;
+            }
+        }
+        assert_eq!(
+            joined_after,
+            Some(join_rounds as usize),
+            "the stable majority wins after exactly join_rounds rounds"
+        );
+        assert_eq!(ctl.rung(), 0);
+    }
+
+    #[test]
+    fn gossip_disabled_controllers_ignore_adverts() {
+        let mut ctl = AdaptiveController::new(AdaptiveConfig::standard(5, 1));
+        assert!(ctl.advert().is_none(), "no gossip, no advertisement");
+        let ad = RungAdvert { rung: 3, epoch: 5 };
+        for _ in 0..10 {
+            assert_eq!(ctl.observe_with_gossip(calm(4), &[ad, ad, ad, ad]), None);
+        }
+        assert_eq!(ctl.rung(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "8 rungs")]
+    fn gossiping_ladder_past_eight_rungs_panics() {
+        let mut cfg = AdaptiveConfig::standard(5, 1).with_gossip();
+        cfg.ladder = (0..9).map(|_| CodeSpec::Hamming74).collect();
+        let _ = AdaptiveController::new(cfg);
+    }
+
+    #[test]
+    fn codebook_gossip_frames_roundtrip_and_interoperate() {
+        let cfg = AdaptiveConfig::standard(8, 1);
+        let book = CodeBook::from_specs(&cfg.ladder);
+        let body = b"piggyback".to_vec();
+        let ad = RungAdvert { rung: 2, epoch: 9 };
+        for id in 0..book.len() as u8 {
+            let wire = book.encode_tagged_advert(id, Some(ad), &body);
+            assert_eq!(wire[0], GOSSIP_FLAG | id, "the flag leads the frame");
+            assert_eq!(wire[1], ad.to_byte());
+            let t = book.decode_tagged_full(&wire).unwrap();
+            assert_eq!(t.code_id, id);
+            assert_eq!(t.advert, Some(ad));
+            assert_eq!(t.body, body);
+            // Legacy frames decode through the same pathway, advert-free.
+            let legacy = book.encode_tagged(id, &body);
+            let t = book.decode_tagged_full(&legacy).unwrap();
+            assert_eq!(t.advert, None);
+            assert_eq!(t.body, body);
+        }
+        // A gossip frame truncated to its flag byte is malformed, not a
+        // panic.
+        let wire = book.encode_tagged_advert(0, Some(ad), &body);
+        assert_eq!(
+            book.decode_tagged_full(&wire[..1]).map(|t| t.body),
+            Err(CodeError::Malformed)
+        );
     }
 
     #[test]

@@ -318,6 +318,30 @@ impl NoiseTrace {
         .with_shared_regime()
     }
 
+    /// **Moderate correlated bursts** — the divergence-prone regime.
+    /// Same shared per-round chain as
+    /// [`NoiseTrace::correlated_bursts`], but burst rounds corrupt at a
+    /// *moderate* 0.6% BER instead of 45%: a typical frame is hit with
+    /// probability around one half, so each receiver's tally is a
+    /// per-link binomial draw that straddles the controller thresholds
+    /// — some controllers escalate, some hold, and because a receiver's
+    /// pressure depends on its *senders'* rungs (cheap frames die where
+    /// coded ones survive), a split sustains itself once formed.
+    /// Independent controllers can stay split for tens of rounds here;
+    /// this is the preset the rung-gossip acceptance test
+    /// (`crates/coding/tests/adaptive_acceptance.rs`) uses to show
+    /// gossip collapsing that divergence to ≤ 1 round.
+    pub fn correlated_bursts_moderate(seed: u64) -> Self {
+        NoiseTrace::new(
+            seed,
+            vec![NoisePhase {
+                rounds: 1,
+                channel: GilbertElliott::new(0.2, 0.4, 0.0, 0.006),
+            }],
+        )
+        .with_shared_regime()
+    }
+
     /// Switches the trace to the shared-regime mode: the phase
     /// channel's transition probabilities are reinterpreted as
     /// per-round (not per-bit) and stepped by one seed-global chain, so

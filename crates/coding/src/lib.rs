@@ -75,12 +75,13 @@ mod fountain;
 mod hamming;
 mod interleave;
 mod measure;
+pub mod mesh;
 mod noise;
 mod repetition;
 
 pub use adaptive::{
-    chernoff_alpha_for_mean, AdaptiveConfig, AdaptiveController, CodeBook, PressureEstimator,
-    RoundTally,
+    chernoff_alpha_for_mean, AdaptiveConfig, AdaptiveController, CodeBook, GossipConfig,
+    PressureEstimator, RoundTally, RungAdvert, TaggedWire, GOSSIP_FLAG,
 };
 pub use burst::{GilbertElliott, NoiseModel, NoisePhase, NoiseTrace};
 pub use checksum::{crc32, Checksum, NoCode};

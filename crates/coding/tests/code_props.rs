@@ -3,9 +3,9 @@
 //! miss-rate regression for truncated checksums.
 
 use heardof_coding::{
-    deinterleave_bits, interleave_bits, measure_code_exact_flips, stripe_offsets, BitNoise,
-    ChannelCode, Checksum, CodeSpec, FrameOutcome, Hamming74, Interleaved, LtCode, NoCode,
-    Repetition, SymbolBudget,
+    deinterleave_bits, interleave_bits, measure_code_exact_flips, stripe_offsets, AdaptiveConfig,
+    BitNoise, ChannelCode, Checksum, CodeBook, CodeError, CodeSpec, FrameOutcome, Hamming74,
+    Interleaved, LtCode, NoCode, Repetition, RungAdvert, SymbolBudget,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -243,6 +243,90 @@ proptest! {
     }
 
     #[test]
+    fn gossip_frames_are_detected_omissions_to_pre_gossip_decoders(
+        payload in arb_payload(),
+        id_pick in 0usize..5,
+        rung in 0u8..8,
+        epoch in 0u8..16,
+    ) {
+        // Wire-format compatibility, forward direction: a frame in the
+        // gossip format handed to a decoder that predates it must be a
+        // clean rejection — the flagged id byte names no code in a
+        // pre-gossip book — never a misparse and never a panic. That is
+        // what makes the extra byte version-safe to deploy rung by rung.
+        let book = CodeBook::from_specs(&AdaptiveConfig::standard(5, 1).ladder);
+        let id = id_pick as u8;
+        let ad = RungAdvert { rung, epoch };
+        let wire = book.encode_tagged_advert(id, Some(ad), &payload);
+        match legacy_decode(&book, &wire) {
+            Err(_) => {} // detected omission: the only acceptable verdict
+            Ok((got_id, body)) => prop_assert!(
+                false,
+                "a pre-gossip decoder misread a gossip frame as id {} body {:?}",
+                got_id,
+                body
+            ),
+        }
+        // …and the gossip-aware decoder reads its own format exactly.
+        let full = book.decode_tagged_full(&wire).unwrap();
+        prop_assert_eq!(full.code_id, id);
+        prop_assert_eq!(full.advert, Some(ad));
+        prop_assert_eq!(full.body, payload);
+    }
+
+    #[test]
+    fn legacy_frames_decode_identically_through_the_gossip_aware_book(
+        payload in arb_payload(),
+        id_pick in 0usize..5,
+    ) {
+        // Wire-format compatibility, backward direction: a pre-gossip
+        // frame decodes byte-identically through the gossip-aware book
+        // (advert-free), and the two decode rules agree verdict for
+        // verdict.
+        let book = CodeBook::from_specs(&AdaptiveConfig::standard(5, 1).ladder);
+        let id = id_pick as u8;
+        let wire = book.encode_tagged(id, &payload);
+        let full = book.decode_tagged_full(&wire).unwrap();
+        prop_assert_eq!(full.code_id, id);
+        prop_assert_eq!(full.advert, None);
+        prop_assert_eq!(&full.body, &payload);
+        let (legacy_id, legacy_body) = legacy_decode(&book, &wire).unwrap();
+        prop_assert_eq!(legacy_id, id);
+        prop_assert_eq!(legacy_body, payload);
+    }
+
+    #[test]
+    fn gossip_prefix_corruption_is_never_a_value_fault(
+        payload in arb_payload(),
+        id_pick in 0usize..5,
+        rung in 0u8..8,
+        epoch in 0u8..16,
+        flips in 1usize..9,
+        seed in any::<u64>(),
+    ) {
+        // Corruption confined to the two unprotected prefix bytes (the
+        // flagged id and the advertisement): whatever it does — flag
+        // stripped, id remapped, advert forged — the receiver sees the
+        // original payload or a detected omission, never a different
+        // payload. (The advert itself may be lost or altered; policy
+        // guards own that, `tests/gossip_faults.rs` at the workspace
+        // root drives it.)
+        let book = CodeBook::from_specs(&AdaptiveConfig::standard(5, 1).ladder);
+        let mut wire =
+            book.encode_tagged_advert(id_pick as u8, Some(RungAdvert { rung, epoch }), &payload);
+        let mut rng = StdRng::seed_from_u64(seed);
+        BitNoise::flip_exact(&mut wire[..2], flips.min(16), &mut rng);
+        match book.decode_tagged_full(&wire) {
+            Err(_) => {} // detected omission
+            Ok(t) => prop_assert_eq!(
+                t.body,
+                payload,
+                "prefix corruption must never alter the delivered payload"
+            ),
+        }
+    }
+
+    #[test]
     fn no_code_never_detects(payload in arb_payload(), flips in 1usize..9, seed in any::<u64>()) {
         let mut wire = NoCode.encode(&payload);
         let mut rng = StdRng::seed_from_u64(seed);
@@ -253,6 +337,16 @@ proptest! {
             "without redundancy every corruption lands"
         );
     }
+}
+
+/// The *pre-gossip* tagged decode rule, reimplemented verbatim: the
+/// first byte is the code id, the rest is that code's wire image. This
+/// is what every deployed decoder did before the gossip byte existed —
+/// the compatibility proptests above drive today's frames through it.
+fn legacy_decode(book: &CodeBook, wire: &[u8]) -> Result<(u8, Vec<u8>), CodeError> {
+    let (&id, rest) = wire.split_first().ok_or(CodeError::Malformed)?;
+    let code = book.code(id).ok_or(CodeError::Malformed)?;
+    Ok((id, code.decode(rest)?))
 }
 
 /// A deliberately naive majority decoder: for each logical bit, gather

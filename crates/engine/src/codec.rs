@@ -297,21 +297,43 @@ pub fn encode_frame_tagged_budget<M: WireMessage>(
     book.encode_tagged_budget(id, &encode_body(frame), budget)
 }
 
+/// Like [`encode_frame_tagged`], additionally piggybacking a rung
+/// advertisement (`Some`) in the gossip wire format — one extra byte
+/// between the flagged id and the coded body (see
+/// [`heardof_coding::GOSSIP_FLAG`]). With `None` this is exactly
+/// [`encode_frame_tagged`].
+///
+/// # Panics
+///
+/// Panics if `id` is not registered in `book`.
+pub fn encode_frame_tagged_advert<M: WireMessage>(
+    frame: &Frame<M>,
+    id: u8,
+    advert: Option<heardof_coding::RungAdvert>,
+    book: &CodeBook,
+) -> Vec<u8> {
+    book.encode_tagged_advert(id, advert, &encode_body(frame))
+}
+
 /// A decoded tagged frame: which code epoch it came from, whether the
 /// decoder repaired channel errors on the way (the receiver-observable
-/// noise evidence feeding `RoundTally::corrected`), and the frame.
+/// noise evidence feeding `RoundTally::corrected`), the sender's rung
+/// advertisement when the frame gossips, and the frame.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct TaggedFrame<M> {
     /// The ladder index the frame named.
     pub code_id: u8,
     /// `true` when the code corrected errors while decoding.
     pub repaired: bool,
+    /// The sender's piggybacked rung advertisement, if any.
+    pub advert: Option<heardof_coding::RungAdvert>,
     /// The frame itself.
     pub frame: Frame<M>,
 }
 
-/// Decodes a tagged frame, returning the code id it named, the repair
-/// flag, and the frame.
+/// Decodes a tagged frame — legacy or gossip format — returning the
+/// code id it named, the repair flag, any piggybacked advertisement,
+/// and the frame.
 ///
 /// # Errors
 ///
@@ -323,13 +345,14 @@ pub fn decode_frame_tagged<M: WireMessage>(
     encoded: &[u8],
     book: &CodeBook,
 ) -> Result<TaggedFrame<M>, CodecError> {
-    let (code_id, body, repaired) = book
-        .decode_tagged_repaired(encoded)
+    let tagged = book
+        .decode_tagged_full(encoded)
         .map_err(CodecError::CodeRejected)?;
     Ok(TaggedFrame {
-        code_id,
-        repaired,
-        frame: decode_body(&body)?,
+        code_id: tagged.code_id,
+        repaired: tagged.repaired,
+        advert: tagged.advert,
+        frame: decode_body(&tagged.body)?,
     })
 }
 

@@ -13,11 +13,11 @@
 //! negotiates identical budgets by construction.
 
 use crate::codec::{
-    decode_body, decode_frame_tagged, encode_body, encode_frame_tagged, encode_frame_with, Frame,
-    WireMessage,
+    decode_body, decode_frame_tagged, encode_body, encode_frame_tagged_advert, encode_frame_with,
+    Frame, WireMessage,
 };
 use heardof_coding::{
-    AdaptiveController, ChannelCode, CodeBook, CodeSpec, RoundTally, SymbolBudget,
+    AdaptiveController, ChannelCode, CodeBook, CodeSpec, RoundTally, RungAdvert, SymbolBudget,
 };
 use std::sync::Arc;
 
@@ -86,12 +86,14 @@ impl Framing {
         }
     }
 
-    /// Encodes a frame under the framing in force for this round.
+    /// Encodes a frame under the framing in force for this round. When
+    /// the controller gossips, the frame piggybacks its current
+    /// [`RungAdvert`] in the version-gated gossip wire format.
     pub fn encode<M: WireMessage>(&self, frame: &Frame<M>) -> Vec<u8> {
         match &self.mode {
             Mode::Fixed { code, .. } => encode_frame_with(frame, code.as_ref()),
             Mode::Adaptive { book, controller } => {
-                encode_frame_tagged(frame, controller.code_id(), book)
+                encode_frame_tagged_advert(frame, controller.code_id(), controller.advert(), book)
             }
         }
     }
@@ -107,9 +109,12 @@ impl Framing {
     ) -> Vec<u8> {
         match &self.mode {
             Mode::Fixed { code, .. } => code.encode_with_budget(&encode_body(frame), budget),
-            Mode::Adaptive { book, controller } => {
-                book.encode_tagged_budget(controller.code_id(), &encode_body(frame), budget)
-            }
+            Mode::Adaptive { book, controller } => book.encode_tagged_advert_budget(
+                controller.code_id(),
+                controller.advert(),
+                &encode_body(frame),
+                budget,
+            ),
         }
     }
 
@@ -119,14 +124,28 @@ impl Framing {
     /// fountain code's budget renegotiation needs the repair signal
     /// just as much as an adaptive controller does.
     pub fn decode<M: WireMessage>(&self, bytes: &[u8]) -> Option<(Frame<M>, bool)> {
+        self.decode_full(bytes)
+            .map(|(frame, repaired, _)| (frame, repaired))
+    }
+
+    /// Like [`Framing::decode`], additionally surfacing the sender's
+    /// piggybacked [`RungAdvert`] when the frame gossips — the signal
+    /// [`RoundEngine::ingest`](crate::RoundEngine) collects per sender
+    /// and hands to the controller at end of round.
+    pub fn decode_full<M: WireMessage>(
+        &self,
+        bytes: &[u8],
+    ) -> Option<(Frame<M>, bool, Option<RungAdvert>)> {
         match &self.mode {
             Mode::Fixed { code, .. } => match code.decode_repaired(bytes) {
-                Ok((body, repaired)) => decode_body(&body).ok().map(|frame| (frame, repaired)),
+                Ok((body, repaired)) => {
+                    decode_body(&body).ok().map(|frame| (frame, repaired, None))
+                }
                 Err(_) => None,
             },
             Mode::Adaptive { book, .. } => decode_frame_tagged(bytes, book)
                 .ok()
-                .map(|t| (t.frame, t.repaired)),
+                .map(|t| (t.frame, t.repaired, t.advert)),
         }
     }
 
@@ -150,11 +169,20 @@ impl Framing {
     /// spec is now in force. Entering a fountain rung seeds the budget
     /// from that rung's baseline; staying on one applies the
     /// additive-increase/decay step ([`SymbolBudget::renegotiate`]);
-    /// leaving one drops the budget.
+    /// leaving one drops the budget. Equivalent to
+    /// [`Framing::observe_with_gossip`] with no advertisements.
     pub fn observe(&mut self, tally: RoundTally) {
+        self.observe_with_gossip(tally, &[]);
+    }
+
+    /// [`Framing::observe`] with the round's peer rung advertisements
+    /// (at most one per sender, in ascending sender order): a gossiping
+    /// controller may adopt a peer rung here, and the budget then
+    /// renegotiates against whatever spec that leaves in force.
+    pub fn observe_with_gossip(&mut self, tally: RoundTally, ads: &[RungAdvert]) {
         let before = self.current_spec();
         if let Mode::Adaptive { controller, .. } = &mut self.mode {
-            controller.observe(tally);
+            controller.observe_with_gossip(tally, ads);
         }
         let after = self.current_spec();
         self.budget = after.fountain_base().map(|base| {

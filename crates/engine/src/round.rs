@@ -34,12 +34,13 @@
 use crate::codec::{Frame, WireMessage};
 use crate::framing::Framing;
 use crate::process::ProcessCore;
-use heardof_coding::{CodeSpec, RoundTally};
+use heardof_coding::{CodeSpec, RoundTally, RungAdvert};
 use heardof_model::{HoAlgorithm, ProcessId, ReceptionVector, Round};
 use std::collections::HashMap;
 
-/// Early arrivals buffered for a future round, with their repair flags.
-type Early<M> = Vec<(Frame<M>, bool)>;
+/// Early arrivals buffered for a future round, with their repair flags
+/// and piggybacked rung advertisements.
+type Early<M> = Vec<(Frame<M>, bool, Option<RungAdvert>)>;
 
 /// The index of the link to `dest` within a per-process link vector
 /// built by filtering the process itself out of ascending process
@@ -118,6 +119,11 @@ where
     rx: ReceptionVector<A::Msg>,
     kept_this_round: Vec<(u32, u8)>,
     corrected_this_round: usize,
+    /// Rung advertisements piggybacked on the frames kept this round,
+    /// keyed by sender (first kept frame per sender wins, exactly like
+    /// the frames themselves — so the set is ingestion-order
+    /// independent). Sorted by sender before reaching the controller.
+    ads_this_round: Vec<(u32, RungAdvert)>,
     /// Frames that arrived early, keyed by round; each entry remembers
     /// whether its decode involved a repair (for that round's tally).
     future: HashMap<u64, Early<A::Msg>>,
@@ -155,6 +161,7 @@ where
             rx: ReceptionVector::new(n),
             kept_this_round: Vec::new(),
             corrected_this_round: 0,
+            ads_this_round: Vec::new(),
             future: HashMap::new(),
             kept: Vec::new(),
             codes: Vec::new(),
@@ -216,6 +223,7 @@ where
         self.rx = ReceptionVector::new(n);
         self.kept_this_round = Vec::new();
         self.corrected_this_round = 0;
+        self.ads_this_round = Vec::new();
 
         // Self-delivery first: local, never dropped, never corrupted.
         let own = self.core.send_to(round, me);
@@ -262,22 +270,26 @@ where
         // Early arrivals buffered for this round enter ahead of
         // whatever the substrate ingests next.
         if let Some(frames) = self.future.remove(&r) {
-            for (frame, repaired) in frames {
-                self.keep(frame, repaired);
+            for (frame, repaired, advert) in frames {
+                self.keep(frame, repaired, advert);
             }
         }
         outgoing
     }
 
-    /// First valid frame per sender wins; repairs count toward the
-    /// round's tally only when the frame is kept.
-    fn keep(&mut self, frame: Frame<A::Msg>, repaired: bool) -> Ingest {
+    /// First valid frame per sender wins; repairs and rung
+    /// advertisements count toward the round's tally only when the
+    /// frame is kept.
+    fn keep(&mut self, frame: Frame<A::Msg>, repaired: bool, advert: Option<RungAdvert>) -> Ingest {
         let sender = ProcessId::new(frame.sender);
         if self.rx.get(sender).is_some() {
             return Ingest::Duplicate;
         }
         self.kept_this_round.push((frame.sender, frame.copy));
         self.corrected_this_round += usize::from(repaired);
+        if let Some(ad) = advert {
+            self.ads_this_round.push((frame.sender, ad));
+        }
         self.rx.set(sender, frame.msg);
         Ingest::Kept
     }
@@ -289,7 +301,7 @@ where
     pub fn ingest(&mut self, bytes: &[u8]) -> Ingest {
         // A code rejection is a *detected* corruption: drop the frame,
         // producing an omission.
-        let Some((frame, repaired)) = self.framing.decode::<A::Msg>(bytes) else {
+        let Some((frame, repaired, advert)) = self.framing.decode_full::<A::Msg>(bytes) else {
             return Ingest::Rejected;
         };
         // A rate<1 code can (rarely) miscorrect header bits; a frame
@@ -305,10 +317,10 @@ where
             self.future
                 .entry(frame.round)
                 .or_default()
-                .push((frame, repaired));
+                .push((frame, repaired, advert));
             return Ingest::Future;
         }
-        self.keep(frame, repaired)
+        self.keep(frame, repaired, advert)
     }
 
     /// `true` once a frame from every sender (including self) has been
@@ -321,9 +333,12 @@ where
     /// Closes the round: transition on the reception vector, then
     /// renegotiation — the receiver tally (distinct peers heard, frames
     /// kept after repair; undetected value faults are invisible by
-    /// definition and enter as a zero estimate) goes to the controller,
-    /// and any new code applies from the next round's sends. Returns
-    /// the new spec when the controller switched.
+    /// definition and enter as a zero estimate) goes to the controller
+    /// together with the round's peer rung advertisements (sorted by
+    /// sender, so the gossip decision is independent of ingestion
+    /// order), and any new code applies from the next round's sends.
+    /// Returns the new spec when the controller switched — whether by
+    /// its own estimates or by gossip adoption.
     pub fn finish_round(&mut self) -> Option<CodeSpec> {
         assert_eq!(
             self.round,
@@ -343,12 +358,18 @@ where
             .collect::<std::collections::HashSet<_>>()
             .len();
         let before = self.framing.current_spec();
-        self.framing.observe(RoundTally {
-            expected: n - 1,
-            delivered: delivered_peers,
-            corrected: self.corrected_this_round,
-            value_faults: 0,
-        });
+        let mut ads = std::mem::take(&mut self.ads_this_round);
+        ads.sort_by_key(|(sender, _)| *sender);
+        let ads: Vec<RungAdvert> = ads.into_iter().map(|(_, ad)| ad).collect();
+        self.framing.observe_with_gossip(
+            RoundTally {
+                expected: n - 1,
+                delivered: delivered_peers,
+                corrected: self.corrected_this_round,
+                value_faults: 0,
+            },
+            &ads,
+        );
         let after = self.framing.current_spec();
 
         self.kept.push(std::mem::take(&mut self.kept_this_round));

@@ -358,18 +358,21 @@ impl FaultyLink {
     }
 
     /// Code-consistent corruption: alter payload bytes of the decoded
-    /// body and re-encode (under the *same* code epoch, for tagged
-    /// framing), so the receiver's decoder validates the forgery. No
-    /// code catches this — it is the residual the `α` budget exists
-    /// for.
+    /// body and re-encode (under the *same* code epoch, preserving any
+    /// piggybacked rung advertisement, for tagged framing), so the
+    /// receiver's decoder validates the forgery. No code catches this —
+    /// it is the residual the `α` budget exists for.
     fn corrupt_adversarially(&mut self, encoded: &mut Vec<u8>) -> LinkEvent {
         // Decode through the framing in force, remembering the epoch id
-        // so the forgery is re-encoded consistently.
+        // (and advert) so the forgery is re-encoded consistently.
         let decoded = match &self.book {
-            Some(book) => book.decode_tagged(encoded).ok(),
-            None => self.code.decode(encoded).ok().map(|body| (0, body)),
+            Some(book) => book
+                .decode_tagged_full(encoded)
+                .ok()
+                .map(|t| (t.code_id, t.advert, t.body)),
+            None => self.code.decode(encoded).ok().map(|body| (0, None, body)),
         };
-        let Some((id, mut body)) = decoded else {
+        let Some((id, advert, mut body)) = decoded else {
             // Pre-corrupted input (not produced by our runtime): leave it.
             return LinkEvent::CorruptedDetectable;
         };
@@ -384,7 +387,7 @@ impl FaultyLink {
             body[idx] ^= mask;
         }
         *encoded = match &self.book {
-            Some(book) => book.encode_tagged(id, &body),
+            Some(book) => book.encode_tagged_advert(id, advert, &body),
             None => self.code.encode(&body),
         };
         LinkEvent::CorruptedUndetected

@@ -84,6 +84,31 @@ pub struct NetConfig {
     pub lockstep: bool,
 }
 
+impl NetConfig {
+    /// The legacy whole-frame redundancy knob, exposed as an accessor
+    /// so the compat shim has one auditable seam.
+    ///
+    /// Under a rateless code this value never reaches the wire as
+    /// duplicate frames: the engine folds it into the per-frame
+    /// [`SymbolBudget`](heardof_coding::SymbolBudget) via
+    /// [`SymbolBudget::fold_copies`](heardof_coding::SymbolBudget::fold_copies)
+    /// (each copy beyond the first becomes `k` extra repair symbols on
+    /// the single frame actually sent). A test in
+    /// `crates/net/tests/copies_shim.rs` pins the fold equivalence so
+    /// the shim cannot silently drift from the budget pathway. New code
+    /// should configure symbol budgets (via the fountain rung's
+    /// baseline and per-round renegotiation) rather than copies.
+    #[doc(hidden)]
+    #[deprecated(
+        since = "0.2.0",
+        note = "under rateless codes `copies` is a compat shim folded into \
+                `SymbolBudget::fold_copies`; configure symbol budgets instead"
+    )]
+    pub fn legacy_copies(&self) -> u8 {
+        self.copies
+    }
+}
+
 impl Default for NetConfig {
     fn default() -> Self {
         NetConfig {

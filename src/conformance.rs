@@ -223,6 +223,10 @@ where
             };
             n
         ];
+        // Peer rung advertisements per receiver, exactly as the engine
+        // collects them: one per kept frame, sorted by sender before
+        // reaching the controller.
+        let mut ads: Vec<Vec<(u32, heardof_coding::RungAdvert)>> = vec![Vec::new(); n];
         for (sender, receiver, original) in intended.iter() {
             if sender == receiver {
                 // Self-delivery is local in the runtimes: never on the
@@ -248,7 +252,9 @@ where
                 .corrupt_frame(r, sender.as_u32(), receiver.as_u32(), 0, &mut wire);
             // The receiver's side of the pipeline, byte for byte: tagged
             // decode plus the runtimes' header sanity check.
-            let Some((got, repaired)) = self.framings[receiver.index()].decode::<M>(&wire) else {
+            let Some((got, repaired, advert)) =
+                self.framings[receiver.index()].decode_full::<M>(&wire)
+            else {
                 continue; // detected omission
             };
             if got.sender as usize >= n || got.round > self.max_round || got.round != r {
@@ -257,13 +263,19 @@ where
             let tally = &mut tallies[receiver.index()];
             tally.delivered += 1;
             tally.corrected += usize::from(repaired);
+            if let Some(ad) = advert {
+                ads[receiver.index()].push((got.sender, ad));
+            }
             // Conformance constraint: a live receiver cannot see that a
             // fault is undetected, so the tally must not use the oracle
             // either — value_faults stays 0, exactly as in the runtimes.
             delivered.set(ProcessId::new(got.sender), receiver, got.msg);
         }
-        for (p, tally) in tallies.into_iter().enumerate() {
-            self.framings[p].observe(tally);
+        for ((p, tally), mut peer_ads) in tallies.into_iter().enumerate().zip(ads) {
+            peer_ads.sort_by_key(|(sender, _)| *sender);
+            let peer_ads: Vec<heardof_coding::RungAdvert> =
+                peer_ads.into_iter().map(|(_, ad)| ad).collect();
+            self.framings[p].observe_with_gossip(tally, &peer_ads);
         }
         delivered
     }

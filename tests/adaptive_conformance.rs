@@ -10,12 +10,16 @@
 //! algorithms are substrate-independent", and the acceptance bar every
 //! new substrate must clear.
 //!
-//! The seed matrix covers four fixed seeds (CI fans them out via the
-//! `CONFORMANCE_SEED` environment variable; unset runs all four). The
+//! The seed matrix covers five fixed seeds (CI fans them out via the
+//! `CONFORMANCE_SEED` environment variable; unset runs all five). The
 //! fourth seed drives a *severe* trace — bursts long enough to defeat
 //! the interleaver rung — so the ladder climbs onto the rateless
 //! fountain rung and its per-round `SymbolBudget` renegotiation is
-//! exercised under the conformance bar too.
+//! exercised under the conformance bar too. The fifth seed runs the
+//! *gossip* configuration on the moderate correlated-burst preset:
+//! frames carry the extra rung-advertisement byte, controllers adopt
+//! peer rungs, and the adoption decisions must replay identically on
+//! every substrate.
 
 use heardof::conformance::{
     first_matrix_divergence, run_async_substrate, run_net_substrate, run_sim_substrate,
@@ -25,9 +29,12 @@ use heardof::prelude::*;
 use heardof_coding::{AdaptiveConfig, CodeSpec, GilbertElliott, NoisePhase, NoiseTrace};
 use std::time::Duration;
 
-const SEEDS: [u64; 4] = [0xA11CE, 0xB0B5, 0xC0DE5, 0xF0047];
+const SEEDS: [u64; 5] = [0xA11CE, 0xB0B5, 0xC0DE5, 0xF0047, 0x60551];
 /// The seed whose run must exercise the fountain rung.
 const FOUNTAIN_SEED: u64 = 0xF0047;
+/// The seed whose run must exercise rung gossip (piggybacked
+/// advertisements + adoption) under the conformance bar.
+const GOSSIP_SEED: u64 = 0x60551;
 const N: usize = 5;
 const ROUNDS: u64 = 14;
 
@@ -54,6 +61,13 @@ fn selected_seeds() -> Vec<u64> {
 /// losses; erasure-decode failures are detected omissions, so the rung
 /// is conformance-safe by construction).
 fn conformance_trace(seed: u64) -> NoiseTrace {
+    if seed == GOSSIP_SEED {
+        // The gossip seed runs the divergence-prone moderate correlated
+        // preset: tallies straddle thresholds, controllers split, and
+        // the gossip pathway (advert byte on every frame, adoption at
+        // end of round) does real work that all substrates must replay.
+        return NoiseTrace::correlated_bursts_moderate(seed);
+    }
     let noisy = if seed == FOUNTAIN_SEED {
         GilbertElliott::new(0.004, 0.045, 1e-5, 0.5)
     } else {
@@ -74,9 +88,17 @@ fn conformance_trace(seed: u64) -> NoiseTrace {
     )
 }
 
+fn conformance_config(seed: u64) -> AdaptiveConfig {
+    if seed == GOSSIP_SEED {
+        AdaptiveConfig::standard(N, 1).with_gossip()
+    } else {
+        AdaptiveConfig::standard(N, 1)
+    }
+}
+
 /// (sim, net, async) reports for one seed.
 fn run_all(seed: u64) -> [SubstrateReport; 3] {
-    let cfg = AdaptiveConfig::standard(N, 1);
+    let cfg = conformance_config(seed);
     let trace = conformance_trace(seed);
     let initial: Vec<u64> = (0..N as u64).map(|i| i % 2).collect();
     let algo: Ate<u64> = Ate::new(AteParams::balanced(N, 1).unwrap());
@@ -156,6 +178,51 @@ fn the_fountain_seed_exercises_the_rateless_rung() {
         "seed {FOUNTAIN_SEED:#x}: nobody reached the fountain rung — \
          severe trace too tame: {:?}",
         sim.codes
+    );
+}
+
+#[test]
+fn the_gossip_seed_exercises_rung_adoption() {
+    // The fifth pinned seed exists to put the gossip pathway — the
+    // advertisement byte on every tagged frame, the per-round ad
+    // collection, the adoption decision — under the cross-substrate
+    // bar (the 3-way equality itself is asserted by the matrix test
+    // above). Guard against the configuration going stale: on the same
+    // trace, the gossip run must actually make *different* controller
+    // decisions than an independent run, and must never be more
+    // divergent than it.
+    if !selected_seeds().contains(&GOSSIP_SEED) {
+        return; // another CI shard owns this seed
+    }
+    let [gossip, _, _] = run_all(GOSSIP_SEED);
+    let trace = conformance_trace(GOSSIP_SEED);
+    let initial: Vec<u64> = (0..N as u64).map(|i| i % 2).collect();
+    let algo: Ate<u64> = Ate::new(AteParams::balanced(N, 1).unwrap());
+    let independent = run_sim_substrate(
+        algo,
+        N,
+        initial,
+        &AdaptiveConfig::standard(N, 1),
+        &trace,
+        ROUNDS,
+    );
+    assert_ne!(
+        gossip.codes, independent.codes,
+        "seed {GOSSIP_SEED:#x}: gossip never changed a decision — the \
+         adoption pathway is not being exercised"
+    );
+    let divergent = |codes: &[Vec<CodeSpec>]| {
+        codes
+            .iter()
+            .filter(|round| round.iter().any(|c| *c != round[0]))
+            .count()
+    };
+    assert!(
+        divergent(&gossip.codes) <= divergent(&independent.codes),
+        "seed {GOSSIP_SEED:#x}: gossip must not be more divergent \
+         ({} vs {} rounds)",
+        divergent(&gossip.codes),
+        divergent(&independent.codes)
     );
 }
 

@@ -1,0 +1,248 @@
+//! Gossip-byte fault injection: what happens when corruption lands
+//! *exactly* on the rung/epoch advertisement byte.
+//!
+//! The advertisement travels outside the channel code (it must be
+//! readable before a decoder is picked), so the byte on the wire is
+//! unprotected — a corrupted advert parses to *some* `(rung, epoch)`
+//! pair and it is the adopting controller's policy guards that keep the
+//! forgery from doing harm: in-ladder validation, the last-resort entry
+//! pin, serial epoch comparison, and the adoption quorum. These tests
+//! drive seeded [`NoiseTrace`] corruption restricted to only the advert
+//! byte and assert the guards hold; the cross-substrate case runs the
+//! gossip configuration under an unrestricted trace through all three
+//! substrates and requires round-for-round agreement (trace corruption
+//! is deterministic, so substrates corrupting the advert byte corrupt
+//! it identically).
+
+use heardof::conformance::{
+    first_matrix_divergence, run_async_substrate, run_net_substrate, run_sim_substrate,
+};
+use heardof::prelude::*;
+use heardof_coding::{
+    AdaptiveConfig, AdaptiveController, CodeBook, NoiseTrace, RoundTally, RungAdvert, GOSSIP_FLAG,
+};
+use std::time::Duration;
+
+const N: usize = 5;
+
+/// Corrupts only byte `index` of `wire`, using the trace's seeded flip
+/// pattern for the frame's coordinates: the full-frame pattern is drawn
+/// as usual, then every byte except `index` is restored — so the advert
+/// byte sees exactly the noise the trace would have dealt it, and the
+/// rest of the frame arrives clean.
+fn corrupt_only_byte(
+    trace: &NoiseTrace,
+    round: u64,
+    sender: u32,
+    receiver: u32,
+    wire: &mut [u8],
+    index: usize,
+) -> bool {
+    let pristine = wire.to_vec();
+    trace.corrupt_frame(round, sender, receiver, 0, wire);
+    let mut hit = false;
+    for (i, byte) in wire.iter_mut().enumerate() {
+        if i != index {
+            *byte = pristine[i];
+        } else if *byte != pristine[i] {
+            hit = true;
+        }
+    }
+    hit
+}
+
+#[test]
+fn corrupted_advert_bytes_never_move_controllers_outside_the_ladder() {
+    // A mesh of gossiping controllers on a clean channel, except that
+    // every frame's advert byte is hit by a seeded heavy-noise trace.
+    // Whatever garbage the byte decodes to, controllers must only ever
+    // sit on real ladder rungs, and (with the channel otherwise clean)
+    // the forged advertisements alone must never assemble a quorum that
+    // switches anyone.
+    let cfg = AdaptiveConfig::standard(N, 1).with_gossip();
+    let ladder_len = cfg.ladder.len();
+    let book = CodeBook::from_specs(&cfg.ladder);
+    let mut controllers: Vec<AdaptiveController> = (0..N)
+        .map(|_| AdaptiveController::new(cfg.clone()))
+        .collect();
+    // A trace whose background noise hits the advert byte in a few
+    // percent of frames — sustained, targeted corruption of the one
+    // unprotected byte, at an intensity a real channel could produce.
+    // (At byte-obliterating rates, two *independently* forged adverts
+    // eventually agree by birthday collision and a quorum assembles by
+    // chance — the policy's defense is calibrated to corruption, not to
+    // an adversary rewriting the same byte on every link every round.)
+    let noise = NoiseTrace::new(
+        0xBADB,
+        vec![heardof_coding::NoisePhase {
+            rounds: 1,
+            channel: heardof_coding::GilbertElliott::new(0.05, 0.05, 0.01, 0.1),
+        }],
+    );
+    let body = vec![0x5Au8; 25];
+    let mut corrupted_ads = 0usize;
+    for r in 1..=80u64 {
+        let mut tallies = [RoundTally {
+            expected: N - 1,
+            delivered: 0,
+            corrected: 0,
+            value_faults: 0,
+        }; N];
+        let mut ads: Vec<Vec<RungAdvert>> = vec![Vec::new(); N];
+        for s in 0..N as u32 {
+            let sender = &controllers[s as usize];
+            let clean = book.encode_tagged_advert(sender.code_id(), sender.advert(), &body);
+            assert_eq!(
+                clean[0] & GOSSIP_FLAG,
+                GOSSIP_FLAG,
+                "gossip frames are flagged"
+            );
+            for p in 0..N as u32 {
+                if p == s {
+                    continue;
+                }
+                let mut wire = clean.clone();
+                // Byte 1 is the advertisement: corrupt it and nothing else.
+                corrupted_ads += usize::from(corrupt_only_byte(&noise, r, s, p, &mut wire, 1));
+                let t = book
+                    .decode_tagged_full(&wire)
+                    .expect("the coded body is untouched and must decode");
+                tallies[p as usize].delivered += 1;
+                assert_eq!(t.body, body, "advert corruption never touches the payload");
+                if let Some(ad) = t.advert {
+                    ads[p as usize].push(ad);
+                }
+            }
+        }
+        for (p, ctl) in controllers.iter_mut().enumerate() {
+            ctl.observe_with_gossip(tallies[p], &ads[p]);
+            assert!(
+                ctl.rung() < ladder_len,
+                "round {r}: controller {p} left the ladder"
+            );
+        }
+    }
+    assert!(
+        corrupted_ads > 100,
+        "the trace must actually hit the advert byte, got {corrupted_ads}"
+    );
+    for (p, ctl) in controllers.iter().enumerate() {
+        assert_eq!(
+            ctl.rung(),
+            0,
+            "controller {p}: forged advertisements alone must never \
+             assemble a quorum on a clean channel (ended at rung {}, \
+             {} switches)",
+            ctl.rung(),
+            ctl.switches()
+        );
+        assert_eq!(ctl.switches(), 0, "controller {p} switched on forgeries");
+    }
+}
+
+#[test]
+fn corrupted_adverts_never_unpin_the_last_resort_guard() {
+    // Drive one controller onto the last-resort rung by raw pressure,
+    // then blast it with every possible forged advertisement value at
+    // full multiplicity. Gossip must neither have put it there (entry
+    // stays single-step, pressure-driven) nor let forged bytes move it
+    // while the (simulated) catastrophe continues — descent from the
+    // last resort is calm-driven only.
+    let cfg = AdaptiveConfig::standard(N, 1).with_gossip();
+    let last = cfg.ladder.len() - 1;
+    let mut ctl = AdaptiveController::new(cfg);
+    let starving = RoundTally {
+        expected: N - 1,
+        delivered: 0,
+        corrected: 0,
+        value_faults: 0,
+    };
+    for _ in 0..40 {
+        ctl.observe(starving);
+        assert!(
+            ctl.rung() <= last,
+            "pressure escalation stays on the ladder"
+        );
+    }
+    assert_eq!(
+        ctl.rung(),
+        last,
+        "sustained starvation reaches the last resort"
+    );
+    // Every parseable advertisement (forged bytes failing the parity
+    // check never even reach the policy), at full multiplicity.
+    for byte in 0..=255u8 {
+        let Some(forged) = RungAdvert::from_byte(byte) else {
+            continue; // parity already discarded this forgery
+        };
+        let moved = ctl.observe_with_gossip(starving, &[forged, forged, forged, forged]);
+        assert_eq!(
+            moved, None,
+            "forged byte {byte:#04x} moved a pinned controller"
+        );
+        assert_eq!(
+            ctl.rung(),
+            last,
+            "the last resort stays pinned mid-catastrophe"
+        );
+    }
+}
+
+#[test]
+fn advert_corruption_is_confined_to_the_advertisement() {
+    // Whatever value the advert byte takes, the frame still decodes to
+    // the exact payload — the gossip byte can lie about the sender's
+    // rung but can never corrupt the message or crash the decoder.
+    let cfg = AdaptiveConfig::standard(N, 1).with_gossip();
+    let book = CodeBook::from_specs(&cfg.ladder);
+    let body = b"advert blast radius".to_vec();
+    for id in 0..cfg.ladder.len() as u8 {
+        let clean = book.encode_tagged_advert(id, Some(RungAdvert { rung: 1, epoch: 3 }), &body);
+        for byte in 0..=255u8 {
+            let mut wire = clean.clone();
+            wire[1] = byte;
+            let t = book
+                .decode_tagged_full(&wire)
+                .expect("decode survives every advert value");
+            assert_eq!(t.code_id, id);
+            assert_eq!(t.body, body);
+            // Parity-failing values surface as "no advertisement";
+            // parity-passing ones parse to exactly their packed pair.
+            assert_eq!(t.advert, RungAdvert::from_byte(byte));
+        }
+    }
+}
+
+#[test]
+fn gossip_decisions_stay_conformant_across_all_three_substrates() {
+    // The decisive property under corruption: the advert byte is part
+    // of the deterministic trace's flip domain, so all three substrates
+    // corrupt it identically and every adoption (or refusal) replays
+    // round for round. A seed distinct from the pinned conformance
+    // matrix keeps this an independent draw.
+    let rounds = 14u64;
+    let cfg = AdaptiveConfig::standard(N, 1).with_gossip();
+    let trace = NoiseTrace::correlated_bursts_moderate(0xFA17);
+    let initial: Vec<u64> = (0..N as u64).map(|i| i % 2).collect();
+    let algo: Ate<u64> = Ate::new(AteParams::balanced(N, 1).unwrap());
+    let sim = run_sim_substrate(algo.clone(), N, initial.clone(), &cfg, &trace, rounds);
+    let net = run_net_substrate(
+        algo.clone(),
+        N,
+        initial.clone(),
+        &cfg,
+        &trace,
+        rounds,
+        Duration::from_millis(150),
+    );
+    let asy = run_async_substrate(algo, N, initial, &cfg, &trace, rounds);
+    if let Some(diff) = first_matrix_divergence(&[("sim", &sim), ("net", &net), ("async", &asy)]) {
+        panic!("gossip under fault injection diverges across substrates — {diff}");
+    }
+    assert!(
+        sim.codes
+            .iter()
+            .any(|round| round.iter().any(|c| *c != CodeSpec::Checksum { width: 4 })),
+        "the trace must actually move the gossiping ladder"
+    );
+}
