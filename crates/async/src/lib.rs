@@ -60,3 +60,5 @@ pub use runtime::{run_async, AsyncConfig, AsyncOutcome};
 pub use socket::{socket, NbReceiver, NbSender, Recv};
 // The shared outcome surface, for callers that only import this crate.
 pub use heardof_engine::{OutcomeView, SubstrateOutcome};
+// The telemetry plane, so deployments can attach a recorder directly.
+pub use heardof_telemetry::{RingRecorder, Telemetry};

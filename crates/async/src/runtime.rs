@@ -31,6 +31,7 @@ use heardof_coding::{AdaptiveConfig, CodeSpec, NoiseTrace};
 use heardof_engine::{link_index, EngineReport, RoundEngine, SubstrateOutcome, WireMessage};
 use heardof_model::HoAlgorithm;
 use heardof_net::{FaultyLink, LinkFaults, RunFabric};
+use heardof_telemetry::Telemetry;
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -61,6 +62,9 @@ pub struct AsyncConfig {
     /// decided (rounds are always barrier-aligned here, so unlike the
     /// threaded runtime this changes nothing else).
     pub lockstep: bool,
+    /// The telemetry plane every link and engine emits into; defaults
+    /// to [`Telemetry::null`] (record nothing, one branch per event).
+    pub telemetry: Telemetry,
 }
 
 impl Default for AsyncConfig {
@@ -74,6 +78,7 @@ impl Default for AsyncConfig {
             adaptive: None,
             trace: None,
             lockstep: false,
+            telemetry: Telemetry::null(),
         }
     }
 }
@@ -124,6 +129,7 @@ where
         config.code,
         config.adaptive.clone(),
         config.trace.clone(),
+        config.telemetry.clone(),
     );
     let board: Arc<Mutex<Vec<Option<A::Value>>>> = Arc::new(Mutex::new(vec![None; n]));
     let reports: Arc<Mutex<Vec<Option<EngineReport>>>> =

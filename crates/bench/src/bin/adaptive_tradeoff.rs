@@ -29,8 +29,10 @@ use heardof_coding::{
     AdaptiveConfig, AdaptiveController, ChannelCode, CodeBook, CodeSpec, NoiseTrace, RoundTally,
 };
 use heardof_core::AteParams;
+use heardof_telemetry::{Event, EventKind, RingRecorder, Telemetry};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
+use std::sync::Arc;
 
 /// Senders per round (one receiver's viewpoint in an n = 24 system).
 const SENDERS: usize = 23;
@@ -82,16 +84,30 @@ enum Policy {
     Adaptive(Box<AdaptiveController>, CodeBook),
 }
 
+/// The link-plane kinds a sweep emits; their totals reproduce the
+/// table's tallies.
+const LINK_KINDS: [EventKind; 4] = [
+    EventKind::LinkDelivered,
+    EventKind::LinkCorrected,
+    EventKind::LinkDetected,
+    EventKind::LinkUndetected,
+];
+
 fn run(policy: &mut Policy, trace: &NoiseTrace, seed: u64) -> Outcome {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut body = vec![0u8; BODY_LEN];
-    let (mut wire_bytes, mut delivered, mut faults, mut productive) = (0usize, 0usize, 0usize, 0);
+    // Every wire verdict flows through the telemetry plane (per-round
+    // counters, no event ring) and the table's tallies are read back
+    // from it: these columns are the flight recorder's counters by
+    // construction, so the experiment and the observability plane
+    // cannot drift apart.
+    let telemetry = Telemetry::from_ring(Arc::new(RingRecorder::with_capacity(0)));
+    let mut productive = 0usize;
     let static_code = match policy {
         Policy::Static(spec) => Some(spec.build()),
         Policy::Adaptive(..) => None,
     };
     for r in 1..=ROUNDS {
-        let (mut ok, mut corrected, mut missed) = (0usize, 0usize, 0usize);
         for s in 0..SENDERS as u32 {
             for b in body.iter_mut() {
                 *b = rng.next_u64() as u8;
@@ -100,7 +116,6 @@ fn run(policy: &mut Policy, trace: &NoiseTrace, seed: u64) -> Outcome {
                 Policy::Static(_) => static_code.as_ref().unwrap().encode(&body),
                 Policy::Adaptive(ctl, book) => book.encode_tagged(ctl.code_id(), &body),
             };
-            wire_bytes += wire.len();
             trace.corrupt_frame(r, s, 0, 0, &mut wire);
             let verdict = match policy {
                 Policy::Static(_) => static_code.as_ref().unwrap().decode_repaired(&wire).ok(),
@@ -109,17 +124,22 @@ fn run(policy: &mut Policy, trace: &NoiseTrace, seed: u64) -> Outcome {
                     .ok()
                     .map(|(_, p, rep)| (p, rep)),
             };
-            match verdict {
-                None => {}
+            let kind = match verdict {
+                None => EventKind::LinkDetected,
                 Some((payload, repaired)) if payload == body => {
-                    ok += 1;
-                    corrected += usize::from(repaired);
+                    if repaired {
+                        EventKind::LinkCorrected
+                    } else {
+                        EventKind::LinkDelivered
+                    }
                 }
-                Some(_) => missed += 1,
-            }
+                Some(_) => EventKind::LinkUndetected,
+            };
+            telemetry.emit(Event::link(kind, r, 0, s, wire.len() as u64));
         }
-        delivered += ok;
-        faults += missed;
+        let counts = telemetry.round_counts(r).unwrap_or_default();
+        let ok = (counts[EventKind::LinkDelivered] + counts[EventKind::LinkCorrected]) as usize;
+        let missed = counts[EventKind::LinkUndetected] as usize;
         if ok * PRODUCTIVE_DEN >= SENDERS * PRODUCTIVE_NUM {
             productive += 1;
         }
@@ -129,7 +149,7 @@ fn run(policy: &mut Policy, trace: &NoiseTrace, seed: u64) -> Outcome {
             ctl.observe(RoundTally {
                 expected: SENDERS,
                 delivered: ok + missed,
-                corrected,
+                corrected: counts[EventKind::LinkCorrected] as usize,
                 value_faults: 0,
             });
         }
@@ -139,9 +159,13 @@ fn run(policy: &mut Policy, trace: &NoiseTrace, seed: u64) -> Outcome {
             Policy::Static(spec) => spec.to_string(),
             Policy::Adaptive(..) => "adaptive".into(),
         },
-        wire_bytes,
-        delivered,
-        value_faults: faults,
+        wire_bytes: LINK_KINDS
+            .into_iter()
+            .map(|k| telemetry.value_total(k))
+            .sum::<u64>() as usize,
+        delivered: (telemetry.total(EventKind::LinkDelivered)
+            + telemetry.total(EventKind::LinkCorrected)) as usize,
+        value_faults: telemetry.total(EventKind::LinkUndetected) as usize,
         productive_rounds: productive,
         switches: match policy {
             Policy::Adaptive(ctl, _) => ctl.switches(),

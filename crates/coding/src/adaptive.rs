@@ -443,29 +443,49 @@ impl AdaptiveConfig {
 /// Binomial/Poisson-like per-round undetected-corruption count with
 /// mean `mu` is below `tail_bound`.
 ///
-/// This is the canonical padding rule of the workspace;
-/// `heardof_net::recommend_alpha_for_mean` and the bench harness
-/// delegate here so the logic lives in one place.
+/// This is the canonical padding rule of the workspace; the
+/// implementation lives in `heardof_telemetry` (next to the
+/// [`heardof_telemetry::AlphaLedger`] that feeds it observed rates),
+/// and `heardof_net::recommend_alpha_for_mean`, the bench harness and
+/// this re-export all delegate there so the logic lives in one place.
 pub fn chernoff_alpha_for_mean(mu: f64, n: usize, tail_bound: f64) -> u32 {
-    assert!(mu >= 0.0, "mean demand must be nonnegative");
-    // Chernoff: P(X ≥ a) ≤ exp(−mu) (e·mu / a)^a for a > mu.
-    let tail = |a: u32| -> f64 {
-        if mu == 0.0 {
-            return 0.0;
+    heardof_telemetry::chernoff_alpha_for_mean(mu, n, tail_bound)
+}
+
+/// Why a controller moved rungs — recorded on every switch so the
+/// telemetry plane can attribute ladder motion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SwitchCause {
+    /// Self-decided climb: pressure beat the current rung.
+    Escalate,
+    /// Self-decided descent: a calm window released the rung.
+    Release,
+    /// Quorum-backed gossip adoption of a newer peer decision.
+    Adopt,
+    /// Majority-join: conceded to a standing peer majority.
+    Join,
+}
+
+impl SwitchCause {
+    /// Stable wire code (packed into telemetry `RungSwitch` events).
+    pub const fn code(self) -> u8 {
+        match self {
+            SwitchCause::Escalate => 0,
+            SwitchCause::Release => 1,
+            SwitchCause::Adopt => 2,
+            SwitchCause::Join => 3,
         }
-        let a = a as f64;
-        if a <= mu {
-            return 1.0;
-        }
-        (-mu + a * (1.0 + (mu / a).ln())).exp()
-    };
-    // A receiver sees at most n frames per round, so α > n is never
-    // needed regardless of the mean demand.
-    let mut alpha = (mu.ceil() as u32).min(n as u32);
-    while tail(alpha + 1) > tail_bound && alpha < n as u32 {
-        alpha += 1;
     }
-    alpha
+
+    /// Stable snake_case name for dumps and reports.
+    pub const fn name(self) -> &'static str {
+        match self {
+            SwitchCause::Escalate => "escalate",
+            SwitchCause::Release => "release",
+            SwitchCause::Adopt => "adopt",
+            SwitchCause::Join => "join",
+        }
+    }
 }
 
 /// Deterministic per-round code selection over an escalation ladder.
@@ -523,6 +543,11 @@ pub struct AdaptiveController {
     calm_streak: u64,
     rounds_observed: u64,
     switches: usize,
+    /// Why the most recent switch happened (`None` until the first).
+    last_cause: Option<SwitchCause>,
+    /// Rounds in which gossip was considered but declined because this
+    /// controller sits pinned on the last-resort rung.
+    pins: u64,
 }
 
 impl AdaptiveController {
@@ -549,6 +574,8 @@ impl AdaptiveController {
             calm_streak: 0,
             rounds_observed: 0,
             switches: 0,
+            last_cause: None,
+            pins: 0,
         }
     }
 
@@ -570,6 +597,17 @@ impl AdaptiveController {
     /// Number of switches performed so far.
     pub fn switches(&self) -> usize {
         self.switches
+    }
+
+    /// Why the most recent switch happened (`None` before any switch).
+    pub fn last_switch_cause(&self) -> Option<SwitchCause> {
+        self.last_cause
+    }
+
+    /// How often gossip was considered but declined because this
+    /// controller is pinned on the last-resort rung.
+    pub fn gossip_pins(&self) -> u64 {
+        self.pins
     }
 
     /// Rounds observed so far.
@@ -777,6 +815,7 @@ impl AdaptiveController {
                 1
             };
             self.rung += step;
+            self.last_cause = Some(SwitchCause::Escalate);
             self.switched_self();
             return Some(self.current());
         }
@@ -793,6 +832,7 @@ impl AdaptiveController {
                 1
             };
             self.rung = self.rung.saturating_sub(step);
+            self.last_cause = Some(SwitchCause::Release);
             self.switched_self();
             return Some(self.current());
         }
@@ -832,6 +872,9 @@ impl AdaptiveController {
             // descends on its own calm evidence, not on advertisements
             // (`tests/gossip_faults.rs` blasts every forged byte value
             // at a pinned controller to hold this line).
+            if !ads.is_empty() {
+                self.pins += 1;
+            }
             return None;
         }
         let newer_than_mine = |a: &RungAdvert| {
@@ -875,6 +918,7 @@ impl AdaptiveController {
                 return None; // already there: epoch sync, no switch
             }
             self.rung = rung as usize;
+            self.last_cause = Some(SwitchCause::Adopt);
             self.switched();
             return Some(self.current());
         }
@@ -921,6 +965,7 @@ impl AdaptiveController {
                 };
                 if streak >= gossip.join_rounds {
                     self.rung = rung as usize;
+                    self.last_cause = Some(SwitchCause::Join);
                     self.switched();
                     return Some(self.current());
                 }

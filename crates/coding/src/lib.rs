@@ -81,7 +81,7 @@ mod repetition;
 
 pub use adaptive::{
     chernoff_alpha_for_mean, AdaptiveConfig, AdaptiveController, CodeBook, GossipConfig,
-    PressureEstimator, RoundTally, RungAdvert, TaggedWire, GOSSIP_FLAG,
+    PressureEstimator, RoundTally, RungAdvert, SwitchCause, TaggedWire, GOSSIP_FLAG,
 };
 pub use burst::{GilbertElliott, NoiseModel, NoisePhase, NoiseTrace};
 pub use checksum::{crc32, Checksum, NoCode};
@@ -91,7 +91,8 @@ pub use fountain::{LtCode, SymbolBudget};
 pub use hamming::Hamming74;
 pub use interleave::{deinterleave_bits, interleave_bits, stripe_offsets, Interleaved};
 pub use measure::{
-    induced_alpha_demand, measure_code, measure_code_exact_flips, measure_code_under, MissRates,
+    induced_alpha_demand, measure_code, measure_code_exact_flips, measure_code_observed,
+    measure_code_under, MissRates,
 };
 pub use noise::BitNoise;
 pub use repetition::Repetition;

@@ -10,6 +10,7 @@
 use crate::burst::NoiseModel;
 use crate::code::{ChannelCode, FrameOutcome};
 use crate::noise::BitNoise;
+use heardof_telemetry::{Event, EventKind, Telemetry, NO_PEER};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 
@@ -56,6 +57,20 @@ impl MissRates {
             self.undetected as f64 / corrupted as f64
         }
     }
+
+    /// Rebuilds rates from telemetry link-plane counters — the inverse
+    /// of [`measure_code_observed`]'s event stream. `trials` is taken
+    /// by the caller because a shared recorder may have seen more than
+    /// one measurement run.
+    pub fn from_telemetry(trials: usize, telemetry: &Telemetry) -> MissRates {
+        MissRates {
+            trials,
+            clean: telemetry.total(EventKind::LinkDelivered) as usize,
+            corrected: telemetry.total(EventKind::LinkCorrected) as usize,
+            detected: telemetry.total(EventKind::LinkDetected) as usize,
+            undetected: telemetry.total(EventKind::LinkUndetected) as usize,
+        }
+    }
 }
 
 /// Estimates a code's outcome split under a binary symmetric channel:
@@ -87,33 +102,56 @@ pub fn measure_code_under(
     trials: usize,
     seed: u64,
 ) -> MissRates {
+    // One accounting path: the loop emits link-plane telemetry and the
+    // rates are folded back out of the counters.
+    let telemetry = Telemetry::counters();
+    measure_code_observed(code, payload_len, noise, trials, seed, &telemetry);
+    MissRates::from_telemetry(trials, &telemetry)
+}
+
+/// The event-emitting core of [`measure_code_under`]: runs the same
+/// Monte-Carlo loop but reports each trial's outcome as a link-plane
+/// telemetry event (round = trial number, starting at 1; peer =
+/// [`NO_PEER`]; value = wire length) instead of keeping private
+/// tallies. Use [`Telemetry::counters`] for large trial counts —
+/// counters-only mode stores no per-event or per-round state.
+///
+/// Deterministic per `seed`, and byte-identical in its classifications
+/// to the pre-telemetry hand-rolled loop.
+pub fn measure_code_observed(
+    code: &dyn ChannelCode,
+    payload_len: usize,
+    noise: &mut dyn NoiseModel,
+    trials: usize,
+    seed: u64,
+    telemetry: &Telemetry,
+) {
     assert!(trials > 0, "need at least one trial");
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut rates = MissRates {
-        trials,
-        clean: 0,
-        corrected: 0,
-        detected: 0,
-        undetected: 0,
-    };
     let mut payload = vec![0u8; payload_len];
-    for _ in 0..trials {
+    for trial in 0..trials {
         for b in payload.iter_mut() {
             *b = rng.next_u64() as u8;
         }
         let mut wire = code.encode(&payload);
         let flipped = noise.corrupt(&mut wire, &mut rng);
-        if flipped == 0 {
-            rates.clean += 1;
-            continue;
-        }
-        match code.classify(&payload, &wire) {
-            FrameOutcome::Delivered => rates.corrected += 1,
-            FrameOutcome::DetectedOmission => rates.detected += 1,
-            FrameOutcome::UndetectedValueFault => rates.undetected += 1,
-        }
+        let kind = if flipped == 0 {
+            EventKind::LinkDelivered
+        } else {
+            match code.classify(&payload, &wire) {
+                FrameOutcome::Delivered => EventKind::LinkCorrected,
+                FrameOutcome::DetectedOmission => EventKind::LinkDetected,
+                FrameOutcome::UndetectedValueFault => EventKind::LinkUndetected,
+            }
+        };
+        telemetry.emit(Event::link(
+            kind,
+            trial as u64 + 1,
+            0,
+            NO_PEER,
+            wire.len() as u64,
+        ));
     }
-    rates
 }
 
 /// Like [`measure_code`], but with a fixed number of flipped bits per

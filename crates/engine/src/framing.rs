@@ -17,8 +17,10 @@ use crate::codec::{
     Frame, WireMessage,
 };
 use heardof_coding::{
-    AdaptiveController, ChannelCode, CodeBook, CodeSpec, RoundTally, RungAdvert, SymbolBudget,
+    AdaptiveController, ChannelCode, CodeBook, CodeSpec, RoundTally, RungAdvert, SwitchCause,
+    SymbolBudget,
 };
+use heardof_telemetry::{pack_rung_switch, Event, EventKind, Telemetry};
 use std::sync::Arc;
 
 /// The two framing policies a process can run under.
@@ -56,6 +58,14 @@ pub struct Framing {
     /// `Some` exactly while the spec in force is rateless; reset to the
     /// rung's baseline on every switch onto a fountain rung.
     budget: Option<SymbolBudget>,
+    /// Where controller- and budget-plane events go (null by default).
+    telemetry: Telemetry,
+    /// The owning process id stamped on emitted events.
+    process: u32,
+    /// Rounds observed so far — the round stamp for emitted events
+    /// (every substrate feeds exactly one tally per round, so the
+    /// observation count *is* the round number).
+    observed: u64,
 }
 
 impl Framing {
@@ -71,6 +81,9 @@ impl Framing {
         Framing {
             mode: Mode::Fixed { spec, code },
             budget: spec.fountain_base().map(SymbolBudget::baseline),
+            telemetry: Telemetry::null(),
+            process: 0,
+            observed: 0,
         }
     }
 
@@ -83,7 +96,24 @@ impl Framing {
         Framing {
             mode: Mode::Adaptive { book, controller },
             budget,
+            telemetry: Telemetry::null(),
+            process: 0,
+            observed: 0,
         }
+    }
+
+    /// Routes this framing's controller- and budget-plane events to
+    /// `telemetry`, stamped as `process`. Telemetry is off (null) until
+    /// this is called, so existing constructors stay zero-cost.
+    pub fn with_telemetry(mut self, telemetry: Telemetry, process: u32) -> Self {
+        self.set_telemetry(telemetry, process);
+        self
+    }
+
+    /// In-place form of [`Framing::with_telemetry`].
+    pub fn set_telemetry(&mut self, telemetry: Telemetry, process: u32) {
+        self.telemetry = telemetry;
+        self.process = process;
     }
 
     /// Encodes a frame under the framing in force for this round. When
@@ -180,7 +210,17 @@ impl Framing {
     /// controller may adopt a peer rung here, and the budget then
     /// renegotiates against whatever spec that leaves in force.
     pub fn observe_with_gossip(&mut self, tally: RoundTally, ads: &[RungAdvert]) {
+        self.observed += 1;
+        let round = self.observed;
+        let emit = self.telemetry.enabled();
         let before = self.current_spec();
+        let budget_before = self.budget.map_or(0, |b| b.repair as u64);
+        let (held_id, pins_before) = match &self.mode {
+            Mode::Adaptive { controller, .. } if emit => {
+                (Some(controller.code_id()), controller.gossip_pins())
+            }
+            _ => (None, 0),
+        };
         if let Mode::Adaptive { controller, .. } = &mut self.mode {
             controller.observe_with_gossip(tally, ads);
         }
@@ -194,6 +234,77 @@ impl Framing {
                 SymbolBudget::baseline(base)
             }
         });
+        if !emit {
+            return;
+        }
+        // Controller plane: the rung that framed this round's sends,
+        // the estimator's reading after folding the tally in, and any
+        // ladder motion attributed to its cause.
+        if let Mode::Adaptive { controller, .. } = &self.mode {
+            let held = held_id.unwrap_or_default();
+            self.telemetry.emit(Event::local(
+                EventKind::RungHeld,
+                round,
+                self.process,
+                held as u64,
+            ));
+            self.telemetry.emit(Event::local(
+                EventKind::PressureSample,
+                round,
+                self.process,
+                (controller.pressure() * 1000.0).round() as u64,
+            ));
+            if controller.gossip_pins() > pins_before {
+                self.telemetry.emit(Event::local(
+                    EventKind::GossipPin,
+                    round,
+                    self.process,
+                    controller.code_id() as u64,
+                ));
+            }
+            if after != before {
+                let cause = controller
+                    .last_switch_cause()
+                    .expect("a spec change records its cause");
+                self.telemetry.emit(Event::local(
+                    EventKind::RungSwitch,
+                    round,
+                    self.process,
+                    pack_rung_switch(cause.code(), held, controller.code_id()),
+                ));
+                let gossip_kind = match cause {
+                    SwitchCause::Adopt => Some(EventKind::GossipAdopt),
+                    SwitchCause::Join => Some(EventKind::GossipJoin),
+                    SwitchCause::Escalate | SwitchCause::Release => None,
+                };
+                if let Some(kind) = gossip_kind {
+                    self.telemetry.emit(Event::local(
+                        kind,
+                        round,
+                        self.process,
+                        controller.code_id() as u64,
+                    ));
+                }
+            }
+        }
+        // Budget plane: AIMD motion (and baseline entry/exit) of the
+        // rateless symbol budget, in either framing mode.
+        let budget_after = self.budget.map_or(0, |b| b.repair as u64);
+        if budget_after > budget_before {
+            self.telemetry.emit(Event::local(
+                EventKind::BudgetUp,
+                round,
+                self.process,
+                budget_after,
+            ));
+        } else if budget_after < budget_before {
+            self.telemetry.emit(Event::local(
+                EventKind::BudgetDown,
+                round,
+                self.process,
+                budget_after,
+            ));
+        }
     }
 
     /// The controller, when the framing is adaptive.

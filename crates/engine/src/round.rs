@@ -36,6 +36,7 @@ use crate::framing::Framing;
 use crate::process::ProcessCore;
 use heardof_coding::{CodeSpec, RoundTally, RungAdvert};
 use heardof_model::{HoAlgorithm, ProcessId, ReceptionVector, Round};
+use heardof_telemetry::{Event, EventKind, Telemetry, NO_PEER};
 use std::collections::HashMap;
 
 /// Early arrivals buffered for a future round, with their repair flags
@@ -130,6 +131,9 @@ where
     kept: Vec<Vec<(u32, u8)>>,
     codes: Vec<CodeSpec>,
     rounds_completed: u64,
+    /// Engine-plane event sink (null by default; see
+    /// [`RoundEngine::with_telemetry`]).
+    telemetry: Telemetry,
 }
 
 impl<A: HoAlgorithm> RoundEngine<A>
@@ -166,7 +170,17 @@ where
             kept: Vec::new(),
             codes: Vec::new(),
             rounds_completed: 0,
+            telemetry: Telemetry::null(),
         }
+    }
+
+    /// Routes engine-plane events (and, via the framing, controller-
+    /// and budget-plane events) to `telemetry`. Off (null) by default.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        let me = self.core.me().as_u32();
+        self.framing.set_telemetry(telemetry.clone(), me);
+        self.telemetry = telemetry;
+        self
     }
 
     /// The round currently open (0 before the first `begin_round`).
@@ -229,6 +243,13 @@ where
         let own = self.core.send_to(round, me);
         self.rx.set(me, own);
         self.kept_this_round.push((me.as_u32(), 0));
+        self.telemetry.emit(Event {
+            round: r,
+            process: me.as_u32(),
+            kind: EventKind::FrameKept,
+            peer: me.as_u32(),
+            value: 0,
+        });
 
         // The copies shim: under a rateless code, whole-frame
         // retransmission copies fold into the symbol budget — one frame
@@ -242,6 +263,14 @@ where
             .symbol_budget()
             .map(|b| b.fold_copies(self.copies));
         let copies_out = if budget.is_some() { 1 } else { self.copies };
+        if budget.is_some() && self.copies > 1 {
+            self.telemetry.emit(Event::local(
+                EventKind::CopiesFolded,
+                r,
+                me.as_u32(),
+                self.copies as u64,
+            ));
+        }
         let mut outgoing = Vec::with_capacity((n - 1) * copies_out as usize);
         for q in 0..n as u32 {
             if q == me.as_u32() {
@@ -282,9 +311,24 @@ where
     /// frame is kept.
     fn keep(&mut self, frame: Frame<A::Msg>, repaired: bool, advert: Option<RungAdvert>) -> Ingest {
         let sender = ProcessId::new(frame.sender);
+        let me = self.core.me().as_u32();
         if self.rx.get(sender).is_some() {
+            self.telemetry.emit(Event {
+                round: frame.round,
+                process: me,
+                kind: EventKind::FrameDuplicate,
+                peer: frame.sender,
+                value: frame.copy as u64,
+            });
             return Ingest::Duplicate;
         }
+        self.telemetry.emit(Event {
+            round: frame.round,
+            process: me,
+            kind: EventKind::FrameKept,
+            peer: frame.sender,
+            value: frame.copy as u64,
+        });
         self.kept_this_round.push((frame.sender, frame.copy));
         self.corrected_this_round += usize::from(repaired);
         if let Some(ad) = advert {
@@ -301,19 +345,48 @@ where
     pub fn ingest(&mut self, bytes: &[u8]) -> Ingest {
         // A code rejection is a *detected* corruption: drop the frame,
         // producing an omission.
+        let me = self.core.me().as_u32();
         let Some((frame, repaired, advert)) = self.framing.decode_full::<A::Msg>(bytes) else {
+            self.telemetry.emit(Event {
+                round: self.round,
+                process: me,
+                kind: EventKind::FrameRejected,
+                peer: NO_PEER,
+                value: bytes.len() as u64,
+            });
             return Ingest::Rejected;
         };
         // A rate<1 code can (rarely) miscorrect header bits; a frame
         // claiming an impossible sender or round is garbage — drop it
         // like any detected corruption.
         if frame.sender as usize >= self.core.n() || frame.round > self.max_rounds {
+            self.telemetry.emit(Event {
+                round: self.round,
+                process: me,
+                kind: EventKind::FrameGarbage,
+                peer: NO_PEER,
+                value: frame.round,
+            });
             return Ingest::Garbage;
         }
         if frame.round < self.round {
+            self.telemetry.emit(Event {
+                round: self.round,
+                process: me,
+                kind: EventKind::FrameLate,
+                peer: frame.sender,
+                value: frame.round,
+            });
             return Ingest::Late; // the round is closed
         }
         if frame.round > self.round {
+            self.telemetry.emit(Event {
+                round: self.round,
+                process: me,
+                kind: EventKind::FrameFuture,
+                peer: frame.sender,
+                value: frame.round,
+            });
             self.future
                 .entry(frame.round)
                 .or_default()

@@ -9,6 +9,7 @@
 //! desired confidence.
 
 use crate::link::LinkFaults;
+use heardof_telemetry::AlphaLedger;
 
 /// Estimated demand a link fault model puts on the `P_α` budget.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -61,6 +62,45 @@ pub fn recommend_alpha(faults: &LinkFaults, n: usize, tail_bound: f64) -> AlphaE
 /// re-statement keeps the original API.
 pub fn recommend_alpha_for_mean(mu: f64, n: usize, tail_bound: f64) -> u32 {
     heardof_coding::chernoff_alpha_for_mean(mu, n, tail_bound)
+}
+
+/// Recommends `α` from a flight recording's [`AlphaLedger`] instead of
+/// an a-priori fault model: the mean undetected load per receiver per
+/// round is *measured* (every link verdict was recorded), so the
+/// estimate reflects the channel and the code that actually ran —
+/// including the corruption the code repaired, visible as the ledger's
+/// [`observed_corrected_rate`](AlphaLedger::observed_corrected_rate).
+/// This is the §5.2 coverage argument closed into a loop: deploy,
+/// record, re-budget.
+///
+/// # Examples
+///
+/// ```
+/// use heardof_net::recommend_alpha_from_ledger;
+/// use heardof_telemetry::{AlphaLedger, EventKind, KindCounts};
+///
+/// let mut counts = KindCounts::new();
+/// counts.add(EventKind::LinkDelivered, 96);
+/// counts.add(EventKind::LinkUndetected, 4);
+/// let ledger = AlphaLedger::from_counts(10, &counts);
+/// let est = recommend_alpha_from_ledger(&ledger, 5, 1e-6);
+/// assert!(est.recommended_alpha >= 1);
+/// ```
+pub fn recommend_alpha_from_ledger(
+    ledger: &AlphaLedger,
+    n: usize,
+    tail_bound: f64,
+) -> AlphaEstimate {
+    let mu = if n == 0 {
+        0.0
+    } else {
+        ledger.undetected_per_round() / n as f64
+    };
+    AlphaEstimate {
+        expected: mu,
+        recommended_alpha: ledger.projected_alpha(n, tail_bound),
+        tail_bound,
+    }
 }
 
 #[cfg(test)]

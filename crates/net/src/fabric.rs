@@ -17,6 +17,7 @@ use heardof_coding::{
 };
 use heardof_engine::{EngineReport, Framing, RoundEngine, SubstrateOutcome, WireMessage};
 use heardof_model::{HoAlgorithm, ProcessId};
+use heardof_telemetry::Telemetry;
 use std::sync::Arc;
 
 /// The per-run, substrate-independent pieces — fault model, channel
@@ -33,12 +34,15 @@ pub struct RunFabric {
     book: Option<Arc<CodeBook>>,
     trace: Option<NoiseTrace>,
     fault_log: FaultLog,
+    telemetry: Telemetry,
 }
 
 impl RunFabric {
     /// Builds the fabric for one run: the channel code is built once,
     /// the code book once (when adaptive), the fault log shared by all
-    /// links.
+    /// links, and one telemetry plane shared by every link and engine
+    /// (pass [`Telemetry::null`] to record nothing at zero cost).
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         faults: LinkFaults,
         seed: u64,
@@ -47,6 +51,7 @@ impl RunFabric {
         code: CodeSpec,
         adaptive: Option<AdaptiveConfig>,
         trace: Option<NoiseTrace>,
+        telemetry: Telemetry,
     ) -> Self {
         assert!(copies >= 1, "at least one copy per frame");
         let book = adaptive
@@ -63,12 +68,19 @@ impl RunFabric {
             book,
             trace,
             fault_log: FaultLog::new(),
+            telemetry,
         }
     }
 
     /// The shared undetected-corruption log (ground truth for `SHO`).
     pub fn fault_log(&self) -> &FaultLog {
         &self.fault_log
+    }
+
+    /// The telemetry plane every link and engine of this fabric emits
+    /// into.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The outgoing links of process `p` in an `n`-process system, in
@@ -98,7 +110,7 @@ impl RunFabric {
                 if let Some(trace) = &self.trace {
                     link = link.with_trace(trace.clone());
                 }
-                link
+                link.with_telemetry(self.telemetry.clone())
             })
             .collect()
     }
@@ -125,6 +137,7 @@ impl RunFabric {
             self.copies,
             self.max_rounds,
         )
+        .with_telemetry(self.telemetry.clone())
     }
 
     /// Joins the engines' reports with the fabric's fault log into the

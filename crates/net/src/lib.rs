@@ -51,7 +51,9 @@ mod fabric;
 mod link;
 mod runtime;
 
-pub use coverage::{recommend_alpha, recommend_alpha_for_mean, AlphaEstimate};
+pub use coverage::{
+    recommend_alpha, recommend_alpha_for_mean, recommend_alpha_from_ledger, AlphaEstimate,
+};
 pub use fabric::RunFabric;
 // The CRC implementation lives in `heardof-coding` now that coding is a
 // first-class subsystem; re-exported so the original API is unchanged.
@@ -66,6 +68,13 @@ pub use heardof_engine::{
     decode_body, decode_frame, decode_frame_tagged, decode_frame_with, encode_body, encode_frame,
     encode_frame_tagged, encode_frame_tagged_budget, encode_frame_with, refresh_crc, CodecError,
     Frame, OutcomeView, SubstrateOutcome, TaggedFrame, WireMessage, COPY_OFFSET, PAYLOAD_OFFSET,
+};
+// The telemetry plane threads through every link and engine; the core
+// types are re-exported so deployments can attach a recorder without a
+// direct `heardof-telemetry` dependency.
+pub use heardof_telemetry::{
+    AlphaLedger, Event, EventKind, NullRecorder, Recorder, RingRecorder, RoundReport, RunRecording,
+    Telemetry,
 };
 pub use link::{FaultKey, FaultLog, FaultyLink, FrameSink, LinkEvent, LinkFaults};
 pub use runtime::{run_threaded, NetConfig, NetOutcome};

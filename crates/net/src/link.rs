@@ -22,6 +22,7 @@
 use crossbeam::channel::Sender;
 use heardof_coding::{BitNoise, ChannelCode, Checksum, CodeBook, NoiseTrace};
 use heardof_engine::{COPY_OFFSET, PAYLOAD_OFFSET};
+use heardof_telemetry::{Event, EventKind, Telemetry};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -154,6 +155,7 @@ pub struct FaultyLink {
     trace: Option<NoiseTrace>,
     rng: StdRng,
     log: FaultLog,
+    telemetry: Telemetry,
 }
 
 impl FaultyLink {
@@ -230,6 +232,7 @@ impl FaultyLink {
             trace: None,
             rng: StdRng::seed_from_u64(link_seed),
             log,
+            telemetry: Telemetry::null(),
         }
     }
 
@@ -252,6 +255,16 @@ impl FaultyLink {
         self
     }
 
+    /// Attaches a telemetry plane: every [`send`](FaultyLink::send)
+    /// verdict is mirrored as a link-plane event stamped with
+    /// `(round, receiver, sender, wire length)`, so flight recordings
+    /// carry the exact per-link history the [`FaultLog`] only keeps for
+    /// undetected faults.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
     /// Decodes `wire` through whichever framing is in force.
     fn decode_any(&self, wire: &[u8]) -> Option<Vec<u8>> {
         match &self.book {
@@ -262,7 +275,20 @@ impl FaultyLink {
 
     /// Sends an encoded frame through the fault model. Returns what
     /// happened (mostly for tests and statistics).
-    pub fn send(&mut self, round: u64, copy: u8, mut encoded: Vec<u8>) -> LinkEvent {
+    pub fn send(&mut self, round: u64, copy: u8, encoded: Vec<u8>) -> LinkEvent {
+        let wire_len = encoded.len() as u64;
+        let event = self.send_inner(round, copy, encoded);
+        self.telemetry.emit(Event::link(
+            event.telemetry_kind(),
+            round,
+            self.receiver_id,
+            self.sender_id,
+            wire_len,
+        ));
+        event
+    }
+
+    fn send_inner(&mut self, round: u64, copy: u8, mut encoded: Vec<u8>) -> LinkEvent {
         if self.trace.is_some() {
             return self.send_traced(round, copy, encoded);
         }
@@ -441,6 +467,21 @@ pub enum LinkEvent {
     CorruptedDetectable,
     /// Corrupted without detection (value fault).
     CorruptedUndetected,
+}
+
+impl LinkEvent {
+    /// The link-plane [`EventKind`] mirroring this verdict — the single
+    /// mapping every substrate uses, so flight recordings agree on what
+    /// each wire outcome is called.
+    pub fn telemetry_kind(self) -> EventKind {
+        match self {
+            LinkEvent::Delivered => EventKind::LinkDelivered,
+            LinkEvent::Dropped => EventKind::LinkDropped,
+            LinkEvent::CorruptedCorrected => EventKind::LinkCorrected,
+            LinkEvent::CorruptedDetectable => EventKind::LinkDetected,
+            LinkEvent::CorruptedUndetected => EventKind::LinkUndetected,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -23,6 +23,7 @@ use crossbeam::channel::Receiver;
 use heardof_coding::{AdaptiveConfig, CodeSpec, NoiseTrace};
 use heardof_engine::{link_index, EngineReport, RoundEngine, SubstrateOutcome, WireMessage};
 use heardof_model::HoAlgorithm;
+use heardof_telemetry::Telemetry;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -82,6 +83,11 @@ pub struct NetConfig {
     /// round-for-round comparison against the simulator meaningful —
     /// the conformance-harness mode.
     pub lockstep: bool,
+    /// The telemetry plane every link and engine emits into. The
+    /// default ([`Telemetry::null`]) records nothing at the cost of one
+    /// branch per event; attach [`Telemetry::ring`] to capture a flight
+    /// recording, or [`Telemetry::counters`] for counters-only runs.
+    pub telemetry: Telemetry,
 }
 
 impl NetConfig {
@@ -121,6 +127,7 @@ impl Default for NetConfig {
             adaptive: None,
             trace: None,
             lockstep: false,
+            telemetry: Telemetry::null(),
         }
     }
 }
@@ -172,6 +179,7 @@ where
         config.code,
         config.adaptive.clone(),
         config.trace.clone(),
+        config.telemetry.clone(),
     );
     let board: Arc<Mutex<Vec<Option<A::Value>>>> = Arc::new(Mutex::new(vec![None; n]));
     let all_decided = Arc::new(AtomicBool::new(false));

@@ -1,0 +1,62 @@
+//! The off switch must be genuinely free: emitting through
+//! [`Telemetry::null`] may not allocate, and may not record anything.
+//!
+//! The allocation check uses a counting global allocator — crude but
+//! airtight: if the null path ever grows a heap allocation (boxing an
+//! event, formatting a label, …) the counter moves and the test fails.
+
+use heardof_telemetry::{Event, EventKind, Telemetry};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+#[test]
+fn null_emit_path_performs_zero_allocations() {
+    let telemetry = Telemetry::null();
+    // Warm anything lazy before the measured window.
+    telemetry.emit(Event::link(EventKind::LinkDelivered, 1, 0, 1, 32));
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for round in 1..=5_000u64 {
+        telemetry.emit(Event::link(EventKind::LinkDelivered, round, 0, 1, 32));
+        telemetry.emit(Event::link(EventKind::LinkCorrected, round, 2, 3, 48));
+        telemetry.emit(Event::local(EventKind::RungHeld, round, 0, 1));
+        telemetry.emit(Event::local(EventKind::PressureSample, round, 0, 250));
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        after - before,
+        0,
+        "the disabled telemetry path must not touch the heap"
+    );
+}
+
+#[test]
+fn null_telemetry_records_no_events() {
+    let telemetry = Telemetry::null();
+    for round in 1..=100u64 {
+        telemetry.emit(Event::local(EventKind::FrameKept, round, 0, 0));
+    }
+    assert!(!telemetry.enabled());
+    assert!(telemetry.snapshot().is_none(), "nothing to snapshot");
+    assert_eq!(telemetry.total(EventKind::FrameKept), 0);
+    assert_eq!(telemetry.round_counts(1), None);
+}

@@ -1,0 +1,86 @@
+//! The flight recorder must not care how threads interleave within a
+//! round — the mirror of `crates/engine/tests/order_independence.rs`
+//! for the observability plane.
+//!
+//! On the threaded substrate, link events fire from whichever sender
+//! thread gets scheduled first; the recorder's contract is that any
+//! within-round permutation of the same event multiset snapshots to
+//! the *identical* [`RunRecording`]. These properties feed random
+//! event batches through the recorder in generated permutations and
+//! assert snapshot equality.
+
+use heardof_telemetry::{Event, EventKind, Telemetry, KIND_COUNT, NO_PEER};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// A deterministic in-test shuffle (Fisher–Yates over an LCG) so a
+/// permutation is itself a generated value.
+fn shuffle<T>(items: &mut [T], mut state: u64) {
+    for i in (1..items.len()).rev() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = (state >> 33) as usize % (i + 1);
+        items.swap(i, j);
+    }
+}
+
+/// Decodes one generated `u64` into an event; the small domains make
+/// round and slot collisions frequent.
+fn build_event(raw: u64) -> Event {
+    let kind = EventKind::ALL[(raw >> 8) as usize % KIND_COUNT];
+    let peer = (raw >> 24) % 5;
+    Event {
+        round: raw % 6 + 1,
+        process: ((raw >> 16) % 4) as u32,
+        kind,
+        peer: if peer == 4 { NO_PEER } else { peer as u32 },
+        value: (raw >> 32) % 256,
+    }
+}
+
+fn record_all(events: &[Event]) -> heardof_telemetry::RunRecording {
+    let telemetry = Telemetry::ring();
+    for event in events {
+        telemetry.emit(*event);
+    }
+    telemetry.snapshot().expect("ring telemetry snapshots")
+}
+
+proptest! {
+    #[test]
+    fn snapshots_are_invariant_under_within_round_permutation(
+        raw in vec(0u64.., 1..120),
+        shuffle_seed in 0u64..,
+    ) {
+        let events: Vec<Event> = raw.iter().map(|&x| build_event(x)).collect();
+
+        // Permute only within each round: real ingestion is always
+        // round-monotone per substrate, but free *within* a round.
+        let mut permuted = events.clone();
+        permuted.sort_by_key(|e| e.round); // group rounds, keep a valid ingestion order
+        let mut start = 0;
+        while start < permuted.len() {
+            let round = permuted[start].round;
+            let end = start + permuted[start..].iter().take_while(|e| e.round == round).count();
+            shuffle(&mut permuted[start..end], shuffle_seed ^ round);
+            start = end;
+        }
+
+        prop_assert_eq!(record_all(&events), record_all(&permuted));
+    }
+
+    #[test]
+    fn even_full_shuffles_cannot_change_a_snapshot(
+        raw in vec(0u64.., 1..120),
+        shuffle_seed in 0u64..,
+    ) {
+        // Stronger than the contract needs (cross-round order is fixed
+        // in practice) but true for the ring below capacity — and a
+        // cheap way to catch any accidental order sensitivity.
+        let events: Vec<Event> = raw.iter().map(|&x| build_event(x)).collect();
+        let mut permuted = events.clone();
+        shuffle(&mut permuted, shuffle_seed);
+        prop_assert_eq!(record_all(&events), record_all(&permuted));
+    }
+}

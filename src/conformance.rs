@@ -45,23 +45,45 @@
 use heardof_adversary::Adversary;
 use heardof_async::{run_async, AsyncConfig};
 use heardof_coding::{AdaptiveConfig, AdaptiveController, CodeBook, CodeSpec, NoiseTrace};
-use heardof_engine::{Frame, Framing, SubstrateOutcome, WireMessage};
+use heardof_engine::{Frame, Framing, SubstrateOutcome, WireMessage, COPY_OFFSET};
 use heardof_model::{HoAlgorithm, MessageMatrix, ProcessId, Round, RoundSets, TraceLevel};
 use heardof_net::{run_threaded, LinkFaults, NetConfig, RoundTally};
 use heardof_sim::Simulator;
+use heardof_telemetry::{Event, EventKind, RoundReport, RunRecording, Telemetry};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use std::sync::Arc;
 use std::time::Duration;
 
-/// What one substrate reports for comparison: per-round code decisions
-/// and heard-of reconstructions.
-#[derive(Clone, Debug, PartialEq)]
+/// Environment variable naming a directory where
+/// [`first_matrix_divergence`] dumps both flight recordings (as JSONL)
+/// when substrates disagree — the post-mortem artifact CI uploads.
+pub const TELEMETRY_DUMP_DIR_ENV: &str = "HEARDOF_TELEMETRY_DUMP_DIR";
+
+/// What one substrate reports for comparison: per-round code decisions,
+/// heard-of reconstructions, and the telemetry plane's per-round
+/// conformance counters (the fourth equivalence dimension).
+#[derive(Clone, Debug)]
 pub struct SubstrateReport {
     /// `codes[r-1][p]`: the code process `p` sent with in round `r`.
     pub codes: Vec<Vec<CodeSpec>>,
     /// `sets[r-1]`: the round's `HO`/`SHO` collections.
     pub sets: Vec<RoundSets>,
+    /// Per-round telemetry counters projected onto the conformance
+    /// subset (timing-shaped kinds zeroed) — substrates must agree on
+    /// these exactly.
+    pub telemetry: Vec<RoundReport>,
+    /// The substrate's full flight recording, kept for post-mortems:
+    /// [`first_matrix_divergence`] dumps it as JSONL on a mismatch. Not
+    /// part of the equality comparison — it legitimately contains
+    /// timing-shaped events that differ across substrates.
+    pub recording: RunRecording,
+}
+
+impl PartialEq for SubstrateReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.codes == other.codes && self.sets == other.sets && self.telemetry == other.telemetry
+    }
 }
 
 impl SubstrateReport {
@@ -92,13 +114,27 @@ impl SubstrateReport {
                 ));
             }
         }
+        let compared = self.telemetry.len().min(other.telemetry.len());
+        for (mine, theirs) in self.telemetry[..compared]
+            .iter()
+            .zip(&other.telemetry[..compared])
+        {
+            if mine != theirs {
+                return Some(format!(
+                    "round {}: telemetry counters diverge: {} vs {}",
+                    mine.round,
+                    mine.counts.to_json(),
+                    theirs.counts.to_json()
+                ));
+            }
+        }
         None
     }
 
     /// Extracts a report from a byte-level substrate's outcome
     /// (threaded or async): per-process code schedules transposed to
-    /// per round, plus the reconstructed sets.
-    fn from_outcome<V>(outcome: &SubstrateOutcome<V>) -> Self {
+    /// per round, the reconstructed sets, plus the flight recording.
+    fn from_outcome<V>(outcome: &SubstrateOutcome<V>, recording: RunRecording) -> Self {
         let completed = outcome
             .rounds_completed
             .iter()
@@ -117,6 +153,8 @@ impl SubstrateReport {
         SubstrateReport {
             codes,
             sets: outcome.history.iter().map(|(_, s)| s.clone()).collect(),
+            telemetry: recording.conformance_counters(),
+            recording,
         }
     }
 }
@@ -124,14 +162,46 @@ impl SubstrateReport {
 /// Diffs a set of named substrate reports pairwise against the first;
 /// returns the first divergence found, if any. `None` means the whole
 /// matrix conforms.
+///
+/// On a divergence, if the [`TELEMETRY_DUMP_DIR_ENV`] environment
+/// variable names a directory, both sides' flight recordings are dumped
+/// there as `flight_<substrate>.jsonl` for post-mortem diffing (CI
+/// uploads these as artifacts).
 pub fn first_matrix_divergence(reports: &[(&str, &SubstrateReport)]) -> Option<String> {
     let (base_name, base) = reports.first()?;
     for (name, report) in &reports[1..] {
         if let Some(diff) = base.first_divergence(report) {
+            dump_recordings(&[(base_name, base), (name, report)]);
             return Some(format!("{base_name} vs {name}: {diff}"));
         }
     }
     None
+}
+
+/// Writes the given reports' flight recordings into the directory named
+/// by [`TELEMETRY_DUMP_DIR_ENV`], if set. Failures are reported to
+/// stderr, never panicked on — the divergence message is the primary
+/// signal and must get through.
+fn dump_recordings(reports: &[(&str, &SubstrateReport)]) {
+    let Ok(dir) = std::env::var(TELEMETRY_DUMP_DIR_ENV) else {
+        return;
+    };
+    if dir.is_empty() {
+        return;
+    }
+    let dir = std::path::Path::new(&dir);
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("telemetry dump: cannot create {}: {e}", dir.display());
+        return;
+    }
+    for (name, report) in reports {
+        let path = dir.join(format!("flight_{name}.jsonl"));
+        if let Err(e) = std::fs::write(&path, report.recording.to_jsonl()) {
+            eprintln!("telemetry dump: cannot write {}: {e}", path.display());
+        } else {
+            eprintln!("telemetry dump: wrote {}", path.display());
+        }
+    }
 }
 
 /// Shared log the [`TraceChannel`] fills while the simulator runs.
@@ -163,7 +233,9 @@ impl TraceChannelLog {
 pub struct TraceChannel<M> {
     trace: NoiseTrace,
     framings: Vec<Framing>,
+    book: Arc<CodeBook>,
     log: TraceChannelLog,
+    telemetry: Telemetry,
     max_round: u64,
     _marker: std::marker::PhantomData<fn() -> M>,
 }
@@ -179,10 +251,25 @@ impl<M> TraceChannel<M> {
             framings: (0..n)
                 .map(|_| Framing::adaptive(Arc::clone(&book), AdaptiveController::new(cfg.clone())))
                 .collect(),
+            book,
             log: TraceChannelLog::new(),
+            telemetry: Telemetry::null(),
             max_round,
             _marker: std::marker::PhantomData,
         }
+    }
+
+    /// Attaches a telemetry plane: the channel mirrors what the
+    /// byte-level substrates record — link-plane verdicts per wire
+    /// frame, `FrameKept` per delivery, and (through the per-process
+    /// [`Framing`]s) the controller- and budget-plane events — so a sim
+    /// flight recording is comparable to a net or async one.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        for (p, framing) in self.framings.iter_mut().enumerate() {
+            framing.set_telemetry(telemetry.clone(), p as u32);
+        }
+        self.telemetry = telemetry;
+        self
     }
 
     /// A handle to the decision log (clone it before handing the
@@ -190,6 +277,39 @@ impl<M> TraceChannel<M> {
     pub fn log(&self) -> TraceChannelLog {
         self.log.clone()
     }
+
+    /// The link verdict the byte-level fault injector would record for
+    /// this frame: same classification pipeline as
+    /// `heardof_net::FaultyLink` (decode the pristine bytes, decode the
+    /// corrupted bytes, compare bodies modulo the retransmission-copy
+    /// byte).
+    fn link_kind(&self, flips: usize, original: &[u8], corrupted: &[u8]) -> EventKind {
+        if flips == 0 {
+            return EventKind::LinkDelivered;
+        }
+        let Ok((_, body)) = self.book.decode_tagged(original) else {
+            return EventKind::LinkDetected;
+        };
+        match self.book.decode_tagged(corrupted) {
+            Err(_) => EventKind::LinkDetected,
+            Ok((_, after)) if after == body => EventKind::LinkCorrected,
+            Ok((_, after)) if differs_only_in_copy_index(&body, &after) => EventKind::LinkCorrected,
+            Ok(_) => EventKind::LinkUndetected,
+        }
+    }
+}
+
+/// `true` when two frame bodies agree everywhere except the
+/// retransmission-copy byte — the same equivalence
+/// `heardof_net::FaultyLink` applies before calling a corruption
+/// corrected.
+fn differs_only_in_copy_index(a: &[u8], b: &[u8]) -> bool {
+    a.len() == b.len()
+        && a.len() > COPY_OFFSET
+        && a.iter()
+            .zip(b.iter())
+            .enumerate()
+            .all(|(i, (x, y))| i == COPY_OFFSET || x == y)
 }
 
 impl<M> Adversary<M> for TraceChannel<M>
@@ -230,7 +350,15 @@ where
         for (sender, receiver, original) in intended.iter() {
             if sender == receiver {
                 // Self-delivery is local in the runtimes: never on the
-                // wire, never corrupted, never tallied.
+                // wire, never corrupted, never tallied. The engine
+                // records it as a kept frame; mirror that.
+                self.telemetry.emit(Event {
+                    round: r,
+                    process: receiver.as_u32(),
+                    kind: EventKind::FrameKept,
+                    peer: receiver.as_u32(),
+                    value: 0,
+                });
                 delivered.set(sender, receiver, original.clone());
                 continue;
             }
@@ -248,8 +376,20 @@ where
                 Some(budget) => framing.encode_with_budget(&frame, budget),
                 None => framing.encode(&frame),
             };
-            self.trace
-                .corrupt_frame(r, sender.as_u32(), receiver.as_u32(), 0, &mut wire);
+            let pristine = self.telemetry.enabled().then(|| wire.clone());
+            let flips =
+                self.trace
+                    .corrupt_frame(r, sender.as_u32(), receiver.as_u32(), 0, &mut wire);
+            if let Some(pristine) = pristine {
+                // Mirror the fault injector's link-plane verdict.
+                self.telemetry.emit(Event::link(
+                    self.link_kind(flips, &pristine, &wire),
+                    r,
+                    receiver.as_u32(),
+                    sender.as_u32(),
+                    wire.len() as u64,
+                ));
+            }
             // The receiver's side of the pipeline, byte for byte: tagged
             // decode plus the runtimes' header sanity check.
             let Some((got, repaired, advert)) =
@@ -266,6 +406,15 @@ where
             if let Some(ad) = advert {
                 ads[receiver.index()].push((got.sender, ad));
             }
+            // Mirror the engine's kept-frame record (copy is always 0
+            // here: conformance runs send a single copy).
+            self.telemetry.emit(Event {
+                round: r,
+                process: receiver.as_u32(),
+                kind: EventKind::FrameKept,
+                peer: got.sender,
+                value: 0,
+            });
             // Conformance constraint: a live receiver cannot see that a
             // fault is undetected, so the tally must not use the oracle
             // either — value_faults stays 0, exactly as in the runtimes.
@@ -299,7 +448,9 @@ where
     A: HoAlgorithm,
     A::Msg: WireMessage,
 {
-    let channel: TraceChannel<A::Msg> = TraceChannel::new(n, cfg.clone(), trace.clone(), rounds);
+    let telemetry = Telemetry::ring();
+    let channel: TraceChannel<A::Msg> =
+        TraceChannel::new(n, cfg.clone(), trace.clone(), rounds).with_telemetry(telemetry.clone());
     let log = channel.log();
     let outcome = Simulator::new(algo, n)
         .adversary(channel)
@@ -307,6 +458,7 @@ where
         .trace_level(TraceLevel::SetsOnly)
         .run_rounds(rounds as usize)
         .expect("sim substrate run");
+    let recording = telemetry.snapshot().expect("ring-backed telemetry");
     SubstrateReport {
         codes: log.codes(),
         sets: outcome
@@ -315,6 +467,8 @@ where
             .iter()
             .map(|rec| rec.sets.clone())
             .collect(),
+        telemetry: recording.conformance_counters(),
+        recording,
     }
 }
 
@@ -335,6 +489,7 @@ where
     A: HoAlgorithm,
     A::Msg: WireMessage,
 {
+    let telemetry = Telemetry::ring();
     let outcome = run_threaded(
         algo,
         n,
@@ -349,9 +504,11 @@ where
             copies: 1,
             seed: 0,
             code: CodeSpec::DEFAULT,
+            telemetry: telemetry.clone(),
         },
     );
-    SubstrateReport::from_outcome(&outcome)
+    let recording = telemetry.snapshot().expect("ring-backed telemetry");
+    SubstrateReport::from_outcome(&outcome, recording)
 }
 
 /// Runs the **async** substrate in lockstep + trace mode for `rounds`
@@ -369,6 +526,7 @@ where
     A: HoAlgorithm,
     A::Msg: WireMessage,
 {
+    let telemetry = Telemetry::ring();
     let outcome = run_async(
         algo,
         n,
@@ -382,7 +540,9 @@ where
             copies: 1,
             seed: 0,
             code: CodeSpec::DEFAULT,
+            telemetry: telemetry.clone(),
         },
     );
-    SubstrateReport::from_outcome(&outcome)
+    let recording = telemetry.snapshot().expect("ring-backed telemetry");
+    SubstrateReport::from_outcome(&outcome, recording)
 }

@@ -31,6 +31,8 @@
 //! * [`sim`] — the deterministic lockstep simulator,
 //! * [`engine`] — the substrate-agnostic round engine (the HO-machine
 //!   step, adaptive framing and the wire codec every substrate shares),
+//! * [`telemetry`] — the deterministic observability plane (flight
+//!   recorder, α-budget ledger, cross-substrate metrics),
 //! * [`net`] — a threaded message-passing deployment substrate,
 //! * [`async_rt`] — a cooperative async deployment substrate (in-tree
 //!   mini executor over non-blocking in-memory sockets),
@@ -77,6 +79,7 @@ pub use heardof_model as model;
 pub use heardof_net as net;
 pub use heardof_predicates as predicates;
 pub use heardof_sim as sim;
+pub use heardof_telemetry as telemetry;
 
 /// The most commonly used items, for glob import.
 pub mod prelude {
@@ -106,4 +109,7 @@ pub mod prelude {
         SyncByzantine, ULive,
     };
     pub use heardof_sim::{run_batch, BatchSummary, RunOutcome, SimError, Simulator};
+    pub use heardof_telemetry::{
+        AlphaLedger, Event, EventKind, Recorder, RingRecorder, RunRecording, Telemetry,
+    };
 }

@@ -27,6 +27,7 @@ use heardof::conformance::{
 };
 use heardof::prelude::*;
 use heardof_coding::{AdaptiveConfig, CodeSpec, GilbertElliott, NoisePhase, NoiseTrace};
+use heardof_telemetry::EventKind;
 use std::time::Duration;
 
 const SEEDS: [u64; 5] = [0xA11CE, 0xB0B5, 0xC0DE5, 0xF0047, 0x60551];
@@ -224,6 +225,56 @@ fn the_gossip_seed_exercises_rung_adoption() {
         divergent(&gossip.codes),
         divergent(&independent.codes)
     );
+}
+
+#[test]
+fn the_telemetry_dimension_is_not_vacuous_and_views_match_legacy() {
+    // Counter-equivalence would be trivially true if the recorders
+    // captured nothing; and the recorder-side code-schedule view would
+    // be vacuously consistent if it produced no rows. Pin both: the
+    // flight recording must carry real link/controller traffic, and
+    // mapping its per-round `RungHeld` ids back through the code book
+    // must reproduce the legacy `code_schedule` exactly.
+    let seed = selected_seeds()[0];
+    let [sim, net, _] = run_all(seed);
+    for (name, report) in [("sim", &sim), ("net", &net)] {
+        let totals = &report.recording.totals;
+        let wire_verdicts = totals[EventKind::LinkDelivered]
+            + totals[EventKind::LinkCorrected]
+            + totals[EventKind::LinkDetected]
+            + totals[EventKind::LinkUndetected];
+        assert!(wire_verdicts > 0, "{name}: no link-plane verdicts recorded");
+        assert!(
+            totals[EventKind::FrameKept] > 0,
+            "{name}: no kept frames recorded"
+        );
+        assert!(
+            totals[EventKind::RungHeld] > 0 && totals[EventKind::RungSwitch] > 0,
+            "{name}: controller plane is silent"
+        );
+        assert_eq!(
+            report.telemetry.len(),
+            ROUNDS as usize,
+            "{name}: per-round conformance counters must cover every round"
+        );
+        assert!(
+            report.telemetry.iter().all(|r| !r.counts.is_zero()),
+            "{name}: a round's conformance counters are empty"
+        );
+    }
+    let book = CodeBook::from_specs(&conformance_config(seed).ladder);
+    let view = net.recording.code_schedule(N);
+    assert_eq!(view.len(), ROUNDS as usize, "one schedule row per round");
+    for (r, row) in view.iter().enumerate() {
+        for (p, id) in row.iter().enumerate() {
+            assert_eq!(
+                book.spec(*id as u8).expect("recorded ids are ladder rungs"),
+                net.codes[r][p],
+                "round {} process {p}: recorder view vs legacy schedule",
+                r + 1
+            );
+        }
+    }
 }
 
 #[test]

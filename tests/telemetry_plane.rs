@@ -1,0 +1,127 @@
+//! The telemetry plane end to end: attaching a recorder never changes
+//! a run's outcome, the flight recording reconciles with the legacy
+//! accounting (fault log, code schedule), and the α-budget ledger
+//! closes the §5.2 loop from observed wire verdicts back to a
+//! recommended budget.
+
+use heardof::prelude::*;
+use heardof_net::{recommend_alpha_from_ledger, run_threaded, LinkFaults, NetConfig};
+use heardof_telemetry::{EventKind, Telemetry};
+use std::time::Duration;
+
+fn ate(n: usize, alpha: u32) -> Ate<u64> {
+    Ate::new(AteParams::balanced(n, alpha).unwrap())
+}
+
+#[test]
+fn attaching_a_recorder_does_not_change_the_run() {
+    // The async substrate is fully deterministic, so null-vs-ring must
+    // be *exact* outcome equality — the recorder is an observer, never
+    // a participant.
+    let n = 5;
+    let mk = |telemetry| AsyncConfig {
+        faults: LinkFaults {
+            drop_prob: 0.2,
+            corrupt_prob: 0.1,
+            undetected_prob: 0.3,
+        },
+        seed: 42,
+        max_rounds: 30,
+        telemetry,
+        ..AsyncConfig::default()
+    };
+    let silent = run_async(ate(n, 1), n, vec![1, 2, 1, 2, 1], mk(Telemetry::null()));
+    let ring = Telemetry::ring();
+    let recorded = run_async(ate(n, 1), n, vec![1, 2, 1, 2, 1], mk(ring.clone()));
+    assert_eq!(silent.decisions, recorded.decisions);
+    assert_eq!(silent.decision_rounds, recorded.decision_rounds);
+    assert_eq!(silent.rounds_completed, recorded.rounds_completed);
+    assert_eq!(
+        silent.undetected_corruptions,
+        recorded.undetected_corruptions
+    );
+    let recording = ring.snapshot().expect("ring-backed telemetry");
+    assert!(
+        recording.totals[EventKind::LinkDropped] > 0,
+        "a 20% drop rate must show up on the link plane"
+    );
+    assert!(recording.totals[EventKind::FrameKept] > 0);
+}
+
+#[test]
+fn the_ledger_reconciles_with_the_fault_log() {
+    let n = 9;
+    let telemetry = Telemetry::ring();
+    let config = NetConfig {
+        faults: LinkFaults {
+            corrupt_prob: 0.08,
+            undetected_prob: 0.5,
+            ..LinkFaults::NONE
+        },
+        round_timeout: Duration::from_millis(40),
+        max_rounds: 30,
+        copies: 1,
+        lockstep: true,
+        seed: 5,
+        telemetry: telemetry.clone(),
+        ..NetConfig::default()
+    };
+    let outcome = run_threaded(ate(n, 2), n, (0..n as u64).map(|i| i % 2).collect(), config);
+    assert!(outcome.agreement_ok());
+    let recording = telemetry.snapshot().expect("ring-backed telemetry");
+    let ledger = recording.alpha_ledger();
+    // The fault log dedups by (round, sender, receiver, copy); the
+    // ledger counts every undetected wire verdict, so it can only be
+    // the larger of the two.
+    assert!(
+        ledger.consumed() >= outcome.undetected_corruptions as u64,
+        "ledger {} vs fault log {}",
+        ledger.consumed(),
+        outcome.undetected_corruptions
+    );
+    assert!(ledger.consumed() > 0, "this seed must leak value faults");
+    let rate = ledger.observed_corruption_rate();
+    assert!((0.0..=1.0).contains(&rate));
+    // Close the loop: the measured undetected load recommends a budget.
+    let est = recommend_alpha_from_ledger(&ledger, n, 1e-6);
+    assert!(
+        est.recommended_alpha >= 1,
+        "observed leaks must demand a nonzero α, got {est:?}"
+    );
+    assert!(est.recommended_alpha <= n as u32);
+}
+
+#[test]
+fn fixed_framing_records_link_plane_but_no_controller_plane() {
+    let n = 3;
+    let telemetry = Telemetry::ring();
+    let config = NetConfig {
+        telemetry: telemetry.clone(),
+        ..NetConfig::default()
+    };
+    let outcome = run_threaded(ate(n, 0), n, vec![7, 7, 7], config);
+    assert!(outcome.all_decided());
+    let recording = telemetry.snapshot().expect("ring-backed telemetry");
+    assert_eq!(
+        recording.totals[EventKind::RungHeld],
+        0,
+        "fixed framing has no controller to report"
+    );
+    assert_eq!(recording.totals[EventKind::RungSwitch], 0);
+    let links = recording.totals[EventKind::LinkDelivered]
+        + recording.totals[EventKind::LinkDropped]
+        + recording.totals[EventKind::LinkCorrected]
+        + recording.totals[EventKind::LinkDetected]
+        + recording.totals[EventKind::LinkUndetected];
+    assert!(links > 0, "wire traffic must be recorded");
+    assert_eq!(
+        recording.frame_bytes.total(),
+        links,
+        "every wire verdict lands in the frame-bytes histogram"
+    );
+    assert_eq!(
+        recording.link_events().len() as u64,
+        links,
+        "the link-plane view covers exactly the wire verdicts"
+    );
+}
