@@ -377,6 +377,7 @@ where
             delivered: expected - omitted,
             corrected,
             value_faults: missed,
+            evidence: 0,
         });
         delivered
     }

@@ -56,7 +56,7 @@ mod runtime;
 mod socket;
 
 pub use executor::{BarrierWait, MiniExecutor, RoundBarrier};
-pub use runtime::{run_async, AsyncConfig, AsyncOutcome};
+pub use runtime::{run_async, run_async_mux, AsyncConfig, AsyncOutcome};
 pub use socket::{socket, NbReceiver, NbSender, Recv};
 // The shared outcome surface, for callers that only import this crate.
 pub use heardof_engine::{OutcomeView, SubstrateOutcome};

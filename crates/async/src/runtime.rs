@@ -28,12 +28,18 @@
 use crate::executor::{MiniExecutor, RoundBarrier};
 use crate::socket::{socket, NbReceiver, NbSender};
 use heardof_coding::{AdaptiveConfig, CodeSpec, NoiseTrace};
-use heardof_engine::{link_index, EngineReport, RoundEngine, SubstrateOutcome, WireMessage};
+use heardof_engine::{
+    link_index, EngineReport, MuxReport, MuxRoundEngine, RoundEngine, SubstrateOutcome, WireMessage,
+};
 use heardof_model::HoAlgorithm;
 use heardof_net::{FaultyLink, LinkFaults, RunFabric};
 use heardof_telemetry::Telemetry;
 use parking_lot::Mutex;
 use std::sync::Arc;
+
+/// Shared per-process report slots, each filled as its mux task
+/// finishes.
+type MuxReportSlots<V> = Arc<Mutex<Vec<Option<MuxReport<V>>>>>;
 
 /// Configuration of an async run. The fields mirror
 /// `heardof_net::NetConfig` minus the round timeout — the barrier
@@ -170,6 +176,123 @@ where
         .collect();
     let decisions = board.lock().clone();
     fabric.assemble(reports, decisions)
+}
+
+/// Runs `initials[p].len()` multiplexed consensus instances per process
+/// as `n` cooperative tasks: each task drives one
+/// [`MuxRoundEngine`] whose per-round sends pack every instance's frame
+/// into a single coded wire image per peer. Barrier alignment, links
+/// and lockstep semantics are identical to [`run_async`]; only the
+/// frame format differs. Returns one [`MuxReport`] per process.
+///
+/// # Panics
+///
+/// Panics if `initials.len() != n`, any process's instance list is
+/// empty, or the instance counts differ across processes.
+pub fn run_async_mux<A>(
+    algo: A,
+    n: usize,
+    initials: Vec<Vec<A::Value>>,
+    config: AsyncConfig,
+) -> Vec<MuxReport<A::Value>>
+where
+    A: HoAlgorithm,
+    A::Msg: WireMessage,
+{
+    assert!(n > 0, "system must have at least one process");
+    assert_eq!(initials.len(), n, "one initial-value list per process");
+    let k = initials[0].len();
+    assert!(k > 0, "at least one instance");
+    assert!(
+        initials.iter().all(|v| v.len() == k),
+        "every process runs the same instance set"
+    );
+
+    let fabric = RunFabric::new(
+        config.faults,
+        config.seed,
+        config.copies,
+        config.max_rounds,
+        config.code,
+        config.adaptive.clone(),
+        config.trace.clone(),
+        config.telemetry.clone(),
+    );
+    let board: Arc<Mutex<Vec<bool>>> = Arc::new(Mutex::new(vec![false; n]));
+    let reports: MuxReportSlots<A::Value> = Arc::new(Mutex::new((0..n).map(|_| None).collect()));
+    let barrier = RoundBarrier::new(n);
+
+    let mut txs: Vec<NbSender> = Vec::with_capacity(n);
+    let mut rxs: Vec<NbReceiver> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = socket();
+        txs.push(tx);
+        rxs.push(rx);
+    }
+
+    let mut exec = MiniExecutor::new();
+    for (p, (inbox, instance_initials)) in rxs.into_iter().zip(initials).enumerate() {
+        let links = fabric.links_for(p, n, |q| Box::new(txs[q].clone()));
+        let engine = fabric.mux_engine_for(algo.clone(), p, n, instance_initials);
+        exec.spawn(mux_process_task(
+            engine,
+            inbox,
+            links,
+            barrier.clone(),
+            Arc::clone(&board),
+            Arc::clone(&reports),
+            config.max_rounds,
+            config.lockstep,
+        ));
+    }
+    drop(txs);
+    exec.run();
+
+    Arc::try_unwrap(reports)
+        .unwrap_or_else(|_| panic!("report slots still shared after run"))
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every task files its report"))
+        .collect()
+}
+
+#[allow(clippy::too_many_arguments)]
+async fn mux_process_task<A>(
+    mut engine: MuxRoundEngine<A>,
+    inbox: NbReceiver,
+    mut links: Vec<FaultyLink>,
+    barrier: RoundBarrier,
+    board: Arc<Mutex<Vec<bool>>>,
+    reports: MuxReportSlots<A::Value>,
+    max_rounds: u64,
+    lockstep: bool,
+) where
+    A: HoAlgorithm,
+    A::Msg: WireMessage,
+{
+    let pid = engine.core(0).me().as_u32();
+    for r in 1..=max_rounds {
+        for out in engine.begin_round() {
+            links[link_index(out.dest, pid)].send(r, out.copy, out.bytes);
+        }
+
+        barrier.wait().await;
+
+        while let Some(bytes) = inbox.try_recv() {
+            let _ = engine.ingest(&bytes);
+        }
+
+        engine.finish_round();
+        if engine.all_decided() {
+            board.lock()[pid as usize] = true;
+        }
+
+        barrier.wait().await;
+        if !lockstep && board.lock().iter().all(|d| *d) {
+            break;
+        }
+    }
+    reports.lock()[pid as usize] = Some(engine.into_report());
 }
 
 #[allow(clippy::too_many_arguments)]

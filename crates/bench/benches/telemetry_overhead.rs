@@ -15,6 +15,7 @@
 //! headline claim: attaching `NullRecorder` costs ≤ 1%.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use heardof_bench::report::BenchReport;
 use heardof_coding::{AdaptiveConfig, AdaptiveController, CodeBook, NoiseTrace};
 use heardof_core::{Ate, AteParams};
 use heardof_engine::{Framing, RoundEngine};
@@ -112,8 +113,8 @@ fn telemetry_overhead(c: &mut Criterion) {
 
     // The committed artifact: measure the three configurations with a
     // deeper best-of pass (minima of identical code paths converge, so
-    // the null-vs-baseline delta is noise-bounded) and write the JSON
-    // by hand — the in-tree serde shim has no serializer.
+    // the null-vs-baseline delta is noise-bounded), then the shared
+    // `heardof-bench-report/v1` writer.
     let samples = 80;
     let null_telemetry = Telemetry::null();
     let ring_telemetry = Telemetry::from_ring(Arc::new(RingRecorder::new()));
@@ -124,15 +125,23 @@ fn telemetry_overhead(c: &mut Criterion) {
     let (baseline, null, ring) = (timings[0], timings[1], timings[2]);
     let null_pct = overhead_pct(baseline, null);
     let ring_pct = overhead_pct(baseline, ring);
-    let json = format!(
-        "{{\n  \"bench\": \"telemetry_overhead\",\n  \"workload\": \"lockstep mesh, n={N}, rounds={ROUNDS}, adaptive ladder, correlated-burst trace, seed {SEED:#x}\",\n  \"samples\": {samples},\n  \"timer\": \"best-of wall clock\",\n  \"baseline_ns\": {},\n  \"null_recorder_ns\": {},\n  \"ring_recorder_ns\": {},\n  \"null_overhead_pct\": {null_pct:.3},\n  \"ring_overhead_pct\": {ring_pct:.3},\n  \"claim\": \"NullRecorder overhead <= 1%\",\n  \"claim_holds\": {}\n}}\n",
-        baseline.as_nanos(),
-        null.as_nanos(),
-        ring.as_nanos(),
-        null_pct <= 1.0,
+    let mut report = BenchReport::new(
+        "telemetry_overhead",
+        format!(
+            "lockstep mesh, n={N}, rounds={ROUNDS}, adaptive ladder, \
+             correlated-burst trace, seed {SEED:#x}"
+        ),
+        samples,
     );
+    report
+        .metric_ns("baseline", baseline)
+        .metric_ns("null_recorder", null)
+        .metric_ns("ring_recorder", ring)
+        .metric_pct("null_overhead", null_pct)
+        .metric_pct("ring_overhead", ring_pct)
+        .claim("NullRecorder overhead <= 1%", null_pct <= 1.0);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_telemetry.json");
-    std::fs::write(path, &json).expect("write BENCH_telemetry.json");
+    report.write(path);
     println!("telemetry overhead: null {null_pct:+.3}%  ring {ring_pct:+.3}%  -> {path}");
 }
 

@@ -151,6 +151,7 @@ fn run(policy: &mut Policy, trace: &NoiseTrace, seed: u64) -> Outcome {
                 delivered: ok + missed,
                 corrected: counts[EventKind::LinkCorrected] as usize,
                 value_faults: 0,
+                evidence: 0,
             });
         }
     }

@@ -24,6 +24,8 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod report;
+
 use heardof_adversary::{
     Adversary, BorrowedCorruption, Budgeted, GoodRounds, RandomCorruption, SplitBrain, WithSchedule,
 };

@@ -1,0 +1,123 @@
+//! The shared machine-readable benchmark artifact: every committed
+//! `BENCH_*.json` at the workspace root is rendered through
+//! [`BenchReport`], so CI gates and humans parse one schema
+//! (`heardof-bench-report/v1`) instead of one ad-hoc layout per bench.
+//!
+//! The in-tree serde shim has no serializer, so the writer renders the
+//! JSON by hand — metrics are pushed pre-formatted as JSON numbers, one
+//! per line, which keeps the committed artifacts both `grep`-able (the
+//! CI regression gate is line-oriented) and diff-friendly.
+
+use std::time::Duration;
+
+/// One benchmark's committed result file under the shared schema.
+///
+/// Construct with [`BenchReport::new`], push metrics in the order they
+/// should appear, set the headline verdict, then [`BenchReport::write`]
+/// the artifact.
+pub struct BenchReport {
+    bench: &'static str,
+    workload: String,
+    samples: usize,
+    timer: &'static str,
+    metrics: Vec<(String, String)>,
+    claim: &'static str,
+    claim_holds: bool,
+}
+
+impl BenchReport {
+    /// Starts a report for `bench` measuring `workload` with
+    /// best-of-`samples` wall-clock timing (the workspace's standard
+    /// timer; minima of identical code paths converge, bounding the
+    /// noise floor).
+    pub fn new(bench: &'static str, workload: String, samples: usize) -> Self {
+        BenchReport {
+            bench,
+            workload,
+            samples,
+            timer: "best-of wall clock",
+            metrics: Vec::new(),
+            claim: "",
+            claim_holds: false,
+        }
+    }
+
+    /// Records a duration metric in integer nanoseconds.
+    pub fn metric_ns(&mut self, name: &str, value: Duration) -> &mut Self {
+        self.metrics
+            .push((format!("{name}_ns"), value.as_nanos().to_string()));
+        self
+    }
+
+    /// Records a dimensionless ratio (e.g. a speedup factor), three
+    /// decimal places.
+    pub fn metric_ratio(&mut self, name: &str, value: f64) -> &mut Self {
+        self.metrics.push((name.to_string(), format!("{value:.3}")));
+        self
+    }
+
+    /// Records a percentage, three decimal places.
+    pub fn metric_pct(&mut self, name: &str, value: f64) -> &mut Self {
+        self.metrics
+            .push((format!("{name}_pct"), format!("{value:.3}")));
+        self
+    }
+
+    /// Sets the headline claim and whether this run upheld it.
+    pub fn claim(&mut self, claim: &'static str, holds: bool) -> &mut Self {
+        self.claim = claim;
+        self.claim_holds = holds;
+        self
+    }
+
+    /// Renders the report as `heardof-bench-report/v1` JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": \"heardof-bench-report/v1\",\n");
+        out.push_str(&format!("  \"bench\": \"{}\",\n", self.bench));
+        out.push_str(&format!("  \"workload\": \"{}\",\n", self.workload));
+        out.push_str(&format!("  \"samples\": {},\n", self.samples));
+        out.push_str(&format!("  \"timer\": \"{}\",\n", self.timer));
+        out.push_str("  \"metrics\": {\n");
+        for (i, (name, value)) in self.metrics.iter().enumerate() {
+            let comma = if i + 1 == self.metrics.len() { "" } else { "," };
+            out.push_str(&format!("    \"{name}\": {value}{comma}\n"));
+        }
+        out.push_str("  },\n");
+        out.push_str(&format!("  \"claim\": \"{}\",\n", self.claim));
+        out.push_str(&format!("  \"claim_holds\": {}\n", self.claim_holds));
+        out.push('}');
+        out.push('\n');
+        out
+    }
+
+    /// Writes the rendered report to `path` (the committed workspace
+    /// artifact).
+    pub fn write(&self, path: &str) {
+        std::fs::write(path, self.render()).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_the_v1_schema() {
+        let mut report = BenchReport::new("demo", "tiny workload".into(), 8);
+        report
+            .metric_ns("pass", Duration::from_nanos(1234))
+            .metric_ratio("speedup", 4.5)
+            .metric_pct("overhead", -0.25)
+            .claim("speedup >= 4x", true);
+        let json = report.render();
+        assert!(json.contains("\"schema\": \"heardof-bench-report/v1\""));
+        assert!(json.contains("\"pass_ns\": 1234"));
+        assert!(json.contains("\"speedup\": 4.500"));
+        assert!(json.contains("\"overhead_pct\": -0.250"));
+        assert!(json.contains("\"claim_holds\": true"));
+        // Exactly one trailing comma layout error would break the
+        // line-oriented CI gate — the last metric has no comma.
+        assert!(json.contains("\"overhead_pct\": -0.250\n  },"));
+    }
+}

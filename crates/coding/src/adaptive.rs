@@ -182,6 +182,19 @@ pub struct RoundTally {
     /// observe these and passes 0; oracle harnesses (the simulator, the
     /// tradeoff benchmarks) pass ground truth.
     pub value_faults: usize,
+    /// Of the frames that were *rejected*, how many carried repair
+    /// evidence scanned out of the wreckage (see
+    /// [`ChannelCode::decode_scanned`](crate::ChannelCode::decode_scanned)):
+    /// SECDED blocks corrected before a double-error block killed the
+    /// frame, fountain erasures patched before the solve failed. Counted
+    /// frame-level (0/1 per rejected frame), the same unit as
+    /// [`RoundTally::corrected`]. Feeds [`RoundTally::activity`] only —
+    /// a frame that died mid-repair is *stronger* evidence of a live
+    /// channel than a silent drop, so de-escalation waits on it, but it
+    /// is deliberately kept out of the corrected-rate coping signal: a
+    /// rung whose repairs keep ending in dropped frames is not winning,
+    /// and crediting the wreckage would pin the controller there.
+    pub evidence: usize,
 }
 
 impl RoundTally {
@@ -204,14 +217,19 @@ impl RoundTally {
     }
 
     /// Fraction of expected frames that show *any* channel activity:
-    /// missing, faulted, or delivered-after-repair — the *calm* signal.
-    /// De-escalation waits for this to go quiet, so a rung that is
-    /// actively correcting a burst is never abandoned mid-burst.
+    /// missing, faulted, delivered-after-repair, or rejected while
+    /// visibly repairing — the *calm* signal. De-escalation waits for
+    /// this to go quiet, so a rung that is actively correcting a burst
+    /// is never abandoned mid-burst. A rejected-with-evidence frame
+    /// counts twice (once as an omission, once as evidence) — the
+    /// double weight is deliberate conservatism on the calm side and
+    /// never touches [`RoundTally::pressure`].
     pub fn activity(&self) -> f64 {
         if self.expected == 0 {
             0.0
         } else {
-            (self.omissions() + self.corrected + self.value_faults) as f64 / self.expected as f64
+            (self.omissions() + self.corrected + self.value_faults + self.evidence) as f64
+                / self.expected as f64
         }
     }
 }
@@ -505,7 +523,7 @@ impl SwitchCause {
 /// assert_eq!(ctl.current(), CodeSpec::Checksum { width: 4 });
 /// // A severe round (most frames rejected by the checksum) jumps the
 /// // ladder straight to burst-grade correction.
-/// let noisy = RoundTally { expected: 7, delivered: 1, corrected: 0, value_faults: 0 };
+/// let noisy = RoundTally { expected: 7, delivered: 1, corrected: 0, value_faults: 0, evidence: 0 };
 /// assert_eq!(ctl.observe(noisy), Some(CodeSpec::Interleaved { depth: 16 }));
 /// ```
 #[derive(Clone, Debug)]
@@ -650,7 +668,7 @@ impl AdaptiveController {
     pub fn activity(&self) -> f64 {
         match self.cfg.estimator {
             PressureEstimator::Windowed => {
-                self.windowed(|t| t.omissions() + t.corrected + t.value_faults)
+                self.windowed(|t| t.omissions() + t.corrected + t.value_faults + t.evidence)
             }
             _ => self.est.map_or(0.0, |(_, a, _)| a),
         }
@@ -1043,23 +1061,63 @@ pub struct TaggedWire {
     pub body: Vec<u8>,
 }
 
+/// Why a [`CodeBook`] could not be built from a ladder of specs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CodeBookError {
+    /// No specs were given — a book must hold at least one code.
+    Empty,
+    /// More than 128 specs: ids are one wire byte whose high bit is the
+    /// [`GOSSIP_FLAG`], so the id space stops at 127. Carries the
+    /// offending length.
+    TooLarge(usize),
+}
+
+impl std::fmt::Display for CodeBookError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodeBookError::Empty => write!(f, "a code book holds 1..=128 codes, got 0"),
+            CodeBookError::TooLarge(n) => {
+                write!(f, "a code book holds 1..=128 codes, got {n}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodeBookError {}
+
 impl CodeBook {
-    /// Builds the book for a ladder of specs.
+    /// Builds the book for a ladder of specs, checking the id-space
+    /// bound: ids are one wire byte whose high bit is the
+    /// [`GOSSIP_FLAG`], so a book holds 1..=128 codes.
+    ///
+    /// # Errors
+    ///
+    /// [`CodeBookError::Empty`] for an empty ladder,
+    /// [`CodeBookError::TooLarge`] past 128 specs.
+    pub fn new(specs: &[CodeSpec]) -> Result<Self, CodeBookError> {
+        if specs.is_empty() {
+            return Err(CodeBookError::Empty);
+        }
+        if specs.len() > GOSSIP_FLAG as usize {
+            return Err(CodeBookError::TooLarge(specs.len()));
+        }
+        Ok(CodeBook {
+            specs: specs.to_vec(),
+            codes: specs.iter().map(|s| s.build()).collect(),
+        })
+    }
+
+    /// Builds the book for a ladder of specs (the infallible
+    /// convenience over [`CodeBook::new`] for statically-sized ladders).
     ///
     /// # Panics
     ///
     /// Panics if `specs` is empty or longer than 128 entries (ids are
-    /// one byte whose high bit is the [`GOSSIP_FLAG`]).
+    /// one byte whose high bit is the [`GOSSIP_FLAG`]); configurations
+    /// built at runtime should use [`CodeBook::new`] and surface the
+    /// [`CodeBookError`] instead.
     pub fn from_specs(specs: &[CodeSpec]) -> Self {
-        assert!(
-            !specs.is_empty() && specs.len() <= GOSSIP_FLAG as usize,
-            "a code book holds 1..=128 codes, got {}",
-            specs.len()
-        );
-        CodeBook {
-            specs: specs.to_vec(),
-            codes: specs.iter().map(|s| s.build()).collect(),
-        }
+        Self::new(specs).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Number of codes in the book.
@@ -1214,6 +1272,39 @@ impl CodeBook {
         })
     }
 
+    /// The scanning variant of [`CodeBook::decode_tagged_full`]: the
+    /// same outcome, plus the repair events the named code observed
+    /// while scanning the whole coded body
+    /// ([`ChannelCode::decode_scanned`]) — nonzero even when the frame
+    /// is rejected, which is the evidence behind
+    /// [`RoundTally::evidence`]. An unreadable prefix (empty frame,
+    /// truncated advert, unknown id) reports zero repairs: no decoder
+    /// ever ran.
+    pub fn decode_tagged_scanned(&self, wire: &[u8]) -> (Result<TaggedWire, CodeError>, usize) {
+        let Some((&first, rest)) = wire.split_first() else {
+            return (Err(CodeError::Malformed), 0);
+        };
+        let (id, advert, coded) = if first & GOSSIP_FLAG != 0 {
+            let Some((&ad, coded)) = rest.split_first() else {
+                return (Err(CodeError::Malformed), 0);
+            };
+            (first & !GOSSIP_FLAG, RungAdvert::from_byte(ad), coded)
+        } else {
+            (first, None, rest)
+        };
+        let Some(code) = self.codes.get(id as usize) else {
+            return (Err(CodeError::Malformed), 0);
+        };
+        let scan = code.decode_scanned(coded);
+        let outcome = scan.outcome.map(|(body, repaired)| TaggedWire {
+            code_id: id,
+            repaired,
+            advert,
+            body,
+        });
+        (outcome, scan.repairs)
+    }
+
     /// Classifies what a receiver experiences when `wire_after_noise`
     /// (a possibly-corrupted tagged encoding of `body`) arrives.
     pub fn classify_tagged(&self, body: &[u8], wire_after_noise: &[u8]) -> FrameOutcome {
@@ -1235,6 +1326,7 @@ mod tests {
             delivered: expected / 4,
             corrected: 0,
             value_faults: 0,
+            evidence: 0,
         }
     }
 
@@ -1244,6 +1336,7 @@ mod tests {
             delivered: expected,
             corrected: 0,
             value_faults: 0,
+            evidence: 0,
         }
     }
 
@@ -1255,6 +1348,7 @@ mod tests {
             delivered: expected,
             corrected: expected / 2,
             value_faults: 0,
+            evidence: 0,
         }
     }
 
@@ -1308,6 +1402,7 @@ mod tests {
             delivered: 4, // 3/7 ≈ 0.43 pressure: above 0.35, below 0.6
             corrected: 0,
             value_faults: 0,
+            evidence: 0,
         };
         let mut first_switch = None;
         for _ in 0..6 {
@@ -1383,6 +1478,7 @@ mod tests {
                 delivered: 10,
                 corrected: 0,
                 value_faults: 0,
+                evidence: 0,
             });
         }
         assert!(ctl.rung() >= 2);
@@ -1394,6 +1490,7 @@ mod tests {
             delivered: 99,
             corrected: 4,
             value_faults: 0,
+            evidence: 0,
         };
         let mut first = None;
         for _ in 0..2 * cooldown {
@@ -1448,6 +1545,7 @@ mod tests {
             delivered: 6,
             corrected: 0,
             value_faults: 1,
+            evidence: 0,
         };
         let mut switched = false;
         for _ in 0..10 {
@@ -1485,6 +1583,7 @@ mod tests {
                 delivered: 0,
                 corrected: 0,
                 value_faults: 0,
+                evidence: 0,
             };
             for sender in 1..n as u32 {
                 let mut wire = book.encode_tagged(ctl.code_id(), &body);
@@ -1540,6 +1639,7 @@ mod tests {
             delivered: 6,
             corrected: 0,
             value_faults: 0,
+            evidence: 0,
         };
         assert_eq!(ctl.observe(mild), None);
         let first = ctl.pressure();
@@ -1628,6 +1728,7 @@ mod tests {
             delivered: 7,
             corrected: 2,
             value_faults: 1,
+            evidence: 0,
         };
         assert_eq!(t.omissions(), 3);
         assert!((t.pressure() - 0.4).abs() < 1e-12);
@@ -1678,6 +1779,7 @@ mod tests {
             delivered: 9, // 10% pressure, below the 25% drift
             corrected: 0,
             value_faults: 0,
+            evidence: 0,
         };
         for _ in 0..50 {
             assert_eq!(ctl.observe(mild), None);

@@ -53,6 +53,29 @@ impl fmt::Display for CodeError {
 
 impl Error for CodeError {}
 
+/// The result of a *scanning* decode ([`ChannelCode::decode_scanned`]):
+/// the ordinary decode outcome plus the number of repair events the
+/// decoder observed while scanning the whole wire image — evidence that
+/// survives even when the frame is ultimately rejected.
+///
+/// The `outcome` is bit-for-bit the result of
+/// [`ChannelCode::decode_repaired`] on the same wire; the scan never
+/// changes what a frame decodes to, only what a receiver learns about
+/// the channel on the way.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DecodeScan {
+    /// The decode outcome, exactly as [`ChannelCode::decode_repaired`]
+    /// returns it.
+    pub outcome: Result<(Vec<u8>, bool), CodeError>,
+    /// Repair events observed across the whole wire image, in the
+    /// code's own units (SECDED blocks corrected, fountain erasures
+    /// patched, voted-out length-header flips) — **including** events
+    /// in frames the decoder then rejects. A dropped frame that was
+    /// visibly fighting noise reports that fight here instead of
+    /// looking like a silent loss.
+    pub repairs: usize,
+}
+
 /// A block channel code over byte payloads.
 ///
 /// Implementations must be deterministic and total: `decode(encode(p))
@@ -123,6 +146,22 @@ pub trait ChannelCode: Send + Sync {
         Ok((self.decode(wire)?, false))
     }
 
+    /// Like [`ChannelCode::decode_repaired`], additionally counting the
+    /// repair events observed across the **whole** wire image — evidence
+    /// that must be reported consistently whether or not the frame is
+    /// ultimately rejected (see [`DecodeScan`]). Correcting codes
+    /// override this to keep scanning past an uncorrectable block; the
+    /// default derives the count from `decode_repaired`, which for
+    /// detect-only codes (no repair notion) is already exact.
+    ///
+    /// Implementations must keep `decode_scanned(w).outcome ==
+    /// decode_repaired(w)` for every wire image `w`.
+    fn decode_scanned(&self, wire: &[u8]) -> DecodeScan {
+        let outcome = self.decode_repaired(wire);
+        let repairs = usize::from(matches!(outcome, Ok((_, true))));
+        DecodeScan { outcome, repairs }
+    }
+
     /// Classifies what a receiver experiences when `wire_after_noise`
     /// (a possibly-corrupted encoding of `payload`) arrives.
     fn classify(&self, payload: &[u8], wire_after_noise: &[u8]) -> FrameOutcome {
@@ -157,6 +196,10 @@ impl ChannelCode for Arc<dyn ChannelCode> {
 
     fn decode_repaired(&self, wire: &[u8]) -> Result<(Vec<u8>, bool), CodeError> {
         (**self).decode_repaired(wire)
+    }
+
+    fn decode_scanned(&self, wire: &[u8]) -> DecodeScan {
+        (**self).decode_scanned(wire)
     }
 }
 

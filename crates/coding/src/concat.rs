@@ -84,6 +84,30 @@ impl<I: ChannelCode, O: ChannelCode> ChannelCode for Concatenated<I, O> {
         let (payload, outer_repaired) = self.outer.decode_repaired(&body)?;
         Ok((payload, inner_repaired || outer_repaired))
     }
+
+    fn decode_scanned(&self, wire: &[u8]) -> crate::code::DecodeScan {
+        use crate::code::DecodeScan;
+        // The inner layer's repair evidence survives an outer rejection:
+        // a frame the channel code visibly fought for and the checksum
+        // then killed reports the fight, consistent with every other
+        // rejected-but-repairing frame.
+        let inner = self.inner.decode_scanned(wire);
+        match inner.outcome {
+            Err(e) => DecodeScan {
+                outcome: Err(e),
+                repairs: inner.repairs,
+            },
+            Ok((body, inner_repaired)) => {
+                let outer = self.outer.decode_scanned(&body);
+                DecodeScan {
+                    outcome: outer.outcome.map(|(payload, outer_repaired)| {
+                        (payload, inner_repaired || outer_repaired)
+                    }),
+                    repairs: inner.repairs + outer.repairs,
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]

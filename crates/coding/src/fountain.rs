@@ -382,8 +382,26 @@ impl ChannelCode for LtCode {
     }
 
     fn decode_repaired(&self, wire: &[u8]) -> Result<(Vec<u8>, bool), CodeError> {
+        self.scan(wire).0
+    }
+
+    fn decode_scanned(&self, wire: &[u8]) -> crate::code::DecodeScan {
+        let (outcome, repairs) = self.scan(wire);
+        crate::code::DecodeScan { outcome, repairs }
+    }
+}
+
+impl LtCode {
+    /// The scanning decode behind both `decode_repaired` and
+    /// `decode_scanned`: erasures (symbols killed by their CRC) and a
+    /// voted-out length header are counted as repair events whether or
+    /// not enough symbol diversity survives to solve the system — a
+    /// frame the decoder loses *while visibly patching erasures* is
+    /// reported exactly like one it saves, matching the SECDED scan's
+    /// evidence semantics.
+    fn scan(&self, wire: &[u8]) -> (Result<(Vec<u8>, bool), CodeError>, usize) {
         if wire.len() < HEADER_LEN {
-            return Err(CodeError::Malformed);
+            return (Err(CodeError::Malformed), 0);
         }
         let (len_word, len_repaired) = Self::vote_len(&wire[..HEADER_LEN]);
         let payload_len = len_word as usize;
@@ -395,7 +413,7 @@ impl ChannelCode for LtCode {
         // caught structurally here or by the symbol CRCs / outer CRC
         // below — never silently believed.
         if !body.len().is_multiple_of(per_symbol) {
-            return Err(CodeError::Malformed);
+            return (Err(CodeError::Malformed), usize::from(len_repaired));
         }
 
         // Gather the surviving symbols; CRC failures become erasures.
@@ -445,10 +463,12 @@ impl ChannelCode for LtCode {
             }
             pivots[col] = Some(pivot);
         }
+        let repairs = erased + usize::from(len_repaired);
         if pivots.iter().any(Option::is_none) {
             // Not enough symbol diversity survived: an erasure-decoding
-            // failure is a *detected* loss, i.e. an omission.
-            return Err(CodeError::Detected);
+            // failure is a *detected* loss, i.e. an omission — but the
+            // erasures it patched on the way are still channel evidence.
+            return (Err(CodeError::Detected), repairs);
         }
 
         let mut image = Vec::with_capacity(k * block_len);
@@ -458,16 +478,16 @@ impl ChannelCode for LtCode {
             image.extend_from_slice(data);
         }
         if image.len() < payload_len + OUTER_CRC_LEN {
-            return Err(CodeError::Detected);
+            return (Err(CodeError::Detected), repairs);
         }
         image.truncate(payload_len + OUTER_CRC_LEN);
         let crc_trailer = image.split_off(payload_len);
         if crc_trailer[..] != crc32(&image).to_le_bytes() {
             // A symbol CRC collision fed a forged equation into the solver;
             // the outer checksum catches it — still an omission.
-            return Err(CodeError::Detected);
+            return (Err(CodeError::Detected), repairs);
         }
-        Ok((image, erased > 0 || len_repaired))
+        (Ok((image, erased > 0 || len_repaired)), repairs)
     }
 }
 
@@ -622,18 +642,21 @@ mod tests {
             delivered: 8,
             corrected: 0,
             value_faults: 0,
+            evidence: 0,
         };
         let lossy = crate::RoundTally {
             expected: 8,
             delivered: 4,
             corrected: 0,
             value_faults: 0,
+            evidence: 0,
         };
         let absorbing = crate::RoundTally {
             expected: 8,
             delivered: 8,
             corrected: 3,
             value_faults: 0,
+            evidence: 0,
         };
         let mut b = SymbolBudget::baseline(base);
         b = b.renegotiate(lossy, base);

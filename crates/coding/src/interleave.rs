@@ -162,6 +162,11 @@ impl<C: ChannelCode> ChannelCode for Interleaved<C> {
         self.inner
             .decode_repaired(&deinterleave_bits(wire, self.depth))
     }
+
+    fn decode_scanned(&self, wire: &[u8]) -> crate::code::DecodeScan {
+        self.inner
+            .decode_scanned(&deinterleave_bits(wire, self.depth))
+    }
 }
 
 #[cfg(test)]

@@ -67,6 +67,7 @@
 #![warn(rust_2018_idioms)]
 
 mod adaptive;
+mod batch;
 mod burst;
 mod checksum;
 mod code;
@@ -80,15 +81,16 @@ mod noise;
 mod repetition;
 
 pub use adaptive::{
-    chernoff_alpha_for_mean, AdaptiveConfig, AdaptiveController, CodeBook, GossipConfig,
-    PressureEstimator, RoundTally, RungAdvert, SwitchCause, TaggedWire, GOSSIP_FLAG,
+    chernoff_alpha_for_mean, AdaptiveConfig, AdaptiveController, CodeBook, CodeBookError,
+    GossipConfig, PressureEstimator, RoundTally, RungAdvert, SwitchCause, TaggedWire, GOSSIP_FLAG,
 };
+pub use batch::{mux_overhead, pack_slots, unpack_slots, MAX_SLOTS, MAX_SLOT_LEN};
 pub use burst::{GilbertElliott, NoiseModel, NoisePhase, NoiseTrace};
 pub use checksum::{crc32, Checksum, NoCode};
-pub use code::{ChannelCode, CodeError, CodeSpec, FrameOutcome};
+pub use code::{ChannelCode, CodeError, CodeSpec, DecodeScan, FrameOutcome};
 pub use concat::Concatenated;
 pub use fountain::{LtCode, SymbolBudget};
-pub use hamming::Hamming74;
+pub use hamming::{bitslice, Hamming74};
 pub use interleave::{deinterleave_bits, interleave_bits, stripe_offsets, Interleaved};
 pub use measure::{
     induced_alpha_demand, measure_code, measure_code_exact_flips, measure_code_observed,

@@ -98,6 +98,7 @@ pub fn drive_mesh(
                 delivered: 0,
                 corrected: 0,
                 value_faults: 0,
+                evidence: 0,
             };
             n
         ];

@@ -92,6 +92,7 @@ fn measure(spec: Option<CodeSpec>, trace: &NoiseTrace) -> Measured {
                 delivered: ok + missed,
                 corrected,
                 value_faults: 0,
+                evidence: 0,
             });
         }
     }

@@ -3,9 +3,10 @@
 //! miss-rate regression for truncated checksums.
 
 use heardof_coding::{
-    deinterleave_bits, interleave_bits, measure_code_exact_flips, stripe_offsets, AdaptiveConfig,
-    BitNoise, ChannelCode, Checksum, CodeBook, CodeError, CodeSpec, FrameOutcome, Hamming74,
-    Interleaved, LtCode, NoCode, Repetition, RungAdvert, SymbolBudget,
+    deinterleave_bits, interleave_bits, measure_code_exact_flips, mux_overhead, pack_slots,
+    stripe_offsets, unpack_slots, AdaptiveConfig, AdaptiveController, BitNoise, ChannelCode,
+    Checksum, CodeBook, CodeError, CodeSpec, FrameOutcome, Hamming74, Interleaved, LtCode, NoCode,
+    Repetition, RoundTally, RungAdvert, SymbolBudget,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -327,6 +328,75 @@ proptest! {
     }
 
     #[test]
+    fn mux_header_corruption_is_never_a_value_fault(
+        bodies in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..24), 1..8),
+        flips in 1usize..9,
+        seed in any::<u64>(),
+    ) {
+        // The multiplexed wire image is self-checking: 1–8 bit flips
+        // anywhere in the mux header region (count byte + per-slot
+        // id/len headers) must surface as a rejection or reproduce the
+        // original slots exactly — never a silently different slot set
+        // (which the engine would route to the wrong instances).
+        let slots: Vec<(u32, Vec<u8>)> = bodies
+            .into_iter()
+            .enumerate()
+            .map(|(i, b)| (i as u32, b))
+            .collect();
+        let image = pack_slots(&slots);
+        let header_len = mux_overhead(slots.len()) - 4; // headers, not the CRC trailer
+        let mut hit = image.clone();
+        let mut rng = StdRng::seed_from_u64(seed);
+        BitNoise::flip_exact(&mut hit[..header_len], flips.min(header_len * 8), &mut rng);
+        match unpack_slots(&hit) {
+            Err(CodeError::Detected) | Err(CodeError::Malformed) => {} // detected omission
+            Ok(got) => {
+                let got: Vec<(u32, Vec<u8>)> =
+                    got.into_iter().map(|(id, b)| (id, b.to_vec())).collect();
+                prop_assert_eq!(
+                    got,
+                    slots,
+                    "header corruption must never deliver altered slots"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mux_images_survive_the_coded_path_or_reject_whole(
+        bodies in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..16), 1..5),
+        id_pick in 0usize..5,
+        flips in 1usize..9,
+        seed in any::<u64>(),
+    ) {
+        // End to end through the tagged channel-code layer: corrupt the
+        // coded wire anywhere; after tagged decode + unpack, the
+        // receiver sees the original slot set or nothing — the
+        // two-layer check (channel code, then mux CRC) leaves no path
+        // to a partially-delivered or misrouted batch.
+        let book = CodeBook::from_specs(&AdaptiveConfig::standard(5, 1).ladder);
+        let slots: Vec<(u32, Vec<u8>)> = bodies
+            .into_iter()
+            .enumerate()
+            .map(|(i, b)| (i as u32, b))
+            .collect();
+        let image = pack_slots(&slots);
+        let mut wire = book.encode_tagged(id_pick as u8, &image);
+        let mut rng = StdRng::seed_from_u64(seed);
+        BitNoise::flip_exact(&mut wire, flips, &mut rng);
+        if let Ok((_, body)) = book.decode_tagged(&wire) {
+            match unpack_slots(&body) {
+                Err(_) => {} // detected omission at the mux layer
+                Ok(got) => {
+                    let got: Vec<(u32, Vec<u8>)> =
+                        got.into_iter().map(|(id, b)| (id, b.to_vec())).collect();
+                    prop_assert_eq!(got, slots, "no silent batch alteration");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn no_code_never_detects(payload in arb_payload(), flips in 1usize..9, seed in any::<u64>()) {
         let mut wire = NoCode.encode(&payload);
         let mut rng = StdRng::seed_from_u64(seed);
@@ -395,6 +465,67 @@ fn repetition_differential_exhaustive_single_bytes() {
             "wire {wire:?}"
         );
     }
+}
+
+#[test]
+fn repair_evidence_is_independent_of_block_order() {
+    // Regression for the early-return bug in the SECDED scan: the old
+    // `decode_repaired` bailed on the first double-error block, so a
+    // frame whose repairable block came AFTER the fatal one reported no
+    // repair evidence, while the mirror-image damage (repair first,
+    // double error later) would have. Same damage, different pressure —
+    // the adaptive controller reacted to block *order*, not channel
+    // state. `decode_scanned` scans every block; both orderings must
+    // report identical evidence.
+    let code = Hamming74;
+    let payload = vec![0x5Au8; 16]; // 32 SECDED blocks
+    let clean = code.encode(&payload);
+
+    // Damage A: fatal double error early (block 1), repairable single
+    // flip late (block 20). Damage B: the mirror image.
+    let mut early_fatal = clean.clone();
+    early_fatal[1] ^= 0b0000_0110;
+    early_fatal[20] ^= 0b0001_0000;
+    let mut late_fatal = clean.clone();
+    late_fatal[1] ^= 0b0001_0000;
+    late_fatal[20] ^= 0b0000_0110;
+
+    let a = code.decode_scanned(&early_fatal);
+    let b = code.decode_scanned(&late_fatal);
+    assert!(
+        a.outcome.is_err() && b.outcome.is_err(),
+        "both are rejected"
+    );
+    assert!(a.repairs > 0, "repair evidence after the fatal block");
+    assert!(b.repairs > 0, "repair evidence before the fatal block");
+    assert_eq!(a.repairs, b.repairs, "equivalent damage, equal evidence");
+
+    // And the controller-level consequence: two controllers fed the
+    // per-round tallies the engine derives from these scans (a rejected
+    // frame with visible repairs is one unit of evidence) must see
+    // identical pressure and walk identical rungs.
+    let n = 5;
+    let mut seen_early = AdaptiveController::new(AdaptiveConfig::standard(n, 1));
+    let mut seen_late = AdaptiveController::new(AdaptiveConfig::standard(n, 1));
+    for _ in 0..8 {
+        let tally = |scan: &heardof_coding::DecodeScan| RoundTally {
+            expected: n - 1,
+            delivered: n - 2,
+            corrected: 0,
+            value_faults: 0,
+            evidence: usize::from(scan.repairs > 0),
+        };
+        let switch_a = seen_early.observe(tally(&a));
+        let switch_b = seen_late.observe(tally(&b));
+        assert_eq!(switch_a, switch_b, "identical switch decisions");
+        assert_eq!(
+            seen_early.activity(),
+            seen_late.activity(),
+            "identical observed activity"
+        );
+        assert_eq!(seen_early.pressure(), seen_late.pressure());
+    }
+    assert_eq!(seen_early.current(), seen_late.current());
 }
 
 #[test]

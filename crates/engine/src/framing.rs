@@ -16,12 +16,45 @@ use crate::codec::{
     decode_body, decode_frame_tagged, encode_body, encode_frame_tagged_advert, encode_frame_with,
     Frame, WireMessage,
 };
+use heardof_coding::DecodeScan;
 use heardof_coding::{
     AdaptiveController, ChannelCode, CodeBook, CodeSpec, RoundTally, RungAdvert, SwitchCause,
     SymbolBudget,
 };
 use heardof_telemetry::{pack_rung_switch, Event, EventKind, Telemetry};
 use std::sync::Arc;
+
+/// What [`Framing::decode_scan`] saw in one wire arrival: the decoded
+/// frame when the wire decoded, plus the block-level repair work the
+/// code reported **even when it rejected the frame**.
+///
+/// The second half is the repair-evidence bugfix: a frame the code
+/// visibly fought for (repaired blocks) and still had to drop carries
+/// real information about channel conditions. `decode`/`decode_full`
+/// collapse that rejection to `None` and the evidence is lost;
+/// `decode_scan` keeps it so the engine can feed it into
+/// [`RoundTally::evidence`](heardof_coding::RoundTally).
+#[derive(Clone, Debug)]
+pub struct FrameScan<M> {
+    /// `(frame, repaired, advert)` exactly as [`Framing::decode_full`]
+    /// would have returned it — `None` on any rejection.
+    pub frame: Option<(Frame<M>, bool, Option<RungAdvert>)>,
+    /// Block-level repairs the code performed while scanning the wire,
+    /// counted whether or not the frame was ultimately delivered.
+    pub repairs: usize,
+}
+
+/// What [`Framing::decode_raw_scan`] saw in one wire arrival: the
+/// decoded *image* (undecoded body bytes — for the mux layer, a packed
+/// slot image) plus the same rejected-frame repair evidence as
+/// [`FrameScan`].
+#[derive(Clone, Debug)]
+pub struct RawScan {
+    /// `(image, repaired, advert)` when the code delivered the wire.
+    pub image: Option<(Vec<u8>, bool, Option<RungAdvert>)>,
+    /// Block-level repairs observed while scanning, delivered or not.
+    pub repairs: usize,
+}
 
 /// The two framing policies a process can run under.
 // One Framing exists per process for a whole run; the size skew between
@@ -176,6 +209,86 @@ impl Framing {
             Mode::Adaptive { book, .. } => decode_frame_tagged(bytes, book)
                 .ok()
                 .map(|t| (t.frame, t.repaired, t.advert)),
+        }
+    }
+
+    /// Like [`Framing::decode_full`], additionally surfacing the
+    /// block-level repair evidence the code reported even when it
+    /// rejected the frame. The `frame` half is bit-for-bit what
+    /// `decode_full` returns (the scanning decode path is contractually
+    /// identical to [`ChannelCode::decode_repaired`]); only the
+    /// evidence is new.
+    pub fn decode_scan<M: WireMessage>(&self, bytes: &[u8]) -> FrameScan<M> {
+        match &self.mode {
+            Mode::Fixed { code, .. } => {
+                let DecodeScan { outcome, repairs } = code.decode_scanned(bytes);
+                let frame = match outcome {
+                    Ok((body, repaired)) => {
+                        decode_body(&body).ok().map(|frame| (frame, repaired, None))
+                    }
+                    Err(_) => None,
+                };
+                FrameScan { frame, repairs }
+            }
+            Mode::Adaptive { book, .. } => {
+                let (outcome, repairs) = book.decode_tagged_scanned(bytes);
+                let frame = outcome.ok().and_then(|t| {
+                    decode_body(&t.body)
+                        .ok()
+                        .map(|frame| (frame, t.repaired, t.advert))
+                });
+                FrameScan { frame, repairs }
+            }
+        }
+    }
+
+    /// Encodes an opaque body under the framing in force — the mux
+    /// pathway: the body is a packed slot image
+    /// ([`heardof_coding::pack_slots`]) rather than a single frame, and
+    /// the tag byte, advert and coding pass are paid once for the whole
+    /// image.
+    pub fn encode_raw(&self, body: &[u8]) -> Vec<u8> {
+        match &self.mode {
+            Mode::Fixed { code, .. } => code.encode(body),
+            Mode::Adaptive { book, controller } => {
+                book.encode_tagged_advert(controller.code_id(), controller.advert(), body)
+            }
+        }
+    }
+
+    /// [`Framing::encode_raw`] spending an explicit [`SymbolBudget`] —
+    /// the incremental-symbol pathway for a mux image under a rateless
+    /// spec. Under a fixed-rate code the budget is ignored.
+    pub fn encode_raw_with_budget(&self, body: &[u8], budget: SymbolBudget) -> Vec<u8> {
+        match &self.mode {
+            Mode::Fixed { code, .. } => code.encode_with_budget(body, budget),
+            Mode::Adaptive { book, controller } => book.encode_tagged_advert_budget(
+                controller.code_id(),
+                controller.advert(),
+                body,
+                budget,
+            ),
+        }
+    }
+
+    /// Decodes an opaque body (mux image) with repair-evidence
+    /// scanning — [`Framing::decode_scan`] without the frame parse.
+    pub fn decode_raw_scan(&self, bytes: &[u8]) -> RawScan {
+        match &self.mode {
+            Mode::Fixed { code, .. } => {
+                let DecodeScan { outcome, repairs } = code.decode_scanned(bytes);
+                RawScan {
+                    image: outcome.ok().map(|(body, repaired)| (body, repaired, None)),
+                    repairs,
+                }
+            }
+            Mode::Adaptive { book, .. } => {
+                let (outcome, repairs) = book.decode_tagged_scanned(bytes);
+                RawScan {
+                    image: outcome.ok().map(|t| (t.body, t.repaired, t.advert)),
+                    repairs,
+                }
+            }
         }
     }
 
@@ -336,6 +449,7 @@ mod tests {
             delivered: 0,
             corrected: 0,
             value_faults: 0,
+            evidence: 0,
         }
     }
 
@@ -391,6 +505,7 @@ mod tests {
             delivered: 4,
             corrected: 0,
             value_faults: 0,
+            evidence: 0,
         };
         for _ in 0..64 {
             framing.observe(calm);

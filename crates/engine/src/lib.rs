@@ -64,6 +64,7 @@
 
 pub mod codec;
 mod framing;
+mod mux;
 mod outcome;
 mod process;
 mod round;
@@ -73,7 +74,8 @@ pub use codec::{
     encode_frame_tagged, encode_frame_tagged_budget, encode_frame_with, refresh_crc, CodecError,
     Frame, TaggedFrame, WireMessage, COPY_OFFSET, PAYLOAD_OFFSET,
 };
-pub use framing::Framing;
+pub use framing::{FrameScan, Framing, RawScan};
+pub use mux::{MuxReport, MuxRoundEngine};
 pub use outcome::{OutcomeView, SubstrateOutcome};
 pub use process::ProcessCore;
 pub use round::{link_index, EngineReport, Ingest, Outgoing, RoundEngine};

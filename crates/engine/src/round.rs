@@ -120,6 +120,12 @@ where
     rx: ReceptionVector<A::Msg>,
     kept_this_round: Vec<(u32, u8)>,
     corrected_this_round: usize,
+    /// Frames the code *rejected* this round while visibly repairing
+    /// blocks on the way down — the repair evidence that used to be
+    /// discarded with the frame. Counted per frame (0/1), it feeds
+    /// [`RoundTally::evidence`] so the controller's activity estimate
+    /// sees equivalent damage equivalently across rungs.
+    evidence_this_round: usize,
     /// Rung advertisements piggybacked on the frames kept this round,
     /// keyed by sender (first kept frame per sender wins, exactly like
     /// the frames themselves — so the set is ingestion-order
@@ -165,6 +171,7 @@ where
             rx: ReceptionVector::new(n),
             kept_this_round: Vec::new(),
             corrected_this_round: 0,
+            evidence_this_round: 0,
             ads_this_round: Vec::new(),
             future: HashMap::new(),
             kept: Vec::new(),
@@ -237,6 +244,7 @@ where
         self.rx = ReceptionVector::new(n);
         self.kept_this_round = Vec::new();
         self.corrected_this_round = 0;
+        self.evidence_this_round = 0;
         self.ads_this_round = Vec::new();
 
         // Self-delivery first: local, never dropped, never corrupted.
@@ -344,9 +352,13 @@ where
     /// depend on ingestion order within the round.
     pub fn ingest(&mut self, bytes: &[u8]) -> Ingest {
         // A code rejection is a *detected* corruption: drop the frame,
-        // producing an omission.
+        // producing an omission — but keep the repair evidence the code
+        // reported on the way down: a frame it fought for and lost
+        // still witnesses channel noise (see `RoundTally::evidence`).
         let me = self.core.me().as_u32();
-        let Some((frame, repaired, advert)) = self.framing.decode_full::<A::Msg>(bytes) else {
+        let scan = self.framing.decode_scan::<A::Msg>(bytes);
+        let Some((frame, repaired, advert)) = scan.frame else {
+            self.evidence_this_round += usize::from(scan.repairs > 0);
             self.telemetry.emit(Event {
                 round: self.round,
                 process: me,
@@ -440,6 +452,7 @@ where
                 delivered: delivered_peers,
                 corrected: self.corrected_this_round,
                 value_faults: 0,
+                evidence: self.evidence_this_round,
             },
             &ads,
         );

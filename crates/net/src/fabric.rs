@@ -15,7 +15,9 @@ use crate::link::{FaultLog, FaultyLink, FrameSink, LinkFaults};
 use heardof_coding::{
     AdaptiveConfig, AdaptiveController, ChannelCode, CodeBook, CodeSpec, NoiseTrace,
 };
-use heardof_engine::{EngineReport, Framing, RoundEngine, SubstrateOutcome, WireMessage};
+use heardof_engine::{
+    EngineReport, Framing, MuxRoundEngine, RoundEngine, SubstrateOutcome, WireMessage,
+};
 use heardof_model::{HoAlgorithm, ProcessId};
 use heardof_telemetry::Telemetry;
 use std::sync::Arc;
@@ -133,6 +135,39 @@ impl RunFabric {
             ProcessId::new(p as u32),
             n,
             initial,
+            framing,
+            self.copies,
+            self.max_rounds,
+        )
+        .with_telemetry(self.telemetry.clone())
+    }
+
+    /// The instance-multiplexed round engine of process `p`, running
+    /// one instance per entry of `initials` behind one shared framing —
+    /// same wiring rules as [`RunFabric::engine_for`], different frame
+    /// format (packed slot images, see `heardof_engine::MuxRoundEngine`).
+    pub fn mux_engine_for<A>(
+        &self,
+        algo: A,
+        p: usize,
+        n: usize,
+        initials: Vec<A::Value>,
+    ) -> MuxRoundEngine<A>
+    where
+        A: HoAlgorithm,
+        A::Msg: WireMessage,
+    {
+        let framing = match (&self.adaptive, &self.book) {
+            (Some(cfg), Some(book)) => {
+                Framing::adaptive(Arc::clone(book), AdaptiveController::new(cfg.clone()))
+            }
+            _ => Framing::fixed_with(self.code_spec, Arc::clone(&self.code)),
+        };
+        MuxRoundEngine::new(
+            algo,
+            ProcessId::new(p as u32),
+            n,
+            initials,
             framing,
             self.copies,
             self.max_rounds,

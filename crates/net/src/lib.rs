@@ -77,4 +77,4 @@ pub use heardof_telemetry::{
     Telemetry,
 };
 pub use link::{FaultKey, FaultLog, FaultyLink, FrameSink, LinkEvent, LinkFaults};
-pub use runtime::{run_threaded, NetConfig, NetOutcome};
+pub use runtime::{run_threaded, run_threaded_mux, NetConfig, NetOutcome};

@@ -21,7 +21,9 @@ use crate::fabric::RunFabric;
 use crate::link::{FaultyLink, LinkFaults};
 use crossbeam::channel::Receiver;
 use heardof_coding::{AdaptiveConfig, CodeSpec, NoiseTrace};
-use heardof_engine::{link_index, EngineReport, RoundEngine, SubstrateOutcome, WireMessage};
+use heardof_engine::{
+    link_index, EngineReport, MuxReport, MuxRoundEngine, RoundEngine, SubstrateOutcome, WireMessage,
+};
 use heardof_model::HoAlgorithm;
 use heardof_telemetry::Telemetry;
 use parking_lot::Mutex;
@@ -183,6 +185,7 @@ where
     );
     let board: Arc<Mutex<Vec<Option<A::Value>>>> = Arc::new(Mutex::new(vec![None; n]));
     let all_decided = Arc::new(AtomicBool::new(false));
+    let window_barrier = Arc::new(std::sync::Barrier::new(n));
 
     // Wire up one inbox per process.
     let mut txs = Vec::with_capacity(n);
@@ -199,9 +202,18 @@ where
         let engine = fabric.engine_for(algo.clone(), p, n, initial_value);
         let board = Arc::clone(&board);
         let all_decided = Arc::clone(&all_decided);
+        let window_barrier = Arc::clone(&window_barrier);
         let config = config.clone();
         handles.push(std::thread::spawn(move || {
-            process_main(engine, rx, links, board, all_decided, config)
+            process_main(
+                engine,
+                rx,
+                links,
+                board,
+                all_decided,
+                window_barrier,
+                config,
+            )
         }));
     }
     drop(txs);
@@ -215,12 +227,153 @@ where
     fabric.assemble(reports, decisions)
 }
 
+/// Runs `initials[p].len()` multiplexed consensus instances per
+/// process on `n` OS threads: each process drives one
+/// [`MuxRoundEngine`] whose per-round sends pack every instance's frame
+/// into a single coded wire image per peer (see
+/// `heardof_engine::MuxRoundEngine`). Links, clocks and lockstep
+/// semantics are identical to [`run_threaded`]; only the frame format
+/// differs. Returns one [`MuxReport`] per process.
+///
+/// # Panics
+///
+/// Panics if `initials.len() != n`, any process's instance list is
+/// empty, or the instance counts differ across processes.
+pub fn run_threaded_mux<A>(
+    algo: A,
+    n: usize,
+    initials: Vec<Vec<A::Value>>,
+    config: NetConfig,
+) -> Vec<MuxReport<A::Value>>
+where
+    A: HoAlgorithm,
+    A::Msg: WireMessage,
+{
+    assert!(n > 0, "system must have at least one process");
+    assert_eq!(initials.len(), n, "one initial-value list per process");
+    let k = initials[0].len();
+    assert!(k > 0, "at least one instance");
+    assert!(
+        initials.iter().all(|v| v.len() == k),
+        "every process runs the same instance set"
+    );
+
+    let fabric = RunFabric::new(
+        config.faults,
+        config.seed,
+        config.copies,
+        config.max_rounds,
+        config.code,
+        config.adaptive.clone(),
+        config.trace.clone(),
+        config.telemetry.clone(),
+    );
+    let board: Arc<Mutex<Vec<bool>>> = Arc::new(Mutex::new(vec![false; n]));
+    let all_decided = Arc::new(AtomicBool::new(false));
+    let window_barrier = Arc::new(std::sync::Barrier::new(n));
+
+    let mut txs = Vec::with_capacity(n);
+    let mut rxs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = crossbeam::channel::unbounded::<Vec<u8>>();
+        txs.push(tx);
+        rxs.push(rx);
+    }
+
+    let mut handles = Vec::with_capacity(n);
+    for (p, (rx, instance_initials)) in rxs.into_iter().zip(initials).enumerate() {
+        let links = fabric.links_for(p, n, |q| Box::new(txs[q].clone()));
+        let engine = fabric.mux_engine_for(algo.clone(), p, n, instance_initials);
+        let board = Arc::clone(&board);
+        let all_decided = Arc::clone(&all_decided);
+        let window_barrier = Arc::clone(&window_barrier);
+        let config = config.clone();
+        handles.push(std::thread::spawn(move || {
+            mux_process_main(
+                engine,
+                rx,
+                links,
+                board,
+                all_decided,
+                window_barrier,
+                config,
+            )
+        }));
+    }
+    drop(txs);
+
+    handles
+        .into_iter()
+        .map(|h| h.join().expect("process thread panicked"))
+        .collect()
+}
+
+fn mux_process_main<A>(
+    mut engine: MuxRoundEngine<A>,
+    inbox: Receiver<Vec<u8>>,
+    mut links: Vec<FaultyLink>,
+    board: Arc<Mutex<Vec<bool>>>,
+    all_decided: Arc<AtomicBool>,
+    window_barrier: Arc<std::sync::Barrier>,
+    config: NetConfig,
+) -> MuxReport<A::Value>
+where
+    A: HoAlgorithm,
+    A::Msg: WireMessage,
+{
+    let pid = engine.core(0).me().as_u32();
+    let mut announced = false;
+    for r in 1..=config.max_rounds {
+        if !config.lockstep && all_decided.load(Ordering::SeqCst) {
+            break;
+        }
+
+        for out in engine.begin_round() {
+            links[link_index(out.dest, pid)].send(r, out.copy, out.bytes);
+        }
+
+        let deadline = Instant::now() + config.round_timeout;
+        while config.lockstep || !engine.round_complete() {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                break;
+            }
+            match inbox.recv_timeout(remaining) {
+                Ok(bytes) => {
+                    let _ = engine.ingest(&bytes);
+                }
+                Err(_) => break, // timeout or disconnect: close the round
+            }
+        }
+
+        // See `process_main`: lockstep aligns receive windows so a
+        // rejected (round-less) image is always tallied in the round it
+        // was sent, matching the other substrates.
+        if config.lockstep {
+            window_barrier.wait();
+        }
+
+        engine.finish_round();
+
+        if !announced && engine.all_decided() {
+            announced = true;
+            let mut b = board.lock();
+            b[pid as usize] = true;
+            if b.iter().all(|d| *d) {
+                all_decided.store(true, Ordering::SeqCst);
+            }
+        }
+    }
+    engine.into_report()
+}
+
 fn process_main<A>(
     mut engine: RoundEngine<A>,
     inbox: Receiver<Vec<u8>>,
     mut links: Vec<FaultyLink>,
     board: Arc<Mutex<Vec<Option<A::Value>>>>,
     all_decided: Arc<AtomicBool>,
+    window_barrier: Arc<std::sync::Barrier>,
     config: NetConfig,
 ) -> EngineReport
 where
@@ -254,6 +407,18 @@ where
                 }
                 Err(_) => break, // timeout or disconnect: close the round
             }
+        }
+
+        // Lockstep conformance runs also align round *windows*: no
+        // process may send round r+1 until every process has closed its
+        // round-r receive window. Without this, a corrupted next-round
+        // frame from a fast peer can land inside a slow peer's
+        // still-open window — and a rejected frame carries no decodable
+        // round, so its repair evidence would be tallied one round off
+        // from the other substrates. (Valid early frames are immune:
+        // they carry their round and get buffered.)
+        if config.lockstep {
+            window_barrier.wait();
         }
 
         // --- Transition + renegotiation. ---

@@ -66,6 +66,7 @@ fn act_one_ladder_walk() {
             delivered: kept,
             corrected,
             value_faults: 0,
+            evidence: 0,
         });
         if switched.is_some() || r % 15 == 0 {
             let marker = if switched.is_some() { "→" } else { " " };

@@ -154,6 +154,7 @@ fn act_three_budget_renegotiation() {
             delivered,
             corrected,
             value_faults: 0,
+            evidence: 0,
         });
         if r % 3 == 0 || (31..=36).contains(&r) {
             let phase = if (31..=60).contains(&r) {

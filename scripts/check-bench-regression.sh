@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Throughput regression gate for the bitsliced Hamming(8,4) hot path.
+#
+# Usage: check-bench-regression.sh <committed.json> <fresh.json>
+#
+# Both files are `heardof-bench-report/v1` reports (one metric per
+# line, so plain grep/awk suffice — no JSON tooling in the gate). The
+# gated quantity is the *speedup ratio*, not raw nanoseconds: the ratio
+# compares the bitsliced kernel against its scalar oracle on the same
+# machine in the same run, so it survives a CI runner change where
+# absolute timings would not.
+#
+# The gate fails when either
+#   * the fresh report's own claim no longer holds
+#     (speedup dropped below the committed 4x floor), or
+#   * fresh speedup < 0.9 x committed speedup
+#     (a >10% regression of the bitsliced kernel relative to the
+#     artifact this branch ships).
+set -euo pipefail
+
+if [ "$#" -ne 2 ]; then
+  echo "usage: $0 <committed.json> <fresh.json>" >&2
+  exit 2
+fi
+committed="$1"
+fresh="$2"
+
+# Pulls one numeric metric out of a v1 report line like
+#   "bitsliced_speedup": 9.237,
+metric() {
+  local file="$1" name="$2" value
+  value="$(grep -E "^[[:space:]]*\"$name\":" "$file" \
+    | head -n1 \
+    | sed -E 's/.*: *([0-9.eE+-]+),?$/\1/')"
+  if [ -z "$value" ]; then
+    echo "MISSING METRIC: \"$name\" not found in $file" >&2
+    exit 2
+  fi
+  echo "$value"
+}
+
+for file in "$committed" "$fresh"; do
+  if ! grep -q '"schema": "heardof-bench-report/v1"' "$file"; then
+    echo "NOT A v1 BENCH REPORT: $file" >&2
+    exit 2
+  fi
+done
+
+committed_speedup="$(metric "$committed" bitsliced_speedup)"
+fresh_speedup="$(metric "$fresh" bitsliced_speedup)"
+
+echo "committed bitsliced_speedup: ${committed_speedup}x"
+echo "fresh     bitsliced_speedup: ${fresh_speedup}x"
+
+if ! grep -q '"claim_holds": true' "$fresh"; then
+  echo "FAIL: the fresh report's own claim does not hold" \
+    "(bitsliced < 4x scalar on this runner)" >&2
+  exit 1
+fi
+
+awk -v fresh="$fresh_speedup" -v committed="$committed_speedup" 'BEGIN {
+  floor = committed * 0.9
+  printf "regression floor (90%% of committed): %.3fx\n", floor
+  if (fresh + 0 < floor) {
+    printf "FAIL: bitsliced kernel regressed >10%% vs the committed artifact\n" > "/dev/stderr"
+    exit 1
+  }
+  printf "OK: within 10%% of the committed ratio\n"
+}'

@@ -43,11 +43,13 @@
 //! [`Framing`]: heardof_engine::Framing
 
 use heardof_adversary::Adversary;
-use heardof_async::{run_async, AsyncConfig};
+use heardof_async::{run_async, run_async_mux, AsyncConfig};
 use heardof_coding::{AdaptiveConfig, AdaptiveController, CodeBook, CodeSpec, NoiseTrace};
-use heardof_engine::{Frame, Framing, SubstrateOutcome, WireMessage, COPY_OFFSET};
+use heardof_engine::{
+    Frame, Framing, MuxReport, MuxRoundEngine, SubstrateOutcome, WireMessage, COPY_OFFSET,
+};
 use heardof_model::{HoAlgorithm, MessageMatrix, ProcessId, Round, RoundSets, TraceLevel};
-use heardof_net::{run_threaded, LinkFaults, NetConfig, RoundTally};
+use heardof_net::{run_threaded, run_threaded_mux, LinkFaults, NetConfig, RoundTally};
 use heardof_sim::Simulator;
 use heardof_telemetry::{Event, EventKind, RoundReport, RunRecording, Telemetry};
 use parking_lot::Mutex;
@@ -340,6 +342,7 @@ where
                 delivered: 0,
                 corrected: 0,
                 value_faults: 0,
+                evidence: 0,
             };
             n
         ];
@@ -391,10 +394,12 @@ where
                 ));
             }
             // The receiver's side of the pipeline, byte for byte: tagged
-            // decode plus the runtimes' header sanity check.
-            let Some((got, repaired, advert)) =
-                self.framings[receiver.index()].decode_full::<M>(&wire)
-            else {
+            // decode plus the runtimes' header sanity check. A rejected
+            // frame that the code visibly repaired on the way down still
+            // counts as evidence — exactly the engine's ingest rule.
+            let scan = self.framings[receiver.index()].decode_scan::<M>(&wire);
+            let Some((got, repaired, advert)) = scan.frame else {
+                tallies[receiver.index()].evidence += usize::from(scan.repairs > 0);
                 continue; // detected omission
             };
             if got.sender as usize >= n || got.round > self.max_round || got.round != r {
@@ -509,6 +514,183 @@ where
     );
     let recording = telemetry.snapshot().expect("ring-backed telemetry");
     SubstrateReport::from_outcome(&outcome, recording)
+}
+
+/// What one substrate reports for a **multi-instance** (multiplexed)
+/// conformance run: per-round code decisions, per-instance decisions,
+/// and the wire-level kept logs. One wire image carries every
+/// instance's frame, so the kept set is a per-process per-round fact
+/// (see `heardof_engine::MuxRoundEngine`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct MuxSubstrateReport<V> {
+    /// `codes[r-1][p]`: the code process `p` sent with in round `r`
+    /// (truncated to the shortest process's completed rounds).
+    pub codes: Vec<Vec<CodeSpec>>,
+    /// `decisions[p][i]`: instance `i`'s decision at process `p`.
+    pub decisions: Vec<Vec<Option<V>>>,
+    /// `decision_rounds[p][i]`: the round of that first decision.
+    pub decision_rounds: Vec<Vec<Option<u64>>>,
+    /// `kept[p][r-1]`: the `(sender, copy)` images process `p` kept in
+    /// round `r`.
+    pub kept: Vec<Vec<Vec<(u32, u8)>>>,
+}
+
+impl<V> MuxSubstrateReport<V> {
+    /// Projects the per-process engine reports onto the conformance
+    /// dimensions.
+    pub fn from_reports(reports: Vec<MuxReport<V>>) -> Self {
+        let completed = reports
+            .iter()
+            .map(|r| r.rounds_completed as usize)
+            .min()
+            .unwrap_or(0);
+        let codes = (0..completed)
+            .map(|r| reports.iter().map(|rep| rep.codes[r]).collect())
+            .collect();
+        let mut decisions = Vec::with_capacity(reports.len());
+        let mut decision_rounds = Vec::with_capacity(reports.len());
+        let mut kept = Vec::with_capacity(reports.len());
+        for report in reports {
+            decisions.push(report.decisions);
+            decision_rounds.push(report.decision_rounds);
+            // Kept logs are arrival-ordered, and arrival order between
+            // distinct senders is substrate scheduling, not behaviour —
+            // canonicalize to the set the conformance claim is about.
+            let mut per_round = report.kept;
+            for round in &mut per_round {
+                round.sort_unstable();
+            }
+            kept.push(per_round);
+        }
+        MuxSubstrateReport {
+            codes,
+            decisions,
+            decision_rounds,
+            kept,
+        }
+    }
+}
+
+/// Runs the **simulator-side** multiplexed substrate: a lockstep loop
+/// of [`MuxRoundEngine`]s over an in-memory wire, corrupting every
+/// outgoing image with the same pure
+/// [`corrupt_frame`](NoiseTrace::corrupt_frame) call the byte-level
+/// fault injector makes in trace mode — so the three substrates see
+/// identical bytes per `(round, sender, receiver, copy)` coordinate.
+pub fn run_mux_sim_substrate<A>(
+    algo: A,
+    n: usize,
+    initials: Vec<Vec<A::Value>>,
+    cfg: &AdaptiveConfig,
+    trace: &NoiseTrace,
+    rounds: u64,
+) -> MuxSubstrateReport<A::Value>
+where
+    A: HoAlgorithm,
+    A::Msg: WireMessage,
+{
+    let book = Arc::new(CodeBook::from_specs(&cfg.ladder));
+    let mut engines: Vec<MuxRoundEngine<A>> = initials
+        .into_iter()
+        .enumerate()
+        .map(|(p, init)| {
+            MuxRoundEngine::new(
+                algo.clone(),
+                ProcessId::new(p as u32),
+                n,
+                init,
+                Framing::adaptive(Arc::clone(&book), AdaptiveController::new(cfg.clone())),
+                1,
+                rounds,
+            )
+        })
+        .collect();
+    for _ in 0..rounds {
+        let mut inboxes: Vec<Vec<Vec<u8>>> = vec![Vec::new(); n];
+        for (p, engine) in engines.iter_mut().enumerate() {
+            let r = engine.rounds_completed() + 1;
+            for out in engine.begin_round() {
+                let mut bytes = out.bytes;
+                let _ = trace.corrupt_frame(r, p as u32, out.dest, out.copy, &mut bytes);
+                inboxes[out.dest as usize].push(bytes);
+            }
+        }
+        for (p, engine) in engines.iter_mut().enumerate() {
+            for bytes in &inboxes[p] {
+                let _ = engine.ingest(bytes);
+            }
+            engine.finish_round();
+        }
+    }
+    MuxSubstrateReport::from_reports(engines.into_iter().map(|e| e.into_report()).collect())
+}
+
+/// Runs the **threaded** multiplexed substrate in lockstep + trace mode
+/// and reports its conformance dimensions.
+pub fn run_mux_net_substrate<A>(
+    algo: A,
+    n: usize,
+    initials: Vec<Vec<A::Value>>,
+    cfg: &AdaptiveConfig,
+    trace: &NoiseTrace,
+    rounds: u64,
+    round_timeout: Duration,
+) -> MuxSubstrateReport<A::Value>
+where
+    A: HoAlgorithm,
+    A::Msg: WireMessage,
+{
+    let reports = run_threaded_mux(
+        algo,
+        n,
+        initials,
+        NetConfig {
+            faults: LinkFaults::NONE,
+            adaptive: Some(cfg.clone()),
+            trace: Some(trace.clone()),
+            lockstep: true,
+            max_rounds: rounds,
+            round_timeout,
+            copies: 1,
+            seed: 0,
+            code: CodeSpec::DEFAULT,
+            telemetry: Telemetry::null(),
+        },
+    );
+    MuxSubstrateReport::from_reports(reports)
+}
+
+/// Runs the **async** multiplexed substrate in lockstep + trace mode
+/// and reports its conformance dimensions.
+pub fn run_mux_async_substrate<A>(
+    algo: A,
+    n: usize,
+    initials: Vec<Vec<A::Value>>,
+    cfg: &AdaptiveConfig,
+    trace: &NoiseTrace,
+    rounds: u64,
+) -> MuxSubstrateReport<A::Value>
+where
+    A: HoAlgorithm,
+    A::Msg: WireMessage,
+{
+    let reports = run_async_mux(
+        algo,
+        n,
+        initials,
+        AsyncConfig {
+            faults: LinkFaults::NONE,
+            adaptive: Some(cfg.clone()),
+            trace: Some(trace.clone()),
+            lockstep: true,
+            max_rounds: rounds,
+            copies: 1,
+            seed: 0,
+            code: CodeSpec::DEFAULT,
+            telemetry: Telemetry::null(),
+        },
+    );
+    MuxSubstrateReport::from_reports(reports)
 }
 
 /// Runs the **async** substrate in lockstep + trace mode for `rounds`

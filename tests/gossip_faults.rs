@@ -87,6 +87,7 @@ fn corrupted_advert_bytes_never_move_controllers_outside_the_ladder() {
             delivered: 0,
             corrected: 0,
             value_faults: 0,
+            evidence: 0,
         }; N];
         let mut ads: Vec<Vec<RungAdvert>> = vec![Vec::new(); N];
         for s in 0..N as u32 {
@@ -156,6 +157,7 @@ fn corrupted_adverts_never_unpin_the_last_resort_guard() {
         delivered: 0,
         corrected: 0,
         value_faults: 0,
+        evidence: 0,
     };
     for _ in 0..40 {
         ctl.observe(starving);
@@ -245,4 +247,86 @@ fn gossip_decisions_stay_conformant_across_all_three_substrates() {
             .any(|round| round.iter().any(|c| *c != CodeSpec::Checksum { width: 4 })),
         "the trace must actually move the gossiping ladder"
     );
+}
+
+#[test]
+fn epoch_wraparound_adoption_converges_without_cycling() {
+    // The switch epoch is a 4-bit serial number: after epoch 15 the
+    // next decision is stamped epoch 0, and `epoch_newer` must read
+    // that as *ahead by one*, not as fifteen steps stale. This drives
+    // the adoption path itself across the 15 -> 0 boundary: a laggard
+    // whose epoch sits at the top of the window adopts a quorum
+    // decision stamped 0, and afterwards the pre-wrap advertisements —
+    // now genuinely stale, reading "ahead" by nearly the full window —
+    // can never pull it back around the circle.
+    let cfg = AdaptiveConfig::standard(N, 1).with_gossip();
+    let mut ctl = AdaptiveController::new(cfg);
+    // A tally with zero pressure but nonzero activity: nothing here
+    // escalates (no losses) and nothing releases (repairs reset the
+    // calm streak), so every rung move below is gossip's alone.
+    let busy = RoundTally {
+        expected: N - 1,
+        delivered: N - 1,
+        corrected: 1,
+        value_faults: 0,
+        evidence: 0,
+    };
+    let quorum = |rung: u8, epoch: u8| [RungAdvert { rung, epoch }, RungAdvert { rung, epoch }];
+
+    // Walk the controller's epoch to the top of the 4-bit window by
+    // legitimate adoptions (each hop stays within the serial-newness
+    // horizon of 7).
+    for (rung, epoch) in [(1u8, 7u8), (2, 14), (1, 15)] {
+        let switched = ctl.observe_with_gossip(busy, &quorum(rung, epoch));
+        assert!(
+            switched.is_some(),
+            "adoption of (rung {rung}, epoch {epoch}) must go through"
+        );
+        assert_eq!(ctl.epoch(), epoch, "adoption synchronizes the epoch");
+    }
+    assert_eq!(ctl.rung(), 1);
+    assert_eq!(ctl.epoch(), 15, "the controller now sits at the wrap edge");
+    let switches_before_wrap = ctl.switches();
+
+    // The boundary round: a quorum advertises a decision stamped with
+    // the wrapped epoch 0. Serially that is one step ahead of 15, and
+    // the controller must adopt it like any other fresh decision.
+    let adopted = ctl.observe_with_gossip(busy, &quorum(2, 0));
+    assert_eq!(
+        adopted,
+        Some(CodeSpec::Interleaved { depth: 16 }),
+        "epoch 0 is serially newer than 15 — the wrap must not read as stale"
+    );
+    assert_eq!(ctl.rung(), 2);
+    assert_eq!(ctl.epoch(), 0, "the epoch clock wrapped with the adoption");
+
+    // No cycling: the pre-wrap advertisement (rung 1, epoch 15) is now
+    // 15 steps "ahead" — far past the serial horizon — and must be
+    // ignored for as long as it echoes, even at quorum strength. (Two
+    // voices are also below the strict-majority bar, so the
+    // standing-split escape hatch stays out of this round-trip.)
+    for round in 0..8 {
+        let moved = ctl.observe_with_gossip(busy, &quorum(1, 15));
+        assert_eq!(
+            moved, None,
+            "round {round}: a stale pre-wrap advert pulled the controller back"
+        );
+        assert_eq!(ctl.rung(), 2, "round {round}: rung cycled");
+        assert_eq!(ctl.epoch(), 0, "round {round}: epoch cycled");
+    }
+    assert_eq!(
+        ctl.switches(),
+        switches_before_wrap + 1,
+        "exactly one switch crosses the boundary — no oscillation"
+    );
+
+    // The clock keeps running on the far side: the next genuine
+    // decision (epoch 1) is adopted normally.
+    let next = ctl.observe_with_gossip(busy, &quorum(3, 1));
+    assert_eq!(
+        next,
+        Some(CodeSpec::Fountain { repair: 8 }),
+        "post-wrap decisions adopt normally"
+    );
+    assert_eq!(ctl.epoch(), 1);
 }

@@ -1,0 +1,128 @@
+//! Cross-substrate conformance for **instance-multiplexed** runs
+//! (batch > 1): the same seeded [`NoiseTrace`] drives the lockstep mux
+//! loop, the threaded mux runtime and the async mux runtime, and all
+//! three must agree on controller decisions, per-instance decisions and
+//! wire-level kept logs, round for round.
+//!
+//! This is the batch-axis extension of `tests/adaptive_conformance.rs`:
+//! that matrix pins the single-instance frame format byte-for-byte
+//! (batch size 1 is untouched — `RoundEngine` does not go through the
+//! mux format at all); this file pins the packed-slot wire image under
+//! its own seed. One pinned seed, three instances per process, the
+//! standard ladder under a front-loaded burst trace.
+
+use heardof::conformance::{
+    run_mux_async_substrate, run_mux_net_substrate, run_mux_sim_substrate, MuxSubstrateReport,
+};
+use heardof::prelude::*;
+use heardof_coding::{AdaptiveConfig, CodeSpec, GilbertElliott, NoisePhase, NoiseTrace};
+use std::time::Duration;
+
+/// The pinned multi-instance seed (CI runs it alongside the
+/// single-instance matrix).
+const MUX_SEED: u64 = 0xB47C4;
+const N: usize = 5;
+/// Instances multiplexed per process — batch > 1 by construction.
+const K: usize = 3;
+const ROUNDS: u64 = 14;
+
+fn mux_trace() -> NoiseTrace {
+    NoiseTrace::new(
+        MUX_SEED,
+        vec![
+            NoisePhase {
+                rounds: 6,
+                channel: GilbertElliott::bursty(),
+            },
+            NoisePhase {
+                rounds: 6,
+                channel: GilbertElliott::clean(),
+            },
+        ],
+    )
+}
+
+/// Per-process initial values: instance `i` at process `p` starts from
+/// a value that differs across both axes, so per-instance agreement is
+/// a real claim.
+fn mux_initials() -> Vec<Vec<u64>> {
+    (0..N as u64)
+        .map(|p| (0..K as u64).map(|i| (p + i) % 2).collect())
+        .collect()
+}
+
+fn run_all() -> [MuxSubstrateReport<u64>; 3] {
+    let cfg = AdaptiveConfig::standard(N, 1);
+    let trace = mux_trace();
+    let algo: Ate<u64> = Ate::new(AteParams::balanced(N, 1).unwrap());
+    let sim = run_mux_sim_substrate(algo.clone(), N, mux_initials(), &cfg, &trace, ROUNDS);
+    let net = run_mux_net_substrate(
+        algo.clone(),
+        N,
+        mux_initials(),
+        &cfg,
+        &trace,
+        ROUNDS,
+        Duration::from_millis(150),
+    );
+    let asy = run_mux_async_substrate(algo, N, mux_initials(), &cfg, &trace, ROUNDS);
+    [sim, net, asy]
+}
+
+#[test]
+fn all_three_substrates_agree_on_the_multiplexed_seed() {
+    let [sim, net, asy] = run_all();
+    for (name, report) in [("sim", &sim), ("net", &net), ("async", &asy)] {
+        assert_eq!(
+            report.codes.len(),
+            ROUNDS as usize,
+            "{name} must cover every round"
+        );
+    }
+    assert_eq!(sim, net, "sim vs net diverge on the mux seed");
+    assert_eq!(sim, asy, "sim vs async diverge on the mux seed");
+}
+
+#[test]
+fn every_instance_decides_and_agrees_across_processes() {
+    let [sim, _, _] = run_all();
+    for i in 0..K {
+        let first = sim.decisions[0][i].expect("instance decided at process 0");
+        for p in 0..N {
+            assert_eq!(
+                sim.decisions[p][i],
+                Some(first),
+                "instance {i} disagreement at process {p}"
+            );
+        }
+    }
+}
+
+#[test]
+fn the_mux_seed_is_not_vacuous() {
+    // The conformance claim would be trivial if no controller ever
+    // moved or no image was ever dropped. Under the front-loaded burst
+    // phase, ladders must leave the checksum rung, and the kept logs
+    // must show at least one incomplete round (a dropped image).
+    let [sim, _, _] = run_all();
+    for p in 0..N {
+        assert_eq!(
+            sim.codes[0][p],
+            CodeSpec::Checksum { width: 4 },
+            "ladders start at the cheap rung"
+        );
+        assert!(
+            sim.codes
+                .iter()
+                .any(|round| round[p] != CodeSpec::Checksum { width: 4 }),
+            "process {p} never escalated — mux trace too tame"
+        );
+    }
+    assert!(
+        sim.kept
+            .iter()
+            .flat_map(|per_round| per_round.iter())
+            .any(|kept| kept.len() < N),
+        "no image was ever dropped — mux trace too tame"
+    );
+}
