@@ -272,9 +272,10 @@ async fn mux_process_task<A>(
 {
     let pid = engine.core(0).me().as_u32();
     for r in 1..=max_rounds {
-        for out in engine.begin_round() {
-            links[link_index(out.dest, pid)].send(r, out.copy, out.bytes);
-        }
+        // Borrowed wire images; the one owned copy is made at the link.
+        engine.begin_round_with(|dest, copy, bytes| {
+            links[link_index(dest, pid)].send(r, copy, bytes.to_vec());
+        });
 
         barrier.wait().await;
 
@@ -311,10 +312,12 @@ async fn process_task<A>(
 {
     let pid = engine.core().me().as_u32();
     for r in 1..=max_rounds {
-        // --- Send phase: the engine emits, the links corrupt. ---
-        for out in engine.begin_round() {
-            links[link_index(out.dest, pid)].send(r, out.copy, out.bytes);
-        }
+        // --- Send phase: the engine emits, the links corrupt. The
+        // engine hands out borrowed wire images; the one owned copy is
+        // made here, at the link boundary. ---
+        engine.begin_round_with(|dest, copy, bytes| {
+            links[link_index(dest, pid)].send(r, copy, bytes.to_vec());
+        });
 
         // All round-r sends are in the sockets before anyone reads:
         // communication closure by construction.

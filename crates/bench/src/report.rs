@@ -21,8 +21,7 @@ pub struct BenchReport {
     samples: usize,
     timer: &'static str,
     metrics: Vec<(String, String)>,
-    claim: &'static str,
-    claim_holds: bool,
+    claims: Vec<(&'static str, bool)>,
 }
 
 impl BenchReport {
@@ -37,8 +36,7 @@ impl BenchReport {
             samples,
             timer: "best-of wall clock",
             metrics: Vec::new(),
-            claim: "",
-            claim_holds: false,
+            claims: Vec::new(),
         }
     }
 
@@ -63,10 +61,20 @@ impl BenchReport {
         self
     }
 
-    /// Sets the headline claim and whether this run upheld it.
+    /// Records a gated claim and whether this run upheld it. A report
+    /// may carry several — each is rendered on its own line in the
+    /// `claims` array, and the headline `claim`/`claim_holds` pair
+    /// stays in the schema as the first claim and the conjunction of
+    /// all of them (so a gate that only reads the headline still gates
+    /// everything).
     pub fn claim(&mut self, claim: &'static str, holds: bool) -> &mut Self {
-        self.claim = claim;
-        self.claim_holds = holds;
+        self.claims.push((claim, holds));
+        self
+    }
+
+    /// Records a raw integer count metric (e.g. allocation events).
+    pub fn metric_count(&mut self, name: &str, value: u64) -> &mut Self {
+        self.metrics.push((name.to_string(), value.to_string()));
         self
     }
 
@@ -84,8 +92,18 @@ impl BenchReport {
             out.push_str(&format!("    \"{name}\": {value}{comma}\n"));
         }
         out.push_str("  },\n");
-        out.push_str(&format!("  \"claim\": \"{}\",\n", self.claim));
-        out.push_str(&format!("  \"claim_holds\": {}\n", self.claim_holds));
+        out.push_str("  \"claims\": [\n");
+        for (i, (claim, holds)) in self.claims.iter().enumerate() {
+            let comma = if i + 1 == self.claims.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"claim\": \"{claim}\", \"holds\": {holds}}}{comma}\n"
+            ));
+        }
+        out.push_str("  ],\n");
+        let headline = self.claims.first().map(|(c, _)| *c).unwrap_or("");
+        let all_hold = !self.claims.is_empty() && self.claims.iter().all(|(_, h)| *h);
+        out.push_str(&format!("  \"claim\": \"{headline}\",\n"));
+        out.push_str(&format!("  \"claim_holds\": {all_hold}\n"));
         out.push('}');
         out.push('\n');
         out
@@ -109,15 +127,33 @@ mod tests {
             .metric_ns("pass", Duration::from_nanos(1234))
             .metric_ratio("speedup", 4.5)
             .metric_pct("overhead", -0.25)
-            .claim("speedup >= 4x", true);
+            .metric_count("allocs", 0)
+            .claim("speedup >= 4x", true)
+            .claim("zero allocs", true);
         let json = report.render();
         assert!(json.contains("\"schema\": \"heardof-bench-report/v1\""));
         assert!(json.contains("\"pass_ns\": 1234"));
         assert!(json.contains("\"speedup\": 4.500"));
         assert!(json.contains("\"overhead_pct\": -0.250"));
+        assert!(json.contains("\"allocs\": 0"));
+        // Every claim on its own line for the line-oriented gate.
+        assert!(json.contains("{\"claim\": \"speedup >= 4x\", \"holds\": true},"));
+        assert!(json.contains("{\"claim\": \"zero allocs\", \"holds\": true}\n"));
+        // The headline pair survives for back-compatible consumers:
+        // first claim's text, conjunction of every claim's verdict.
+        assert!(json.contains("\"claim\": \"speedup >= 4x\",\n"));
         assert!(json.contains("\"claim_holds\": true"));
         // Exactly one trailing comma layout error would break the
         // line-oriented CI gate — the last metric has no comma.
-        assert!(json.contains("\"overhead_pct\": -0.250\n  },"));
+        assert!(json.contains("\"allocs\": 0\n  },"));
+    }
+
+    #[test]
+    fn one_failed_claim_fails_the_headline() {
+        let mut report = BenchReport::new("demo", "w".into(), 1);
+        report.claim("holds", true).claim("does not", false);
+        let json = report.render();
+        assert!(json.contains("{\"claim\": \"does not\", \"holds\": false}"));
+        assert!(json.contains("\"claim_holds\": false"));
     }
 }

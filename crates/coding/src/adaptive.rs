@@ -56,6 +56,8 @@
 //! `tests/gossip_faults.rs` at the workspace root).
 
 use crate::code::{ChannelCode, CodeError, CodeSpec, FrameOutcome};
+use bytes::{BufMut, BytesMut};
+use std::borrow::Cow;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -1061,6 +1063,36 @@ pub struct TaggedWire {
     pub body: Vec<u8>,
 }
 
+/// A borrowed [`TaggedWire`]: the same fully decoded tagged image, but
+/// with the body as a [`Cow`] that stays borrowed from the wire
+/// whenever the named code decodes in place (`none`, `checksum*`) —
+/// the zero-copy receive path. [`TaggedView::into_owned`] recovers the
+/// owned form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TaggedView<'a> {
+    /// The ladder index the frame named.
+    pub code_id: u8,
+    /// `true` when the code corrected errors while decoding.
+    pub repaired: bool,
+    /// The sender's rung advertisement, when the frame carries one.
+    pub advert: Option<RungAdvert>,
+    /// The decoded body, borrowed from the wire when the code allows.
+    pub body: Cow<'a, [u8]>,
+}
+
+impl TaggedView<'_> {
+    /// Converts into the owned [`TaggedWire`], copying the body only if
+    /// it was still borrowed.
+    pub fn into_owned(self) -> TaggedWire {
+        TaggedWire {
+            code_id: self.code_id,
+            repaired: self.repaired,
+            advert: self.advert,
+            body: self.body.into_owned(),
+        }
+    }
+}
+
 /// Why a [`CodeBook`] could not be built from a ladder of specs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CodeBookError {
@@ -1171,6 +1203,33 @@ impl CodeBook {
         wire
     }
 
+    /// The arena form of [`CodeBook::encode_tagged_advert`]: appends the
+    /// tagged wire image to `out` instead of allocating a fresh `Vec`.
+    /// On cheap rungs ([`crate::NoCode`], [`crate::Checksum`]) the coded
+    /// body is written straight into `out` with no intermediate buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not in the book.
+    pub fn encode_tagged_advert_into(
+        &self,
+        id: u8,
+        advert: Option<RungAdvert>,
+        body: &[u8],
+        out: &mut BytesMut,
+    ) {
+        let code = self.codes.get(id as usize).expect("code id in book");
+        out.reserve(2 + code.encoded_len(body.len()));
+        match advert {
+            Some(ad) => {
+                out.put_u8(GOSSIP_FLAG | id);
+                out.put_u8(ad.to_byte());
+            }
+            None => out.put_u8(id),
+        }
+        code.encode_into(body, out);
+    }
+
     /// Like [`CodeBook::encode_tagged`], spending an explicit
     /// [`crate::SymbolBudget`] — the incremental-symbol pathway for a
     /// rateless rung. Budgets never change the wire identity: the
@@ -1215,6 +1274,33 @@ impl CodeBook {
         }
         wire.extend_from_slice(&code.encode_with_budget(body, budget));
         wire
+    }
+
+    /// The arena form of [`CodeBook::encode_tagged_advert_budget`]:
+    /// appends the tagged wire image to `out` instead of allocating a
+    /// fresh `Vec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not in the book.
+    pub fn encode_tagged_advert_budget_into(
+        &self,
+        id: u8,
+        advert: Option<RungAdvert>,
+        body: &[u8],
+        budget: crate::SymbolBudget,
+        out: &mut BytesMut,
+    ) {
+        let code = self.codes.get(id as usize).expect("code id in book");
+        out.reserve(2 + code.encoded_len(body.len()));
+        match advert {
+            Some(ad) => {
+                out.put_u8(GOSSIP_FLAG | id);
+                out.put_u8(ad.to_byte());
+            }
+            None => out.put_u8(id),
+        }
+        code.encode_with_budget_into(body, budget, out);
     }
 
     /// Decodes a tagged wire image, returning the id it named and the
@@ -1281,6 +1367,18 @@ impl CodeBook {
     /// truncated advert, unknown id) reports zero repairs: no decoder
     /// ever ran.
     pub fn decode_tagged_scanned(&self, wire: &[u8]) -> (Result<TaggedWire, CodeError>, usize) {
+        let (outcome, repairs) = self.decode_tagged_scanned_view(wire);
+        (outcome.map(TaggedView::into_owned), repairs)
+    }
+
+    /// The borrowed form of [`CodeBook::decode_tagged_scanned`]: the
+    /// body comes back as a [`Cow`] that stays borrowed from `wire`
+    /// whenever the named code decodes in place — the receive hot path
+    /// pays zero copies on `none`/`checksum*` rungs.
+    pub fn decode_tagged_scanned_view<'a>(
+        &self,
+        wire: &'a [u8],
+    ) -> (Result<TaggedView<'a>, CodeError>, usize) {
         let Some((&first, rest)) = wire.split_first() else {
             return (Err(CodeError::Malformed), 0);
         };
@@ -1295,8 +1393,8 @@ impl CodeBook {
         let Some(code) = self.codes.get(id as usize) else {
             return (Err(CodeError::Malformed), 0);
         };
-        let scan = code.decode_scanned(coded);
-        let outcome = scan.outcome.map(|(body, repaired)| TaggedWire {
+        let scan = code.decode_scanned_view(coded);
+        let outcome = scan.outcome.map(|(body, repaired)| TaggedView {
             code_id: id,
             repaired,
             advert,

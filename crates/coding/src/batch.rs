@@ -45,23 +45,30 @@ pub fn mux_overhead(slots: usize) -> usize {
     1 + slots * 6 + 4
 }
 
-/// Packs `(instance_id, body)` slots into one self-checking mux image.
+/// Packs `(instance_id, body)` slots into one self-checking mux image,
+/// appending to a caller-owned buffer — the arena form: the buffer is
+/// cleared, reserved to the exact image size, and refilled, so a caller
+/// reusing it round-to-round stops touching the allocator once warm.
+/// Bodies are taken by borrow (`AsRef<[u8]>`), so slot contents packed
+/// out of a shared slab are never copied into intermediate `Vec`s.
 ///
 /// # Panics
 ///
 /// Panics when given more than [`MAX_SLOTS`] slots or a body longer
 /// than [`MAX_SLOT_LEN`] — both are static capacity planning errors,
 /// not runtime conditions.
-pub fn pack_slots(slots: &[(u32, Vec<u8>)]) -> Vec<u8> {
+pub fn pack_slots_into<B: AsRef<[u8]>>(slots: &[(u32, B)], image: &mut Vec<u8>) {
     assert!(
         slots.len() <= MAX_SLOTS,
         "a mux image holds at most {MAX_SLOTS} slots, got {}",
         slots.len()
     );
-    let total: usize = slots.iter().map(|(_, b)| b.len()).sum();
-    let mut image = Vec::with_capacity(mux_overhead(slots.len()) + total);
+    let total: usize = slots.iter().map(|(_, b)| b.as_ref().len()).sum();
+    image.clear();
+    image.reserve(mux_overhead(slots.len()) + total);
     image.push(slots.len() as u8);
     for (id, body) in slots {
+        let body = body.as_ref();
         assert!(
             body.len() <= MAX_SLOT_LEN,
             "a mux slot body holds at most {MAX_SLOT_LEN} bytes, got {}",
@@ -71,12 +78,93 @@ pub fn pack_slots(slots: &[(u32, Vec<u8>)]) -> Vec<u8> {
         image.extend_from_slice(&(body.len() as u16).to_le_bytes());
         image.extend_from_slice(body);
     }
-    let crc = crc32(&image);
+    let crc = crc32(image);
     image.extend_from_slice(&crc.to_le_bytes());
+}
+
+/// Packs `(instance_id, body)` slots into one self-checking mux image.
+///
+/// # Panics
+///
+/// Exactly as [`pack_slots_into`].
+pub fn pack_slots<B: AsRef<[u8]>>(slots: &[(u32, B)]) -> Vec<u8> {
+    let mut image = Vec::new();
+    pack_slots_into(slots, &mut image);
     image
 }
 
-/// Unpacks a mux image back into its `(instance_id, body)` slots.
+/// A validated, borrowed view of a mux image's slots: the structural
+/// parse and the CRC-32 trailer check have both passed, and
+/// [`SlotsView::iter`] walks the `(instance_id, body)` pairs as slices
+/// into the original image — the zero-copy unpack path.
+#[derive(Clone, Copy, Debug)]
+pub struct SlotsView<'a> {
+    /// The slot region: everything after the count byte, before the CRC.
+    slots: &'a [u8],
+    count: usize,
+}
+
+impl<'a> SlotsView<'a> {
+    /// Number of slots in the image.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// `true` when the image carries no slots.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Iterates the `(instance_id, body)` slots, bodies borrowed from
+    /// the image. Infallible: the view only exists post-validation.
+    pub fn iter(&self) -> SlotsIter<'a> {
+        SlotsIter {
+            rest: self.slots,
+            remaining: self.count,
+        }
+    }
+}
+
+impl<'a> IntoIterator for &SlotsView<'a> {
+    type Item = (u32, &'a [u8]);
+    type IntoIter = SlotsIter<'a>;
+
+    fn into_iter(self) -> SlotsIter<'a> {
+        self.iter()
+    }
+}
+
+/// Iterator over a [`SlotsView`]'s `(instance_id, body)` pairs.
+#[derive(Clone, Debug)]
+pub struct SlotsIter<'a> {
+    rest: &'a [u8],
+    remaining: usize,
+}
+
+impl<'a> Iterator for SlotsIter<'a> {
+    type Item = (u32, &'a [u8]);
+
+    fn next(&mut self) -> Option<(u32, &'a [u8])> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let id = u32::from_le_bytes(self.rest[..4].try_into().expect("4-byte id"));
+        let len = u16::from_le_bytes(self.rest[4..6].try_into().expect("2-byte len")) as usize;
+        let body = &self.rest[6..6 + len];
+        self.rest = &self.rest[6 + len..];
+        Some((id, body))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for SlotsIter<'_> {}
+
+/// Validates a mux image and returns a borrowed [`SlotsView`] over its
+/// slots — [`unpack_slots`] without the per-slot copies.
 ///
 /// # Errors
 ///
@@ -87,24 +175,22 @@ pub fn pack_slots(slots: &[(u32, Vec<u8>)]) -> Vec<u8> {
 /// surviving into the decoded body) caught by the mux layer itself.
 /// Both are *detected omissions* to the caller: the whole image is
 /// dropped, never a subset of its slots.
-pub fn unpack_slots(image: &[u8]) -> Result<Vec<(u32, Vec<u8>)>, CodeError> {
+pub fn unpack_slots_view(image: &[u8]) -> Result<SlotsView<'_>, CodeError> {
     let Some(body_len) = image.len().checked_sub(4) else {
         return Err(CodeError::Malformed);
     };
     let (body, trailer) = image.split_at(body_len);
-    let (&count, mut rest) = body.split_first().ok_or(CodeError::Malformed)?;
-    let mut slots = Vec::with_capacity(count as usize);
+    let (&count, slots) = body.split_first().ok_or(CodeError::Malformed)?;
+    let mut rest = slots;
     for _ in 0..count {
         if rest.len() < 6 {
             return Err(CodeError::Malformed);
         }
-        let id = u32::from_le_bytes(rest[..4].try_into().expect("4-byte id"));
         let len = u16::from_le_bytes(rest[4..6].try_into().expect("2-byte len")) as usize;
         rest = &rest[6..];
         if rest.len() < len {
             return Err(CodeError::Malformed);
         }
-        slots.push((id, rest[..len].to_vec()));
         rest = &rest[len..];
     }
     if !rest.is_empty() {
@@ -114,7 +200,21 @@ pub fn unpack_slots(image: &[u8]) -> Result<Vec<(u32, Vec<u8>)>, CodeError> {
     if expected != crc32(body) {
         return Err(CodeError::Detected);
     }
-    Ok(slots)
+    Ok(SlotsView {
+        slots,
+        count: count as usize,
+    })
+}
+
+/// Unpacks a mux image back into its owned `(instance_id, body)` slots.
+///
+/// # Errors
+///
+/// Exactly as [`unpack_slots_view`] — this is that validation followed
+/// by one copy per slot body.
+pub fn unpack_slots(image: &[u8]) -> Result<Vec<(u32, Vec<u8>)>, CodeError> {
+    let view = unpack_slots_view(image)?;
+    Ok(view.iter().map(|(id, body)| (id, body.to_vec())).collect())
 }
 
 #[cfg(test)]
@@ -139,7 +239,7 @@ mod tests {
 
     #[test]
     fn empty_batch_roundtrips() {
-        let image = pack_slots(&[]);
+        let image = pack_slots::<Vec<u8>>(&[]);
         assert_eq!(image.len(), mux_overhead(0));
         assert_eq!(unpack_slots(&image).unwrap(), Vec::new());
     }

@@ -8,11 +8,20 @@
 //! misses about 1 in 256 random corruptions, which is exactly the kind
 //! of residual value-fault rate the `α` budget must then absorb.
 
-use crate::code::{ChannelCode, CodeError};
+use crate::code::{ChannelCode, CodeError, DecodeScanView};
+use bytes::{BufMut, BytesMut};
+use std::borrow::Cow;
 
-/// The CRC-32 lookup table (reflected, polynomial `0xEDB88320`).
-const fn build_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
+/// The slice-by-8 CRC-32 tables (reflected, polynomial `0xEDB88320`).
+///
+/// `TABLES[0]` is the classic bytewise table; `TABLES[k]` advances a
+/// byte's contribution `k` further positions through the register, so
+/// eight bytes can be folded per step with no loop-carried table
+/// dependency between them. The polynomial, and therefore every
+/// computed checksum, is unchanged from the bytewise implementation —
+/// [`crc32_bytewise`] remains in-tree as the differential oracle.
+const fn build_tables() -> [[u32; 256]; 8] {
+    let mut tables = [[0u32; 256]; 8];
     let mut i = 0;
     while i < 256 {
         let mut crc = i as u32;
@@ -25,15 +34,31 @@ const fn build_table() -> [u32; 256] {
             };
             bit += 1;
         }
-        table[i] = crc;
+        tables[0][i] = crc;
         i += 1;
     }
-    table
+    let mut t = 1;
+    while t < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[t - 1][i];
+            tables[t][i] = (prev >> 8) ^ tables[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        t += 1;
+    }
+    tables
 }
 
-static TABLE: [u32; 256] = build_table();
+static TABLES: [[u32; 256]; 8] = build_tables();
 
 /// Computes the CRC-32 (IEEE) of `data`.
+///
+/// Folds eight bytes per step through the slice-by-8 tables — the
+/// whole-frame checksum is on the hot path of every send and every
+/// ingest (the `Checksum` rungs, the mux image trailer, and copy-byte
+/// patching all recompute it), so its byte rate bounds the frame
+/// pipeline's throughput.
 ///
 /// # Examples
 ///
@@ -43,9 +68,35 @@ static TABLE: [u32; 256] = build_table();
 /// ```
 pub fn crc32(data: &[u8]) -> u32 {
     let mut crc = 0xFFFF_FFFFu32;
+    let mut chunks = data.chunks_exact(8);
+    for chunk in &mut chunks {
+        let lo = u32::from_le_bytes(chunk[..4].try_into().expect("4-byte half")) ^ crc;
+        let hi = u32::from_le_bytes(chunk[4..].try_into().expect("4-byte half"));
+        crc = TABLES[7][(lo & 0xFF) as usize]
+            ^ TABLES[6][((lo >> 8) & 0xFF) as usize]
+            ^ TABLES[5][((lo >> 16) & 0xFF) as usize]
+            ^ TABLES[4][(lo >> 24) as usize]
+            ^ TABLES[3][(hi & 0xFF) as usize]
+            ^ TABLES[2][((hi >> 8) & 0xFF) as usize]
+            ^ TABLES[1][((hi >> 16) & 0xFF) as usize]
+            ^ TABLES[0][(hi >> 24) as usize];
+    }
+    for &byte in chunks.remainder() {
+        let idx = ((crc ^ byte as u32) & 0xFF) as usize;
+        crc = (crc >> 8) ^ TABLES[0][idx];
+    }
+    !crc
+}
+
+/// The one-byte-per-step reference CRC-32: the differential oracle the
+/// sliced [`crc32`] is pinned against. Never inlined so benchmarks
+/// measure the loop it names.
+#[inline(never)]
+pub fn crc32_bytewise(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
     for &byte in data {
         let idx = ((crc ^ byte as u32) & 0xFF) as usize;
-        crc = (crc >> 8) ^ TABLE[idx];
+        crc = (crc >> 8) ^ TABLES[0][idx];
     }
     !crc
 }
@@ -70,8 +121,25 @@ impl ChannelCode for NoCode {
         payload.to_vec()
     }
 
+    fn encode_into(&self, payload: &[u8], out: &mut BytesMut) {
+        out.put_slice(payload);
+    }
+
     fn decode(&self, wire: &[u8]) -> Result<Vec<u8>, CodeError> {
         Ok(wire.to_vec())
+    }
+
+    // The identity code is the purest zero-copy path: the decoded body
+    // *is* the wire.
+    fn decode_view<'a>(&self, wire: &'a [u8]) -> Result<(Cow<'a, [u8]>, bool), CodeError> {
+        Ok((Cow::Borrowed(wire), false))
+    }
+
+    fn decode_scanned_view<'a>(&self, wire: &'a [u8]) -> DecodeScanView<'a> {
+        DecodeScanView {
+            outcome: self.decode_view(wire),
+            repairs: 0,
+        }
     }
 }
 
@@ -136,16 +204,34 @@ impl ChannelCode for Checksum {
         wire
     }
 
+    fn encode_into(&self, payload: &[u8], out: &mut BytesMut) {
+        out.put_slice(payload);
+        out.put_slice(&crc32(payload).to_le_bytes()[..self.width as usize]);
+    }
+
     fn decode(&self, wire: &[u8]) -> Result<Vec<u8>, CodeError> {
+        Ok(self.decode_view(wire)?.0.into_owned())
+    }
+
+    // Detection needs only a scan: the decoded body is the wire minus
+    // its trailer, borrowed in place.
+    fn decode_view<'a>(&self, wire: &'a [u8]) -> Result<(Cow<'a, [u8]>, bool), CodeError> {
         let w = self.width as usize;
         if wire.len() < w {
             return Err(CodeError::Malformed);
         }
         let (payload, trailer) = wire.split_at(wire.len() - w);
-        if self.trailer(payload) != trailer {
+        if crc32(payload).to_le_bytes()[..w] != *trailer {
             return Err(CodeError::Detected);
         }
-        Ok(payload.to_vec())
+        Ok((Cow::Borrowed(payload), false))
+    }
+
+    fn decode_scanned_view<'a>(&self, wire: &'a [u8]) -> DecodeScanView<'a> {
+        DecodeScanView {
+            outcome: self.decode_view(wire),
+            repairs: 0,
+        }
     }
 }
 
@@ -163,6 +249,22 @@ mod tests {
             0x414F_A339
         );
         assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn sliced_crc_matches_bytewise_oracle_at_every_tail_length() {
+        // 0..64 covers every chunks_exact remainder (0..=7) several
+        // times over, plus the empty and sub-word inputs.
+        let data: Vec<u8> = (0..64u32)
+            .map(|i| (i.wrapping_mul(151) >> 3) as u8)
+            .collect();
+        for len in 0..=data.len() {
+            assert_eq!(
+                crc32(&data[..len]),
+                crc32_bytewise(&data[..len]),
+                "sliced crc32 diverged from the bytewise oracle at len {len}"
+            );
+        }
     }
 
     #[test]

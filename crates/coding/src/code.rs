@@ -1,6 +1,8 @@
 //! The [`ChannelCode`] trait, per-frame outcomes, and the serializable
 //! [`CodeSpec`] used to pick a code in configurations.
 
+use bytes::{BufMut, BytesMut};
+use std::borrow::Cow;
 use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
@@ -76,6 +78,23 @@ pub struct DecodeScan {
     pub repairs: usize,
 }
 
+/// The borrow-based counterpart of [`DecodeScan`]: the decoded body is
+/// a [`Cow`] that detect-only codes (NoCode, Checksum) return as a
+/// *borrowed view into the wire bytes* — the zero-copy decode path —
+/// while correcting codes, whose decoders must materialize a repaired
+/// payload anyway, return it owned.
+///
+/// The contract mirrors [`ChannelCode::decode_scanned`] exactly:
+/// `outcome` must equal `decode_repaired(wire)` byte-for-byte (after
+/// cloning the Cow), and `repairs` counts the same events.
+#[derive(Clone, Debug)]
+pub struct DecodeScanView<'a> {
+    /// The decode outcome; `Cow::Borrowed` when the code is zero-copy.
+    pub outcome: Result<(Cow<'a, [u8]>, bool), CodeError>,
+    /// Repair events, exactly as in [`DecodeScan::repairs`].
+    pub repairs: usize,
+}
+
 /// A block channel code over byte payloads.
 ///
 /// Implementations must be deterministic and total: `decode(encode(p))
@@ -111,6 +130,29 @@ pub trait ChannelCode: Send + Sync {
 
     /// Adds redundancy to `payload`, producing the wire image.
     fn encode(&self, payload: &[u8]) -> Vec<u8>;
+
+    /// Appends the wire image of `payload` to `out` instead of
+    /// allocating a fresh buffer — the arena pathway: a caller that
+    /// reuses one `BytesMut` per link encodes every round without
+    /// touching the allocator once the buffer is warm. The bytes
+    /// appended are exactly [`ChannelCode::encode`]`(payload)`; the
+    /// default materializes that owned image and copies it, and
+    /// zero-copy-friendly codes override it to write directly.
+    fn encode_into(&self, payload: &[u8], out: &mut BytesMut) {
+        out.put_slice(&self.encode(payload));
+    }
+
+    /// Like [`ChannelCode::encode_into`], spending an explicit
+    /// [`SymbolBudget`](crate::SymbolBudget). Fixed-rate codes ignore
+    /// the budget, exactly as [`ChannelCode::encode_with_budget`].
+    fn encode_with_budget_into(
+        &self,
+        payload: &[u8],
+        budget: crate::SymbolBudget,
+        out: &mut BytesMut,
+    ) {
+        out.put_slice(&self.encode_with_budget(payload, budget));
+    }
 
     /// Like [`ChannelCode::encode`], spending an explicit per-frame
     /// [`SymbolBudget`](crate::SymbolBudget) — the incremental-symbol pathway of rateless
@@ -162,6 +204,31 @@ pub trait ChannelCode: Send + Sync {
         DecodeScan { outcome, repairs }
     }
 
+    /// The borrow-based decode: like [`ChannelCode::decode_repaired`]
+    /// but returning the body as a [`Cow`] so detect-only codes can
+    /// hand back a *view into the wire bytes* without copying. The
+    /// outcome must be byte-identical to `decode_repaired(wire)`; the
+    /// default wraps it in `Cow::Owned`.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`ChannelCode::decode`].
+    fn decode_view<'a>(&self, wire: &'a [u8]) -> Result<(Cow<'a, [u8]>, bool), CodeError> {
+        let (body, repaired) = self.decode_repaired(wire)?;
+        Ok((Cow::Owned(body), repaired))
+    }
+
+    /// The borrow-based scanning decode: [`ChannelCode::decode_scanned`]
+    /// with a [`Cow`] body (see [`DecodeScanView`]). The default derives
+    /// it from `decode_scanned`; zero-copy codes override it to borrow.
+    fn decode_scanned_view<'a>(&self, wire: &'a [u8]) -> DecodeScanView<'a> {
+        let DecodeScan { outcome, repairs } = self.decode_scanned(wire);
+        DecodeScanView {
+            outcome: outcome.map(|(body, repaired)| (Cow::Owned(body) as Cow<'a, [u8]>, repaired)),
+            repairs,
+        }
+    }
+
     /// Classifies what a receiver experiences when `wire_after_noise`
     /// (a possibly-corrupted encoding of `payload`) arrives.
     fn classify(&self, payload: &[u8], wire_after_noise: &[u8]) -> FrameOutcome {
@@ -186,8 +253,21 @@ impl ChannelCode for Arc<dyn ChannelCode> {
         (**self).encode(payload)
     }
 
+    fn encode_into(&self, payload: &[u8], out: &mut BytesMut) {
+        (**self).encode_into(payload, out);
+    }
+
     fn encode_with_budget(&self, payload: &[u8], budget: crate::SymbolBudget) -> Vec<u8> {
         (**self).encode_with_budget(payload, budget)
+    }
+
+    fn encode_with_budget_into(
+        &self,
+        payload: &[u8],
+        budget: crate::SymbolBudget,
+        out: &mut BytesMut,
+    ) {
+        (**self).encode_with_budget_into(payload, budget, out);
     }
 
     fn decode(&self, wire: &[u8]) -> Result<Vec<u8>, CodeError> {
@@ -200,6 +280,14 @@ impl ChannelCode for Arc<dyn ChannelCode> {
 
     fn decode_scanned(&self, wire: &[u8]) -> DecodeScan {
         (**self).decode_scanned(wire)
+    }
+
+    fn decode_view<'a>(&self, wire: &'a [u8]) -> Result<(Cow<'a, [u8]>, bool), CodeError> {
+        (**self).decode_view(wire)
+    }
+
+    fn decode_scanned_view<'a>(&self, wire: &'a [u8]) -> DecodeScanView<'a> {
+        (**self).decode_scanned_view(wire)
     }
 }
 

@@ -141,6 +141,26 @@ impl SymbolBudget {
         }
     }
 
+    /// Prices the allowance for one mux wire image carrying `k`
+    /// instance slots, instead of `k` separate frames each spending
+    /// the full budget. The pooled frame keeps the per-instance
+    /// average at roughly half the solo allowance — erasures across a
+    /// shared image are repaired from one shared pool, so the pool
+    /// need not scale linearly with the slot count — scaled as
+    /// `⌈repair·(k+1)/2⌉` and capped at the frame's symbol-space
+    /// limit. Identity for `k ≤ 1`: a single-slot image is just a
+    /// frame.
+    pub fn for_batch(self, k: usize) -> Self {
+        if k <= 1 {
+            return self;
+        }
+        let scaled = (self.repair as usize * (k + 1)).div_ceil(2);
+        SymbolBudget {
+            repair: scaled.min(MAX_REPAIR as usize) as u8,
+            ..self
+        }
+    }
+
     /// One step of the per-round renegotiation: additive increase
     /// proportional to the observed loss pressure, decay by one symbol
     /// toward the `base` allowance when the round was completely calm
@@ -496,6 +516,21 @@ mod tests {
     use super::*;
     use crate::code::FrameOutcome;
     use rand::RngCore;
+
+    #[test]
+    fn batch_budget_pools_sublinearly() {
+        let b = SymbolBudget::baseline(6);
+        assert_eq!(b.for_batch(0), b, "empty batch is identity");
+        assert_eq!(b.for_batch(1), b, "single slot is just a frame");
+        // k=4: ceil(6·5/2) = 15 — under the 4·6 = 24 a per-instance
+        // spend would cost.
+        assert_eq!(b.for_batch(4).repair, 15);
+        assert!(b.for_batch(4).repair < 4 * b.repair);
+        // The symbol-space cap binds eventually.
+        assert_eq!(b.for_batch(100).repair, MAX_REPAIR);
+        // Copies are untouched: folding and pooling are orthogonal.
+        assert_eq!(b.fold_copies(3).for_batch(4).copies, 3);
+    }
 
     #[test]
     fn roundtrip_various_lengths() {

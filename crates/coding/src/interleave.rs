@@ -26,6 +26,7 @@
 //! bits apart, so no [`crate::Hamming74`] block receives more than one
 //! flip and the whole burst is corrected.
 
+use crate::bitslice::transpose_bits;
 use crate::code::{ChannelCode, CodeError};
 
 fn get_bit(data: &[u8], idx: usize) -> bool {
@@ -38,12 +39,57 @@ fn set_bit(data: &mut [u8], idx: usize) {
 
 /// Applies the depth-`d` transpose permutation to `data`'s bits
 /// (codeword order → wire order).
+///
+/// When the bit count divides evenly by `depth` — every interleaved
+/// SECDED codeword does, its length in bits being a multiple of 16 —
+/// the permutation has no skipped cells and runs as a tiled 8×8
+/// bit-matrix transpose ([`crate::bitslice::transpose_bits`]), one
+/// word op per 64 bits instead of one shift-and-mask per bit. Ragged
+/// shapes fall back to [`interleave_bits_scalar`], which differential
+/// tests pin the fast path against.
 pub fn interleave_bits(data: &[u8], depth: usize) -> Vec<u8> {
+    let n = data.len() * 8;
+    if depth <= 1 || n == 0 {
+        return data.to_vec();
+    }
+    if n.is_multiple_of(depth) {
+        // Wire bit c·d + r = codeword bit r·cols + c: exactly the
+        // d × cols bit-matrix transpose.
+        let mut out = vec![0u8; data.len()];
+        transpose_bits(data, &mut out, depth, n / depth);
+        return out;
+    }
+    interleave_bits_scalar(data, depth)
+}
+
+/// Inverts [`interleave_bits`] (wire order → codeword order); same
+/// fast path, with the matrix dimensions swapped.
+pub fn deinterleave_bits(data: &[u8], depth: usize) -> Vec<u8> {
+    let n = data.len() * 8;
+    if depth <= 1 || n == 0 {
+        return data.to_vec();
+    }
+    if n.is_multiple_of(depth) {
+        let mut out = vec![0u8; data.len()];
+        transpose_bits(data, &mut out, n / depth, depth);
+        return out;
+    }
+    deinterleave_bits_scalar(data, depth)
+}
+
+/// The bit-at-a-time interleave: reference semantics for every shape,
+/// fallback for ragged ones, and the differential oracle (and
+/// benchmark baseline) for the tiled fast path. Never inlined so the
+/// benchmark measures the loop it names.
+#[inline(never)]
+pub fn interleave_bits_scalar(data: &[u8], depth: usize) -> Vec<u8> {
     permute(data, depth, true)
 }
 
-/// Inverts [`interleave_bits`] (wire order → codeword order).
-pub fn deinterleave_bits(data: &[u8], depth: usize) -> Vec<u8> {
+/// The bit-at-a-time inverse of [`interleave_bits_scalar`]; same role,
+/// opposite direction.
+#[inline(never)]
+pub fn deinterleave_bits_scalar(data: &[u8], depth: usize) -> Vec<u8> {
     permute(data, depth, false)
 }
 
@@ -186,6 +232,31 @@ mod tests {
                     deinterleave_bits(&inter, depth),
                     data,
                     "len {len}, depth {depth}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fast_and_scalar_permutations_agree() {
+        // The tiled-transpose fast path against the bit-at-a-time
+        // oracle, in both directions, across shapes that hit the fast
+        // path (n % depth == 0, ragged and full tiles alike) and ones
+        // that fall back (where agreement is trivially by delegation).
+        for len in [1usize, 2, 3, 4, 7, 8, 16, 31, 32, 64, 70] {
+            for depth in [2usize, 3, 4, 5, 8, 16, 64] {
+                let data: Vec<u8> = (0..len)
+                    .map(|b| (b as u8).wrapping_mul(151) ^ 0x3C)
+                    .collect();
+                assert_eq!(
+                    interleave_bits(&data, depth),
+                    interleave_bits_scalar(&data, depth),
+                    "interleave len {len}, depth {depth}"
+                );
+                assert_eq!(
+                    deinterleave_bits(&data, depth),
+                    deinterleave_bits_scalar(&data, depth),
+                    "deinterleave len {len}, depth {depth}"
                 );
             }
         }

@@ -68,6 +68,7 @@
 
 mod adaptive;
 mod batch;
+pub mod bitslice;
 mod burst;
 mod checksum;
 mod code;
@@ -82,16 +83,23 @@ mod repetition;
 
 pub use adaptive::{
     chernoff_alpha_for_mean, AdaptiveConfig, AdaptiveController, CodeBook, CodeBookError,
-    GossipConfig, PressureEstimator, RoundTally, RungAdvert, SwitchCause, TaggedWire, GOSSIP_FLAG,
+    GossipConfig, PressureEstimator, RoundTally, RungAdvert, SwitchCause, TaggedView, TaggedWire,
+    GOSSIP_FLAG,
 };
-pub use batch::{mux_overhead, pack_slots, unpack_slots, MAX_SLOTS, MAX_SLOT_LEN};
+pub use batch::{
+    mux_overhead, pack_slots, pack_slots_into, unpack_slots, unpack_slots_view, SlotsIter,
+    SlotsView, MAX_SLOTS, MAX_SLOT_LEN,
+};
 pub use burst::{GilbertElliott, NoiseModel, NoisePhase, NoiseTrace};
-pub use checksum::{crc32, Checksum, NoCode};
-pub use code::{ChannelCode, CodeError, CodeSpec, DecodeScan, FrameOutcome};
+pub use checksum::{crc32, crc32_bytewise, Checksum, NoCode};
+pub use code::{ChannelCode, CodeError, CodeSpec, DecodeScan, DecodeScanView, FrameOutcome};
 pub use concat::Concatenated;
 pub use fountain::{LtCode, SymbolBudget};
-pub use hamming::{bitslice, Hamming74};
-pub use interleave::{deinterleave_bits, interleave_bits, stripe_offsets, Interleaved};
+pub use hamming::Hamming74;
+pub use interleave::{
+    deinterleave_bits, deinterleave_bits_scalar, interleave_bits, interleave_bits_scalar,
+    stripe_offsets, Interleaved,
+};
 pub use measure::{
     induced_alpha_demand, measure_code, measure_code_exact_flips, measure_code_observed,
     measure_code_under, MissRates,

@@ -10,6 +10,16 @@
 //! matters.
 
 use crate::code::{ChannelCode, CodeError};
+use bytes::{BufMut, BytesMut};
+
+/// Loads up to 8 bytes little-endian, zero-padded — padding lanes are
+/// unanimous zeros, so they neither vote wrong nor count as damage.
+#[inline]
+fn load_word(slice: &[u8]) -> u64 {
+    let mut buf = [0u8; 8];
+    buf[..slice.len()].copy_from_slice(slice);
+    u64::from_le_bytes(buf)
+}
 
 /// The `k`-fold repetition code (`k` odd), majority-voted per bit.
 #[derive(Clone, Copy, Debug)]
@@ -41,30 +51,17 @@ impl Repetition {
     pub fn correctable_copies(&self) -> usize {
         (self.k - 1) / 2
     }
-}
 
-impl ChannelCode for Repetition {
-    fn name(&self) -> String {
-        format!("repetition{}", self.k)
-    }
-
-    fn encoded_len(&self, payload_len: usize) -> usize {
-        payload_len * self.k
-    }
-
-    fn encode(&self, payload: &[u8]) -> Vec<u8> {
-        let mut wire = Vec::with_capacity(self.encoded_len(payload.len()));
-        for _ in 0..self.k {
-            wire.extend_from_slice(payload);
-        }
-        wire
-    }
-
-    fn decode(&self, wire: &[u8]) -> Result<Vec<u8>, CodeError> {
-        Ok(self.decode_repaired(wire)?.0)
-    }
-
-    fn decode_repaired(&self, wire: &[u8]) -> Result<(Vec<u8>, bool), CodeError> {
+    /// The bit-at-a-time majority vote: reference semantics for every
+    /// odd `k`, the fallback for `k > 5`, and the differential oracle
+    /// (and benchmark baseline) for the word-wide fast path. Never
+    /// inlined so the benchmark measures the loop it names.
+    ///
+    /// # Errors
+    ///
+    /// [`CodeError::Malformed`] unless the wire length divides by `k`.
+    #[inline(never)]
+    pub fn decode_repaired_scalar(&self, wire: &[u8]) -> Result<(Vec<u8>, bool), CodeError> {
         if !wire.len().is_multiple_of(self.k) {
             return Err(CodeError::Malformed);
         }
@@ -87,6 +84,88 @@ impl ChannelCode for Repetition {
             payload.push(voted);
         }
         Ok((payload, repaired))
+    }
+
+    /// The word-wide majority vote for `k ∈ {3, 5}`: 64 bit positions
+    /// per step, the vote as pure boolean algebra on whole words —
+    /// `k = 3` is the textbook 2-of-3 majority, `k = 5` runs two
+    /// carry-save adders and reads the majority off the carries.
+    /// Disagreement (some copy damaged, majority repaired it) is one
+    /// `OR & !AND` per word, matching the scalar `ones ∉ {0, k}` test.
+    fn decode_words(&self, wire: &[u8]) -> (Vec<u8>, bool) {
+        let len = wire.len() / self.k;
+        let mut payload = vec![0u8; len];
+        let mut disagree = 0u64;
+        let mut i = 0;
+        while i < len {
+            let take = (len - i).min(8);
+            let w = |copy: usize| load_word(&wire[copy * len + i..copy * len + i + take]);
+            let (maj, any, all) = match self.k {
+                3 => {
+                    let (a, b, c) = (w(0), w(1), w(2));
+                    ((a & b) | (a & c) | (b & c), a | b | c, a & b & c)
+                }
+                5 => {
+                    let (a, b, c, d, e) = (w(0), w(1), w(2), w(3), w(4));
+                    // Two full adders: a+b+c = 2·c1 + s1, then
+                    // s1+d+e = 2·c2 + s2, so the per-lane popcount is
+                    // 2·(c1+c2) + s2 and majority (≥ 3) is both
+                    // carries, or exactly one carry plus the sum bit.
+                    let s1 = a ^ b ^ c;
+                    let c1 = (a & b) | (a & c) | (b & c);
+                    let s2 = s1 ^ d ^ e;
+                    let c2 = (s1 & d) | (s1 & e) | (d & e);
+                    let maj = (c1 & c2) | ((c1 ^ c2) & s2);
+                    (maj, a | b | c | d | e, a & b & c & d & e)
+                }
+                _ => unreachable!("decode_words is only dispatched for k = 3 or 5"),
+            };
+            disagree |= any & !all;
+            payload[i..i + take].copy_from_slice(&maj.to_le_bytes()[..take]);
+            i += take;
+        }
+        (payload, disagree != 0)
+    }
+}
+
+impl ChannelCode for Repetition {
+    fn name(&self) -> String {
+        format!("repetition{}", self.k)
+    }
+
+    fn encoded_len(&self, payload_len: usize) -> usize {
+        payload_len * self.k
+    }
+
+    fn encode(&self, payload: &[u8]) -> Vec<u8> {
+        let mut wire = Vec::with_capacity(self.encoded_len(payload.len()));
+        for _ in 0..self.k {
+            wire.extend_from_slice(payload);
+        }
+        wire
+    }
+
+    fn encode_into(&self, payload: &[u8], out: &mut BytesMut) {
+        out.reserve(self.encoded_len(payload.len()));
+        for _ in 0..self.k {
+            out.put_slice(payload);
+        }
+    }
+
+    fn decode(&self, wire: &[u8]) -> Result<Vec<u8>, CodeError> {
+        Ok(self.decode_repaired(wire)?.0)
+    }
+
+    fn decode_repaired(&self, wire: &[u8]) -> Result<(Vec<u8>, bool), CodeError> {
+        if !wire.len().is_multiple_of(self.k) {
+            return Err(CodeError::Malformed);
+        }
+        match self.k {
+            // One copy: the vote is the wire, unanimously.
+            1 => Ok((wire.to_vec(), false)),
+            3 | 5 => Ok(self.decode_words(wire)),
+            _ => self.decode_repaired_scalar(wire),
+        }
     }
 }
 
@@ -128,6 +207,42 @@ mod tests {
             code.classify(&payload, &wire),
             FrameOutcome::UndetectedValueFault
         );
+    }
+
+    #[test]
+    fn word_wide_vote_matches_scalar_oracle() {
+        // Random lengths (covering word tails of every size) and
+        // random per-copy corruption: voted bytes AND the repaired
+        // verdict must match the bit-at-a-time oracle exactly, for
+        // both fast-path k values and a fallback one.
+        let mut state = 0xC0FE_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for k in [1usize, 3, 5, 7] {
+            let code = Repetition::new(k);
+            for len in [0usize, 1, 5, 7, 8, 9, 16, 33, 100] {
+                for _ in 0..16 {
+                    let payload: Vec<u8> = (0..len).map(|_| next() as u8).collect();
+                    let mut wire = code.encode(&payload);
+                    // Sprinkle 0..=3 byte corruptions anywhere.
+                    if !wire.is_empty() {
+                        for _ in 0..(next() % 4) {
+                            let at = (next() as usize) % wire.len();
+                            wire[at] ^= next() as u8;
+                        }
+                    }
+                    assert_eq!(
+                        code.decode_repaired(&wire),
+                        code.decode_repaired_scalar(&wire),
+                        "k {k}, len {len}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -554,3 +554,159 @@ fn truncated_checksum_miss_rate_regression() {
         "2^-32 misses are invisible at 80k trials"
     );
 }
+
+// ---------------------------------------------------------------------
+// Zero-copy equivalence: the borrow-based encode/decode surface
+// (`encode_into`, `decode_view`, `decode_scanned_view`) must be
+// byte-identical to the owned surface for EVERY rung, on clean wires
+// and on adversarial ones. Exact equality is the strong form of the
+// safety claim: the view path can never accept (and so never turn into
+// an undetected value fault) anything the owned path rejected, because
+// it cannot differ from the owned path at all.
+// ---------------------------------------------------------------------
+
+/// Every constructible spec family, including the rungs the adaptive
+/// ladder skips.
+fn all_specs() -> [CodeSpec; 10] {
+    [
+        CodeSpec::None,
+        CodeSpec::Checksum { width: 1 },
+        CodeSpec::Checksum { width: 2 },
+        CodeSpec::Checksum { width: 4 },
+        CodeSpec::Repetition { k: 3 },
+        CodeSpec::Repetition { k: 5 },
+        CodeSpec::Hamming74,
+        CodeSpec::Interleaved { depth: 16 },
+        CodeSpec::Concatenated { width: 4 },
+        CodeSpec::Fountain { repair: 4 },
+    ]
+}
+
+/// Clean → corrupted → truncated → pure garbage, driven by a seed.
+fn adversarial_wire(clean: &[u8], op: usize, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut wire = clean.to_vec();
+    match op {
+        0 => {}
+        1 => {
+            for _ in 0..rng.gen_range(1..=4usize) {
+                if wire.is_empty() {
+                    break;
+                }
+                let at = rng.gen_range(0..wire.len());
+                wire[at] ^= rng.gen_range(1..=255u8);
+            }
+        }
+        2 => {
+            let keep = rng.gen_range(0..=wire.len());
+            wire.truncate(keep);
+        }
+        _ => {
+            wire = (0..rng.gen_range(0..96usize))
+                .map(|_| rng.gen_range(0..=255u8))
+                .collect();
+        }
+    }
+    wire
+}
+
+proptest! {
+    #[test]
+    fn arena_encoders_match_owned_encoders_for_every_spec(
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+        pick in 0usize..10,
+        prefix_len in 0usize..8,
+    ) {
+        let code = all_specs()[pick].build();
+        let owned = code.encode(&payload);
+        // The arena already holds unrelated bytes: encode_into appends.
+        let mut arena = bytes::BytesMut::new();
+        arena.put_bytes(0xA5, prefix_len);
+        code.encode_into(&payload, &mut arena);
+        prop_assert_eq!(&arena[prefix_len..], &owned[..]);
+
+        let budget = SymbolBudget::baseline(9);
+        let owned_b = code.encode_with_budget(&payload, budget);
+        let mut arena_b = bytes::BytesMut::new();
+        arena_b.put_bytes(0x5A, prefix_len);
+        code.encode_with_budget_into(&payload, budget, &mut arena_b);
+        prop_assert_eq!(&arena_b[prefix_len..], &owned_b[..]);
+    }
+
+    #[test]
+    fn view_decode_is_byte_identical_to_owned_decode_on_any_wire(
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+        pick in 0usize..10,
+        op in 0usize..4,
+        seed in any::<u64>(),
+    ) {
+        let code = all_specs()[pick].build();
+        let wire = adversarial_wire(&code.encode(&payload), op, seed);
+
+        let owned = code.decode_scanned(&wire);
+        let view = code.decode_scanned_view(&wire);
+        prop_assert_eq!(owned.repairs, view.repairs);
+        let view_outcome = view.outcome.map(|(p, r)| (p.into_owned(), r));
+        prop_assert_eq!(owned.outcome, view_outcome);
+
+        let plain_owned = code.decode(&wire);
+        let plain_view = code.decode_view(&wire).map(|(p, _)| p.into_owned());
+        prop_assert_eq!(plain_owned, plain_view);
+    }
+
+    #[test]
+    fn tagged_view_decode_matches_owned_tagged_decode(
+        body in proptest::collection::vec(any::<u8>(), 0..48),
+        op in 0usize..4,
+        seed in any::<u64>(),
+        with_advert in any::<bool>(),
+    ) {
+        let cfg = AdaptiveConfig::standard(5, 1);
+        let book = CodeBook::from_specs(&cfg.ladder);
+        let id = (seed % book.len() as u64) as u8;
+        let advert = with_advert.then_some(RungAdvert {
+            rung: id % 8,
+            epoch: (seed >> 8) as u8 & 0x0F,
+        });
+
+        // Arena encode == owned encode.
+        let owned_wire = book.encode_tagged_advert(id, advert, &body);
+        let mut arena = bytes::BytesMut::new();
+        arena.put_bytes(0x3C, 5);
+        book.encode_tagged_advert_into(id, advert, &body, &mut arena);
+        prop_assert_eq!(&arena[5..], &owned_wire[..]);
+
+        // View decode == owned decode, clean or mangled.
+        let wire = adversarial_wire(&owned_wire, op, seed);
+        let (owned_out, owned_repairs) = book.decode_tagged_scanned(&wire);
+        let (view_out, view_repairs) = book.decode_tagged_scanned_view(&wire);
+        prop_assert_eq!(owned_repairs, view_repairs);
+        prop_assert_eq!(owned_out, view_out.map(|v| v.into_owned()));
+    }
+
+    #[test]
+    fn slot_views_match_owned_unpack_on_any_image(
+        bodies in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..24), 0..8),
+        op in 0usize..4,
+        seed in any::<u64>(),
+    ) {
+        let slots: Vec<(u32, Vec<u8>)> = bodies
+            .into_iter()
+            .enumerate()
+            .map(|(i, b)| (i as u32, b))
+            .collect();
+        let image = adversarial_wire(&pack_slots(&slots), op, seed);
+        let owned = unpack_slots(&image);
+        let view = heardof_coding::unpack_slots_view(&image);
+        match (owned, view) {
+            (Ok(o), Ok(v)) => {
+                prop_assert_eq!(o.len(), v.len());
+                let collected: Vec<(u32, Vec<u8>)> =
+                    v.iter().map(|(id, b)| (id, b.to_vec())).collect();
+                prop_assert_eq!(o, collected);
+            }
+            (Err(eo), Err(ev)) => prop_assert_eq!(eo, ev),
+            (o, v) => prop_assert!(false, "owned {:?} vs view {:?}", o.is_ok(), v.is_ok()),
+        }
+    }
+}

@@ -17,7 +17,7 @@
 //! width 4, and [`encode_frame`]/[`decode_frame`] keep producing it
 //! byte-for-byte.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{Buf, BufMut, BytesMut};
 use heardof_coding::{crc32, ChannelCode, Checksum, CodeBook, CodeError};
 use heardof_core::UteMsg;
 use std::error::Error;
@@ -68,12 +68,14 @@ pub trait WireMessage: Sized {
     /// Appends the encoding of `self` to `buf`.
     fn encode(&self, buf: &mut BytesMut);
 
-    /// Decodes a value from the front of `buf`.
+    /// Decodes a value from the front of `buf`. Generic over [`Buf`] so
+    /// the same impl serves the owned [`Bytes`] cursor and the
+    /// zero-copy `&mut &[u8]` reader that parses borrowed wire views.
     ///
     /// # Errors
     ///
     /// [`CodecError`] if the buffer is truncated or structurally invalid.
-    fn decode(buf: &mut Bytes) -> Result<Self, CodecError>;
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, CodecError>;
 }
 
 macro_rules! wire_int {
@@ -83,7 +85,7 @@ macro_rules! wire_int {
                 buf.$put(*self);
             }
 
-            fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+            fn decode<B: Buf>(buf: &mut B) -> Result<Self, CodecError> {
                 if buf.remaining() < $len {
                     return Err(CodecError::Truncated);
                 }
@@ -102,7 +104,7 @@ impl WireMessage for bool {
         buf.put_u8(u8::from(*self));
     }
 
-    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, CodecError> {
         if buf.remaining() < 1 {
             return Err(CodecError::Truncated);
         }
@@ -120,7 +122,7 @@ impl WireMessage for String {
         buf.put_slice(self.as_bytes());
     }
 
-    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, CodecError> {
         if buf.remaining() < 4 {
             return Err(CodecError::Truncated);
         }
@@ -128,8 +130,9 @@ impl WireMessage for String {
         if buf.remaining() < len {
             return Err(CodecError::Truncated);
         }
-        let bytes = buf.split_to(len);
-        String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::BadUtf8)
+        let mut bytes = vec![0u8; len];
+        buf.copy_to_slice(&mut bytes);
+        String::from_utf8(bytes).map_err(|_| CodecError::BadUtf8)
     }
 }
 
@@ -144,7 +147,7 @@ impl<V: WireMessage> WireMessage for Option<V> {
         }
     }
 
-    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, CodecError> {
         if buf.remaining() < 1 {
             return Err(CodecError::Truncated);
         }
@@ -170,7 +173,7 @@ impl<V: WireMessage> WireMessage for UteMsg<V> {
         }
     }
 
-    fn decode(buf: &mut Bytes) -> Result<Self, CodecError> {
+    fn decode<B: Buf>(buf: &mut B) -> Result<Self, CodecError> {
         if buf.remaining() < 1 {
             return Err(CodecError::Truncated);
         }
@@ -203,22 +206,34 @@ pub const PAYLOAD_OFFSET: usize = 8 + 4 + 1 + 4;
 /// sender, length and payload all do).
 pub const COPY_OFFSET: usize = 8 + 4;
 
+/// Appends a frame's *body* — header plus length-prefixed payload,
+/// without any code redundancy — to `out`. This is the arena form: the
+/// payload is encoded straight into `out` after a zero length prefix
+/// that is backfilled once its length is known, so no intermediate
+/// buffer exists.
+pub fn encode_body_into<M: WireMessage>(frame: &Frame<M>, out: &mut BytesMut) {
+    out.put_u64_le(frame.round);
+    out.put_u32_le(frame.sender);
+    out.put_u8(frame.copy);
+    let len_at = out.len();
+    out.put_u32_le(0); // placeholder, backfilled below
+    frame.msg.encode(out);
+    let payload_len = (out.len() - len_at - 4) as u32;
+    out[len_at..len_at + 4].copy_from_slice(&payload_len.to_le_bytes());
+}
+
 /// Encodes a frame's *body*: header plus length-prefixed payload,
 /// without any code redundancy.
 pub fn encode_body<M: WireMessage>(frame: &Frame<M>) -> Vec<u8> {
     let mut buf = BytesMut::with_capacity(32);
-    buf.put_u64_le(frame.round);
-    buf.put_u32_le(frame.sender);
-    buf.put_u8(frame.copy);
-    // Length prefix for the payload.
-    let mut payload = BytesMut::new();
-    frame.msg.encode(&mut payload);
-    buf.put_u32_le(payload.len() as u32);
-    buf.put_slice(&payload);
+    encode_body_into(frame, &mut buf);
     buf.to_vec()
 }
 
-/// Parses a frame from a decoded body (no code trailer expected).
+/// Parses a frame from a decoded body (no code trailer expected). The
+/// parse borrows `body` throughout — only the message's own fields are
+/// materialized — so feeding it a view into a decoded wire image costs
+/// no copy.
 ///
 /// # Errors
 ///
@@ -227,7 +242,7 @@ pub fn decode_body<M: WireMessage>(body: &[u8]) -> Result<Frame<M>, CodecError> 
     if body.len() < PAYLOAD_OFFSET {
         return Err(CodecError::Truncated);
     }
-    let mut buf = Bytes::copy_from_slice(body);
+    let mut buf = body;
     let round = buf.get_u64_le();
     let sender = buf.get_u32_le();
     let copy = buf.get_u8();

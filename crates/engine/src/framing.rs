@@ -16,12 +16,13 @@ use crate::codec::{
     decode_body, decode_frame_tagged, encode_body, encode_frame_tagged_advert, encode_frame_with,
     Frame, WireMessage,
 };
-use heardof_coding::DecodeScan;
+use bytes::BytesMut;
 use heardof_coding::{
     AdaptiveController, ChannelCode, CodeBook, CodeSpec, RoundTally, RungAdvert, SwitchCause,
     SymbolBudget,
 };
 use heardof_telemetry::{pack_rung_switch, Event, EventKind, Telemetry};
+use std::borrow::Cow;
 use std::sync::Arc;
 
 /// What [`Framing::decode_scan`] saw in one wire arrival: the decoded
@@ -52,6 +53,19 @@ pub struct FrameScan<M> {
 pub struct RawScan {
     /// `(image, repaired, advert)` when the code delivered the wire.
     pub image: Option<(Vec<u8>, bool, Option<RungAdvert>)>,
+    /// Block-level repairs observed while scanning, delivered or not.
+    pub repairs: usize,
+}
+
+/// The borrowed form of [`RawScan`]: on codes that decode in place
+/// (`none`, `checksum*`) the image stays a slice of the arriving wire
+/// bytes — the receive path's zero-copy fast lane. Everything else is
+/// identical to [`Framing::decode_raw_scan`].
+#[derive(Clone, Debug)]
+pub struct RawScanView<'a> {
+    /// `(image, repaired, advert)` when the code delivered the wire,
+    /// with the image borrowed from the wire when the code allows.
+    pub image: Option<(Cow<'a, [u8]>, bool, Option<RungAdvert>)>,
     /// Block-level repairs observed while scanning, delivered or not.
     pub repairs: usize,
 }
@@ -219,27 +233,17 @@ impl Framing {
     /// identical to [`ChannelCode::decode_repaired`]); only the
     /// evidence is new.
     pub fn decode_scan<M: WireMessage>(&self, bytes: &[u8]) -> FrameScan<M> {
-        match &self.mode {
-            Mode::Fixed { code, .. } => {
-                let DecodeScan { outcome, repairs } = code.decode_scanned(bytes);
-                let frame = match outcome {
-                    Ok((body, repaired)) => {
-                        decode_body(&body).ok().map(|frame| (frame, repaired, None))
-                    }
-                    Err(_) => None,
-                };
-                FrameScan { frame, repairs }
-            }
-            Mode::Adaptive { book, .. } => {
-                let (outcome, repairs) = book.decode_tagged_scanned(bytes);
-                let frame = outcome.ok().and_then(|t| {
-                    decode_body(&t.body)
-                        .ok()
-                        .map(|frame| (frame, t.repaired, t.advert))
-                });
-                FrameScan { frame, repairs }
-            }
-        }
+        // Rides the borrowed raw path: on in-place codes the frame
+        // header and message parse straight out of the arriving wire
+        // bytes, so a cheap-rung ingest allocates only what the decoded
+        // message itself owns.
+        let RawScanView { image, repairs } = self.decode_raw_view(bytes);
+        let frame = image.and_then(|(body, repaired, advert)| {
+            decode_body(&body)
+                .ok()
+                .map(|frame| (frame, repaired, advert))
+        });
+        FrameScan { frame, repairs }
     }
 
     /// Encodes an opaque body under the framing in force — the mux
@@ -252,6 +256,20 @@ impl Framing {
             Mode::Fixed { code, .. } => code.encode(body),
             Mode::Adaptive { book, controller } => {
                 book.encode_tagged_advert(controller.code_id(), controller.advert(), body)
+            }
+        }
+    }
+
+    /// The arena form of [`Framing::encode_raw`]: appends the wire
+    /// image to `out` instead of allocating a fresh `Vec`. A caller
+    /// that clears and reuses `out` round-to-round stops touching the
+    /// allocator once the buffer is warm — on cheap rungs the whole
+    /// send path is then allocation-free.
+    pub fn encode_raw_into(&self, body: &[u8], out: &mut BytesMut) {
+        match &self.mode {
+            Mode::Fixed { code, .. } => code.encode_into(body, out),
+            Mode::Adaptive { book, controller } => {
+                book.encode_tagged_advert_into(controller.code_id(), controller.advert(), body, out)
             }
         }
     }
@@ -271,20 +289,55 @@ impl Framing {
         }
     }
 
+    /// The arena form of [`Framing::encode_raw_with_budget`].
+    pub fn encode_raw_with_budget_into(
+        &self,
+        body: &[u8],
+        budget: SymbolBudget,
+        out: &mut BytesMut,
+    ) {
+        match &self.mode {
+            Mode::Fixed { code, .. } => code.encode_with_budget_into(body, budget, out),
+            Mode::Adaptive { book, controller } => book.encode_tagged_advert_budget_into(
+                controller.code_id(),
+                controller.advert(),
+                body,
+                budget,
+                out,
+            ),
+        }
+    }
+
     /// Decodes an opaque body (mux image) with repair-evidence
     /// scanning — [`Framing::decode_scan`] without the frame parse.
     pub fn decode_raw_scan(&self, bytes: &[u8]) -> RawScan {
+        let RawScanView { image, repairs } = self.decode_raw_view(bytes);
+        RawScan {
+            image: image.map(|(body, repaired, advert)| (body.into_owned(), repaired, advert)),
+            repairs,
+        }
+    }
+
+    /// The borrowed form of [`Framing::decode_raw_scan`]: identical
+    /// verdicts, but the delivered image stays a slice of `bytes` on
+    /// codes that decode in place — the receive hot path's zero-copy
+    /// lane, and the primitive [`Framing::decode_scan`] and the mux
+    /// ingest are built on.
+    pub fn decode_raw_view<'a>(&self, bytes: &'a [u8]) -> RawScanView<'a> {
         match &self.mode {
             Mode::Fixed { code, .. } => {
-                let DecodeScan { outcome, repairs } = code.decode_scanned(bytes);
-                RawScan {
-                    image: outcome.ok().map(|(body, repaired)| (body, repaired, None)),
-                    repairs,
+                let scan = code.decode_scanned_view(bytes);
+                RawScanView {
+                    image: scan
+                        .outcome
+                        .ok()
+                        .map(|(body, repaired)| (body, repaired, None)),
+                    repairs: scan.repairs,
                 }
             }
             Mode::Adaptive { book, .. } => {
-                let (outcome, repairs) = book.decode_tagged_scanned(bytes);
-                RawScan {
+                let (outcome, repairs) = book.decode_tagged_scanned_view(bytes);
+                RawScanView {
                     image: outcome.ok().map(|t| (t.body, t.repaired, t.advert)),
                     repairs,
                 }

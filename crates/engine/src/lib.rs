@@ -70,11 +70,12 @@ mod process;
 mod round;
 
 pub use codec::{
-    decode_body, decode_frame, decode_frame_tagged, decode_frame_with, encode_body, encode_frame,
-    encode_frame_tagged, encode_frame_tagged_budget, encode_frame_with, refresh_crc, CodecError,
-    Frame, TaggedFrame, WireMessage, COPY_OFFSET, PAYLOAD_OFFSET,
+    decode_body, decode_frame, decode_frame_tagged, decode_frame_with, encode_body,
+    encode_body_into, encode_frame, encode_frame_tagged, encode_frame_tagged_budget,
+    encode_frame_with, refresh_crc, CodecError, Frame, TaggedFrame, WireMessage, COPY_OFFSET,
+    PAYLOAD_OFFSET,
 };
-pub use framing::{FrameScan, Framing, RawScan};
+pub use framing::{FrameScan, Framing, RawScan, RawScanView};
 pub use mux::{MuxReport, MuxRoundEngine};
 pub use outcome::{OutcomeView, SubstrateOutcome};
 pub use process::ProcessCore;

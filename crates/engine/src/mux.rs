@@ -28,11 +28,12 @@
 //! [`RoundEngine`](crate::RoundEngine) is untouched, so existing runs
 //! are byte-identical.
 
-use crate::codec::{decode_body, encode_body, Frame, WireMessage};
+use crate::codec::{decode_body, encode_body_into, refresh_crc, Frame, WireMessage, COPY_OFFSET};
 use crate::framing::Framing;
 use crate::process::ProcessCore;
 use crate::round::{Ingest, Outgoing};
-use heardof_coding::{pack_slots, unpack_slots, CodeSpec, RoundTally, RungAdvert};
+use bytes::BytesMut;
+use heardof_coding::{pack_slots_into, unpack_slots_view, CodeSpec, RoundTally, RungAdvert};
 use heardof_model::{HoAlgorithm, ProcessId, ReceptionVector, Round};
 use heardof_telemetry::{Event, EventKind, Telemetry, NO_PEER};
 use std::collections::HashMap;
@@ -93,6 +94,16 @@ where
     codes: Vec<CodeSpec>,
     rounds_completed: u64,
     telemetry: Telemetry,
+    /// Reusable slot-body slab: per peer, every instance's frame body
+    /// is encoded back-to-back into this one buffer; after warm-up it
+    /// never grows again.
+    slot_arena: BytesMut,
+    /// `(start, end)` of each instance's body within the slab.
+    slot_ranges: Vec<(usize, usize)>,
+    /// Reusable packed mux image (the `pack_slots` output).
+    image_arena: Vec<u8>,
+    /// Reusable coded wire image.
+    wire_arena: BytesMut,
 }
 
 impl<A: HoAlgorithm> MuxRoundEngine<A>
@@ -146,6 +157,10 @@ where
             codes: Vec::new(),
             rounds_completed: 0,
             telemetry: Telemetry::null(),
+            slot_arena: BytesMut::new(),
+            slot_ranges: Vec::new(),
+            image_arena: Vec::new(),
+            wire_arena: BytesMut::new(),
         }
     }
 
@@ -197,11 +212,46 @@ where
     /// `copies`, unless a rateless budget folds them), self-delivery to
     /// every instance locally, early images drained into the round.
     ///
+    /// This is the owning convenience wrapper over
+    /// [`MuxRoundEngine::begin_round_with`], which hands out borrowed
+    /// wire images from a reusable arena instead of allocating a `Vec`
+    /// per image.
+    ///
     /// # Panics
     ///
     /// Panics if called past `max_rounds` or with the previous round
     /// still open.
     pub fn begin_round(&mut self) -> Vec<Outgoing> {
+        let mut outgoing = Vec::new();
+        self.begin_round_with(|dest, copy, bytes| {
+            outgoing.push(Outgoing {
+                dest,
+                copy,
+                bytes: bytes.to_vec(),
+            })
+        });
+        outgoing
+    }
+
+    /// [`MuxRoundEngine::begin_round`] in zero-copy form: every coded
+    /// image is handed to `emit(dest, copy, wire)` as a borrow of an
+    /// internal arena, valid only for the duration of the call.
+    ///
+    /// Per peer, all `k` instance bodies are encoded once into a slab,
+    /// packed once, and coded per copy; a retransmission copy patches
+    /// each slot's copy byte in the packed image and refreshes the mux
+    /// CRC trailer rather than re-encoding anything. Under a rateless
+    /// rung the symbol budget is additionally priced **per wire
+    /// image**: one pooled repair allowance for the whole batch
+    /// ([`SymbolBudget::for_batch`](heardof_coding::SymbolBudget::for_batch)),
+    /// sublinear in `k`, instead of `k` independent per-instance
+    /// allowances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called past `max_rounds` or with the previous round
+    /// still open.
+    pub fn begin_round_with(&mut self, mut emit: impl FnMut(u32, u8, &[u8])) {
         assert_eq!(
             self.round, self.rounds_completed,
             "previous round still open — call finish_round first"
@@ -215,10 +265,10 @@ where
         let k = self.cores.len();
         self.codes.push(self.framing.current_spec());
         self.rx = (0..k).map(|_| ReceptionVector::new(n)).collect();
-        self.kept_this_round = Vec::new();
+        self.kept_this_round.clear();
         self.corrected_this_round = 0;
         self.evidence_this_round = 0;
-        self.ads_this_round = Vec::new();
+        self.ads_this_round.clear();
 
         // Self-delivery: local, never on the wire, one image's worth of
         // bookkeeping for all instances at once.
@@ -235,13 +285,15 @@ where
             value: 0,
         });
 
-        // Same copies shim as the single-instance engine: a rateless
+        // Same copies shim as the single-instance engine — a rateless
         // rung folds whole-image retransmissions into extra repair
-        // symbols on the single image actually sent.
+        // symbols — then the batch axis: one image protects `k`
+        // instances at once, so its repair pool is negotiated for the
+        // batch rather than multiplied by it.
         let budget = self
             .framing
             .symbol_budget()
-            .map(|b| b.fold_copies(self.copies));
+            .map(|b| b.fold_copies(self.copies).for_batch(k));
         let copies_out = if budget.is_some() { 1 } else { self.copies };
         if budget.is_some() && self.copies > 1 {
             self.telemetry.emit(Event::local(
@@ -251,51 +303,67 @@ where
                 self.copies as u64,
             ));
         }
-        let mut outgoing = Vec::with_capacity((n - 1) * copies_out as usize);
+        let mut slab = std::mem::take(&mut self.slot_arena);
+        let mut ranges = std::mem::take(&mut self.slot_ranges);
+        let mut image = std::mem::take(&mut self.image_arena);
+        let mut wire = std::mem::take(&mut self.wire_arena);
         for q in 0..n as u32 {
             if q == me.as_u32() {
                 continue;
             }
-            let msgs: Vec<A::Msg> = self
-                .cores
+            slab.clear();
+            ranges.clear();
+            for core in &self.cores {
+                let start = slab.len();
+                encode_body_into(
+                    &Frame {
+                        round: r,
+                        sender: me.as_u32(),
+                        copy: 0,
+                        msg: core.send_to(round, ProcessId::new(q)),
+                    },
+                    &mut slab,
+                );
+                ranges.push((start, slab.len()));
+            }
+            let slots: Vec<(u32, &[u8])> = ranges
                 .iter()
-                .map(|c| c.send_to(round, ProcessId::new(q)))
+                .enumerate()
+                .map(|(i, &(start, end))| (i as u32, &slab[start..end]))
                 .collect();
+            pack_slots_into(&slots, &mut image);
             for copy in 0..copies_out {
-                let slots: Vec<(u32, Vec<u8>)> = msgs
-                    .iter()
-                    .enumerate()
-                    .map(|(i, msg)| {
-                        (
-                            i as u32,
-                            encode_body(&Frame {
-                                round: r,
-                                sender: me.as_u32(),
-                                copy,
-                                msg: msg.clone(),
-                            }),
-                        )
-                    })
-                    .collect();
-                let image = pack_slots(&slots);
-                let bytes = match budget {
-                    Some(b) => self.framing.encode_raw_with_budget(&image, b),
-                    None => self.framing.encode_raw(&image),
-                };
-                outgoing.push(Outgoing {
-                    dest: q,
-                    copy,
-                    bytes,
-                });
+                if copy > 0 {
+                    // Identical image apart from each slot's copy byte:
+                    // patch in place and refresh the CRC trailer.
+                    let mut at = 1;
+                    for &(start, end) in &ranges {
+                        at += 6;
+                        image[at + COPY_OFFSET] = copy;
+                        at += end - start;
+                    }
+                    refresh_crc(&mut image);
+                }
+                wire.clear();
+                match budget {
+                    Some(b) => self
+                        .framing
+                        .encode_raw_with_budget_into(&image, b, &mut wire),
+                    None => self.framing.encode_raw_into(&image, &mut wire),
+                }
+                emit(q, copy, &wire);
             }
         }
+        self.slot_arena = slab;
+        self.slot_ranges = ranges;
+        self.image_arena = image;
+        self.wire_arena = wire;
 
         if let Some(images) = self.future.remove(&r) {
             for (sender, copy, repaired, advert, msgs) in images {
                 self.keep_image(sender, copy, repaired, advert, msgs);
             }
         }
-        outgoing
     }
 
     /// First valid image per sender wins — wire-level dedupe, exactly
@@ -357,8 +425,10 @@ where
             Ingest::Garbage
         };
         // Code layer: rejected images keep their repair evidence, same
-        // rule as `RoundEngine::ingest`.
-        let scan = self.framing.decode_raw_scan(bytes);
+        // rule as `RoundEngine::ingest`. The view decode borrows the
+        // input on detection-only rungs — no copy of the image is made
+        // unless a correcting code actually rewrote bytes.
+        let scan = self.framing.decode_raw_view(bytes);
         let Some((image, repaired, advert)) = scan.image else {
             self.evidence_this_round += usize::from(scan.repairs > 0);
             self.telemetry.emit(Event {
@@ -372,8 +442,9 @@ where
         };
         // Mux layer: the image is self-checking — a miscorrection that
         // survived the code and landed in a slot header fails the parse
-        // or the CRC trailer here, and the image is dropped whole.
-        let Ok(slots) = unpack_slots(&image) else {
+        // or the CRC trailer here, and the image is dropped whole. The
+        // slot view walks the image in place; slot bodies are borrowed.
+        let Ok(slots) = unpack_slots_view(&image) else {
             self.evidence_this_round += usize::from(scan.repairs > 0);
             self.telemetry.emit(Event {
                 round: self.round,
@@ -392,11 +463,11 @@ where
         }
         let mut msgs = Vec::with_capacity(k);
         let mut header: Option<(u64, u32, u8)> = None;
-        for (i, (id, body)) in slots.into_iter().enumerate() {
+        for (i, (id, body)) in slots.iter().enumerate() {
             if id != i as u32 {
                 return garbage(self, id as u64);
             }
-            let Ok(frame) = decode_body::<A::Msg>(&body) else {
+            let Ok(frame) = decode_body::<A::Msg>(body) else {
                 return garbage(self, i as u64);
             };
             let h = (frame.round, frame.sender, frame.copy);
@@ -548,12 +619,17 @@ mod tests {
                 )
             })
             .collect();
+        // One wire buffer for the whole run: inner vectors are cleared
+        // per round, not reallocated.
+        let mut wires: Vec<Vec<Vec<u8>>> = vec![Vec::new(); n];
         for _ in 0..rounds {
-            let mut wires: Vec<Vec<Vec<u8>>> = vec![Vec::new(); n];
+            for inbox in wires.iter_mut() {
+                inbox.clear();
+            }
             for engine in engines.iter_mut() {
-                for out in engine.begin_round() {
-                    wires[out.dest as usize].push(out.bytes);
-                }
+                engine.begin_round_with(|dest, _copy, bytes| {
+                    wires[dest as usize].push(bytes.to_vec());
+                });
             }
             for (p, engine) in engines.iter_mut().enumerate() {
                 for bytes in &wires[p] {

@@ -31,9 +31,10 @@
 //! that is what makes a threaded substrate, a cooperative async
 //! substrate, and the lockstep simulator bit-for-bit comparable.
 
-use crate::codec::{Frame, WireMessage};
+use crate::codec::{encode_body_into, Frame, WireMessage, COPY_OFFSET};
 use crate::framing::Framing;
 use crate::process::ProcessCore;
+use bytes::BytesMut;
 use heardof_coding::{CodeSpec, RoundTally, RungAdvert};
 use heardof_model::{HoAlgorithm, ProcessId, ReceptionVector, Round};
 use heardof_telemetry::{Event, EventKind, Telemetry, NO_PEER};
@@ -140,6 +141,12 @@ where
     /// Engine-plane event sink (null by default; see
     /// [`RoundEngine::with_telemetry`]).
     telemetry: Telemetry,
+    /// Reusable frame-body arena: after the first round it never grows
+    /// again (bodies are the same shape every round), so the steady
+    /// state allocates nothing per frame.
+    body_arena: BytesMut,
+    /// Reusable wire-image arena, same steady-state story.
+    wire_arena: BytesMut,
 }
 
 impl<A: HoAlgorithm> RoundEngine<A>
@@ -178,6 +185,8 @@ where
             codes: Vec::new(),
             rounds_completed: 0,
             telemetry: Telemetry::null(),
+            body_arena: BytesMut::new(),
+            wire_arena: BytesMut::new(),
         }
     }
 
@@ -225,11 +234,43 @@ where
     /// corrupted), drains early arrivals buffered for this round, and
     /// returns the coded frames the substrate must transmit.
     ///
+    /// This is the owning convenience wrapper over
+    /// [`RoundEngine::begin_round_with`]; substrates that copy frames
+    /// into their own transport buffers anyway should prefer the
+    /// closure form, which hands out borrowed wire images from a
+    /// reusable arena instead of allocating a `Vec` per frame.
+    ///
     /// # Panics
     ///
     /// Panics if called past `max_rounds` or with the previous round
     /// still open.
     pub fn begin_round(&mut self) -> Vec<Outgoing> {
+        let mut outgoing = Vec::new();
+        self.begin_round_with(|dest, copy, bytes| {
+            outgoing.push(Outgoing {
+                dest,
+                copy,
+                bytes: bytes.to_vec(),
+            })
+        });
+        outgoing
+    }
+
+    /// [`RoundEngine::begin_round`] in zero-copy form: every coded
+    /// frame is handed to `emit(dest, copy, wire)` as a borrow of an
+    /// internal arena that is reused across frames and rounds. The
+    /// borrow is valid only for the duration of the call — a substrate
+    /// copies it onto the wire (or into its transport buffer) and
+    /// returns. Frame bodies are encoded once per peer; retransmission
+    /// copies only patch the copy byte before re-coding, so the
+    /// per-round cost is `(n−1)` body encodes and `(n−1)·copies` code
+    /// passes with no per-frame heap allocation on the engine side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called past `max_rounds` or with the previous round
+    /// still open.
+    pub fn begin_round_with(&mut self, mut emit: impl FnMut(u32, u8, &[u8])) {
         assert_eq!(
             self.round, self.rounds_completed,
             "previous round still open — call finish_round first"
@@ -242,10 +283,10 @@ where
         let n = self.core.n();
         self.codes.push(self.framing.current_spec());
         self.rx = ReceptionVector::new(n);
-        self.kept_this_round = Vec::new();
+        self.kept_this_round.clear();
         self.corrected_this_round = 0;
         self.evidence_this_round = 0;
-        self.ads_this_round = Vec::new();
+        self.ads_this_round.clear();
 
         // Self-delivery first: local, never dropped, never corrupted.
         let own = self.core.send_to(round, me);
@@ -279,30 +320,37 @@ where
                 self.copies as u64,
             ));
         }
-        let mut outgoing = Vec::with_capacity((n - 1) * copies_out as usize);
+        let mut body = std::mem::take(&mut self.body_arena);
+        let mut wire = std::mem::take(&mut self.wire_arena);
         for q in 0..n as u32 {
             if q == me.as_u32() {
                 continue;
             }
             let msg = self.core.send_to(round, ProcessId::new(q));
-            for copy in 0..copies_out {
-                let frame = Frame {
+            body.clear();
+            encode_body_into(
+                &Frame {
                     round: r,
                     sender: me.as_u32(),
-                    copy,
-                    msg: msg.clone(),
-                };
-                let bytes = match budget {
-                    Some(b) => self.framing.encode_with_budget(&frame, b),
-                    None => self.framing.encode(&frame),
-                };
-                outgoing.push(Outgoing {
-                    dest: q,
-                    copy,
-                    bytes,
-                });
+                    copy: 0,
+                    msg,
+                },
+                &mut body,
+            );
+            for copy in 0..copies_out {
+                body[COPY_OFFSET] = copy;
+                wire.clear();
+                match budget {
+                    Some(b) => self
+                        .framing
+                        .encode_raw_with_budget_into(&body, b, &mut wire),
+                    None => self.framing.encode_raw_into(&body, &mut wire),
+                }
+                emit(q, copy, &wire);
             }
         }
+        self.body_arena = body;
+        self.wire_arena = wire;
 
         // Early arrivals buffered for this round enter ahead of
         // whatever the substrate ingests next.
@@ -311,7 +359,6 @@ where
                 self.keep(frame, repaired, advert);
             }
         }
-        outgoing
     }
 
     /// First valid frame per sender wins; repairs and rung
@@ -435,13 +482,14 @@ where
         let n = self.core.n();
         self.core.transition(Round::new(r), &self.rx);
 
+        // `keep` admits at most one frame per sender (first valid
+        // wins), so the kept log is already distinct by sender — a
+        // plain count is the peer-delivery tally, no set needed.
         let delivered_peers = self
             .kept_this_round
             .iter()
             .filter(|(sender, _)| *sender != me)
-            .map(|(sender, _)| *sender)
-            .collect::<std::collections::HashSet<_>>()
-            .len();
+            .count();
         let before = self.framing.current_spec();
         let mut ads = std::mem::take(&mut self.ads_this_round);
         ads.sort_by_key(|(sender, _)| *sender);
@@ -514,12 +562,18 @@ mod tests {
                 )
             })
             .collect();
+        // One wire buffer for the whole run: per round the inner
+        // vectors are cleared, not reallocated, and the engines emit
+        // borrowed frames straight into them.
+        let mut wires: Vec<Vec<Vec<u8>>> = vec![Vec::new(); n];
         for _ in 0..rounds {
-            let mut wires: Vec<Vec<Vec<u8>>> = vec![Vec::new(); n];
+            for inbox in wires.iter_mut() {
+                inbox.clear();
+            }
             for engine in engines.iter_mut() {
-                for out in engine.begin_round() {
-                    wires[out.dest as usize].push(out.bytes);
-                }
+                engine.begin_round_with(|dest, _copy, bytes| {
+                    wires[dest as usize].push(bytes.to_vec());
+                });
             }
             for (p, engine) in engines.iter_mut().enumerate() {
                 for bytes in &wires[p] {

@@ -328,9 +328,11 @@ where
             break;
         }
 
-        for out in engine.begin_round() {
-            links[link_index(out.dest, pid)].send(r, out.copy, out.bytes);
-        }
+        // The engine emits borrowed wire images; the one owned copy is
+        // made here, at the link boundary.
+        engine.begin_round_with(|dest, copy, bytes| {
+            links[link_index(dest, pid)].send(r, copy, bytes.to_vec());
+        });
 
         let deadline = Instant::now() + config.round_timeout;
         while config.lockstep || !engine.round_complete() {
@@ -386,10 +388,12 @@ where
             break;
         }
 
-        // --- Send phase: the engine emits, the links corrupt. ---
-        for out in engine.begin_round() {
-            links[link_index(out.dest, pid)].send(r, out.copy, out.bytes);
-        }
+        // --- Send phase: the engine emits, the links corrupt. The
+        // engine hands out borrowed wire images; the one owned copy is
+        // made here, at the link boundary. ---
+        engine.begin_round_with(|dest, copy, bytes| {
+            links[link_index(dest, pid)].send(r, copy, bytes.to_vec());
+        });
 
         // --- Collect phase: ingest until the round is complete or the
         // timeout fires. Lockstep runs wait out the full window even

@@ -1,21 +1,24 @@
 #!/usr/bin/env bash
-# Throughput regression gate for the bitsliced Hamming(8,4) hot path.
+# Throughput regression gate for the frame pipeline's hot-path kernels.
 #
 # Usage: check-bench-regression.sh <committed.json> <fresh.json>
 #
 # Both files are `heardof-bench-report/v1` reports (one metric per
-# line, so plain grep/awk suffice — no JSON tooling in the gate). The
-# gated quantity is the *speedup ratio*, not raw nanoseconds: the ratio
-# compares the bitsliced kernel against its scalar oracle on the same
-# machine in the same run, so it survives a CI runner change where
-# absolute timings would not.
+# line, one claim per line, so plain grep/awk suffice — no JSON
+# tooling in the gate). The gate iterates every metric/claim pair
+# instead of hard-coding one headline:
 #
-# The gate fails when either
-#   * the fresh report's own claim no longer holds
-#     (speedup dropped below the committed 4x floor), or
-#   * fresh speedup < 0.9 x committed speedup
-#     (a >10% regression of the bitsliced kernel relative to the
-#     artifact this branch ships).
+#   * every claim in the fresh report must hold (each `"holds": false`
+#     line is listed and fails the gate — `claim_holds` is their
+#     conjunction, so legacy consumers reading only the headline still
+#     gate everything);
+#   * every `*_speedup` ratio in the committed report must be
+#     reproduced within 10% (fresh >= 0.9 x committed) — ratios
+#     compare a kernel against its own baseline on the same machine in
+#     the same run, so they survive a CI runner change where absolute
+#     nanoseconds would not;
+#   * every `*alloc*` count must not grow (fresh <= committed) —
+#     allocation counts are exact and machine-independent.
 set -euo pipefail
 
 if [ "$#" -ne 2 ]; then
@@ -39,6 +42,15 @@ metric() {
   echo "$value"
 }
 
+# Lists the metric names of one kind committed in a report: the gate
+# iterates whatever the artifact ships rather than a hard-coded set,
+# so a bench that adds a metric extends the gate automatically.
+metric_names() {
+  local file="$1" pattern="$2"
+  sed -nE 's/^[[:space:]]*"([a-z0-9_]+)": [0-9.eE+-]+,?$/\1/p' "$file" \
+    | grep -E "$pattern" || true
+}
+
 for file in "$committed" "$fresh"; do
   if ! grep -q '"schema": "heardof-bench-report/v1"' "$file"; then
     echo "NOT A v1 BENCH REPORT: $file" >&2
@@ -46,24 +58,52 @@ for file in "$committed" "$fresh"; do
   fi
 done
 
-committed_speedup="$(metric "$committed" bitsliced_speedup)"
-fresh_speedup="$(metric "$fresh" bitsliced_speedup)"
+fail=0
 
-echo "committed bitsliced_speedup: ${committed_speedup}x"
-echo "fresh     bitsliced_speedup: ${fresh_speedup}x"
-
+# 1. Every claim the fresh run makes must hold on this runner.
+if grep -q '"holds": false' "$fresh"; then
+  echo "FAIL: claims not upheld by the fresh run:" >&2
+  grep '"holds": false' "$fresh" | sed -E 's/.*"claim": "([^"]*)".*/  - \1/' >&2
+  fail=1
+fi
+# Belt and braces for reports predating the claims array.
 if ! grep -q '"claim_holds": true' "$fresh"; then
-  echo "FAIL: the fresh report's own claim does not hold" \
-    "(bitsliced < 4x scalar on this runner)" >&2
-  exit 1
+  echo "FAIL: the fresh report's headline claim_holds is not true" >&2
+  fail=1
 fi
 
-awk -v fresh="$fresh_speedup" -v committed="$committed_speedup" 'BEGIN {
-  floor = committed * 0.9
-  printf "regression floor (90%% of committed): %.3fx\n", floor
-  if (fresh + 0 < floor) {
-    printf "FAIL: bitsliced kernel regressed >10%% vs the committed artifact\n" > "/dev/stderr"
-    exit 1
-  }
-  printf "OK: within 10%% of the committed ratio\n"
-}'
+# 2. Every committed speedup ratio must be reproduced within 10%.
+for name in $(metric_names "$committed" '_speedup$'); do
+  committed_value="$(metric "$committed" "$name")"
+  fresh_value="$(metric "$fresh" "$name")"
+  echo "committed $name: ${committed_value}x   fresh: ${fresh_value}x"
+  if ! awk -v fresh="$fresh_value" -v committed="$committed_value" -v name="$name" 'BEGIN {
+    floor = committed * 0.9
+    if (fresh + 0 < floor) {
+      printf "FAIL: %s regressed >10%% vs the committed artifact (floor %.3fx)\n", name, floor > "/dev/stderr"
+      exit 1
+    }
+  }'; then
+    fail=1
+  fi
+done
+
+# 3. Allocation counts are exact: the fresh run may not allocate more.
+for name in $(metric_names "$committed" 'alloc'); do
+  committed_value="$(metric "$committed" "$name")"
+  fresh_value="$(metric "$fresh" "$name")"
+  echo "committed $name: ${committed_value}   fresh: ${fresh_value}"
+  if ! awk -v fresh="$fresh_value" -v committed="$committed_value" -v name="$name" 'BEGIN {
+    if (fresh + 0 > committed + 0) {
+      printf "FAIL: %s grew vs the committed artifact\n", name > "/dev/stderr"
+      exit 1
+    }
+  }'; then
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+echo "OK: every claim holds, every ratio within 10%, no allocation growth"

@@ -8,7 +8,7 @@
 
 #![warn(rust_2018_idioms)]
 
-use std::ops::Deref;
+use std::ops::{Deref, DerefMut};
 
 /// Read-side cursor operations.
 pub trait Buf {
@@ -26,6 +26,13 @@ pub trait Buf {
 
     /// Reads a little-endian `i64`, advancing the cursor.
     fn get_i64_le(&mut self) -> i64;
+
+    /// Copies `dst.len()` bytes into `dst`, advancing the cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `dst.len()` bytes remain.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
 }
 
 /// Write-side append operations.
@@ -87,6 +94,29 @@ impl BytesMut {
     pub fn to_vec(&self) -> Vec<u8> {
         self.inner.clone()
     }
+
+    /// Empties the buffer, keeping its allocation — the arena reuse
+    /// primitive: a per-link buffer is cleared and refilled each round
+    /// without touching the allocator once warm.
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+
+    /// Reserves capacity for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.inner.reserve(additional);
+    }
+
+    /// Shortens the buffer to `len` bytes; no-op if already shorter.
+    pub fn truncate(&mut self, len: usize) {
+        self.inner.truncate(len);
+    }
+
+    /// Appends `n` copies of `val` — used to leave room for a length
+    /// prefix that is backfilled once the payload length is known.
+    pub fn put_bytes(&mut self, val: u8, n: usize) {
+        self.inner.resize(self.inner.len() + n, val);
+    }
 }
 
 impl Deref for BytesMut {
@@ -94,6 +124,12 @@ impl Deref for BytesMut {
 
     fn deref(&self) -> &[u8] {
         &self.inner
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
     }
 }
 
@@ -172,6 +208,45 @@ impl Deref for Bytes {
     }
 }
 
+/// The zero-copy reader: a plain byte slice is a cursor over borrowed
+/// data (the real `bytes` crate provides exactly this impl). Decoding
+/// from `&mut &[u8]` advances the slice in place and never copies.
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let (head, rest) = self.split_at(1);
+        *self = rest;
+        head[0]
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let (head, rest) = self.split_at(4);
+        *self = rest;
+        u32::from_le_bytes(head.try_into().expect("4 bytes"))
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let (head, rest) = self.split_at(8);
+        *self = rest;
+        u64::from_le_bytes(head.try_into().expect("8 bytes"))
+    }
+
+    fn get_i64_le(&mut self) -> i64 {
+        let (head, rest) = self.split_at(8);
+        *self = rest;
+        i64::from_le_bytes(head.try_into().expect("8 bytes"))
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        let (head, rest) = self.split_at(dst.len());
+        *self = rest;
+        dst.copy_from_slice(head);
+    }
+}
+
 impl Buf for Bytes {
     fn remaining(&self) -> usize {
         self.data.len() - self.pos
@@ -191,6 +266,10 @@ impl Buf for Bytes {
 
     fn get_i64_le(&mut self) -> i64 {
         i64::from_le_bytes(self.take(8).try_into().expect("8 bytes"))
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        dst.copy_from_slice(self.take(dst.len()));
     }
 }
 
