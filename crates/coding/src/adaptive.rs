@@ -58,7 +58,6 @@
 use crate::code::{ChannelCode, CodeError, CodeSpec, FrameOutcome};
 use bytes::{BufMut, BytesMut};
 use std::borrow::Cow;
-use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// The wire flag marking a gossip-tagged frame: set on the id byte, it
@@ -91,7 +90,7 @@ const EPOCH_MODULUS: u8 = 16;
 /// window (see [`RungAdvert::epoch_newer`]), so wraparound in long
 /// runs is harmless as long as gossiping controllers stay within half
 /// a window of each other — which the adoption rule itself guarantees.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RungAdvert {
     /// The advertised ladder rung (0 = cheapest; ladders gossiping on
     /// the wire are limited to 8 rungs).
@@ -139,7 +138,7 @@ impl RungAdvert {
 
 /// Configuration of the rung-gossip policy (see
 /// [`AdaptiveConfig::with_gossip`]).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct GossipConfig {
     /// How many distinct qualifying peer advertisements of the same
     /// rung are required before adopting a *newer-epoch* decision. Two
@@ -147,25 +146,50 @@ pub struct GossipConfig {
     /// never fake.
     pub quorum: usize,
     /// How many consecutive rounds a strict majority of peers must
-    /// advertise the same (different) rung before a controller holding
-    /// a minority position joins them — the escape hatch for a lone
-    /// leader whose own epoch is the group's newest and who therefore
-    /// never sees a "newer" decision to adopt.
+    /// advertise the same *lower* rung before a controller holding a
+    /// minority position descends to join them — the escape hatch for
+    /// a lone high leader whose own epoch is the group's newest and
+    /// who therefore never sees a "newer" decision to adopt. Joins are
+    /// descent-only: upward convergence belongs to epoch adoption and
+    /// the controller's own escalation (see the camp filter in the
+    /// gossip step for the calm-network livelock an upward join
+    /// causes).
     pub join_rounds: u8,
 }
+
+/// The default adoption quorum, derived by the `heardof-mc` parameter
+/// sweep rather than asserted: the smallest quorum whose full n=3
+/// product space (every per-link deliver/omit/forge interleaving) keeps
+/// all three safety predicates green. At quorum 1 a *single* forged
+/// parity-valid advertisement byte per round walks a controller's
+/// 4-bit epoch around the serial window and back onto a previously
+/// held (rung, epoch) pair — the epoch-cycle counterexample pinned in
+/// `tests/adaptive_conformance.rs`; at quorum 2 a forged advert must
+/// recruit a genuine qualifying co-voter on the same rung, which the
+/// sweep shows the adversary cannot sustain. (`crates/mc` gates this
+/// constant against drift from the sweep output.)
+pub const DERIVED_GOSSIP_QUORUM: usize = 2;
+
+/// The default majority-join stability requirement, derived by the same
+/// `heardof-mc` sweep: the smallest streak for which a transient
+/// phantom majority (one forged advert byte plus a genuine peer
+/// advertising the same rung) cannot move a controller in the full n=3
+/// space, while a standing split still heals within the reconvergence
+/// bound.
+pub const DERIVED_GOSSIP_JOIN_ROUNDS: u8 = 2;
 
 impl Default for GossipConfig {
     fn default() -> Self {
         GossipConfig {
-            quorum: 2,
-            join_rounds: 2,
+            quorum: DERIVED_GOSSIP_QUORUM,
+            join_rounds: DERIVED_GOSSIP_JOIN_ROUNDS,
         }
     }
 }
 
 /// What one receiver observed in one round, aggregated over the frames
 /// it expected from its peers.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub struct RoundTally {
     /// Frames expected this round (one per peer).
     pub expected: usize,
@@ -410,12 +434,34 @@ impl AdaptiveConfig {
         self
     }
 
+    /// [`AdaptiveConfig::with_gossip`] with an explicit
+    /// [`GossipConfig`] — the entry point the model checker's parameter
+    /// sweep uses to probe quorum/join points away from the derived
+    /// defaults (and to replay counterexamples found there through the
+    /// real substrates).
+    pub fn with_gossip_config(mut self, gossip: GossipConfig) -> Self {
+        self.gossip = Some(gossip);
+        self
+    }
+
     fn validate(&self) {
         assert!(
             !self.ladder.is_empty(),
             "the ladder needs at least one rung"
         );
         assert!(self.window >= 1, "the estimation window must be nonempty");
+        assert!(
+            self.window <= MAX_WINDOW,
+            "the estimation window must fit the heap-free tally ring \
+             (window {} > MAX_WINDOW {MAX_WINDOW})",
+            self.window
+        );
+        assert!(
+            self.ladder.len() <= 128,
+            "ladders share the 1-byte wire id space of CodeBook \
+             (1..=128 codes), got {}",
+            self.ladder.len()
+        );
         assert!(
             self.deescalate_at < self.escalate_at,
             "hysteresis requires deescalate_at < escalate_at \
@@ -531,36 +577,9 @@ impl SwitchCause {
 #[derive(Clone, Debug)]
 pub struct AdaptiveController {
     cfg: AdaptiveConfig,
-    rung: usize,
-    window: VecDeque<RoundTally>,
-    /// Smoothed-estimator state for (pressure, activity, corrected
-    /// rate) — the EWMA average or the CUSUM statistics, depending on
-    /// the configured mode; `None` until the first observation after
-    /// construction or a switch, so each rung's estimate is seeded from
-    /// its own first round — the smoothed analogue of clearing the
-    /// window.
-    est: Option<(f64, f64, f64)>,
-    /// The gossip switch epoch (modulo 16) of this controller's
-    /// *current rung decision*: a Lamport-style logical clock — every
-    /// self-decided switch stamps itself one past the newest epoch this
-    /// controller has seen ([`AdaptiveController::latest_epoch`]), so a
-    /// fresh decision anywhere in the group reads as *newer* to every
-    /// peer regardless of how many times each controller has switched
-    /// before. Synchronized to the adopted advertisement on gossip
-    /// adoption. Maintained even with gossip off (it is a pure function
-    /// of the observation sequence either way); only advertised when
-    /// [`AdaptiveConfig::gossip`] is set.
-    epoch: u8,
-    /// The newest epoch seen so far (serial max over own switches and
-    /// every in-ladder advertisement) — the logical-clock frontier that
-    /// the next self-decided switch stamps itself past.
-    latest_epoch: u8,
-    /// Majority-join bookkeeping: the rung a strict majority of peers
-    /// advertised last round and for how many consecutive rounds, when
-    /// it differs from this controller's own.
-    majority_seen: Option<(u8, u8)>,
-    rounds_since_switch: u64,
-    calm_streak: u64,
+    /// The pure decision state [`step`] evolves — everything a replica
+    /// needs to make the same decisions, nothing more.
+    state: CtlState,
     rounds_observed: u64,
     switches: usize,
     /// Why the most recent switch happened (`None` until the first).
@@ -568,6 +587,593 @@ pub struct AdaptiveController {
     /// Rounds in which gossip was considered but declined because this
     /// controller sits pinned on the last-resort rung.
     pins: u64,
+}
+
+/// Capacity of the heap-free tally ring inside [`CtlState`];
+/// [`AdaptiveConfig::window`] must fit (configuration validation
+/// enforces it). Eight covers every shipped preset with room to spare
+/// while keeping the state `Copy` and cheap to hash — which is what
+/// lets the exhaustive model checker (`heardof-mc`) dedup visited
+/// product states by value.
+pub const MAX_WINDOW: usize = 8;
+
+/// The last [`AdaptiveConfig::window`] round tallies as a
+/// fixed-capacity ring: the heap-free replacement for the controller's
+/// old `VecDeque`, so the whole decision state is `Copy + Eq + Hash`.
+/// Slots past [`TallyWindow::len`] are always zeroed, making structural
+/// equality coincide with state equality.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TallyWindow {
+    len: u8,
+    slots: [RoundTally; MAX_WINDOW],
+}
+
+impl TallyWindow {
+    const EMPTY_SLOT: RoundTally = RoundTally {
+        expected: 0,
+        delivered: 0,
+        corrected: 0,
+        value_faults: 0,
+        evidence: 0,
+    };
+
+    /// The empty window.
+    pub const fn empty() -> Self {
+        TallyWindow {
+            len: 0,
+            slots: [Self::EMPTY_SLOT; MAX_WINDOW],
+        }
+    }
+
+    /// Appends one round, evicting the oldest once `cap` rounds are
+    /// held. Public so the model checker can rebuild a window from its
+    /// packed node encoding; [`step`] is the only production caller.
+    pub fn push(&mut self, tally: RoundTally, cap: usize) {
+        debug_assert!((1..=MAX_WINDOW).contains(&cap));
+        if (self.len as usize) >= cap.min(MAX_WINDOW) {
+            self.slots.copy_within(1..self.len as usize, 0);
+            self.slots[self.len as usize - 1] = tally;
+        } else {
+            self.slots[self.len as usize] = tally;
+            self.len += 1;
+        }
+    }
+
+    /// Drops every held round (see [`TallyWindow::push`] on why this
+    /// is public).
+    pub fn clear(&mut self) {
+        *self = Self::empty();
+    }
+
+    /// Rounds currently held.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// `true` when no rounds are held.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates the held tallies, oldest first.
+    pub fn iter(&self) -> std::slice::Iter<'_, RoundTally> {
+        self.slots[..self.len as usize].iter()
+    }
+}
+
+/// Smoothed-estimator state: the EWMA averages or CUSUM statistics for
+/// (pressure, activity, corrected rate), depending on the configured
+/// [`PressureEstimator`]. Equality and hashing are bitwise over the
+/// IEEE representations — the estimator is a deterministic function of
+/// the observation sequence, so bit-equality is exactly the "same
+/// state" relation conformance and model checking need.
+#[derive(Clone, Copy, Debug)]
+pub struct EstState {
+    /// Smoothed fault-pressure estimate.
+    pub pressure: f64,
+    /// Smoothed channel-activity estimate.
+    pub activity: f64,
+    /// Smoothed corrected-rate estimate.
+    pub corrected: f64,
+}
+
+impl PartialEq for EstState {
+    fn eq(&self, other: &Self) -> bool {
+        self.pressure.to_bits() == other.pressure.to_bits()
+            && self.activity.to_bits() == other.activity.to_bits()
+            && self.corrected.to_bits() == other.corrected.to_bits()
+    }
+}
+
+impl Eq for EstState {}
+
+impl std::hash::Hash for EstState {
+    fn hash<H: std::hash::Hasher>(&self, h: &mut H) {
+        self.pressure.to_bits().hash(h);
+        self.activity.to_bits().hash(h);
+        self.corrected.to_bits().hash(h);
+    }
+}
+
+/// The complete decision state of one controller: a plain `Copy` value
+/// with no heap behind it, evolved exclusively by the pure [`step`]
+/// function. The simulator, the threaded runtime, the async runtime
+/// (all via [`AdaptiveController`]) and the exhaustive model checker
+/// (`heardof-mc`, which hashes these by value to dedup its search)
+/// drive the *same* transition — there is no second implementation to
+/// drift.
+///
+/// Two clocks are deliberately saturating at exactly the bound their
+/// guard reads, which keeps the reachable state space finite without
+/// changing any decision:
+/// [`CtlState::rounds_since_switch`] caps at `min_dwell + 1` (only ever
+/// compared `<= min_dwell`) and [`CtlState::calm_streak`] caps at
+/// `cooldown` (only ever compared `>= cooldown`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CtlState {
+    /// The current ladder rung (0 = cheapest).
+    pub rung: u8,
+    /// The gossip switch epoch (modulo 16) of this controller's
+    /// *current rung decision*: a Lamport-style logical clock — every
+    /// self-decided switch stamps itself one past the newest epoch this
+    /// controller has seen ([`CtlState::latest_epoch`]), so a fresh
+    /// decision anywhere in the group reads as *newer* to every peer
+    /// regardless of how many times each controller has switched
+    /// before. Synchronized to the adopted advertisement on gossip
+    /// adoption. Maintained even with gossip off (it is a pure function
+    /// of the observation sequence either way); only advertised when
+    /// [`AdaptiveConfig::gossip`] is set.
+    pub epoch: u8,
+    /// The newest epoch seen so far (serial max over own switches and
+    /// every in-ladder advertisement) — the logical-clock frontier that
+    /// the next self-decided switch stamps itself past.
+    pub latest_epoch: u8,
+    /// Majority-join bookkeeping: the rung a strict majority of peers
+    /// advertised last round and for how many consecutive rounds, when
+    /// it differs from this controller's own.
+    pub majority_seen: Option<(u8, u8)>,
+    /// Rounds since the last switch, saturating at
+    /// `min_dwell + 1` (the dwell guard reads `<= min_dwell`; nothing
+    /// reads past it).
+    pub rounds_since_switch: u64,
+    /// Consecutive calm rounds, saturating at `cooldown` (the release
+    /// guard reads `>= cooldown`; nothing reads past it).
+    pub calm_streak: u64,
+    /// The recent-round tally window the estimators read.
+    pub window: TallyWindow,
+    /// Smoothed-estimator state; `None` until the first observation
+    /// after construction or a switch, so each rung's estimate is
+    /// seeded from its own first round — the smoothed analogue of
+    /// clearing the window. Stays `None` in
+    /// [`PressureEstimator::Windowed`] mode.
+    pub est: Option<EstState>,
+}
+
+impl CtlState {
+    /// The start state for `cfg`: rung 0, epoch 0, and a dwell clock
+    /// born expired, so a burst in the very first window escalates
+    /// immediately.
+    pub fn initial(cfg: &AdaptiveConfig) -> Self {
+        CtlState {
+            rung: 0,
+            epoch: 0,
+            latest_epoch: 0,
+            majority_seen: None,
+            rounds_since_switch: cfg.min_dwell,
+            calm_streak: 0,
+            window: TallyWindow::empty(),
+            est: None,
+        }
+    }
+
+    /// Smoothed fault pressure under `cfg`'s estimator: the estimated
+    /// fraction of expected frames that fail to arrive intact — window
+    /// totals by default, the EWMA average or CUSUM statistic
+    /// otherwise.
+    pub fn pressure(&self, cfg: &AdaptiveConfig) -> f64 {
+        match cfg.estimator {
+            PressureEstimator::Windowed => self.windowed(|t| t.omissions() + t.value_faults),
+            _ => self.est.map_or(0.0, |e| e.pressure),
+        }
+    }
+
+    /// Smoothed channel activity (pressure plus repaired deliveries) —
+    /// what de-escalation waits on.
+    pub fn activity(&self, cfg: &AdaptiveConfig) -> f64 {
+        match cfg.estimator {
+            PressureEstimator::Windowed => {
+                self.windowed(|t| t.omissions() + t.corrected + t.value_faults + t.evidence)
+            }
+            _ => self.est.map_or(0.0, |e| e.activity),
+        }
+    }
+
+    /// Smoothed fraction of expected frames delivered *after repair* —
+    /// evidence the current rung is actively winning against the noise.
+    pub fn corrected_rate(&self, cfg: &AdaptiveConfig) -> f64 {
+        match cfg.estimator {
+            PressureEstimator::Windowed => self.windowed(|t| t.corrected),
+            _ => self.est.map_or(0.0, |e| e.corrected),
+        }
+    }
+
+    /// Window totals of `count` over expected frames.
+    fn windowed(&self, count: impl Fn(&RoundTally) -> usize) -> f64 {
+        let (mut expected, mut hits) = (0usize, 0usize);
+        for t in self.window.iter() {
+            expected += t.expected;
+            hits += count(t);
+        }
+        if expected == 0 {
+            0.0
+        } else {
+            hits as f64 / expected as f64
+        }
+    }
+
+    /// The `α` budget the windowed value-fault estimate demands at the
+    /// configured tail, via [`chernoff_alpha_for_mean`].
+    pub fn projected_alpha(&self, cfg: &AdaptiveConfig) -> u32 {
+        let rounds = self.window.len().max(1) as f64;
+        let mu = self.window.iter().map(|t| t.value_faults).sum::<usize>() as f64 / rounds;
+        chernoff_alpha_for_mean(mu, cfg.n, cfg.target_tail)
+    }
+
+    /// `true` when the projected demand fits the configured budget.
+    pub fn palpha_feasible(&self, cfg: &AdaptiveConfig) -> bool {
+        self.projected_alpha(cfg) <= cfg.alpha_budget
+    }
+}
+
+/// What one [`step`] decided.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct StepOutcome {
+    /// `Some(cause)` when the controller switched rungs this round (the
+    /// new rung is in the state); `None` when it held.
+    pub switched: Option<SwitchCause>,
+    /// `true` when gossip was considered but declined because the
+    /// controller sits pinned on the last-resort rung.
+    pub pinned: bool,
+}
+
+/// One round of the controller + gossip decision machine, as a pure
+/// function: fold one round's [`RoundTally`] and the peer
+/// advertisements heard on kept frames into `st`, returning what was
+/// decided. No heap, no clocks, no randomness — identical
+/// `(cfg, state, tally, ads)` yields identical successors on every
+/// substrate *and* inside the model checker, which is the point: the
+/// exhaustive search in `crates/mc` explores exactly the transition the
+/// production substrates execute.
+///
+/// Self-decided escalation and de-escalation run first; only when the
+/// controller holds does the gossip policy consider adopting a
+/// newer-epoch rung from a quorum of peers (no-op unless
+/// [`AdaptiveConfig::gossip`] is set).
+pub fn step(
+    cfg: &AdaptiveConfig,
+    st: &mut CtlState,
+    tally: RoundTally,
+    ads: &[RungAdvert],
+) -> StepOutcome {
+    st.rounds_since_switch = st
+        .rounds_since_switch
+        .saturating_add(1)
+        .min(cfg.min_dwell.saturating_add(1));
+    st.window.push(tally, cfg.window);
+    update_estimate(cfg, st, tally);
+    // Advance the logical-clock frontier over every in-ladder
+    // advertisement (adopted or not), so a self-decided switch below
+    // stamps itself past everything the group has decided.
+    for ad in ads {
+        if (ad.rung as usize) < cfg.ladder.len()
+            && RungAdvert::epoch_newer(ad.epoch, st.latest_epoch)
+        {
+            st.latest_epoch = ad.epoch;
+        }
+    }
+
+    // Calm means *no channel activity*, not just no losses: a rung
+    // that is silently repairing a burst is doing its job, and
+    // stepping down mid-burst is exactly the whipsaw an oscillating
+    // adversary wants.
+    if tally.activity() <= cfg.deescalate_at {
+        st.calm_streak = st.calm_streak.saturating_add(1).min(cfg.cooldown);
+    } else {
+        st.calm_streak = 0;
+    }
+
+    if st.rounds_since_switch <= cfg.min_dwell {
+        // The dwell clock gates only *self*-decided switches. Gossip
+        // adoption stays live: its rate is already bounded upstream —
+        // epochs only advance when some peer genuinely switches, and
+        // every such switch paid its own hysteresis. Dwell-gating
+        // adoption would recreate the very lag gossip exists to close
+        // (a laggard that took the one-rung step right before its
+        // peers severe-jumped would sit out the dwell on the wrong
+        // rung).
+        return gossip_step(cfg, st, ads);
+    }
+
+    let windowed = st.pressure(cfg);
+    // High pressure alone is not enough to climb: a rung that repairs
+    // at least half as many frames as it loses is still *coping* with
+    // the noise — escalating off it during a dip is the spurious
+    // switch statistical spikes would otherwise cause (and each rung
+    // up costs rate). Only when losses clearly outrun repairs is the
+    // rung beaten. The `P_α` projection overrides: leaked value
+    // faults always escalate.
+    let losing = windowed > cfg.escalate_at && windowed > 2.0 * st.corrected_rate(cfg);
+    if (losing || !st.palpha_feasible(cfg)) && (st.rung as usize) + 1 < cfg.ladder.len() {
+        // A hard burst — any window round with pressure past severe_at
+        // — jumps two rungs: the middle rung's per-block correction is
+        // already beaten, and its miscorrections would leak α while it
+        // dwells. Judging severity on the worst round (not the newest)
+        // keeps a burst that started mid-round from sneaking the
+        // controller onto the middle rung. The jump never lands on the
+        // final rung, though: the last resort is entered only
+        // single-step, after its predecessor demonstrably failed.
+        let severe = st
+            .window
+            .iter()
+            .map(RoundTally::pressure)
+            .fold(0.0, f64::max)
+            > cfg.severe_at;
+        let jump = if severe && (st.rung as usize) + 2 + 1 < cfg.ladder.len() {
+            2
+        } else {
+            1
+        };
+        st.rung += jump;
+        switch_self(st);
+        return StepOutcome {
+            switched: Some(SwitchCause::Escalate),
+            pinned: false,
+        };
+    }
+    if st.rung > 0 && st.calm_streak >= cfg.cooldown && st.activity(cfg) <= cfg.deescalate_at {
+        // A window with essentially zero activity releases two rungs
+        // at once (mirroring the severe jump up); residual activity
+        // steps down one rung at a time.
+        let jump = if st.activity(cfg) <= cfg.deescalate_at / 2.0 {
+            2
+        } else {
+            1
+        };
+        st.rung = st.rung.saturating_sub(jump);
+        switch_self(st);
+        return StepOutcome {
+            switched: Some(SwitchCause::Release),
+            pinned: false,
+        };
+    }
+    gossip_step(cfg, st, ads)
+}
+
+/// Folds one round's rates into the smoothed-estimator state (no-op in
+/// windowed mode).
+fn update_estimate(cfg: &AdaptiveConfig, st: &mut CtlState, tally: RoundTally) {
+    let (p, a) = (tally.pressure(), tally.activity());
+    let c = if tally.expected == 0 {
+        0.0
+    } else {
+        tally.corrected as f64 / tally.expected as f64
+    };
+    match cfg.estimator {
+        PressureEstimator::Windowed => {}
+        PressureEstimator::Ewma { lambda } => {
+            st.est = Some(match st.est {
+                None => EstState {
+                    pressure: p,
+                    activity: a,
+                    corrected: c,
+                },
+                Some(e) => EstState {
+                    pressure: e.pressure + lambda * (p - e.pressure),
+                    activity: e.activity + lambda * (a - e.activity),
+                    corrected: e.corrected + lambda * (c - e.corrected),
+                },
+            });
+        }
+        PressureEstimator::Cusum { drift, cap } => {
+            let fold = |s: f64, x: f64| (s + x - drift).clamp(0.0, cap);
+            let e = st.est.unwrap_or(EstState {
+                pressure: 0.0,
+                activity: 0.0,
+                corrected: 0.0,
+            });
+            st.est = Some(EstState {
+                pressure: fold(e.pressure, p),
+                activity: fold(e.activity, a),
+                corrected: fold(e.corrected, c),
+            });
+        }
+    }
+}
+
+/// The gossip adoption rule: among the round's advertisements, keep
+/// those naming a valid non-last-resort rung that is *newer* than this
+/// controller's own decision — a strictly newer epoch (serial
+/// comparison), or the same epoch with a higher rung (the tie-break
+/// that resolves simultaneous split decisions toward the safe,
+/// more-protected direction); pick the newest such advertisement;
+/// adopt only when a quorum of qualifying peers advertise that same
+/// rung.
+///
+/// Guards, in order of what they defend against:
+///
+/// * **in-ladder validation** — a corrupted advert byte can name rung
+///   0..=7 regardless of ladder length; out-of-ladder rungs never
+///   qualify;
+/// * **last-resort pin** — gossip neither adopts *into* the final rung
+///   (it is entered only single-step, after its predecessor
+///   demonstrably failed) nor moves a controller *off* it (descent
+///   from the brute-force rung stays calm-driven);
+/// * **serial epochs** — an advert whose epoch reads more than half
+///   the 4-bit window "ahead" is stale or forged and is ignored;
+/// * **the quorum** — one corrupted byte is one peer's voice; two
+///   independent links must agree byte-for-byte on rung and qualify on
+///   epoch in the same round to move a controller.
+fn gossip_step(cfg: &AdaptiveConfig, st: &mut CtlState, ads: &[RungAdvert]) -> StepOutcome {
+    const HOLD: StepOutcome = StepOutcome {
+        switched: None,
+        pinned: false,
+    };
+    let Some(gossip) = cfg.gossip else {
+        return HOLD;
+    };
+    let last = cfg.ladder.len() - 1;
+    if st.rung as usize == last {
+        // The last-resort pin, in both directions: gossip neither
+        // enters the brute-force rung (filtered below) nor leaves it —
+        // a controller that watched every cheaper rung fail descends
+        // on its own calm evidence, not on advertisements
+        // (`tests/gossip_faults.rs` blasts every forged byte value at
+        // a pinned controller to hold this line).
+        return StepOutcome {
+            switched: None,
+            pinned: !ads.is_empty(),
+        };
+    }
+    let newer_than_mine = |a: &RungAdvert| {
+        RungAdvert::epoch_newer(a.epoch, st.epoch) || (a.epoch == st.epoch && a.rung > st.rung)
+    };
+    let qualifies = |a: &RungAdvert| {
+        (a.rung as usize) < cfg.ladder.len() && (a.rung as usize) != last && newer_than_mine(a)
+    };
+    // Quorum first, newest second: tally the qualifying advertisements
+    // per rung and adopt the newest *quorum-backed* camp. Checking the
+    // quorum only against the single newest-epoch advertisement would
+    // let one lone — or one even-weight-forged, parity-passing — newer
+    // advert veto a camp that actually has the votes. (Qualifying
+    // rungs are in-ladder, and gossiping ladders hold ≤ 8 rungs.)
+    let mut votes = [0usize; 8];
+    for a in ads {
+        if qualifies(a) {
+            votes[a.rung as usize] += 1;
+        }
+    }
+    let mut best: Option<(u8, u8, u8)> = None; // (distance, rung, epoch)
+    for a in ads {
+        if !qualifies(a) || votes[a.rung as usize] < gossip.quorum {
+            continue;
+        }
+        let candidate = (
+            RungAdvert::epoch_distance(a.epoch, st.epoch),
+            a.rung,
+            a.epoch,
+        );
+        if best.is_none_or(|b| (b.0, b.1) < (candidate.0, candidate.1)) {
+            best = Some(candidate);
+        }
+    }
+    if let Some((_, rung, epoch)) = best {
+        // Synchronize the epoch either way, so the group converges on
+        // one (rung, epoch) pair and future comparisons stay aligned.
+        st.epoch = epoch % EPOCH_MODULUS;
+        if rung == st.rung {
+            st.majority_seen = None;
+            return HOLD; // already there: epoch sync, no switch
+        }
+        st.rung = rung;
+        switch_common(st);
+        return StepOutcome {
+            switched: Some(SwitchCause::Adopt),
+            pinned: false,
+        };
+    }
+    // Majority-join: the newest-decision rule cannot pull back a
+    // *lone* leader — its own epoch is the group's newest, so no
+    // advertisement ever reads as newer, and a rung escalated onto
+    // over a private noise spike is self-sustaining (its own repair
+    // activity pins it, and its peers' cheaper frames dying in a burst
+    // read to it as fresh pressure) while the majority sits calm rungs
+    // below. A controller that watches a strict majority of its peers
+    // advertise the same lower rung for `join_rounds` consecutive
+    // rounds therefore concedes and descends to them, whatever their
+    // epochs.
+    // The stability requirement — not the dwell clock, which a
+    // climbing leader resets on every step — is what distinguishes a
+    // standing split from a burst-onset transient (at onset, the
+    // majority reaches the leader's rung within a round and the streak
+    // never completes); the majority bar (> half the peers) is far
+    // above what one corrupted advertisement byte can fake. Joining
+    // *into* the last resort is excluded like everywhere else in
+    // gossip: the brute-force rung is entered only single-step, after
+    // its predecessor demonstrably failed (and left only on own calm
+    // evidence — the pin above).
+    let mut counts = [0usize; 8];
+    for a in ads {
+        if (a.rung as usize) < cfg.ladder.len() && (a.rung as usize) != last {
+            counts[a.rung as usize] += 1;
+        }
+    }
+    let majority = (cfg.n - 1) / 2 + 1;
+    // Deterministic scan: prefer the larger camp, ties toward the
+    // higher (safer) rung. Only camps *below* this controller qualify:
+    // the join exists to pull a lone high leader down to a standing
+    // calm majority. Upward convergence already has two owners —
+    // epoch adoption (a laggard's peers advertise strictly newer
+    // decisions) and the controller's own escalation (a channel that
+    // genuinely needs the higher rung shows it pressure) — and an
+    // upward join is actively harmful: the exhaustive checker
+    // (`heardof-mc`) found a calm-network livelock where the node
+    // that just released to rung 0 with the group's newest epoch was
+    // majority-joined back up to the camp its peers were themselves
+    // about to release out of, rotating [0, 1, 1] forever. Descent-only
+    // joins make the all-calm suffix from every reachable divergent
+    // state reconverge.
+    let camp = counts[..cfg.ladder.len()]
+        .iter()
+        .enumerate()
+        .max_by_key(|(r, c)| (**c, *r))
+        .filter(|(rung, &count)| count >= majority && *rung < st.rung as usize)
+        .map(|(rung, _)| rung as u8);
+    match camp {
+        Some(rung) => {
+            let streak = match st.majority_seen {
+                Some((r, s)) if r == rung => s.saturating_add(1),
+                _ => 1,
+            };
+            if streak >= gossip.join_rounds {
+                st.rung = rung;
+                switch_common(st);
+                return StepOutcome {
+                    switched: Some(SwitchCause::Join),
+                    pinned: false,
+                };
+            }
+            st.majority_seen = Some((rung, streak));
+        }
+        None => st.majority_seen = None,
+    }
+    HOLD
+}
+
+/// A self-decided switch: common bookkeeping plus an epoch stamp one
+/// past the logical-clock frontier — this controller originated a new
+/// rung decision, and every peer (whatever its own switch history)
+/// must read it as the group's newest.
+fn switch_self(st: &mut CtlState) {
+    st.epoch = (st.latest_epoch + 1) % EPOCH_MODULUS;
+    st.latest_epoch = st.epoch;
+    switch_common(st);
+}
+
+fn switch_common(st: &mut CtlState) {
+    st.rounds_since_switch = 0;
+    // Each step down must re-earn its calm streak: descent is gradual
+    // even through a long quiet stretch.
+    st.calm_streak = 0;
+    // Judge every rung on its own observations: tallies gathered under
+    // the previous code would otherwise read as this rung's losses
+    // (stale checksum-era omissions escalating a correcting rung that
+    // is actually coping). The smoothed estimator resets too — it
+    // re-seeds from the new rung's first round.
+    st.window.clear();
+    st.est = None;
+    // A switch changes which camp is "different": the majority-join
+    // streak starts over from the new rung's perspective.
+    st.majority_seen = None;
 }
 
 impl AdaptiveController {
@@ -579,19 +1185,10 @@ impl AdaptiveController {
     /// or a non-hysteretic threshold pair).
     pub fn new(cfg: AdaptiveConfig) -> Self {
         cfg.validate();
-        let min_dwell = cfg.min_dwell;
+        let state = CtlState::initial(&cfg);
         AdaptiveController {
             cfg,
-            rung: 0,
-            window: VecDeque::new(),
-            est: None,
-            epoch: 0,
-            latest_epoch: 0,
-            majority_seen: None,
-            // Born free to switch: the dwell clock starts expired so a
-            // burst in the very first window escalates immediately.
-            rounds_since_switch: min_dwell,
-            calm_streak: 0,
+            state,
             rounds_observed: 0,
             switches: 0,
             last_cause: None,
@@ -599,19 +1196,46 @@ impl AdaptiveController {
         }
     }
 
+    /// A controller resumed at an arbitrary decision state — the model
+    /// checker's door back into the production type: a counterexample
+    /// prefix replayed by [`step`] can be handed to the real substrates
+    /// mid-flight. Diagnostics (switch and pin counters) start at zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration, exactly like
+    /// [`AdaptiveController::new`].
+    pub fn from_state(cfg: AdaptiveConfig, state: CtlState) -> Self {
+        cfg.validate();
+        AdaptiveController {
+            cfg,
+            state,
+            rounds_observed: 0,
+            switches: 0,
+            last_cause: None,
+            pins: 0,
+        }
+    }
+
+    /// The pure decision state this controller currently holds — what
+    /// [`step`] evolves, and what the exhaustive model checker hashes.
+    pub fn state(&self) -> &CtlState {
+        &self.state
+    }
+
     /// The code in force for the next send.
     pub fn current(&self) -> CodeSpec {
-        self.cfg.ladder[self.rung]
+        self.cfg.ladder[self.state.rung as usize]
     }
 
     /// The wire id of the current code (its ladder index).
     pub fn code_id(&self) -> u8 {
-        self.rung as u8
+        self.state.rung
     }
 
     /// The current rung index (0 = cheapest).
     pub fn rung(&self) -> usize {
-        self.rung
+        self.state.rung as usize
     }
 
     /// Number of switches performed so far.
@@ -642,15 +1266,15 @@ impl AdaptiveController {
 
     /// The controller's gossip switch epoch (modulo 16).
     pub fn epoch(&self) -> u8 {
-        self.epoch
+        self.state.epoch
     }
 
     /// The rung advertisement this controller piggybacks on its frames
     /// — `Some` exactly when gossip is configured.
     pub fn advert(&self) -> Option<RungAdvert> {
         self.cfg.gossip.map(|_| RungAdvert {
-            rung: self.rung as u8,
-            epoch: self.epoch,
+            rung: self.state.rung,
+            epoch: self.state.epoch,
         })
     }
 
@@ -659,86 +1283,30 @@ impl AdaptiveController {
     /// EWMA of per-round rates under [`PressureEstimator::Ewma`], the
     /// change-point statistic under [`PressureEstimator::Cusum`].
     pub fn pressure(&self) -> f64 {
-        match self.cfg.estimator {
-            PressureEstimator::Windowed => self.windowed(|t| t.omissions() + t.value_faults),
-            _ => self.est.map_or(0.0, |(p, _, _)| p),
-        }
+        self.state.pressure(&self.cfg)
     }
 
     /// Smoothed channel activity (pressure plus repaired deliveries) —
     /// what de-escalation waits on.
     pub fn activity(&self) -> f64 {
-        match self.cfg.estimator {
-            PressureEstimator::Windowed => {
-                self.windowed(|t| t.omissions() + t.corrected + t.value_faults + t.evidence)
-            }
-            _ => self.est.map_or(0.0, |(_, a, _)| a),
-        }
+        self.state.activity(&self.cfg)
     }
 
     /// Smoothed fraction of expected frames delivered *after repair* —
     /// evidence the current rung is actively winning against the noise.
     pub fn corrected_rate(&self) -> f64 {
-        match self.cfg.estimator {
-            PressureEstimator::Windowed => self.windowed(|t| t.corrected),
-            _ => self.est.map_or(0.0, |(_, _, c)| c),
-        }
-    }
-
-    /// Window totals of `count` over expected frames.
-    fn windowed(&self, count: impl Fn(&RoundTally) -> usize) -> f64 {
-        let (mut expected, mut hits) = (0usize, 0usize);
-        for t in &self.window {
-            expected += t.expected;
-            hits += count(t);
-        }
-        if expected == 0 {
-            0.0
-        } else {
-            hits as f64 / expected as f64
-        }
-    }
-
-    /// Folds one round's rates into the smoothed-estimator state
-    /// (no-op in windowed mode).
-    fn update_estimate(&mut self, tally: RoundTally) {
-        let (p, a) = (tally.pressure(), tally.activity());
-        let c = if tally.expected == 0 {
-            0.0
-        } else {
-            tally.corrected as f64 / tally.expected as f64
-        };
-        match self.cfg.estimator {
-            PressureEstimator::Windowed => {}
-            PressureEstimator::Ewma { lambda } => {
-                self.est = Some(match self.est {
-                    None => (p, a, c),
-                    Some((ep, ea, ec)) => (
-                        ep + lambda * (p - ep),
-                        ea + lambda * (a - ea),
-                        ec + lambda * (c - ec),
-                    ),
-                });
-            }
-            PressureEstimator::Cusum { drift, cap } => {
-                let step = |s: f64, x: f64| (s + x - drift).clamp(0.0, cap);
-                let (sp, sa, sc) = self.est.unwrap_or((0.0, 0.0, 0.0));
-                self.est = Some((step(sp, p), step(sa, a), step(sc, c)));
-            }
-        }
+        self.state.corrected_rate(&self.cfg)
     }
 
     /// The `α` budget the windowed value-fault estimate demands at the
     /// configured tail, via [`chernoff_alpha_for_mean`].
     pub fn projected_alpha(&self) -> u32 {
-        let rounds = self.window.len().max(1) as f64;
-        let mu = self.window.iter().map(|t| t.value_faults).sum::<usize>() as f64 / rounds;
-        chernoff_alpha_for_mean(mu, self.cfg.n, self.cfg.target_tail)
+        self.state.projected_alpha(&self.cfg)
     }
 
     /// `true` when the projected demand fits the configured budget.
     pub fn palpha_feasible(&self) -> bool {
-        self.projected_alpha() <= self.cfg.alpha_budget
+        self.state.palpha_feasible(&self.cfg)
     }
 
     /// Feeds one round's observations. Returns `Some(new_code)` when
@@ -765,263 +1333,16 @@ impl AdaptiveController {
         ads: &[RungAdvert],
     ) -> Option<CodeSpec> {
         self.rounds_observed += 1;
-        self.rounds_since_switch = self.rounds_since_switch.saturating_add(1);
-        if self.window.len() == self.cfg.window {
-            self.window.pop_front();
-        }
-        self.window.push_back(tally);
-        self.update_estimate(tally);
-        // Advance the logical-clock frontier over every in-ladder
-        // advertisement (adopted or not), so a self-decided switch
-        // below stamps itself past everything the group has decided.
-        for ad in ads {
-            if (ad.rung as usize) < self.cfg.ladder.len()
-                && RungAdvert::epoch_newer(ad.epoch, self.latest_epoch)
-            {
-                self.latest_epoch = ad.epoch;
+        let out = step(&self.cfg, &mut self.state, tally, ads);
+        self.pins += u64::from(out.pinned);
+        match out.switched {
+            Some(cause) => {
+                self.switches += 1;
+                self.last_cause = Some(cause);
+                Some(self.current())
             }
+            None => None,
         }
-
-        // Calm means *no channel activity*, not just no losses: a rung
-        // that is silently repairing a burst is doing its job, and
-        // stepping down mid-burst is exactly the whipsaw an oscillating
-        // adversary wants.
-        if tally.activity() <= self.cfg.deescalate_at {
-            self.calm_streak += 1;
-        } else {
-            self.calm_streak = 0;
-        }
-
-        if self.rounds_since_switch <= self.cfg.min_dwell {
-            // The dwell clock gates only *self*-decided switches.
-            // Gossip adoption stays live: its rate is already bounded
-            // upstream — epochs only advance when some peer genuinely
-            // switches, and every such switch paid its own hysteresis.
-            // Dwell-gating adoption would recreate the very lag gossip
-            // exists to close (a laggard that took the one-rung step
-            // right before its peers severe-jumped would sit out the
-            // dwell on the wrong rung).
-            return self.gossip_adopt(ads);
-        }
-
-        let windowed = self.pressure();
-        // High pressure alone is not enough to climb: a rung that
-        // repairs at least half as many frames as it loses is still
-        // *coping* with the noise — escalating off it during a dip is
-        // the spurious switch statistical spikes would otherwise cause
-        // (and each rung up costs rate). Only when losses clearly
-        // outrun repairs is the rung beaten. The `P_α` projection
-        // overrides: leaked value faults always escalate.
-        let losing = windowed > self.cfg.escalate_at && windowed > 2.0 * self.corrected_rate();
-        if (losing || !self.palpha_feasible()) && self.rung + 1 < self.cfg.ladder.len() {
-            // A hard burst — any window round with pressure past
-            // severe_at — jumps two rungs: the middle rung's per-block
-            // correction is already beaten, and its miscorrections
-            // would leak α while it dwells. Judging severity on the
-            // worst round (not the newest) keeps a burst that started
-            // mid-round from sneaking the controller onto the middle
-            // rung. The jump never lands on the final rung, though:
-            // the last resort is entered only single-step, after its
-            // predecessor demonstrably failed.
-            let severe = self
-                .window
-                .iter()
-                .map(RoundTally::pressure)
-                .fold(0.0, f64::max)
-                > self.cfg.severe_at;
-            let step = if severe && self.rung + 2 + 1 < self.cfg.ladder.len() {
-                2
-            } else {
-                1
-            };
-            self.rung += step;
-            self.last_cause = Some(SwitchCause::Escalate);
-            self.switched_self();
-            return Some(self.current());
-        }
-        if self.rung > 0
-            && self.calm_streak >= self.cfg.cooldown
-            && self.activity() <= self.cfg.deescalate_at
-        {
-            // A window with essentially zero activity releases two
-            // rungs at once (mirroring the severe jump up); residual
-            // activity steps down one rung at a time.
-            let step = if self.activity() <= self.cfg.deescalate_at / 2.0 {
-                2
-            } else {
-                1
-            };
-            self.rung = self.rung.saturating_sub(step);
-            self.last_cause = Some(SwitchCause::Release);
-            self.switched_self();
-            return Some(self.current());
-        }
-        self.gossip_adopt(ads)
-    }
-
-    /// The gossip adoption rule: among the round's advertisements,
-    /// keep those naming a valid non-last-resort rung that is *newer*
-    /// than this controller's own decision — a strictly newer epoch
-    /// (serial comparison), or the same epoch with a higher rung (the
-    /// tie-break that resolves simultaneous split decisions toward the
-    /// safe, more-protected direction); pick the newest such
-    /// advertisement; adopt only when a quorum of qualifying peers
-    /// advertise that same rung.
-    ///
-    /// Guards, in order of what they defend against:
-    ///
-    /// * **in-ladder validation** — a corrupted advert byte can name
-    ///   rung 0..=7 regardless of ladder length; out-of-ladder rungs
-    ///   never qualify;
-    /// * **last-resort pin** — gossip neither adopts *into* the final
-    ///   rung (it is entered only single-step, after its predecessor
-    ///   demonstrably failed) nor moves a controller *off* it (descent
-    ///   from the brute-force rung stays calm-driven);
-    /// * **serial epochs** — an advert whose epoch reads more than half
-    ///   the 4-bit window "ahead" is stale or forged and is ignored;
-    /// * **the quorum** — one corrupted byte is one peer's voice; two
-    ///   independent links must agree byte-for-byte on rung and
-    ///   qualify on epoch in the same round to move a controller.
-    fn gossip_adopt(&mut self, ads: &[RungAdvert]) -> Option<CodeSpec> {
-        let gossip = self.cfg.gossip?;
-        let last = self.cfg.ladder.len() - 1;
-        if self.rung == last {
-            // The last-resort pin, in both directions: gossip neither
-            // enters the brute-force rung (filtered below) nor leaves
-            // it — a controller that watched every cheaper rung fail
-            // descends on its own calm evidence, not on advertisements
-            // (`tests/gossip_faults.rs` blasts every forged byte value
-            // at a pinned controller to hold this line).
-            if !ads.is_empty() {
-                self.pins += 1;
-            }
-            return None;
-        }
-        let newer_than_mine = |a: &RungAdvert| {
-            RungAdvert::epoch_newer(a.epoch, self.epoch)
-                || (a.epoch == self.epoch && (a.rung as usize) > self.rung)
-        };
-        let qualifying: Vec<RungAdvert> = ads
-            .iter()
-            .copied()
-            .filter(|a| (a.rung as usize) < self.cfg.ladder.len() && (a.rung as usize) != last)
-            .filter(newer_than_mine)
-            .collect();
-        // Quorum first, newest second: tally the qualifying
-        // advertisements per rung and adopt the newest *quorum-backed*
-        // camp. Checking the quorum only against the single
-        // newest-epoch advertisement would let one lone — or one
-        // even-weight-forged, parity-passing — newer advert veto a
-        // camp that actually has the votes.
-        let mut best: Option<(u8, u8, u8)> = None; // (distance, rung, epoch)
-        for a in &qualifying {
-            let votes = qualifying.iter().filter(|b| b.rung == a.rung).count();
-            if votes < gossip.quorum {
-                continue;
-            }
-            let candidate = (
-                RungAdvert::epoch_distance(a.epoch, self.epoch),
-                a.rung,
-                a.epoch,
-            );
-            if best.is_none_or(|b| (b.0, b.1) < (candidate.0, candidate.1)) {
-                best = Some(candidate);
-            }
-        }
-        if let Some((_, rung, epoch)) = best {
-            // Synchronize the epoch either way, so the group converges
-            // on one (rung, epoch) pair and future comparisons stay
-            // aligned.
-            self.epoch = epoch % EPOCH_MODULUS;
-            if (rung as usize) == self.rung {
-                self.majority_seen = None;
-                return None; // already there: epoch sync, no switch
-            }
-            self.rung = rung as usize;
-            self.last_cause = Some(SwitchCause::Adopt);
-            self.switched();
-            return Some(self.current());
-        }
-        // Majority-join: the newest-decision rule cannot pull back a
-        // *lone* leader — its own epoch is the group's newest, so no
-        // advertisement ever reads as newer, and a rung escalated onto
-        // over a private noise spike is self-sustaining (its own repair
-        // activity pins it, and its peers' cheaper frames dying in a
-        // burst read to it as fresh pressure) while the majority sits
-        // calm rungs below. A controller that watches a strict majority
-        // of its peers advertise the same different rung for
-        // `join_rounds` consecutive rounds therefore concedes and joins
-        // them, whatever their epochs. The stability requirement — not
-        // the dwell clock, which a climbing leader resets on every
-        // step — is what distinguishes a standing split from a
-        // burst-onset transient (at onset, the majority reaches the
-        // leader's rung within a round and the streak never completes);
-        // the majority bar (> half the peers) is far above what one
-        // corrupted advertisement byte can fake. Joining *into* the
-        // last resort is excluded like everywhere else in gossip: the
-        // brute-force rung is entered only single-step, after its
-        // predecessor demonstrably failed (and left only on own calm
-        // evidence — the pin above).
-        let mut counts = [0usize; 8];
-        for a in ads {
-            if (a.rung as usize) < self.cfg.ladder.len() && (a.rung as usize) != last {
-                counts[a.rung as usize] += 1;
-            }
-        }
-        let majority = (self.cfg.n - 1) / 2 + 1;
-        // Deterministic scan: prefer the larger camp, ties toward the
-        // higher (safer) rung.
-        let camp = counts[..self.cfg.ladder.len()]
-            .iter()
-            .enumerate()
-            .max_by_key(|(r, c)| (**c, *r))
-            .filter(|(rung, &count)| count >= majority && *rung != self.rung)
-            .map(|(rung, _)| rung as u8);
-        match camp {
-            Some(rung) => {
-                let streak = match self.majority_seen {
-                    Some((r, s)) if r == rung => s.saturating_add(1),
-                    _ => 1,
-                };
-                if streak >= gossip.join_rounds {
-                    self.rung = rung as usize;
-                    self.last_cause = Some(SwitchCause::Join);
-                    self.switched();
-                    return Some(self.current());
-                }
-                self.majority_seen = Some((rung, streak));
-            }
-            None => self.majority_seen = None,
-        }
-        None
-    }
-
-    /// A self-decided switch: common bookkeeping plus an epoch stamp
-    /// one past the logical-clock frontier — this controller originated
-    /// a new rung decision, and every peer (whatever its own switch
-    /// history) must read it as the group's newest.
-    fn switched_self(&mut self) {
-        self.epoch = (self.latest_epoch + 1) % EPOCH_MODULUS;
-        self.latest_epoch = self.epoch;
-        self.switched();
-    }
-
-    fn switched(&mut self) {
-        self.switches += 1;
-        self.rounds_since_switch = 0;
-        // Each step down must re-earn its calm streak: descent is
-        // gradual even through a long quiet stretch.
-        self.calm_streak = 0;
-        // Judge every rung on its own observations: tallies gathered
-        // under the previous code would otherwise read as this rung's
-        // losses (stale checksum-era omissions escalating a correcting
-        // rung that is actually coping). The smoothed estimator resets
-        // too — it re-seeds from the new rung's first round.
-        self.window.clear();
-        self.est = None;
-        // A switch changes which camp is "different": the majority-join
-        // streak starts over from the new rung's perspective.
-        self.majority_seen = None;
     }
 }
 

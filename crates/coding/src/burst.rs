@@ -19,6 +19,7 @@
 //! adaptive-coding conformance harness.
 
 use crate::noise::BitNoise;
+use crate::script::FaultScript;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::{Arc, Mutex as StdMutex};
@@ -208,6 +209,12 @@ pub struct NoiseTrace {
     /// clones (the chain is a pure function of the seed, so every
     /// clone agrees).
     regimes: Arc<StdMutex<RegimeMemo>>,
+    /// When set, the trace is an *exact* schedule: every frame is
+    /// handed to the script (unscripted link-rounds deliver untouched)
+    /// and the statistical machinery above never runs. This is how a
+    /// model-checker counterexample rides the same rails as every
+    /// seeded trace — see [`NoiseTrace::scripted`].
+    script: Option<Arc<FaultScript>>,
 }
 
 /// Lazily extended log of the shared regime chain.
@@ -238,7 +245,31 @@ impl NoiseTrace {
             phases,
             shared_regime: false,
             regimes: Arc::new(StdMutex::new(RegimeMemo::default())),
+            script: None,
         }
+    }
+
+    /// An exact scripted trace: every link-round delivers clean except
+    /// where `script` schedules a fault ([`crate::LinkFault`]). No
+    /// statistical noise at all — the replay vehicle for model-checker
+    /// counterexamples, driven through the very same substrate plumbing
+    /// as the seeded traces.
+    pub fn scripted(script: FaultScript) -> Self {
+        let mut trace = NoiseTrace::new(
+            0,
+            vec![NoisePhase {
+                rounds: 1,
+                channel: GilbertElliott::new(0.0, 1.0, 0.0, 0.0),
+            }],
+        );
+        trace.script = Some(Arc::new(script));
+        trace
+    }
+
+    /// The exact fault schedule this trace replays, when it is a
+    /// scripted trace.
+    pub fn script(&self) -> Option<&FaultScript> {
+        self.script.as_deref()
     }
 
     /// A clean channel for every round.
@@ -438,6 +469,12 @@ impl NoiseTrace {
         copy: u8,
         data: &mut [u8],
     ) -> usize {
+        if let Some(script) = &self.script {
+            // Exact mode: the script speaks per link-round, so every
+            // copy of a scripted frame gets the identical edit —
+            // deterministic on all substrates by construction.
+            return script.apply(round, sender, receiver, data);
+        }
         let mut rng = self.frame_rng(round, sender, receiver, copy);
         let channel = self.channel_at(round);
         if self.shared_regime {

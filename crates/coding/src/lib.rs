@@ -80,11 +80,13 @@ mod measure;
 pub mod mesh;
 mod noise;
 mod repetition;
+mod script;
 
 pub use adaptive::{
-    chernoff_alpha_for_mean, AdaptiveConfig, AdaptiveController, CodeBook, CodeBookError,
-    GossipConfig, PressureEstimator, RoundTally, RungAdvert, SwitchCause, TaggedView, TaggedWire,
-    GOSSIP_FLAG,
+    chernoff_alpha_for_mean, step, AdaptiveConfig, AdaptiveController, CodeBook, CodeBookError,
+    CtlState, EstState, GossipConfig, PressureEstimator, RoundTally, RungAdvert, StepOutcome,
+    SwitchCause, TaggedView, TaggedWire, TallyWindow, DERIVED_GOSSIP_JOIN_ROUNDS,
+    DERIVED_GOSSIP_QUORUM, GOSSIP_FLAG, MAX_WINDOW,
 };
 pub use batch::{
     mux_overhead, pack_slots, pack_slots_into, unpack_slots, unpack_slots_view, SlotsIter,
@@ -106,3 +108,4 @@ pub use measure::{
 };
 pub use noise::BitNoise;
 pub use repetition::Repetition;
+pub use script::{FaultScript, LinkFault};

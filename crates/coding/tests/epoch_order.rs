@@ -1,0 +1,108 @@
+//! Property tests for the 4-bit serial epoch comparison
+//! ([`RungAdvert::epoch_newer`]) — the order every gossip adoption
+//! decision hangs on.
+//!
+//! The comparison is RFC 1982 serial arithmetic on a 16-value space:
+//! `a` is newer than `b` iff `a` sits in the half-window of 7 epochs
+//! ahead of `b`, with the antipode (distance 8) deliberately
+//! incomparable. The properties pin exactly the shape the adaptive
+//! controller relies on: within any window of at most 8 *consecutive*
+//! epochs — the regime the epoch stamping keeps the group in — the
+//! comparison is a strict total order, antisymmetric across the
+//! 15 → 0 wraparound included; `heardof-mc`'s epoch-order predicate
+//! checks the adversarial complement (that no quorum-backed gossip
+//! walk can exploit the wraparound to cycle the order).
+
+use heardof_coding::RungAdvert;
+use proptest::prelude::*;
+
+const MODULUS: u8 = 16;
+
+proptest! {
+    #[test]
+    fn irreflexive(e in 0u8..MODULUS) {
+        prop_assert!(!RungAdvert::epoch_newer(e, e));
+    }
+
+    /// On any window of `len ≤ 8` consecutive epochs — wherever it
+    /// starts, including straddling 15 → 0 — "newer" agrees exactly
+    /// with window position: a strict total order.
+    #[test]
+    fn consecutive_windows_are_strictly_totally_ordered(
+        start in 0u8..MODULUS,
+        len in 2usize..=8,
+    ) {
+        for i in 0..len {
+            for j in 0..len {
+                let a = (start + i as u8) % MODULUS;
+                let b = (start + j as u8) % MODULUS;
+                prop_assert_eq!(
+                    RungAdvert::epoch_newer(a, b),
+                    i > j,
+                    "window start {} len {}: position {} vs {}",
+                    start, len, i, j
+                );
+            }
+        }
+    }
+
+    /// For distinct epochs off the antipode, exactly one direction
+    /// compares newer; the antipode (distance 8) is incomparable both
+    /// ways rather than arbitrarily ordered.
+    #[test]
+    fn antisymmetric_except_at_the_antipode(a in 0u8..MODULUS, b in 0u8..MODULUS) {
+        let ab = RungAdvert::epoch_newer(a, b);
+        let ba = RungAdvert::epoch_newer(b, a);
+        if a == b || (a + MODULUS - b) % MODULUS == MODULUS / 2 {
+            prop_assert!(!ab && !ba, "{a} vs {b} must be incomparable");
+        } else {
+            prop_assert!(ab ^ ba, "{a} vs {b} must order exactly one way");
+        }
+    }
+
+    /// Transitivity inside a half-window: two forward steps whose sum
+    /// stays under the half-window compose.
+    #[test]
+    fn transitive_within_a_half_window(base in 0u8..MODULUS) {
+        for i in 1..MODULUS / 2 {
+            for j in 1..MODULUS / 2 - i {
+                let mid = (base + i) % MODULUS;
+                let top = (base + i + j) % MODULUS;
+                prop_assert!(RungAdvert::epoch_newer(mid, base));
+                prop_assert!(RungAdvert::epoch_newer(top, mid));
+                prop_assert!(RungAdvert::epoch_newer(top, base), "{base} +{i} +{j}");
+            }
+        }
+    }
+
+    /// The wire roundtrip preserves the epoch, so comparing decoded
+    /// advertisements is comparing what the sender stamped.
+    #[test]
+    fn wire_roundtrip_preserves_the_compared_epoch(
+        rung in 0u8..8,
+        a in 0u8..MODULUS,
+        b in 0u8..MODULUS,
+    ) {
+        let ad = |epoch| RungAdvert { rung, epoch };
+        let via = |epoch| RungAdvert::from_byte(ad(epoch).to_byte()).expect("parity-valid");
+        prop_assert_eq!(via(a), ad(a));
+        prop_assert_eq!(
+            RungAdvert::epoch_newer(via(a).epoch, via(b).epoch),
+            RungAdvert::epoch_newer(a, b)
+        );
+    }
+}
+
+/// The wraparound itself, pinned deterministically: every epoch in the
+/// half-window after 15 — which is where the stamping goes next —
+/// compares newer than 15, and never the other way around.
+#[test]
+fn wraparound_orders_forward() {
+    assert!(RungAdvert::epoch_newer(0, 15));
+    assert!(!RungAdvert::epoch_newer(15, 0));
+    for d in 1..MODULUS / 2 {
+        let next = (15 + d) % MODULUS;
+        assert!(RungAdvert::epoch_newer(next, 15), "15 → {next}");
+        assert!(!RungAdvert::epoch_newer(15, next), "{next} → 15");
+    }
+}

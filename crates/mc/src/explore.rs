@@ -1,0 +1,431 @@
+//! Breadth-first exhaustive exploration of the joint state space.
+//!
+//! Classic explicit-state checking: a packed-key arena with parent
+//! pointers (so every node knows the exact adversary schedule that
+//! reaches it), a `HashMap` visited set for value-level dedup, and a
+//! FIFO frontier so the first violation found is a shortest one.
+//!
+//! Per expanded node the per-receiver successor sets are computed once
+//! ([`receiver_successors`]) and their cartesian product enumerated
+//! with an odometer — the per-receiver dedup is what keeps the product
+//! tractable: hundreds of raw observations per receiver collapse to a
+//! handful of distinct post-states.
+//!
+//! The two per-step predicates (last-resort pin, epoch order) are
+//! checked inside successor enumeration; the global reconvergence
+//! predicate runs a memoized deterministic all-calm suffix from every
+//! divergent node as it is dequeued.
+
+use crate::model::{
+    pack_node, receiver_successors, step_node, true_advert, Counterexample, CtlNode, JointAction,
+    Key, LocalSucc, McConfig, Predicate, ACT_DELIVER, ACT_OMIT, CTL_BYTES, MAX_N,
+};
+use heardof_coding::{RoundTally, RungAdvert};
+use std::collections::{HashMap, VecDeque};
+
+/// One arena entry: a reached joint state and the edge that first
+/// reached it.
+struct Rec {
+    key: Key,
+    parent: u32,
+    action: JointAction,
+    depth: u32,
+}
+
+const NO_PARENT: u32 = u32::MAX;
+
+/// What an exploration covered and whether it found a violation.
+#[derive(Clone, Debug)]
+pub struct ExploreReport {
+    /// Distinct joint states reached (including the initial state).
+    pub states: usize,
+    /// Joint transitions taken (edges into first-reached states plus
+    /// edges into already-known ones).
+    pub transitions: u64,
+    /// Deepest round reached from the initial state.
+    pub max_depth: u32,
+    /// `true` when the frontier drained without hitting the horizon or
+    /// the state cap — the reported region is the *entire* reachable
+    /// space and the verdict is a fixpoint, not a bound.
+    pub complete: bool,
+    /// The first (shortest) predicate violation found, if any.
+    pub violation: Option<Counterexample>,
+}
+
+impl ExploreReport {
+    /// `true` when no predicate violation was found in the explored
+    /// region.
+    pub fn green(&self) -> bool {
+        self.violation.is_none()
+    }
+}
+
+/// Exhaustively explores the product machine under `mc`'s bounds.
+///
+/// # Panics
+///
+/// Panics on a configuration [`McConfig::validate`] rejects.
+pub fn explore(mc: &McConfig) -> ExploreReport {
+    mc.validate();
+    let root_ctls: Vec<CtlNode> = (0..mc.n).map(|_| CtlNode::initial(&mc.cfg)).collect();
+    let root = pack_node(&root_ctls);
+
+    let mut arena: Vec<Rec> = vec![Rec {
+        key: root,
+        parent: NO_PARENT,
+        action: [[ACT_DELIVER; MAX_N]; MAX_N],
+        depth: 0,
+    }];
+    let mut visited: HashMap<Key, u32> = HashMap::new();
+    visited.insert(root, 0);
+    let mut queue: VecDeque<u32> = VecDeque::from([0]);
+    let mut calm_memo: HashMap<Key, bool> = HashMap::new();
+
+    let mut transitions = 0u64;
+    let mut max_depth = 0u32;
+    let mut truncated = false;
+    let mut succs: Vec<Vec<LocalSucc>> = vec![Vec::new(); mc.n];
+
+    while let Some(idx) = queue.pop_front() {
+        let depth = arena[idx as usize].depth;
+        max_depth = max_depth.max(depth);
+        let ctls = crate::model::unpack_node(&arena[idx as usize].key, mc);
+
+        // Reconvergence: every divergent reachable state must heal
+        // under an all-calm suffix.
+        if !converged(&ctls) && !calm_reconverges(mc, &ctls, &mut calm_memo) {
+            let rungs: Vec<u8> = ctls.iter().map(|c| c.st.rung).collect();
+            let cx = trace(
+                &arena,
+                idx,
+                None,
+                Predicate::Reconverge,
+                0,
+                format!(
+                    "divergent rungs {rungs:?} fail to reconverge within {} calm rounds",
+                    mc.calm_bound
+                ),
+            );
+            return report(arena, transitions, max_depth, false, Some(cx));
+        }
+
+        if depth >= mc.horizon {
+            truncated = true;
+            continue;
+        }
+
+        // Per-receiver successor sets (dedup by packed post-state);
+        // per-step predicate violations surface here with the exact
+        // provoking action vector.
+        let mut violation: Option<(LocalSucc, Predicate, usize)> = None;
+        for (recv, out) in succs.iter_mut().enumerate() {
+            match receiver_successors(mc, &ctls, recv, out) {
+                Ok(()) => {}
+                Err((succ, pred)) => {
+                    violation = Some((succ, pred, recv));
+                    break;
+                }
+            }
+        }
+        if let Some((succ, pred, recv)) = violation {
+            let mut joint: JointAction = [[ACT_DELIVER; MAX_N]; MAX_N];
+            joint[recv] = succ.action;
+            let description = format!(
+                "controller {recv} violates {pred:?} at depth {} (outcome {:?})",
+                depth + 1,
+                succ.outcome
+            );
+            let cx = trace(&arena, idx, Some(joint), pred, recv, description);
+            return report(
+                arena,
+                transitions,
+                max_depth.max(depth + 1),
+                false,
+                Some(cx),
+            );
+        }
+
+        // Cartesian product across receivers via an odometer.
+        let mut pick = vec![0usize; mc.n];
+        'product: loop {
+            transitions += 1;
+            let mut key = [0u8; CTL_BYTES * MAX_N];
+            let mut joint: JointAction = [[ACT_DELIVER; MAX_N]; MAX_N];
+            for recv in 0..mc.n {
+                let s = &succs[recv][pick[recv]];
+                key[recv * CTL_BYTES..(recv + 1) * CTL_BYTES].copy_from_slice(&s.packed);
+                joint[recv] = s.action;
+            }
+            let key = Key(key);
+            if let std::collections::hash_map::Entry::Vacant(slot) = visited.entry(key) {
+                if arena.len() >= mc.max_states {
+                    truncated = true;
+                } else {
+                    let id = arena.len() as u32;
+                    slot.insert(id);
+                    arena.push(Rec {
+                        key,
+                        parent: idx,
+                        action: joint,
+                        depth: depth + 1,
+                    });
+                    queue.push_back(id);
+                }
+            }
+            for recv in 0..mc.n {
+                pick[recv] += 1;
+                if pick[recv] < succs[recv].len() {
+                    continue 'product;
+                }
+                pick[recv] = 0;
+            }
+            break;
+        }
+    }
+
+    report(arena, transitions, max_depth, !truncated, None)
+}
+
+fn report(
+    arena: Vec<Rec>,
+    transitions: u64,
+    max_depth: u32,
+    complete: bool,
+    violation: Option<Counterexample>,
+) -> ExploreReport {
+    ExploreReport {
+        states: arena.len(),
+        transitions,
+        max_depth,
+        complete,
+        violation,
+    }
+}
+
+/// `true` when every controller sits on the same rung.
+fn converged(ctls: &[CtlNode]) -> bool {
+    ctls.windows(2).all(|w| w[0].st.rung == w[1].st.rung)
+}
+
+/// Runs the deterministic all-calm suffix (every link delivers clean,
+/// true advertisements heard) from `ctls`, memoizing verdicts per
+/// joint state. Reconverged means every rung reaches 0 — the unique
+/// calm fixpoint of the ladder — within `mc.calm_bound` rounds;
+/// revisiting a joint state first is a calm-suffix cycle, i.e. a
+/// permanent split.
+fn calm_reconverges(mc: &McConfig, ctls: &[CtlNode], memo: &mut HashMap<Key, bool>) -> bool {
+    let mut states: Vec<CtlNode> = ctls.to_vec();
+    let mut path: Vec<Key> = Vec::new();
+    let mut on_path: HashMap<Key, ()> = HashMap::new();
+    let verdict = loop {
+        if states.iter().all(|c| c.st.rung == 0) {
+            break true;
+        }
+        let key = pack_node(&states);
+        if let Some(&v) = memo.get(&key) {
+            break v;
+        }
+        if path.len() as u32 >= mc.calm_bound || on_path.insert(key, ()).is_some() {
+            break false;
+        }
+        path.push(key);
+        let truth: Vec<RungAdvert> = states.iter().map(|c| true_advert(&c.st)).collect();
+        let mut next = states.clone();
+        for (recv, node) in next.iter_mut().enumerate() {
+            let ads: Vec<RungAdvert> = truth
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != recv)
+                .map(|(_, a)| *a)
+                .collect();
+            let tally = RoundTally {
+                expected: mc.n - 1,
+                delivered: mc.n - 1,
+                corrected: 0,
+                value_faults: 0,
+                evidence: 0,
+            };
+            // The calm suffix asserts reconvergence only; per-step
+            // predicates on calm rounds are covered by the main
+            // exploration (all-deliver is one of its actions).
+            step_node(&mc.cfg, node, tally, &ads);
+        }
+        states = next;
+    };
+    for key in path {
+        memo.insert(key, verdict);
+    }
+    verdict
+}
+
+/// Exhaustive search over a **single victim controller** under the
+/// budgeted advert adversary, with every genuine peer advertisement
+/// silenced: per round the adversary picks how many peer frames
+/// survive (muted) versus omit, and at most one forged in-ladder
+/// advertisement riding a kept frame. This is a sound
+/// *under-approximation* of the joint machine — every behavior here is
+/// realizable by a joint schedule (mute/omit/forge are per-link wire
+/// actions, and peers simply deliver among themselves) — so any
+/// violation it finds is a real one, reached far deeper than the joint
+/// product search can afford. Used as the counterexample *finder*; the
+/// joint explorer remains the exhaustive verdict within its horizon.
+///
+/// The returned counterexample's rounds are full [`JointAction`]s:
+/// the victim's row carries the schedule, every other receiver's links
+/// deliver clean.
+pub fn explore_single(mc: &McConfig, victim: usize) -> ExploreReport {
+    mc.validate();
+    let k = mc.peers();
+    let rungs = mc.cfg.ladder.len() as u8;
+    let root_node = CtlNode::initial(&mc.cfg);
+    let mut buf = [0u8; CTL_BYTES];
+    root_node.pack(&mut buf);
+
+    struct SRec {
+        packed: [u8; CTL_BYTES],
+        parent: u32,
+        action: [u8; MAX_N],
+        depth: u32,
+    }
+    let mut arena = vec![SRec {
+        packed: buf,
+        parent: NO_PARENT,
+        action: [ACT_DELIVER; MAX_N],
+        depth: 0,
+    }];
+    let mut visited: HashMap<[u8; CTL_BYTES], u32> = HashMap::new();
+    visited.insert(buf, 0);
+    let mut queue: VecDeque<u32> = VecDeque::from([0]);
+    let mut transitions = 0u64;
+    let mut max_depth = 0u32;
+    let mut truncated = false;
+
+    while let Some(idx) = queue.pop_front() {
+        let depth = arena[idx as usize].depth;
+        max_depth = max_depth.max(depth);
+        if depth >= mc.horizon {
+            truncated = true;
+            continue;
+        }
+        let node = CtlNode::unpack(&arena[idx as usize].packed, mc.n, mc.cfg.window);
+        // Observations: forge slot 0 (or no forge), the next
+        // `kept` peer frames muted, the rest omitted.
+        let forges: Vec<Option<u8>> = std::iter::once(None)
+            .chain((0..rungs as u32 * crate::model::EPOCHS as u32).map(|p| Some(p as u8)))
+            .filter(|f| mc.forge || f.is_none())
+            .collect();
+        for forge in forges {
+            let spare = if forge.is_some() { k - 1 } else { k };
+            for kept in 0..=spare {
+                transitions += 1;
+                let mut action = [ACT_OMIT; MAX_N];
+                let mut ads: Vec<RungAdvert> = Vec::new();
+                let mut delivered = 0usize;
+                let mut slot = 0usize;
+                if let Some(pair) = forge {
+                    action[slot] = crate::model::ACT_FORGE_BASE + pair;
+                    ads.push(RungAdvert {
+                        rung: pair / crate::model::EPOCHS,
+                        epoch: pair % crate::model::EPOCHS,
+                    });
+                    delivered += 1;
+                    slot += 1;
+                }
+                for _ in 0..kept {
+                    action[slot] = crate::model::ACT_MUTE;
+                    delivered += 1;
+                    slot += 1;
+                }
+                let tally = RoundTally {
+                    expected: k,
+                    delivered,
+                    corrected: 0,
+                    value_faults: 0,
+                    evidence: 0,
+                };
+                let mut next = node;
+                let (outcome, violated) = step_node(&mc.cfg, &mut next, tally, &ads);
+                if let Some(pred) = violated {
+                    let mut rounds = Vec::new();
+                    let mut cur = idx;
+                    while arena[cur as usize].parent != NO_PARENT {
+                        let mut joint: JointAction = [[ACT_DELIVER; MAX_N]; MAX_N];
+                        joint[victim] = arena[cur as usize].action;
+                        rounds.push(joint);
+                        cur = arena[cur as usize].parent;
+                    }
+                    rounds.reverse();
+                    let mut joint: JointAction = [[ACT_DELIVER; MAX_N]; MAX_N];
+                    joint[victim] = action;
+                    rounds.push(joint);
+                    let description = format!(
+                        "controller {victim} violates {pred:?} at depth {} (outcome {outcome:?})",
+                        depth + 1
+                    );
+                    return ExploreReport {
+                        states: arena.len(),
+                        transitions,
+                        max_depth: max_depth.max(depth + 1),
+                        complete: false,
+                        violation: Some(Counterexample {
+                            predicate: pred,
+                            victim,
+                            rounds,
+                            description,
+                        }),
+                    };
+                }
+                let mut packed = [0u8; CTL_BYTES];
+                next.pack(&mut packed);
+                if let std::collections::hash_map::Entry::Vacant(slot) = visited.entry(packed) {
+                    if arena.len() >= mc.max_states {
+                        truncated = true;
+                    } else {
+                        let id = arena.len() as u32;
+                        slot.insert(id);
+                        arena.push(SRec {
+                            packed,
+                            parent: idx,
+                            action,
+                            depth: depth + 1,
+                        });
+                        queue.push_back(id);
+                    }
+                }
+            }
+        }
+    }
+    ExploreReport {
+        states: arena.len(),
+        transitions,
+        max_depth,
+        complete: !truncated,
+        violation: None,
+    }
+}
+
+/// Reconstructs the adversary schedule reaching `idx` (root excluded),
+/// optionally extended by one final violating round.
+fn trace(
+    arena: &[Rec],
+    idx: u32,
+    tail: Option<JointAction>,
+    predicate: Predicate,
+    victim: usize,
+    description: String,
+) -> Counterexample {
+    let mut rounds = Vec::new();
+    let mut cur = idx;
+    while arena[cur as usize].parent != NO_PARENT {
+        rounds.push(arena[cur as usize].action);
+        cur = arena[cur as usize].parent;
+    }
+    rounds.reverse();
+    rounds.extend(tail);
+    Counterexample {
+        predicate,
+        victim,
+        rounds,
+        description,
+    }
+}

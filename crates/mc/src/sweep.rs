@@ -1,0 +1,219 @@
+//! Parameter-region sweep: which `(quorum, join_rounds, min_dwell)`
+//! points keep the product machine safe, and where the shipped
+//! defaults come from.
+//!
+//! Two criteria are swept:
+//!
+//! * the three exploration predicates ([`crate::Predicate`]) over the
+//!   bounded-exhaustive space — this is what rules out `quorum = 1`
+//!   (one forged advertisement byte per round walks a controller's
+//!   4-bit epoch around the serial window and back onto a held pair);
+//! * **onset stability** — a deterministic silent-corruption onset
+//!   with one round of skew between the first victim and its peers.
+//!   At `join_rounds = 1` the first escalator is majority-joined back
+//!   *down* onto the beaten rung while its channel is still under
+//!   attack (the whipsaw an oscillating adversary farms); at
+//!   `join_rounds = 2` the peers' own escalation interrupts the streak
+//!   one round before it completes, while a *standing* minority
+//!   position still concedes to a calm majority. This is what pins
+//!   `join_rounds = 2`, which the predicates alone do not
+//!   discriminate.
+//!
+//! [`derived_defaults`] composes the two into the smallest safe point;
+//! `heardof-coding` pins that point as
+//! [`DERIVED_GOSSIP_QUORUM`]/[`DERIVED_GOSSIP_JOIN_ROUNDS`] and a
+//! regression test gates the constants against drift from this sweep.
+
+use crate::explore::{explore, explore_single};
+use crate::model::{step_node, CtlNode, McConfig, Predicate};
+use heardof_coding::{
+    AdaptiveConfig, GossipConfig, RoundTally, RungAdvert, SwitchCause, DERIVED_GOSSIP_JOIN_ROUNDS,
+    DERIVED_GOSSIP_QUORUM,
+};
+
+/// One swept parameter point and its verdicts.
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    /// The gossip quorum probed.
+    pub quorum: usize,
+    /// The majority-join streak probed.
+    pub join_rounds: u8,
+    /// The self-switch dwell probed.
+    pub min_dwell: u64,
+    /// First exploration predicate violated at this point, if any.
+    pub violated: Option<Predicate>,
+    /// `true` when the onset scenario joins a controller down under
+    /// fire at this point.
+    pub whipsaw: bool,
+    /// Joint states explored at this point (a determinism anchor for
+    /// CI).
+    pub states: usize,
+}
+
+impl SweepPoint {
+    /// Safe on both criteria.
+    pub fn safe(&self) -> bool {
+        self.violated.is_none() && !self.whipsaw
+    }
+}
+
+/// Applies a parameter point to a base configuration.
+fn at_point(
+    base: &AdaptiveConfig,
+    quorum: usize,
+    join_rounds: u8,
+    min_dwell: u64,
+) -> AdaptiveConfig {
+    let mut cfg = base.clone().with_gossip_config(GossipConfig {
+        quorum,
+        join_rounds,
+    });
+    cfg.min_dwell = min_dwell;
+    cfg
+}
+
+/// Sweeps the cartesian product of the given parameter axes with the
+/// exploration bounds of `bounds` (its `cfg` supplies the ladder and
+/// thresholds; quorum, join and dwell are overridden per point).
+pub fn sweep(
+    bounds: &McConfig,
+    quorums: &[usize],
+    join_rounds: &[u8],
+    dwells: &[u64],
+) -> Vec<SweepPoint> {
+    let mut points = Vec::new();
+    for &q in quorums {
+        for &j in join_rounds {
+            for &d in dwells {
+                let mut mc = bounds.clone();
+                mc.cfg = at_point(&bounds.cfg, q, j, d);
+                let rep = explore(&mc);
+                // The single-victim finder digs far past the joint
+                // horizon; any violation it returns is real (it is an
+                // under-approximation), so a point is red if either
+                // search objects.
+                let deep = deep_finder(&mc);
+                points.push(SweepPoint {
+                    quorum: q,
+                    join_rounds: j,
+                    min_dwell: d,
+                    violated: rep
+                        .violation
+                        .map(|c| c.predicate)
+                        .or(deep.violation.map(|c| c.predicate)),
+                    whipsaw: onset_whipsaw(&mc.cfg, mc.n),
+                    states: rep.states,
+                });
+            }
+        }
+    }
+    points
+}
+
+/// Runs the deterministic onset scenario: silent corruption (frames
+/// delivered, contents corrupted — the oracle tally regime) hits
+/// controller 0 in round 1 and every controller from round 2 on, so
+/// node 0 severe-escalates one round before its peers. Returns `true`
+/// when any controller is majority-joined to a *lower* rung in a round
+/// whose own tally pressure exceeds the escalation threshold — a join
+/// down under fire.
+pub fn onset_whipsaw(cfg: &AdaptiveConfig, n: usize) -> bool {
+    let mut nodes: Vec<CtlNode> = (0..n).map(|_| CtlNode::initial(cfg)).collect();
+    for round in 1u32..=8 {
+        let truth: Vec<RungAdvert> = nodes
+            .iter()
+            .map(|c| RungAdvert {
+                rung: c.st.rung,
+                epoch: c.st.epoch,
+            })
+            .collect();
+        let mut next = nodes.clone();
+        for (recv, node) in next.iter_mut().enumerate() {
+            let attacked = recv == 0 || round >= 2;
+            let tally = RoundTally {
+                expected: n - 1,
+                delivered: n - 1,
+                corrected: 0,
+                value_faults: if attacked { n - 1 } else { 0 },
+                evidence: 0,
+            };
+            let ads: Vec<RungAdvert> = truth
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != recv)
+                .map(|(_, a)| *a)
+                .collect();
+            let pre_rung = node.st.rung;
+            let (out, _) = step_node(cfg, node, tally, &ads);
+            if out.switched == Some(SwitchCause::Join)
+                && node.st.rung < pre_rung
+                && tally.pressure() > cfg.escalate_at
+            {
+                return true;
+            }
+        }
+        nodes = next;
+    }
+    false
+}
+
+/// Derives the default gossip parameters from first principles: for
+/// ascending quorums, find the smallest join streak without onset
+/// whipsaw, and return the first point whose bounded-exhaustive
+/// exploration is predicate-green. The result is what
+/// [`DERIVED_GOSSIP_QUORUM`] and [`DERIVED_GOSSIP_JOIN_ROUNDS`] pin;
+/// [`drift`] compares the two.
+pub fn derived_defaults(bounds: &McConfig) -> GossipConfig {
+    for quorum in 1..=3usize {
+        let join_rounds = (1..=4u8)
+            .find(|&j| {
+                !onset_whipsaw(
+                    &at_point(&bounds.cfg, quorum, j, bounds.cfg.min_dwell),
+                    bounds.n,
+                )
+            })
+            .expect("some join streak defeats the onset transient");
+        let mut mc = bounds.clone();
+        mc.cfg = at_point(&bounds.cfg, quorum, join_rounds, bounds.cfg.min_dwell);
+        if explore(&mc).green() && deep_finder(&mc).green() {
+            return GossipConfig {
+                quorum,
+                join_rounds,
+            };
+        }
+    }
+    panic!("no safe gossip point within quorum 1..=3");
+}
+
+/// The deep single-victim pass shared by [`sweep`] and
+/// [`derived_defaults`]: the budgeted advert adversary against
+/// controller 0, explored to twice the joint horizon plus the epoch
+/// window (enough rounds for any fast serial-comparison cycle to
+/// close).
+fn deep_finder(mc: &McConfig) -> crate::ExploreReport {
+    let mut deep = mc.clone();
+    deep.horizon = mc.horizon * 2 + 16;
+    // The forged-advert adversary is the whole point of the deep pass:
+    // keep it on even when the joint pass ran omissions-only.
+    deep.forge = true;
+    explore_single(&deep, 0)
+}
+
+/// `Some(reason)` when the constants shipped in `heardof-coding`
+/// disagree with what [`derived_defaults`] derives under `bounds` —
+/// the drift gate CI fails on.
+pub fn drift(bounds: &McConfig) -> Option<String> {
+    let derived = derived_defaults(bounds);
+    let shipped = GossipConfig::default();
+    if derived != shipped
+        || shipped.quorum != DERIVED_GOSSIP_QUORUM
+        || shipped.join_rounds != DERIVED_GOSSIP_JOIN_ROUNDS
+    {
+        return Some(format!(
+            "derived {derived:?} != shipped {shipped:?} \
+             (DERIVED_GOSSIP_QUORUM {DERIVED_GOSSIP_QUORUM}, \
+             DERIVED_GOSSIP_JOIN_ROUNDS {DERIVED_GOSSIP_JOIN_ROUNDS})"
+        ));
+    }
+    None
+}

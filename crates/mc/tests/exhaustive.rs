@@ -1,0 +1,239 @@
+//! Exhaustive-exploration regressions for the gossip product machine.
+//!
+//! The light tests run in tier-1 (`cargo test`): the n = 3 joint
+//! product to depth 3, the complete single-victim fixpoint under the
+//! forging adversary, the pinned quorum-1 counterexample, and a
+//! bounded n = 4 product. State counts are asserted exactly — the
+//! explorer is deterministic, so a count drift means the transition
+//! relation (or the controller itself) changed and the exhaustive
+//! verdicts need re-deriving.
+//!
+//! The `#[ignore]`d tests are the deep passes CI's `model-check` job
+//! runs in release: the depth-5 joint product (~1.1 M states), the
+//! full forging joint product to depth 2, and the n ∈ {4, 5}
+//! single-victim fixpoints.
+
+use heardof_coding::{
+    AdaptiveConfig, GossipConfig, RoundTally, RungAdvert, DERIVED_GOSSIP_JOIN_ROUNDS,
+    DERIVED_GOSSIP_QUORUM,
+};
+use heardof_mc::{
+    explore, explore_single, pair_bit, replay_check, step_node, CtlNode, McConfig, Predicate,
+};
+
+fn gossip(n: usize) -> AdaptiveConfig {
+    AdaptiveConfig::standard(n, 1).with_gossip()
+}
+
+/// The joint omission/mute product at n = 3, explored exhaustively to
+/// depth 3, is predicate-green with a pinned state count.
+///
+/// This is also the calm-livelock regression: the reconvergence
+/// predicate over exactly this space is what caught the pre-fix
+/// upward majority-join rotating a divergent `[0, 1, 1]` configuration
+/// forever under an all-calm suffix. An upward-join reintroduction
+/// turns this test red at depth 2.
+#[test]
+fn n3_joint_omission_product_is_green() {
+    let mut mc = McConfig::new(gossip(3), 3);
+    mc.horizon = 3;
+    mc.forge = false;
+    let report = explore(&mc);
+    assert!(
+        report.green(),
+        "violation: {:?}",
+        report.violation.map(|c| c.description)
+    );
+    assert_eq!(report.states, 32_834, "transition relation drifted");
+    assert_eq!(report.max_depth, 3);
+    assert!(!report.complete, "horizon-bounded by construction");
+}
+
+/// The bounded n = 4 joint product (depth 2, omissions and mutes)
+/// stays green — the product decomposition scales past the smallest
+/// system size.
+#[test]
+fn n4_joint_omission_product_is_green() {
+    let mut mc = McConfig::new(gossip(4), 4);
+    mc.horizon = 2;
+    mc.forge = false;
+    let report = explore(&mc);
+    assert!(
+        report.green(),
+        "violation: {:?}",
+        report.violation.map(|c| c.description)
+    );
+    assert_eq!(report.states, 64_121, "transition relation drifted");
+}
+
+/// The single-victim search — every genuine advertisement silenced,
+/// one budgeted in-ladder forgery per round — reaches a **complete
+/// fixpoint** at the shipped defaults with no violation: the entire
+/// reachable space of one controller under the documented threat
+/// model is green, at any depth.
+#[test]
+fn single_victim_fixpoint_is_green_at_shipped_defaults() {
+    let mut mc = McConfig::new(gossip(3), 3);
+    mc.horizon = 20;
+    let report = explore_single(&mc, 0);
+    assert!(
+        report.green(),
+        "violation: {:?}",
+        report.violation.map(|c| c.description)
+    );
+    assert!(report.complete, "fixpoint not reached below the horizon");
+    assert_eq!(report.states, 27_641, "transition relation drifted");
+}
+
+/// At `quorum = 1` the checker finds the epoch-comparison cycle in
+/// three rounds: a single forged advertisement byte per round adopts
+/// the victim onto a forged rung and then epoch-syncs it around the
+/// 4-bit serial window back onto a `(rung, epoch)` pair it already
+/// held. The counterexample serializes to a wire-level fault schedule
+/// that reproduces the violation at the same coordinates — the same
+/// script `tests/adaptive_conformance.rs` replays through the real
+/// substrates.
+#[test]
+fn quorum1_epoch_cycle_counterexample_is_pinned() {
+    let cfg = gossip(3).with_gossip_config(GossipConfig {
+        quorum: 1,
+        join_rounds: DERIVED_GOSSIP_JOIN_ROUNDS,
+    });
+    let mut mc = McConfig::new(cfg.clone(), 3);
+    mc.horizon = 20;
+    let report = explore_single(&mc, 0);
+    let cx = report.violation.expect("quorum 1 must be red");
+    assert_eq!(cx.predicate, Predicate::EpochOrder);
+    assert_eq!(cx.victim, 0);
+    assert_eq!(cx.rounds.len(), 3, "shortest cycle takes three rounds");
+
+    let script = cx.to_fault_script(3);
+    assert!(!script.is_empty(), "a violating schedule needs faults");
+    assert_eq!(
+        replay_check(&cfg, 3, &script, cx.rounds.len() as u64),
+        Some((3, 0, Predicate::EpochOrder)),
+        "serialized script must reproduce the violation"
+    );
+    // The shipped quorum is immune to the same schedule: two votes
+    // outvote the one corrupted byte.
+    let shipped = gossip(3);
+    assert_eq!(DERIVED_GOSSIP_QUORUM, 2);
+    assert_eq!(
+        replay_check(&shipped, 3, &script, cx.rounds.len() as u64),
+        None,
+        "the derived quorum defeats the quorum-1 counterexample"
+    );
+}
+
+/// Directed regression for the checker-found calm livelock: a
+/// majority camp *above* a controller's rung must never pull it up.
+/// The peers advertise a stale-epoch rung-1 camp (stale, so epoch
+/// adoption stays out of the picture); pre-fix the majority-join
+/// dragged the rung-0 controller up after `join_rounds` rounds,
+/// post-fix it holds rung 0 forever.
+#[test]
+fn majority_join_never_pulls_upward() {
+    let cfg = gossip(3);
+    let mut node = CtlNode::initial(&cfg);
+    node.st.epoch = 6;
+    node.st.latest_epoch = 6;
+    node.seen = pair_bit(0, 6);
+    let ads = [
+        RungAdvert { rung: 1, epoch: 5 },
+        RungAdvert { rung: 1, epoch: 5 },
+    ];
+    for round in 0..8 {
+        let tally = RoundTally {
+            expected: 2,
+            delivered: 2,
+            corrected: 0,
+            value_faults: 0,
+            evidence: 0,
+        };
+        let (out, violated) = step_node(&cfg, &mut node, tally, &ads);
+        assert_eq!(out.switched, None, "round {round}: no gossip move");
+        assert_eq!(violated, None);
+        assert_eq!(node.st.rung, 0, "round {round}: held its calm rung");
+    }
+}
+
+/// Deep joint pass: the n = 3 omission/mute product to depth 5
+/// (~1.1 M states) stays green. CI `model-check` runs this in
+/// release; it is too heavy for the tier-1 debug suite.
+#[test]
+#[ignore = "deep pass: run by CI model-check in release"]
+fn n3_joint_omission_product_depth5_is_green() {
+    let mut mc = McConfig::new(gossip(3), 3);
+    mc.horizon = 5;
+    mc.forge = false;
+    mc.max_states = 1_500_000;
+    let report = explore(&mc);
+    assert!(
+        report.green(),
+        "violation: {:?}",
+        report.violation.map(|c| c.description)
+    );
+    assert_eq!(report.states, 1_092_697, "transition relation drifted");
+}
+
+/// Deep joint pass with the **full forging adversary**: every
+/// in-ladder `(rung, epoch)` forgery enumerated on every link, joint
+/// product to depth 2. The per-receiver successor dedup is what makes
+/// this finish (hundreds of observations collapse per receiver);
+/// the state cap bounds memory, not the verdict — every reached state
+/// is still predicate-checked.
+#[test]
+#[ignore = "deep pass: run by CI model-check in release"]
+fn n3_joint_forging_product_depth2_is_green() {
+    let mut mc = McConfig::new(gossip(3), 3);
+    mc.horizon = 2;
+    mc.max_states = 1_500_000;
+    let report = explore(&mc);
+    assert!(
+        report.green(),
+        "violation: {:?}",
+        report.violation.map(|c| c.description)
+    );
+    assert_eq!(report.states, 1_500_000, "forging fanout fills the cap");
+}
+
+/// The single-victim fixpoints at n = 4 and n = 5: complete, green,
+/// pinned. The documented threat model holds at every issue-targeted
+/// system size.
+#[test]
+#[ignore = "deep pass: run by CI model-check in release"]
+fn n4_n5_single_victim_fixpoints_are_green() {
+    for (n, expect) in [(4usize, 49_233usize), (5, 73_217)] {
+        let mut mc = McConfig::new(gossip(n), n);
+        mc.horizon = 20;
+        let report = explore_single(&mc, 0);
+        assert!(
+            report.green(),
+            "n={n} violation: {:?}",
+            report.violation.map(|c| c.description)
+        );
+        assert!(report.complete, "n={n}: fixpoint not reached");
+        assert_eq!(report.states, expect, "n={n}: transition relation drifted");
+    }
+}
+
+/// Bounded larger-system joint passes: n = 4 to depth 3 and n = 5 to
+/// depth 2, each capped at 1.5 M states — green across everything
+/// reached.
+#[test]
+#[ignore = "deep pass: run by CI model-check in release"]
+fn n4_n5_joint_bounded_products_are_green() {
+    for (n, horizon) in [(4usize, 3u32), (5, 2)] {
+        let mut mc = McConfig::new(gossip(n), n);
+        mc.horizon = horizon;
+        mc.forge = false;
+        mc.max_states = 1_500_000;
+        let report = explore(&mc);
+        assert!(
+            report.green(),
+            "n={n} violation: {:?}",
+            report.violation.map(|c| c.description)
+        );
+        assert_eq!(report.states, 1_500_000, "n={n}: cap not reached");
+    }
+}

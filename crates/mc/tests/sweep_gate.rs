@@ -1,0 +1,117 @@
+//! The parameter sweep and the derived-defaults drift gate.
+//!
+//! `heardof-coding` ships `DERIVED_GOSSIP_QUORUM = 2` and
+//! `DERIVED_GOSSIP_JOIN_ROUNDS = 2` as *derived* constants, not
+//! folklore: [`heardof_mc::derived_defaults`] re-derives them from the
+//! exploration predicates plus the onset-whipsaw criterion, and the
+//! light test here fails the build if the constants ever drift from
+//! the derivation. The `#[ignore]`d map test (CI `model-check`) pins
+//! the verdict of every point in the swept region.
+
+use heardof_coding::{AdaptiveConfig, GossipConfig};
+use heardof_mc::{
+    derived_defaults, drift, explore_single, onset_whipsaw, sweep_points, McConfig, Predicate,
+};
+
+fn bounds() -> McConfig {
+    let mut mc = McConfig::new(AdaptiveConfig::standard(3, 1).with_gossip(), 3);
+    mc.horizon = 3;
+    mc.forge = false;
+    mc
+}
+
+/// The shipped gossip defaults equal what the sweep derives; the
+/// derivation itself lands on `(quorum = 2, join_rounds = 2)`.
+#[test]
+fn shipped_defaults_match_the_derivation() {
+    let bounds = bounds();
+    assert_eq!(
+        derived_defaults(&bounds),
+        GossipConfig {
+            quorum: 2,
+            join_rounds: 2
+        }
+    );
+    assert_eq!(drift(&bounds), None);
+}
+
+/// The onset scenario discriminates the join streak the predicates
+/// cannot: one round of onset skew whipsaws a `join_rounds = 1`
+/// controller back down under fire, while any longer streak is
+/// interrupted by the peers' own escalation.
+#[test]
+fn onset_whipsaw_boundary_sits_at_two_rounds() {
+    let base = AdaptiveConfig::standard(3, 1);
+    for join_rounds in 1..=3u8 {
+        let cfg = base.clone().with_gossip_config(GossipConfig {
+            quorum: 2,
+            join_rounds,
+        });
+        assert_eq!(
+            onset_whipsaw(&cfg, 3),
+            join_rounds == 1,
+            "join_rounds={join_rounds}"
+        );
+    }
+}
+
+/// The full region map over `quorum × join_rounds × dwell` at n = 3:
+/// every `quorum = 1` point falls to the forged epoch cycle, every
+/// `join_rounds = 1` point whipsaws at onset, and the sole safe point
+/// in the grid is the shipped `(2, 2)` — at both probed dwells.
+#[test]
+#[ignore = "deep pass: run by CI model-check in release"]
+fn safe_region_map_is_pinned() {
+    let map = sweep_points(&bounds(), &[1, 2], &[1, 2], &[1, 3]);
+    assert_eq!(map.len(), 8);
+    for p in &map {
+        assert_eq!(
+            p.violated,
+            (p.quorum == 1).then_some(Predicate::EpochOrder),
+            "quorum={} join_rounds={} dwell={}",
+            p.quorum,
+            p.join_rounds,
+            p.min_dwell
+        );
+        assert_eq!(
+            p.whipsaw,
+            p.join_rounds == 1,
+            "quorum={} join_rounds={} dwell={}",
+            p.quorum,
+            p.join_rounds,
+            p.min_dwell
+        );
+        assert_eq!(p.safe(), p.quorum == 2 && p.join_rounds == 2);
+        if (p.quorum, p.join_rounds, p.min_dwell) == (2, 2, 3) {
+            assert_eq!(p.states, 32_834, "shipped point drifted");
+        }
+    }
+}
+
+/// The quorum boundary carries to the larger issue-targeted system
+/// sizes: at n ∈ {4, 5} a single forged byte per round still breaks
+/// `quorum = 1` while the shipped quorum's single-victim space is a
+/// complete green fixpoint.
+#[test]
+#[ignore = "deep pass: run by CI model-check in release"]
+fn quorum_boundary_holds_at_n4_and_n5() {
+    for n in [4usize, 5] {
+        let weak = AdaptiveConfig::standard(n, 1).with_gossip_config(GossipConfig {
+            quorum: 1,
+            join_rounds: 2,
+        });
+        let mut mc = McConfig::new(weak, n);
+        mc.horizon = 20;
+        let report = explore_single(&mc, 0);
+        assert_eq!(
+            report.violation.map(|c| c.predicate),
+            Some(Predicate::EpochOrder),
+            "n={n}: quorum 1 must fall to the epoch cycle"
+        );
+
+        let mut mc = McConfig::new(AdaptiveConfig::standard(n, 1).with_gossip(), n);
+        mc.horizon = 20;
+        let report = explore_single(&mc, 0);
+        assert!(report.complete && report.green(), "n={n} shipped quorum");
+    }
+}

@@ -293,3 +293,107 @@ fn divergence_reporting_catches_a_doctored_report() {
         .expect("the matrix diff must catch it too");
     assert!(matrix_diff.contains("sim vs net"), "{matrix_diff}");
 }
+
+#[test]
+fn model_checker_counterexample_replays_identically_on_every_substrate() {
+    // The counterexample→conformance bridge. `heardof-mc` proves that
+    // at `quorum = 1` a single forged advertisement byte per round
+    // walks a controller's 4-bit epoch around the serial window and
+    // back onto a pair it already held (the epoch-order violation the
+    // shipped quorum exists to prevent). The checker serializes that
+    // schedule as a wire-level `FaultScript`; here the *same script*
+    // drives all three substrates via `NoiseTrace::scripted`, and the
+    // bridge asserts (1) the substrates agree round for round, and
+    // (2) their code decisions equal the pure model's rung schedule —
+    // the abstraction the exhaustive verdicts live on is the machine
+    // the production substrates actually run.
+    use heardof_coding::{FaultScript, GossipConfig, LinkFault, RungAdvert};
+    use heardof_mc::{explore_single, replay_check, replay_script, McConfig, Predicate};
+
+    const CX_N: usize = 3;
+    const CX_ROUNDS: u64 = 6;
+    let weak = AdaptiveConfig::standard(CX_N, 1).with_gossip_config(GossipConfig {
+        quorum: 1,
+        join_rounds: 2,
+    });
+
+    // First, the checker's own shortest counterexample: three epoch
+    // syncs that never leave rung 0 (the stealthiest member of the
+    // family — nothing moves at the code level, the comparison order
+    // alone is broken). Pin that it reproduces on the pure machine.
+    let mut mc = McConfig::new(weak.clone(), CX_N);
+    mc.horizon = 20;
+    let cx = explore_single(&mc, 0)
+        .violation
+        .expect("quorum 1 must fall to the forged epoch cycle");
+    assert_eq!(cx.predicate, Predicate::EpochOrder);
+    assert_eq!(
+        replay_check(&weak, CX_N, &cx.to_fault_script(CX_N), CX_ROUNDS),
+        Some((3, 0, Predicate::EpochOrder)),
+        "shortest counterexample must reproduce on the pure machine"
+    );
+
+    // The substrate replay uses the rung-visible member of the same
+    // family: one forged byte per round on the 1→0 link adopts the
+    // victim onto rung 2 and then epoch-syncs it around the 4-bit
+    // window back onto the adopted pair — same violation, but the
+    // code schedule moves, so the bridge compares real decisions.
+    let forge = |e: u8| LinkFault::Forge(RungAdvert { rung: 2, epoch: e });
+    let script = FaultScript::new()
+        .with(1, 1, 0, forge(5))
+        .with(2, 1, 0, forge(10))
+        .with(3, 1, 0, forge(15))
+        .with(4, 1, 0, forge(5));
+    assert_eq!(
+        replay_check(&weak, CX_N, &script, CX_ROUNDS),
+        Some((4, 0, Predicate::EpochOrder)),
+        "rung-visible counterexample must reproduce on the pure machine"
+    );
+    let schedule = replay_script(&weak, CX_N, &script, CX_ROUNDS);
+    assert!(
+        schedule[0].iter().any(|&(rung, _)| rung != 0),
+        "the scripted adversary must actually move the victim"
+    );
+
+    let trace = NoiseTrace::scripted(script);
+    let initial: Vec<u64> = (0..CX_N as u64).map(|i| i % 2).collect();
+    let algo: Ate<u64> = Ate::new(AteParams::balanced(CX_N, 0).unwrap());
+    let sim = run_sim_substrate(
+        algo.clone(),
+        CX_N,
+        initial.clone(),
+        &weak,
+        &trace,
+        CX_ROUNDS,
+    );
+    let net = run_net_substrate(
+        algo.clone(),
+        CX_N,
+        initial.clone(),
+        &weak,
+        &trace,
+        CX_ROUNDS,
+        Duration::from_millis(150),
+    );
+    let asy = run_async_substrate(algo, CX_N, initial, &weak, &trace, CX_ROUNDS);
+    if let Some(diff) = first_matrix_divergence(&[("sim", &sim), ("net", &net), ("async", &asy)]) {
+        panic!("counterexample replay diverges across substrates — {diff}");
+    }
+    for p in 0..CX_N {
+        assert_eq!(
+            sim.codes[0][p], weak.ladder[0],
+            "round 1: everyone sends at the initial rung"
+        );
+    }
+    for r in 1..CX_ROUNDS as usize {
+        for (p, per_process) in schedule.iter().enumerate() {
+            let rung = per_process[r - 1].0 as usize;
+            assert_eq!(
+                sim.codes[r][p],
+                weak.ladder[rung],
+                "round {} process {p}: substrate decision vs model rung",
+                r + 1
+            );
+        }
+    }
+}

@@ -21,6 +21,11 @@ use std::time::Duration;
 /// The pinned multi-instance seed (CI runs it alongside the
 /// single-instance matrix).
 const MUX_SEED: u64 = 0xB47C4;
+/// The pinned **gossip-enabled** multi-instance seed: same mux wire
+/// format, but every frame also carries the rung-advertisement byte
+/// and controllers adopt peer rungs — the gossip pathway under the
+/// batch-axis conformance bar.
+const GOSSIP_MUX_SEED: u64 = 0x6B47E;
 const N: usize = 5;
 /// Instances multiplexed per process — batch > 1 by construction.
 const K: usize = 3;
@@ -52,8 +57,20 @@ fn mux_initials() -> Vec<Vec<u64>> {
 }
 
 fn run_all() -> [MuxSubstrateReport<u64>; 3] {
-    let cfg = AdaptiveConfig::standard(N, 1);
-    let trace = mux_trace();
+    run_matrix(AdaptiveConfig::standard(N, 1), mux_trace())
+}
+
+/// The gossip matrix: divergence-prone correlated bursts (tallies
+/// straddle thresholds, controllers split, adoption does real work)
+/// on the gossip-enabled standard ladder.
+fn run_all_gossip() -> [MuxSubstrateReport<u64>; 3] {
+    run_matrix(
+        AdaptiveConfig::standard(N, 1).with_gossip(),
+        NoiseTrace::correlated_bursts_moderate(GOSSIP_MUX_SEED),
+    )
+}
+
+fn run_matrix(cfg: AdaptiveConfig, trace: NoiseTrace) -> [MuxSubstrateReport<u64>; 3] {
     let algo: Ate<u64> = Ate::new(AteParams::balanced(N, 1).unwrap());
     let sim = run_mux_sim_substrate(algo.clone(), N, mux_initials(), &cfg, &trace, ROUNDS);
     let net = run_mux_net_substrate(
@@ -125,4 +142,50 @@ fn the_mux_seed_is_not_vacuous() {
             .any(|kept| kept.len() < N),
         "no image was ever dropped — mux trace too tame"
     );
+}
+
+#[test]
+fn all_three_substrates_agree_on_the_gossip_mux_seed() {
+    // The gossip pathway — advertisement byte on every mux frame,
+    // per-round ad collection, quorum adoption — must replay
+    // identically across the three mux substrates, exactly like the
+    // single-instance gossip seed in `tests/adaptive_conformance.rs`.
+    let [sim, net, asy] = run_all_gossip();
+    for (name, report) in [("sim", &sim), ("net", &net), ("async", &asy)] {
+        assert_eq!(
+            report.codes.len(),
+            ROUNDS as usize,
+            "{name} must cover every round"
+        );
+    }
+    assert_eq!(sim, net, "sim vs net diverge on the gossip mux seed");
+    assert_eq!(sim, asy, "sim vs async diverge on the gossip mux seed");
+}
+
+#[test]
+fn the_gossip_mux_seed_exercises_adoption() {
+    // Guard against the gossip configuration going stale on the mux
+    // rails: on the same trace, the gossip run must make *different*
+    // controller decisions than independent controllers would, and
+    // every instance must still decide and agree across processes.
+    let [gossip, _, _] = run_all_gossip();
+    let [independent, _, _] = run_matrix(
+        AdaptiveConfig::standard(N, 1),
+        NoiseTrace::correlated_bursts_moderate(GOSSIP_MUX_SEED),
+    );
+    assert_ne!(
+        gossip.codes, independent.codes,
+        "gossip never changed a mux decision — the adoption pathway \
+         is not being exercised on the batch axis"
+    );
+    for i in 0..K {
+        let first = gossip.decisions[0][i].expect("instance decided at process 0");
+        for p in 0..N {
+            assert_eq!(
+                gossip.decisions[p][i],
+                Some(first),
+                "instance {i} disagreement at process {p} under gossip"
+            );
+        }
+    }
 }
