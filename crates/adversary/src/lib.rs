@@ -13,7 +13,8 @@
 //!   omissions and corrections.
 //! * Strategies: [`RandomCorruption`], [`BorrowedCorruption`],
 //!   [`RandomOmission`], [`SantoroWidmayerBlock`], [`StaticByzantine`],
-//!   [`SymmetricByzantine`], [`TransientBurst`], [`SplitBrain`].
+//!   [`SymmetricByzantine`], [`FullContentCorruption`],
+//!   [`TransientBurst`], [`SplitBrain`].
 //! * [`GoodRounds`] / [`WithSchedule`] — liveness schedules realizing
 //!   the existential predicates `P^{A,live}` and `P^{U,live}`.
 //!
@@ -46,8 +47,8 @@ pub use budget::{clamp_to_alpha, Budgeted};
 pub use coded::{AdaptiveCodedChannel, CodedChannel, CodedStats, Whipsaw};
 pub use liveness::{GoodRounds, WithSchedule};
 pub use strategies::{
-    BorrowedCorruption, RandomCorruption, RandomOmission, SantoroWidmayerBlock, SenderOmission,
-    StaticByzantine, SymmetricByzantine, TransientBurst,
+    BorrowedCorruption, FullContentCorruption, RandomCorruption, RandomOmission,
+    SantoroWidmayerBlock, SenderOmission, StaticByzantine, SymmetricByzantine, TransientBurst,
 };
 pub use targeted::SplitBrain;
 pub use traits::{Adversary, NoFaults, Seq};

@@ -279,7 +279,7 @@ async fn mux_process_task<A>(
 
         barrier.wait().await;
 
-        while let Some(bytes) = inbox.try_recv() {
+        while let Some((_, bytes)) = inbox.try_recv() {
             let _ = engine.ingest(&bytes);
         }
 
@@ -323,9 +323,11 @@ async fn process_task<A>(
         // communication closure by construction.
         barrier.wait().await;
 
-        // --- Collect phase: drain whatever the links delivered. ---
-        while let Some(bytes) = inbox.try_recv() {
-            let _ = engine.ingest(&bytes);
+        // --- Collect phase: drain whatever the links delivered. The
+        // sender id rides alongside the bytes so the content-oblivious
+        // rung can count arrivals per link. ---
+        while let Some((sender, bytes)) = inbox.try_recv() {
+            let _ = engine.ingest_from(sender, &bytes);
         }
 
         // --- Transition + renegotiation. ---

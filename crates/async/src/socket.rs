@@ -20,7 +20,7 @@ use std::sync::Arc;
 use std::task::{Context, Poll, Waker};
 
 struct Inner {
-    queue: Mutex<VecDeque<Vec<u8>>>,
+    queue: Mutex<VecDeque<(u32, Vec<u8>)>>,
     /// Waker of the task currently awaiting [`NbReceiver::recv`].
     waker: Mutex<Option<Waker>>,
 }
@@ -51,9 +51,11 @@ pub fn socket() -> (NbSender, NbReceiver) {
 }
 
 impl NbSender {
-    /// Enqueues one wire frame and wakes a pending receiver, if any.
-    pub fn send(&self, frame: Vec<u8>) {
-        self.inner.queue.lock().push_back(frame);
+    /// Enqueues one sender-attributed wire frame and wakes a pending
+    /// receiver, if any. The attribution models which link the frame
+    /// arrived on — known to the receiver regardless of content.
+    pub fn send(&self, sender: u32, frame: Vec<u8>) {
+        self.inner.queue.lock().push_back((sender, frame));
         if let Some(waker) = self.inner.waker.lock().take() {
             waker.wake();
         }
@@ -61,15 +63,15 @@ impl NbSender {
 }
 
 impl FrameSink for NbSender {
-    fn deliver(&self, frame: Vec<u8>) {
-        self.send(frame);
+    fn deliver(&self, sender: u32, frame: Vec<u8>) {
+        self.send(sender, frame);
     }
 }
 
 impl NbReceiver {
     /// Takes the oldest pending frame, if any, without blocking or
     /// yielding.
-    pub fn try_recv(&self) -> Option<Vec<u8>> {
+    pub fn try_recv(&self) -> Option<(u32, Vec<u8>)> {
         self.inner.queue.lock().pop_front()
     }
 
@@ -90,9 +92,9 @@ pub struct Recv<'a> {
 }
 
 impl Future for Recv<'_> {
-    type Output = Vec<u8>;
+    type Output = (u32, Vec<u8>);
 
-    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Vec<u8>> {
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<(u32, Vec<u8>)> {
         if let Some(frame) = self.rx.try_recv() {
             return Poll::Ready(frame);
         }
@@ -116,11 +118,11 @@ mod tests {
     fn try_recv_is_fifo_and_nonblocking() {
         let (tx, rx) = socket();
         assert!(rx.try_recv().is_none());
-        tx.send(vec![1]);
-        tx.send(vec![2]);
+        tx.send(0, vec![1]);
+        tx.send(1, vec![2]);
         assert_eq!(rx.pending(), 2);
-        assert_eq!(rx.try_recv(), Some(vec![1]));
-        assert_eq!(rx.try_recv(), Some(vec![2]));
+        assert_eq!(rx.try_recv(), Some((0, vec![1])));
+        assert_eq!(rx.try_recv(), Some((1, vec![2])));
         assert_eq!(rx.try_recv(), None);
     }
 
@@ -138,10 +140,10 @@ mod tests {
             sink.lock().push(second);
         });
         exec.spawn(async move {
-            tx.send(vec![7]);
-            tx.send(vec![8]);
+            tx.send(2, vec![7]);
+            tx.send(2, vec![8]);
         });
         exec.run();
-        assert_eq!(*got.lock(), vec![vec![7], vec![8]]);
+        assert_eq!(*got.lock(), vec![(2, vec![7]), (2, vec![8])]);
     }
 }

@@ -434,6 +434,25 @@ impl AdaptiveConfig {
         self
     }
 
+    /// Appends the content-oblivious pattern rung
+    /// ([`CodeSpec::Oblivious`]) below the brute-force last resort —
+    /// the rung for links where *no* content survives
+    /// (`NoiseTrace::fully_defective`). Values travel as frame arrival
+    /// counts; payload bytes are untrusted garbage.
+    ///
+    /// The rung inherits the ladder's final-rung guards automatically:
+    /// it is entered only single-step, after repetition coding itself
+    /// demonstrably failed (the severe two-rung jump never lands on
+    /// the final rung), gossip neither adopts into it nor moves a
+    /// controller off it, and descent off it is clamped to one rung —
+    /// count-signal calm says the pattern channel is quiet, not that
+    /// content suddenly survives, so the controller re-probes content
+    /// viability on the strongest content rung first.
+    pub fn with_oblivious(mut self) -> Self {
+        self.ladder.push(CodeSpec::Oblivious);
+        self
+    }
+
     /// [`AdaptiveConfig::with_gossip`] with an explicit
     /// [`GossipConfig`] — the entry point the model checker's parameter
     /// sweep uses to probe quorum/join points away from the derived
@@ -492,6 +511,19 @@ impl AdaptiveConfig {
                 );
                 assert!(cap > 0.0, "the CUSUM cap must be positive, got {cap}");
             }
+        }
+        let oblivious = self
+            .ladder
+            .iter()
+            .filter(|s| matches!(s, CodeSpec::Oblivious))
+            .count();
+        if oblivious > 0 {
+            assert!(
+                oblivious == 1 && self.ladder.last() == Some(&CodeSpec::Oblivious),
+                "the content-oblivious rung must be the ladder's single \
+                 last resort (it refuses content, so no rung can sit \
+                 below it)"
+            );
         }
         if let Some(g) = self.gossip {
             assert!(g.quorum >= 1, "the gossip quorum must be at least 1");
@@ -933,8 +965,13 @@ pub fn step(
     if st.rung > 0 && st.calm_streak >= cfg.cooldown && st.activity(cfg) <= cfg.deescalate_at {
         // A window with essentially zero activity releases two rungs
         // at once (mirroring the severe jump up); residual activity
-        // steps down one rung at a time.
-        let jump = if st.activity(cfg) <= cfg.deescalate_at / 2.0 {
+        // steps down one rung at a time. Off the content-oblivious
+        // rung the release is always single-step: count-signal calm
+        // says the pattern channel is quiet, not that content survives
+        // — re-probe content viability on the strongest content rung
+        // before descending further.
+        let oblivious = cfg.ladder[st.rung as usize] == CodeSpec::Oblivious;
+        let jump = if !oblivious && st.activity(cfg) <= cfg.deescalate_at / 2.0 {
             2
         } else {
             1
@@ -1835,6 +1872,67 @@ mod tests {
             Some(CodeSpec::Hamming74),
             "moderate noise takes the one-rung step"
         );
+    }
+
+    #[test]
+    fn oblivious_rung_is_entered_and_released_single_step() {
+        let cfg = AdaptiveConfig::standard(8, 1).with_oblivious();
+        let top = cfg.ladder.len() - 1;
+        assert_eq!(cfg.ladder[top], CodeSpec::Oblivious);
+        let cooldown = cfg.cooldown;
+        let mut ctl = AdaptiveController::new(cfg);
+        // Total starvation — the fully-defective regime, where every
+        // content rung reads 100% pressure.
+        let starving = RoundTally {
+            expected: 7,
+            delivered: 0,
+            corrected: 0,
+            value_faults: 0,
+            evidence: 0,
+        };
+        let mut previous = ctl.rung();
+        for _ in 0..60 {
+            ctl.observe(starving);
+            if ctl.rung() == top {
+                break;
+            }
+            previous = ctl.rung();
+        }
+        assert_eq!(
+            ctl.rung(),
+            top,
+            "full corruption must reach the oblivious rung"
+        );
+        assert_eq!(
+            previous,
+            top - 1,
+            "the oblivious rung is entered only single-step, after \
+             repetition coding itself failed"
+        );
+        // Count-signal calm: every arrival count decodes, zero
+        // activity. Even the perfect-calm release (normally a two-rung
+        // jump) is clamped to one rung off the oblivious rung.
+        let mut released = None;
+        for _ in 0..cooldown + 10 {
+            if let Some(spec) = ctl.observe(calm(7)) {
+                released = Some(spec);
+                break;
+            }
+        }
+        assert_eq!(
+            released,
+            Some(CodeSpec::Repetition { k: 5 }),
+            "descent off the oblivious rung re-probes the strongest \
+             content rung first"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "last resort")]
+    fn oblivious_rung_must_be_the_ladders_last() {
+        let mut cfg = AdaptiveConfig::standard(8, 1);
+        cfg.ladder.insert(0, CodeSpec::Oblivious);
+        let _ = AdaptiveController::new(cfg);
     }
 
     #[test]

@@ -302,6 +302,27 @@ impl NoiseTrace {
         )
     }
 
+    /// **Fully-defective links**: every bit of every frame flips, every
+    /// round, on every link — the channel *complements* each frame
+    /// deterministically (BER 1.0 in both states), so not a single
+    /// payload byte survives transit. This is the regime of
+    /// "Distributed Computations in Fully-Defective Networks"
+    /// (Censor-Hillel/Cohen/Gelles/Sela): content is worthless, and
+    /// only the *pattern* of arrivals — which the trace never touches
+    /// (frames are edited in place, never dropped or truncated) — can
+    /// carry a signal. Every content rung starves here; only the
+    /// [`CodeSpec::Oblivious`](crate::CodeSpec) count channel gets
+    /// through.
+    pub fn fully_defective(seed: u64) -> Self {
+        NoiseTrace::new(
+            seed,
+            vec![NoisePhase {
+                rounds: 1,
+                channel: GilbertElliott::new(1.0, 0.0, 1.0, 1.0),
+            }],
+        )
+    }
+
     /// Fast alternation (a few rounds noisy, a few clean) — the
     /// whipsaw pattern an adversary uses to make a naive controller
     /// oscillate; hysteresis is what keeps the ladder stable here.
@@ -576,6 +597,23 @@ mod tests {
             corrupted_frames <= 2,
             "clean trace hit {corrupted_frames}/50"
         );
+    }
+
+    #[test]
+    fn fully_defective_complements_every_frame() {
+        let trace = NoiseTrace::fully_defective(5);
+        for r in 1..=20u64 {
+            for (sender, receiver, copy) in [(0u32, 1u32, 0u8), (2, 0, 1), (1, 2, 3)] {
+                let original = vec![0xA5u8; 48];
+                let mut data = original.clone();
+                let flips = trace.corrupt_frame(r, sender, receiver, copy, &mut data);
+                assert_eq!(flips, 48 * 8, "every bit flips");
+                assert!(
+                    data.iter().zip(&original).all(|(a, b)| *a == !*b),
+                    "the frame arrives complemented — no byte survives"
+                );
+            }
+        }
     }
 
     #[test]

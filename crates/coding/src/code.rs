@@ -341,6 +341,13 @@ pub enum CodeSpec {
         /// Baseline repair symbols appended per frame.
         repair: u8,
     },
+    /// The content-oblivious pattern rung
+    /// ([`PatternCode`](crate::PatternCode)): values travel as frame
+    /// *arrival counts*, payload bytes are untrusted garbage. The only
+    /// rung whose decoder rejects every wire image — content on a
+    /// fully-defective link is never trusted, so nothing routed through
+    /// it can become an undetected value fault.
+    Oblivious,
 }
 
 impl CodeSpec {
@@ -368,6 +375,7 @@ impl CodeSpec {
                 crate::Checksum::with_width(width),
             )),
             CodeSpec::Fountain { repair } => Arc::new(crate::LtCode::new(repair)),
+            CodeSpec::Oblivious => Arc::new(crate::PatternCode),
         }
     }
 
@@ -400,6 +408,7 @@ impl fmt::Display for CodeSpec {
                 write!(f, "hamming74+checksum{}", u32::from(*width) * 8)
             }
             CodeSpec::Fountain { repair } => write!(f, "fountain{repair}"),
+            CodeSpec::Oblivious => write!(f, "oblivious"),
         }
     }
 }
@@ -436,6 +445,19 @@ mod tests {
             let payload = b"roundtrip".to_vec();
             assert_eq!(code.decode(&code.encode(&payload)).unwrap(), payload);
         }
+    }
+
+    #[test]
+    fn oblivious_spec_builds_but_never_decodes_content() {
+        let spec = CodeSpec::Oblivious;
+        assert_eq!(spec.to_string(), "oblivious");
+        let code = spec.build();
+        let wire = code.encode(b"roundtrip");
+        assert!(
+            code.decode(&wire).is_err(),
+            "the pattern rung is the one spec exempt from the roundtrip \
+             contract: content is never trusted"
+        );
     }
 
     #[test]

@@ -79,6 +79,7 @@ mod interleave;
 mod measure;
 pub mod mesh;
 mod noise;
+mod oblivious;
 mod repetition;
 mod script;
 
@@ -107,5 +108,9 @@ pub use measure::{
     measure_code_under, MissRates,
 };
 pub use noise::BitNoise;
+pub use oblivious::{
+    decode_count, encode_count, oblivious_advert_frame, oblivious_channel, oblivious_value_frame,
+    ObliviousChannel, PatternCode, OBL_ADVERT_LEN, OBL_MAX_EPOCH, OBL_MAX_VALUE, OBL_VALUE_LEN,
+};
 pub use repetition::Repetition;
 pub use script::{FaultScript, LinkFault};

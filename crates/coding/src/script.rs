@@ -49,6 +49,13 @@ pub enum LinkFault {
     /// place of the real one. No-op on frames that carry no
     /// advertisement.
     Forge(RungAdvert),
+    /// Rewrite **every** byte of the frame (complement it) while
+    /// preserving its delivery structure — the fully-defective
+    /// adversary's strongest per-link move. Against a tagged frame this
+    /// is an omission (the complemented tag names no code in any book);
+    /// against a content-oblivious pattern frame it is a *no-op*: the
+    /// receiver never reads the bytes, only counts the arrival.
+    CorruptAll,
 }
 
 /// A deterministic per-link fault schedule keyed by
@@ -136,6 +143,12 @@ impl FaultScript {
                 data[1] = ad.to_byte();
                 ((before ^ data[1]).count_ones()) as usize
             }
+            LinkFault::CorruptAll => {
+                for byte in data.iter_mut() {
+                    *byte = !*byte;
+                }
+                data.len() * 8
+            }
         }
     }
 }
@@ -200,6 +213,35 @@ mod tests {
         assert_eq!(script.apply(1, 0, 1, &mut wire), 0);
         assert_eq!(script.apply(2, 0, 1, &mut wire), 0);
         assert_eq!(wire, pristine);
+    }
+
+    #[test]
+    fn corrupt_all_rejects_tagged_frames_at_every_rung() {
+        let book = book();
+        let advert = RungAdvert { rung: 1, epoch: 4 };
+        for id in 0..book.len() as u8 {
+            let mut wire = book.encode_tagged_advert(id, Some(advert), b"payload");
+            let script = FaultScript::new().with(2, 0, 1, LinkFault::CorruptAll);
+            assert_eq!(script.apply(2, 0, 1, &mut wire), wire.len() * 8);
+            assert!(
+                book.decode_tagged_full(&wire).is_err(),
+                "rung {id} must reject the complemented frame"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_all_cannot_touch_a_pattern_frame_signal() {
+        // The fully-defective move rewrites every byte — but a pattern
+        // frame's signal is its length and arrival, which survive.
+        let mut frame = crate::oblivious_value_frame().to_vec();
+        let script = FaultScript::new().with(1, 0, 1, LinkFault::CorruptAll);
+        assert_eq!(script.apply(1, 0, 1, &mut frame), 16);
+        assert_eq!(frame.len(), crate::OBL_VALUE_LEN, "length is untouchable");
+        assert_eq!(
+            crate::oblivious_channel(frame.len()),
+            Some(crate::ObliviousChannel::Value)
+        );
     }
 
     #[test]

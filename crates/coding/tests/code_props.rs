@@ -3,10 +3,12 @@
 //! miss-rate regression for truncated checksums.
 
 use heardof_coding::{
-    deinterleave_bits, interleave_bits, measure_code_exact_flips, mux_overhead, pack_slots,
+    decode_count, deinterleave_bits, encode_count, interleave_bits, measure_code_exact_flips,
+    mux_overhead, oblivious_advert_frame, oblivious_channel, oblivious_value_frame, pack_slots,
     stripe_offsets, unpack_slots, AdaptiveConfig, AdaptiveController, BitNoise, ChannelCode,
     Checksum, CodeBook, CodeError, CodeSpec, FrameOutcome, Hamming74, Interleaved, LtCode, NoCode,
-    Repetition, RoundTally, RungAdvert, SymbolBudget,
+    ObliviousChannel, PatternCode, Repetition, RoundTally, RungAdvert, SymbolBudget, OBL_MAX_EPOCH,
+    OBL_MAX_VALUE,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -682,6 +684,121 @@ proptest! {
         let (view_out, view_repairs) = book.decode_tagged_scanned_view(&wire);
         prop_assert_eq!(owned_repairs, view_repairs);
         prop_assert_eq!(owned_out, view_out.map(|v| v.into_owned()));
+    }
+
+    // -----------------------------------------------------------------
+    // Content-oblivious rung: the adversary owns every payload byte, so
+    // the only properties worth having are the ones that hold for
+    // ARBITRARY byte rewrites — which is exactly what proptest draws.
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn oblivious_frames_never_decode_to_content_under_any_rewrite(
+        wire in proptest::collection::vec(any::<u8>(), 0..64),
+        payload in arb_payload(),
+    ) {
+        // The pattern code refuses content outright: no wire image —
+        // clean, rewritten, truncated, or pure garbage — ever decodes
+        // to a payload, and no corruption of it is ever classified as
+        // an undetected value fault. (The value itself travels as the
+        // arrival count, outside this code's reach.)
+        let code = PatternCode;
+        prop_assert_eq!(code.decode(&wire), Err(CodeError::Detected));
+        prop_assert_eq!(
+            code.classify(&payload, &wire),
+            FrameOutcome::DetectedOmission,
+            "a pattern frame must never surface as a value fault"
+        );
+    }
+
+    #[test]
+    fn payload_rewrites_never_change_the_decoded_count(
+        value in 0u8..=OBL_MAX_VALUE,
+        epoch in 0u8..=OBL_MAX_EPOCH,
+        rewrite_seed in any::<u64>(),
+    ) {
+        // A sender signals `value` on the value channel and `epoch` on
+        // the advert channel; an adversary rewrites EVERY byte of every
+        // frame in flight (length-preserving — content is all it owns).
+        // The receiver classifies by length alone and decodes the
+        // arrival counts: both values must come back exact.
+        let mut rng = StdRng::seed_from_u64(rewrite_seed);
+        let mut arrivals: Vec<Vec<u8>> = Vec::new();
+        for _ in 0..encode_count(value, OBL_MAX_VALUE) {
+            arrivals.push(oblivious_value_frame().to_vec());
+        }
+        for _ in 0..encode_count(epoch, OBL_MAX_EPOCH) {
+            arrivals.push(oblivious_advert_frame().to_vec());
+        }
+        let (mut values, mut adverts) = (0usize, 0usize);
+        for frame in &mut arrivals {
+            for b in frame.iter_mut() {
+                *b = rng.gen_range(0..=255u8);
+            }
+            match oblivious_channel(frame.len()) {
+                Some(ObliviousChannel::Value) => values += 1,
+                Some(ObliviousChannel::Advert) => adverts += 1,
+                None => prop_assert!(false, "rewrite changed a frame's channel"),
+            }
+        }
+        prop_assert_eq!(decode_count(values, OBL_MAX_VALUE), Some(value));
+        prop_assert_eq!(decode_count(adverts, OBL_MAX_EPOCH), Some(epoch));
+    }
+
+    #[test]
+    fn mixed_ladders_decode_identically_to_per_format_oracles(
+        body in proptest::collection::vec(any::<u8>(), 3..48),
+        id_pick in 0usize..6,
+        with_advert in any::<bool>(),
+        op in 0usize..4,
+        seed in any::<u64>(),
+    ) {
+        // The extended ladder mixes two wire formats: tagged coded
+        // frames and untagged pattern frames, dispatched on length
+        // before any decode. Two oracle claims make that sound:
+        // (a) appending the oblivious rung to the book never changes a
+        //     tagged verdict — any wire either rejects through both
+        //     books or decodes identically through both;
+        // (b) no tagged emission of either book ever has a pattern
+        //     length, so length dispatch can never swallow a coded
+        //     frame. Bodies here are ≥ 3 bytes — the degenerate 1-byte
+        //     body CAN collide (tag + Hamming's 2-byte image is 3 bytes)
+        //     but never occurs: every serialized round message is an
+        //     order of magnitude past the floor, which is exactly why
+        //     the pattern channel sits at lengths 2–3.
+        let plain_cfg = AdaptiveConfig::standard(5, 1);
+        let mixed_cfg = AdaptiveConfig::standard(5, 1).with_oblivious();
+        let plain = CodeBook::from_specs(&plain_cfg.ladder);
+        let mixed = CodeBook::from_specs(&mixed_cfg.ladder);
+        let id = id_pick as u8 % plain.len() as u8;
+        let advert = with_advert.then_some(RungAdvert {
+            rung: id % 8,
+            epoch: (seed >> 8) as u8 & 0x0F,
+        });
+
+        let clean = mixed.encode_tagged_advert(id, advert, &body);
+        prop_assert_eq!(&clean, &plain.encode_tagged_advert(id, advert, &body));
+        prop_assert!(
+            oblivious_channel(clean.len()).is_none(),
+            "a tagged frame of {} bytes collides with the pattern channel",
+            clean.len()
+        );
+
+        let wire = adversarial_wire(&clean, op, seed);
+        match (plain.decode_tagged_full(&wire), mixed.decode_tagged_full(&wire)) {
+            (Err(_), Err(_)) => {} // both reject: the rung added no parse
+            (Ok(p), Ok(m)) => {
+                prop_assert_eq!(p.code_id, m.code_id);
+                prop_assert_eq!(p.advert, m.advert);
+                prop_assert_eq!(p.body, m.body);
+            }
+            (p, m) => prop_assert!(
+                false,
+                "books disagree on acceptance: plain {:?} mixed {:?}",
+                p.is_ok(),
+                m.is_ok()
+            ),
+        }
     }
 
     #[test]

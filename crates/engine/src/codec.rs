@@ -76,6 +76,24 @@ pub trait WireMessage: Sized {
     ///
     /// [`CodecError`] if the buffer is truncated or structurally invalid.
     fn decode<B: Buf>(buf: &mut B) -> Result<Self, CodecError>;
+
+    /// Content-oblivious projection: the 3-bit pattern value (`0..=7`)
+    /// this message maps to on the count channel, or `None` when the
+    /// message does not fit. On the oblivious rung the *value's* bytes
+    /// never cross the wire — only `pattern_value + 1` identical frames
+    /// do — so messages without a projection simply read as omissions
+    /// there. The default fits nothing.
+    fn pattern_value(&self) -> Option<u8> {
+        None
+    }
+
+    /// Inverse of [`WireMessage::pattern_value`]: reconstructs the
+    /// message a count-channel arrival tally names, or `None` when the
+    /// type has no pattern projection. Must satisfy
+    /// `from_pattern_value(m.pattern_value()?) == Some(m)`.
+    fn from_pattern_value(_value: u8) -> Option<Self> {
+        None
+    }
 }
 
 macro_rules! wire_int {
@@ -90,6 +108,14 @@ macro_rules! wire_int {
                     return Err(CodecError::Truncated);
                 }
                 Ok(buf.$get())
+            }
+
+            fn pattern_value(&self) -> Option<u8> {
+                u8::try_from(*self).ok().filter(|v| *v <= 7)
+            }
+
+            fn from_pattern_value(value: u8) -> Option<Self> {
+                (value <= 7).then_some(value as $ty)
             }
         }
     };
@@ -112,6 +138,18 @@ impl WireMessage for bool {
             0 => Ok(false),
             1 => Ok(true),
             t => Err(CodecError::BadTag(t)),
+        }
+    }
+
+    fn pattern_value(&self) -> Option<u8> {
+        Some(u8::from(*self))
+    }
+
+    fn from_pattern_value(value: u8) -> Option<Self> {
+        match value {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
         }
     }
 }
@@ -451,6 +489,25 @@ mod tests {
         let mut bytes = buf.freeze();
         assert_eq!(String::decode(&mut bytes).unwrap(), "héllo");
         assert!(bool::decode(&mut bytes).unwrap());
+    }
+
+    #[test]
+    fn pattern_values_roundtrip_and_reject_wide_messages() {
+        for v in 0u64..=7 {
+            assert_eq!(v.pattern_value(), Some(v as u8));
+            assert_eq!(u64::from_pattern_value(v as u8), Some(v));
+        }
+        assert_eq!(8u64.pattern_value(), None, "too wide for 3 bits");
+        assert_eq!(u64::from_pattern_value(8), None);
+        assert_eq!(false.pattern_value(), Some(0));
+        assert_eq!(true.pattern_value(), Some(1));
+        assert_eq!(bool::from_pattern_value(1), Some(true));
+        assert_eq!(bool::from_pattern_value(2), None);
+        // Types without a projection read as omissions on the count
+        // channel: both directions are None.
+        assert_eq!(UteMsg::Est(1u64).pattern_value(), None);
+        assert_eq!(UteMsg::<u64>::from_pattern_value(0), None);
+        assert_eq!("x".to_string().pattern_value(), None);
     }
 
     #[test]

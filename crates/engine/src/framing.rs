@@ -353,6 +353,32 @@ impl Framing {
         }
     }
 
+    /// `true` when this framing's ladder carries the content-oblivious
+    /// last-resort rung — the receive path then additionally runs the
+    /// count channel (length-classified pattern frames tallied per
+    /// sender). Always `false` in fixed mode, so existing
+    /// configurations ingest byte-identically.
+    pub fn oblivious_enabled(&self) -> bool {
+        match &self.mode {
+            Mode::Fixed { .. } => false,
+            Mode::Adaptive { controller, .. } => {
+                controller.config().ladder.contains(&CodeSpec::Oblivious)
+            }
+        }
+    }
+
+    /// The ladder index of the oblivious rung when the ladder carries
+    /// one (by construction its last rung), else `None`. Count-channel
+    /// adverts synthesized from arrival tallies name this rung.
+    pub fn oblivious_rung(&self) -> Option<u8> {
+        if self.oblivious_enabled() {
+            let controller = self.controller().expect("oblivious implies adaptive");
+            Some((controller.config().ladder.len() - 1) as u8)
+        } else {
+            None
+        }
+    }
+
     /// The negotiated symbol budget — `Some` exactly while the spec in
     /// force is rateless. Substrates use this to switch a send from
     /// *copies of frames* to *one frame with budgeted repair symbols*.
@@ -547,6 +573,28 @@ mod tests {
         let wire = framing.encode(&frame());
         let (got, _) = framing.decode::<u64>(&wire).unwrap();
         assert_eq!(got, frame(), "every epoch decodes through the book");
+    }
+
+    #[test]
+    fn oblivious_accessors_follow_the_ladder() {
+        let fixed = Framing::fixed(CodeSpec::Hamming74);
+        assert!(!fixed.oblivious_enabled());
+        assert_eq!(fixed.oblivious_rung(), None);
+
+        let plain = AdaptiveConfig::standard(5, 1);
+        let book = Arc::new(CodeBook::from_specs(&plain.ladder));
+        let adaptive = Framing::adaptive(book, AdaptiveController::new(plain));
+        assert!(
+            !adaptive.oblivious_enabled(),
+            "standard ladder has no oblivious rung"
+        );
+
+        let cfg = AdaptiveConfig::standard(5, 1).with_oblivious();
+        let rungs = cfg.ladder.len();
+        let book = Arc::new(CodeBook::from_specs(&cfg.ladder));
+        let extended = Framing::adaptive(book, AdaptiveController::new(cfg));
+        assert!(extended.oblivious_enabled());
+        assert_eq!(extended.oblivious_rung(), Some((rungs - 1) as u8));
     }
 
     #[test]

@@ -35,7 +35,10 @@ use crate::codec::{encode_body_into, Frame, WireMessage, COPY_OFFSET};
 use crate::framing::Framing;
 use crate::process::ProcessCore;
 use bytes::BytesMut;
-use heardof_coding::{CodeSpec, RoundTally, RungAdvert};
+use heardof_coding::{
+    decode_count, encode_count, oblivious_advert_frame, oblivious_channel, oblivious_value_frame,
+    CodeSpec, ObliviousChannel, RoundTally, RungAdvert, OBL_MAX_EPOCH, OBL_MAX_VALUE,
+};
 use heardof_model::{HoAlgorithm, ProcessId, ReceptionVector, Round};
 use heardof_telemetry::{Event, EventKind, Telemetry, NO_PEER};
 use std::collections::HashMap;
@@ -86,6 +89,12 @@ pub enum Ingest {
     /// Decoded but the header is impossible (sender out of range or
     /// round past the horizon) — miscorrected garbage, dropped.
     Garbage,
+    /// A content-oblivious pattern frame: its *arrival* was tallied on
+    /// the count channel and its bytes were never read — the signal a
+    /// fully-defective adversary cannot forge (only delay). Only
+    /// returned by [`RoundEngine::ingest_from`] on ladders carrying the
+    /// oblivious rung.
+    Counted,
 }
 
 /// A finished engine's observable log, per completed round: what the
@@ -132,6 +141,13 @@ where
     /// the frames themselves — so the set is ingestion-order
     /// independent). Sorted by sender before reaching the controller.
     ads_this_round: Vec<(u32, RungAdvert)>,
+    /// Per-sender value-channel arrival tallies for the open round —
+    /// the content-oblivious signal. Allocated (length `n`) only when
+    /// the framing's ladder carries the oblivious rung, so existing
+    /// configurations pay nothing and ingest byte-identically.
+    value_counts: Vec<u32>,
+    /// Per-sender advert-channel arrival tallies, same gating.
+    advert_counts: Vec<u32>,
     /// Frames that arrived early, keyed by round; each entry remembers
     /// whether its decode involved a repair (for that round's tally).
     future: HashMap<u64, Early<A::Msg>>,
@@ -169,6 +185,7 @@ where
     ) -> Self {
         assert!(n > 0, "system must have at least one process");
         assert!(copies >= 1, "at least one copy per frame");
+        let counts = if framing.oblivious_enabled() { n } else { 0 };
         RoundEngine {
             core: ProcessCore::new(algo, me, n, initial),
             framing,
@@ -180,6 +197,8 @@ where
             corrected_this_round: 0,
             evidence_this_round: 0,
             ads_this_round: Vec::new(),
+            value_counts: vec![0; counts],
+            advert_counts: vec![0; counts],
             future: HashMap::new(),
             kept: Vec::new(),
             codes: Vec::new(),
@@ -287,6 +306,8 @@ where
         self.corrected_this_round = 0;
         self.evidence_this_round = 0;
         self.ads_this_round.clear();
+        self.value_counts.fill(0);
+        self.advert_counts.fill(0);
 
         // Self-delivery first: local, never dropped, never corrupted.
         let own = self.core.send_to(round, me);
@@ -300,57 +321,96 @@ where
             value: 0,
         });
 
-        // The copies shim: under a rateless code, whole-frame
-        // retransmission copies fold into the symbol budget — one frame
-        // per peer carrying `(copies − 1)·k` extra repair symbols plus
-        // the negotiated allowance, instead of `copies` duplicates.
-        // Redundancy is paid in the cheaper currency, and the budget is
-        // the engine's (hence every substrate's) single source of
-        // truth, so conformance holds by construction.
-        let budget = self
-            .framing
-            .symbol_budget()
-            .map(|b| b.fold_copies(self.copies));
-        let copies_out = if budget.is_some() { 1 } else { self.copies };
-        if budget.is_some() && self.copies > 1 {
-            self.telemetry.emit(Event::local(
-                EventKind::CopiesFolded,
-                r,
-                me.as_u32(),
-                self.copies as u64,
-            ));
-        }
-        let mut body = std::mem::take(&mut self.body_arena);
-        let mut wire = std::mem::take(&mut self.wire_arena);
-        for q in 0..n as u32 {
-            if q == me.as_u32() {
-                continue;
-            }
-            let msg = self.core.send_to(round, ProcessId::new(q));
-            body.clear();
-            encode_body_into(
-                &Frame {
-                    round: r,
-                    sender: me.as_u32(),
-                    copy: 0,
-                    msg,
-                },
-                &mut body,
-            );
-            for copy in 0..copies_out {
-                body[COPY_OFFSET] = copy;
-                wire.clear();
-                match budget {
-                    Some(b) => self
-                        .framing
-                        .encode_raw_with_budget_into(&body, b, &mut wire),
-                    None => self.framing.encode_raw_into(&body, &mut wire),
+        if self.framing.current_spec() == CodeSpec::Oblivious {
+            // Content-oblivious sends: the message never crosses the
+            // wire as bytes — it is the NUMBER of fixed-length pattern
+            // frames emitted inside this round window (`value + 1`
+            // copies, a unary/thermometer code over the copies axis).
+            // The frames' contents are zeros the receiver never reads,
+            // so an adversary rewriting every payload byte changes
+            // nothing; only dropping frames (an omission) has any
+            // effect. Messages too wide for the 3-bit pattern channel
+            // emit nothing and read as omissions. The configured
+            // `copies` axis is ignored here — the count *is* the
+            // redundancy axis. Gossip rides a second length-disjoint
+            // channel carrying the sender's epoch the same way (the
+            // rung is implied: a count-channel sender is by definition
+            // on the ladder's last rung).
+            let advert_copies = self
+                .framing
+                .controller()
+                .and_then(|c| c.advert())
+                .map_or(0, |ad| encode_count(ad.epoch, OBL_MAX_EPOCH));
+            let value_frame = oblivious_value_frame();
+            let advert_frame = oblivious_advert_frame();
+            for q in 0..n as u32 {
+                if q == me.as_u32() {
+                    continue;
                 }
-                emit(q, copy, &wire);
+                let msg = self.core.send_to(round, ProcessId::new(q));
+                if let Some(v) = msg.pattern_value() {
+                    for copy in 0..encode_count(v, OBL_MAX_VALUE) {
+                        emit(q, copy as u8, &value_frame);
+                    }
+                }
+                for copy in 0..advert_copies {
+                    emit(q, copy as u8, &advert_frame);
+                }
             }
+        } else {
+            // The copies shim: under a rateless code, whole-frame
+            // retransmission copies fold into the symbol budget — one
+            // frame per peer carrying `(copies − 1)·k` extra repair
+            // symbols plus the negotiated allowance, instead of
+            // `copies` duplicates. Redundancy is paid in the cheaper
+            // currency, and the budget is the engine's (hence every
+            // substrate's) single source of truth, so conformance holds
+            // by construction.
+            let budget = self
+                .framing
+                .symbol_budget()
+                .map(|b| b.fold_copies(self.copies));
+            let copies_out = if budget.is_some() { 1 } else { self.copies };
+            if budget.is_some() && self.copies > 1 {
+                self.telemetry.emit(Event::local(
+                    EventKind::CopiesFolded,
+                    r,
+                    me.as_u32(),
+                    self.copies as u64,
+                ));
+            }
+            let mut body = std::mem::take(&mut self.body_arena);
+            let mut wire = std::mem::take(&mut self.wire_arena);
+            for q in 0..n as u32 {
+                if q == me.as_u32() {
+                    continue;
+                }
+                let msg = self.core.send_to(round, ProcessId::new(q));
+                body.clear();
+                encode_body_into(
+                    &Frame {
+                        round: r,
+                        sender: me.as_u32(),
+                        copy: 0,
+                        msg,
+                    },
+                    &mut body,
+                );
+                for copy in 0..copies_out {
+                    body[COPY_OFFSET] = copy;
+                    wire.clear();
+                    match budget {
+                        Some(b) => self
+                            .framing
+                            .encode_raw_with_budget_into(&body, b, &mut wire),
+                        None => self.framing.encode_raw_into(&body, &mut wire),
+                    }
+                    emit(q, copy, &wire);
+                }
+            }
+            self.body_arena = body;
+            self.wire_arena = wire;
         }
-        self.body_arena = body;
-        self.wire_arena = wire;
 
         // Early arrivals buffered for this round enter ahead of
         // whatever the substrate ingests next.
@@ -391,6 +451,37 @@ where
         }
         self.rx.set(sender, frame.msg);
         Ingest::Kept
+    }
+
+    /// [`RoundEngine::ingest`] with the transport's sender attribution
+    /// — the entry point for ladders carrying the content-oblivious
+    /// rung, whose count channel needs to know *which link* a pattern
+    /// frame arrived on (the model's one incorruptible fact: arrival
+    /// and its link survive any content rewrite). A pattern-length
+    /// frame (2 or 3 bytes — lengths no tagged frame can have) from a
+    /// valid peer is tallied per sender and never decoded; everything
+    /// else falls through to [`RoundEngine::ingest`]. On ladders
+    /// without the oblivious rung this *is* `ingest`, byte for byte.
+    pub fn ingest_from(&mut self, sender: u32, bytes: &[u8]) -> Ingest {
+        if !self.value_counts.is_empty() {
+            if let Some(channel) = oblivious_channel(bytes.len()) {
+                let me = self.core.me().as_u32();
+                let open = self.round == self.rounds_completed + 1;
+                if open && sender != me && (sender as usize) < self.core.n() {
+                    let s = sender as usize;
+                    match channel {
+                        ObliviousChannel::Value => {
+                            self.value_counts[s] = self.value_counts[s].saturating_add(1);
+                        }
+                        ObliviousChannel::Advert => {
+                            self.advert_counts[s] = self.advert_counts[s].saturating_add(1);
+                        }
+                    }
+                    return Ingest::Counted;
+                }
+            }
+        }
+        self.ingest(bytes)
     }
 
     /// Feeds one wire arrival through decode, header sanity and round
@@ -480,6 +571,59 @@ where
         let r = self.round;
         let me = self.core.me().as_u32();
         let n = self.core.n();
+
+        // Count-channel synthesis: fold the round's per-sender pattern
+        // tallies into the reception vector and the gossip set *before*
+        // the transition, so a count-decoded value is exactly as good
+        // as a content-decoded one. A tagged frame from the same sender
+        // wins (the counts then only corroborate); one value per sender
+        // either way. Iteration is in ascending sender order and counts
+        // are commutative, so the result is ingestion-order
+        // independent like everything else observable.
+        if !self.value_counts.is_empty() {
+            for s in 0..n as u32 {
+                if s == me {
+                    continue;
+                }
+                let vc = self.value_counts[s as usize];
+                let ac = self.advert_counts[s as usize];
+                if vc == 0 && ac == 0 {
+                    continue;
+                }
+                self.telemetry.emit(Event {
+                    round: r,
+                    process: me,
+                    kind: EventKind::ObliviousCount,
+                    peer: s,
+                    value: vc.min(0xFF) as u64 | ((ac.min(0xFF) as u64) << 8),
+                });
+                let sender = ProcessId::new(s);
+                if self.rx.get(sender).is_none() {
+                    if let Some(msg) = decode_count(vc as usize, OBL_MAX_VALUE)
+                        .and_then(A::Msg::from_pattern_value)
+                    {
+                        self.telemetry.emit(Event {
+                            round: r,
+                            process: me,
+                            kind: EventKind::FrameKept,
+                            peer: s,
+                            value: 0,
+                        });
+                        self.kept_this_round.push((s, 0));
+                        self.rx.set(sender, msg);
+                    }
+                }
+                if ac > 0 && !self.ads_this_round.iter().any(|(q, _)| *q == s) {
+                    if let (Some(rung), Some(epoch)) = (
+                        self.framing.oblivious_rung(),
+                        decode_count(ac as usize, OBL_MAX_EPOCH),
+                    ) {
+                        self.ads_this_round.push((s, RungAdvert { rung, epoch }));
+                    }
+                }
+            }
+        }
+
         self.core.transition(Round::new(r), &self.rx);
 
         // `keep` admits at most one frame per sender (first valid
@@ -529,7 +673,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use heardof_coding::{AdaptiveConfig, AdaptiveController, CodeBook};
+    use heardof_coding::{AdaptiveConfig, AdaptiveController, CodeBook, CtlState};
     use heardof_core::{Ate, AteParams};
     use std::sync::Arc;
 
@@ -763,6 +907,80 @@ mod tests {
         );
         let _ = peer.begin_round();
         assert_eq!(peer.ingest(&out[0].bytes), Ingest::Kept);
+    }
+
+    #[test]
+    fn oblivious_rung_signals_through_full_content_corruption() {
+        // Engines pinned to the oblivious rung, with an adversary
+        // rewriting EVERY byte of every frame in flight: the count
+        // channel still carries the values and the system still
+        // decides — the content was never trusted in the first place.
+        let n = 3;
+        let cfg = AdaptiveConfig::standard(n, 1).with_oblivious();
+        let top = (cfg.ladder.len() - 1) as u8;
+        let book = Arc::new(CodeBook::from_specs(&cfg.ladder));
+        let algo: Ate<u64> = Ate::new(AteParams::balanced(n, 0).unwrap());
+        let mut engines: Vec<RoundEngine<Ate<u64>>> = (0..n)
+            .map(|p| {
+                let mut state = CtlState::initial(&cfg);
+                state.rung = top;
+                RoundEngine::new(
+                    algo.clone(),
+                    ProcessId::new(p as u32),
+                    n,
+                    (p % 2) as u64,
+                    Framing::adaptive(
+                        Arc::clone(&book),
+                        AdaptiveController::from_state(cfg.clone(), state),
+                    ),
+                    1,
+                    12,
+                )
+            })
+            .collect();
+        for _ in 0..3 {
+            let mut wires: Vec<Vec<(u32, Vec<u8>)>> = vec![Vec::new(); n];
+            for (p, engine) in engines.iter_mut().enumerate() {
+                engine.begin_round_with(|dest, _copy, bytes| {
+                    let garbage: Vec<u8> = bytes.iter().map(|b| !b).collect();
+                    wires[dest as usize].push((p as u32, garbage));
+                });
+            }
+            for (p, engine) in engines.iter_mut().enumerate() {
+                for (sender, bytes) in &wires[p] {
+                    assert_eq!(engine.ingest_from(*sender, bytes), Ingest::Counted);
+                }
+                assert!(
+                    !engine.round_complete(),
+                    "counts fold in at finish_round, not before"
+                );
+                engine.finish_round();
+            }
+        }
+        let first = engines[0]
+            .decision()
+            .copied()
+            .expect("count channel decides");
+        for e in &engines {
+            assert_eq!(
+                e.decision(),
+                Some(&first),
+                "agreement under full corruption"
+            );
+        }
+    }
+
+    #[test]
+    fn pattern_frames_fall_through_without_the_oblivious_rung() {
+        // Same 2-byte wire image, ladder without the rung: ingest_from
+        // must behave exactly like ingest (a rejected decode).
+        let mut e = engine(3, 1);
+        let _ = e.begin_round();
+        assert_eq!(
+            e.ingest_from(1, &heardof_coding::oblivious_value_frame()),
+            Ingest::Rejected,
+            "no oblivious rung, no count channel"
+        );
     }
 
     #[test]

@@ -38,8 +38,8 @@
 //! advertisement byte is one peer's voice.
 
 use heardof_coding::{
-    step, AdaptiveConfig, CtlState, FaultScript, LinkFault, PressureEstimator, RoundTally,
-    RungAdvert, StepOutcome, SwitchCause, TallyWindow, MAX_WINDOW,
+    step, AdaptiveConfig, CodeSpec, CtlState, FaultScript, LinkFault, PressureEstimator,
+    RoundTally, RungAdvert, StepOutcome, SwitchCause, TallyWindow, MAX_WINDOW,
 };
 
 /// Largest system size the fixed-width node encoding supports. The
@@ -64,6 +64,14 @@ pub const ACT_MUTE: u8 = 2;
 /// Per-link adversary action base for forgeries: `ACT_FORGE_BASE +
 /// rung * 16 + epoch` encodes `Forge(RungAdvert { rung, epoch })`.
 pub const ACT_FORGE_BASE: u8 = 3;
+/// Per-link adversary action: every frame byte complemented
+/// ([`LinkFault::CorruptAll`]). Outside the forge range (8 rungs × 16
+/// epochs tops out at `ACT_FORGE_BASE + 127`). What the receiver
+/// observes depends on the *sender's* rung: a content rung's frame is
+/// malformed — an omission — while a content-oblivious sender's
+/// pattern frames keep their length and arrival, so value and advert
+/// both get through untouched.
+pub const ACT_CORRUPT: u8 = 255;
 
 /// Decodes a per-link action byte into the wire fault it scripts
 /// (`None` for clean delivery).
@@ -72,6 +80,7 @@ pub fn action_fault(code: u8) -> Option<LinkFault> {
         ACT_DELIVER => None,
         ACT_OMIT => Some(LinkFault::Omit),
         ACT_MUTE => Some(LinkFault::MuteAdvert),
+        ACT_CORRUPT => Some(LinkFault::CorruptAll),
         _ => {
             let pair = code - ACT_FORGE_BASE;
             Some(LinkFault::Forge(RungAdvert {
@@ -378,6 +387,15 @@ pub fn receiver_successors(
     let senders: Vec<usize> = (0..mc.n).filter(|j| *j != recv).collect();
     let k = senders.len();
     let truth: Vec<RungAdvert> = senders.iter().map(|&j| true_advert(&ctls[j].st)).collect();
+    let last = (mc.cfg.ladder.len() - 1) as u8;
+    let oblivious_last = mc.cfg.ladder.last() == Some(&CodeSpec::Oblivious);
+    // Which sender slots read as delivered under corrupt-all: exactly
+    // the senders on the content-oblivious rung (arrival is their
+    // signal; complemented bytes change nothing).
+    let survives_corrupt: Vec<bool> = senders
+        .iter()
+        .map(|&j| oblivious_last && ctls[j].st.rung == last)
+        .collect();
     let mut dedup = std::collections::HashSet::new();
 
     let try_actions = |acts: &[u8],
@@ -397,6 +415,12 @@ pub fn receiver_successors(
                 Some(LinkFault::Forge(ad)) => {
                     delivered += 1;
                     ads.push(ad);
+                }
+                Some(LinkFault::CorruptAll) => {
+                    if survives_corrupt[slot] {
+                        delivered += 1;
+                        ads.push(truth[slot]);
+                    }
                 }
             }
         }
@@ -454,6 +478,14 @@ pub fn receiver_successors(
                     if let Some(v) = try_actions(&acts, out, &mut dedup) {
                         return Err(v);
                     }
+                }
+                // The forging adversary also gets corrupt-all: it must
+                // never produce a successor Deliver/Omit cannot (the
+                // content-oblivious claim, checked by dedup collapsing
+                // it onto one of them).
+                acts[slot] = ACT_CORRUPT;
+                if let Some(v) = try_actions(&acts, out, &mut dedup) {
+                    return Err(v);
                 }
             }
             acts[slot] = ACT_DELIVER;
@@ -525,8 +557,14 @@ pub fn replay_script(
 ) -> Vec<Vec<(u8, u8)>> {
     let mut states: Vec<CtlState> = (0..n).map(|_| CtlState::initial(cfg)).collect();
     let mut schedule: Vec<Vec<(u8, u8)>> = vec![Vec::new(); n];
+    let last = (cfg.ladder.len() - 1) as u8;
+    let oblivious_last = cfg.ladder.last() == Some(&CodeSpec::Oblivious);
     for round in 1..=rounds {
         let truth: Vec<RungAdvert> = states.iter().map(true_advert).collect();
+        let survives: Vec<bool> = states
+            .iter()
+            .map(|st| oblivious_last && st.rung == last)
+            .collect();
         let mut next = states.clone();
         for (recv, nx) in next.iter_mut().enumerate() {
             let mut ads = Vec::with_capacity(n - 1);
@@ -545,6 +583,12 @@ pub fn replay_script(
                     Some(LinkFault::Forge(f)) => {
                         delivered += 1;
                         ads.push(f);
+                    }
+                    Some(LinkFault::CorruptAll) => {
+                        if survives[sender] {
+                            delivered += 1;
+                            ads.push(*ad);
+                        }
                     }
                 }
             }
@@ -577,8 +621,14 @@ pub fn replay_check(
     rounds: u64,
 ) -> Option<(u64, usize, Predicate)> {
     let mut nodes: Vec<CtlNode> = (0..n).map(|_| CtlNode::initial(cfg)).collect();
+    let last = (cfg.ladder.len() - 1) as u8;
+    let oblivious_last = cfg.ladder.last() == Some(&CodeSpec::Oblivious);
     for round in 1..=rounds {
         let truth: Vec<RungAdvert> = nodes.iter().map(|c| true_advert(&c.st)).collect();
+        let survives: Vec<bool> = nodes
+            .iter()
+            .map(|c| oblivious_last && c.st.rung == last)
+            .collect();
         let mut next = nodes.clone();
         for (recv, node) in next.iter_mut().enumerate() {
             let mut ads = Vec::with_capacity(n - 1);
@@ -597,6 +647,12 @@ pub fn replay_check(
                     Some(LinkFault::Forge(f)) => {
                         delivered += 1;
                         ads.push(f);
+                    }
+                    Some(LinkFault::CorruptAll) => {
+                        if survives[sender] {
+                            delivered += 1;
+                            ads.push(*ad);
+                        }
                     }
                 }
             }

@@ -157,6 +157,99 @@ fn majority_join_never_pulls_upward() {
     }
 }
 
+/// The extended ladder — [`AdaptiveConfig::with_oblivious`] appends
+/// the content-oblivious rung — explored jointly at n = 3 to depth 3
+/// with omissions and mutes: both predicates (reconvergence included)
+/// stay green over the six-rung machine, with a pinned state count.
+#[test]
+fn n3_oblivious_joint_omission_product_is_green() {
+    let mut mc = McConfig::new(gossip(3).with_oblivious(), 3);
+    mc.horizon = 3;
+    mc.forge = false;
+    let report = explore(&mc);
+    assert!(
+        report.green(),
+        "violation: {:?}",
+        report.violation.map(|c| c.description)
+    );
+    assert_eq!(report.states, 32_834, "transition relation drifted");
+    assert_eq!(report.max_depth, 3);
+}
+
+/// The single-victim search over the extended ladder, with the
+/// adversary's full kit — every in-ladder forgery **plus corrupt-all**
+/// (complement every frame byte) — reaches a complete fixpoint with no
+/// violation: the content-oblivious last resort does not open a gossip
+/// or reconvergence hole, at any depth.
+#[test]
+fn oblivious_single_victim_fixpoint_is_green() {
+    let mut mc = McConfig::new(gossip(3).with_oblivious(), 3);
+    mc.horizon = 40;
+    let report = explore_single(&mc, 0);
+    assert!(
+        report.green(),
+        "violation: {:?}",
+        report.violation.map(|c| c.description)
+    );
+    assert!(report.complete, "fixpoint not reached below the horizon");
+    assert_eq!(report.states, 32_809, "transition relation drifted");
+}
+
+/// Corrupt-all at the model level: complementing every byte on every
+/// link forever. On the plain five-rung ladder this is pure starvation
+/// — every controller climbs to the brute-force rung and stays pinned,
+/// never decided. With the oblivious rung appended, every controller
+/// reaches the last rung (where arrival counts carry the traffic) and
+/// both per-step predicates stay green throughout — the adversary's
+/// strongest content attack degenerates to delivery.
+#[test]
+fn corrupt_all_script_starves_content_rungs_but_not_the_oblivious_rung() {
+    use heardof_coding::{FaultScript, LinkFault};
+    use heardof_mc::replay_script;
+
+    const ROUNDS: u64 = 40;
+    let mut script = FaultScript::new();
+    for round in 1..=ROUNDS {
+        for s in 0..3u32 {
+            for r in 0..3u32 {
+                if s != r {
+                    script.insert(round, s, r, LinkFault::CorruptAll);
+                }
+            }
+        }
+    }
+
+    let plain = gossip(3);
+    assert_eq!(
+        replay_check(&plain, 3, &script, ROUNDS),
+        None,
+        "corrupt-all never breaks a predicate on the plain ladder"
+    );
+    let schedule = replay_script(&plain, 3, &script, ROUNDS);
+    let brute = (plain.ladder.len() - 1) as u8;
+    assert!(
+        schedule
+            .iter()
+            .all(|per| per.last().expect("rounds ran").0 == brute),
+        "plain ladder: starved onto the brute-force rung and pinned"
+    );
+
+    let extended = gossip(3).with_oblivious();
+    assert_eq!(
+        replay_check(&extended, 3, &script, ROUNDS),
+        None,
+        "corrupt-all never breaks a predicate on the extended ladder"
+    );
+    let schedule = replay_script(&extended, 3, &script, ROUNDS);
+    let oblivious = (extended.ladder.len() - 1) as u8;
+    for (p, per) in schedule.iter().enumerate() {
+        assert!(
+            per.iter().any(|&(rung, _)| rung == oblivious),
+            "controller {p} never reached the oblivious rung: {per:?}"
+        );
+    }
+}
+
 /// Deep joint pass: the n = 3 omission/mute product to depth 5
 /// (~1.1 M states) stays green. CI `model-check` runs this in
 /// release; it is too heavy for the tier-1 debug suite.
@@ -186,6 +279,27 @@ fn n3_joint_omission_product_depth5_is_green() {
 #[ignore = "deep pass: run by CI model-check in release"]
 fn n3_joint_forging_product_depth2_is_green() {
     let mut mc = McConfig::new(gossip(3), 3);
+    mc.horizon = 2;
+    mc.max_states = 1_500_000;
+    let report = explore(&mc);
+    assert!(
+        report.green(),
+        "violation: {:?}",
+        report.violation.map(|c| c.description)
+    );
+    assert_eq!(report.states, 1_500_000, "forging fanout fills the cap");
+}
+
+/// Deep joint pass over the **extended ladder** with the full forging
+/// adversary — every in-ladder forgery *plus corrupt-all* enumerated
+/// on every link, joint product to depth 2 over the six-rung machine.
+/// Corrupt-all must dedup onto deliver/omit observations (the
+/// content-oblivious claim), so the cap fills at the same rate as the
+/// five-rung pass.
+#[test]
+#[ignore = "deep pass: run by CI model-check in release"]
+fn n3_oblivious_forging_product_depth2_is_green() {
+    let mut mc = McConfig::new(gossip(3).with_oblivious(), 3);
     mc.horizon = 2;
     mc.max_states = 1_500_000;
     let report = explore(&mc);

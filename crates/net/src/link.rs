@@ -34,15 +34,20 @@ use std::sync::Arc;
 /// non-blocking in-memory sockets. Delivery must never block — a link
 /// models a wire, not flow control.
 pub trait FrameSink: Send {
-    /// Hands one (possibly corrupted) wire frame to the receiver.
-    fn deliver(&self, frame: Vec<u8>);
+    /// Hands one (possibly corrupted) wire frame to the receiver,
+    /// attributed to the link's sending process. The attribution is a
+    /// property of the *link*, not the bytes — the one fact a
+    /// content-rewriting adversary cannot touch, and what the
+    /// content-oblivious count channel decodes by
+    /// ([`RoundEngine::ingest_from`](heardof_engine::RoundEngine)).
+    fn deliver(&self, sender: u32, frame: Vec<u8>);
 }
 
-impl FrameSink for Sender<Vec<u8>> {
-    fn deliver(&self, frame: Vec<u8>) {
+impl FrameSink for Sender<(u32, Vec<u8>)> {
+    fn deliver(&self, sender: u32, frame: Vec<u8>) {
         // A disconnected receiver models a crashed process: the wire
         // happily drops the bytes.
-        let _ = self.send(frame);
+        let _ = self.send((sender, frame));
     }
 }
 
@@ -165,7 +170,7 @@ impl FaultyLink {
     pub fn new(
         sender_id: u32,
         receiver_id: u32,
-        tx: Sender<Vec<u8>>,
+        tx: Sender<(u32, Vec<u8>)>,
         faults: LinkFaults,
         seed: u64,
         log: FaultLog,
@@ -187,7 +192,7 @@ impl FaultyLink {
     pub fn with_code(
         sender_id: u32,
         receiver_id: u32,
-        tx: Sender<Vec<u8>>,
+        tx: Sender<(u32, Vec<u8>)>,
         faults: LinkFaults,
         seed: u64,
         log: FaultLog,
@@ -311,10 +316,10 @@ impl FaultyLink {
                         .unwrap_or((round, self.sender_id, copy));
                 self.log.record((r, s, self.receiver_id, c));
             }
-            self.tx.deliver(encoded);
+            self.tx.deliver(self.sender_id, encoded);
             return event;
         }
-        self.tx.deliver(encoded);
+        self.tx.deliver(self.sender_id, encoded);
         LinkEvent::Delivered
     }
 
@@ -333,7 +338,7 @@ impl FaultyLink {
         let flips =
             trace.corrupt_frame(round, self.sender_id, self.receiver_id, copy, &mut encoded);
         if flips == 0 {
-            self.tx.deliver(encoded);
+            self.tx.deliver(self.sender_id, encoded);
             return LinkEvent::Delivered;
         }
         let event = match self.decode_any(&original) {
@@ -348,7 +353,7 @@ impl FaultyLink {
                 .unwrap_or((round, self.sender_id, copy));
             self.log.record((r, s, self.receiver_id, c));
         }
-        self.tx.deliver(encoded);
+        self.tx.deliver(self.sender_id, encoded);
         event
     }
 
@@ -504,7 +509,7 @@ mod tests {
         let (tx, rx) = unbounded();
         let mut link = FaultyLink::new(0, 1, tx, LinkFaults::NONE, 9, FaultLog::new());
         assert_eq!(link.send(1, 0, frame_bytes(5)), LinkEvent::Delivered);
-        let got: Frame<u64> = decode_frame(&rx.recv().unwrap()).unwrap();
+        let got: Frame<u64> = decode_frame(&rx.recv().unwrap().1).unwrap();
         assert_eq!(got.msg, 5);
     }
 
@@ -534,7 +539,8 @@ mod tests {
             link.send(1, 0, frame_bytes(5)),
             LinkEvent::CorruptedDetectable
         );
-        let bytes = rx.recv().unwrap();
+        let (sender, bytes) = rx.recv().unwrap();
+        assert_eq!(sender, 0, "attribution is the link's, not the bytes'");
         assert!(decode_frame::<u64>(&bytes).is_err());
         assert!(log.is_empty(), "detected corruption is not logged");
     }
@@ -553,7 +559,7 @@ mod tests {
             link.send(1, 0, frame_bytes(5)),
             LinkEvent::CorruptedUndetected
         );
-        let got: Frame<u64> = decode_frame(&rx.recv().unwrap()).unwrap();
+        let got: Frame<u64> = decode_frame(&rx.recv().unwrap().1).unwrap();
         assert_ne!(got.msg, 5);
         assert!(log.was_corrupted(&(1, 0, 1, 0)));
         assert_eq!(log.len(), 1);
@@ -572,7 +578,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "probability")]
     fn invalid_probability_panics() {
-        let (tx, _rx) = unbounded::<Vec<u8>>();
+        let (tx, _rx) = unbounded::<(u32, Vec<u8>)>();
         let faults = LinkFaults {
             drop_prob: 1.5,
             ..LinkFaults::NONE
@@ -614,7 +620,7 @@ mod tests {
         );
         // Every corrected frame decodes back to the original message.
         let mut repaired = 0;
-        while let Ok(bytes) = rx.try_recv() {
+        while let Ok((_, bytes)) = rx.try_recv() {
             if let Ok(got) = heardof_engine::decode_frame_with::<u64>(&bytes, &Hamming74) {
                 assert_eq!(got.msg, 5);
                 repaired += 1;
@@ -647,7 +653,7 @@ mod tests {
             log.was_corrupted(&(1, 0, 1, 0)),
             "leak is ground-truth logged"
         );
-        let got = heardof_engine::decode_frame_with::<u64>(&rx.recv().unwrap(), &NoCode).unwrap();
+        let got = heardof_engine::decode_frame_with::<u64>(&rx.recv().unwrap().1, &NoCode).unwrap();
         assert_ne!(got.msg, 5, "corruption sailed straight through");
         assert_eq!(got.round, 1, "header region is spared by the noise model");
     }
@@ -662,7 +668,7 @@ mod tests {
             let events: Vec<LinkEvent> =
                 (1..=40).map(|r| link.send(r, 0, frame_bytes(r))).collect();
             drop(link);
-            let wires: Vec<Vec<u8>> = rx.iter().collect();
+            let wires: Vec<(u32, Vec<u8>)> = rx.iter().collect();
             (events, wires)
         };
         assert_eq!(run(3), run(3), "same trace seed replays bit-for-bit");
@@ -759,7 +765,7 @@ mod tests {
                 LinkEvent::CorruptedUndetected,
                 "epoch {id}: the adversary must forge through the tag"
             );
-            let got = decode_frame_tagged::<u64>(&rx.recv().unwrap(), &book).unwrap();
+            let got = decode_frame_tagged::<u64>(&rx.recv().unwrap().1, &book).unwrap();
             assert_eq!(got.code_id, id, "the forgery keeps the epoch id");
             assert_ne!(got.frame.msg, 5, "…and carries a wrong payload");
             assert!(log.was_corrupted(&(1, 0, 1, 0)));

@@ -191,7 +191,7 @@ where
     let mut txs = Vec::with_capacity(n);
     let mut rxs = Vec::with_capacity(n);
     for _ in 0..n {
-        let (tx, rx) = crossbeam::channel::unbounded::<Vec<u8>>();
+        let (tx, rx) = crossbeam::channel::unbounded::<(u32, Vec<u8>)>();
         txs.push(tx);
         rxs.push(rx);
     }
@@ -275,7 +275,7 @@ where
     let mut txs = Vec::with_capacity(n);
     let mut rxs = Vec::with_capacity(n);
     for _ in 0..n {
-        let (tx, rx) = crossbeam::channel::unbounded::<Vec<u8>>();
+        let (tx, rx) = crossbeam::channel::unbounded::<(u32, Vec<u8>)>();
         txs.push(tx);
         rxs.push(rx);
     }
@@ -310,7 +310,7 @@ where
 
 fn mux_process_main<A>(
     mut engine: MuxRoundEngine<A>,
-    inbox: Receiver<Vec<u8>>,
+    inbox: Receiver<(u32, Vec<u8>)>,
     mut links: Vec<FaultyLink>,
     board: Arc<Mutex<Vec<bool>>>,
     all_decided: Arc<AtomicBool>,
@@ -341,7 +341,7 @@ where
                 break;
             }
             match inbox.recv_timeout(remaining) {
-                Ok(bytes) => {
+                Ok((_, bytes)) => {
                     let _ = engine.ingest(&bytes);
                 }
                 Err(_) => break, // timeout or disconnect: close the round
@@ -371,7 +371,7 @@ where
 
 fn process_main<A>(
     mut engine: RoundEngine<A>,
-    inbox: Receiver<Vec<u8>>,
+    inbox: Receiver<(u32, Vec<u8>)>,
     mut links: Vec<FaultyLink>,
     board: Arc<Mutex<Vec<Option<A::Value>>>>,
     all_decided: Arc<AtomicBool>,
@@ -406,8 +406,8 @@ where
                 break;
             }
             match inbox.recv_timeout(remaining) {
-                Ok(bytes) => {
-                    let _ = engine.ingest(&bytes);
+                Ok((sender, bytes)) => {
+                    let _ = engine.ingest_from(sender, &bytes);
                 }
                 Err(_) => break, // timeout or disconnect: close the round
             }

@@ -5,7 +5,7 @@
 pub const NO_PEER: u32 = u32::MAX;
 
 /// Number of distinct [`EventKind`] variants; sizes the counter arrays.
-pub const KIND_COUNT: usize = 20;
+pub const KIND_COUNT: usize = 21;
 
 /// What happened. Grouped into four planes:
 ///
@@ -72,6 +72,11 @@ pub enum EventKind {
     BudgetUp,
     /// Budget: AIMD shrank the symbol budget (`value` = new repair count).
     BudgetDown,
+    /// Engine: per-sender content-oblivious arrival tally at round close
+    /// (`value` = value-channel count | advert-channel count `<< 8`).
+    /// Only emitted when the ladder carries the oblivious rung and the
+    /// sender used the count channel this round.
+    ObliviousCount,
 }
 
 impl EventKind {
@@ -97,6 +102,7 @@ impl EventKind {
         EventKind::PressureSample,
         EventKind::BudgetUp,
         EventKind::BudgetDown,
+        EventKind::ObliviousCount,
     ];
 
     /// Position in the fixed counter arrays.
@@ -128,6 +134,7 @@ impl EventKind {
             EventKind::PressureSample => "pressure_sample",
             EventKind::BudgetUp => "budget_up",
             EventKind::BudgetDown => "budget_down",
+            EventKind::ObliviousCount => "oblivious_count",
         }
     }
 
@@ -277,6 +284,7 @@ mod tests {
     fn conformance_subset_excludes_timing_shaped_kinds() {
         assert!(EventKind::LinkUndetected.is_conformance());
         assert!(EventKind::RungSwitch.is_conformance());
+        assert!(EventKind::ObliviousCount.is_conformance());
         assert!(!EventKind::FrameLate.is_conformance());
         assert!(!EventKind::CopiesFolded.is_conformance());
     }

@@ -44,7 +44,10 @@
 
 use heardof_adversary::Adversary;
 use heardof_async::{run_async, run_async_mux, AsyncConfig};
-use heardof_coding::{AdaptiveConfig, AdaptiveController, CodeBook, CodeSpec, NoiseTrace};
+use heardof_coding::{
+    decode_count, encode_count, oblivious_advert_frame, oblivious_value_frame, AdaptiveConfig,
+    AdaptiveController, CodeBook, CodeSpec, NoiseTrace, OBL_MAX_EPOCH, OBL_MAX_VALUE,
+};
 use heardof_engine::{
     Frame, Framing, MuxReport, MuxRoundEngine, SubstrateOutcome, WireMessage, COPY_OFFSET,
 };
@@ -350,6 +353,11 @@ where
         // collects them: one per kept frame, sorted by sender before
         // reaching the controller.
         let mut ads: Vec<Vec<(u32, heardof_coding::RungAdvert)>> = vec![Vec::new(); n];
+        // Per-(receiver, sender) pattern-frame arrival tallies — the
+        // sim's twin of the engine's `value_counts`/`advert_counts`,
+        // live only when the ladder carries the oblivious rung.
+        let oblivious = self.framings[0].oblivious_enabled();
+        let mut counts: Vec<(u32, u32)> = vec![(0, 0); if oblivious { n * n } else { 0 }];
         for (sender, receiver, original) in intended.iter() {
             if sender == receiver {
                 // Self-delivery is local in the runtimes: never on the
@@ -365,6 +373,59 @@ where
                 delivered.set(sender, receiver, original.clone());
                 continue;
             }
+            let framing = &self.framings[sender.index()];
+            if framing.current_spec() == CodeSpec::Oblivious {
+                // Content-oblivious sends, mirrored from the engine:
+                // the message never crosses as bytes — `value + 1`
+                // fixed-length pattern frames do, and only their
+                // *arrival count* is read. Each frame still goes
+                // through the trace at the same coordinates the
+                // byte-level links use; flips cannot change a pattern
+                // frame's length or arrival, so the link verdict is
+                // `Detected` (contents unprotected by construction)
+                // and the tally is untouched.
+                let value_copies = original
+                    .pattern_value()
+                    .map_or(0, |v| encode_count(v, OBL_MAX_VALUE));
+                let advert_copies = framing
+                    .controller()
+                    .and_then(|c| c.advert())
+                    .map_or(0, |ad| encode_count(ad.epoch, OBL_MAX_EPOCH));
+                let cell = &mut counts[receiver.index() * n + sender.index()];
+                for (template, copies, is_value) in [
+                    (oblivious_value_frame().to_vec(), value_copies, true),
+                    (oblivious_advert_frame().to_vec(), advert_copies, false),
+                ] {
+                    for copy in 0..copies {
+                        let mut wire = template.clone();
+                        let flips = self.trace.corrupt_frame(
+                            r,
+                            sender.as_u32(),
+                            receiver.as_u32(),
+                            copy as u8,
+                            &mut wire,
+                        );
+                        let kind = if flips == 0 {
+                            EventKind::LinkDelivered
+                        } else {
+                            EventKind::LinkDetected
+                        };
+                        self.telemetry.emit(Event::link(
+                            kind,
+                            r,
+                            receiver.as_u32(),
+                            sender.as_u32(),
+                            wire.len() as u64,
+                        ));
+                        if is_value {
+                            cell.0 = cell.0.saturating_add(1);
+                        } else {
+                            cell.1 = cell.1.saturating_add(1);
+                        }
+                    }
+                }
+                continue;
+            }
             let frame = Frame {
                 round: r,
                 sender: sender.as_u32(),
@@ -374,7 +435,6 @@ where
             // Mirror the engine's send path byte for byte: a rateless
             // rung spends its negotiated symbol budget (conformance
             // runs use copies = 1, so there is nothing to fold).
-            let framing = &self.framings[sender.index()];
             let mut wire = match framing.symbol_budget() {
                 Some(budget) => framing.encode_with_budget(&frame, budget),
                 None => framing.encode(&frame),
@@ -424,6 +484,56 @@ where
             // fault is undetected, so the tally must not use the oracle
             // either — value_faults stays 0, exactly as in the runtimes.
             delivered.set(ProcessId::new(got.sender), receiver, got.msg);
+        }
+        // Count-channel synthesis, mirrored from the engine's
+        // `finish_round`: fold each receiver's per-sender pattern
+        // tallies into the delivered matrix and the gossip set before
+        // the controllers observe. A tagged delivery from the same
+        // sender wins; one value per sender either way.
+        if oblivious {
+            for p in 0..n {
+                let receiver = ProcessId::new(p as u32);
+                for s in 0..n {
+                    if s == p {
+                        continue;
+                    }
+                    let (vc, ac) = counts[p * n + s];
+                    if vc == 0 && ac == 0 {
+                        continue;
+                    }
+                    self.telemetry.emit(Event {
+                        round: r,
+                        process: p as u32,
+                        kind: EventKind::ObliviousCount,
+                        peer: s as u32,
+                        value: vc.min(0xFF) as u64 | ((ac.min(0xFF) as u64) << 8),
+                    });
+                    let sender = ProcessId::new(s as u32);
+                    if delivered.get(sender, receiver).is_none() {
+                        if let Some(msg) =
+                            decode_count(vc as usize, OBL_MAX_VALUE).and_then(M::from_pattern_value)
+                        {
+                            self.telemetry.emit(Event {
+                                round: r,
+                                process: p as u32,
+                                kind: EventKind::FrameKept,
+                                peer: s as u32,
+                                value: 0,
+                            });
+                            tallies[p].delivered += 1;
+                            delivered.set(sender, receiver, msg);
+                        }
+                    }
+                    if ac > 0 && !ads[p].iter().any(|(q, _)| *q == s as u32) {
+                        if let (Some(rung), Some(epoch)) = (
+                            self.framings[p].oblivious_rung(),
+                            decode_count(ac as usize, OBL_MAX_EPOCH),
+                        ) {
+                            ads[p].push((s as u32, heardof_coding::RungAdvert { rung, epoch }));
+                        }
+                    }
+                }
+            }
         }
         for ((p, tally), mut peer_ads) in tallies.into_iter().enumerate().zip(ads) {
             peer_ads.sort_by_key(|(sender, _)| *sender);

@@ -30,14 +30,32 @@ use heardof_coding::{AdaptiveConfig, CodeSpec, GilbertElliott, NoisePhase, Noise
 use heardof_telemetry::EventKind;
 use std::time::Duration;
 
-const SEEDS: [u64; 5] = [0xA11CE, 0xB0B5, 0xC0DE5, 0xF0047, 0x60551];
+const SEEDS: [u64; 6] = [0xA11CE, 0xB0B5, 0xC0DE5, 0xF0047, 0x60551, 0xDEFEC7];
 /// The seed whose run must exercise the fountain rung.
 const FOUNTAIN_SEED: u64 = 0xF0047;
 /// The seed whose run must exercise rung gossip (piggybacked
 /// advertisements + adoption) under the conformance bar.
 const GOSSIP_SEED: u64 = 0x60551;
+/// The seed whose run must exercise the content-oblivious count
+/// channel: a fully-defective trace (100% payload corruption on every
+/// link) starves every content rung, the ladder descends onto
+/// [`CodeSpec::Oblivious`], and values + gossip epochs travel as frame
+/// arrival counts — which must replay identically on every substrate.
+const OBLIVIOUS_SEED: u64 = 0xDEFEC7;
 const N: usize = 5;
 const ROUNDS: u64 = 14;
+/// The fully-defective run needs extra horizon: the ladder must starve
+/// its way down five rungs (single-step entry into the last resort)
+/// before the count channel starts carrying values.
+const OBLIVIOUS_ROUNDS: u64 = 26;
+
+fn rounds_for(seed: u64) -> u64 {
+    if seed == OBLIVIOUS_SEED {
+        OBLIVIOUS_ROUNDS
+    } else {
+        ROUNDS
+    }
+}
 
 fn selected_seeds() -> Vec<u64> {
     match std::env::var("CONFORMANCE_SEED") {
@@ -62,6 +80,11 @@ fn selected_seeds() -> Vec<u64> {
 /// losses; erasure-decode failures are detected omissions, so the rung
 /// is conformance-safe by construction).
 fn conformance_trace(seed: u64) -> NoiseTrace {
+    if seed == OBLIVIOUS_SEED {
+        // Every inter-process frame has every byte complemented: no
+        // content rung can deliver anything, only arrival survives.
+        return NoiseTrace::fully_defective(seed);
+    }
     if seed == GOSSIP_SEED {
         // The gossip seed runs the divergence-prone moderate correlated
         // preset: tallies straddle thresholds, controllers split, and
@@ -90,7 +113,13 @@ fn conformance_trace(seed: u64) -> NoiseTrace {
 }
 
 fn conformance_config(seed: u64) -> AdaptiveConfig {
-    if seed == GOSSIP_SEED {
+    if seed == OBLIVIOUS_SEED {
+        // Gossip on too: the advert channel (epoch-as-count) must
+        // conform alongside the value channel.
+        AdaptiveConfig::standard(N, 1)
+            .with_gossip()
+            .with_oblivious()
+    } else if seed == GOSSIP_SEED {
         AdaptiveConfig::standard(N, 1).with_gossip()
     } else {
         AdaptiveConfig::standard(N, 1)
@@ -101,19 +130,20 @@ fn conformance_config(seed: u64) -> AdaptiveConfig {
 fn run_all(seed: u64) -> [SubstrateReport; 3] {
     let cfg = conformance_config(seed);
     let trace = conformance_trace(seed);
+    let rounds = rounds_for(seed);
     let initial: Vec<u64> = (0..N as u64).map(|i| i % 2).collect();
     let algo: Ate<u64> = Ate::new(AteParams::balanced(N, 1).unwrap());
-    let sim = run_sim_substrate(algo.clone(), N, initial.clone(), &cfg, &trace, ROUNDS);
+    let sim = run_sim_substrate(algo.clone(), N, initial.clone(), &cfg, &trace, rounds);
     let net = run_net_substrate(
         algo.clone(),
         N,
         initial.clone(),
         &cfg,
         &trace,
-        ROUNDS,
+        rounds,
         Duration::from_millis(150),
     );
-    let asy = run_async_substrate(algo, N, initial, &cfg, &trace, ROUNDS);
+    let asy = run_async_substrate(algo, N, initial, &cfg, &trace, rounds);
     [sim, net, asy]
 }
 
@@ -124,7 +154,7 @@ fn all_three_substrates_agree_round_for_round_across_the_seed_matrix() {
         for (name, report) in [("sim", &sim), ("net", &net), ("async", &asy)] {
             assert_eq!(
                 report.rounds(),
-                ROUNDS as usize,
+                rounds_for(seed) as usize,
                 "seed {seed:#x}: {name} must cover every round"
             );
         }
@@ -228,6 +258,41 @@ fn the_gossip_seed_exercises_rung_adoption() {
 }
 
 #[test]
+fn the_oblivious_seed_exercises_the_count_channel() {
+    // The sixth pinned seed exists to put the content-oblivious rung —
+    // pattern-frame sends, per-link arrival counting, end-of-round
+    // count synthesis and the epoch-as-count gossip fallback — under
+    // the cross-substrate bar (the 3-way equality itself is asserted
+    // by the matrix test above). Guard against the configuration going
+    // stale: the fully-defective trace must actually drive the ladder
+    // onto the oblivious rung, and the count channel must carry real
+    // traffic in the flight recording.
+    if !selected_seeds().contains(&OBLIVIOUS_SEED) {
+        return; // another CI shard owns this seed
+    }
+    let [sim, _, _] = run_all(OBLIVIOUS_SEED);
+    assert!(
+        sim.codes
+            .iter()
+            .any(|round| round.contains(&CodeSpec::Oblivious)),
+        "seed {OBLIVIOUS_SEED:#x}: nobody reached the oblivious rung — \
+         fully-defective trace too tame: {:?}",
+        sim.codes
+    );
+    let totals = &sim.recording.totals;
+    assert!(
+        totals[EventKind::ObliviousCount] > 0,
+        "seed {OBLIVIOUS_SEED:#x}: count channel never carried traffic"
+    );
+    assert_eq!(
+        totals[EventKind::LinkUndetected],
+        0,
+        "seed {OBLIVIOUS_SEED:#x}: full-content corruption must never \
+         forge a value — arrival is the only readable fact"
+    );
+}
+
+#[test]
 fn the_telemetry_dimension_is_not_vacuous_and_views_match_legacy() {
     // Counter-equivalence would be trivially true if the recorders
     // captured nothing; and the recorder-side code-schedule view would
@@ -254,7 +319,7 @@ fn the_telemetry_dimension_is_not_vacuous_and_views_match_legacy() {
         );
         assert_eq!(
             report.telemetry.len(),
-            ROUNDS as usize,
+            rounds_for(seed) as usize,
             "{name}: per-round conformance counters must cover every round"
         );
         assert!(
@@ -264,7 +329,11 @@ fn the_telemetry_dimension_is_not_vacuous_and_views_match_legacy() {
     }
     let book = CodeBook::from_specs(&conformance_config(seed).ladder);
     let view = net.recording.code_schedule(N);
-    assert_eq!(view.len(), ROUNDS as usize, "one schedule row per round");
+    assert_eq!(
+        view.len(),
+        rounds_for(seed) as usize,
+        "one schedule row per round"
+    );
     for (r, row) in view.iter().enumerate() {
         for (p, id) in row.iter().enumerate() {
             assert_eq!(
